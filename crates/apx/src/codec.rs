@@ -1,0 +1,132 @@
+//! Tuple codecs: how tuples are serialized on cross-container streams.
+//!
+//! Apex streams that leave a container pass through the buffer server as
+//! bytes; `Codec` is the analog of Apex's `StreamCodec`. Thread-local
+//! (fused) streams never touch a codec — that asymmetry is one of the
+//! mechanical sources of the abstraction-layer overhead the paper
+//! measures.
+
+use bytes::Bytes;
+
+/// Encodes and decodes tuples for cross-container transport.
+pub trait Codec<T>: Send + Sync + 'static {
+    /// Serializes a tuple.
+    fn encode(&self, tuple: &T) -> Vec<u8>;
+
+    /// Deserializes a tuple.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic on malformed input; within one
+    /// application both ends share the same codec, so malformed frames
+    /// indicate a bug, not bad data.
+    fn decode(&self, bytes: &[u8]) -> T;
+}
+
+/// Codec for raw byte payloads.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BytesCodec;
+
+impl Codec<Bytes> for BytesCodec {
+    fn encode(&self, tuple: &Bytes) -> Vec<u8> {
+        tuple.to_vec()
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(bytes)
+    }
+}
+
+/// Codec for UTF-8 strings.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StringCodec;
+
+impl Codec<String> for StringCodec {
+    fn encode(&self, tuple: &String) -> Vec<u8> {
+        tuple.as_bytes().to_vec()
+    }
+
+    fn decode(&self, bytes: &[u8]) -> String {
+        String::from_utf8(bytes.to_vec()).expect("stream carried non-UTF-8 string tuple")
+    }
+}
+
+/// Codec for `u64` counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct U64Codec;
+
+impl Codec<u64> for U64Codec {
+    fn encode(&self, tuple: &u64) -> Vec<u8> {
+        tuple.to_be_bytes().to_vec()
+    }
+
+    fn decode(&self, bytes: &[u8]) -> u64 {
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(&bytes[..8]);
+        u64::from_be_bytes(buf)
+    }
+}
+
+/// Codec for `(String, u64)` pairs, e.g. keyed counts.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StringU64Codec;
+
+impl Codec<(String, u64)> for StringU64Codec {
+    fn encode(&self, tuple: &(String, u64)) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + tuple.0.len());
+        out.extend_from_slice(&tuple.1.to_be_bytes());
+        out.extend_from_slice(tuple.0.as_bytes());
+        out
+    }
+
+    fn decode(&self, bytes: &[u8]) -> (String, u64) {
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(&bytes[..8]);
+        let n = u64::from_be_bytes(buf);
+        let s = String::from_utf8(bytes[8..].to_vec()).expect("valid UTF-8 key");
+        (s, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_roundtrip() {
+        let c = BytesCodec;
+        let t = Bytes::from_static(b"hello \xff");
+        assert_eq!(c.decode(&c.encode(&t)), t);
+    }
+
+    #[test]
+    fn string_roundtrip() {
+        let c = StringCodec;
+        let t = "grüße".to_string();
+        assert_eq!(c.decode(&c.encode(&t)), t);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let c = U64Codec;
+        for t in [0u64, 1, u64::MAX, 123_456_789] {
+            assert_eq!(c.decode(&c.encode(&t)), t);
+        }
+    }
+
+    #[test]
+    fn pair_roundtrip() {
+        let c = StringU64Codec;
+        let t = ("key".to_string(), 42u64);
+        assert_eq!(c.decode(&c.encode(&t)), t);
+        let empty = (String::new(), 0u64);
+        assert_eq!(c.decode(&c.encode(&empty)), empty);
+    }
+
+    #[test]
+    #[should_panic]
+    fn string_codec_rejects_invalid_utf8() {
+        let c = StringCodec;
+        let _ = c.decode(&[0xff, 0xfe]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Connector operators (the Apex Malhar library analog): broker input and
+//! output operators.
+
+use crate::operator::{Emitter, InputOperator, Operator, OperatorContext};
+use bytes::Bytes;
+use logbus::{Broker, Record};
+
+/// Bounded input operator reading a `logbus` topic, one streaming window
+/// per `window_size` records (paper's Kafka input operator).
+#[derive(Debug)]
+pub struct KafkaInput {
+    broker: Broker,
+    topic: String,
+    window_size: usize,
+    /// (partition, position, end) cursors captured at setup.
+    cursors: Vec<(u32, u64, u64)>,
+}
+
+impl KafkaInput {
+    /// Creates an input over all partitions of `topic`.
+    pub fn new(broker: Broker, topic: impl Into<String>) -> Self {
+        KafkaInput { broker, topic: topic.into(), window_size: 2048, cursors: Vec::new() }
+    }
+}
+
+impl InputOperator<Bytes> for KafkaInput {
+    fn setup(&mut self, ctx: &OperatorContext) {
+        self.window_size = ctx.window_size;
+        if let Ok(topic) = self.broker.topic(&self.topic) {
+            for p in 0..topic.partition_count() {
+                let start = topic.earliest_offset(p).unwrap_or(0);
+                let end = topic.latest_offset(p).unwrap_or(start);
+                self.cursors.push((p, start, end));
+            }
+        }
+    }
+
+    fn emit_window(&mut self, _window_id: u64, out: &mut dyn Emitter<Bytes>) -> bool {
+        let mut emitted = 0usize;
+        for (partition, position, end) in &mut self.cursors {
+            if emitted >= self.window_size || *position >= *end {
+                continue;
+            }
+            let want = (self.window_size - emitted).min((*end - *position) as usize);
+            let Ok(batch) = self.broker.fetch(&self.topic, *partition, *position, want) else {
+                continue;
+            };
+            if let Some(last) = batch.last() {
+                *position = last.offset + 1;
+            }
+            for stored in batch {
+                out.emit(stored.record.value);
+                emitted += 1;
+            }
+        }
+        self.cursors.iter().any(|(_, position, end)| position < end)
+    }
+}
+
+/// Output operator producing to a `logbus` topic.
+///
+/// Appends are buffered per streaming window and flushed as one broker
+/// request at window end (Apex's Kafka output operator batches
+/// asynchronously); [`KafkaOutput::per_tuple`] disables buffering so every
+/// tuple becomes an individual, synchronously acknowledged produce request
+/// — the behaviour the abstraction layer's runner exhibits, and the
+/// mechanical source of its output-volume-dependent slowdown.
+#[derive(Debug)]
+pub struct KafkaOutput {
+    broker: Broker,
+    topic: String,
+    partition: u32,
+    per_tuple: bool,
+    buffer: Vec<Record>,
+}
+
+impl KafkaOutput {
+    /// Creates a window-batched output to partition 0 of `topic`.
+    pub fn new(broker: Broker, topic: impl Into<String>) -> Self {
+        KafkaOutput {
+            broker,
+            topic: topic.into(),
+            partition: 0,
+            per_tuple: false,
+            buffer: Vec::new(),
+        }
+    }
+
+    /// Switches to one synchronous produce request per tuple.
+    pub fn per_tuple(mut self) -> Self {
+        self.per_tuple = true;
+        self
+    }
+
+    fn flush(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.buffer);
+        let _ = self.broker.produce_batch(&self.topic, self.partition, batch);
+    }
+}
+
+impl Operator<Bytes, ()> for KafkaOutput {
+    fn process(&mut self, tuple: Bytes, _out: &mut dyn Emitter<()>) {
+        if self.per_tuple {
+            let _ = self.broker.produce(&self.topic, self.partition, Record::from_value(tuple));
+        } else {
+            self.buffer.push(Record::from_value(tuple));
+        }
+    }
+
+    fn end_window(&mut self, _window_id: u64, _out: &mut dyn Emitter<()>) {
+        self.flush();
+    }
+
+    fn teardown(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logbus::TopicConfig;
+
+    fn broker_with_records(n: usize) -> Broker {
+        let broker = Broker::new();
+        broker.create_topic("in", TopicConfig::default()).unwrap();
+        broker.create_topic("out", TopicConfig::default()).unwrap();
+        for i in 0..n {
+            broker.produce("in", 0, Record::from_value(format!("r{i}"))).unwrap();
+        }
+        broker
+    }
+
+    #[test]
+    fn kafka_input_reads_in_windows() {
+        let broker = broker_with_records(25);
+        let mut input = KafkaInput::new(broker, "in");
+        input.setup(&OperatorContext { name: "in".into(), window_size: 10 });
+        let mut windows: Vec<usize> = Vec::new();
+        loop {
+            let mut count = 0usize;
+            let more = {
+                let mut emitter = |_t: Bytes| count += 1;
+                input.emit_window(windows.len() as u64, &mut emitter)
+            };
+            windows.push(count);
+            if !more {
+                break;
+            }
+        }
+        assert_eq!(windows, vec![10, 10, 5]);
+    }
+
+    #[test]
+    fn kafka_input_is_bounded() {
+        let broker = broker_with_records(5);
+        let mut input = KafkaInput::new(broker.clone(), "in");
+        input.setup(&OperatorContext { name: "in".into(), window_size: 100 });
+        broker.produce("in", 0, Record::from_value("late")).unwrap();
+        let mut count = 0;
+        let mut emitter = |_t: Bytes| count += 1;
+        assert!(!input.emit_window(0, &mut emitter), "single window drains it");
+        assert_eq!(count, 5, "the late record is outside the bounded range");
+    }
+
+    #[test]
+    fn kafka_output_batches_per_window() {
+        let broker = broker_with_records(0);
+        let mut out = KafkaOutput::new(broker.clone(), "out");
+        let mut null = |_: ()| {};
+        out.process(Bytes::from_static(b"a"), &mut null);
+        out.process(Bytes::from_static(b"b"), &mut null);
+        assert_eq!(broker.latest_offset("out", 0).unwrap(), 0, "buffered until window end");
+        out.end_window(0, &mut null);
+        assert_eq!(broker.latest_offset("out", 0).unwrap(), 2);
+        // Identical append stamp: one broker request.
+        let records = broker.fetch("out", 0, 0, 10).unwrap();
+        assert_eq!(records[0].timestamp, records[1].timestamp);
+    }
+
+    #[test]
+    fn kafka_output_per_tuple_appends_immediately() {
+        let broker = broker_with_records(0);
+        let mut out = KafkaOutput::new(broker.clone(), "out").per_tuple();
+        let mut null = |_: ()| {};
+        out.process(Bytes::from_static(b"a"), &mut null);
+        assert_eq!(broker.latest_offset("out", 0).unwrap(), 1);
+    }
+
+    #[test]
+    fn teardown_flushes_partial_window() {
+        let broker = broker_with_records(0);
+        let mut out = KafkaOutput::new(broker.clone(), "out");
+        let mut null = |_: ()| {};
+        out.process(Bytes::from_static(b"a"), &mut null);
+        out.teardown();
+        assert_eq!(broker.latest_offset("out", 0).unwrap(), 1);
+    }
+
+    #[test]
+    fn missing_topic_is_harmless() {
+        let broker = Broker::new();
+        let mut input = KafkaInput::new(broker.clone(), "nope");
+        input.setup(&OperatorContext { name: "in".into(), window_size: 10 });
+        let mut emitter = |_t: Bytes| {};
+        assert!(!input.emit_window(0, &mut emitter));
+    }
+}

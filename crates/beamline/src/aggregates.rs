@@ -1,0 +1,333 @@
+//! Aggregating composite transforms built on the core primitives:
+//! `Count`, `CombinePerKey`, `Distinct`, and KV utilities.
+//!
+//! These mirror Beam's composite transforms: each expands into the
+//! `ParDo`/`GroupByKey` primitives, so runners need no special support —
+//! and each inherits the capability matrix (no `GroupByKey`-based
+//! composite runs on the micro-batch or apx runners).
+
+use crate::coder::{Coder, KvCoder, StrUtf8Coder, VarIntCoder};
+use crate::element::Kv;
+use crate::pardo::{FnDoFn, ParDo, ProcessContext};
+use crate::pipeline::{PCollection, PTransform};
+use crate::transforms::{GroupByKey, MapElements, WithKeys};
+use std::sync::Arc;
+
+/// Counting transforms.
+pub struct Count;
+
+impl Count {
+    /// Counts occurrences per distinct element, yielding
+    /// `Kv<element, count>` (Beam's `Count.perElement()`).
+    ///
+    /// Requires a `GroupByKey`-capable runner.
+    pub fn per_element<T>(coder: Arc<dyn Coder<T>>) -> CountPerElement<T> {
+        CountPerElement { coder }
+    }
+
+    /// Counts all elements, yielding a single global count
+    /// (Beam's `Count.globally()`).
+    pub fn globally() -> CountGlobally {
+        CountGlobally
+    }
+}
+
+/// See [`Count::per_element`].
+pub struct CountPerElement<T> {
+    coder: Arc<dyn Coder<T>>,
+}
+
+impl<T> PTransform<T, Kv<T, i64>> for CountPerElement<T>
+where
+    T: Send + Sync + Clone + 'static,
+{
+    fn expand(self, input: &PCollection<T>) -> PCollection<Kv<T, i64>> {
+        let keyed = input.apply(WithKeys::of(|t: &T| t.clone(), self.coder.clone()));
+        let grouped = keyed.apply(GroupByKey::create(
+            self.coder.clone(),
+            input.coder(),
+        ));
+        let out_coder = Arc::new(KvCoder::new(
+            self.coder,
+            Arc::new(VarIntCoder) as Arc<dyn Coder<i64>>,
+        ));
+        grouped.apply(MapElements::new(
+            "Count.PerElement",
+            |kv: Kv<T, Vec<T>>| Kv::new(kv.key, kv.value.len() as i64),
+            out_coder,
+        ))
+    }
+}
+
+/// See [`Count::globally`].
+pub struct CountGlobally;
+
+impl<T> PTransform<T, i64> for CountGlobally
+where
+    T: Send + 'static,
+{
+    fn expand(self, input: &PCollection<T>) -> PCollection<i64> {
+        // A stateful DoFn that counts its bundle and emits at
+        // finish_bundle. On single-bundle runners this is the global
+        // count; the direct runner processes bounded inputs as one
+        // bundle, as does the rill runner.
+        #[derive(Clone)]
+        struct CountFn {
+            seen: i64,
+        }
+        impl<T: Send + 'static> crate::pardo::DoFn<T, i64> for CountFn {
+            fn start_bundle(&mut self) {
+                self.seen = 0;
+            }
+            fn process(&mut self, _element: T, _ctx: &mut ProcessContext<'_, i64>) {
+                self.seen += 1;
+            }
+            fn finish_bundle(&mut self, ctx: &mut ProcessContext<'_, i64>) {
+                ctx.output(self.seen);
+            }
+        }
+        ParDo::of(
+            "Count.Globally",
+            CountFn { seen: 0 },
+            Arc::new(VarIntCoder) as Arc<dyn Coder<i64>>,
+        )
+        .expand(input)
+    }
+}
+
+/// Removes duplicate elements (Beam's `Distinct`). Requires a
+/// `GroupByKey`-capable runner.
+pub struct Distinct<T> {
+    coder: Arc<dyn Coder<T>>,
+}
+
+impl<T> Distinct<T> {
+    /// Creates the transform from the element coder.
+    pub fn create(coder: Arc<dyn Coder<T>>) -> Self {
+        Distinct { coder }
+    }
+}
+
+impl<T> PTransform<T, T> for Distinct<T>
+where
+    T: Send + Sync + Clone + 'static,
+{
+    fn expand(self, input: &PCollection<T>) -> PCollection<T> {
+        let keyed = input.apply(WithKeys::of(|t: &T| t.clone(), self.coder.clone()));
+        let grouped = keyed.apply(GroupByKey::create(self.coder.clone(), input.coder()));
+        grouped.apply(MapElements::new(
+            "Distinct",
+            |kv: Kv<T, Vec<T>>| kv.key,
+            self.coder,
+        ))
+    }
+}
+
+/// Combines all values of a key with a binary operation
+/// (Beam's `Combine.perKey`, reduced to associative fold semantics).
+/// Requires a `GroupByKey`-capable runner.
+pub struct CombinePerKey<K, V, F> {
+    key_coder: Arc<dyn Coder<K>>,
+    value_coder: Arc<dyn Coder<V>>,
+    combine: F,
+}
+
+impl<K, V, F> CombinePerKey<K, V, F> {
+    /// Creates the transform from component coders and a combiner.
+    pub fn of(
+        key_coder: Arc<dyn Coder<K>>,
+        value_coder: Arc<dyn Coder<V>>,
+        combine: F,
+    ) -> Self {
+        CombinePerKey { key_coder, value_coder, combine }
+    }
+}
+
+impl<K, V, F> PTransform<Kv<K, V>, Kv<K, V>> for CombinePerKey<K, V, F>
+where
+    K: Send + Sync + 'static,
+    V: Send + Sync + 'static,
+    F: Fn(V, V) -> V + Send + Sync + Clone + 'static,
+{
+    fn expand(self, input: &PCollection<Kv<K, V>>) -> PCollection<Kv<K, V>> {
+        let grouped = input.apply(GroupByKey::create(
+            self.key_coder.clone(),
+            self.value_coder.clone(),
+        ));
+        let out_coder = Arc::new(KvCoder::new(self.key_coder, self.value_coder));
+        let combine = self.combine;
+        let dofn = FnDoFn::new(move |kv: Kv<K, Vec<V>>, ctx: &mut ProcessContext<'_, Kv<K, V>>| {
+            let mut values = kv.value.into_iter();
+            if let Some(first) = values.next() {
+                let combined = values.fold(first, |acc, v| combine(acc, v));
+                ctx.output(Kv::new(kv.key, combined));
+            }
+        });
+        ParDo::of("Combine.PerKey", dofn, out_coder as Arc<dyn Coder<Kv<K, V>>>).expand(&grouped)
+    }
+}
+
+/// Swaps keys and values (Beam's `KvSwap`).
+///
+/// Component coders cannot be recovered from an erased `KvCoder`, so the
+/// output coders are explicit: use [`KvSwap::swap_with`].
+pub struct KvSwap;
+
+impl KvSwap {
+    /// Swaps keys and values with explicit output component coders.
+    pub fn swap_with<K, V>(
+        key_coder: Arc<dyn Coder<V>>,
+        value_coder: Arc<dyn Coder<K>>,
+    ) -> impl PTransform<Kv<K, V>, Kv<V, K>>
+    where
+        K: Send + Sync + 'static,
+        V: Send + Sync + 'static,
+    {
+        let out_coder = Arc::new(KvCoder::new(key_coder, value_coder));
+        MapElements::new(
+            "KvSwap",
+            |kv: Kv<K, V>| Kv::new(kv.value, kv.key),
+            out_coder as Arc<dyn Coder<Kv<V, K>>>,
+        )
+    }
+}
+
+/// Word-count convenience used by examples and tests: tokenizes strings
+/// and counts each word — the canonical composite pipeline.
+pub fn word_count(input: &PCollection<String>) -> PCollection<Kv<String, i64>> {
+    let words = input.apply(crate::transforms::FlatMapElements::into_strings(
+        "Tokenize",
+        |line: String| {
+            line.split_whitespace().map(str::to_owned).collect::<Vec<_>>()
+        },
+    ));
+    words.apply(Count::per_element(Arc::new(StrUtf8Coder) as Arc<dyn Coder<String>>))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runners::DirectRunner;
+    use crate::transforms::Create;
+    use crate::PipelineRunner;
+
+    #[test]
+    fn count_per_element() {
+        let p = crate::Pipeline::new();
+        let counts = p
+            .apply(Create::strings(vec!["a".into(), "b".into(), "a".into(), "a".into()]))
+            .apply(Count::per_element(Arc::new(StrUtf8Coder) as Arc<dyn Coder<String>>));
+        let result = DirectRunner::new().run(&p).unwrap();
+        let mut got = result.collect_of(&counts).unwrap();
+        got.sort_by(|x, y| x.key.cmp(&y.key));
+        assert_eq!(got, vec![Kv::new("a".to_string(), 3), Kv::new("b".to_string(), 1)]);
+    }
+
+    #[test]
+    fn count_globally() {
+        let p = crate::Pipeline::new();
+        let count = p
+            .apply(Create::i64s((0..57).collect()))
+            .apply(Count::globally());
+        let result = DirectRunner::new().run(&p).unwrap();
+        assert_eq!(result.collect_of(&count).unwrap(), vec![57]);
+    }
+
+    #[test]
+    fn count_globally_empty_input() {
+        let p = crate::Pipeline::new();
+        let count = p.apply(Create::i64s(vec![])).apply(Count::globally());
+        let result = DirectRunner::new().run(&p).unwrap();
+        assert_eq!(result.collect_of(&count).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn distinct_removes_duplicates() {
+        let p = crate::Pipeline::new();
+        let distinct = p
+            .apply(Create::i64s(vec![3, 1, 3, 2, 1, 3]))
+            .apply(Distinct::create(Arc::new(VarIntCoder) as Arc<dyn Coder<i64>>));
+        let result = DirectRunner::new().run(&p).unwrap();
+        let mut got = result.collect_of(&distinct).unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn combine_per_key_folds() {
+        let p = crate::Pipeline::new();
+        let combined = p
+            .apply(Create::strings(vec!["x 1".into(), "x 2".into(), "y 5".into()]))
+            .apply(MapElements::new(
+                "Parse",
+                |s: String| {
+                    let mut parts = s.split(' ');
+                    Kv::new(
+                        parts.next().unwrap_or_default().to_string(),
+                        parts.next().and_then(|v| v.parse::<i64>().ok()).unwrap_or(0),
+                    )
+                },
+                Arc::new(KvCoder::new(
+                    Arc::new(StrUtf8Coder) as Arc<dyn Coder<String>>,
+                    Arc::new(VarIntCoder) as Arc<dyn Coder<i64>>,
+                )) as Arc<dyn Coder<Kv<String, i64>>>,
+            ))
+            .apply(CombinePerKey::of(
+                Arc::new(StrUtf8Coder) as Arc<dyn Coder<String>>,
+                Arc::new(VarIntCoder) as Arc<dyn Coder<i64>>,
+                |a, b| a + b,
+            ));
+        let result = DirectRunner::new().run(&p).unwrap();
+        let mut got = result.collect_of(&combined).unwrap();
+        got.sort_by(|x, y| x.key.cmp(&y.key));
+        assert_eq!(
+            got,
+            vec![Kv::new("x".to_string(), 3), Kv::new("y".to_string(), 5)]
+        );
+    }
+
+    #[test]
+    fn kv_swap() {
+        let p = crate::Pipeline::new();
+        let pairs = p
+            .apply(Create::strings(vec!["k".into()]))
+            .apply(WithKeys::of(
+                |s: &String| s.clone(),
+                Arc::new(StrUtf8Coder) as Arc<dyn Coder<String>>,
+            ))
+            .apply(KvSwap::swap_with(
+                Arc::new(StrUtf8Coder) as Arc<dyn Coder<String>>,
+                Arc::new(StrUtf8Coder) as Arc<dyn Coder<String>>,
+            ));
+        let result = DirectRunner::new().run(&p).unwrap();
+        assert_eq!(
+            result.collect_of(&pairs).unwrap(),
+            vec![Kv::new("k".to_string(), "k".to_string())]
+        );
+    }
+
+    #[test]
+    fn word_count_composite() {
+        let p = crate::Pipeline::new();
+        let counts = word_count(&p.apply(Create::strings(vec![
+            "the quick brown fox".into(),
+            "the lazy dog".into(),
+        ])));
+        let result = DirectRunner::new().run(&p).unwrap();
+        let got = result.collect_of(&counts).unwrap();
+        let the = got.iter().find(|kv| kv.key == "the").unwrap();
+        assert_eq!(the.value, 2);
+        assert_eq!(got.len(), 6, "six distinct words");
+    }
+
+    #[test]
+    fn composites_inherit_capability_matrix() {
+        use crate::runners::DStreamRunner;
+        let p = crate::Pipeline::new();
+        let _ = p
+            .apply(Create::i64s(vec![1, 2, 2]))
+            .apply(Distinct::create(Arc::new(VarIntCoder) as Arc<dyn Coder<i64>>));
+        let err = DStreamRunner::new().run(&p).unwrap_err();
+        assert!(matches!(err, crate::Error::UnsupportedTransform { .. }));
+    }
+}

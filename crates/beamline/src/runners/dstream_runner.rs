@@ -1,0 +1,181 @@
+//! The `dstream` (Spark-Streaming-analog) runner.
+//!
+//! Translates the pipeline onto micro-batches: the bounded source is
+//! discretized into batches, **every batch is repartitioned to
+//! `spark.default.parallelism`** (the runner honours the engine's
+//! parallelism setting with a per-batch shuffle — the mechanical cause of
+//! the paper's observation that Beam-on-Spark gets *slower* with
+//! parallelism 2 on trivial queries), and each `ParDo` runs once per batch
+//! partition with one bundle per partition.
+//!
+//! `GroupByKey` is rejected: the abstraction layer does not support
+//! stateful processing on the micro-batch engine, which is exactly why
+//! the paper's benchmark uses only the stateless StreamBench queries
+//! (§III-B).
+
+use crate::error::{Error, Result};
+use crate::graph::{DoFnFactory, RawElement, SourceFactory, StagePayload};
+use crate::pipeline::Pipeline;
+use crate::runners::{EngineReport, PipelineResult, PipelineRunner};
+use dstream::{BatchSource, Context, ContextConfig, StreamingContext};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Runs pipelines on a [`dstream`] application.
+#[derive(Debug, Clone)]
+pub struct DStreamRunner {
+    parallelism: usize,
+    max_batch_records: usize,
+}
+
+impl Default for DStreamRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DStreamRunner {
+    /// Creates a runner with parallelism 1 and 10k-record micro-batches.
+    pub fn new() -> Self {
+        DStreamRunner { parallelism: 1, max_batch_records: 10_000 }
+    }
+
+    /// Sets `spark.default.parallelism` (paper §III-A2).
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism.max(1);
+        self
+    }
+
+    /// Sets the micro-batch size.
+    pub fn with_batch_records(mut self, records: usize) -> Self {
+        self.max_batch_records = records.max(1);
+        self
+    }
+}
+
+impl PipelineRunner for DStreamRunner {
+    fn run(&self, pipeline: &Pipeline) -> Result<PipelineResult> {
+        enum Stage {
+            Middle(DoFnFactory),
+            Leaf(DoFnFactory),
+        }
+        let (source, stages) = pipeline.with_graph(|graph| -> Result<_> {
+            let chain = graph.linear_chain().ok_or_else(|| Error::UnsupportedShape {
+                runner: "dstream",
+                reason: "only linear single-source pipelines are translatable".into(),
+            })?;
+            let first = graph.node(chain[0]).expect("chain node");
+            let StagePayload::Read(source) = &first.payload else {
+                return Err(Error::InvalidPipeline("pipeline must start with a Read".into()));
+            };
+            let mut stages = Vec::new();
+            for (i, id) in chain.iter().enumerate().skip(1) {
+                let node = graph.node(*id).expect("chain node");
+                let leaf = i == chain.len() - 1;
+                match &node.payload {
+                    StagePayload::ParDo(factory) if leaf => {
+                        stages.push(Stage::Leaf(factory.clone()))
+                    }
+                    StagePayload::ParDo(factory) => stages.push(Stage::Middle(factory.clone())),
+                    StagePayload::GroupByKey => {
+                        return Err(Error::UnsupportedTransform {
+                            runner: "dstream",
+                            transform: "GroupByKey (stateful processing)".into(),
+                        })
+                    }
+                    other => {
+                        return Err(Error::UnsupportedTransform {
+                            runner: "dstream",
+                            transform: format!("{other:?}"),
+                        })
+                    }
+                }
+            }
+            Ok((source.clone(), stages))
+        })?;
+
+        let ctx = Context::with_config(
+            ContextConfig::default().default_parallelism(self.parallelism),
+        );
+        let ssc = StreamingContext::new(ctx);
+        let mut stream = ssc
+            .receiver_stream(SourceBatcher::new(source, self.max_batch_records))
+            // The runner distributes each micro-batch over the configured
+            // parallelism — a shuffle per batch.
+            .repartition(self.parallelism);
+        let mut has_leaf = false;
+        for stage in stages {
+            match stage {
+                Stage::Middle(factory) => {
+                    stream = stream.map_partitions(move |part: Vec<RawElement>| {
+                        run_bundle(&factory, part)
+                    });
+                }
+                Stage::Leaf(factory) => {
+                    has_leaf = true;
+                    stream.foreach_rdd(&ssc, move |rdd| {
+                        let factory = factory.clone();
+                        rdd.foreach_partition(move |_i, part| {
+                            let _ = run_bundle(&factory, part);
+                        });
+                    });
+                }
+            }
+        }
+        if !has_leaf {
+            // Pipelines without a terminal ParDo still need an output
+            // operation to drive the batches.
+            stream.foreach_rdd(&ssc, |rdd| {
+                let _ = rdd.count();
+            });
+        }
+        let report = ssc.run_to_completion().map_err(|e| Error::Engine(e.to_string()))?;
+        Ok(PipelineResult::new(report.elapsed, EngineReport::DStream(report), HashMap::new()))
+    }
+
+    fn name(&self) -> &'static str {
+        "dstream"
+    }
+}
+
+/// Runs one bundle of a raw `DoFn` over a batch partition.
+fn run_bundle(factory: &DoFnFactory, part: Vec<RawElement>) -> Vec<RawElement> {
+    let mut dofn = factory();
+    let mut out = Vec::new();
+    dofn.start_bundle();
+    for element in part {
+        dofn.process(element, &mut |e| out.push(e));
+    }
+    dofn.finish_bundle(&mut |e| out.push(e));
+    out
+}
+
+/// Discretizes a pipeline source: the bounded input is read once on the
+/// first pull and then served in micro-batches (the direct-stream view of
+/// a preloaded topic).
+struct SourceBatcher {
+    factory: Option<SourceFactory>,
+    buffered: VecDeque<RawElement>,
+    max_batch_records: usize,
+}
+
+impl SourceBatcher {
+    fn new(factory: SourceFactory, max_batch_records: usize) -> Self {
+        SourceBatcher { factory: Some(factory), buffered: VecDeque::new(), max_batch_records }
+    }
+}
+
+impl BatchSource<RawElement> for SourceBatcher {
+    fn next_batch(&mut self) -> Option<Vec<RawElement>> {
+        if let Some(factory) = self.factory.take() {
+            let mut all = Vec::new();
+            factory().read(&mut |e| all.push(e));
+            self.buffered = all.into();
+        }
+        if self.buffered.is_empty() {
+            return None;
+        }
+        let take = self.max_batch_records.min(self.buffered.len());
+        Some(self.buffered.drain(..take).collect())
+    }
+}

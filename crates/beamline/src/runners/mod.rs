@@ -1,0 +1,114 @@
+//! Pipeline runners: engine-specific translators and the in-memory
+//! direct runner.
+//!
+//! A data stream processing system supports the abstraction layer by
+//! providing a *runner* that translates the pipeline graph onto its own
+//! programming model (paper §II-A). The translations differ in maturity
+//! and in how well the engine's model matches the Dataflow model — the
+//! paper's central finding is that those differences make the layer's
+//! overhead engine-specific and unpredictable.
+//!
+//! | Runner | Engine | Bundles | GroupByKey | Notes |
+//! |---|---|---|---|---|
+//! | [`DirectRunner`] | none (in-memory) | whole input | yes | reference semantics, any DAG shape |
+//! | [`RillRunner`] | `rill` (Flink analog) | whole stream | yes | one engine operator per stage |
+//! | [`DStreamRunner`] | `dstream` (Spark analog) | micro-batch partition | **no** | repartitions every batch to honour parallelism |
+//! | [`ApxRunner`] | `apx` (Apex analog) | **single element** | no | one container per stage, envelope serialization per hop |
+
+mod apx_runner;
+mod direct;
+mod dstream_runner;
+mod rill_runner;
+
+pub use apx_runner::ApxRunner;
+pub use direct::DirectRunner;
+pub use dstream_runner::DStreamRunner;
+pub use rill_runner::RillRunner;
+
+use crate::coder::Coder;
+use crate::error::{Error, Result};
+use crate::graph::{NodeId, RawElement};
+use crate::pipeline::{PCollection, Pipeline};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Engine-specific execution details attached to a [`PipelineResult`].
+#[derive(Debug)]
+pub enum EngineReport {
+    /// Direct (in-memory) execution.
+    Direct,
+    /// rill job result.
+    Rill(rill::JobResult),
+    /// dstream streaming report.
+    DStream(dstream::StreamingReport),
+    /// apx application result.
+    Apx(apx::AppResult),
+}
+
+/// Outcome of a pipeline run.
+#[derive(Debug)]
+pub struct PipelineResult {
+    /// Wall-clock execution time.
+    pub duration: Duration,
+    /// Engine-specific details.
+    pub engine: EngineReport,
+    /// Collections materialized by the runner (direct runner only).
+    materialized: HashMap<NodeId, Vec<RawElement>>,
+}
+
+impl PipelineResult {
+    pub(crate) fn new(
+        duration: Duration,
+        engine: EngineReport,
+        materialized: HashMap<NodeId, Vec<RawElement>>,
+    ) -> Self {
+        PipelineResult { duration, engine, materialized }
+    }
+
+    /// Raw materialized elements of a collection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotMaterialized`] when the runner did not keep
+    /// this collection (engine runners materialize nothing).
+    pub fn raw_of<T>(&self, pc: &PCollection<T>) -> Result<&[RawElement]>
+    where
+        T: Send + 'static,
+    {
+        self.materialized
+            .get(&pc.node())
+            .map(Vec::as_slice)
+            .ok_or(Error::NotMaterialized)
+    }
+
+    /// Decodes the materialized elements of a collection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotMaterialized`] or a [`Error::Coder`] failure.
+    pub fn collect_of<T>(&self, pc: &PCollection<T>) -> Result<Vec<T>>
+    where
+        T: Send + 'static,
+    {
+        let coder: std::sync::Arc<dyn Coder<T>> = pc.coder();
+        self.raw_of(pc)?
+            .iter()
+            .map(|e| coder.decode_all(&e.value).map_err(Error::from))
+            .collect()
+    }
+}
+
+/// Executes pipelines.
+pub trait PipelineRunner {
+    /// Runs the pipeline to completion (all inputs are bounded).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnsupportedTransform`] / [`Error::UnsupportedShape`]
+    /// when the runner cannot translate the pipeline, and
+    /// [`Error::Engine`] for execution failures.
+    fn run(&self, pipeline: &Pipeline) -> Result<PipelineResult>;
+
+    /// The runner's display name.
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,316 @@
+//! The `rill` (Flink-analog) runner.
+//!
+//! Translates each pipeline stage onto one `rill` operator over raw
+//! elements. The translated job is what the paper's Fig. 13 shows for
+//! Apache Flink: a source named
+//! `PTransformTranslation.UnknownRawPTransform`, the KafkaIO `Flat Map`,
+//! and a `ParDoTranslation.RawParDo` per remaining stage — compared to
+//! the three-node native plan of Fig. 12. Elements cross every stage in
+//! coded form, so each stage pays a decode/encode round trip that native
+//! rill programs do not.
+
+use crate::element::WindowRef;
+use crate::error::{Error, Result};
+use crate::graph::{DoFnFactory, RawDoFn, RawElement, SourceFactory, StagePayload};
+use crate::pipeline::Pipeline;
+use crate::runners::{EngineReport, PipelineResult, PipelineRunner};
+use crate::coder::{Coder, WindowedValueCoder};
+use rill::{ClusterSpec, Collector, DataStream, ParallelSource, SourceFunction,
+    StreamExecutionEnvironment};
+use std::collections::HashMap;
+
+/// Runs pipelines on a [`rill`] cluster.
+#[derive(Debug, Clone)]
+pub struct RillRunner {
+    parallelism: usize,
+    cluster: ClusterSpec,
+}
+
+impl Default for RillRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RillRunner {
+    /// Creates a runner with parallelism 1 on a local cluster.
+    pub fn new() -> Self {
+        RillRunner { parallelism: 1, cluster: ClusterSpec::local() }
+    }
+
+    /// Sets the job parallelism (the `-p` flag of paper §III-A2).
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism.max(1);
+        self
+    }
+
+    /// Sets the cluster shape.
+    pub fn with_cluster(mut self, cluster: ClusterSpec) -> Self {
+        self.cluster = cluster;
+        self
+    }
+
+    /// Translates the pipeline and returns the engine execution plan
+    /// without running it — the Fig. 13 view.
+    ///
+    /// # Errors
+    ///
+    /// Same translation errors as [`PipelineRunner::run`].
+    pub fn plan(&self, pipeline: &Pipeline) -> Result<rill::ExecutionPlan> {
+        let env = self.translate(pipeline)?;
+        Ok(env.execution_plan())
+    }
+
+    fn translate(&self, pipeline: &Pipeline) -> Result<StreamExecutionEnvironment> {
+        #[derive(Clone)]
+        enum Stage {
+            ParDo { translated: String, factory: DoFnFactory, leaf: bool },
+            GroupByKey,
+        }
+        let (source, source_name, stages) = pipeline.with_graph(|graph| -> Result<_> {
+            let chain = graph.linear_chain().ok_or_else(|| Error::UnsupportedShape {
+                runner: "rill",
+                reason: "only linear single-source pipelines are translatable".into(),
+            })?;
+            let first = graph.node(chain[0]).expect("chain node");
+            let StagePayload::Read(source) = &first.payload else {
+                return Err(Error::InvalidPipeline(
+                    "pipeline must start with a Read".into(),
+                ));
+            };
+            let mut stages = Vec::new();
+            for (i, id) in chain.iter().enumerate().skip(1) {
+                let node = graph.node(*id).expect("chain node");
+                let leaf = i == chain.len() - 1;
+                match &node.payload {
+                    StagePayload::ParDo(factory) => stages.push(Stage::ParDo {
+                        translated: node.translated_name.clone(),
+                        factory: factory.clone(),
+                        leaf,
+                    }),
+                    StagePayload::GroupByKey => stages.push(Stage::GroupByKey),
+                    StagePayload::Read(_) => {
+                        return Err(Error::InvalidPipeline("Read mid-pipeline".into()))
+                    }
+                    StagePayload::Flatten(_) => {
+                        return Err(Error::UnsupportedShape {
+                            runner: "rill",
+                            reason: "Flatten is not translatable on a linear chain".into(),
+                        })
+                    }
+                }
+            }
+            Ok((source.clone(), first.translated_name.clone(), stages))
+        })?;
+
+        let env = StreamExecutionEnvironment::with_cluster(self.cluster);
+        env.set_parallelism(self.parallelism);
+        let mut stream: Option<DataStream<RawElement>> = Some(
+            env.add_source(RawSourceAdapter { factory: source, name: source_name }),
+        );
+        for stage in stages {
+            let current = stream.take().expect("stages after the leaf were rejected");
+            match stage {
+                Stage::ParDo { translated, factory, leaf } if !leaf => {
+                    stream = Some(current.transform(&translated, move |col| {
+                        // The engine serializes elements between the
+                        // translated operators (Beam-on-Flink disables
+                        // object reuse, so every chained handoff passes
+                        // the type serializer): a full envelope round
+                        // trip per element per boundary.
+                        Box::new(RawDoFnCollector {
+                            dofn: Some(factory()),
+                            downstream: SerializedBoundary { downstream: col },
+                        })
+                    }));
+                }
+                Stage::ParDo { translated, factory, leaf: _ } => {
+                    current.add_sink(RawDoFnSink { factory, name: translated });
+                }
+                Stage::GroupByKey => {
+                    stream = Some(
+                        current
+                            .key_by(|e: &RawElement| {
+                                let key = crate::coder::split_encoded_kv(&e.value)
+                                    .map(|(k, _)| k)
+                                    .unwrap_or_default();
+                                (e.window, key)
+                            })
+                            .collect_groups()
+                            .rename("GroupByKey")
+                            .map(|(slot, group): ((WindowRef, Vec<u8>), Vec<RawElement>)| {
+                                assemble_group(slot, group)
+                            })
+                            .rename("GroupByKey.Assemble"),
+                    );
+                }
+            }
+        }
+        if let Some(dangling) = stream {
+            // Pipelines whose last stage is not a ParDo (e.g. ending in a
+            // GroupByKey) still need a sink to be a valid engine job.
+            dangling.add_sink(DiscardSink);
+        }
+        Ok(env)
+    }
+}
+
+fn assemble_group(slot: (WindowRef, Vec<u8>), group: Vec<RawElement>) -> RawElement {
+    let (window, key) = slot;
+    let mut iterable = Vec::new();
+    crate::coder::put_varint(group.len() as u64, &mut iterable);
+    for element in &group {
+        let value = crate::coder::split_encoded_kv(&element.value)
+            .map(|(_, v)| v)
+            .unwrap_or_default();
+        crate::coder::put_varint(value.len() as u64, &mut iterable);
+        iterable.extend_from_slice(&value);
+    }
+    RawElement {
+        value: crate::coder::join_encoded_kv(&key, &iterable),
+        timestamp: window.max_timestamp(),
+        window,
+        pane: crate::element::PaneInfo::ON_TIME_AND_ONLY,
+    }
+}
+
+impl PipelineRunner for RillRunner {
+    fn run(&self, pipeline: &Pipeline) -> Result<PipelineResult> {
+        let env = self.translate(pipeline)?;
+        let job = env
+            .execute("beamline")
+            .map_err(|e| Error::Engine(e.to_string()))?;
+        Ok(PipelineResult::new(job.duration, EngineReport::Rill(job), HashMap::new()))
+    }
+
+    fn name(&self) -> &'static str {
+        "rill"
+    }
+}
+
+/// Adapts a pipeline [`RawSource`](crate::graph::RawSource) to a rill
+/// source. Beam sources are not split across subtasks by this runner:
+/// subtask 0 reads everything (with a single-partition input topic there
+/// is nothing to split anyway).
+struct RawSourceAdapter {
+    factory: SourceFactory,
+    name: String,
+}
+
+impl ParallelSource<RawElement> for RawSourceAdapter {
+    fn create(&self, subtask: usize, _parallelism: usize) -> Box<dyn SourceFunction<RawElement>> {
+        Box::new(RawSourceInstance {
+            factory: if subtask == 0 { Some(self.factory.clone()) } else { None },
+        })
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+struct RawSourceInstance {
+    factory: Option<SourceFactory>,
+}
+
+impl SourceFunction<RawElement> for RawSourceInstance {
+    fn run(&mut self, out: &mut dyn Collector<RawElement>) {
+        if let Some(factory) = &self.factory {
+            factory().read(&mut |e| out.collect(e));
+        }
+    }
+}
+
+/// Serializes every element through the windowed-value envelope coder and
+/// back before handing it downstream — the per-boundary serialization the
+/// engine applies to translated operators.
+struct SerializedBoundary<C> {
+    downstream: C,
+}
+
+impl<C: Collector<RawElement>> Collector<RawElement> for SerializedBoundary<C> {
+    fn collect(&mut self, item: RawElement) {
+        let encoded = WindowedValueCoder.encode_to_vec(&item);
+        let decoded = WindowedValueCoder
+            .decode_all(&encoded)
+            .expect("envelope encoded by the same coder");
+        self.downstream.collect(decoded);
+    }
+
+    fn close(&mut self) {
+        self.downstream.close();
+    }
+}
+
+/// rill collector wrapping a [`RawDoFn`]; the whole stream is one bundle.
+struct RawDoFnCollector<C> {
+    dofn: Option<Box<dyn RawDoFn>>,
+    downstream: C,
+}
+
+impl<C: Collector<RawElement>> Collector<RawElement> for RawDoFnCollector<C> {
+    fn collect(&mut self, item: RawElement) {
+        let dofn = self.dofn.as_mut().expect("dofn live until close");
+        let downstream = &mut self.downstream;
+        dofn.process(item, &mut |e| downstream.collect(e));
+    }
+
+    fn close(&mut self) {
+        if let Some(mut dofn) = self.dofn.take() {
+            let downstream = &mut self.downstream;
+            dofn.finish_bundle(&mut |e| downstream.collect(e));
+        }
+        self.downstream.close();
+    }
+}
+
+/// Terminal rill sink driving a leaf [`RawDoFn`] (typically the broker
+/// write); the paper notes the Beam plan has no dedicated sink — the
+/// write is just another ParDo, and this sink carries its name.
+struct RawDoFnSink {
+    factory: DoFnFactory,
+    name: String,
+}
+
+impl rill::ParallelSink<RawElement> for RawDoFnSink {
+    fn create(&self, _subtask: usize, _parallelism: usize) -> Box<dyn rill::SinkFunction<RawElement>> {
+        let mut dofn = (self.factory)();
+        dofn.start_bundle();
+        Box::new(RawDoFnSinkInstance { dofn: Some(dofn) })
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+struct RawDoFnSinkInstance {
+    dofn: Option<Box<dyn RawDoFn>>,
+}
+
+impl rill::SinkFunction<RawElement> for RawDoFnSinkInstance {
+    fn invoke(&mut self, item: RawElement) {
+        if let Some(dofn) = self.dofn.as_mut() {
+            dofn.process(item, &mut |_| {});
+        }
+    }
+
+    fn close(&mut self) {
+        if let Some(mut dofn) = self.dofn.take() {
+            dofn.finish_bundle(&mut |_| {});
+        }
+    }
+}
+
+/// Discards elements; used to terminate non-ParDo leaves.
+struct DiscardSink;
+
+impl rill::ParallelSink<RawElement> for DiscardSink {
+    fn create(&self, _subtask: usize, _parallelism: usize) -> Box<dyn rill::SinkFunction<RawElement>> {
+        struct Instance;
+        impl rill::SinkFunction<RawElement> for Instance {
+            fn invoke(&mut self, _item: RawElement) {}
+        }
+        Box::new(Instance)
+    }
+}

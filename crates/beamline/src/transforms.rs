@@ -1,0 +1,383 @@
+//! Core transforms: `Create`, `MapElements`, `Filter`, `FlatMapElements`,
+//! key/value helpers, `Flatten`, and `GroupByKey`.
+
+use crate::coder::{
+    BytesCoder, Coder, IterableCoder, KvCoder, StrUtf8Coder, VarIntCoder,
+};
+use crate::element::{Kv, WindowedValue};
+use crate::graph::{RawEmit, RawSource, StagePayload};
+use crate::pardo::{DoFn, FnDoFn, ParDo, ProcessContext};
+use crate::pipeline::{PCollection, PTransform, Pipeline, RootTransform};
+use bytes::Bytes;
+use std::sync::Arc;
+
+/// Creates a bounded collection from in-memory values (Beam's `Create`).
+pub struct Create<T> {
+    items: Vec<T>,
+    coder: Arc<dyn Coder<T>>,
+}
+
+impl<T> Create<T> {
+    /// Creates from items and an explicit coder.
+    pub fn of(items: Vec<T>, coder: Arc<dyn Coder<T>>) -> Self {
+        Create { items, coder }
+    }
+}
+
+impl Create<String> {
+    /// Creates a collection of strings.
+    pub fn strings(items: Vec<String>) -> Self {
+        Create::of(items, Arc::new(StrUtf8Coder))
+    }
+}
+
+impl Create<i64> {
+    /// Creates a collection of integers.
+    pub fn i64s(items: Vec<i64>) -> Self {
+        Create::of(items, Arc::new(VarIntCoder))
+    }
+}
+
+impl Create<Bytes> {
+    /// Creates a collection of byte payloads.
+    pub fn bytes(items: Vec<Bytes>) -> Self {
+        Create::of(items, Arc::new(BytesCoder))
+    }
+}
+
+struct CreateSource {
+    encoded: Arc<Vec<Vec<u8>>>,
+}
+
+impl RawSource for CreateSource {
+    fn read(&mut self, emit: RawEmit<'_>) {
+        for item in self.encoded.iter() {
+            emit(WindowedValue::in_global_window(item.clone()));
+        }
+    }
+}
+
+impl<T: Send + Sync + 'static> RootTransform<T> for Create<T> {
+    fn expand(self, pipeline: &Pipeline) -> PCollection<T> {
+        let encoded =
+            Arc::new(self.items.iter().map(|t| self.coder.encode_to_vec(t)).collect::<Vec<_>>());
+        let factory: Arc<dyn Fn() -> Box<dyn RawSource> + Send + Sync> = Arc::new(move || {
+            Box::new(CreateSource { encoded: encoded.clone() }) as Box<dyn RawSource>
+        });
+        let node = pipeline.add_stage(
+            "Create",
+            "Source: PTransformTranslation.UnknownRawPTransform",
+            StagePayload::Read(factory),
+            None,
+        );
+        PCollection::new(pipeline.clone(), node, self.coder)
+    }
+}
+
+/// One-to-one mapping with an explicit output coder.
+pub struct MapElements<F, O> {
+    name: String,
+    f: F,
+    out_coder: Arc<dyn Coder<O>>,
+}
+
+impl<F, O> MapElements<F, O> {
+    /// Creates a map transform.
+    pub fn new(name: impl Into<String>, f: F, out_coder: Arc<dyn Coder<O>>) -> Self {
+        MapElements { name: name.into(), f, out_coder }
+    }
+}
+
+impl<F> MapElements<F, String> {
+    /// Maps into strings.
+    pub fn into_string(name: impl Into<String>, f: F) -> Self {
+        MapElements::new(name, f, Arc::new(StrUtf8Coder))
+    }
+}
+
+impl<F> MapElements<F, i64> {
+    /// Maps into integers.
+    pub fn into_i64(name: impl Into<String>, f: F) -> Self {
+        MapElements::new(name, f, Arc::new(VarIntCoder))
+    }
+}
+
+impl<F> MapElements<F, Bytes> {
+    /// Maps into byte payloads.
+    pub fn into_bytes(name: impl Into<String>, f: F) -> Self {
+        MapElements::new(name, f, Arc::new(BytesCoder))
+    }
+}
+
+impl<I, O, F> PTransform<I, O> for MapElements<F, O>
+where
+    I: Send + 'static,
+    O: Send + 'static,
+    F: Fn(I) -> O + Send + Sync + Clone + 'static,
+{
+    fn expand(self, input: &PCollection<I>) -> PCollection<O> {
+        let f = self.f;
+        let dofn = FnDoFn::new(move |element: I, ctx: &mut ProcessContext<'_, O>| {
+            ctx.output(f(element));
+        });
+        ParDo::of(self.name, dofn, self.out_coder).expand(input)
+    }
+}
+
+/// Keeps elements satisfying a predicate.
+pub struct Filter<F> {
+    name: String,
+    predicate: F,
+}
+
+impl<F> Filter<F> {
+    /// Creates a filter transform.
+    pub fn new(name: impl Into<String>, predicate: F) -> Self {
+        Filter { name: name.into(), predicate }
+    }
+}
+
+impl<T, F> PTransform<T, T> for Filter<F>
+where
+    T: Send + 'static,
+    F: Fn(&T) -> bool + Send + Sync + Clone + 'static,
+{
+    fn expand(self, input: &PCollection<T>) -> PCollection<T> {
+        let predicate = self.predicate;
+        let dofn = FnDoFn::new(move |element: T, ctx: &mut ProcessContext<'_, T>| {
+            if predicate(&element) {
+                ctx.output(element);
+            }
+        });
+        ParDo::of(self.name, dofn, input.coder()).expand(input)
+    }
+}
+
+/// One-to-many mapping with an explicit output coder.
+pub struct FlatMapElements<F, O> {
+    name: String,
+    f: F,
+    out_coder: Arc<dyn Coder<O>>,
+}
+
+impl<F, O> FlatMapElements<F, O> {
+    /// Creates a flat-map transform.
+    pub fn new(name: impl Into<String>, f: F, out_coder: Arc<dyn Coder<O>>) -> Self {
+        FlatMapElements { name: name.into(), f, out_coder }
+    }
+}
+
+impl<F> FlatMapElements<F, String> {
+    /// Flat-maps into strings.
+    pub fn into_strings(name: impl Into<String>, f: F) -> Self {
+        FlatMapElements::new(name, f, Arc::new(StrUtf8Coder))
+    }
+}
+
+impl<I, O, F, It> PTransform<I, O> for FlatMapElements<F, O>
+where
+    I: Send + 'static,
+    O: Send + 'static,
+    It: IntoIterator<Item = O>,
+    F: Fn(I) -> It + Send + Sync + Clone + 'static,
+{
+    fn expand(self, input: &PCollection<I>) -> PCollection<O> {
+        let f = self.f;
+        let dofn = FnDoFn::new(move |element: I, ctx: &mut ProcessContext<'_, O>| {
+            for out in f(element) {
+                ctx.output(out);
+            }
+        });
+        ParDo::of(self.name, dofn, self.out_coder).expand(input)
+    }
+}
+
+/// Extracts the values of a KV collection (Beam's `Values.create()`).
+pub struct Values<V> {
+    value_coder: Arc<dyn Coder<V>>,
+}
+
+impl<V> Values<V> {
+    /// Creates the transform with the value coder.
+    pub fn create(value_coder: Arc<dyn Coder<V>>) -> Self {
+        Values { value_coder }
+    }
+}
+
+impl<K, V> PTransform<Kv<K, V>, V> for Values<V>
+where
+    K: Send + 'static,
+    V: Send + 'static,
+{
+    fn expand(self, input: &PCollection<Kv<K, V>>) -> PCollection<V> {
+        MapElements::new("Values", |kv: Kv<K, V>| kv.value, self.value_coder).expand(input)
+    }
+}
+
+/// Extracts the keys of a KV collection.
+pub struct Keys<K> {
+    key_coder: Arc<dyn Coder<K>>,
+}
+
+impl<K> Keys<K> {
+    /// Creates the transform with the key coder.
+    pub fn create(key_coder: Arc<dyn Coder<K>>) -> Self {
+        Keys { key_coder }
+    }
+}
+
+impl<K, V> PTransform<Kv<K, V>, K> for Keys<K>
+where
+    K: Send + 'static,
+    V: Send + 'static,
+{
+    fn expand(self, input: &PCollection<Kv<K, V>>) -> PCollection<K> {
+        MapElements::new("Keys", |kv: Kv<K, V>| kv.key, self.key_coder).expand(input)
+    }
+}
+
+/// Pairs every element with a computed key.
+pub struct WithKeys<F, K> {
+    key_fn: F,
+    key_coder: Arc<dyn Coder<K>>,
+}
+
+impl<F, K> WithKeys<F, K> {
+    /// Creates the transform from a key function and key coder.
+    pub fn of(key_fn: F, key_coder: Arc<dyn Coder<K>>) -> Self {
+        WithKeys { key_fn, key_coder }
+    }
+}
+
+impl<T, K, F> PTransform<T, Kv<K, T>> for WithKeys<F, K>
+where
+    T: Send + Sync + 'static,
+    K: Send + Sync + 'static,
+    F: Fn(&T) -> K + Send + Sync + Clone + 'static,
+{
+    fn expand(self, input: &PCollection<T>) -> PCollection<Kv<K, T>> {
+        let out_coder = Arc::new(KvCoder::new(self.key_coder, input.coder()));
+        let key_fn = self.key_fn;
+        MapElements::new(
+            "WithKeys",
+            move |t: T| {
+                let key = key_fn(&t);
+                Kv::new(key, t)
+            },
+            out_coder,
+        )
+        .expand(input)
+    }
+}
+
+/// Merges multiple collections of the same type into one.
+pub struct Flatten;
+
+impl Flatten {
+    /// Flattens `collections` into a single collection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `collections` is empty.
+    pub fn collections<T: Send + 'static>(collections: &[PCollection<T>]) -> PCollection<T> {
+        let (first, rest) =
+            collections.split_first().expect("Flatten requires at least one collection");
+        let extra = rest.iter().map(PCollection::node).collect();
+        let node = first.pipeline().add_stage(
+            "Flatten",
+            "Flatten",
+            StagePayload::Flatten(extra),
+            Some(first.node()),
+        );
+        PCollection::new(first.pipeline().clone(), node, first.coder())
+    }
+}
+
+/// Groups KV elements by key within each window (the `GroupByKey` core
+/// transform). For use on unbounded data a non-global windowing or
+/// trigger is required (paper §II-A); bounded pipelines group in the
+/// global window.
+pub struct GroupByKey<K, V> {
+    key_coder: Arc<dyn Coder<K>>,
+    value_coder: Arc<dyn Coder<V>>,
+}
+
+impl<K, V> GroupByKey<K, V> {
+    /// Creates the transform from the component coders of the input's
+    /// `KvCoder`.
+    pub fn create(key_coder: Arc<dyn Coder<K>>, value_coder: Arc<dyn Coder<V>>) -> Self {
+        GroupByKey { key_coder, value_coder }
+    }
+}
+
+impl<K, V> PTransform<Kv<K, V>, Kv<K, Vec<V>>> for GroupByKey<K, V>
+where
+    K: Send + Sync + 'static,
+    V: Send + Sync + 'static,
+{
+    fn expand(self, input: &PCollection<Kv<K, V>>) -> PCollection<Kv<K, Vec<V>>> {
+        let node = input.pipeline().add_stage(
+            "GroupByKey",
+            "GroupByKey",
+            StagePayload::GroupByKey,
+            Some(input.node()),
+        );
+        let out_coder = Arc::new(KvCoder::new(
+            self.key_coder,
+            Arc::new(IterableCoder::new(self.value_coder)) as Arc<dyn Coder<Vec<V>>>,
+        ));
+        PCollection::new(input.pipeline().clone(), node, out_coder)
+    }
+}
+
+/// A `DoFn`-level identity useful in tests and plan-shape fixtures.
+pub fn identity_dofn<T: Send + 'static>() -> impl DoFn<T, T> {
+    FnDoFn::new(|element: T, ctx: &mut ProcessContext<'_, T>| ctx.output(element))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_counts_stages() {
+        let p = Pipeline::new();
+        let strings = p.apply(Create::strings(vec!["a".into(), "bb".into()]));
+        let lengths = strings.apply(MapElements::into_i64("Len", |s: String| s.len() as i64));
+        let _pos = lengths.apply(Filter::new("Positive", |x: &i64| *x > 1));
+        assert_eq!(p.stage_count(), 3);
+        p.with_graph(|g| {
+            assert_eq!(g.nodes()[1].translated_name, crate::pardo::RAW_PAR_DO);
+            assert_eq!(g.nodes()[1].name, "Len");
+            assert!(g.linear_chain().is_some());
+        });
+    }
+
+    #[test]
+    fn group_by_key_stage_and_coder() {
+        let p = Pipeline::new();
+        let kvs = p
+            .apply(Create::strings(vec!["a 1".into()]))
+            .apply(WithKeys::of(|s: &String| s.clone(), Arc::new(StrUtf8Coder)));
+        let grouped =
+            kvs.apply(GroupByKey::create(Arc::new(StrUtf8Coder), Arc::new(StrUtf8Coder)));
+        assert_eq!(p.stage_count(), 3);
+        // The output coder round-trips grouped values.
+        let kv = Kv::new("k".to_string(), vec!["v1".to_string(), "v2".to_string()]);
+        let coder = grouped.coder();
+        assert_eq!(coder.decode_all(&coder.encode_to_vec(&kv)).unwrap(), kv);
+    }
+
+    #[test]
+    fn flatten_merges_nodes() {
+        let p = Pipeline::new();
+        let a = p.apply(Create::i64s(vec![1]));
+        let b = p.apply(Create::i64s(vec![2]));
+        let merged = Flatten::collections(&[a, b]);
+        assert_eq!(p.stage_count(), 3);
+        p.with_graph(|g| {
+            assert_eq!(g.consumers(merged.node()).len(), 0);
+            assert!(g.linear_chain().is_none());
+        });
+    }
+}

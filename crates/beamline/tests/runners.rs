@@ -1,0 +1,229 @@
+//! Cross-runner equivalence: the same pipeline produces the same output
+//! topic contents on every runner — the abstraction layer's functional
+//! promise, which makes its performance cost measurable in isolation.
+
+use beamline::runners::{ApxRunner, DStreamRunner, DirectRunner, RillRunner};
+use beamline::{
+    BrokerIO, BytesCoder, Error, Filter, GroupByKey, MapElements, Pipeline, PipelineRunner,
+    StrUtf8Coder, Values, WithKeys, WithoutMetadata,
+};
+use bytes::Bytes;
+use logbus::{Broker, Producer, Record, TopicConfig};
+use std::sync::Arc;
+
+fn broker_with_input(records: usize) -> Broker {
+    let broker = Broker::new();
+    broker.create_topic("in", TopicConfig::default()).unwrap();
+    broker.create_topic("out", TopicConfig::default()).unwrap();
+    let mut producer = Producer::new(broker.clone());
+    for i in 0..records {
+        let marker = if i % 7 == 0 { "test" } else { "data" };
+        producer
+            .send("in", Record::from_value(format!("user{i}\t{marker} query {i}")))
+            .unwrap();
+    }
+    producer.flush().unwrap();
+    broker
+}
+
+/// The grep-shaped pipeline of the paper's Fig. 13: read, drop metadata,
+/// take values, filter, format, write — seven erased stages.
+fn grep_pipeline(broker: &Broker) -> Pipeline {
+    let pipeline = Pipeline::new();
+    pipeline
+        .apply(BrokerIO::read(broker.clone(), "in"))
+        .apply(WithoutMetadata::new())
+        .apply(Values::create(Arc::new(BytesCoder)))
+        .apply(Filter::new("Grep", |value: &Bytes| {
+            value.windows(4).any(|w| w == b"test")
+        }))
+        .apply(MapElements::into_bytes("Format", |value: Bytes| value))
+        .apply(BrokerIO::write(broker.clone(), "out"));
+    pipeline
+}
+
+fn output_values(broker: &Broker) -> Vec<Vec<u8>> {
+    let n = broker.latest_offset("out", 0).unwrap();
+    broker
+        .fetch("out", 0, 0, n as usize)
+        .unwrap()
+        .into_iter()
+        .map(|r| r.record.value.to_vec())
+        .collect()
+}
+
+fn reset_output(broker: &Broker) {
+    broker.delete_topic("out").unwrap();
+    broker.create_topic("out", TopicConfig::default()).unwrap();
+}
+
+#[test]
+fn grep_pipeline_has_seven_stages() {
+    let broker = broker_with_input(1);
+    let pipeline = grep_pipeline(&broker);
+    assert_eq!(pipeline.stage_count(), 7, "paper Fig. 13: seven plan elements");
+}
+
+#[test]
+fn all_runners_agree_on_grep() {
+    let broker = broker_with_input(200);
+    let expected: Vec<Vec<u8>> = (0..200)
+        .filter(|i| i % 7 == 0)
+        .map(|i| format!("user{i}\ttest query {i}").into_bytes())
+        .collect();
+
+    let runners: Vec<Box<dyn PipelineRunner>> = vec![
+        Box::new(DirectRunner::new()),
+        Box::new(RillRunner::new()),
+        Box::new(DStreamRunner::new().with_batch_records(64)),
+        Box::new(ApxRunner::new().with_window_size(32)),
+    ];
+    for runner in runners {
+        reset_output(&broker);
+        let pipeline = grep_pipeline(&broker);
+        runner
+            .run(&pipeline)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", runner.name()));
+        assert_eq!(output_values(&broker), expected, "runner {}", runner.name());
+    }
+}
+
+#[test]
+fn parallel_runners_agree_on_grep() {
+    let broker = broker_with_input(150);
+    let expected: Vec<Vec<u8>> = (0..150)
+        .filter(|i| i % 7 == 0)
+        .map(|i| format!("user{i}\ttest query {i}").into_bytes())
+        .collect();
+
+    // Parallelism 2, as in the paper's second setup per system.
+    let runners: Vec<Box<dyn PipelineRunner>> = vec![
+        Box::new(RillRunner::new().with_parallelism(2)),
+        Box::new(DStreamRunner::new().with_parallelism(2).with_batch_records(64)),
+        Box::new(ApxRunner::new().with_vcores(2).with_window_size(32)),
+    ];
+    for runner in runners {
+        reset_output(&broker);
+        let pipeline = grep_pipeline(&broker);
+        runner
+            .run(&pipeline)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", runner.name()));
+        let mut got = output_values(&broker);
+        let mut want = expected.clone();
+        // Parallel execution may reorder across subtasks.
+        got.sort();
+        want.sort();
+        assert_eq!(got, want, "runner {}", runner.name());
+    }
+}
+
+#[test]
+fn rill_plan_matches_figure_13() {
+    let broker = broker_with_input(1);
+    let pipeline = grep_pipeline(&broker);
+    let plan = RillRunner::new().plan(&pipeline).unwrap();
+    assert_eq!(plan.element_count(), 7, "Fig. 13: seven plan elements");
+    assert_eq!(
+        plan.nodes()[0].name,
+        "Source: PTransformTranslation.UnknownRawPTransform"
+    );
+    assert_eq!(plan.nodes()[1].name, "Flat Map");
+    assert_eq!(plan.nodes_named_like("ParDoTranslation.RawParDo").len(), 5);
+    assert!(plan.nodes().iter().all(|n| n.parallelism == 1));
+}
+
+#[test]
+fn group_by_key_supported_matrix() {
+    // GroupByKey runs on the direct and rill runners but is rejected by
+    // the micro-batch and apx runners — the capability gap that made the
+    // paper exclude stateful queries.
+    let build = |broker: &Broker| {
+        let pipeline = Pipeline::new();
+        pipeline
+            .apply(BrokerIO::read(broker.clone(), "in"))
+            .apply(WithoutMetadata::new())
+            .apply(Values::create(Arc::new(BytesCoder)))
+            .apply(MapElements::into_string("ToString", |v: Bytes| {
+                String::from_utf8_lossy(&v).into_owned()
+            }))
+            .apply(WithKeys::of(
+                |s: &String| s.split('\t').next().unwrap_or("").to_string(),
+                Arc::new(StrUtf8Coder),
+            ))
+            .apply(GroupByKey::create(Arc::new(StrUtf8Coder), Arc::new(StrUtf8Coder)))
+            .apply(MapElements::into_string("CountValues", |kv: beamline::Kv<String, Vec<String>>| {
+                format!("{}\t{}", kv.key, kv.value.len())
+            }))
+            .apply(MapElements::into_bytes("Encode", |s: String| Bytes::from(s)))
+            .apply(BrokerIO::write(broker.clone(), "out"));
+        pipeline
+    };
+
+    let broker = broker_with_input(50);
+    // Direct runner.
+    reset_output(&broker);
+    DirectRunner::new().run(&build(&broker)).unwrap();
+    let direct_out = {
+        let mut v = output_values(&broker);
+        v.sort();
+        v
+    };
+    assert_eq!(direct_out.len(), 50, "every user key is unique");
+
+    // rill runner agrees.
+    reset_output(&broker);
+    RillRunner::new().run(&build(&broker)).unwrap();
+    let rill_out = {
+        let mut v = output_values(&broker);
+        v.sort();
+        v
+    };
+    assert_eq!(rill_out, direct_out);
+
+    // Micro-batch and apx runners reject it.
+    for (runner, name) in [
+        (Box::new(DStreamRunner::new()) as Box<dyn PipelineRunner>, "dstream"),
+        (Box::new(ApxRunner::new()) as Box<dyn PipelineRunner>, "apx"),
+    ] {
+        let err = runner.run(&build(&broker)).unwrap_err();
+        match err {
+            Error::UnsupportedTransform { runner, transform } => {
+                assert_eq!(runner, name);
+                assert!(transform.contains("GroupByKey"));
+            }
+            other => panic!("{name}: unexpected error {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn non_linear_pipelines_rejected_by_engine_runners() {
+    let broker = broker_with_input(5);
+    let pipeline = Pipeline::new();
+    let records = pipeline.apply(BrokerIO::read(broker.clone(), "in"));
+    let values = records
+        .apply(WithoutMetadata::new())
+        .apply(Values::create(Arc::new(BytesCoder)));
+    // Fan-out: two writes from one collection.
+    values
+        .clone()
+        .apply(BrokerIO::write(broker.clone(), "out"));
+    values.apply(MapElements::into_bytes("Copy", |v: Bytes| v)).apply(BrokerIO::write(
+        broker.clone(),
+        "out",
+    ));
+    for runner in [
+        Box::new(RillRunner::new()) as Box<dyn PipelineRunner>,
+        Box::new(DStreamRunner::new()),
+        Box::new(ApxRunner::new()),
+    ] {
+        assert!(
+            matches!(runner.run(&pipeline), Err(Error::UnsupportedShape { .. })),
+            "runner {} should reject fan-out",
+            runner.name()
+        );
+    }
+    // The direct runner handles it.
+    DirectRunner::new().run(&pipeline).unwrap();
+    assert_eq!(output_values(&broker).len(), 10);
+}

@@ -1,0 +1,14 @@
+//! Figure 06: average execution times of the Identity query across the
+//! 12-setup matrix (3 systems x {native, Beam} x parallelism {1, 2}).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use streambench_core::Query;
+
+fn bench(c: &mut Criterion) {
+    common::bench_query_matrix(c, "fig06_identity", Query::Identity);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 11: the native-vs-Beam pairs whose ratio is the slowdown
+//! factor `sf(dsps, query)`. This bench measures each (system, api)
+//! pair per query at parallelism 1; the `reproduce` binary computes the
+//! full averaged factors.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::atomic::{AtomicU64, Ordering};
+use streambench_bench::{execute_setup_once, loaded_broker};
+use streambench_core::{Api, Query, Setup, System};
+
+static TAG: AtomicU64 = AtomicU64::new(1_000_000);
+
+fn bench(c: &mut Criterion) {
+    let broker = loaded_broker(common::RECORDS, common::LATENCY_MICROS);
+    let mut group = c.benchmark_group("fig11_slowdown");
+    common::configure(&mut group);
+    for query in Query::ALL {
+        for system in System::ALL {
+            for api in Api::ALL {
+                let setup = Setup { system, api, parallelism: 1 };
+                group.bench_function(format!("{query}/{}", setup.label()), |b| {
+                    b.iter(|| {
+                        let tag = TAG.fetch_add(1, Ordering::Relaxed);
+                        execute_setup_once(&broker, query, setup, tag)
+                    });
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

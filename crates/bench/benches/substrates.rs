@@ -1,0 +1,130 @@
+//! Substrate microbenchmarks: raw throughput of the broker and the three
+//! engines, independent of the benchmark queries.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static TAG: AtomicU64 = AtomicU64::new(0);
+
+const N: u64 = 10_000;
+
+fn broker_produce_fetch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_logbus");
+    group.throughput(Throughput::Elements(N));
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("produce_batched_512", |b| {
+        b.iter(|| {
+            let broker = logbus::Broker::new();
+            broker.create_topic("t", logbus::TopicConfig::default()).unwrap();
+            let mut producer = logbus::Producer::with_config(
+                broker.clone(),
+                logbus::ProducerConfig { batch_records: 512, ..Default::default() },
+            );
+            for i in 0..N {
+                producer.send("t", logbus::Record::from_value(format!("record-{i}"))).unwrap();
+            }
+            producer.flush().unwrap();
+        });
+    });
+    group.bench_function("fetch_2048", |b| {
+        let broker = logbus::Broker::new();
+        broker.create_topic("t", logbus::TopicConfig::default()).unwrap();
+        for i in 0..N {
+            broker.produce("t", 0, logbus::Record::from_value(format!("record-{i}"))).unwrap();
+        }
+        b.iter(|| {
+            let mut offset = 0;
+            let mut total = 0usize;
+            loop {
+                let batch = broker.fetch("t", 0, offset, 2048).unwrap();
+                if batch.is_empty() {
+                    break;
+                }
+                offset = batch.last().unwrap().offset + 1;
+                total += batch.len();
+            }
+            total
+        });
+    });
+    group.finish();
+}
+
+fn engines_identity(c: &mut Criterion) {
+    let broker = logbus::Broker::new();
+    broker.create_topic("input", logbus::TopicConfig::default()).unwrap();
+    let mut generator = streambench_core::QueryLogGenerator::new(1);
+    let mut producer = logbus::Producer::new(broker.clone());
+    for _ in 0..N {
+        producer.send("input", logbus::Record::from_value(generator.next_payload())).unwrap();
+    }
+    producer.flush().unwrap();
+
+    let fresh = |prefix: &str| {
+        let topic = format!("{prefix}-{}", TAG.fetch_add(1, Ordering::Relaxed));
+        broker.create_topic(&topic, logbus::TopicConfig::default()).unwrap();
+        topic
+    };
+
+    let mut group = c.benchmark_group("substrate_engines_identity");
+    group.throughput(Throughput::Elements(N));
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("rill", |b| {
+        b.iter(|| {
+            let out = fresh("rill");
+            let env = rill::StreamExecutionEnvironment::local();
+            env.add_source(rill::BrokerSource::new(broker.clone(), "input"))
+                .map(|v: Bytes| v)
+                .add_sink(rill::BrokerSink::new(broker.clone(), &out));
+            env.execute("identity").unwrap();
+        });
+    });
+    group.bench_function("dstream", |b| {
+        b.iter(|| {
+            let out = fresh("dstream");
+            let ssc = dstream::StreamingContext::new(dstream::Context::local());
+            ssc.broker_stream(broker.clone(), "input", 2_000)
+                .unwrap()
+                .map(|v: Bytes| v)
+                .save_to_broker(&ssc, broker.clone(), &out);
+            ssc.run_to_completion().unwrap();
+        });
+    });
+    group.bench_function("apx", |b| {
+        b.iter(|| {
+            let out = fresh("apx");
+            let mut rm = streambench_core::fresh_yarn_cluster();
+            let dag = apx::Dag::new("identity");
+            dag.add_input("in", apx::KafkaInput::new(broker.clone(), "input"))
+                .unwrap()
+                .add_operator::<Bytes, _>(
+                    "id",
+                    apx::PassThrough,
+                    apx::Link::Network(std::sync::Arc::new(apx::BytesCodec)),
+                )
+                .unwrap()
+                .add_output(
+                    "out",
+                    apx::KafkaOutput::new(broker.clone(), &out),
+                    apx::Link::Network(std::sync::Arc::new(apx::BytesCodec)),
+                )
+                .unwrap();
+            apx::Stram::run(&dag, &mut rm, &apx::StramConfig::default()).unwrap();
+        });
+    });
+    group.finish();
+}
+
+fn bench(c: &mut Criterion) {
+    broker_produce_fetch(c);
+    engines_identity(c);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Prints the execution plans of the paper's Figs. 12 and 13.
+//!
+//! ```sh
+//! cargo run -p streambench-bench --bin plans
+//! ```
+
+use logbus::{Broker, TopicConfig};
+use streambench_core::{beam_pipeline, queries, Query};
+
+fn main() {
+    let broker = Broker::new();
+    broker.create_topic("input", TopicConfig::default()).expect("create topic");
+    broker.create_topic("output", TopicConfig::default()).expect("create topic");
+
+    println!("=== Fig. 12: native grep execution plan ===");
+    let native = queries::native_rill_plan(&broker, Query::Grep);
+    print!("{native}");
+    println!("elements: {}\n", native.element_count());
+
+    println!("=== Fig. 13: abstraction-layer grep execution plan ===");
+    let pipeline = beam_pipeline(&broker, Query::Grep, "input", "output");
+    let plan = beamline::runners::RillRunner::new().plan(&pipeline).expect("translate");
+    print!("{plan}");
+    println!("elements: {}", plan.element_count());
+}

@@ -1,0 +1,160 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! ```sh
+//! # Everything (the per-experiment index of DESIGN.md):
+//! STREAMBENCH_RECORDS=50000 STREAMBENCH_RUNS=5 cargo run --release -p streambench-bench --bin reproduce -- all
+//! # Or a single artifact:
+//! cargo run --release -p streambench-bench --bin reproduce -- fig9
+//! ```
+//!
+//! Absolute numbers differ from the paper (this substrate is an
+//! in-process simulation, not a virtualized JVM cluster); the reproduced
+//! quantity is the *shape*: orderings, ratios, and where the exceptions
+//! fall. See EXPERIMENTS.md for the side-by-side record.
+
+use std::collections::BTreeMap;
+use streambench_core::{
+    report, Api, BenchConfig, BenchmarkRunner, Measurement, Query, System,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let target = args.first().map(String::as_str).unwrap_or("all");
+
+    match target {
+        "table1" => print!("{}", report::table_one()),
+        "table2" => print!("{}", report::table_two()),
+        "fig6" => figures(&[Query::Identity]),
+        "fig7" => figures(&[Query::Sample]),
+        "fig8" => figures(&[Query::Projection]),
+        "fig9" => figures(&[Query::Grep]),
+        "fig10" => fig10_and_table3(false),
+        "table3" => fig10_and_table3(true),
+        "fig11" => fig11(),
+        "all" => {
+            println!("=== Table I: system comparison ===");
+            print!("{}", report::table_one());
+            println!("\n=== Table II: benchmark queries ===");
+            print!("{}", report::table_two());
+            println!();
+            // One noise-off campaign feeds Figs. 6-9 and 11; the noisy
+            // campaign feeds Fig. 10 and Table III.
+            let measurements = campaign(&Query::ALL, false);
+            for query in Query::ALL {
+                let rows = report::average_times(&measurements, query);
+                println!(
+                    "{}",
+                    report::render_bars(
+                        &format!(
+                            "=== Fig. {}: average execution times — {query} query (s) ===",
+                            figure_number(query)
+                        ),
+                        &rows,
+                        "s"
+                    )
+                );
+            }
+            let mut rows = Vec::new();
+            for query in Query::ALL {
+                rows.extend(report::slowdown_factors(&measurements, query));
+            }
+            println!(
+                "{}",
+                report::render_bars(
+                    "=== Fig. 11: slowdown factor sf(dsps, query) ===",
+                    &rows,
+                    "x"
+                )
+            );
+            fig10_and_table3(true);
+        }
+        other => {
+            eprintln!(
+                "unknown target `{other}`; use table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|table3|all"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn campaign(queries: &[Query], noise: bool) -> Vec<Measurement> {
+    let mut config = BenchConfig::default();
+    if noise {
+        config = config.with_noise(2019);
+    }
+    eprintln!(
+        "running campaign: {} records, {} runs, parallelisms {:?}, noise {}",
+        config.records,
+        config.runs,
+        config.parallelisms,
+        if noise { "on" } else { "off" }
+    );
+    let runner = BenchmarkRunner::new(config);
+    let mut all = Vec::new();
+    for &query in queries {
+        eprintln!("  benchmarking {query} over the 12-setup matrix...");
+        all.extend(runner.run_query(query).expect("benchmark run"));
+    }
+    all
+}
+
+fn figure_number(query: Query) -> u32 {
+    match query {
+        Query::Identity => 6,
+        Query::Sample => 7,
+        Query::Projection => 8,
+        Query::Grep => 9,
+    }
+}
+
+fn figures(queries: &[Query]) {
+    let measurements = campaign(queries, false);
+    for &query in queries {
+        let rows = report::average_times(&measurements, query);
+        println!(
+            "{}",
+            report::render_bars(
+                &format!(
+                    "=== Fig. {}: average execution times — {query} query (s) ===",
+                    figure_number(query)
+                ),
+                &rows,
+                "s"
+            )
+        );
+    }
+}
+
+fn fig11() {
+    let measurements = campaign(&Query::ALL, false);
+    let mut rows = Vec::new();
+    for query in Query::ALL {
+        rows.extend(report::slowdown_factors(&measurements, query));
+    }
+    println!(
+        "{}",
+        report::render_bars("=== Fig. 11: slowdown factor sf(dsps, query) ===", &rows, "x")
+    );
+}
+
+fn fig10_and_table3(with_table3: bool) {
+    // The variance experiments run with the environment-noise model on:
+    // the paper's cluster had noisy neighbours, this substrate does not
+    // (see DESIGN.md).
+    let measurements = campaign(&Query::ALL, true);
+    let rows = report::relative_std_devs(&measurements);
+    println!(
+        "{}",
+        report::render_bars(
+            "=== Fig. 10: relative standard deviation per system-query-SDK ===",
+            &rows,
+            ""
+        )
+    );
+    if with_table3 {
+        let per_run: BTreeMap<usize, Vec<f64>> =
+            report::per_run_times(&measurements, System::Rill, Api::Native, Query::Identity);
+        println!("=== Table III: per-run identity times on the Flink analog ===");
+        print!("{}", report::table_three(&per_run));
+    }
+}

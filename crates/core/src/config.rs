@@ -1,0 +1,153 @@
+//! Benchmark configuration.
+
+use logbus::Acks;
+
+/// Configuration of a full benchmark campaign.
+///
+/// The paper's setup is `records = 1_000_001`, `runs = 10`,
+/// `parallelisms = [1, 2]`. Reproduction runs default to a scaled-down
+/// workload so the full matrix finishes quickly; per-record costs scale
+/// linearly, so ratios (orderings, slowdown factors) are preserved.
+/// Override with the `STREAMBENCH_RECORDS` and `STREAMBENCH_RUNS`
+/// environment variables or the builder methods.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Input records per query benchmark.
+    pub records: u64,
+    /// Repetitions per setup (the paper's `N_run = 10`).
+    pub runs: u32,
+    /// Parallelism degrees (the paper's `[1, 2]`).
+    pub parallelisms: Vec<usize>,
+    /// Simulated broker network round trip per request, in microseconds.
+    /// The paper's brokers live on a remote three-node cluster; see
+    /// `logbus::Broker::set_request_latency_micros`.
+    pub request_latency_micros: u64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Producer acknowledgement level of the data sender.
+    pub sender_acks: Acks,
+    /// Micro-batch size of the `dstream` engine.
+    pub dstream_batch_records: usize,
+    /// Streaming-window size of the `apx` engine.
+    pub apx_window_size: usize,
+    /// Seed of the environment-noise model; `None` disables noise (the
+    /// default — only the variance experiments enable it).
+    pub noise_seed: Option<u64>,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            records: env_u64("STREAMBENCH_RECORDS", 20_000),
+            runs: env_u64("STREAMBENCH_RUNS", 3) as u32,
+            parallelisms: vec![1, 2],
+            request_latency_micros: 25,
+            seed: 2019,
+            sender_acks: Acks::Leader,
+            dstream_batch_records: 2_000,
+            apx_window_size: 2_048,
+            noise_seed: None,
+        }
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+impl BenchConfig {
+    /// The default configuration (environment-aware).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A tiny configuration for tests: 2,000 records, 2 runs, no
+    /// simulated latency.
+    pub fn quick() -> Self {
+        BenchConfig {
+            records: 2_000,
+            runs: 2,
+            request_latency_micros: 0,
+            ..BenchConfig::default()
+        }
+    }
+
+    /// Sets the record count.
+    pub fn records(mut self, records: u64) -> Self {
+        self.records = records.max(1);
+        self
+    }
+
+    /// Sets the run count.
+    pub fn runs(mut self, runs: u32) -> Self {
+        self.runs = runs.max(1);
+        self
+    }
+
+    /// Sets the parallelism degrees.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `parallelisms` is empty or contains zero.
+    pub fn parallelisms(mut self, parallelisms: Vec<usize>) -> Self {
+        assert!(!parallelisms.is_empty(), "at least one parallelism");
+        assert!(parallelisms.iter().all(|&p| p > 0), "parallelism must be positive");
+        self.parallelisms = parallelisms;
+        self
+    }
+
+    /// Sets the simulated broker request latency.
+    pub fn request_latency_micros(mut self, micros: u64) -> Self {
+        self.request_latency_micros = micros;
+        self
+    }
+
+    /// Enables the environment-noise model with the given seed.
+    pub fn with_noise(mut self, seed: u64) -> Self {
+        self.noise_seed = Some(seed);
+        self
+    }
+
+    /// Sets the workload seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = BenchConfig::default();
+        assert!(c.records >= 1);
+        assert!(c.runs >= 1);
+        assert_eq!(c.parallelisms, vec![1, 2]);
+        assert!(c.noise_seed.is_none());
+    }
+
+    #[test]
+    fn builders() {
+        let c = BenchConfig::quick()
+            .records(500)
+            .runs(5)
+            .parallelisms(vec![1])
+            .request_latency_micros(42)
+            .with_noise(7)
+            .seed(1);
+        assert_eq!(c.records, 500);
+        assert_eq!(c.runs, 5);
+        assert_eq!(c.parallelisms, vec![1]);
+        assert_eq!(c.request_latency_micros, 42);
+        assert_eq!(c.noise_seed, Some(7));
+        assert_eq!(c.seed, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one parallelism")]
+    fn empty_parallelisms_panics() {
+        let _ = BenchConfig::quick().parallelisms(vec![]);
+    }
+}

@@ -1,0 +1,305 @@
+//! The four stateless StreamBench queries (paper Table II) in every
+//! implementation variant: one Apache-Beam-style pipeline per query plus
+//! a native program per engine.
+//!
+//! All implementations operate on the raw tab-separated payloads and are
+//! written to produce byte-identical outputs, so the result calculator's
+//! measurements compare equal work.
+
+use crate::data::sample_keeps;
+use beamline::{
+    BrokerIO, BytesCoder, Filter, MapElements, Pipeline, Values, WithoutMetadata,
+};
+use bytes::Bytes;
+use std::fmt;
+use std::sync::Arc;
+
+/// Fraction of records the sample query keeps, in percent (paper: the
+/// output is about 40 % of the input).
+pub const SAMPLE_PERCENT: u32 = 40;
+
+/// The benchmarked queries (paper Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Query {
+    /// Read input and output it unchanged — the computational baseline.
+    Identity,
+    /// Output a ~40 % content-determined sample of the input.
+    Sample,
+    /// Output only the first column of each record.
+    Projection,
+    /// Output only records containing the search string `"test"`
+    /// (~0.3 % of the input).
+    Grep,
+}
+
+impl Query {
+    /// All four queries in paper order.
+    pub const ALL: [Query; 4] = [Query::Identity, Query::Sample, Query::Projection, Query::Grep];
+
+    /// The paper's Table II description.
+    pub fn description(self) -> &'static str {
+        match self {
+            Query::Identity => {
+                "Read input and output it without performing any data transformation. \
+                 Baseline query with respect to computational complexity."
+            }
+            Query::Sample => {
+                "Read input and output only a certain percentage of data. The number of \
+                 output tuples is about 40% of the number of input tuples."
+            }
+            Query::Projection => {
+                "Read input and output only a certain column of the input record — here \
+                 the values of the first column."
+            }
+            Query::Grep => {
+                "Read input and output only records that match a certain search string. \
+                 The search string is \"test\", matching about 0.3% of the input."
+            }
+        }
+    }
+
+    /// Whether the query needs state (none of these do; the stateful
+    /// StreamBench queries are excluded because the abstraction layer
+    /// does not support stateful processing on the micro-batch engine,
+    /// paper §III-B).
+    pub fn stateful(self) -> bool {
+        false
+    }
+
+    /// Applies the query to one payload, returning the outputs (0 or 1
+    /// records for these queries). The single source of truth every
+    /// implementation delegates to.
+    pub fn apply(self, payload: &Bytes) -> Option<Bytes> {
+        match self {
+            Query::Identity => Some(payload.clone()),
+            Query::Sample => sample_keeps(payload, SAMPLE_PERCENT).then(|| payload.clone()),
+            Query::Projection => {
+                let cut = payload.iter().position(|&b| b == b'\t').unwrap_or(payload.len());
+                Some(payload.slice(..cut))
+            }
+            Query::Grep => payload.windows(4).any(|w| w == b"test").then(|| payload.clone()),
+        }
+    }
+
+    /// Expected output count for `n` inputs of the standard workload.
+    pub fn expected_outputs(self, n: u64) -> Option<u64> {
+        match self {
+            Query::Identity | Query::Projection => Some(n),
+            Query::Grep => Some(crate::data::expected_grep_hits(n)),
+            // Sample depends on content; ~40 %.
+            Query::Sample => None,
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Query::Identity => f.write_str("identity"),
+            Query::Sample => f.write_str("sample"),
+            Query::Projection => f.write_str("projection"),
+            Query::Grep => f.write_str("grep"),
+        }
+    }
+}
+
+/// Builds the abstraction-layer pipeline for `query`: read → drop
+/// metadata → values → query logic → output formatting → write. Seven
+/// erased stages, the Fig. 13 shape.
+pub fn beam_pipeline(
+    broker: &logbus::Broker,
+    query: Query,
+    input_topic: &str,
+    output_topic: &str,
+) -> Pipeline {
+    let pipeline = Pipeline::new();
+    let values = pipeline
+        .apply(BrokerIO::read(broker.clone(), input_topic))
+        .apply(WithoutMetadata::new())
+        .apply(Values::create(Arc::new(BytesCoder)));
+    let transformed = match query {
+        Query::Identity => {
+            values.apply(MapElements::into_bytes("Identity", |v: Bytes| v))
+        }
+        Query::Sample => values.apply(Filter::new("Sample", |v: &Bytes| {
+            sample_keeps(v, SAMPLE_PERCENT)
+        })),
+        Query::Projection => values.apply(MapElements::into_bytes("Projection", |v: Bytes| {
+            let cut = v.iter().position(|&b| b == b'\t').unwrap_or(v.len());
+            v.slice(..cut)
+        })),
+        Query::Grep => values.apply(Filter::new("Grep", |v: &Bytes| {
+            v.windows(4).any(|w| w == b"test")
+        })),
+    };
+    transformed
+        .apply(MapElements::into_bytes("FormatOutput", |v: Bytes| v))
+        .apply(BrokerIO::write(broker.clone(), output_topic));
+    pipeline
+}
+
+/// Native implementation on the `rill` engine: source → operator → sink,
+/// fully chained (the Fig. 12 plan shape).
+pub fn native_rill(
+    broker: &logbus::Broker,
+    query: Query,
+    input_topic: &str,
+    output_topic: &str,
+    parallelism: usize,
+) -> rill::Result<rill::JobResult> {
+    let env = rill::StreamExecutionEnvironment::local();
+    env.set_parallelism(parallelism);
+    let source = rill::BrokerSource::new(broker.clone(), input_topic);
+    // The sink's async producer batches adaptively, so sparse outputs
+    // (grep) land as individual appends spread over the run — which the
+    // LogAppendTime measurement needs — while dense outputs amortize.
+    let sink = rill::BrokerSink::new(broker.clone(), output_topic);
+    let stream = env.add_source(source);
+    // One operator per query: the native plan is source → operator →
+    // sink, three elements, as in the paper's Fig. 12.
+    let transformed = match query {
+        Query::Identity => stream.map(|v: Bytes| v),
+        Query::Sample => stream.filter(|v: &Bytes| sample_keeps(v, SAMPLE_PERCENT)),
+        Query::Projection => stream.map(|v: Bytes| {
+            let cut = v.iter().position(|&b| b == b'\t').unwrap_or(v.len());
+            v.slice(..cut)
+        }),
+        Query::Grep => stream.filter(|v: &Bytes| v.windows(4).any(|w| w == b"test")),
+    };
+    transformed.add_sink(sink);
+    env.execute(&format!("native-{query}"))
+}
+
+/// Builds (without executing) the native rill job for `query` and
+/// returns its execution plan — the paper's Fig. 12 view.
+pub fn native_rill_plan(broker: &logbus::Broker, query: Query) -> rill::ExecutionPlan {
+    let env = rill::StreamExecutionEnvironment::local();
+    let stream = env.add_source(rill::BrokerSource::new(broker.clone(), "plan-input"));
+    let transformed = match query {
+        Query::Identity => stream.map(|v: Bytes| v),
+        Query::Sample => stream.filter(|v: &Bytes| sample_keeps(v, SAMPLE_PERCENT)),
+        Query::Projection => stream.map(|v: Bytes| {
+            let cut = v.iter().position(|&b| b == b'\t').unwrap_or(v.len());
+            v.slice(..cut)
+        }),
+        Query::Grep => stream.filter(|v: &Bytes| v.windows(4).any(|w| w == b"test")),
+    };
+    transformed.add_sink(rill::BrokerSink::new(broker.clone(), "plan-output"));
+    env.execution_plan()
+}
+
+/// Native implementation on the `dstream` engine: broker stream →
+/// per-batch transformation → per-batch save.
+pub fn native_dstream(
+    broker: &logbus::Broker,
+    query: Query,
+    input_topic: &str,
+    output_topic: &str,
+    parallelism: usize,
+    batch_records: usize,
+) -> dstream::Result<dstream::StreamingReport> {
+    let ctx = dstream::Context::with_config(
+        dstream::ContextConfig::default().default_parallelism(parallelism),
+    );
+    let ssc = dstream::StreamingContext::new(ctx);
+    let stream = ssc.broker_stream(broker.clone(), input_topic, batch_records)?;
+    let transformed = match query {
+        Query::Identity => stream.map(|v: Bytes| v),
+        Query::Sample => stream.filter(|v: &Bytes| sample_keeps(v, SAMPLE_PERCENT)),
+        Query::Projection => stream.map(|v: Bytes| {
+            let cut = v.iter().position(|&b| b == b'\t').unwrap_or(v.len());
+            v.slice(..cut)
+        }),
+        Query::Grep => stream.filter(|v: &Bytes| v.windows(4).any(|w| w == b"test")),
+    };
+    transformed.save_to_broker(&ssc, broker.clone(), output_topic);
+    ssc.run_to_completion()
+}
+
+/// Native implementation on the `apx` engine: Kafka input → operator →
+/// Kafka output, one container per operator as in stock Apex.
+pub fn native_apx(
+    broker: &logbus::Broker,
+    query: Query,
+    input_topic: &str,
+    output_topic: &str,
+    vcores: u32,
+    rm: &mut yarnsim::ResourceManager,
+) -> apx::Result<apx::AppResult> {
+    let dag = apx::Dag::new(format!("native-{query}"));
+    let input = apx::KafkaInput::new(broker.clone(), input_topic);
+    let output = apx::KafkaOutput::new(broker.clone(), output_topic);
+    let codec = Arc::new(apx::BytesCodec);
+    let op = apx::FnOperator::new(move |v: Bytes, out: &mut dyn apx::Emitter<Bytes>| {
+        if let Some(result) = query.apply(&v) {
+            out.emit(result);
+        }
+    });
+    dag.add_input("kafka-input", input)?
+        .add_operator::<Bytes, _>("query", op, apx::Link::Network(codec.clone()))?
+        .add_output("kafka-output", output, apx::Link::Network(codec))?;
+    apx::Stram::run(&dag, rm, &apx::StramConfig::default().vcores(vcores))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_identity_and_projection() {
+        let payload = Bytes::from_static(b"123\tsome query\t2006-03-01 00:00:00\t\t");
+        assert_eq!(Query::Identity.apply(&payload), Some(payload.clone()));
+        assert_eq!(Query::Projection.apply(&payload), Some(Bytes::from_static(b"123")));
+    }
+
+    #[test]
+    fn apply_grep() {
+        let hit = Bytes::from_static(b"1\ta test query\tt\t\t");
+        let miss = Bytes::from_static(b"1\tother query\tt\t\t");
+        assert_eq!(Query::Grep.apply(&hit), Some(hit.clone()));
+        assert_eq!(Query::Grep.apply(&miss), None);
+    }
+
+    #[test]
+    fn apply_sample_is_content_deterministic() {
+        let payload = Bytes::from_static(b"1\tq\tt\t\t");
+        assert_eq!(
+            Query::Sample.apply(&payload).is_some(),
+            sample_keeps(&payload, SAMPLE_PERCENT)
+        );
+    }
+
+    #[test]
+    fn projection_without_tabs_keeps_whole_record() {
+        let payload = Bytes::from_static(b"no-tabs-here");
+        assert_eq!(Query::Projection.apply(&payload), Some(payload.clone()));
+    }
+
+    #[test]
+    fn beam_pipeline_has_seven_stages() {
+        let broker = logbus::Broker::new();
+        broker.create_topic("in", logbus::TopicConfig::default()).unwrap();
+        for query in Query::ALL {
+            let pipeline = beam_pipeline(&broker, query, "in", "out");
+            assert_eq!(pipeline.stage_count(), 7, "query {query}");
+        }
+    }
+
+    #[test]
+    fn table_two_metadata() {
+        for query in Query::ALL {
+            assert!(!query.description().is_empty());
+            assert!(!query.stateful());
+        }
+        assert_eq!(Query::Identity.to_string(), "identity");
+        assert_eq!(Query::ALL.len(), 4);
+    }
+
+    #[test]
+    fn expected_outputs() {
+        assert_eq!(Query::Identity.expected_outputs(100), Some(100));
+        assert_eq!(Query::Projection.expected_outputs(100), Some(100));
+        assert_eq!(Query::Grep.expected_outputs(1000), Some(4));
+        assert_eq!(Query::Sample.expected_outputs(100), None);
+    }
+}

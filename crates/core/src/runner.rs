@@ -1,0 +1,295 @@
+//! The benchmark orchestrator: runs the three-phase process of
+//! paper §III-A over the full setup matrix.
+
+use crate::calculator::{self, QueryMeasurement};
+use crate::config::BenchConfig;
+use crate::noise::NoiseModel;
+use crate::queries::{self, Query};
+use crate::sender::{send_workload, SenderConfig};
+use crate::setup::{all_setups, Api, Setup, System};
+use beamline::runners::{ApxRunner, DStreamRunner, RillRunner};
+use beamline::PipelineRunner;
+use logbus::{Broker, TopicConfig};
+use std::fmt;
+
+/// One completed benchmark run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// The executed setup.
+    pub setup: Setup,
+    /// The executed query.
+    pub query: Query,
+    /// Zero-based run index.
+    pub run: u32,
+    /// Execution time from the output topic's `LogAppendTime` span, in
+    /// seconds.
+    pub execution_seconds: f64,
+    /// Records in the output topic.
+    pub output_records: u64,
+}
+
+/// Errors raised by the orchestrator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BenchError {
+    /// Broker-side failure.
+    Broker(String),
+    /// Engine or runner failure.
+    Execution {
+        /// The failing setup.
+        setup: String,
+        /// The failure.
+        message: String,
+    },
+    /// Result calculation failure.
+    Calculator(String),
+    /// The produced output is wrong (count mismatch against the query's
+    /// expectation) — measurements of broken runs are worthless.
+    WrongOutput {
+        /// The failing setup.
+        setup: String,
+        /// Expected record count.
+        expected: u64,
+        /// Actual record count.
+        actual: u64,
+    },
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Broker(msg) => write!(f, "broker failure: {msg}"),
+            BenchError::Execution { setup, message } => {
+                write!(f, "execution of {setup} failed: {message}")
+            }
+            BenchError::Calculator(msg) => write!(f, "result calculation failed: {msg}"),
+            BenchError::WrongOutput { setup, expected, actual } => write!(
+                f,
+                "{setup} produced {actual} output records, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+impl From<logbus::Error> for BenchError {
+    fn from(e: logbus::Error) -> Self {
+        BenchError::Broker(e.to_string())
+    }
+}
+
+/// Runs benchmark campaigns.
+#[derive(Debug, Clone)]
+pub struct BenchmarkRunner {
+    config: BenchConfig,
+}
+
+impl BenchmarkRunner {
+    /// Creates a runner from a configuration.
+    pub fn new(config: BenchConfig) -> Self {
+        BenchmarkRunner { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BenchConfig {
+        &self.config
+    }
+
+    /// Benchmarks one query over the full setup matrix, `runs` times
+    /// each: phase 1 loads the input topic once, phase 2 executes each
+    /// setup against a fresh output topic (each run gets fresh engine
+    /// instances — the paper restarts the systems per step), and phase 3
+    /// computes the execution time from output-topic timestamps.
+    ///
+    /// # Errors
+    ///
+    /// Fails on broker errors, engine failures, or wrong query output.
+    pub fn run_query(&self, query: Query) -> Result<Vec<Measurement>, BenchError> {
+        let broker = Broker::new();
+        broker.set_request_latency_micros(self.config.request_latency_micros);
+        // Replication factor one, one partition: paper §III-A1.
+        broker.create_topic("input", TopicConfig::default())?;
+        send_workload(
+            &broker,
+            "input",
+            &SenderConfig {
+                records: self.config.records,
+                acks: self.config.sender_acks,
+                seed: self.config.seed,
+                ..SenderConfig::default()
+            },
+        )?;
+
+        let mut noise = self.config.noise_seed.map(NoiseModel::new);
+        let mut measurements = Vec::new();
+        for setup in all_setups(&self.config.parallelisms) {
+            for run in 0..self.config.runs {
+                let output_topic = format!("output-{setup}-r{run}");
+                broker.create_topic(&output_topic, TopicConfig::default())?;
+                // Environment noise: this run's broker round trips are
+                // genuinely slower by the drawn factor.
+                if let Some(model) = noise.as_mut() {
+                    let factor = model.next_factor();
+                    broker.set_request_latency_micros(
+                        (self.config.request_latency_micros as f64 * factor) as u64,
+                    );
+                }
+                let result = self.execute_setup(&broker, query, setup, &output_topic);
+                broker.set_request_latency_micros(self.config.request_latency_micros);
+                result?;
+                let measurement = self.measure(&broker, setup, &output_topic)?;
+                self.check_output(setup, query, &measurement)?;
+                measurements.push(Measurement {
+                    setup,
+                    query,
+                    run,
+                    execution_seconds: measurement.execution_seconds,
+                    output_records: measurement.output_records,
+                });
+            }
+        }
+        Ok(measurements)
+    }
+
+    /// Benchmarks all four queries.
+    ///
+    /// # Errors
+    ///
+    /// See [`BenchmarkRunner::run_query`].
+    pub fn run_all(&self) -> Result<Vec<Measurement>, BenchError> {
+        let mut all = Vec::new();
+        for query in Query::ALL {
+            all.extend(self.run_query(query)?);
+        }
+        Ok(all)
+    }
+
+    fn measure(
+        &self,
+        broker: &Broker,
+        setup: Setup,
+        output_topic: &str,
+    ) -> Result<QueryMeasurement, BenchError> {
+        calculator::measure(broker, output_topic)
+            .map_err(|e| BenchError::Calculator(format!("{setup}: {e}")))
+    }
+
+    fn check_output(
+        &self,
+        setup: Setup,
+        query: Query,
+        measurement: &QueryMeasurement,
+    ) -> Result<(), BenchError> {
+        if let Some(expected) = query.expected_outputs(self.config.records) {
+            if measurement.output_records != expected {
+                return Err(BenchError::WrongOutput {
+                    setup: setup.to_string(),
+                    expected,
+                    actual: measurement.output_records,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn execute_setup(
+        &self,
+        broker: &Broker,
+        query: Query,
+        setup: Setup,
+        output_topic: &str,
+    ) -> Result<(), BenchError> {
+        let fail = |message: String| BenchError::Execution {
+            setup: setup.to_string(),
+            message,
+        };
+        match (setup.system, setup.api) {
+            (System::Rill, Api::Native) => {
+                queries::native_rill(broker, query, "input", output_topic, setup.parallelism)
+                    .map(drop)
+                    .map_err(|e| fail(e.to_string()))
+            }
+            (System::DStream, Api::Native) => queries::native_dstream(
+                broker,
+                query,
+                "input",
+                output_topic,
+                setup.parallelism,
+                self.config.dstream_batch_records,
+            )
+            .map(drop)
+            .map_err(|e| fail(e.to_string())),
+            (System::Apx, Api::Native) => {
+                let mut rm = fresh_yarn_cluster();
+                queries::native_apx(
+                    broker,
+                    query,
+                    "input",
+                    output_topic,
+                    setup.parallelism as u32,
+                    &mut rm,
+                )
+                .map(drop)
+                .map_err(|e| fail(e.to_string()))
+            }
+            (system, Api::Beam) => {
+                let pipeline = queries::beam_pipeline(broker, query, "input", output_topic);
+                let runner: Box<dyn PipelineRunner> = match system {
+                    System::Rill => {
+                        Box::new(RillRunner::new().with_parallelism(setup.parallelism))
+                    }
+                    System::DStream => Box::new(
+                        DStreamRunner::new()
+                            .with_parallelism(setup.parallelism)
+                            .with_batch_records(self.config.dstream_batch_records),
+                    ),
+                    System::Apx => Box::new(
+                        ApxRunner::new()
+                            .with_vcores(setup.parallelism as u32)
+                            .with_window_size(self.config.apx_window_size),
+                    ),
+                };
+                runner.run(&pipeline).map(drop).map_err(|e| fail(e.to_string()))
+            }
+        }
+    }
+}
+
+/// A fresh two-worker YARN-style cluster, matching the paper's two
+/// worker nodes.
+pub fn fresh_yarn_cluster() -> yarnsim::ResourceManager {
+    let mut rm = yarnsim::ResourceManager::new();
+    for _ in 0..2 {
+        rm.register_node(yarnsim::Resource::new(64 * 1024, 32));
+    }
+    rm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_benchmark_identity_single_setup() {
+        let config = BenchConfig::quick().records(300).runs(1).parallelisms(vec![1]);
+        let runner = BenchmarkRunner::new(config);
+        let measurements = runner.run_query(Query::Grep).unwrap();
+        // 3 systems × 2 APIs × 1 parallelism × 1 run.
+        assert_eq!(measurements.len(), 6);
+        for m in &measurements {
+            assert_eq!(m.query, Query::Grep);
+            assert_eq!(m.output_records, crate::data::expected_grep_hits(300));
+            assert!(m.execution_seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn sample_outputs_match_across_apis() {
+        let config = BenchConfig::quick().records(400).runs(1).parallelisms(vec![1]);
+        let runner = BenchmarkRunner::new(config);
+        let measurements = runner.run_query(Query::Sample).unwrap();
+        let counts: std::collections::HashSet<u64> =
+            measurements.iter().map(|m| m.output_records).collect();
+        assert_eq!(counts.len(), 1, "all setups sample the same records: {measurements:?}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Execution setups: the system × API × parallelism matrix
+//! (paper §III-A2: twelve setups per query).
+
+use std::fmt;
+
+/// The systems under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum System {
+    /// The tuple-at-a-time engine (Apache Flink analog).
+    Rill,
+    /// The micro-batch engine (Apache Spark Streaming analog).
+    DStream,
+    /// The YARN-hosted tuple-at-a-time engine (Apache Apex analog).
+    Apx,
+}
+
+impl System {
+    /// All systems in paper order (Apex, Flink, Spark in the figures'
+    /// alphabetical listing).
+    pub const ALL: [System; 3] = [System::Apx, System::Rill, System::DStream];
+
+    /// The display label used in figures, matching the paper's wording.
+    pub fn label(self) -> &'static str {
+        match self {
+            System::Rill => "Flink",
+            System::DStream => "Spark",
+            System::Apx => "Apex",
+        }
+    }
+}
+
+impl fmt::Display for System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            System::Rill => f.write_str("rill"),
+            System::DStream => f.write_str("dstream"),
+            System::Apx => f.write_str("apx"),
+        }
+    }
+}
+
+/// Which API the query was implemented with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Api {
+    /// The system's native API.
+    Native,
+    /// The abstraction layer.
+    Beam,
+}
+
+impl Api {
+    /// Both APIs.
+    pub const ALL: [Api; 2] = [Api::Beam, Api::Native];
+}
+
+impl fmt::Display for Api {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Api::Native => f.write_str("native"),
+            Api::Beam => f.write_str("beam"),
+        }
+    }
+}
+
+/// One execution setup of the benchmark matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Setup {
+    /// System under test.
+    pub system: System,
+    /// Implementation API.
+    pub api: Api,
+    /// Degree of parallelism.
+    pub parallelism: usize,
+}
+
+impl Setup {
+    /// The figure label, e.g. `Apex Beam P1` / `Flink P2`.
+    pub fn label(&self) -> String {
+        match self.api {
+            Api::Beam => format!("{} Beam P{}", self.system.label(), self.parallelism),
+            Api::Native => format!("{} P{}", self.system.label(), self.parallelism),
+        }
+    }
+}
+
+impl fmt::Display for Setup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}-p{}", self.system, self.api, self.parallelism)
+    }
+}
+
+/// The full matrix for the given parallelisms — 3 systems × 2 APIs ×
+/// |parallelisms| setups, 12 for the paper's `[1, 2]`.
+pub fn all_setups(parallelisms: &[usize]) -> Vec<Setup> {
+    let mut setups = Vec::new();
+    for system in System::ALL {
+        for api in Api::ALL {
+            for &parallelism in parallelisms {
+                setups.push(Setup { system, api, parallelism });
+            }
+        }
+    }
+    setups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_setups_for_the_paper_matrix() {
+        let setups = all_setups(&[1, 2]);
+        assert_eq!(setups.len(), 12);
+        let unique: std::collections::HashSet<_> = setups.iter().collect();
+        assert_eq!(unique.len(), 12);
+    }
+
+    #[test]
+    fn labels_match_figure_style() {
+        let beam = Setup { system: System::Apx, api: Api::Beam, parallelism: 1 };
+        assert_eq!(beam.label(), "Apex Beam P1");
+        let native = Setup { system: System::DStream, api: Api::Native, parallelism: 2 };
+        assert_eq!(native.label(), "Spark P2");
+        assert_eq!(native.to_string(), "dstream-native-p2");
+    }
+
+    #[test]
+    fn system_labels() {
+        assert_eq!(System::Rill.label(), "Flink");
+        assert_eq!(System::DStream.label(), "Spark");
+        assert_eq!(System::Apx.label(), "Apex");
+    }
+}

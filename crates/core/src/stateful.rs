@@ -1,0 +1,242 @@
+//! The stateful StreamBench queries the paper had to exclude.
+//!
+//! StreamBench defines seven queries; the paper benchmarks only the four
+//! stateless ones "as Apache Beam does not support stateful processing
+//! when executed on Apache Spark" (§III-B). Natively, every engine
+//! handles state fine — this module implements the flagship stateful
+//! query, **WordCount** (running counts of query-text words), on all
+//! three native APIs, and demonstrates the abstraction layer's capability
+//! gap: its WordCount pipeline runs on the `rill` runner and is rejected
+//! by the `dstream` runner.
+
+use bytes::Bytes;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Extracts the words of the query column (column 2) of a workload
+/// record.
+pub fn query_words(payload: &[u8]) -> Vec<String> {
+    let text = String::from_utf8_lossy(payload);
+    match text.split('\t').nth(1) {
+        Some(query) => query.split_whitespace().map(str::to_owned).collect(),
+        None => Vec::new(),
+    }
+}
+
+/// Sequential reference: final word counts of a record stream.
+pub fn reference_word_counts<'a>(
+    payloads: impl IntoIterator<Item = &'a Bytes>,
+) -> HashMap<String, u64> {
+    let mut counts = HashMap::new();
+    for payload in payloads {
+        for word in query_words(payload) {
+            *counts.entry(word).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Native WordCount on the `rill` engine: flat-map to words, key by word,
+/// running reduce; the *final* count per word is the last emitted value.
+/// Returns the final counts.
+///
+/// # Errors
+///
+/// Propagates engine failures.
+pub fn wordcount_rill(
+    broker: &logbus::Broker,
+    input_topic: &str,
+    parallelism: usize,
+) -> rill::Result<HashMap<String, u64>> {
+    let env = rill::StreamExecutionEnvironment::local();
+    env.set_parallelism(parallelism);
+    let sink = rill::VecSink::new();
+    env.add_source(rill::BrokerSource::new(broker.clone(), input_topic))
+        .flat_map(|payload: Bytes, out| {
+            for word in query_words(&payload) {
+                out((word, 1u64));
+            }
+        })
+        .key_by(|t: &(String, u64)| t.0.clone())
+        .reduce(|a, b| (a.0, a.1 + b.1))
+        .add_sink(sink.clone());
+    env.execute("wordcount")?;
+    let mut finals = HashMap::new();
+    for (word, count) in sink.snapshot() {
+        finals.insert(word, count); // running counts: last wins
+    }
+    Ok(finals)
+}
+
+/// Native WordCount on the `dstream` engine via `updateStateByKey`.
+/// Returns the final counts.
+///
+/// # Errors
+///
+/// Propagates engine failures.
+pub fn wordcount_dstream(
+    broker: &logbus::Broker,
+    input_topic: &str,
+    batch_records: usize,
+) -> dstream::Result<HashMap<String, u64>> {
+    let ssc = dstream::StreamingContext::new(dstream::Context::local());
+    let finals: Arc<parking_lot::Mutex<HashMap<String, u64>>> =
+        Arc::new(parking_lot::Mutex::new(HashMap::new()));
+    let sink = finals.clone();
+    ssc.broker_stream(broker.clone(), input_topic, batch_records)?
+        .flat_map(|payload: Bytes| {
+            query_words(&payload).into_iter().map(|w| (w, 1u64)).collect::<Vec<_>>()
+        })
+        .count_by_key_stateful()
+        .foreach_rdd(&ssc, move |rdd| {
+            let mut finals = sink.lock();
+            for (word, count) in rdd.collect() {
+                finals.insert(word, count);
+            }
+        });
+    ssc.run_to_completion()?;
+    let result = finals.lock().clone();
+    Ok(result)
+}
+
+/// Native WordCount on the `apx` engine: a stateful counting operator
+/// emitting running counts; the output operator keeps the latest count
+/// per word. Returns the final counts.
+///
+/// # Errors
+///
+/// Propagates engine failures.
+pub fn wordcount_apx(
+    broker: &logbus::Broker,
+    input_topic: &str,
+    rm: &mut yarnsim::ResourceManager,
+) -> apx::Result<HashMap<String, u64>> {
+    use apx::{Emitter, Operator, OperatorContext};
+
+    /// Stateful running word counter.
+    struct WordCounter {
+        counts: HashMap<String, u64>,
+    }
+    impl Operator<Bytes, (String, u64)> for WordCounter {
+        fn process(&mut self, tuple: Bytes, out: &mut dyn Emitter<(String, u64)>) {
+            for word in query_words(&tuple) {
+                let count = self.counts.entry(word.clone()).or_insert(0);
+                *count += 1;
+                out.emit((word, *count));
+            }
+        }
+    }
+
+    /// Keeps the latest count per word.
+    #[derive(Clone)]
+    struct LatestCounts {
+        finals: Arc<parking_lot::Mutex<HashMap<String, u64>>>,
+    }
+    impl Operator<(String, u64), ()> for LatestCounts {
+        fn setup(&mut self, _ctx: &OperatorContext) {}
+        fn process(&mut self, tuple: (String, u64), _out: &mut dyn Emitter<()>) {
+            self.finals.lock().insert(tuple.0, tuple.1);
+        }
+    }
+
+    let finals: Arc<parking_lot::Mutex<HashMap<String, u64>>> =
+        Arc::new(parking_lot::Mutex::new(HashMap::new()));
+    let dag = apx::Dag::new("wordcount");
+    dag.add_input("kafka-input", apx::KafkaInput::new(broker.clone(), input_topic))?
+        .add_operator::<(String, u64), _>(
+            "count",
+            WordCounter { counts: HashMap::new() },
+            apx::Link::Network(Arc::new(apx::BytesCodec)),
+        )?
+        .add_output(
+            "latest",
+            LatestCounts { finals: finals.clone() },
+            apx::Link::Network(Arc::new(apx::StringU64Codec)),
+        )?;
+    apx::Stram::run(&dag, rm, &apx::StramConfig::default())?;
+    let result = finals.lock().clone();
+    Ok(result)
+}
+
+/// The abstraction-layer WordCount pipeline over a broker topic
+/// (read → words → `Count.perElement`). Subject to the runner capability
+/// matrix: runs on `rill`, rejected by `dstream`/`apx`.
+pub fn wordcount_beam_pipeline(
+    broker: &logbus::Broker,
+    input_topic: &str,
+) -> beamline::Pipeline {
+    use beamline::{Coder, StrUtf8Coder};
+    let pipeline = beamline::Pipeline::new();
+    let words = pipeline
+        .apply(beamline::BrokerIO::read(broker.clone(), input_topic))
+        .apply(beamline::WithoutMetadata::new())
+        .apply(beamline::Values::create(Arc::new(beamline::BytesCoder)))
+        .apply(beamline::FlatMapElements::into_strings(
+            "Words",
+            |payload: Bytes| query_words(&payload),
+        ));
+    let _counts = words.apply(beamline::Count::per_element(
+        Arc::new(StrUtf8Coder) as Arc<dyn Coder<String>>,
+    ));
+    pipeline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::QueryLogGenerator;
+    use crate::sender::{send_workload, SenderConfig};
+    use logbus::{Broker, TopicConfig};
+
+    fn loaded_broker(records: u64) -> (Broker, HashMap<String, u64>) {
+        let broker = Broker::new();
+        broker.create_topic("in", TopicConfig::default()).unwrap();
+        send_workload(&broker, "in", &SenderConfig { records, ..SenderConfig::default() })
+            .unwrap();
+        let mut generator = QueryLogGenerator::new(SenderConfig::default().seed);
+        let payloads: Vec<Bytes> = (0..records).map(|_| generator.next_payload()).collect();
+        let expected = reference_word_counts(payloads.iter());
+        (broker, expected)
+    }
+
+    #[test]
+    fn query_words_extracts_column_two() {
+        assert_eq!(query_words(b"1\ttest maps\tt\t\t"), vec!["test", "maps"]);
+        assert!(query_words(b"no-tabs").is_empty());
+        assert!(query_words(b"1\t\tt\t\t").is_empty());
+    }
+
+    #[test]
+    fn all_native_engines_agree_on_wordcount() {
+        let (broker, expected) = loaded_broker(300);
+        assert!(!expected.is_empty());
+
+        let rill_counts = wordcount_rill(&broker, "in", 1).unwrap();
+        assert_eq!(rill_counts, expected, "rill");
+
+        let dstream_counts = wordcount_dstream(&broker, "in", 64).unwrap();
+        assert_eq!(dstream_counts, expected, "dstream");
+
+        let mut rm = crate::runner::fresh_yarn_cluster();
+        let apx_counts = wordcount_apx(&broker, "in", &mut rm).unwrap();
+        assert_eq!(apx_counts, expected, "apx");
+    }
+
+    #[test]
+    fn beam_wordcount_capability_matrix() {
+        use beamline::PipelineRunner;
+        let (broker, _expected) = loaded_broker(50);
+
+        // Runs on the rill runner (stateful processing supported there).
+        let pipeline = wordcount_beam_pipeline(&broker, "in");
+        beamline::runners::RillRunner::new().run(&pipeline).unwrap();
+
+        // Rejected by the micro-batch runner — the paper's §III-B reason.
+        let pipeline = wordcount_beam_pipeline(&broker, "in");
+        let err = beamline::runners::DStreamRunner::new().run(&pipeline).unwrap_err();
+        assert!(matches!(
+            err,
+            beamline::Error::UnsupportedTransform { runner: "dstream", .. }
+        ));
+    }
+}

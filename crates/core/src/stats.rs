@@ -1,0 +1,116 @@
+//! Statistics: the paper's exact aggregation formulas (§III-C).
+
+/// Arithmetic mean. Returns 0 for empty input.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation. Returns 0 for fewer than two values.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let variance = values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64;
+    variance.sqrt()
+}
+
+/// Relative standard deviation (coefficient of variation), the quantity
+/// of the paper's Fig. 10. Returns 0 when the mean is 0.
+pub fn relative_std_dev(values: &[f64]) -> f64 {
+    let m = mean(values);
+    if m == 0.0 {
+        return 0.0;
+    }
+    std_dev(values) / m
+}
+
+/// The paper's average execution time
+/// `t̄(dsps, query, k, p) = (1/N_run) Σ_r t(dsps, query, k, p, r)`.
+pub fn average_execution_time(run_times: &[f64]) -> f64 {
+    mean(run_times)
+}
+
+/// The paper's slowdown factor
+/// `sf(dsps, query) = (1/N_p) Σ_p t̄(..., Beam, p) / t̄(..., native, p)`:
+/// the per-parallelism ratio of Beam to native average execution times,
+/// averaged over parallelisms.
+///
+/// `pairs` holds one `(beam_avg, native_avg)` tuple per parallelism.
+/// A result greater than one marks a slowdown; smaller than one means
+/// the abstraction-layer implementation was faster.
+///
+/// # Panics
+///
+/// Panics when `pairs` is empty or any native average is zero (a
+/// malformed measurement set).
+pub fn slowdown_factor(pairs: &[(f64, f64)]) -> f64 {
+    assert!(!pairs.is_empty(), "slowdown factor needs at least one parallelism");
+    let sum: f64 = pairs
+        .iter()
+        .map(|(beam, native)| {
+            assert!(*native > 0.0, "native average execution time must be positive");
+            beam / native
+        })
+        .sum();
+    sum / pairs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        let values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((std_dev(&values) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_std_dev_is_cv() {
+        let values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((relative_std_dev(&values) - 2.0 / 5.0).abs() < 1e-12);
+        assert_eq!(relative_std_dev(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn slowdown_factor_formula() {
+        // Paper formula: average of per-parallelism ratios.
+        let pairs = [(10.0, 2.0), (30.0, 3.0)]; // ratios 5 and 10
+        assert!((slowdown_factor(&pairs) - 7.5).abs() < 1e-12);
+        // A speedup yields < 1 (the Apex grep case, sf = 0.91).
+        let speedup = [(0.9, 1.0)];
+        assert!(slowdown_factor(&speedup) < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one parallelism")]
+    fn empty_pairs_panic() {
+        let _ = slowdown_factor(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_native_panics() {
+        let _ = slowdown_factor(&[(1.0, 0.0)]);
+    }
+
+    #[test]
+    fn outliers_drive_relative_std_dev() {
+        // The paper's Table III situation: seven homogeneous runs of
+        // 3–4 s plus outliers of 6, 12.7, and 21.6 s produce the one
+        // conspicuous coefficient of variation in Fig. 10 (~0.54 averaged
+        // with the tame parallelism-2 series).
+        let p1 = [6.25, 21.56, 3.42, 3.31, 3.73, 12.69, 3.90, 3.96, 3.42, 3.01];
+        let rsd = relative_std_dev(&p1);
+        assert!(rsd > 0.8, "outlier-heavy series has a high CV ({rsd})");
+        let p2 = [4.15, 3.77, 2.71, 5.29, 3.00, 3.93, 2.90, 3.66, 3.57, 4.45];
+        assert!(relative_std_dev(&p2) < 0.25);
+    }
+}

@@ -1,0 +1,83 @@
+//! System characteristics — the reproduction's version of the paper's
+//! Table I.
+
+use crate::setup::System;
+
+/// The Table I criteria for one system-under-test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemProfile {
+    /// The system.
+    pub system: System,
+    /// The engine crate implementing it.
+    pub crate_name: &'static str,
+    /// The original system it models.
+    pub models: &'static str,
+    /// Data processing granularity (the decisive Table I row).
+    pub data_processing: &'static str,
+    /// How parallelism is configured (paper §III-A2).
+    pub parallelism_knob: &'static str,
+    /// Processing guarantee on the bounded benchmark workload.
+    pub guarantees: &'static str,
+}
+
+/// Profiles of all three systems, mirroring the paper's Table I for the
+/// engine analogs.
+pub fn system_profiles() -> Vec<SystemProfile> {
+    vec![
+        SystemProfile {
+            system: System::Rill,
+            crate_name: "rill",
+            models: "Apache Flink",
+            data_processing: "Tuple-by-tuple",
+            parallelism_knob: "job parallelism (submission flag)",
+            guarantees: "Exactly-once",
+        },
+        SystemProfile {
+            system: System::DStream,
+            crate_name: "dstream",
+            models: "Apache Spark Streaming",
+            data_processing: "Micro-batch",
+            parallelism_knob: "spark.default.parallelism",
+            guarantees: "Exactly-once",
+        },
+        SystemProfile {
+            system: System::Apx,
+            crate_name: "apx",
+            models: "Apache Apex",
+            data_processing: "Tuple-by-tuple",
+            parallelism_knob: "YARN vcores (container resource)",
+            guarantees: "Exactly-once",
+        },
+    ]
+}
+
+/// Looks up one profile.
+pub fn profile(system: System) -> SystemProfile {
+    system_profiles()
+        .into_iter()
+        .find(|p| p.system == system)
+        .expect("all systems are profiled")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_systems_profiled() {
+        let profiles = system_profiles();
+        assert_eq!(profiles.len(), 3);
+        for system in System::ALL {
+            let p = profile(system);
+            assert_eq!(p.system, system);
+            assert!(!p.crate_name.is_empty());
+        }
+    }
+
+    #[test]
+    fn processing_models_match_table_one() {
+        assert_eq!(profile(System::Rill).data_processing, "Tuple-by-tuple");
+        assert_eq!(profile(System::DStream).data_processing, "Micro-batch");
+        assert_eq!(profile(System::Apx).data_processing, "Tuple-by-tuple");
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests on the benchmark core: workload invariants,
+//! query semantics, and the paper's statistics.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use streambench_core::data::{expected_grep_hits, sample_keeps, QueryLogRecord};
+use streambench_core::{stats, Query, QueryLogGenerator};
+
+proptest! {
+    /// Every generated record has exactly five tab-separated columns and
+    /// parses back losslessly.
+    #[test]
+    fn generated_records_are_well_formed(seed in any::<u64>(), n in 1u64..200) {
+        let mut generator = QueryLogGenerator::new(seed);
+        for _ in 0..n {
+            let record = generator.next_record();
+            let tsv = record.to_tsv();
+            prop_assert_eq!(tsv.matches('\t').count(), 4);
+            prop_assert_eq!(QueryLogRecord::from_tsv(&tsv), Some(record));
+        }
+    }
+
+    /// Grep selectivity is exactly the calibrated rate for any prefix
+    /// length.
+    #[test]
+    fn grep_hits_match_expectation(seed in any::<u64>(), n in 1u64..2_000) {
+        let mut generator = QueryLogGenerator::new(seed);
+        let hits = (0..n)
+            .filter(|_| {
+                Query::Grep.apply(&generator.next_payload()).is_some()
+            })
+            .count() as u64;
+        prop_assert_eq!(hits, expected_grep_hits(n));
+    }
+
+    /// Identity and projection keep the record count; grep and sample
+    /// never exceed it; projection strips all tabs.
+    #[test]
+    fn query_semantics(seed in any::<u64>(), n in 1u64..300) {
+        let mut generator = QueryLogGenerator::new(seed);
+        let payloads: Vec<Bytes> = (0..n).map(|_| generator.next_payload()).collect();
+        for query in Query::ALL {
+            let outputs: Vec<Bytes> =
+                payloads.iter().filter_map(|p| query.apply(p)).collect();
+            match query {
+                Query::Identity => prop_assert_eq!(outputs.len() as u64, n),
+                Query::Projection => {
+                    prop_assert_eq!(outputs.len() as u64, n);
+                    for o in &outputs {
+                        prop_assert!(!o.contains(&b'\t'));
+                    }
+                }
+                Query::Grep | Query::Sample => {
+                    prop_assert!(outputs.len() as u64 <= n);
+                    for o in &outputs {
+                        prop_assert!(payloads.contains(o), "outputs are input records");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The sample predicate is a pure function of content: permutation
+    /// invariant and stable.
+    #[test]
+    fn sample_is_content_pure(payload in prop::collection::vec(any::<u8>(), 0..128)) {
+        let a = sample_keeps(&payload, 40);
+        let b = sample_keeps(&payload, 40);
+        prop_assert_eq!(a, b);
+        // Monotone in the percentage.
+        if sample_keeps(&payload, 10) {
+            prop_assert!(sample_keeps(&payload, 40));
+        }
+        prop_assert!(sample_keeps(&payload, 100));
+        prop_assert!(!sample_keeps(&payload, 0));
+    }
+
+    /// Mean lies within [min, max]; the relative standard deviation of a
+    /// constant series is zero.
+    #[test]
+    fn stats_basics(values in prop::collection::vec(0.001f64..1e6, 1..50)) {
+        let m = stats::mean(&values);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(m >= min - 1e-9 && m <= max + 1e-9);
+        prop_assert!(stats::std_dev(&values) >= 0.0);
+        prop_assert!(stats::relative_std_dev(&values) >= 0.0);
+    }
+
+    #[test]
+    fn constant_series_has_zero_deviation(v in 0.5f64..100.0, n in 2usize..20) {
+        let values = vec![v; n];
+        prop_assert!(stats::std_dev(&values).abs() < 1e-9);
+        prop_assert!(stats::relative_std_dev(&values).abs() < 1e-9);
+    }
+
+    /// Slowdown-factor algebra: scaling all Beam times by `k` scales the
+    /// factor by `k`; equal times give exactly 1.
+    #[test]
+    fn slowdown_scales_linearly(
+        pairs in prop::collection::vec((0.1f64..100.0, 0.1f64..100.0), 1..5),
+        k in 0.1f64..10.0,
+    ) {
+        let base = stats::slowdown_factor(&pairs);
+        let scaled: Vec<(f64, f64)> =
+            pairs.iter().map(|(b, n)| (b * k, *n)).collect();
+        prop_assert!((stats::slowdown_factor(&scaled) - base * k).abs() < 1e-6 * base.max(1.0) * k.max(1.0));
+
+        let equal: Vec<(f64, f64)> = pairs.iter().map(|(_, n)| (*n, *n)).collect();
+        prop_assert!((stats::slowdown_factor(&equal) - 1.0).abs() < 1e-12);
+    }
+
+    /// The generator is self-similar: regenerating from the same seed
+    /// reproduces any prefix.
+    #[test]
+    fn generator_prefix_stability(seed in any::<u64>(), n in 1usize..100) {
+        let mut a = QueryLogGenerator::new(seed);
+        let long: Vec<Bytes> = (0..n * 2).map(|_| a.next_payload()).collect();
+        let mut b = QueryLogGenerator::new(seed);
+        let short: Vec<Bytes> = (0..n).map(|_| b.next_payload()).collect();
+        prop_assert_eq!(&long[..n], &short[..]);
+    }
+}

@@ -1,0 +1,145 @@
+//! The executor pool: worker threads that run partition tasks.
+//!
+//! In Apache Spark, an application acquires long-lived executor processes
+//! on worker nodes and the driver ships tasks to them (paper §II-C,
+//! Fig. 2). `ExecutorPool` models those executors as persistent worker
+//! threads owned by one application; the driver submits one task per RDD
+//! partition and blocks for the stage result.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send>;
+
+/// A fixed pool of worker threads executing partition tasks.
+#[derive(Debug)]
+pub struct ExecutorPool {
+    workers: Vec<JoinHandle<()>>,
+    submit: Option<Sender<Job>>,
+}
+
+impl ExecutorPool {
+    /// Spawns a pool with `workers` threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let (submit, jobs): (Sender<Job>, Receiver<Job>) = unbounded();
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let jobs = jobs.clone();
+                std::thread::Builder::new()
+                    .name(format!("executor-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = jobs.recv() {
+                            // A panicking task must not take the executor
+                            // down with it; the driver observes the failure
+                            // through the missing result.
+                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                        }
+                    })
+                    .expect("spawn executor thread")
+            })
+            .collect();
+        ExecutorPool { workers, submit: Some(submit) }
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs one stage: a set of independent tasks, one per partition.
+    /// Blocks until all tasks finish and returns their results in task
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a task panics (the stage is then poisoned, matching a
+    /// Spark job failure).
+    pub fn run_stage<R, F>(&self, tasks: Vec<F>) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        let n = tasks.len();
+        let (tx, rx) = unbounded::<(usize, R)>();
+        let submit = self.submit.as_ref().expect("pool is running");
+        for (i, task) in tasks.into_iter().enumerate() {
+            let tx = tx.clone();
+            submit
+                .send(Box::new(move || {
+                    let result = task();
+                    let _ = tx.send((i, result));
+                }))
+                .expect("executor pool accepts jobs");
+        }
+        drop(tx);
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            match rx.recv() {
+                Ok((i, r)) => results[i] = Some(r),
+                Err(_) => panic!("executor task panicked"),
+            }
+        }
+        results.into_iter().map(|r| r.expect("all tasks reported")).collect()
+    }
+}
+
+impl Drop for ExecutorPool {
+    fn drop(&mut self) {
+        // Close the job channel and let workers drain.
+        self.submit.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Shared handle to an executor pool.
+pub type SharedPool = Arc<ExecutorPool>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_tasks_in_order() {
+        let pool = ExecutorPool::new(4);
+        let results = pool.run_stage((0..100).map(|i| move || i * 2).collect::<Vec<_>>());
+        assert_eq!(results, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_stage() {
+        let pool = ExecutorPool::new(2);
+        let results: Vec<i32> = pool.run_stage(Vec::<fn() -> i32>::new());
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn at_least_one_worker() {
+        let pool = ExecutorPool::new(0);
+        assert_eq!(pool.worker_count(), 1);
+        let results = pool.run_stage(vec![|| 7]);
+        assert_eq!(results, vec![7]);
+    }
+
+    #[test]
+    fn pool_survives_many_stages() {
+        let pool = ExecutorPool::new(2);
+        for stage in 0..50 {
+            let tasks: Vec<Box<dyn FnOnce() -> i32 + Send>> =
+                vec![Box::new(move || stage), Box::new(move || stage + 1)];
+            let results = pool.run_stage(tasks);
+            assert_eq!(results, vec![stage, stage + 1]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "executor task panicked")]
+    fn task_panic_poisons_stage() {
+        let pool = ExecutorPool::new(2);
+        let tasks: Vec<Box<dyn FnOnce() -> i32 + Send>> =
+            vec![Box::new(|| 1), Box::new(|| panic!("boom"))];
+        let _ = pool.run_stage(tasks);
+    }
+}

@@ -1,0 +1,405 @@
+//! Resilient-distributed-dataset analog: lazy, partitioned, immutable
+//! collections with lineage.
+//!
+//! An [`Rdd<T>`] is a recipe: a partition count plus a compute function
+//! producing any partition on demand (the lineage of paper §II-C's RDDs,
+//! without the fault-tolerance machinery — there are no node failures in
+//! one process). Transformations compose compute functions lazily; actions
+//! run one task per partition on the context's executor pool.
+
+use crate::context::Context;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+type Compute<T> = Arc<dyn Fn(usize) -> Vec<T> + Send + Sync>;
+
+/// A lazy, partitioned collection.
+pub struct Rdd<T> {
+    ctx: Context,
+    partitions: usize,
+    compute: Compute<T>,
+}
+
+impl<T> Clone for Rdd<T> {
+    fn clone(&self) -> Self {
+        Rdd { ctx: self.ctx.clone(), partitions: self.partitions, compute: self.compute.clone() }
+    }
+}
+
+impl<T> std::fmt::Debug for Rdd<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rdd").field("partitions", &self.partitions).finish_non_exhaustive()
+    }
+}
+
+impl<T: Send + Sync + 'static> Rdd<T> {
+    /// Creates an RDD whose partitions are the given vectors.
+    pub fn from_partitions(ctx: Context, parts: Vec<Vec<T>>) -> Self
+    where
+        T: Clone,
+    {
+        let parts = Arc::new(parts);
+        let partitions = parts.len().max(1);
+        Rdd {
+            ctx,
+            partitions,
+            compute: Arc::new(move |i| parts.get(i).cloned().unwrap_or_default()),
+        }
+    }
+
+    /// Creates an RDD from an explicit compute function.
+    pub fn from_compute(
+        ctx: Context,
+        partitions: usize,
+        compute: impl Fn(usize) -> Vec<T> + Send + Sync + 'static,
+    ) -> Self {
+        Rdd { ctx, partitions: partitions.max(1), compute: Arc::new(compute) }
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> usize {
+        self.partitions
+    }
+
+    /// The driver context this RDD belongs to.
+    pub fn context(&self) -> &Context {
+        &self.ctx
+    }
+
+    /// Element-wise transformation (lazy).
+    pub fn map<U, F>(self, f: F) -> Rdd<U>
+    where
+        U: Send + Sync + 'static,
+        F: Fn(T) -> U + Send + Sync + 'static,
+    {
+        let compute = self.compute;
+        Rdd {
+            ctx: self.ctx,
+            partitions: self.partitions,
+            compute: Arc::new(move |i| compute(i).into_iter().map(&f).collect()),
+        }
+    }
+
+    /// Keeps elements satisfying the predicate (lazy).
+    pub fn filter<F>(self, f: F) -> Rdd<T>
+    where
+        F: Fn(&T) -> bool + Send + Sync + 'static,
+    {
+        let compute = self.compute;
+        Rdd {
+            ctx: self.ctx,
+            partitions: self.partitions,
+            compute: Arc::new(move |i| compute(i).into_iter().filter(|t| f(t)).collect()),
+        }
+    }
+
+    /// One-to-many transformation (lazy).
+    pub fn flat_map<U, I, F>(self, f: F) -> Rdd<U>
+    where
+        U: Send + Sync + 'static,
+        I: IntoIterator<Item = U>,
+        F: Fn(T) -> I + Send + Sync + 'static,
+    {
+        let compute = self.compute;
+        Rdd {
+            ctx: self.ctx,
+            partitions: self.partitions,
+            compute: Arc::new(move |i| compute(i).into_iter().flat_map(&f).collect()),
+        }
+    }
+
+    /// Whole-partition transformation (lazy); the cheapest way to apply
+    /// per-batch logic, which is why micro-batching amortizes so well.
+    pub fn map_partitions<U, F>(self, f: F) -> Rdd<U>
+    where
+        U: Send + Sync + 'static,
+        F: Fn(Vec<T>) -> Vec<U> + Send + Sync + 'static,
+    {
+        let compute = self.compute;
+        Rdd {
+            ctx: self.ctx,
+            partitions: self.partitions,
+            compute: Arc::new(move |i| f(compute(i))),
+        }
+    }
+
+    /// Redistributes elements round-robin into `partitions` partitions.
+    ///
+    /// This is a **shuffle**: like a Spark stage boundary, the parent
+    /// lineage runs *now* (the map side of the shuffle, driven from the
+    /// driver) and the result is redistributed; downstream lineage starts
+    /// from the materialized buckets.
+    pub fn repartition(self, partitions: usize) -> Rdd<T>
+    where
+        T: Clone,
+    {
+        let partitions = partitions.max(1);
+        let mut next = 0usize;
+        self.shuffle(partitions, move |_t: &T| {
+            let target = next;
+            next = next.wrapping_add(1);
+            target
+        })
+    }
+
+    /// Materializes the shuffle eagerly: the parent stage runs on the
+    /// executors (driven from the calling thread — the driver, as in
+    /// Spark's scheduler), every element is routed to its bucket, and the
+    /// result becomes a fresh in-memory RDD.
+    ///
+    /// Shuffles must be driven from the driver: running a stage from
+    /// inside an executor task would let tasks submit tasks, which can
+    /// exhaust the pool and deadlock — the reason Spark separates stages
+    /// at shuffle boundaries in the first place.
+    fn shuffle<R>(self, buckets: usize, mut route: R) -> Rdd<T>
+    where
+        T: Clone,
+        R: FnMut(&T) -> usize,
+    {
+        let ctx = self.ctx.clone();
+        let mut out: Vec<Vec<T>> = (0..buckets).map(|_| Vec::new()).collect();
+        for part in self.collect_partitions() {
+            for item in part {
+                let b = route(&item) % buckets;
+                out[b].push(item);
+            }
+        }
+        Rdd::from_partitions(ctx, out)
+    }
+
+    /// Runs the lineage and returns all partitions (in partition order).
+    pub fn collect_partitions(&self) -> Vec<Vec<T>> {
+        let pool = self.ctx.pool();
+        let tasks: Vec<_> = (0..self.partitions)
+            .map(|i| {
+                let compute = self.compute.clone();
+                move || compute(i)
+            })
+            .collect();
+        pool.run_stage(tasks)
+    }
+
+    /// Runs the lineage and returns all elements, partition by partition.
+    pub fn collect(&self) -> Vec<T> {
+        self.collect_partitions().into_iter().flatten().collect()
+    }
+
+    /// Counts elements (runs the lineage).
+    pub fn count(&self) -> usize {
+        let pool = self.ctx.pool();
+        let tasks: Vec<_> = (0..self.partitions)
+            .map(|i| {
+                let compute = self.compute.clone();
+                move || compute(i).len()
+            })
+            .collect();
+        pool.run_stage(tasks).into_iter().sum()
+    }
+
+    /// Applies `f` to each partition on the executors (an action).
+    pub fn foreach_partition<F>(&self, f: F)
+    where
+        F: Fn(usize, Vec<T>) + Send + Sync + 'static,
+    {
+        let pool = self.ctx.pool();
+        let f = Arc::new(f);
+        let tasks: Vec<_> = (0..self.partitions)
+            .map(|i| {
+                let compute = self.compute.clone();
+                let f = f.clone();
+                move || f(i, compute(i))
+            })
+            .collect();
+        let _: Vec<()> = pool.run_stage(tasks);
+    }
+}
+
+impl<K, V> Rdd<(K, V)>
+where
+    K: Eq + Hash + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// Hash-partitions by key and reduces values per key (a shuffle).
+    pub fn reduce_by_key<F>(self, partitions: usize, f: F) -> Rdd<(K, V)>
+    where
+        F: Fn(V, V) -> V + Send + Sync + 'static,
+    {
+        self.shuffle_by_key(partitions).map_partitions(move |part| {
+            let mut acc: HashMap<K, V> = HashMap::new();
+            let mut order: Vec<K> = Vec::new();
+            for (k, v) in part {
+                match acc.remove(&k) {
+                    Some(prev) => {
+                        acc.insert(k, f(prev, v));
+                    }
+                    None => {
+                        order.push(k.clone());
+                        acc.insert(k, v);
+                    }
+                }
+            }
+            order
+                .into_iter()
+                .filter_map(|k| acc.remove_entry(&k))
+                .collect()
+        })
+    }
+
+    /// Hash-partitions by key and groups values per key (a shuffle).
+    pub fn group_by_key(self, partitions: usize) -> Rdd<(K, Vec<V>)> {
+        self.shuffle_by_key(partitions).map_partitions(|part| {
+            let mut acc: HashMap<K, Vec<V>> = HashMap::new();
+            let mut order: Vec<K> = Vec::new();
+            for (k, v) in part {
+                let entry = acc.entry(k.clone()).or_default();
+                if entry.is_empty() {
+                    order.push(k);
+                }
+                entry.push(v);
+            }
+            order
+                .into_iter()
+                .filter_map(|k| acc.remove_entry(&k))
+                .collect()
+        })
+    }
+
+    fn shuffle_by_key(self, partitions: usize) -> Rdd<(K, V)> {
+        self.shuffle(partitions.max(1), |t: &(K, V)| {
+            let mut hasher = DefaultHasher::new();
+            t.0.hash(&mut hasher);
+            hasher.finish() as usize
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn ctx() -> Context {
+        Context::local()
+    }
+
+    #[test]
+    fn map_filter_flat_map() {
+        let rdd = ctx().parallelize((0..20).collect::<Vec<i64>>(), 3);
+        let out = rdd
+            .map(|x| x + 1)
+            .filter(|x| x % 2 == 0)
+            .flat_map(|x| vec![x, x])
+            .collect();
+        assert_eq!(out.len(), 20);
+        assert!(out.iter().all(|x| x % 2 == 0));
+    }
+
+    #[test]
+    fn laziness() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let calls2 = calls.clone();
+        let rdd = Rdd::from_compute(ctx(), 2, move |i| {
+            calls2.fetch_add(1, Ordering::SeqCst);
+            vec![i]
+        });
+        let mapped = rdd.map(|x| x * 10);
+        assert_eq!(calls.load(Ordering::SeqCst), 0, "nothing computed before an action");
+        assert_eq!(mapped.collect(), vec![0, 10]);
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn repartition_preserves_elements() {
+        let rdd = ctx().parallelize((0..100).collect::<Vec<i64>>(), 1);
+        let repartitioned = rdd.repartition(4);
+        assert_eq!(repartitioned.partition_count(), 4);
+        let parts = repartitioned.collect_partitions();
+        assert!(parts.iter().all(|p| p.len() == 25));
+        let mut all: Vec<i64> = parts.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn shuffle_runs_parent_stage_once() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let calls2 = calls.clone();
+        let rdd = Rdd::from_compute(ctx(), 2, move |i| {
+            calls2.fetch_add(1, Ordering::SeqCst);
+            vec![i as i64]
+        });
+        let repartitioned = rdd.repartition(2);
+        assert_eq!(calls.load(Ordering::SeqCst), 2, "map side ran at the boundary");
+        let _ = repartitioned.collect();
+        let _ = repartitioned.collect();
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            2,
+            "parent computed once despite two actions on the shuffled RDD"
+        );
+    }
+
+    #[test]
+    fn wide_repartition_does_not_deadlock() {
+        // Regression: a lazy shuffle computed inside executor tasks
+        // deadlocked once the bucket count reached the worker count.
+        let workers = Context::local().pool().worker_count();
+        let rdd = ctx().parallelize((0..100i64).collect::<Vec<_>>(), 1);
+        let wide = rdd.repartition(workers * 4);
+        assert_eq!(wide.count(), 100);
+    }
+
+    #[test]
+    fn reduce_by_key_sums() {
+        let pairs = vec![("a", 1), ("b", 2), ("a", 3), ("c", 4), ("b", 5)];
+        let rdd = ctx().parallelize(pairs, 3).reduce_by_key(2, |a, b| a + b);
+        let mut out = rdd.collect();
+        out.sort();
+        assert_eq!(out, vec![("a", 4), ("b", 7), ("c", 4)]);
+    }
+
+    #[test]
+    fn group_by_key_collects() {
+        let pairs = vec![("a", 1), ("b", 2), ("a", 3)];
+        let rdd = ctx().parallelize(pairs, 2).group_by_key(2);
+        let mut out = rdd.collect();
+        out.sort();
+        assert_eq!(out, vec![("a", vec![1, 3]), ("b", vec![2])]);
+    }
+
+    #[test]
+    fn same_key_lands_in_same_partition() {
+        let pairs: Vec<(i32, i32)> = (0..100).map(|i| (i % 5, i)).collect();
+        let parts = ctx().parallelize(pairs, 4).shuffle_by_key(3).collect_partitions();
+        for key in 0..5 {
+            let holding: Vec<usize> = parts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.iter().any(|(k, _)| *k == key))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(holding.len(), 1, "key {key} spread over {holding:?}");
+        }
+    }
+
+    #[test]
+    fn count_and_foreach() {
+        let rdd = ctx().parallelize((0..42).collect::<Vec<i64>>(), 5);
+        assert_eq!(rdd.count(), 42);
+        let seen = Arc::new(AtomicUsize::new(0));
+        let seen2 = seen.clone();
+        rdd.foreach_partition(move |_i, part| {
+            seen2.fetch_add(part.len(), Ordering::SeqCst);
+        });
+        assert_eq!(seen.load(Ordering::SeqCst), 42);
+    }
+
+    #[test]
+    fn map_partitions_sees_whole_partition() {
+        let rdd = ctx().parallelize((0..10).collect::<Vec<i64>>(), 2);
+        let sizes = rdd.map_partitions(|part| vec![part.len()]).collect();
+        assert_eq!(sizes, vec![5, 5]);
+    }
+}

@@ -1,0 +1,293 @@
+//! The streaming context: micro-batch scheduling of output operations.
+
+use crate::context::Context;
+use crate::rdd::Rdd;
+use crate::source::BatchSource;
+use crate::stream::DStream;
+use bytes::Bytes;
+use logbus::{Broker, Record};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Errors raised by streaming jobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// `run_to_completion` was called with no registered output
+    /// operations.
+    NoOutputOperations,
+    /// Creating a stream failed (e.g. unknown topic).
+    Source(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::NoOutputOperations => f.write_str("streaming job has no output operations"),
+            Error::Source(msg) => write!(f, "stream source failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias for streaming results.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Per-job statistics reported by [`StreamingContext::run_to_completion`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamingReport {
+    /// Batch ticks executed.
+    pub batches: u64,
+    /// Wall-clock runtime.
+    pub elapsed: Duration,
+}
+
+type OutputOp = Box<dyn FnMut() -> bool + Send>;
+
+/// Drives one streaming application: registered output operations are
+/// invoked once per batch tick until every stream is drained.
+///
+/// When a `batch_interval` is configured, a tick that finishes early waits
+/// for the remainder of the interval (a keeping-up stream); without one,
+/// ticks run back-to-back (a backlogged stream, the benchmark situation —
+/// the input topic is fully loaded before the job starts).
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> dstream::Result<()> {
+/// use dstream::{Context, StreamingContext, VecBatchSource};
+/// use std::sync::Arc;
+/// use parking_lot::Mutex;
+///
+/// let ssc = StreamingContext::new(Context::local());
+/// let out = Arc::new(Mutex::new(Vec::new()));
+/// let sink = out.clone();
+/// ssc.receiver_stream(VecBatchSource::new(vec![vec![1, 2], vec![3]]))
+///     .map(|x: i64| x * 2)
+///     .foreach_rdd(&ssc, move |rdd| sink.lock().extend(rdd.collect()));
+/// let report = ssc.run_to_completion()?;
+/// assert_eq!(report.batches, 2);
+/// assert_eq!(*out.lock(), vec![2, 4, 6]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct StreamingContext {
+    ctx: Context,
+    inner: Arc<Mutex<StreamingInner>>,
+}
+
+struct StreamingInner {
+    output_ops: Vec<OutputOp>,
+    batch_interval: Option<Duration>,
+}
+
+impl std::fmt::Debug for StreamingContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingContext").field("ctx", &self.ctx).finish_non_exhaustive()
+    }
+}
+
+impl StreamingContext {
+    /// Creates a streaming context over a driver context, with no minimum
+    /// batch interval.
+    pub fn new(ctx: Context) -> Self {
+        StreamingContext {
+            ctx,
+            inner: Arc::new(Mutex::new(StreamingInner { output_ops: Vec::new(), batch_interval: None })),
+        }
+    }
+
+    /// Sets a minimum batch interval.
+    pub fn set_batch_interval(&self, interval: Duration) {
+        self.inner.lock().batch_interval = Some(interval);
+    }
+
+    /// The driver context.
+    pub fn context(&self) -> &Context {
+        &self.ctx
+    }
+
+    /// Creates a stream from any [`BatchSource`].
+    pub fn receiver_stream<T: Clone + Send + Sync + 'static>(
+        &self,
+        source: impl BatchSource<T> + 'static,
+    ) -> DStream<T> {
+        DStream::from_source(self.ctx.clone(), source)
+    }
+
+    /// Creates a bounded stream over a `logbus` topic (Kafka direct
+    /// stream).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Source`] for unknown topics.
+    pub fn broker_stream(
+        &self,
+        broker: Broker,
+        topic: &str,
+        max_batch_records: usize,
+    ) -> Result<DStream<Bytes>> {
+        let source = crate::source::BrokerBatchSource::new(broker, topic, max_batch_records)
+            .map_err(|e| Error::Source(e.to_string()))?;
+        Ok(self.receiver_stream(source))
+    }
+
+    /// Registers an output operation applied to every batch of `stream`.
+    pub(crate) fn register_output<T, F>(&self, stream: &DStream<T>, mut f: F)
+    where
+        T: Clone + Send + Sync + 'static,
+        F: FnMut(Rdd<T>) + Send + 'static,
+    {
+        let stream = stream.clone();
+        self.inner.lock().output_ops.push(Box::new(move || match stream.next_batch() {
+            Some(rdd) => {
+                f(rdd);
+                true
+            }
+            None => false,
+        }));
+    }
+
+    /// Runs batch ticks until every output operation's stream is drained.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoOutputOperations`] when nothing was registered.
+    pub fn run_to_completion(&self) -> Result<StreamingReport> {
+        let mut ops = std::mem::take(&mut self.inner.lock().output_ops);
+        if ops.is_empty() {
+            return Err(Error::NoOutputOperations);
+        }
+        let interval = self.inner.lock().batch_interval;
+        let started = Instant::now();
+        let mut batches = 0u64;
+        loop {
+            let tick_started = Instant::now();
+            let mut any = false;
+            for op in &mut ops {
+                if op() {
+                    any = true;
+                }
+            }
+            if !any {
+                break;
+            }
+            batches += 1;
+            if let Some(interval) = interval {
+                let spent = tick_started.elapsed();
+                if spent < interval {
+                    std::thread::sleep(interval - spent);
+                }
+            }
+        }
+        Ok(StreamingReport { batches, elapsed: started.elapsed() })
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> DStream<T> {
+    /// Registers `f` as the output operation for this stream's batches.
+    pub fn foreach_rdd<F>(&self, ssc: &StreamingContext, f: F)
+    where
+        F: FnMut(Rdd<T>) + Send + 'static,
+    {
+        ssc.register_output(self, f);
+    }
+}
+
+impl DStream<Bytes> {
+    /// Registers an output operation writing every batch to a `logbus`
+    /// topic as one broker append per partition.
+    pub fn save_to_broker(&self, ssc: &StreamingContext, broker: Broker, topic: &str) {
+        let topic = topic.to_string();
+        self.foreach_rdd(ssc, move |rdd| {
+            for part in rdd.collect_partitions() {
+                if part.is_empty() {
+                    continue;
+                }
+                let records: Vec<Record> = part.into_iter().map(Record::from_value).collect();
+                let _ = broker.produce_batch(&topic, 0, records);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::VecBatchSource;
+    use logbus::TopicConfig;
+
+    #[test]
+    fn run_to_completion_counts_batches() {
+        let ssc = StreamingContext::new(Context::local());
+        let seen = Arc::new(Mutex::new(0usize));
+        let seen2 = seen.clone();
+        ssc.receiver_stream(VecBatchSource::new(vec![vec![1], vec![2], vec![3]]))
+            .foreach_rdd(&ssc, move |rdd| *seen2.lock() += rdd.count());
+        let report = ssc.run_to_completion().unwrap();
+        assert_eq!(report.batches, 3);
+        assert_eq!(*seen.lock(), 3);
+    }
+
+    #[test]
+    fn no_output_ops_is_an_error() {
+        let ssc = StreamingContext::new(Context::local());
+        assert_eq!(ssc.run_to_completion(), Err(Error::NoOutputOperations));
+    }
+
+    #[test]
+    fn broker_roundtrip() {
+        let broker = Broker::new();
+        broker.create_topic("in", TopicConfig::default()).unwrap();
+        broker.create_topic("out", TopicConfig::default()).unwrap();
+        for i in 0..100 {
+            broker.produce("in", 0, Record::from_value(format!("{i}"))).unwrap();
+        }
+        let ssc = StreamingContext::new(Context::local());
+        let stream = ssc.broker_stream(broker.clone(), "in", 30).unwrap();
+        stream
+            .filter(|b: &Bytes| b.len() == 2)
+            .save_to_broker(&ssc, broker.clone(), "out");
+        let report = ssc.run_to_completion().unwrap();
+        assert_eq!(report.batches, 4, "100 records in batches of 30");
+        assert_eq!(broker.latest_offset("out", 0).unwrap(), 90, "two-digit records");
+    }
+
+    #[test]
+    fn missing_topic_is_source_error() {
+        let ssc = StreamingContext::new(Context::local());
+        assert!(matches!(
+            ssc.broker_stream(Broker::new(), "missing", 1),
+            Err(Error::Source(_))
+        ));
+    }
+
+    #[test]
+    fn batch_interval_paces_ticks() {
+        let ssc = StreamingContext::new(Context::local());
+        ssc.set_batch_interval(Duration::from_millis(20));
+        ssc.receiver_stream(VecBatchSource::new(vec![vec![1], vec![2], vec![3]]))
+            .foreach_rdd(&ssc, |_rdd| {});
+        let started = Instant::now();
+        let report = ssc.run_to_completion().unwrap();
+        assert_eq!(report.batches, 3);
+        assert!(started.elapsed() >= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn two_streams_run_interleaved() {
+        let ssc = StreamingContext::new(Context::local());
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let (l1, l2) = (log.clone(), log.clone());
+        ssc.receiver_stream(VecBatchSource::new(vec![vec!['a'], vec!['b']]))
+            .foreach_rdd(&ssc, move |rdd| l1.lock().extend(rdd.collect()));
+        ssc.receiver_stream(VecBatchSource::new(vec![vec!['x']]))
+            .foreach_rdd(&ssc, move |rdd| l2.lock().extend(rdd.collect()));
+        let report = ssc.run_to_completion().unwrap();
+        assert_eq!(report.batches, 2, "longest stream defines the tick count");
+        assert_eq!(*log.lock(), vec!['a', 'x', 'b']);
+    }
+}

@@ -1,0 +1,189 @@
+//! Windowed stream operations: sliding views over micro-batches.
+//!
+//! Spark Streaming's windowed operations (`window`, `countByWindow`,
+//! `reduceByWindow`) are defined in units of the batch interval; here a
+//! window spans `length` micro-batches and slides by `slide` batches.
+//! These are the paper's "future work: query complexity" direction made
+//! concrete — stateful windowing on the micro-batch engine's native API
+//! (which the abstraction layer could *not* use, §III-B).
+
+use crate::context::Context;
+use crate::rdd::Rdd;
+use crate::stream::DStream;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+impl<T: Clone + Send + Sync + 'static> DStream<T> {
+    /// Groups the stream into windows of `length` batches sliding by
+    /// `slide` batches: each output batch is the union of the last
+    /// `length` input batches, produced every `slide` input batches.
+    ///
+    /// The window starts emitting once the first `length` batches have
+    /// arrived, and emits a final (possibly partial) window when the
+    /// bounded source drains mid-slide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` or `slide` is zero.
+    pub fn window(&self, length: usize, slide: usize) -> DStream<T> {
+        assert!(length > 0, "window length must be positive");
+        assert!(slide > 0, "window slide must be positive");
+        let buffer: Arc<Mutex<WindowBuffer<T>>> = Arc::new(Mutex::new(WindowBuffer {
+            batches: VecDeque::new(),
+            since_emit: 0,
+            length,
+            slide,
+            drained: false,
+        }));
+        let parent = self.clone();
+        let ctx = self.context().clone();
+        DStream::from_pull(ctx.clone(), move || {
+            let mut buffer = buffer.lock();
+            if buffer.drained {
+                return None;
+            }
+            loop {
+                match parent.next_batch() {
+                    Some(rdd) => {
+                        buffer.push(rdd.collect());
+                        if buffer.ready() {
+                            return Some(buffer.emit(&ctx));
+                        }
+                    }
+                    None => {
+                        buffer.drained = true;
+                        if buffer.has_pending() {
+                            return Some(buffer.emit(&ctx));
+                        }
+                        return None;
+                    }
+                }
+            }
+        })
+    }
+
+    /// Counts the elements of each window.
+    pub fn count_by_window(&self, length: usize, slide: usize) -> DStream<usize> {
+        self.window(length, slide).transform(|rdd| {
+            let n = rdd.count();
+            Rdd::from_partitions(rdd.context().clone(), vec![vec![n]])
+        })
+    }
+
+    /// Reduces each window with a binary operation; empty windows emit
+    /// nothing.
+    pub fn reduce_by_window<F>(&self, length: usize, slide: usize, f: F) -> DStream<T>
+    where
+        F: Fn(T, T) -> T + Send + Sync + Clone + 'static,
+    {
+        self.window(length, slide).transform(move |rdd| {
+            let f = f.clone();
+            let items = rdd.collect();
+            let reduced: Vec<T> = items.into_iter().reduce(&f).into_iter().collect();
+            Rdd::from_partitions(rdd.context().clone(), vec![reduced])
+        })
+    }
+}
+
+struct WindowBuffer<T> {
+    batches: VecDeque<Vec<T>>,
+    since_emit: usize,
+    length: usize,
+    slide: usize,
+    drained: bool,
+}
+
+impl<T: Clone + Send + Sync + 'static> WindowBuffer<T> {
+    fn push(&mut self, batch: Vec<T>) {
+        self.batches.push_back(batch);
+        if self.batches.len() > self.length {
+            self.batches.pop_front();
+        }
+        self.since_emit += 1;
+    }
+
+    fn ready(&self) -> bool {
+        self.batches.len() >= self.length && self.since_emit >= self.slide
+    }
+
+    fn has_pending(&self) -> bool {
+        self.since_emit > 0 && !self.batches.is_empty()
+    }
+
+    fn emit(&mut self, ctx: &Context) -> Rdd<T> {
+        self.since_emit = 0;
+        let union: Vec<T> = self.batches.iter().flatten().cloned().collect();
+        Rdd::from_partitions(ctx.clone(), vec![union])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::VecBatchSource;
+
+    fn stream_of(batches: Vec<Vec<i64>>) -> DStream<i64> {
+        DStream::from_source(Context::local(), VecBatchSource::new(batches))
+    }
+
+    fn drain<T: Clone + Send + Sync + 'static>(s: &DStream<T>) -> Vec<Vec<T>> {
+        let mut out = Vec::new();
+        while let Some(rdd) = s.next_batch() {
+            out.push(rdd.collect());
+        }
+        out
+    }
+
+    #[test]
+    fn tumbling_window() {
+        let s = stream_of(vec![vec![1], vec![2], vec![3], vec![4]]);
+        let windows = drain(&s.window(2, 2));
+        assert_eq!(windows, vec![vec![1, 2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn sliding_window() {
+        let s = stream_of(vec![vec![1], vec![2], vec![3], vec![4]]);
+        let windows = drain(&s.window(3, 1));
+        assert_eq!(
+            windows,
+            vec![vec![1, 2, 3], vec![2, 3, 4]],
+            "slide 1: a window per batch once warm; nothing pending at drain"
+        );
+    }
+
+    #[test]
+    fn partial_final_window() {
+        let s = stream_of(vec![vec![1], vec![2], vec![3]]);
+        let windows = drain(&s.window(2, 2));
+        assert_eq!(windows, vec![vec![1, 2], vec![2, 3]], "drain emits the tail window");
+    }
+
+    #[test]
+    fn count_by_window() {
+        let s = stream_of(vec![vec![1, 1], vec![2], vec![3, 3, 3], vec![4]]);
+        let counts = drain(&s.count_by_window(2, 2));
+        assert_eq!(counts, vec![vec![3], vec![4]]);
+    }
+
+    #[test]
+    fn reduce_by_window_sums() {
+        let s = stream_of(vec![vec![1, 2], vec![3], vec![4], vec![5]]);
+        let sums = drain(&s.reduce_by_window(2, 2, |a, b| a + b));
+        assert_eq!(sums, vec![vec![6], vec![9]]);
+    }
+
+    #[test]
+    fn empty_stream_yields_no_windows() {
+        let s = stream_of(vec![]);
+        assert!(drain(&s.window(2, 2)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be positive")]
+    fn zero_length_panics() {
+        let s = stream_of(vec![vec![1]]);
+        let _ = s.window(0, 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! Administrative views over topics.
+
+use crate::bus::Bus;
+use crate::error::Result;
+use crate::record::Timestamp;
+
+/// Per-partition description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionInfo {
+    /// Partition index.
+    pub partition: u32,
+    /// Earliest retained offset.
+    pub earliest_offset: u64,
+    /// Next offset to be written.
+    pub latest_offset: u64,
+    /// Stored timestamp of the first retained record.
+    pub first_timestamp: Option<Timestamp>,
+    /// Stored timestamp of the last record.
+    pub last_timestamp: Option<Timestamp>,
+}
+
+impl PartitionInfo {
+    /// Number of retained records.
+    pub fn records(&self) -> u64 {
+        self.latest_offset - self.earliest_offset
+    }
+}
+
+/// A point-in-time description of a topic, as used by the benchmark's
+/// result calculator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopicDescription {
+    /// Topic name.
+    pub name: String,
+    /// One entry per partition.
+    pub partitions: Vec<PartitionInfo>,
+}
+
+impl TopicDescription {
+    /// Describes `topic` on `bus`.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown topics.
+    pub fn describe(bus: &dyn Bus, topic: &str) -> Result<Self> {
+        let count = bus.partition_count(topic)?;
+        let mut partitions = Vec::with_capacity(count as usize);
+        for p in 0..count {
+            partitions.push(PartitionInfo {
+                partition: p,
+                earliest_offset: bus.earliest_offset(topic, p)?,
+                latest_offset: bus.latest_offset(topic, p)?,
+                first_timestamp: bus.first_timestamp(topic, p)?,
+                last_timestamp: bus.last_timestamp(topic, p)?,
+            });
+        }
+        Ok(TopicDescription { name: topic.to_string(), partitions })
+    }
+
+    /// Total retained records over all partitions.
+    pub fn total_records(&self) -> u64 {
+        self.partitions.iter().map(PartitionInfo::records).sum()
+    }
+
+    /// Earliest stored timestamp across partitions.
+    pub fn first_timestamp(&self) -> Option<Timestamp> {
+        self.partitions.iter().filter_map(|p| p.first_timestamp).min()
+    }
+
+    /// Latest stored timestamp across partitions.
+    pub fn last_timestamp(&self) -> Option<Timestamp> {
+        self.partitions.iter().filter_map(|p| p.last_timestamp).max()
+    }
+
+    /// The `LogAppendTime` span between the first and last stored record,
+    /// in seconds — the paper's execution-time measure when applied to a
+    /// query's output topic (§III-A3).
+    pub fn append_time_span_seconds(&self) -> Option<f64> {
+        match (self.first_timestamp(), self.last_timestamp()) {
+            (Some(first), Some(last)) => Some(last.seconds_since(first)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::Broker;
+    use crate::clock::ManualClock;
+    use crate::config::TopicConfig;
+    use crate::record::Record;
+    use std::sync::Arc;
+
+    #[test]
+    fn describe_reports_offsets_and_span() {
+        let clock = Arc::new(ManualClock::with_auto_tick(1_000_000, 500_000));
+        let broker = Broker::with_clock(clock);
+        broker.create_topic("out", TopicConfig::default()).unwrap();
+        for i in 0..4 {
+            broker.produce("out", 0, Record::from_value(format!("{i}"))).unwrap();
+        }
+        let desc = TopicDescription::describe(&broker, "out").unwrap();
+        assert_eq!(desc.name, "out");
+        assert_eq!(desc.total_records(), 4);
+        assert_eq!(desc.partitions.len(), 1);
+        assert_eq!(desc.partitions[0].records(), 4);
+        // Appends at t=1.0s, 1.5s, 2.0s, 2.5s -> span 1.5s.
+        let span = desc.append_time_span_seconds().unwrap();
+        assert!((span - 1.5).abs() < 1e-9, "span was {span}");
+    }
+
+    #[test]
+    fn empty_topic_has_no_span() {
+        let broker = Broker::new();
+        broker.create_topic("empty", TopicConfig::default()).unwrap();
+        let desc = TopicDescription::describe(&broker, "empty").unwrap();
+        assert_eq!(desc.total_records(), 0);
+        assert!(desc.append_time_span_seconds().is_none());
+    }
+
+    #[test]
+    fn multi_partition_span_uses_extremes() {
+        let clock = Arc::new(ManualClock::with_auto_tick(0, 1_000_000));
+        let broker = Broker::with_clock(clock);
+        broker.create_topic("t", TopicConfig::default().partitions(2)).unwrap();
+        broker.produce("t", 0, Record::from_value("a")).unwrap(); // t=0
+        broker.produce("t", 1, Record::from_value("b")).unwrap(); // t=1
+        broker.produce("t", 0, Record::from_value("c")).unwrap(); // t=2
+        let desc = TopicDescription::describe(&broker, "t").unwrap();
+        assert!((desc.append_time_span_seconds().unwrap() - 2.0).abs() < 1e-9);
+    }
+}

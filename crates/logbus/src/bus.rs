@@ -1,0 +1,268 @@
+//! The [`Bus`] abstraction: anything records can be produced to and
+//! fetched from.
+//!
+//! Both a single [`Broker`](crate::Broker) and a replicated
+//! [`Cluster`](crate::Cluster) implement [`Bus`], so producers, consumers,
+//! and the stream-processing engines' connectors work against either
+//! topology unchanged.
+
+use crate::broker::Broker;
+use crate::cluster::Cluster;
+use crate::config::TopicConfig;
+use crate::error::Result;
+use crate::record::{Record, StoredRecord, Timestamp};
+
+/// Object-safe facade over a broker or cluster.
+///
+/// This trait is sealed: it is implemented for [`Broker`] and [`Cluster`]
+/// and cannot be implemented outside this crate.
+pub trait Bus: sealed::Sealed + Send + Sync + std::fmt::Debug {
+    /// Creates a topic.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the topic exists or the configuration is invalid.
+    fn create_topic(&self, name: &str, config: TopicConfig) -> Result<()>;
+
+    /// Whether a topic exists.
+    fn has_topic(&self, name: &str) -> bool;
+
+    /// Appends a batch, returning the base offset.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown topics/partitions.
+    fn produce_batch(&self, topic: &str, partition: u32, records: Vec<Record>) -> Result<u64>;
+
+    /// Fetches up to `max` records starting at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown topics/partitions or out-of-range offsets.
+    fn fetch(
+        &self,
+        topic: &str,
+        partition: u32,
+        offset: u64,
+        max: usize,
+    ) -> Result<Vec<StoredRecord>>;
+
+    /// Next offset to be written.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown topics/partitions.
+    fn latest_offset(&self, topic: &str, partition: u32) -> Result<u64>;
+
+    /// Earliest retained offset.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown topics/partitions.
+    fn earliest_offset(&self, topic: &str, partition: u32) -> Result<u64>;
+
+    /// Number of partitions of a topic.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown topics.
+    fn partition_count(&self, topic: &str) -> Result<u32>;
+
+    /// Stored timestamp of the first retained record.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown topics/partitions.
+    fn first_timestamp(&self, topic: &str, partition: u32) -> Result<Option<Timestamp>>;
+
+    /// Stored timestamp of the last record.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown topics/partitions.
+    fn last_timestamp(&self, topic: &str, partition: u32) -> Result<Option<Timestamp>>;
+
+    /// Commits a consumer-group offset.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown topics.
+    fn commit_offset(&self, group: &str, topic: &str, partition: u32, offset: u64)
+        -> Result<()>;
+
+    /// Reads a committed consumer-group offset.
+    fn committed_offset(&self, group: &str, topic: &str, partition: u32) -> Option<u64>;
+
+    /// Reads the bus clock.
+    fn now(&self) -> Timestamp;
+}
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for super::Broker {}
+    impl Sealed for super::Cluster {}
+}
+
+impl Bus for Broker {
+    fn create_topic(&self, name: &str, config: TopicConfig) -> Result<()> {
+        Broker::create_topic(self, name, config)
+    }
+
+    fn has_topic(&self, name: &str) -> bool {
+        Broker::has_topic(self, name)
+    }
+
+    fn produce_batch(&self, topic: &str, partition: u32, records: Vec<Record>) -> Result<u64> {
+        Broker::produce_batch(self, topic, partition, records)
+    }
+
+    fn fetch(
+        &self,
+        topic: &str,
+        partition: u32,
+        offset: u64,
+        max: usize,
+    ) -> Result<Vec<StoredRecord>> {
+        Broker::fetch(self, topic, partition, offset, max)
+    }
+
+    fn latest_offset(&self, topic: &str, partition: u32) -> Result<u64> {
+        Broker::latest_offset(self, topic, partition)
+    }
+
+    fn earliest_offset(&self, topic: &str, partition: u32) -> Result<u64> {
+        self.topic(topic)?.earliest_offset(partition)
+    }
+
+    fn partition_count(&self, topic: &str) -> Result<u32> {
+        Ok(self.topic(topic)?.partition_count())
+    }
+
+    fn first_timestamp(&self, topic: &str, partition: u32) -> Result<Option<Timestamp>> {
+        self.topic(topic)?.first_timestamp(partition)
+    }
+
+    fn last_timestamp(&self, topic: &str, partition: u32) -> Result<Option<Timestamp>> {
+        self.topic(topic)?.last_timestamp(partition)
+    }
+
+    fn commit_offset(
+        &self,
+        group: &str,
+        topic: &str,
+        partition: u32,
+        offset: u64,
+    ) -> Result<()> {
+        Broker::commit_offset(self, group, topic, partition, offset)
+    }
+
+    fn committed_offset(&self, group: &str, topic: &str, partition: u32) -> Option<u64> {
+        Broker::committed_offset(self, group, topic, partition)
+    }
+
+    fn now(&self) -> Timestamp {
+        Broker::now(self)
+    }
+}
+
+impl Bus for Cluster {
+    fn create_topic(&self, name: &str, config: TopicConfig) -> Result<()> {
+        Cluster::create_topic(self, name, config)
+    }
+
+    fn has_topic(&self, name: &str) -> bool {
+        (0..self.broker_count() as usize).any(|b| self.broker(b).has_topic(name))
+    }
+
+    fn produce_batch(&self, topic: &str, partition: u32, records: Vec<Record>) -> Result<u64> {
+        Cluster::produce_batch(self, topic, partition, records)
+    }
+
+    fn fetch(
+        &self,
+        topic: &str,
+        partition: u32,
+        offset: u64,
+        max: usize,
+    ) -> Result<Vec<StoredRecord>> {
+        Cluster::fetch(self, topic, partition, offset, max)
+    }
+
+    fn latest_offset(&self, topic: &str, partition: u32) -> Result<u64> {
+        let leader = self.leader_of(topic, partition)?;
+        self.broker(leader).latest_offset(topic, partition)
+    }
+
+    fn earliest_offset(&self, topic: &str, partition: u32) -> Result<u64> {
+        let leader = self.leader_of(topic, partition)?;
+        self.broker(leader).topic(topic)?.earliest_offset(partition)
+    }
+
+    fn partition_count(&self, topic: &str) -> Result<u32> {
+        let leader = self.leader_of(topic, 0)?;
+        Ok(self.broker(leader).topic(topic)?.partition_count())
+    }
+
+    fn first_timestamp(&self, topic: &str, partition: u32) -> Result<Option<Timestamp>> {
+        let leader = self.leader_of(topic, partition)?;
+        self.broker(leader).topic(topic)?.first_timestamp(partition)
+    }
+
+    fn last_timestamp(&self, topic: &str, partition: u32) -> Result<Option<Timestamp>> {
+        let leader = self.leader_of(topic, partition)?;
+        self.broker(leader).topic(topic)?.last_timestamp(partition)
+    }
+
+    fn commit_offset(
+        &self,
+        group: &str,
+        topic: &str,
+        partition: u32,
+        offset: u64,
+    ) -> Result<()> {
+        let leader = self.leader_of(topic, partition)?;
+        self.broker(leader).commit_offset(group, topic, partition, offset)
+    }
+
+    fn committed_offset(&self, group: &str, topic: &str, partition: u32) -> Option<u64> {
+        let leader = self.leader_of(topic, partition).ok()?;
+        self.broker(leader).committed_offset(group, topic, partition)
+    }
+
+    fn now(&self) -> Timestamp {
+        self.broker(0).now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use std::sync::Arc;
+
+    fn exercise(bus: Arc<dyn Bus>) {
+        bus.create_topic("t", TopicConfig::default()).unwrap();
+        assert!(bus.has_topic("t"));
+        assert_eq!(bus.partition_count("t").unwrap(), 1);
+        bus.produce_batch("t", 0, vec![Record::from_value("a"), Record::from_value("b")])
+            .unwrap();
+        assert_eq!(bus.latest_offset("t", 0).unwrap(), 2);
+        assert_eq!(bus.earliest_offset("t", 0).unwrap(), 0);
+        assert_eq!(bus.fetch("t", 0, 0, 10).unwrap().len(), 2);
+        assert!(bus.first_timestamp("t", 0).unwrap().is_some());
+        assert!(bus.last_timestamp("t", 0).unwrap() >= bus.first_timestamp("t", 0).unwrap());
+        bus.commit_offset("g", "t", 0, 1).unwrap();
+        assert_eq!(bus.committed_offset("g", "t", 0), Some(1));
+        assert!(bus.now().as_micros() > 0);
+    }
+
+    #[test]
+    fn broker_implements_bus() {
+        exercise(Arc::new(Broker::new()));
+    }
+
+    #[test]
+    fn cluster_implements_bus() {
+        exercise(Arc::new(Cluster::new(ClusterConfig { brokers: 3 })));
+    }
+}

@@ -1,0 +1,278 @@
+//! A multi-broker cluster with partition leaders and follower replicas.
+//!
+//! The paper's setup runs Apache Kafka on a three-node cluster with
+//! single-partition, replication-factor-one topics. [`Cluster`] models the
+//! general case — leader assignment and synchronous follower replication —
+//! so the benchmark's topology is just a configuration of it.
+
+use crate::broker::Broker;
+use crate::clock::{Clock, SystemClock};
+use crate::config::TopicConfig;
+use crate::error::{Error, Result};
+use crate::record::{Record, StoredRecord};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of broker nodes.
+    pub brokers: u32,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        // The paper's Kafka cluster has three nodes.
+        ClusterConfig { brokers: 3 }
+    }
+}
+
+/// Leader/follower placement for one partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Placement {
+    leader: usize,
+    followers: Vec<usize>,
+}
+
+/// A set of brokers with per-partition leader assignment and synchronous
+/// replication.
+///
+/// Replication is applied eagerly on every produce; the acknowledgement
+/// level is a producer-side concern (see
+/// [`ProducerConfig`](crate::ProducerConfig)) and controls only what the
+/// producer waits for / observes, not whether replicas converge.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    inner: Arc<ClusterInner>,
+}
+
+#[derive(Debug)]
+struct ClusterInner {
+    brokers: Vec<Broker>,
+    placements: RwLock<HashMap<(String, u32), Placement>>,
+    next_leader: RwLock<usize>,
+}
+
+impl Cluster {
+    /// Creates a cluster with `config.brokers` brokers sharing one wall
+    /// clock.
+    pub fn new(config: ClusterConfig) -> Self {
+        Self::with_clock(config, Arc::new(SystemClock::new()))
+    }
+
+    /// Creates a cluster with an explicit shared clock.
+    pub fn with_clock(config: ClusterConfig, clock: Arc<dyn Clock>) -> Self {
+        let brokers = (0..config.brokers.max(1))
+            .map(|_| Broker::with_clock(clock.clone()))
+            .collect();
+        Cluster {
+            inner: Arc::new(ClusterInner {
+                brokers,
+                placements: RwLock::new(HashMap::new()),
+                next_leader: RwLock::new(0),
+            }),
+        }
+    }
+
+    /// Number of broker nodes.
+    pub fn broker_count(&self) -> u32 {
+        self.inner.brokers.len() as u32
+    }
+
+    /// Direct handle to broker `index`, for replica inspection in tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn broker(&self, index: usize) -> &Broker {
+        &self.inner.brokers[index]
+    }
+
+    /// Creates a topic across the cluster, assigning a leader and
+    /// `replication_factor - 1` followers per partition, round-robin over
+    /// brokers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotEnoughBrokers`] when the replication factor
+    /// exceeds the broker count, [`Error::TopicExists`], or
+    /// [`Error::InvalidConfig`].
+    pub fn create_topic(&self, name: impl Into<String>, config: TopicConfig) -> Result<()> {
+        let name = name.into();
+        let n = self.inner.brokers.len();
+        if config.replication_factor as usize > n {
+            return Err(Error::NotEnoughBrokers {
+                requested: config.replication_factor,
+                available: n as u32,
+            });
+        }
+        if self.inner.brokers.iter().any(|b| b.has_topic(&name)) {
+            return Err(Error::TopicExists(name));
+        }
+        let mut placements = self.inner.placements.write();
+        let mut next = self.inner.next_leader.write();
+        for partition in 0..config.partitions {
+            let leader = *next % n;
+            *next += 1;
+            let followers: Vec<usize> = (1..config.replication_factor as usize)
+                .map(|i| (leader + i) % n)
+                .collect();
+            for &b in std::iter::once(&leader).chain(followers.iter()) {
+                // A broker hosts the topic once even when it holds several
+                // of its partitions.
+                if !self.inner.brokers[b].has_topic(&name) {
+                    self.inner.brokers[b].create_topic(&name, config.clone())?;
+                }
+            }
+            placements.insert((name.clone(), partition), Placement { leader, followers });
+        }
+        Ok(())
+    }
+
+    fn placement(&self, topic: &str, partition: u32) -> Result<Placement> {
+        self.inner
+            .placements
+            .read()
+            .get(&(topic.to_string(), partition))
+            .cloned()
+            .ok_or_else(|| Error::UnknownTopic(topic.to_string()))
+    }
+
+    /// Index of the leader broker for a partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownTopic`] for unplaced partitions.
+    pub fn leader_of(&self, topic: &str, partition: u32) -> Result<usize> {
+        Ok(self.placement(topic, partition)?.leader)
+    }
+
+    /// Appends a batch through the partition leader and replicates it to
+    /// all followers. Returns the leader's base offset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates topic/partition lookup failures.
+    pub fn produce_batch(
+        &self,
+        topic: &str,
+        partition: u32,
+        records: Vec<Record>,
+    ) -> Result<u64> {
+        let placement = self.placement(topic, partition)?;
+        let base = self.inner.brokers[placement.leader].produce_batch(
+            topic,
+            partition,
+            records.clone(),
+        )?;
+        for &f in &placement.followers {
+            self.inner.brokers[f].produce_batch(topic, partition, records.clone())?;
+        }
+        Ok(base)
+    }
+
+    /// Appends one record through the partition leader (replicating to
+    /// followers). Returns the assigned offset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates topic/partition lookup failures.
+    pub fn produce(&self, topic: &str, partition: u32, record: Record) -> Result<u64> {
+        self.produce_batch(topic, partition, vec![record])
+    }
+
+    /// Fetches from the partition leader.
+    ///
+    /// # Errors
+    ///
+    /// Propagates topic/partition/offset failures.
+    pub fn fetch(
+        &self,
+        topic: &str,
+        partition: u32,
+        offset: u64,
+        max: usize,
+    ) -> Result<Vec<StoredRecord>> {
+        let placement = self.placement(topic, partition)?;
+        self.inner.brokers[placement.leader].fetch(topic, partition, offset, max)
+    }
+}
+
+impl Default for Cluster {
+    fn default() -> Self {
+        Cluster::new(ClusterConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaders_round_robin() {
+        let cluster = Cluster::new(ClusterConfig { brokers: 3 });
+        cluster.create_topic("a", TopicConfig::default().partitions(3)).unwrap();
+        let leaders: Vec<usize> =
+            (0..3).map(|p| cluster.leader_of("a", p).unwrap()).collect();
+        assert_eq!(leaders, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn replication_factor_respected() {
+        let cluster = Cluster::new(ClusterConfig { brokers: 2 });
+        let err = cluster
+            .create_topic("big", TopicConfig::default().replication_factor(3))
+            .unwrap_err();
+        assert!(matches!(err, Error::NotEnoughBrokers { requested: 3, available: 2 }));
+    }
+
+    #[test]
+    fn followers_receive_records() {
+        let cluster = Cluster::new(ClusterConfig { brokers: 3 });
+        cluster
+            .create_topic("r", TopicConfig::default().replication_factor(3))
+            .unwrap();
+        cluster.produce("r", 0, Record::from_value("x")).unwrap();
+        for b in 0..3 {
+            let records = cluster.broker(b).fetch("r", 0, 0, 10).unwrap();
+            assert_eq!(records.len(), 1, "broker {b} missing replica");
+        }
+    }
+
+    #[test]
+    fn rf1_stays_on_leader() {
+        let cluster = Cluster::new(ClusterConfig { brokers: 3 });
+        cluster.create_topic("solo", TopicConfig::default()).unwrap();
+        cluster.produce("solo", 0, Record::from_value("x")).unwrap();
+        let leader = cluster.leader_of("solo", 0).unwrap();
+        let mut hosted = 0;
+        for b in 0..3 {
+            if cluster.broker(b).has_topic("solo") {
+                hosted += 1;
+                assert_eq!(b, leader);
+            }
+        }
+        assert_eq!(hosted, 1);
+    }
+
+    #[test]
+    fn duplicate_topic_rejected() {
+        let cluster = Cluster::default();
+        cluster.create_topic("t", TopicConfig::default()).unwrap();
+        assert!(matches!(
+            cluster.create_topic("t", TopicConfig::default()),
+            Err(Error::TopicExists(_))
+        ));
+    }
+
+    #[test]
+    fn fetch_reads_leader() {
+        let cluster = Cluster::default();
+        cluster.create_topic("t", TopicConfig::default()).unwrap();
+        cluster.produce_batch("t", 0, vec![Record::from_value("a"), Record::from_value("b")]).unwrap();
+        let records = cluster.fetch("t", 0, 0, 10).unwrap();
+        assert_eq!(records.len(), 2);
+        assert!(cluster.fetch("missing", 0, 0, 1).is_err());
+    }
+}

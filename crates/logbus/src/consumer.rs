@@ -1,0 +1,361 @@
+//! Consumers: polling, seeking, and group offset management.
+
+use crate::bus::Bus;
+use crate::error::{Error, Result};
+use crate::record::StoredRecord;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Consumer configuration.
+#[derive(Debug, Clone)]
+pub struct ConsumerConfig {
+    /// Group id used for offset commits, if any.
+    pub group: Option<String>,
+    /// Upper bound on records returned by a single [`Consumer::poll`].
+    pub max_poll_records: usize,
+    /// Where to start when there is no committed offset: `true` = earliest
+    /// (the benchmark's choice, so a query job sees the whole input topic),
+    /// `false` = latest.
+    pub start_from_earliest: bool,
+}
+
+impl Default for ConsumerConfig {
+    fn default() -> Self {
+        ConsumerConfig { group: None, max_poll_records: 4096, start_from_earliest: true }
+    }
+}
+
+/// Static assignment of partitions to the members of a consumer group.
+///
+/// `logbus` does not run a rebalance protocol; callers that want a group of
+/// cooperating consumers compute a static round-robin assignment up front.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupAssignment {
+    /// `assignment[i]` lists the partitions owned by member `i`.
+    pub members: Vec<Vec<u32>>,
+}
+
+impl GroupAssignment {
+    /// Distributes `partitions` over `members` round-robin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is zero.
+    pub fn round_robin(partitions: u32, members: usize) -> Self {
+        assert!(members > 0, "a group needs at least one member");
+        let mut assignment = vec![Vec::new(); members];
+        for p in 0..partitions {
+            assignment[p as usize % members].push(p);
+        }
+        GroupAssignment { members: assignment }
+    }
+}
+
+/// A polling consumer over any [`Bus`].
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use logbus::{Broker, Consumer, Producer, Record, TopicConfig};
+///
+/// let broker = Broker::new();
+/// broker.create_topic("t", TopicConfig::default())?;
+/// let mut producer = Producer::new(broker.clone());
+/// producer.send("t", Record::from_value("a"))?;
+/// producer.flush()?;
+///
+/// let mut consumer = Consumer::new(broker.clone());
+/// consumer.assign("t", 0)?;
+/// assert_eq!(consumer.poll(10)?.len(), 1);
+/// assert!(consumer.poll(10)?.is_empty()); // caught up
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Consumer {
+    bus: Arc<dyn Bus>,
+    config: ConsumerConfig,
+    /// Assigned partitions with their next fetch position.
+    positions: HashMap<(String, u32), u64>,
+    /// Round-robin cursor over assignments for fair polling.
+    cursor: usize,
+}
+
+impl Consumer {
+    /// Creates a consumer with default configuration.
+    pub fn new(bus: impl Bus + 'static) -> Self {
+        Self::with_config(bus, ConsumerConfig::default())
+    }
+
+    /// Creates a consumer with an explicit configuration.
+    pub fn with_config(bus: impl Bus + 'static, config: ConsumerConfig) -> Self {
+        Consumer { bus: Arc::new(bus), config, positions: HashMap::new(), cursor: 0 }
+    }
+
+    /// The consumer configuration.
+    pub fn config(&self) -> &ConsumerConfig {
+        &self.config
+    }
+
+    /// Assigns one partition, starting from the committed group offset if
+    /// present, else from earliest/latest per the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown topics/partitions.
+    pub fn assign(&mut self, topic: &str, partition: u32) -> Result<()> {
+        if partition >= self.bus.partition_count(topic)? {
+            return Err(Error::UnknownPartition { topic: topic.to_string(), partition });
+        }
+        let start = match self
+            .config
+            .group
+            .as_deref()
+            .and_then(|g| self.bus.committed_offset(g, topic, partition))
+        {
+            Some(committed) => committed,
+            None if self.config.start_from_earliest => self.bus.earliest_offset(topic, partition)?,
+            None => self.bus.latest_offset(topic, partition)?,
+        };
+        self.positions.insert((topic.to_string(), partition), start);
+        Ok(())
+    }
+
+    /// Assigns all partitions of `topic`.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown topics.
+    pub fn subscribe(&mut self, topic: &str) -> Result<()> {
+        for p in 0..self.bus.partition_count(topic)? {
+            self.assign(topic, p)?;
+        }
+        Ok(())
+    }
+
+    /// The currently assigned (topic, partition) pairs, sorted.
+    pub fn assignment(&self) -> Vec<(String, u32)> {
+        let mut v: Vec<_> = self.positions.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Next fetch position for an assigned partition.
+    pub fn position(&self, topic: &str, partition: u32) -> Option<u64> {
+        self.positions.get(&(topic.to_string(), partition)).copied()
+    }
+
+    /// Moves the fetch position of an assigned partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoAssignment`] if the partition is not assigned.
+    pub fn seek(&mut self, topic: &str, partition: u32, offset: u64) -> Result<()> {
+        match self.positions.get_mut(&(topic.to_string(), partition)) {
+            Some(pos) => {
+                *pos = offset;
+                Ok(())
+            }
+            None => Err(Error::NoAssignment),
+        }
+    }
+
+    /// Rewinds every assigned partition to its earliest retained offset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bus lookup failures.
+    pub fn seek_to_beginning(&mut self) -> Result<()> {
+        let keys: Vec<_> = self.positions.keys().cloned().collect();
+        for (topic, partition) in keys {
+            let earliest = self.bus.earliest_offset(&topic, partition)?;
+            self.positions.insert((topic, partition), earliest);
+        }
+        Ok(())
+    }
+
+    /// Fetches up to `max` records across the assigned partitions,
+    /// advancing positions past what was returned. An empty result means
+    /// the consumer is caught up.
+    ///
+    /// Partitions are served round-robin across successive polls so a slow
+    /// partition cannot starve the others.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoAssignment`] when nothing is assigned; propagates
+    /// fetch failures.
+    pub fn poll(&mut self, max: usize) -> Result<Vec<StoredRecord>> {
+        if self.positions.is_empty() {
+            return Err(Error::NoAssignment);
+        }
+        let max = max.min(self.config.max_poll_records);
+        let mut keys: Vec<_> = self.positions.keys().cloned().collect();
+        keys.sort();
+        let n = keys.len();
+        let mut out = Vec::new();
+        for i in 0..n {
+            if out.len() >= max {
+                break;
+            }
+            let key = &keys[(self.cursor + i) % n];
+            let pos = self.positions[key];
+            let batch = self.bus.fetch(&key.0, key.1, pos, max - out.len())?;
+            if let Some(last) = batch.last() {
+                self.positions.insert(key.clone(), last.offset + 1);
+            }
+            out.extend(batch);
+        }
+        self.cursor = self.cursor.wrapping_add(1);
+        Ok(out)
+    }
+
+    /// Commits current positions under the configured group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownGroup`] when the consumer has no group;
+    /// propagates commit failures.
+    pub fn commit(&self) -> Result<()> {
+        let group = self
+            .config
+            .group
+            .as_deref()
+            .ok_or_else(|| Error::UnknownGroup("<none>".to_string()))?;
+        for ((topic, partition), &offset) in &self.positions {
+            self.bus.commit_offset(group, topic, *partition, offset)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::Broker;
+    use crate::config::TopicConfig;
+    use crate::record::Record;
+
+    fn setup(partitions: u32, records_per_partition: u64) -> Broker {
+        let broker = Broker::new();
+        broker.create_topic("t", TopicConfig::default().partitions(partitions)).unwrap();
+        for p in 0..partitions {
+            for i in 0..records_per_partition {
+                broker.produce("t", p, Record::from_value(format!("p{p}-{i}"))).unwrap();
+            }
+        }
+        broker
+    }
+
+    #[test]
+    fn poll_drains_in_order() {
+        let broker = setup(1, 10);
+        let mut consumer = Consumer::new(broker);
+        consumer.assign("t", 0).unwrap();
+        let batch = consumer.poll(4).unwrap();
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch[0].offset, 0);
+        let batch = consumer.poll(100).unwrap();
+        assert_eq!(batch.len(), 6);
+        assert_eq!(batch[0].offset, 4);
+        assert!(consumer.poll(100).unwrap().is_empty());
+    }
+
+    #[test]
+    fn subscribe_covers_all_partitions() {
+        let broker = setup(3, 5);
+        let mut consumer = Consumer::new(broker);
+        consumer.subscribe("t").unwrap();
+        assert_eq!(consumer.assignment().len(), 3);
+        let mut total = 0;
+        loop {
+            let batch = consumer.poll(7).unwrap();
+            if batch.is_empty() {
+                break;
+            }
+            total += batch.len();
+        }
+        assert_eq!(total, 15);
+    }
+
+    #[test]
+    fn seek_and_position() {
+        let broker = setup(1, 10);
+        let mut consumer = Consumer::new(broker);
+        consumer.assign("t", 0).unwrap();
+        consumer.seek("t", 0, 8).unwrap();
+        assert_eq!(consumer.position("t", 0), Some(8));
+        assert_eq!(consumer.poll(100).unwrap().len(), 2);
+        consumer.seek_to_beginning().unwrap();
+        assert_eq!(consumer.poll(100).unwrap().len(), 10);
+        assert!(consumer.seek("t", 1, 0).is_err());
+    }
+
+    #[test]
+    fn group_offsets_resume() {
+        let broker = setup(1, 10);
+        let config = ConsumerConfig { group: Some("g".into()), ..ConsumerConfig::default() };
+        {
+            let mut consumer = Consumer::with_config(broker.clone(), config.clone());
+            consumer.assign("t", 0).unwrap();
+            assert_eq!(consumer.poll(6).unwrap().len(), 6);
+            consumer.commit().unwrap();
+        }
+        let mut resumed = Consumer::with_config(broker, config);
+        resumed.assign("t", 0).unwrap();
+        let batch = resumed.poll(100).unwrap();
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch[0].offset, 6);
+    }
+
+    #[test]
+    fn commit_without_group_errors() {
+        let broker = setup(1, 1);
+        let mut consumer = Consumer::new(broker);
+        consumer.assign("t", 0).unwrap();
+        assert!(matches!(consumer.commit(), Err(Error::UnknownGroup(_))));
+    }
+
+    #[test]
+    fn start_from_latest() {
+        let broker = setup(1, 5);
+        let mut consumer = Consumer::with_config(
+            broker.clone(),
+            ConsumerConfig { start_from_earliest: false, ..ConsumerConfig::default() },
+        );
+        consumer.assign("t", 0).unwrap();
+        assert!(consumer.poll(100).unwrap().is_empty());
+        broker.produce("t", 0, Record::from_value("new")).unwrap();
+        assert_eq!(consumer.poll(100).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn poll_without_assignment_errors() {
+        let broker = setup(1, 1);
+        let mut consumer = Consumer::new(broker);
+        assert_eq!(consumer.poll(1), Err(Error::NoAssignment));
+    }
+
+    #[test]
+    fn assign_unknown_partition_errors() {
+        let broker = setup(1, 1);
+        let mut consumer = Consumer::new(broker);
+        assert!(consumer.assign("t", 5).is_err());
+        assert!(consumer.assign("missing", 0).is_err());
+    }
+
+    #[test]
+    fn round_robin_assignment_helper() {
+        let ga = GroupAssignment::round_robin(5, 2);
+        assert_eq!(ga.members[0], vec![0, 2, 4]);
+        assert_eq!(ga.members[1], vec![1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_group_panics() {
+        let _ = GroupAssignment::round_robin(1, 0);
+    }
+}

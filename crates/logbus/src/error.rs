@@ -1,0 +1,121 @@
+//! Broker error types.
+
+use crate::log::OffsetError;
+use std::fmt;
+
+/// Convenience alias for broker results.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by broker, producer, and consumer operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The referenced topic does not exist.
+    UnknownTopic(String),
+    /// The referenced partition does not exist within its topic.
+    UnknownPartition {
+        /// Topic name.
+        topic: String,
+        /// Requested partition index.
+        partition: u32,
+    },
+    /// A topic with this name already exists.
+    TopicExists(String),
+    /// The topic configuration failed validation.
+    InvalidConfig(String),
+    /// A read was attempted at an offset outside the retained range.
+    OffsetOutOfRange {
+        /// Offset the caller asked for.
+        requested: u64,
+        /// Earliest retained offset.
+        earliest: u64,
+        /// Next offset to be written.
+        latest: u64,
+    },
+    /// The cluster cannot satisfy the requested replication factor.
+    NotEnoughBrokers {
+        /// Requested replication factor.
+        requested: u32,
+        /// Brokers available.
+        available: u32,
+    },
+    /// A consumer operation needs an assignment but none exists.
+    NoAssignment,
+    /// A consumer-group operation referenced an unknown group.
+    UnknownGroup(String),
+    /// The producer has been closed.
+    ProducerClosed,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownTopic(t) => write!(f, "unknown topic `{t}`"),
+            Error::UnknownPartition { topic, partition } => {
+                write!(f, "unknown partition {partition} of topic `{topic}`")
+            }
+            Error::TopicExists(t) => write!(f, "topic `{t}` already exists"),
+            Error::InvalidConfig(msg) => write!(f, "invalid topic config: {msg}"),
+            Error::OffsetOutOfRange { requested, earliest, latest } => write!(
+                f,
+                "offset {requested} out of range (earliest {earliest}, latest {latest})"
+            ),
+            Error::NotEnoughBrokers { requested, available } => write!(
+                f,
+                "replication factor {requested} exceeds available brokers ({available})"
+            ),
+            Error::NoAssignment => f.write_str("consumer has no partition assignment"),
+            Error::UnknownGroup(g) => write!(f, "unknown consumer group `{g}`"),
+            Error::ProducerClosed => f.write_str("producer is closed"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<OffsetError> for Error {
+    fn from(err: OffsetError) -> Self {
+        match err {
+            OffsetError::OffsetOutOfRange { requested, earliest, latest } => {
+                Error::OffsetOutOfRange { requested, earliest, latest }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let samples: Vec<Error> = vec![
+            Error::UnknownTopic("t".into()),
+            Error::UnknownPartition { topic: "t".into(), partition: 3 },
+            Error::TopicExists("t".into()),
+            Error::InvalidConfig("bad".into()),
+            Error::OffsetOutOfRange { requested: 9, earliest: 0, latest: 5 },
+            Error::NotEnoughBrokers { requested: 3, available: 1 },
+            Error::NoAssignment,
+            Error::UnknownGroup("g".into()),
+            Error::ProducerClosed,
+        ];
+        for e in samples {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn offset_error_converts() {
+        let e: Error = OffsetError::OffsetOutOfRange { requested: 1, earliest: 2, latest: 3 }.into();
+        assert_eq!(e, Error::OffsetOutOfRange { requested: 1, earliest: 2, latest: 3 });
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

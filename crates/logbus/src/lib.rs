@@ -1,0 +1,80 @@
+//! `logbus` — an in-process, partitioned, append-only message broker.
+//!
+//! `logbus` is the message-transport substrate of the StreamBench
+//! reproduction. It stands in for Apache Kafka in the benchmark architecture
+//! of Hesse et al. (ICDCS 2019): an ordered, timestamped log that decouples
+//! data generation from consumption and whose *broker-side append
+//! timestamps* (`LogAppendTime`) provide a system-independent clock for
+//! execution-time measurement.
+//!
+//! The broker reproduces the Kafka semantics the benchmark relies on:
+//!
+//! * **Topics** are split into **partitions**; ordering is guaranteed only
+//!   *within* a partition (the benchmark therefore uses single-partition
+//!   topics).
+//! * Each partition is a segmented, append-only log addressed by
+//!   monotonically increasing **offsets**.
+//! * Records are stamped either with the producer-provided `CreateTime` or
+//!   with the broker's `LogAppendTime`, selected per topic.
+//! * **Producers** batch records, honour an acknowledgement level
+//!   ([`Acks`]), and can be rate-limited (the benchmark's data-sender knob).
+//! * **Consumers** poll from explicit offsets, track positions, and may
+//!   commit offsets under a group id.
+//! * A [`Cluster`] of brokers assigns partition leaders and maintains
+//!   follower replicas according to the topic's replication factor.
+//!
+//! # Example
+//!
+//! ```
+//! # use std::error::Error;
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! use logbus::{Broker, Consumer, Producer, Record, TopicConfig};
+//!
+//! let broker = Broker::new();
+//! broker.create_topic("events", TopicConfig::default().partitions(1))?;
+//!
+//! let mut producer = Producer::new(broker.clone());
+//! producer.send("events", Record::from_value("hello"))?;
+//! producer.flush()?;
+//!
+//! let mut consumer = Consumer::new(broker.clone());
+//! consumer.assign("events", 0)?;
+//! let records = consumer.poll(10)?;
+//! assert_eq!(records.len(), 1);
+//! assert_eq!(&records[0].record.value[..], b"hello");
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`Acks`]: crate::Acks
+//! [`Cluster`]: crate::Cluster
+
+mod admin;
+mod async_producer;
+mod broker;
+mod bus;
+mod clock;
+mod cluster;
+mod config;
+mod consumer;
+mod error;
+mod log;
+mod producer;
+mod record;
+mod segment;
+mod topic;
+
+pub use admin::{PartitionInfo, TopicDescription};
+pub use async_producer::AsyncProducer;
+pub use broker::Broker;
+pub use bus::Bus;
+pub use clock::{Clock, ManualClock, SystemClock};
+pub use cluster::{Cluster, ClusterConfig};
+pub use config::{Acks, CompressionHint, TimestampType, TopicConfig};
+pub use consumer::{Consumer, ConsumerConfig, GroupAssignment};
+pub use error::{Error, Result};
+pub use log::{LogStats, OffsetError, PartitionLog};
+pub use producer::{Partitioner, Producer, ProducerConfig, RateLimit};
+pub use record::{Header, Record, StoredRecord, Timestamp};
+pub use segment::Segment;
+pub use topic::Topic;

@@ -1,0 +1,349 @@
+//! The per-partition append-only log.
+
+use crate::config::TopicConfig;
+use crate::record::{Record, StoredRecord, Timestamp};
+use crate::segment::Segment;
+
+/// Summary statistics for one partition log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LogStats {
+    /// Records currently retained.
+    pub records: u64,
+    /// Records ever appended (retention does not reduce this).
+    pub appended: u64,
+    /// Number of live segments.
+    pub segments: usize,
+    /// Accumulated (compression-adjusted) wire bytes of retained records.
+    pub bytes: usize,
+}
+
+/// A partition's segmented, append-only record log.
+///
+/// Invariants:
+///
+/// * offsets are dense and strictly increasing; the next append receives
+///   [`PartitionLog::next_offset`];
+/// * stored timestamps are non-decreasing when the topic uses
+///   `LogAppendTime` and a monotone clock;
+/// * segments are contiguous: each segment's `base_offset` equals the
+///   previous segment's `next_offset`.
+#[derive(Debug)]
+pub struct PartitionLog {
+    config: TopicConfig,
+    segments: Vec<Segment>,
+    /// Offset of the earliest retained record.
+    log_start_offset: u64,
+    appended: u64,
+}
+
+impl PartitionLog {
+    /// Creates an empty log with the given topic configuration.
+    pub fn new(config: TopicConfig) -> Self {
+        PartitionLog {
+            segments: vec![Segment::new(0)],
+            config,
+            log_start_offset: 0,
+            appended: 0,
+        }
+    }
+
+    /// Offset that the next appended record will receive.
+    pub fn next_offset(&self) -> u64 {
+        self.segments.last().map(Segment::next_offset).unwrap_or(0)
+    }
+
+    /// Offset of the earliest retained record.
+    pub fn earliest_offset(&self) -> u64 {
+        self.log_start_offset
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> u64 {
+        self.next_offset() - self.log_start_offset
+    }
+
+    /// Whether the log retains no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends one record, stamping it with `stamp` (the broker has already
+    /// resolved `CreateTime` vs `LogAppendTime`). Returns the record's
+    /// offset.
+    pub fn append(&mut self, record: Record, stamp: Timestamp) -> u64 {
+        let offset = self.next_offset();
+        if self.active_segment_full() {
+            self.segments.push(Segment::new(offset));
+        }
+        let stored = StoredRecord { offset, timestamp: stamp, record };
+        self.segments
+            .last_mut()
+            .expect("log always has an active segment")
+            .append(stored);
+        self.appended += 1;
+        self.apply_retention();
+        offset
+    }
+
+    fn active_segment_full(&self) -> bool {
+        self.segments
+            .last()
+            .map(|s| s.bytes() >= self.config.segment_bytes)
+            .unwrap_or(true)
+    }
+
+    fn apply_retention(&mut self) {
+        let Some(limit) = self.config.retention_records else { return };
+        // Drop whole inactive segments while the retained count exceeds the
+        // limit, as Kafka's record-count retention does.
+        while self.segments.len() > 1 {
+            let first_len = self.segments[0].len() as u64;
+            if self.len() - first_len >= limit {
+                let removed = self.segments.remove(0);
+                self.log_start_offset = removed.next_offset();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Returns up to `max` records starting at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OffsetOutOfRange`](OffsetError::OffsetOutOfRange) when
+    /// `offset` lies before the earliest retained record or after the next
+    /// offset. Reading *at* the next offset yields an empty batch (a poll
+    /// on a caught-up consumer).
+    pub fn read(&self, offset: u64, max: usize) -> Result<Vec<StoredRecord>, OffsetError> {
+        if offset < self.log_start_offset || offset > self.next_offset() {
+            return Err(OffsetError::OffsetOutOfRange {
+                requested: offset,
+                earliest: self.log_start_offset,
+                latest: self.next_offset(),
+            });
+        }
+        let mut out = Vec::new();
+        let mut cursor = offset;
+        for segment in &self.segments {
+            if out.len() >= max {
+                break;
+            }
+            let slice = segment.read_from(cursor, max - out.len());
+            out.extend_from_slice(slice);
+            if let Some(last) = out.last() {
+                cursor = last.offset + 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Offset of the first record whose stored timestamp is at or after
+    /// `ts` (Kafka's `offsetsForTimes`). `None` when every retained
+    /// record is older.
+    ///
+    /// Binary-searches segments, relying on the non-decreasing stamps of
+    /// `LogAppendTime` topics; on `CreateTime` topics with out-of-order
+    /// producer stamps the result is the first offset in timestamp order
+    /// of the log, as in Kafka.
+    pub fn offset_for_timestamp(&self, ts: Timestamp) -> Option<u64> {
+        for segment in &self.segments {
+            if segment.last_timestamp().is_some_and(|last| last >= ts) {
+                for record in segment.iter() {
+                    if record.timestamp >= ts {
+                        return Some(record.offset);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Timestamp of the earliest retained record.
+    pub fn first_timestamp(&self) -> Option<Timestamp> {
+        self.segments.iter().find_map(Segment::first_timestamp)
+    }
+
+    /// Timestamp of the latest record.
+    pub fn last_timestamp(&self) -> Option<Timestamp> {
+        self.segments.iter().rev().find_map(Segment::last_timestamp)
+    }
+
+    /// The topic configuration this log was created with.
+    pub fn config(&self) -> &TopicConfig {
+        &self.config
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> LogStats {
+        let bytes: usize = self.segments.iter().map(Segment::bytes).sum();
+        LogStats {
+            records: self.len(),
+            appended: self.appended,
+            segments: self.segments.len(),
+            bytes: bytes / self.config.compression.ratio(),
+        }
+    }
+}
+
+/// Error raised by reads at invalid offsets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OffsetError {
+    /// The requested offset is outside the retained range.
+    OffsetOutOfRange {
+        /// Offset the caller asked for.
+        requested: u64,
+        /// Earliest retained offset.
+        earliest: u64,
+        /// Next offset to be written.
+        latest: u64,
+    },
+}
+
+impl std::fmt::Display for OffsetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OffsetError::OffsetOutOfRange { requested, earliest, latest } => write!(
+                f,
+                "offset {requested} out of range (earliest {earliest}, latest {latest})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OffsetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log_with(segment_bytes: usize) -> PartitionLog {
+        PartitionLog::new(TopicConfig::default().segment_bytes(segment_bytes))
+    }
+
+    fn append_n(log: &mut PartitionLog, n: usize) {
+        for i in 0..n {
+            let off = log.append(
+                Record::from_value(format!("record-{i}")),
+                Timestamp::from_micros(i as i64),
+            );
+            assert_eq!(off, log.next_offset() - 1);
+        }
+    }
+
+    #[test]
+    fn offsets_are_dense() {
+        let mut log = log_with(1 << 20);
+        append_n(&mut log, 100);
+        assert_eq!(log.len(), 100);
+        let all = log.read(0, 1000).unwrap();
+        for (i, r) in all.iter().enumerate() {
+            assert_eq!(r.offset, i as u64);
+        }
+    }
+
+    #[test]
+    fn segments_roll_by_size() {
+        let mut log = log_with(64);
+        append_n(&mut log, 50);
+        assert!(log.stats().segments > 1, "expected the tiny segments to roll");
+        // Reads spanning segment boundaries are seamless.
+        let all = log.read(0, 1000).unwrap();
+        assert_eq!(all.len(), 50);
+        let mid = log.read(17, 9).unwrap();
+        assert_eq!(mid.len(), 9);
+        assert_eq!(mid[0].offset, 17);
+        assert_eq!(mid[8].offset, 25);
+    }
+
+    #[test]
+    fn read_at_log_end_is_empty() {
+        let mut log = log_with(1 << 20);
+        append_n(&mut log, 3);
+        assert!(log.read(3, 10).unwrap().is_empty());
+        assert!(log.read(4, 10).is_err());
+    }
+
+    #[test]
+    fn read_before_start_errors() {
+        let mut log = PartitionLog::new(
+            TopicConfig::default().segment_bytes(40).retention_records(5),
+        );
+        append_n(&mut log, 100);
+        assert!(log.earliest_offset() > 0, "retention should have dropped segments");
+        let err = log.read(0, 10).unwrap_err();
+        let OffsetError::OffsetOutOfRange { requested, earliest, .. } = err;
+        assert_eq!(requested, 0);
+        assert_eq!(earliest, log.earliest_offset());
+        // Offsets of retained records are preserved after retention.
+        let first = &log.read(log.earliest_offset(), 1).unwrap()[0];
+        assert_eq!(first.offset, log.earliest_offset());
+        assert_eq!(
+            &first.record.value[..],
+            format!("record-{}", log.earliest_offset()).as_bytes()
+        );
+    }
+
+    #[test]
+    fn timestamps_first_last() {
+        let mut log = log_with(1 << 20);
+        assert!(log.first_timestamp().is_none());
+        append_n(&mut log, 10);
+        assert_eq!(log.first_timestamp().unwrap().as_micros(), 0);
+        assert_eq!(log.last_timestamp().unwrap().as_micros(), 9);
+    }
+
+    #[test]
+    fn stats_track_appends() {
+        let mut log = log_with(1 << 20);
+        append_n(&mut log, 7);
+        let stats = log.stats();
+        assert_eq!(stats.records, 7);
+        assert_eq!(stats.appended, 7);
+        assert!(stats.bytes > 0);
+    }
+}
+
+#[cfg(test)]
+mod timestamp_lookup_tests {
+    use super::*;
+    use crate::config::TopicConfig;
+    use crate::record::{Record, Timestamp};
+
+    fn log_with_stamps(stamps: &[i64], segment_bytes: usize) -> PartitionLog {
+        let mut log = PartitionLog::new(TopicConfig::default().segment_bytes(segment_bytes));
+        for (i, &ts) in stamps.iter().enumerate() {
+            log.append(Record::from_value(format!("r{i}")), Timestamp::from_micros(ts));
+        }
+        log
+    }
+
+    #[test]
+    fn finds_first_offset_at_or_after() {
+        let log = log_with_stamps(&[10, 20, 20, 30, 40], 1 << 20);
+        assert_eq!(log.offset_for_timestamp(Timestamp(5)), Some(0));
+        assert_eq!(log.offset_for_timestamp(Timestamp(10)), Some(0));
+        assert_eq!(log.offset_for_timestamp(Timestamp(11)), Some(1));
+        assert_eq!(log.offset_for_timestamp(Timestamp(20)), Some(1), "first of equal stamps");
+        assert_eq!(log.offset_for_timestamp(Timestamp(35)), Some(4));
+        assert_eq!(log.offset_for_timestamp(Timestamp(41)), None);
+    }
+
+    #[test]
+    fn works_across_segments() {
+        // Tiny segments force several rolls.
+        let stamps: Vec<i64> = (0..100).map(|i| i * 10).collect();
+        let log = log_with_stamps(&stamps, 64);
+        assert!(log.stats().segments > 1);
+        for probe in [0i64, 95, 500, 990] {
+            let expected = stamps.iter().position(|&s| s >= probe).map(|i| i as u64);
+            assert_eq!(log.offset_for_timestamp(Timestamp(probe)), expected, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn empty_log_has_no_offset() {
+        let log = PartitionLog::new(TopicConfig::default());
+        assert_eq!(log.offset_for_timestamp(Timestamp(0)), None);
+    }
+}

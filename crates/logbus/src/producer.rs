@@ -1,0 +1,452 @@
+//! Producers: batched, acknowledged, optionally rate-limited sends.
+
+use crate::bus::Bus;
+use crate::config::Acks;
+use crate::error::{Error, Result};
+use crate::record::Record;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How a producer picks the partition for a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Partitioner {
+    /// Always use the given partition. The benchmark's data sender uses
+    /// `Fixed(0)` since its topics have a single partition.
+    Fixed(u32),
+    /// Rotate over the topic's partitions.
+    #[default]
+    RoundRobin,
+    /// Hash the record key (keyless records fall back to round-robin).
+    KeyHash,
+}
+
+/// A records-per-second pacing limit, matching the data-sender
+/// configuration parameter described in the paper (§III-A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimit {
+    /// Maximum sustained records per second.
+    pub records_per_second: f64,
+}
+
+impl RateLimit {
+    /// Creates a rate limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records_per_second` is not strictly positive.
+    pub fn per_second(records_per_second: f64) -> Self {
+        assert!(records_per_second > 0.0, "rate must be positive");
+        RateLimit { records_per_second }
+    }
+}
+
+/// Producer configuration.
+#[derive(Debug, Clone)]
+pub struct ProducerConfig {
+    /// Acknowledgement level awaited per batch.
+    pub acks: Acks,
+    /// Records buffered per (topic, partition) before an automatic flush.
+    pub batch_records: usize,
+    /// Partition selection strategy.
+    pub partitioner: Partitioner,
+    /// Optional pacing limit.
+    pub rate_limit: Option<RateLimit>,
+}
+
+impl Default for ProducerConfig {
+    fn default() -> Self {
+        ProducerConfig {
+            acks: Acks::Leader,
+            batch_records: 256,
+            partitioner: Partitioner::default(),
+            rate_limit: None,
+        }
+    }
+}
+
+/// Counters exposed by a producer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProducerMetrics {
+    /// Records successfully handed to the bus.
+    pub sent: u64,
+    /// Records dropped because `acks=0` suppressed a send error.
+    pub dropped: u64,
+    /// Flush operations performed (automatic and explicit).
+    pub flushes: u64,
+}
+
+/// A batching producer over any [`Bus`].
+///
+/// Records are buffered per (topic, partition) and flushed when a buffer
+/// reaches [`ProducerConfig::batch_records`], on [`Producer::flush`], and
+/// on drop (best effort).
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use logbus::{Broker, Producer, Record, TopicConfig};
+///
+/// let broker = Broker::new();
+/// broker.create_topic("t", TopicConfig::default())?;
+/// let mut producer = Producer::new(broker.clone());
+/// for i in 0..100 {
+///     producer.send("t", Record::from_value(format!("{i}")))?;
+/// }
+/// producer.flush()?;
+/// assert_eq!(broker.latest_offset("t", 0)?, 100);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Producer {
+    bus: Arc<dyn Bus>,
+    config: ProducerConfig,
+    buffers: HashMap<(String, u32), Vec<Record>>,
+    round_robin: HashMap<String, u32>,
+    metrics: ProducerMetrics,
+    pacing_started: Option<Instant>,
+    paced_records: u64,
+    closed: bool,
+}
+
+impl Producer {
+    /// Creates a producer with default configuration.
+    pub fn new(bus: impl Bus + 'static) -> Self {
+        Self::with_config(bus, ProducerConfig::default())
+    }
+
+    /// Creates a producer with an explicit configuration.
+    pub fn with_config(bus: impl Bus + 'static, config: ProducerConfig) -> Self {
+        Producer {
+            bus: Arc::new(bus),
+            config,
+            buffers: HashMap::new(),
+            round_robin: HashMap::new(),
+            metrics: ProducerMetrics::default(),
+            pacing_started: None,
+            paced_records: 0,
+            closed: false,
+        }
+    }
+
+    /// The producer's configuration.
+    pub fn config(&self) -> &ProducerConfig {
+        &self.config
+    }
+
+    /// Current send counters.
+    pub fn metrics(&self) -> ProducerMetrics {
+        self.metrics
+    }
+
+    fn pick_partition(&mut self, topic: &str, record: &Record) -> Result<u32> {
+        match self.config.partitioner {
+            Partitioner::Fixed(p) => Ok(p),
+            Partitioner::RoundRobin => self.next_round_robin(topic),
+            Partitioner::KeyHash => match &record.key {
+                Some(key) => {
+                    let partitions = self.bus.partition_count(topic)?;
+                    let mut hasher = DefaultHasher::new();
+                    key.hash(&mut hasher);
+                    Ok((hasher.finish() % u64::from(partitions)) as u32)
+                }
+                None => self.next_round_robin(topic),
+            },
+        }
+    }
+
+    fn next_round_robin(&mut self, topic: &str) -> Result<u32> {
+        let partitions = self.bus.partition_count(topic)?;
+        let counter = self.round_robin.entry(topic.to_string()).or_insert(0);
+        let p = *counter % partitions;
+        *counter = counter.wrapping_add(1);
+        Ok(p)
+    }
+
+    fn pace(&mut self) {
+        let Some(limit) = self.config.rate_limit else { return };
+        let started = *self.pacing_started.get_or_insert_with(Instant::now);
+        self.paced_records += 1;
+        let due = Duration::from_secs_f64(self.paced_records as f64 / limit.records_per_second);
+        let elapsed = started.elapsed();
+        if due > elapsed {
+            std::thread::sleep(due - elapsed);
+        }
+    }
+
+    /// Buffers one record for `topic`, flushing the target partition's
+    /// buffer if it is full. Blocks to honour the rate limit, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ProducerClosed`] after [`Producer::close`];
+    /// otherwise propagates bus errors (suppressed and counted as drops
+    /// under `acks=0`).
+    pub fn send(&mut self, topic: &str, record: Record) -> Result<()> {
+        if self.closed {
+            return Err(Error::ProducerClosed);
+        }
+        self.pace();
+        let partition = match self.pick_partition(topic, &record) {
+            Ok(p) => p,
+            Err(e) => return self.absorb(e),
+        };
+        let key = (topic.to_string(), partition);
+        let buffer = self.buffers.entry(key.clone()).or_default();
+        buffer.push(record);
+        if buffer.len() >= self.config.batch_records {
+            let batch = std::mem::take(self.buffers.get_mut(&key).expect("buffer exists"));
+            self.flush_batch(&key.0, key.1, batch)?;
+        }
+        Ok(())
+    }
+
+    /// Buffers a record for an explicit partition, bypassing the
+    /// partitioner.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Producer::send`].
+    pub fn send_to(&mut self, topic: &str, partition: u32, record: Record) -> Result<()> {
+        if self.closed {
+            return Err(Error::ProducerClosed);
+        }
+        self.pace();
+        let key = (topic.to_string(), partition);
+        let buffer = self.buffers.entry(key.clone()).or_default();
+        buffer.push(record);
+        if buffer.len() >= self.config.batch_records {
+            let batch = std::mem::take(self.buffers.get_mut(&key).expect("buffer exists"));
+            self.flush_batch(&key.0, key.1, batch)?;
+        }
+        Ok(())
+    }
+
+    fn flush_batch(&mut self, topic: &str, partition: u32, batch: Vec<Record>) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let len = batch.len() as u64;
+        self.metrics.flushes += 1;
+        match self.bus.produce_batch(topic, partition, batch) {
+            Ok(_) => {
+                self.metrics.sent += len;
+                Ok(())
+            }
+            Err(e) => {
+                if self.config.acks == Acks::None {
+                    self.metrics.dropped += len;
+                    Ok(())
+                } else {
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    fn absorb(&mut self, e: Error) -> Result<()> {
+        if self.config.acks == Acks::None {
+            self.metrics.dropped += 1;
+            Ok(())
+        } else {
+            Err(e)
+        }
+    }
+
+    /// Flushes all buffered records.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first bus error (unless `acks=0`).
+    pub fn flush(&mut self) -> Result<()> {
+        let keys: Vec<(String, u32)> = self.buffers.keys().cloned().collect();
+        for key in keys {
+            let batch = std::mem::take(self.buffers.get_mut(&key).expect("buffer exists"));
+            self.flush_batch(&key.0, key.1, batch)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes and permanently closes the producer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush errors; the producer is closed regardless.
+    pub fn close(&mut self) -> Result<()> {
+        let result = self.flush();
+        self.closed = true;
+        result
+    }
+}
+
+impl Drop for Producer {
+    fn drop(&mut self) {
+        // Best-effort flush; errors are intentionally ignored in drop
+        // (C-DTOR-FAIL). Call `close` to observe them.
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::Broker;
+    use crate::config::TopicConfig;
+
+    fn broker_with(partitions: u32) -> Broker {
+        let broker = Broker::new();
+        broker.create_topic("t", TopicConfig::default().partitions(partitions)).unwrap();
+        broker
+    }
+
+    #[test]
+    fn batches_flush_when_full() {
+        let broker = broker_with(1);
+        let mut producer = Producer::with_config(
+            broker.clone(),
+            ProducerConfig { batch_records: 10, ..ProducerConfig::default() },
+        );
+        for i in 0..25 {
+            producer.send("t", Record::from_value(format!("{i}"))).unwrap();
+        }
+        // Two automatic flushes of 10; 5 still buffered.
+        assert_eq!(broker.latest_offset("t", 0).unwrap(), 20);
+        producer.flush().unwrap();
+        assert_eq!(broker.latest_offset("t", 0).unwrap(), 25);
+        assert_eq!(producer.metrics().sent, 25);
+    }
+
+    #[test]
+    fn drop_flushes() {
+        let broker = broker_with(1);
+        {
+            let mut producer = Producer::new(broker.clone());
+            producer.send("t", Record::from_value("x")).unwrap();
+        }
+        assert_eq!(broker.latest_offset("t", 0).unwrap(), 1);
+    }
+
+    #[test]
+    fn round_robin_spreads() {
+        let broker = broker_with(4);
+        let mut producer = Producer::with_config(
+            broker.clone(),
+            ProducerConfig { batch_records: 1, ..ProducerConfig::default() },
+        );
+        for i in 0..8 {
+            producer.send("t", Record::from_value(format!("{i}"))).unwrap();
+        }
+        for p in 0..4 {
+            assert_eq!(broker.latest_offset("t", p).unwrap(), 2, "partition {p}");
+        }
+    }
+
+    #[test]
+    fn key_hash_is_sticky() {
+        let broker = broker_with(4);
+        let mut producer = Producer::with_config(
+            broker.clone(),
+            ProducerConfig {
+                batch_records: 1,
+                partitioner: Partitioner::KeyHash,
+                ..ProducerConfig::default()
+            },
+        );
+        for _ in 0..10 {
+            producer.send("t", Record::from_key_value("stable", "v")).unwrap();
+        }
+        let populated: Vec<u32> = (0..4)
+            .filter(|&p| broker.latest_offset("t", p).unwrap() > 0)
+            .collect();
+        assert_eq!(populated.len(), 1, "all records should land on one partition");
+        assert_eq!(broker.latest_offset("t", populated[0]).unwrap(), 10);
+    }
+
+    #[test]
+    fn fixed_partitioner() {
+        let broker = broker_with(3);
+        let mut producer = Producer::with_config(
+            broker.clone(),
+            ProducerConfig {
+                partitioner: Partitioner::Fixed(2),
+                ..ProducerConfig::default()
+            },
+        );
+        producer.send("t", Record::from_value("x")).unwrap();
+        producer.flush().unwrap();
+        assert_eq!(broker.latest_offset("t", 2).unwrap(), 1);
+        assert_eq!(broker.latest_offset("t", 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn acks_none_swallows_errors() {
+        let broker = Broker::new(); // no topic created
+        let mut producer = Producer::with_config(
+            broker,
+            ProducerConfig {
+                acks: Acks::None,
+                batch_records: 1,
+                partitioner: Partitioner::Fixed(0),
+                ..ProducerConfig::default()
+            },
+        );
+        producer.send("missing", Record::from_value("x")).unwrap();
+        producer.flush().unwrap();
+        assert_eq!(producer.metrics().dropped, 1);
+        assert_eq!(producer.metrics().sent, 0);
+    }
+
+    #[test]
+    fn acks_leader_propagates_errors() {
+        let broker = Broker::new();
+        let mut producer = Producer::with_config(
+            broker,
+            ProducerConfig {
+                batch_records: 1,
+                partitioner: Partitioner::Fixed(0),
+                ..ProducerConfig::default()
+            },
+        );
+        assert!(producer.send("missing", Record::from_value("x")).is_err());
+    }
+
+    #[test]
+    fn closed_producer_rejects_sends() {
+        let broker = broker_with(1);
+        let mut producer = Producer::new(broker);
+        producer.close().unwrap();
+        assert_eq!(
+            producer.send("t", Record::from_value("x")),
+            Err(Error::ProducerClosed)
+        );
+    }
+
+    #[test]
+    fn rate_limit_paces_sends() {
+        let broker = broker_with(1);
+        let mut producer = Producer::with_config(
+            broker,
+            ProducerConfig {
+                rate_limit: Some(RateLimit::per_second(1_000.0)),
+                ..ProducerConfig::default()
+            },
+        );
+        let start = Instant::now();
+        for i in 0..50 {
+            producer.send("t", Record::from_value(format!("{i}"))).unwrap();
+        }
+        // 50 records at 1000/s should take >= ~50ms.
+        assert!(start.elapsed() >= Duration::from_millis(40));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        let _ = RateLimit::per_second(0.0);
+    }
+}

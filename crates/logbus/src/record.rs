@@ -1,0 +1,234 @@
+//! Record types: what producers send and what the log stores.
+
+use bytes::Bytes;
+use std::fmt;
+
+/// A broker timestamp in microseconds since the Unix epoch.
+///
+/// Microsecond resolution (rather than Kafka's milliseconds) keeps the
+/// benchmark's `LogAppendTime`-based execution-time measurement meaningful
+/// for the small, scaled-down workloads used in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub i64);
+
+impl Timestamp {
+    /// Creates a timestamp from microseconds since the Unix epoch.
+    pub fn from_micros(micros: i64) -> Self {
+        Timestamp(micros)
+    }
+
+    /// Returns the timestamp as microseconds since the Unix epoch.
+    pub fn as_micros(self) -> i64 {
+        self.0
+    }
+
+    /// Returns the timestamp as (truncated) milliseconds since the epoch.
+    pub fn as_millis(self) -> i64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the duration between `self` and an earlier timestamp, in
+    /// seconds.
+    ///
+    /// Negative results are possible when `earlier` is actually later; the
+    /// result calculator relies on this to detect mis-ordered topics.
+    pub fn seconds_since(self, earlier: Timestamp) -> f64 {
+        (self.0 - earlier.0) as f64 / 1_000_000.0
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us", self.0)
+    }
+}
+
+impl From<i64> for Timestamp {
+    fn from(micros: i64) -> Self {
+        Timestamp(micros)
+    }
+}
+
+/// An application-defined key/value header attached to a record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Header {
+    /// Header key.
+    pub key: String,
+    /// Header value (opaque bytes).
+    pub value: Bytes,
+}
+
+impl Header {
+    /// Creates a header from a key and any byte-like value.
+    pub fn new(key: impl Into<String>, value: impl Into<Bytes>) -> Self {
+        Header { key: key.into(), value: value.into() }
+    }
+}
+
+/// A record as handed to a [`Producer`](crate::Producer).
+///
+/// Records are cheap to clone: key and value are reference-counted
+/// [`Bytes`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Record {
+    /// Optional partitioning key.
+    pub key: Option<Bytes>,
+    /// Record payload.
+    pub value: Bytes,
+    /// Producer-assigned creation timestamp. Ignored (overwritten on
+    /// append) when the topic uses
+    /// [`TimestampType::LogAppendTime`](crate::TimestampType::LogAppendTime).
+    pub timestamp: Option<Timestamp>,
+    /// Optional headers.
+    pub headers: Vec<Header>,
+}
+
+impl Record {
+    /// Creates a record with a value and no key.
+    ///
+    /// ```
+    /// let r = logbus::Record::from_value("payload");
+    /// assert!(r.key.is_none());
+    /// ```
+    pub fn from_value(value: impl Into<Bytes>) -> Self {
+        Record { key: None, value: value.into(), timestamp: None, headers: Vec::new() }
+    }
+
+    /// Creates a record with both key and value.
+    pub fn from_key_value(key: impl Into<Bytes>, value: impl Into<Bytes>) -> Self {
+        Record {
+            key: Some(key.into()),
+            value: value.into(),
+            timestamp: None,
+            headers: Vec::new(),
+        }
+    }
+
+    /// Sets the producer-side creation timestamp.
+    pub fn with_timestamp(mut self, ts: Timestamp) -> Self {
+        self.timestamp = Some(ts);
+        self
+    }
+
+    /// Appends a header.
+    pub fn with_header(mut self, header: Header) -> Self {
+        self.headers.push(header);
+        self
+    }
+
+    /// Approximate wire size of the record in bytes, used for segment
+    /// rolling and batch-size accounting.
+    pub fn wire_size(&self) -> usize {
+        const RECORD_OVERHEAD: usize = 24; // offset + timestamp + lengths
+        let headers: usize =
+            self.headers.iter().map(|h| h.key.len() + h.value.len() + 8).sum();
+        RECORD_OVERHEAD
+            + self.key.as_ref().map_or(0, |k| k.len())
+            + self.value.len()
+            + headers
+    }
+}
+
+impl From<&str> for Record {
+    fn from(value: &str) -> Self {
+        Record::from_value(value.as_bytes().to_vec())
+    }
+}
+
+impl From<String> for Record {
+    fn from(value: String) -> Self {
+        Record::from_value(value.into_bytes())
+    }
+}
+
+impl From<Bytes> for Record {
+    fn from(value: Bytes) -> Self {
+        Record::from_value(value)
+    }
+}
+
+/// A record as stored in (and fetched from) a partition log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredRecord {
+    /// Position of the record within its partition.
+    pub offset: u64,
+    /// The timestamp stored with the record. Depending on the topic's
+    /// [`TimestampType`](crate::TimestampType) this is either the producer's
+    /// `CreateTime` or the broker's `LogAppendTime`.
+    pub timestamp: Timestamp,
+    /// The record content.
+    pub record: Record,
+}
+
+impl StoredRecord {
+    /// Borrows the record value.
+    pub fn value(&self) -> &Bytes {
+        &self.record.value
+    }
+
+    /// Borrows the record key, if any.
+    pub fn key(&self) -> Option<&Bytes> {
+        self.record.key.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_conversions() {
+        let ts = Timestamp::from_micros(1_500_000);
+        assert_eq!(ts.as_micros(), 1_500_000);
+        assert_eq!(ts.as_millis(), 1_500);
+        assert_eq!(ts.to_string(), "1500000us");
+    }
+
+    #[test]
+    fn timestamp_seconds_since() {
+        let a = Timestamp::from_micros(1_000_000);
+        let b = Timestamp::from_micros(3_500_000);
+        assert!((b.seconds_since(a) - 2.5).abs() < 1e-9);
+        assert!((a.seconds_since(b) + 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn record_constructors() {
+        let r = Record::from_value("v");
+        assert_eq!(&r.value[..], b"v");
+        assert!(r.key.is_none());
+
+        let r = Record::from_key_value("k", "v");
+        assert_eq!(r.key.as_deref(), Some(&b"k"[..]));
+
+        let r = Record::from_value("v")
+            .with_timestamp(Timestamp(42))
+            .with_header(Header::new("h", "x"));
+        assert_eq!(r.timestamp, Some(Timestamp(42)));
+        assert_eq!(r.headers.len(), 1);
+    }
+
+    #[test]
+    fn wire_size_accounts_for_all_parts() {
+        let bare = Record::from_value("").wire_size();
+        let with_value = Record::from_value("abcd").wire_size();
+        assert_eq!(with_value, bare + 4);
+
+        let with_key = Record::from_key_value("kk", "abcd").wire_size();
+        assert_eq!(with_key, with_value + 2);
+
+        let with_header = Record::from_key_value("kk", "abcd")
+            .with_header(Header::new("h", "vv"))
+            .wire_size();
+        assert_eq!(with_header, with_key + 1 + 2 + 8);
+    }
+
+    #[test]
+    fn record_from_impls() {
+        let a: Record = "x".into();
+        let b: Record = String::from("x").into();
+        let c: Record = Bytes::from_static(b"x").into();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+}

@@ -1,0 +1,187 @@
+//! Log segments: contiguous runs of records within a partition log.
+
+use crate::record::{StoredRecord, Timestamp};
+
+/// A contiguous, append-only run of records starting at `base_offset`.
+///
+/// Partition logs are divided into segments (as in Kafka) so that retention
+/// can drop whole segments cheaply and so that offset lookups stay fast on
+/// long logs.
+#[derive(Debug, Clone, Default)]
+pub struct Segment {
+    base_offset: u64,
+    records: Vec<StoredRecord>,
+    bytes: usize,
+}
+
+impl Segment {
+    /// Creates an empty segment whose first record will get `base_offset`.
+    pub fn new(base_offset: u64) -> Self {
+        Segment { base_offset, records: Vec::new(), bytes: 0 }
+    }
+
+    /// Offset of the first record (present or future) in this segment.
+    pub fn base_offset(&self) -> u64 {
+        self.base_offset
+    }
+
+    /// Offset one past the last stored record.
+    pub fn next_offset(&self) -> u64 {
+        self.base_offset + self.records.len() as u64
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the segment holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Accumulated wire size of the stored records.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Appends a record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record's offset is not exactly [`next_offset`]; the
+    /// partition log maintains this invariant.
+    ///
+    /// [`next_offset`]: Segment::next_offset
+    pub fn append(&mut self, record: StoredRecord) {
+        assert_eq!(
+            record.offset,
+            self.next_offset(),
+            "segment append must be contiguous"
+        );
+        self.bytes += record.record.wire_size();
+        self.records.push(record);
+    }
+
+    /// Returns the record at `offset`, if it lies within this segment.
+    pub fn get(&self, offset: u64) -> Option<&StoredRecord> {
+        if offset < self.base_offset {
+            return None;
+        }
+        self.records.get((offset - self.base_offset) as usize)
+    }
+
+    /// Whether `offset` falls inside this segment's stored range.
+    pub fn contains(&self, offset: u64) -> bool {
+        offset >= self.base_offset && offset < self.next_offset()
+    }
+
+    /// Returns up to `max` records starting at `offset` (which must lie in
+    /// this segment or past its end, in which case the slice is empty).
+    pub fn read_from(&self, offset: u64, max: usize) -> &[StoredRecord] {
+        if offset >= self.next_offset() || offset < self.base_offset {
+            return &[];
+        }
+        let start = (offset - self.base_offset) as usize;
+        let end = start.saturating_add(max).min(self.records.len());
+        &self.records[start..end]
+    }
+
+    /// Timestamp of the first record, if any.
+    pub fn first_timestamp(&self) -> Option<Timestamp> {
+        self.records.first().map(|r| r.timestamp)
+    }
+
+    /// Timestamp of the last record, if any.
+    pub fn last_timestamp(&self) -> Option<Timestamp> {
+        self.records.last().map(|r| r.timestamp)
+    }
+
+    /// Iterates over the stored records.
+    pub fn iter(&self) -> std::slice::Iter<'_, StoredRecord> {
+        self.records.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Segment {
+    type Item = &'a StoredRecord;
+    type IntoIter = std::slice::Iter<'a, StoredRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+
+    fn stored(offset: u64, ts: i64, value: &str) -> StoredRecord {
+        StoredRecord {
+            offset,
+            timestamp: Timestamp::from_micros(ts),
+            record: Record::from_value(value.as_bytes().to_vec()),
+        }
+    }
+
+    #[test]
+    fn append_and_read() {
+        let mut seg = Segment::new(10);
+        assert!(seg.is_empty());
+        seg.append(stored(10, 1, "a"));
+        seg.append(stored(11, 2, "b"));
+        seg.append(stored(12, 3, "c"));
+        assert_eq!(seg.len(), 3);
+        assert_eq!(seg.base_offset(), 10);
+        assert_eq!(seg.next_offset(), 13);
+        assert!(seg.contains(11));
+        assert!(!seg.contains(13));
+        assert_eq!(seg.get(11).unwrap().value()[..], b"b"[..]);
+        assert!(seg.get(9).is_none());
+        assert!(seg.get(13).is_none());
+    }
+
+    #[test]
+    fn read_from_slices() {
+        let mut seg = Segment::new(0);
+        for i in 0..5 {
+            seg.append(stored(i, i as i64, "x"));
+        }
+        assert_eq!(seg.read_from(2, 2).len(), 2);
+        assert_eq!(seg.read_from(2, 100).len(), 3);
+        assert!(seg.read_from(5, 10).is_empty());
+        assert_eq!(seg.read_from(0, 0).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn non_contiguous_append_panics() {
+        let mut seg = Segment::new(0);
+        seg.append(stored(1, 1, "a"));
+    }
+
+    #[test]
+    fn timestamps_and_bytes() {
+        let mut seg = Segment::new(0);
+        assert!(seg.first_timestamp().is_none());
+        seg.append(stored(0, 5, "aa"));
+        seg.append(stored(1, 9, "bbb"));
+        assert_eq!(seg.first_timestamp().unwrap().as_micros(), 5);
+        assert_eq!(seg.last_timestamp().unwrap().as_micros(), 9);
+        assert_eq!(
+            seg.bytes(),
+            Record::from_value("aa").wire_size() + Record::from_value("bbb").wire_size()
+        );
+    }
+
+    #[test]
+    fn iteration() {
+        let mut seg = Segment::new(0);
+        seg.append(stored(0, 1, "a"));
+        seg.append(stored(1, 2, "b"));
+        let values: Vec<_> = (&seg).into_iter().map(|r| r.offset).collect();
+        assert_eq!(values, vec![0, 1]);
+        assert_eq!(seg.iter().count(), 2);
+    }
+}

@@ -1,0 +1,291 @@
+//! Topics: named collections of partition logs.
+
+use crate::config::{TimestampType, TopicConfig};
+use crate::error::{Error, Result};
+use crate::log::{LogStats, PartitionLog};
+use crate::record::{Record, StoredRecord, Timestamp};
+use parking_lot::RwLock;
+
+/// Busy-waits for `delay`: precise at the microsecond scales the
+/// simulated network uses, where `thread::sleep` overshoots badly.
+pub(crate) fn spin_delay(delay: std::time::Duration) {
+    if delay.is_zero() {
+        return;
+    }
+    let end = std::time::Instant::now() + delay;
+    while std::time::Instant::now() < end {
+        std::hint::spin_loop();
+    }
+}
+
+/// A named topic holding one [`PartitionLog`] per partition.
+///
+/// All methods are thread-safe; each partition is guarded by its own lock
+/// so that producers targeting different partitions do not contend.
+#[derive(Debug)]
+pub struct Topic {
+    name: String,
+    config: TopicConfig,
+    partitions: Vec<RwLock<PartitionLog>>,
+}
+
+impl Topic {
+    /// Creates a topic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the configuration fails
+    /// validation.
+    pub fn new(name: impl Into<String>, config: TopicConfig) -> Result<Self> {
+        config.validate().map_err(Error::InvalidConfig)?;
+        let partitions = (0..config.partitions)
+            .map(|_| RwLock::new(PartitionLog::new(config.clone())))
+            .collect();
+        Ok(Topic { name: name.into(), config, partitions })
+    }
+
+    /// The topic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The topic configuration.
+    pub fn config(&self) -> &TopicConfig {
+        &self.config
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> u32 {
+        self.partitions.len() as u32
+    }
+
+    fn partition(&self, partition: u32) -> Result<&RwLock<PartitionLog>> {
+        self.partitions.get(partition as usize).ok_or_else(|| Error::UnknownPartition {
+            topic: self.name.clone(),
+            partition,
+        })
+    }
+
+    /// Appends `record` to `partition`, resolving the stored timestamp
+    /// according to the topic's [`TimestampType`]. `now` is the broker
+    /// clock reading. Returns the assigned offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownPartition`] for out-of-range partitions.
+    pub fn append(&self, partition: u32, record: Record, now: Timestamp) -> Result<u64> {
+        self.append_delayed(partition, record, now, std::time::Duration::ZERO)
+    }
+
+    /// Like [`Topic::append`], but holds the partition's append lock for
+    /// an extra `delay` first — the broker's simulated network round
+    /// trip. Holding the lock is deliberate: a partition has one leader,
+    /// so concurrent producers to the same partition serialize their
+    /// requests rather than overlapping them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownPartition`] for out-of-range partitions.
+    pub fn append_delayed(
+        &self,
+        partition: u32,
+        record: Record,
+        now: Timestamp,
+        delay: std::time::Duration,
+    ) -> Result<u64> {
+        let stamp = match self.config.timestamp_type {
+            TimestampType::LogAppendTime => now,
+            TimestampType::CreateTime => record.timestamp.unwrap_or(now),
+        };
+        let lock = self.partition(partition)?;
+        let mut log = lock.write();
+        spin_delay(delay);
+        Ok(log.append(record, stamp))
+    }
+
+    /// Appends a batch, returning the offset of the first record.
+    ///
+    /// The batch is appended atomically with respect to other producers of
+    /// the same partition: all records receive consecutive offsets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownPartition`] for out-of-range partitions.
+    pub fn append_batch(
+        &self,
+        partition: u32,
+        records: Vec<Record>,
+        now: Timestamp,
+    ) -> Result<u64> {
+        self.append_batch_delayed(partition, records, now, std::time::Duration::ZERO)
+    }
+
+    /// Like [`Topic::append_batch`], holding the partition's append lock
+    /// for an extra `delay` first (see [`Topic::append_delayed`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownPartition`] for out-of-range partitions.
+    pub fn append_batch_delayed(
+        &self,
+        partition: u32,
+        records: Vec<Record>,
+        now: Timestamp,
+        delay: std::time::Duration,
+    ) -> Result<u64> {
+        let lock = self.partition(partition)?;
+        let mut log = lock.write();
+        spin_delay(delay);
+        let base = log.next_offset();
+        for record in records {
+            let stamp = match self.config.timestamp_type {
+                TimestampType::LogAppendTime => now,
+                TimestampType::CreateTime => record.timestamp.unwrap_or(now),
+            };
+            log.append(record, stamp);
+        }
+        Ok(base)
+    }
+
+    /// Reads up to `max` records of `partition` starting at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownPartition`] or [`Error::OffsetOutOfRange`].
+    pub fn read(&self, partition: u32, offset: u64, max: usize) -> Result<Vec<StoredRecord>> {
+        Ok(self.partition(partition)?.read().read(offset, max)?)
+    }
+
+    /// Next offset to be written in `partition`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownPartition`] for out-of-range partitions.
+    pub fn latest_offset(&self, partition: u32) -> Result<u64> {
+        Ok(self.partition(partition)?.read().next_offset())
+    }
+
+    /// Earliest retained offset in `partition`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownPartition`] for out-of-range partitions.
+    pub fn earliest_offset(&self, partition: u32) -> Result<u64> {
+        Ok(self.partition(partition)?.read().earliest_offset())
+    }
+
+    /// Timestamp of the first retained record in `partition`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownPartition`] for out-of-range partitions.
+    pub fn first_timestamp(&self, partition: u32) -> Result<Option<Timestamp>> {
+        Ok(self.partition(partition)?.read().first_timestamp())
+    }
+
+    /// Timestamp of the last record in `partition`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownPartition`] for out-of-range partitions.
+    pub fn last_timestamp(&self, partition: u32) -> Result<Option<Timestamp>> {
+        Ok(self.partition(partition)?.read().last_timestamp())
+    }
+
+    /// Offset of the first record in `partition` stored at or after `ts`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownPartition`] for out-of-range partitions.
+    pub fn offset_for_timestamp(&self, partition: u32, ts: Timestamp) -> Result<Option<u64>> {
+        Ok(self.partition(partition)?.read().offset_for_timestamp(ts))
+    }
+
+    /// Statistics for `partition`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownPartition`] for out-of-range partitions.
+    pub fn stats(&self, partition: u32) -> Result<LogStats> {
+        Ok(self.partition(partition)?.read().stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut config = TopicConfig::default();
+        config.replication_factor = 0;
+        assert!(matches!(Topic::new("t", config), Err(Error::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn append_respects_timestamp_type() {
+        let log_append = Topic::new(
+            "la",
+            TopicConfig::default().timestamp_type(TimestampType::LogAppendTime),
+        )
+        .unwrap();
+        let create = Topic::new(
+            "ct",
+            TopicConfig::default().timestamp_type(TimestampType::CreateTime),
+        )
+        .unwrap();
+        let record = Record::from_value("x").with_timestamp(Timestamp::from_micros(7));
+        let now = Timestamp::from_micros(99);
+
+        log_append.append(0, record.clone(), now).unwrap();
+        create.append(0, record, now).unwrap();
+
+        assert_eq!(log_append.read(0, 0, 1).unwrap()[0].timestamp.as_micros(), 99);
+        assert_eq!(create.read(0, 0, 1).unwrap()[0].timestamp.as_micros(), 7);
+    }
+
+    #[test]
+    fn create_time_falls_back_to_clock() {
+        let topic = Topic::new(
+            "ct",
+            TopicConfig::default().timestamp_type(TimestampType::CreateTime),
+        )
+        .unwrap();
+        topic.append(0, Record::from_value("x"), Timestamp::from_micros(5)).unwrap();
+        assert_eq!(topic.read(0, 0, 1).unwrap()[0].timestamp.as_micros(), 5);
+    }
+
+    #[test]
+    fn batch_append_is_contiguous() {
+        let topic = Topic::new("t", TopicConfig::default()).unwrap();
+        let batch: Vec<Record> = (0..10).map(|i| Record::from_value(format!("{i}"))).collect();
+        let base = topic.append_batch(0, batch, Timestamp::from_micros(1)).unwrap();
+        assert_eq!(base, 0);
+        let base2 = topic
+            .append_batch(0, vec![Record::from_value("x")], Timestamp::from_micros(2))
+            .unwrap();
+        assert_eq!(base2, 10);
+        assert_eq!(topic.latest_offset(0).unwrap(), 11);
+    }
+
+    #[test]
+    fn unknown_partition_errors() {
+        let topic = Topic::new("t", TopicConfig::default().partitions(2)).unwrap();
+        assert!(topic.append(5, Record::from_value("x"), Timestamp(0)).is_err());
+        assert!(topic.read(2, 0, 1).is_err());
+        assert!(topic.latest_offset(2).is_err());
+        assert_eq!(topic.partition_count(), 2);
+    }
+
+    #[test]
+    fn per_partition_isolation() {
+        let topic = Topic::new("t", TopicConfig::default().partitions(2)).unwrap();
+        topic.append(0, Record::from_value("a"), Timestamp(1)).unwrap();
+        topic.append(1, Record::from_value("b"), Timestamp(2)).unwrap();
+        topic.append(1, Record::from_value("c"), Timestamp(3)).unwrap();
+        assert_eq!(topic.latest_offset(0).unwrap(), 1);
+        assert_eq!(topic.latest_offset(1).unwrap(), 2);
+        assert_eq!(topic.first_timestamp(1).unwrap().unwrap().as_micros(), 2);
+        assert_eq!(topic.last_timestamp(1).unwrap().unwrap().as_micros(), 3);
+    }
+}

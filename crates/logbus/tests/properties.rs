@@ -1,0 +1,161 @@
+//! Property-based tests for the broker's core invariants.
+
+use logbus::{
+    Broker, Cluster, ClusterConfig, Consumer, ManualClock, Producer, ProducerConfig, Record,
+    TopicConfig,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_payloads() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..200)
+}
+
+proptest! {
+    /// Offsets are dense and fetch returns exactly what was produced, in
+    /// order, regardless of how the producer batches.
+    #[test]
+    fn produce_fetch_roundtrip(payloads in arb_payloads(), batch in 1usize..64) {
+        let broker = Broker::new();
+        broker.create_topic("t", TopicConfig::default()).unwrap();
+        let mut producer = Producer::with_config(
+            broker.clone(),
+            ProducerConfig { batch_records: batch, ..ProducerConfig::default() },
+        );
+        for p in &payloads {
+            producer.send("t", Record::from_value(p.clone())).unwrap();
+        }
+        producer.flush().unwrap();
+
+        let fetched = broker.fetch("t", 0, 0, payloads.len() + 10).unwrap();
+        prop_assert_eq!(fetched.len(), payloads.len());
+        for (i, (stored, sent)) in fetched.iter().zip(&payloads).enumerate() {
+            prop_assert_eq!(stored.offset, i as u64);
+            prop_assert_eq!(&stored.record.value[..], &sent[..]);
+        }
+    }
+
+    /// LogAppendTime stamps never decrease along a partition.
+    #[test]
+    fn append_time_is_monotone(payloads in arb_payloads(), segment_bytes in 32usize..4096) {
+        let broker = Broker::with_clock(Arc::new(ManualClock::new(0)));
+        broker
+            .create_topic("t", TopicConfig::default().segment_bytes(segment_bytes))
+            .unwrap();
+        for p in &payloads {
+            broker.produce("t", 0, Record::from_value(p.clone())).unwrap();
+        }
+        let fetched = broker.fetch("t", 0, 0, payloads.len()).unwrap();
+        prop_assert!(fetched.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+    }
+
+    /// A consumer polling with arbitrary poll sizes sees every record
+    /// exactly once, in order.
+    #[test]
+    fn consumer_sees_everything_once(
+        payloads in arb_payloads(),
+        poll_sizes in prop::collection::vec(1usize..50, 1..100),
+    ) {
+        let broker = Broker::new();
+        broker.create_topic("t", TopicConfig::default()).unwrap();
+        for p in &payloads {
+            broker.produce("t", 0, Record::from_value(p.clone())).unwrap();
+        }
+        let mut consumer = Consumer::new(broker);
+        consumer.assign("t", 0).unwrap();
+        let mut seen = Vec::new();
+        let mut sizes = poll_sizes.iter().cycle();
+        while seen.len() < payloads.len() {
+            let batch = consumer.poll(*sizes.next().unwrap()).unwrap();
+            prop_assert!(!batch.is_empty(), "poll stalled before draining the topic");
+            seen.extend(batch);
+        }
+        prop_assert_eq!(seen.len(), payloads.len());
+        for (i, stored) in seen.iter().enumerate() {
+            prop_assert_eq!(stored.offset, i as u64);
+            prop_assert_eq!(&stored.record.value[..], &payloads[i][..]);
+        }
+        prop_assert!(consumer.poll(10).unwrap().is_empty());
+    }
+
+    /// Segment rolling never changes what reads observe.
+    #[test]
+    fn segment_size_is_transparent(
+        payloads in arb_payloads(),
+        segment_bytes in 32usize..512,
+        read_offset in 0u64..50,
+    ) {
+        let small = Broker::new();
+        small
+            .create_topic("t", TopicConfig::default().segment_bytes(segment_bytes))
+            .unwrap();
+        let big = Broker::new();
+        big.create_topic("t", TopicConfig::default()).unwrap();
+        for p in &payloads {
+            small.produce("t", 0, Record::from_value(p.clone())).unwrap();
+            big.produce("t", 0, Record::from_value(p.clone())).unwrap();
+        }
+        let offset = read_offset.min(payloads.len() as u64);
+        let a = small.fetch("t", 0, offset, 1000).unwrap();
+        let b = big.fetch("t", 0, offset, 1000).unwrap();
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.offset, y.offset);
+            prop_assert_eq!(&x.record.value[..], &y.record.value[..]);
+        }
+    }
+
+    /// Replicated topics converge: every replica stores the same record
+    /// sequence as the leader.
+    #[test]
+    fn replicas_converge(payloads in arb_payloads(), brokers in 2u32..5) {
+        let cluster = Cluster::new(ClusterConfig { brokers });
+        cluster
+            .create_topic("t", TopicConfig::default().replication_factor(brokers))
+            .unwrap();
+        for p in &payloads {
+            cluster.produce("t", 0, Record::from_value(p.clone())).unwrap();
+        }
+        let leader = cluster.leader_of("t", 0).unwrap();
+        let reference = cluster.broker(leader).fetch("t", 0, 0, payloads.len()).unwrap();
+        for b in 0..brokers as usize {
+            let replica = cluster.broker(b).fetch("t", 0, 0, payloads.len()).unwrap();
+            prop_assert_eq!(replica.len(), reference.len());
+            for (x, y) in replica.iter().zip(&reference) {
+                prop_assert_eq!(x.offset, y.offset);
+                prop_assert_eq!(&x.record.value[..], &y.record.value[..]);
+            }
+        }
+    }
+
+    /// Retention keeps a suffix of the log: surviving records keep their
+    /// offsets and the newest record is always retained.
+    #[test]
+    fn retention_keeps_suffix(
+        count in 1u64..300,
+        limit in 1u64..50,
+        segment_bytes in 32usize..256,
+    ) {
+        let broker = Broker::new();
+        broker
+            .create_topic(
+                "t",
+                TopicConfig::default()
+                    .segment_bytes(segment_bytes)
+                    .retention_records(limit),
+            )
+            .unwrap();
+        for i in 0..count {
+            broker.produce("t", 0, Record::from_value(format!("r{i}"))).unwrap();
+        }
+        let earliest = broker.topic("t").unwrap().earliest_offset(0).unwrap();
+        let latest = broker.latest_offset("t", 0).unwrap();
+        prop_assert_eq!(latest, count);
+        let fetched = broker.fetch("t", 0, earliest, count as usize).unwrap();
+        prop_assert_eq!(fetched.len() as u64, latest - earliest);
+        for stored in &fetched {
+            let expected = format!("r{}", stored.offset);
+            prop_assert_eq!(&stored.record.value[..], expected.as_bytes());
+        }
+    }
+}

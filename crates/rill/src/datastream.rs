@@ -1,0 +1,676 @@
+//! The typed `DataStream` API and its execution environment.
+//!
+//! Programs are built fluently — `env.add_source(...).filter(...)
+//! .add_sink(...)` — and executed with
+//! [`StreamExecutionEnvironment::execute`]. Consecutive operators connected
+//! by forward edges are **chained**: they compose into a single
+//! [`Collector`] stack running in one thread per subtask, with no
+//! serialization or boxing between them (paper §II-B describes the same
+//! optimization in Apache Flink). Exchanges ([`DataStream::rebalance`],
+//! [`DataStream::key_by`]) break chains and move elements across typed
+//! bounded channels.
+
+use crate::error::{Error, Result};
+use crate::graph::{NodeId, NodeKind, Partitioning, StreamGraph};
+use crate::operator::{
+    Collector, CountingCollector, FilterCollector, FlatMapCollector, GroupCollector,
+    MapCollector, ReduceCollector,
+};
+use crate::plan::ExecutionPlan;
+use crate::runtime::{ClusterSpec, JobManager, JobResult, TaskSpec};
+use crate::sink::{ParallelSink, SinkCollector};
+use crate::source::ParallelSource;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+/// Capacity of inter-task exchange channels; provides backpressure like
+/// Flink's bounded network buffers.
+const EXCHANGE_CAPACITY: usize = 4096;
+
+type BuildFn<T> = Arc<dyn Fn(usize, Box<dyn Collector<T>>) -> Box<dyn FnOnce() + Send> + Send + Sync>;
+
+#[derive(Debug)]
+struct EnvCore {
+    graph: StreamGraph,
+    parallelism: usize,
+    chaining: bool,
+    cluster: ClusterSpec,
+    tasks: Vec<TaskSpec>,
+    sink_counters: Vec<(String, Arc<AtomicU64>)>,
+}
+
+/// Entry point for building and executing jobs — rill's counterpart of
+/// Flink's `StreamExecutionEnvironment` plus the client role of Fig. 1.
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use rill::{StreamExecutionEnvironment, VecSink, VecSource};
+///
+/// let env = StreamExecutionEnvironment::local();
+/// let sink = VecSink::new();
+/// env.add_source(VecSource::new(vec![1, 2, 3, 4]))
+///     .filter(|x: &i64| x % 2 == 0)
+///     .add_sink(sink.clone());
+/// env.execute("evens")?;
+/// assert_eq!(sink.snapshot(), vec![2, 4]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamExecutionEnvironment {
+    core: Arc<Mutex<EnvCore>>,
+}
+
+impl StreamExecutionEnvironment {
+    /// Creates an environment on a local single-task-manager cluster with
+    /// default parallelism 1.
+    pub fn local() -> Self {
+        Self::with_cluster(ClusterSpec::local())
+    }
+
+    /// Creates an environment on an explicit cluster shape.
+    pub fn with_cluster(cluster: ClusterSpec) -> Self {
+        StreamExecutionEnvironment {
+            core: Arc::new(Mutex::new(EnvCore {
+                graph: StreamGraph::new(),
+                parallelism: 1,
+                chaining: true,
+                cluster,
+                tasks: Vec::new(),
+                sink_counters: Vec::new(),
+            })),
+        }
+    }
+
+    /// Sets the default parallelism applied to subsequently created
+    /// operators (Flink's `-p` submission flag, paper §III-A2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parallelism` is zero.
+    pub fn set_parallelism(&self, parallelism: usize) {
+        assert!(parallelism > 0, "parallelism must be at least 1");
+        self.core.lock().parallelism = parallelism;
+    }
+
+    /// The current default parallelism.
+    pub fn parallelism(&self) -> usize {
+        self.core.lock().parallelism
+    }
+
+    /// Disables operator chaining: every operator boundary becomes a
+    /// channel handoff between threads. Exists for the ablation benchmark
+    /// quantifying what chaining is worth.
+    pub fn disable_operator_chaining(&self) {
+        self.core.lock().chaining = false;
+    }
+
+    /// Whether chaining is enabled.
+    pub fn chaining_enabled(&self) -> bool {
+        self.core.lock().chaining
+    }
+
+    /// Adds a source, returning the stream it produces.
+    pub fn add_source<T, S>(&self, source: S) -> DataStream<T>
+    where
+        T: Send + 'static,
+        S: ParallelSource<T>,
+    {
+        let mut core = self.core.lock();
+        let parallelism = core.parallelism;
+        let name = source.name();
+        let node = core.graph.add_node(NodeKind::Source, name.clone(), parallelism);
+        drop(core);
+        let source = Arc::new(source);
+        let build: BuildFn<T> = Arc::new(move |subtask, mut col| {
+            let mut instance = source.create(subtask, parallelism);
+            Box::new(move || {
+                instance.run(&mut col);
+                col.close();
+            })
+        });
+        DataStream {
+            env: self.clone(),
+            node,
+            parallelism,
+            pending: Partitioning::Forward,
+            chain: vec![name],
+            build,
+        }
+    }
+
+    /// Extracts the current execution plan (the Fig. 12/13 view).
+    pub fn execution_plan(&self) -> ExecutionPlan {
+        ExecutionPlan::from_graph(&self.core.lock().graph)
+    }
+
+    /// Executes all pending sinks as one job and waits for completion.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::DanglingStream`] if a stream was never terminated;
+    /// [`Error::NotEnoughSlots`] if the job's maximum parallelism exceeds
+    /// the cluster's slots; [`Error::TaskPanicked`] if a subtask panics;
+    /// [`Error::InvalidTopology`] when there is nothing to run.
+    pub fn execute(&self, name: &str) -> Result<JobResult> {
+        let (cluster, tasks, counters) = {
+            let mut core = self.core.lock();
+            if let Some(node) = core.graph.dangling().into_iter().next() {
+                let node_name = core
+                    .graph
+                    .node(node)
+                    .map(|n| n.name.clone())
+                    .unwrap_or_else(|| node.to_string());
+                return Err(Error::DanglingStream { node: node_name });
+            }
+            (core.cluster, std::mem::take(&mut core.tasks), std::mem::take(&mut core.sink_counters))
+        };
+        JobManager::execute(name, cluster, tasks, counters)
+    }
+
+    fn with_core<R>(&self, f: impl FnOnce(&mut EnvCore) -> R) -> R {
+        f(&mut self.core.lock())
+    }
+}
+
+/// A typed stream of elements flowing through the job.
+///
+/// `DataStream` values are consumed by every transformation (move
+/// semantics): each stream has exactly one downstream consumer, keeping
+/// chains statically typed. See the crate root for the full API tour.
+pub struct DataStream<T> {
+    env: StreamExecutionEnvironment,
+    node: NodeId,
+    parallelism: usize,
+    /// Partitioning of the edge that will connect `node` to the next node.
+    pending: Partitioning,
+    /// Names of the operators accumulated in the current (unfinalized)
+    /// chain, for task naming.
+    chain: Vec<String>,
+    build: BuildFn<T>,
+}
+
+impl<T: Send + 'static> DataStream<T> {
+    /// The graph node this stream currently ends at.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The stream's current parallelism.
+    pub fn stream_parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Renames the operator (or source) this stream currently ends at, as
+    /// shown in execution plans.
+    pub fn rename(self, name: impl Into<String>) -> Self {
+        let name = name.into();
+        let mut stream = self;
+        stream.env.with_core(|core| core.graph.set_name(stream.node, name.clone()));
+        if let Some(last) = stream.chain.last_mut() {
+            *last = name;
+        }
+        stream
+    }
+
+    /// Applies a custom operator: `make` receives the downstream collector
+    /// of each subtask and returns the operator's collector. This is the
+    /// extension point used by the abstraction-layer runner to install its
+    /// `ParDo` stages.
+    pub fn transform<U, F>(self, name: &str, make: F) -> DataStream<U>
+    where
+        U: Send + 'static,
+        F: Fn(Box<dyn Collector<U>>) -> Box<dyn Collector<T>> + Send + Sync + 'static,
+    {
+        let stream = self.maybe_unchain();
+        let node = stream.env.with_core(|core| {
+            let node = core.graph.add_node(NodeKind::Operator, name, stream.parallelism);
+            core.graph.add_edge(stream.node, node, stream.pending);
+            node
+        });
+        let parent = stream.build;
+        let make = Arc::new(make);
+        let build: BuildFn<U> = Arc::new(move |subtask, col| parent(subtask, make(col)));
+        let mut chain = stream.chain;
+        chain.push(name.to_string());
+        DataStream {
+            env: stream.env,
+            node,
+            parallelism: stream.parallelism,
+            pending: Partitioning::Forward,
+            chain,
+            build,
+        }
+    }
+
+    /// Element-wise transformation.
+    pub fn map<U, F>(self, f: F) -> DataStream<U>
+    where
+        U: Send + 'static,
+        F: Fn(T) -> U + Clone + Send + Sync + 'static,
+    {
+        self.transform("Map", move |col| Box::new(MapCollector::new(f.clone(), col)))
+    }
+
+    /// Keeps only elements satisfying the predicate.
+    pub fn filter<F>(self, f: F) -> DataStream<T>
+    where
+        F: Fn(&T) -> bool + Clone + Send + Sync + 'static,
+    {
+        self.transform("Filter", move |col| Box::new(FilterCollector::new(f.clone(), col)))
+    }
+
+    /// One-to-many transformation; `f` pushes outputs through the emitter.
+    pub fn flat_map<U, F>(self, f: F) -> DataStream<U>
+    where
+        U: Send + 'static,
+        F: Fn(T, &mut dyn FnMut(U)) + Clone + Send + Sync + 'static,
+    {
+        self.transform("Flat Map", move |col| Box::new(FlatMapCollector::new(f.clone(), col)))
+    }
+
+    /// Redistributes elements round-robin over subtasks at the
+    /// environment's current parallelism, breaking the chain.
+    pub fn rebalance(self) -> DataStream<T> {
+        let offset_router = |subtask: usize, fan_out: usize| {
+            let mut next = subtask;
+            move |_item: &T| {
+                let target = next % fan_out;
+                next = next.wrapping_add(1);
+                target
+            }
+        };
+        self.exchange(Partitioning::Rebalance, offset_router)
+    }
+
+    /// Partitions elements by key hash, breaking the chain. Subsequent
+    /// keyed operations see all elements of a key on the same subtask.
+    pub fn key_by<K, F>(self, key: F) -> KeyedStream<K, T>
+    where
+        K: Hash + Eq + Clone + Send + 'static,
+        F: Fn(&T) -> K + Clone + Send + Sync + 'static,
+    {
+        let key_for_route = key.clone();
+        let stream = self.exchange(Partitioning::Hash, move |_subtask, fan_out| {
+            let key = key_for_route.clone();
+            move |item: &T| {
+                let mut hasher = std::collections::hash_map::DefaultHasher::new();
+                key(item).hash(&mut hasher);
+                (hasher.finish() % fan_out as u64) as usize
+            }
+        });
+        KeyedStream { stream, key: Arc::new(key) }
+    }
+
+    /// Terminates the stream in a sink. Every pipeline branch must end in
+    /// a sink before [`StreamExecutionEnvironment::execute`].
+    pub fn add_sink<S>(self, sink: S)
+    where
+        S: ParallelSink<T>,
+    {
+        let stream = self.maybe_unchain();
+        let name = sink.name();
+        let (node, counter) = stream.env.with_core(|core| {
+            let node = core.graph.add_node(NodeKind::Sink, name.clone(), stream.parallelism);
+            core.graph.add_edge(stream.node, node, stream.pending);
+            let counter = Arc::new(AtomicU64::new(0));
+            let key = if core.sink_counters.iter().any(|(n, _)| *n == name) {
+                format!("{name} ({node})")
+            } else {
+                name.clone()
+            };
+            core.sink_counters.push((key, counter.clone()));
+            (node, counter)
+        });
+        let _ = node;
+        let sink = Arc::new(sink);
+        let parallelism = stream.parallelism;
+        let mut runnables = Vec::with_capacity(parallelism);
+        for subtask in 0..parallelism {
+            let collector = Box::new(CountingCollector::new(
+                counter.clone(),
+                SinkCollector::new(sink.create(subtask, parallelism)),
+            ));
+            runnables.push((stream.build)(subtask, collector));
+        }
+        let mut chain = stream.chain;
+        chain.push(name);
+        stream.env.with_core(|core| {
+            core.tasks.push(TaskSpec {
+                name: chain.join(" -> "),
+                parallelism,
+                runnables,
+            })
+        });
+    }
+
+    /// Inserts a forward (subtask-preserving) exchange when chaining is
+    /// disabled, so each operator runs as its own task.
+    fn maybe_unchain(self) -> DataStream<T> {
+        if self.env.chaining_enabled() || self.chain.is_empty() {
+            return self;
+        }
+        // A fresh exchange already starts an unchained task; only break
+        // when the current chain has an operator pending.
+        self.exchange(Partitioning::Forward, |subtask, _fan_out| move |_item: &T| subtask)
+    }
+
+    /// Finalizes the current chain into a task whose output crosses typed
+    /// channels to `fan_out` downstream subtasks, routed per element by the
+    /// router built from `(upstream subtask, fan_out)`.
+    fn exchange<R, F>(self, partitioning: Partitioning, make_router: F) -> DataStream<T>
+    where
+        R: FnMut(&T) -> usize + Send + 'static,
+        F: Fn(usize, usize) -> R,
+    {
+        let fan_out = match partitioning {
+            Partitioning::Forward => self.parallelism,
+            _ => self.env.parallelism(),
+        };
+        let mut senders = Vec::with_capacity(fan_out);
+        let mut receivers = Vec::with_capacity(fan_out);
+        for _ in 0..fan_out {
+            let (tx, rx) = bounded::<T>(EXCHANGE_CAPACITY);
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let mut runnables = Vec::with_capacity(self.parallelism);
+        for subtask in 0..self.parallelism {
+            let collector = Box::new(ExchangeCollector {
+                senders: senders.clone(),
+                router: make_router(subtask, fan_out),
+            });
+            runnables.push((self.build)(subtask, collector));
+        }
+        drop(senders);
+        self.env.with_core(|core| {
+            core.tasks.push(TaskSpec {
+                name: self.chain.join(" -> "),
+                parallelism: self.parallelism,
+                runnables,
+            })
+        });
+        let build: BuildFn<T> = Arc::new(move |subtask, mut col| {
+            let rx: Receiver<T> = receivers[subtask].clone();
+            Box::new(move || {
+                while let Ok(item) = rx.recv() {
+                    col.collect(item);
+                }
+                col.close();
+            })
+        });
+        DataStream {
+            env: self.env,
+            node: self.node,
+            parallelism: fan_out,
+            pending: partitioning,
+            chain: Vec::new(),
+            build,
+        }
+    }
+}
+
+/// Collector terminating a chain at an exchange: routes each element to a
+/// downstream subtask's channel.
+struct ExchangeCollector<T, R> {
+    senders: Vec<Sender<T>>,
+    router: R,
+}
+
+impl<T, R> Collector<T> for ExchangeCollector<T, R>
+where
+    T: Send,
+    R: FnMut(&T) -> usize + Send,
+{
+    fn collect(&mut self, item: T) {
+        let target = (self.router)(&item) % self.senders.len();
+        // A closed receiver means the downstream task is gone (e.g. it
+        // panicked); dropping the element keeps the job from deadlocking
+        // and the failure surfaces through the downstream task's join.
+        let _ = self.senders[target].send(item);
+    }
+
+    fn close(&mut self) {
+        self.senders.clear();
+    }
+}
+
+/// A stream partitioned by key, produced by [`DataStream::key_by`].
+pub struct KeyedStream<K, T> {
+    stream: DataStream<T>,
+    key: Arc<dyn Fn(&T) -> K + Send + Sync>,
+}
+
+impl<K, T> KeyedStream<K, T>
+where
+    K: Hash + Eq + Clone + Send + 'static,
+    T: Clone + Send + 'static,
+{
+    /// The key extractor this stream was partitioned by.
+    pub(crate) fn key_fn(&self) -> Arc<dyn Fn(&T) -> K + Send + Sync> {
+        self.key.clone()
+    }
+
+    /// Unwraps the underlying partitioned stream.
+    pub(crate) fn into_stream(self) -> DataStream<T> {
+        self.stream
+    }
+
+    /// Running reduction per key: each input emits the key's new
+    /// accumulated value (Flink `KeyedStream::reduce` semantics).
+    pub fn reduce<F>(self, f: F) -> DataStream<T>
+    where
+        F: Fn(T, T) -> T + Clone + Send + Sync + 'static,
+    {
+        let key = self.key.clone();
+        self.stream.transform("Reduce", move |col| {
+            let key = key.clone();
+            Box::new(ReduceCollector::new(move |t: &T| key(t), f.clone(), col))
+        })
+    }
+
+    /// Buffers all values per key and emits `(key, values)` when the
+    /// bounded input ends — a global-window group-by, the substrate for
+    /// the abstraction layer's `GroupByKey`.
+    pub fn collect_groups(self) -> DataStream<(K, Vec<T>)> {
+        let key = self.key.clone();
+        self.stream.transform("Group", move |col| {
+            let key = key.clone();
+            Box::new(GroupCollector::new(move |t: &T| key(t), col))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::VecSink;
+    use crate::source::VecSource;
+
+    #[test]
+    fn linear_pipeline_runs() {
+        let env = StreamExecutionEnvironment::local();
+        let sink = VecSink::new();
+        env.add_source(VecSource::new((0..100).collect::<Vec<i64>>()))
+            .map(|x| x * 2)
+            .filter(|x| *x % 4 == 0)
+            .add_sink(sink.clone());
+        let result = env.execute("job").unwrap();
+        let expected: Vec<i64> = (0..100).map(|x| x * 2).filter(|x| x % 4 == 0).collect();
+        assert_eq!(sink.snapshot(), expected);
+        assert_eq!(result.total_sink_records(), expected.len() as u64);
+    }
+
+    #[test]
+    fn flat_map_expands() {
+        let env = StreamExecutionEnvironment::local();
+        let sink = VecSink::new();
+        env.add_source(VecSource::new(vec!["a b", "c d e"]))
+            .flat_map(|line: &str, out| {
+                for word in line.split(' ') {
+                    out(word.to_string());
+                }
+            })
+            .add_sink(sink.clone());
+        env.execute("words").unwrap();
+        assert_eq!(sink.snapshot(), vec!["a", "b", "c", "d", "e"]);
+    }
+
+    #[test]
+    fn rebalance_spreads_work() {
+        let env = StreamExecutionEnvironment::local();
+        env.set_parallelism(2);
+        let sink = VecSink::new();
+        env.add_source(VecSource::new((0..1000).collect::<Vec<i64>>()))
+            .rebalance()
+            .map(|x| x + 1)
+            .add_sink(sink.clone());
+        let result = env.execute("job").unwrap();
+        let mut got = sink.snapshot();
+        got.sort_unstable();
+        assert_eq!(got, (1..=1000).collect::<Vec<i64>>());
+        assert_eq!(result.total_sink_records(), 1000);
+    }
+
+    #[test]
+    fn key_by_groups_on_one_subtask() {
+        let env = StreamExecutionEnvironment::local();
+        env.set_parallelism(2);
+        let sink = VecSink::new();
+        env.add_source(VecSource::new(vec![
+            ("a", 1i64),
+            ("b", 10),
+            ("a", 2),
+            ("b", 20),
+            ("a", 3),
+        ]))
+        .key_by(|t| t.0)
+        .reduce(|x, y| (x.0, x.1 + y.1))
+        .add_sink(sink.clone());
+        env.execute("job").unwrap();
+        let got = sink.snapshot();
+        // Running totals per key, order within key preserved.
+        let a: Vec<i64> = got.iter().filter(|t| t.0 == "a").map(|t| t.1).collect();
+        let b: Vec<i64> = got.iter().filter(|t| t.0 == "b").map(|t| t.1).collect();
+        assert_eq!(a, vec![1, 3, 6]);
+        assert_eq!(b, vec![10, 30]);
+    }
+
+    #[test]
+    fn collect_groups_emits_on_close() {
+        let env = StreamExecutionEnvironment::local();
+        let sink = VecSink::new();
+        env.add_source(VecSource::new(vec![("a", 1), ("b", 2), ("a", 3)]))
+            .key_by(|t: &(&str, i32)| t.0)
+            .collect_groups()
+            .add_sink(sink.clone());
+        env.execute("job").unwrap();
+        let mut got = sink.snapshot();
+        got.sort_by_key(|g| g.0);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, "a");
+        assert_eq!(got[0].1, vec![("a", 1), ("a", 3)]);
+    }
+
+    #[test]
+    fn dangling_stream_is_rejected() {
+        let env = StreamExecutionEnvironment::local();
+        let _ = env.add_source(VecSource::new(vec![1])).map(|x: i64| x);
+        let err = env.execute("job").unwrap_err();
+        assert_eq!(err, Error::DanglingStream { node: "Map".to_string() });
+    }
+
+    #[test]
+    fn empty_env_is_rejected() {
+        let env = StreamExecutionEnvironment::local();
+        assert!(matches!(env.execute("job"), Err(Error::InvalidTopology(_))));
+    }
+
+    #[test]
+    fn parallelism_beyond_slots_fails() {
+        let env = StreamExecutionEnvironment::with_cluster(ClusterSpec {
+            task_managers: 1,
+            slots_per_manager: 1,
+        });
+        env.set_parallelism(2);
+        env.add_source(VecSource::new(vec![1, 2, 3])).add_sink(VecSink::new());
+        assert_eq!(
+            env.execute("job").unwrap_err(),
+            Error::NotEnoughSlots { required: 2, available: 1 }
+        );
+    }
+
+    #[test]
+    fn chaining_disabled_still_correct() {
+        let env = StreamExecutionEnvironment::local();
+        env.disable_operator_chaining();
+        let sink = VecSink::new();
+        env.add_source(VecSource::new((0..50).collect::<Vec<i64>>()))
+            .map(|x| x + 1)
+            .filter(|x| x % 2 == 0)
+            .map(|x| x * 10)
+            .add_sink(sink.clone());
+        env.execute("job").unwrap();
+        let expected: Vec<i64> =
+            (0..50).map(|x| x + 1).filter(|x| x % 2 == 0).map(|x| x * 10).collect();
+        assert_eq!(sink.snapshot(), expected);
+    }
+
+    #[test]
+    fn panic_in_operator_is_reported() {
+        let env = StreamExecutionEnvironment::local();
+        env.add_source(VecSource::new(vec![1, 2, 3]))
+            .map(|x: i64| if x == 2 { panic!("bad element") } else { x })
+            .add_sink(VecSink::new());
+        let err = env.execute("job").unwrap_err();
+        assert!(matches!(err, Error::TaskPanicked { .. }));
+    }
+
+    #[test]
+    fn panic_downstream_of_exchange_does_not_deadlock() {
+        let env = StreamExecutionEnvironment::local();
+        env.set_parallelism(1);
+        env.add_source(VecSource::new((0..100_000).collect::<Vec<i64>>()))
+            .rebalance()
+            .map(|x: i64| if x == 10 { panic!("downstream failure") } else { x })
+            .add_sink(VecSink::new());
+        let err = env.execute("job").unwrap_err();
+        assert!(matches!(err, Error::TaskPanicked { .. }));
+    }
+
+    #[test]
+    fn rename_changes_plan_name() {
+        let env = StreamExecutionEnvironment::local();
+        let sink = VecSink::new();
+        env.add_source(VecSource::new(vec![1]))
+            .map(|x: i64| x)
+            .rename("ParDoTranslation.RawParDo")
+            .add_sink(sink);
+        let plan = env.execution_plan();
+        assert!(plan
+            .nodes()
+            .iter()
+            .any(|n| n.name == "ParDoTranslation.RawParDo"));
+        env.execute("job").unwrap();
+    }
+
+    #[test]
+    fn two_pipelines_one_job() {
+        let env = StreamExecutionEnvironment::local();
+        let a = VecSink::new();
+        let b = VecSink::new();
+        env.add_source(VecSource::new(vec![1, 2])).add_sink(a.clone());
+        env.add_source(VecSource::new(vec![3])).add_sink(b.clone());
+        let result = env.execute("job").unwrap();
+        assert_eq!(a.snapshot(), vec![1, 2]);
+        assert_eq!(b.snapshot(), vec![3]);
+        assert_eq!(result.total_sink_records(), 3);
+        assert_eq!(result.sink_counts.len(), 2, "duplicate sink names get distinct keys");
+    }
+}

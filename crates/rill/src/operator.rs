@@ -1,0 +1,375 @@
+//! Push-based operators.
+//!
+//! A rill pipeline is a composition of [`Collector`]s: every operator wraps
+//! its downstream collector, so an entire operator chain becomes a single
+//! stack of inlined calls — rill's equivalent of Flink's operator chaining.
+//! No element is boxed or serialized inside a chain; types stay concrete
+//! from source to the next exchange or sink.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A sink for elements of type `T`, called by the upstream operator.
+///
+/// `close` is called exactly once, after the last element; implementations
+/// flush buffers and propagate the close downstream.
+pub trait Collector<T>: Send {
+    /// Accepts one element.
+    fn collect(&mut self, item: T);
+
+    /// Signals the end of the (bounded) stream.
+    fn close(&mut self);
+}
+
+/// Blanket impl so `Box<dyn Collector<T>>` is itself a collector.
+impl<T, C: Collector<T> + ?Sized> Collector<T> for Box<C> {
+    fn collect(&mut self, item: T) {
+        (**self).collect(item);
+    }
+
+    fn close(&mut self) {
+        (**self).close();
+    }
+}
+
+/// One-to-one transformation.
+pub struct MapCollector<F, C> {
+    f: F,
+    downstream: C,
+}
+
+impl<F, C> MapCollector<F, C> {
+    /// Wraps `downstream` with the mapping `f`.
+    pub fn new(f: F, downstream: C) -> Self {
+        MapCollector { f, downstream }
+    }
+}
+
+impl<T, U, F, C> Collector<T> for MapCollector<F, C>
+where
+    F: FnMut(T) -> U + Send,
+    C: Collector<U>,
+{
+    fn collect(&mut self, item: T) {
+        self.downstream.collect((self.f)(item));
+    }
+
+    fn close(&mut self) {
+        self.downstream.close();
+    }
+}
+
+/// Predicate-based filtering.
+pub struct FilterCollector<F, C> {
+    predicate: F,
+    downstream: C,
+}
+
+impl<F, C> FilterCollector<F, C> {
+    /// Wraps `downstream` with the predicate.
+    pub fn new(predicate: F, downstream: C) -> Self {
+        FilterCollector { predicate, downstream }
+    }
+}
+
+impl<T, F, C> Collector<T> for FilterCollector<F, C>
+where
+    F: FnMut(&T) -> bool + Send,
+    C: Collector<T>,
+{
+    fn collect(&mut self, item: T) {
+        if (self.predicate)(&item) {
+            self.downstream.collect(item);
+        }
+    }
+
+    fn close(&mut self) {
+        self.downstream.close();
+    }
+}
+
+/// One-to-many transformation: the function pushes any number of outputs
+/// through the provided emit callback.
+pub struct FlatMapCollector<F, C, U> {
+    f: F,
+    downstream: C,
+    _out: std::marker::PhantomData<fn() -> U>,
+}
+
+impl<F, C, U> FlatMapCollector<F, C, U> {
+    /// Wraps `downstream` with the flat-map function `f`.
+    pub fn new(f: F, downstream: C) -> Self {
+        FlatMapCollector { f, downstream, _out: std::marker::PhantomData }
+    }
+}
+
+impl<T, U, F, C> Collector<T> for FlatMapCollector<F, C, U>
+where
+    F: FnMut(T, &mut dyn FnMut(U)) + Send,
+    C: Collector<U>,
+{
+    fn collect(&mut self, item: T) {
+        let downstream = &mut self.downstream;
+        (self.f)(item, &mut |out| downstream.collect(out));
+    }
+
+    fn close(&mut self) {
+        self.downstream.close();
+    }
+}
+
+/// Running keyed reduction: for each input, combines it with the key's
+/// accumulated value and emits the new accumulated value (Flink's
+/// `KeyedStream::reduce` semantics).
+pub struct ReduceCollector<K, T, FK, FR, C> {
+    key_fn: FK,
+    reduce_fn: FR,
+    state: HashMap<K, T>,
+    downstream: C,
+}
+
+impl<K, T, FK, FR, C> ReduceCollector<K, T, FK, FR, C> {
+    /// Creates a reducing collector.
+    pub fn new(key_fn: FK, reduce_fn: FR, downstream: C) -> Self {
+        ReduceCollector { key_fn, reduce_fn, state: HashMap::new(), downstream }
+    }
+}
+
+impl<K, T, FK, FR, C> Collector<T> for ReduceCollector<K, T, FK, FR, C>
+where
+    K: Eq + Hash + Send,
+    T: Clone + Send,
+    FK: FnMut(&T) -> K + Send,
+    FR: FnMut(T, T) -> T + Send,
+    C: Collector<T>,
+{
+    fn collect(&mut self, item: T) {
+        let key = (self.key_fn)(&item);
+        let merged = match self.state.remove(&key) {
+            Some(acc) => (self.reduce_fn)(acc, item),
+            None => item,
+        };
+        self.state.insert(key, merged.clone());
+        self.downstream.collect(merged);
+    }
+
+    fn close(&mut self) {
+        self.downstream.close();
+    }
+}
+
+/// Bounded-stream grouping: buffers all values per key and emits
+/// `(key, values)` pairs when the stream closes — a global-window
+/// group-by for bounded inputs, used by the abstraction layer's
+/// `GroupByKey` translation.
+pub struct GroupCollector<K, T, FK, C> {
+    key_fn: FK,
+    groups: HashMap<K, Vec<T>>,
+    /// Keys in first-seen order, for deterministic emission.
+    order: Vec<K>,
+    downstream: C,
+}
+
+impl<K, T, FK, C> GroupCollector<K, T, FK, C> {
+    /// Creates a grouping collector.
+    pub fn new(key_fn: FK, downstream: C) -> Self {
+        GroupCollector { key_fn, groups: HashMap::new(), order: Vec::new(), downstream }
+    }
+}
+
+impl<K, T, FK, C> Collector<T> for GroupCollector<K, T, FK, C>
+where
+    K: Eq + Hash + Clone + Send,
+    T: Send,
+    FK: FnMut(&T) -> K + Send,
+    C: Collector<(K, Vec<T>)>,
+{
+    fn collect(&mut self, item: T) {
+        let key = (self.key_fn)(&item);
+        let entry = self.groups.entry(key.clone()).or_default();
+        if entry.is_empty() {
+            self.order.push(key);
+        }
+        entry.push(item);
+    }
+
+    fn close(&mut self) {
+        for key in self.order.drain(..) {
+            if let Some(values) = self.groups.remove(&key) {
+                self.downstream.collect((key, values));
+            }
+        }
+        self.downstream.close();
+    }
+}
+
+/// Pass-through collector that counts elements; used for task metrics.
+pub struct CountingCollector<C> {
+    counter: Arc<AtomicU64>,
+    downstream: C,
+}
+
+impl<C> CountingCollector<C> {
+    /// Wraps `downstream`, incrementing `counter` per element.
+    pub fn new(counter: Arc<AtomicU64>, downstream: C) -> Self {
+        CountingCollector { counter, downstream }
+    }
+}
+
+impl<T, C> Collector<T> for CountingCollector<C>
+where
+    C: Collector<T>,
+{
+    fn collect(&mut self, item: T) {
+        self.counter.fetch_add(1, Ordering::Relaxed);
+        self.downstream.collect(item);
+    }
+
+    fn close(&mut self) {
+        self.downstream.close();
+    }
+}
+
+/// Terminal collector that appends elements to a shared vector; the
+/// workhorse of tests.
+pub struct VecCollector<T> {
+    items: Arc<parking_lot::Mutex<Vec<T>>>,
+    closed: Arc<AtomicU64>,
+}
+
+impl<T> VecCollector<T> {
+    /// Creates a collector appending into `items`; `closed` counts close
+    /// calls.
+    pub fn new(items: Arc<parking_lot::Mutex<Vec<T>>>, closed: Arc<AtomicU64>) -> Self {
+        VecCollector { items, closed }
+    }
+}
+
+impl<T: Send> Collector<T> for VecCollector<T> {
+    fn collect(&mut self, item: T) {
+        self.items.lock().push(item);
+    }
+
+    fn close(&mut self) {
+        self.closed.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    fn harness<T>() -> (Arc<Mutex<Vec<T>>>, Arc<AtomicU64>, VecCollector<T>) {
+        let items = Arc::new(Mutex::new(Vec::new()));
+        let closed = Arc::new(AtomicU64::new(0));
+        let collector = VecCollector::new(items.clone(), closed.clone());
+        (items, closed, collector)
+    }
+
+    #[test]
+    fn map_transforms_and_closes() {
+        let (items, closed, sink) = harness::<i64>();
+        let mut chain = MapCollector::new(|x: i64| x * 2, sink);
+        for i in 0..5 {
+            chain.collect(i);
+        }
+        chain.close();
+        assert_eq!(*items.lock(), vec![0, 2, 4, 6, 8]);
+        assert_eq!(closed.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn filter_drops() {
+        let (items, _, sink) = harness::<i64>();
+        let mut chain = FilterCollector::new(|x: &i64| x % 2 == 0, sink);
+        for i in 0..6 {
+            chain.collect(i);
+        }
+        chain.close();
+        assert_eq!(*items.lock(), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn flat_map_expands_and_contracts() {
+        let (items, _, sink) = harness::<i64>();
+        let mut chain = FlatMapCollector::new(
+            |x: i64, out: &mut dyn FnMut(i64)| {
+                for _ in 0..x {
+                    out(x);
+                }
+            },
+            sink,
+        );
+        for i in 0..4 {
+            chain.collect(i);
+        }
+        chain.close();
+        assert_eq!(*items.lock(), vec![1, 2, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn chained_operators_compose() {
+        let (items, closed, sink) = harness::<String>();
+        // Outermost collector runs first: +1, then filter, then format.
+        let mut chain = MapCollector::new(
+            |x: i64| x + 1,
+            FilterCollector::new(
+                |x: &i64| *x > 2,
+                MapCollector::new(|x: i64| format!("n{x}"), sink),
+            ),
+        );
+        for i in 0..5 {
+            chain.collect(i);
+        }
+        chain.close();
+        assert_eq!(*items.lock(), vec!["n3".to_string(), "n4".to_string(), "n5".to_string()]);
+        assert_eq!(closed.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn reduce_emits_running_totals() {
+        let (items, _, sink) = harness::<(char, i64)>();
+        let mut chain = ReduceCollector::new(
+            |t: &(char, i64)| t.0,
+            |a: (char, i64), b: (char, i64)| (a.0, a.1 + b.1),
+            sink,
+        );
+        chain.collect(('a', 1));
+        chain.collect(('b', 10));
+        chain.collect(('a', 2));
+        chain.collect(('a', 3));
+        chain.close();
+        assert_eq!(*items.lock(), vec![('a', 1), ('b', 10), ('a', 3), ('a', 6)]);
+    }
+
+    #[test]
+    fn group_buffers_until_close() {
+        let (items, _, sink) = harness::<(char, Vec<i64>)>();
+        let mut chain = GroupCollector::new(|t: &(char, i64)| t.0, MapCollector::new(
+            |(k, vs): (char, Vec<(char, i64)>)| (k, vs.into_iter().map(|t| t.1).collect()),
+            sink,
+        ));
+        chain.collect(('b', 1));
+        chain.collect(('a', 2));
+        chain.collect(('b', 3));
+        assert!(items.lock().is_empty(), "groups must not emit before close");
+        chain.close();
+        assert_eq!(*items.lock(), vec![('b', vec![1, 3]), ('a', vec![2])]);
+    }
+
+    #[test]
+    fn counting_collector_counts() {
+        let (items, _, sink) = harness::<i64>();
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut chain = CountingCollector::new(counter.clone(), sink);
+        for i in 0..7 {
+            chain.collect(i);
+        }
+        chain.close();
+        assert_eq!(counter.load(Ordering::Relaxed), 7);
+        assert_eq!(items.lock().len(), 7);
+    }
+}

@@ -1,0 +1,280 @@
+//! Sources: where elements enter a job.
+
+use crate::operator::Collector;
+use bytes::Bytes;
+use logbus::Broker;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// One parallel instance of a source, driving elements into the head of an
+/// operator chain.
+pub trait SourceFunction<T>: Send {
+    /// Emits all elements of this instance's share of the input, then
+    /// returns. rill jobs are bounded: `run` returning ends the subtask's
+    /// stream.
+    fn run(&mut self, out: &mut dyn Collector<T>);
+}
+
+/// A factory creating one [`SourceFunction`] per parallel subtask.
+///
+/// Instances must divide the input among themselves using
+/// `(subtask, parallelism)` — e.g. [`BrokerSource`] assigns topic
+/// partitions round-robin, so with more subtasks than partitions the extra
+/// subtasks emit nothing (exactly Flink's Kafka source behaviour, and the
+/// reason the paper sees little benefit from parallelism 2 on a
+/// single-partition topic).
+pub trait ParallelSource<T>: Send + Sync + 'static {
+    /// Creates the instance for `subtask` of `parallelism`.
+    fn create(&self, subtask: usize, parallelism: usize) -> Box<dyn SourceFunction<T>>;
+
+    /// Display name used in execution plans.
+    fn name(&self) -> String {
+        "Source: Custom Source".to_string()
+    }
+}
+
+/// In-memory source for tests and examples: subtask `i` emits the elements
+/// at indices `i, i + p, i + 2p, …`.
+#[derive(Debug, Clone)]
+pub struct VecSource<T> {
+    items: Arc<Vec<T>>,
+}
+
+impl<T> VecSource<T> {
+    /// Creates a source over `items`.
+    pub fn new(items: Vec<T>) -> Self {
+        VecSource { items: Arc::new(items) }
+    }
+}
+
+struct VecSourceInstance<T> {
+    items: Arc<Vec<T>>,
+    subtask: usize,
+    parallelism: usize,
+}
+
+impl<T: Clone + Send + Sync + 'static> ParallelSource<T> for VecSource<T> {
+    fn create(&self, subtask: usize, parallelism: usize) -> Box<dyn SourceFunction<T>> {
+        Box::new(VecSourceInstance { items: self.items.clone(), subtask, parallelism })
+    }
+}
+
+impl<T: Clone + Send + Sync> SourceFunction<T> for VecSourceInstance<T> {
+    fn run(&mut self, out: &mut dyn Collector<T>) {
+        let mut i = self.subtask;
+        while i < self.items.len() {
+            out.collect(self.items[i].clone());
+            i += self.parallelism;
+        }
+    }
+}
+
+/// Bounded source reading a `logbus` topic: each subtask consumes the
+/// partitions congruent to its index and stops at the offsets that were
+/// current when the job started.
+#[derive(Debug, Clone)]
+pub struct BrokerSource {
+    broker: Broker,
+    topic: String,
+    fetch_size: usize,
+}
+
+impl BrokerSource {
+    /// Creates a source reading all partitions of `topic`.
+    pub fn new(broker: Broker, topic: impl Into<String>) -> Self {
+        BrokerSource { broker, topic: topic.into(), fetch_size: 2048 }
+    }
+
+    /// Sets the per-fetch batch size.
+    pub fn fetch_size(mut self, records: usize) -> Self {
+        self.fetch_size = records.max(1);
+        self
+    }
+}
+
+struct BrokerSourceInstance {
+    broker: Broker,
+    topic: String,
+    fetch_size: usize,
+    partitions: Vec<u32>,
+}
+
+impl ParallelSource<Bytes> for BrokerSource {
+    fn create(&self, subtask: usize, parallelism: usize) -> Box<dyn SourceFunction<Bytes>> {
+        let total = self.broker.topic(&self.topic).map(|t| t.partition_count()).unwrap_or(0);
+        let partitions = (0..total)
+            .filter(|p| (*p as usize) % parallelism == subtask)
+            .collect();
+        Box::new(BrokerSourceInstance {
+            broker: self.broker.clone(),
+            topic: self.topic.clone(),
+            fetch_size: self.fetch_size,
+            partitions,
+        })
+    }
+
+    fn name(&self) -> String {
+        format!("Source: Broker topic `{}`", self.topic)
+    }
+}
+
+impl SourceFunction<Bytes> for BrokerSourceInstance {
+    fn run(&mut self, out: &mut dyn Collector<Bytes>) {
+        for &partition in &self.partitions {
+            let Ok(end) = self.broker.latest_offset(&self.topic, partition) else {
+                continue;
+            };
+            let mut offset = self
+                .broker
+                .topic(&self.topic)
+                .ok()
+                .and_then(|t| t.earliest_offset(partition).ok())
+                .unwrap_or(0);
+            while offset < end {
+                let max = self.fetch_size.min((end - offset) as usize);
+                let Ok(batch) = self.broker.fetch(&self.topic, partition, offset, max) else {
+                    break;
+                };
+                if batch.is_empty() {
+                    break;
+                }
+                offset = batch.last().expect("non-empty batch").offset + 1;
+                for stored in batch {
+                    out.collect(stored.record.value);
+                }
+            }
+        }
+    }
+}
+
+/// A source that drains a shared queue; lets tests feed a running job.
+#[derive(Debug, Clone)]
+pub struct QueueSource<T> {
+    queue: Arc<Mutex<Vec<T>>>,
+}
+
+impl<T> QueueSource<T> {
+    /// Creates a source over a shared queue. Only subtask 0 drains it.
+    pub fn new(queue: Arc<Mutex<Vec<T>>>) -> Self {
+        QueueSource { queue }
+    }
+}
+
+struct QueueSourceInstance<T> {
+    queue: Arc<Mutex<Vec<T>>>,
+    active: bool,
+}
+
+impl<T: Send + Sync + 'static> ParallelSource<T> for QueueSource<T> {
+    fn create(&self, subtask: usize, _parallelism: usize) -> Box<dyn SourceFunction<T>> {
+        Box::new(QueueSourceInstance { queue: self.queue.clone(), active: subtask == 0 })
+    }
+}
+
+impl<T: Send + Sync> SourceFunction<T> for QueueSourceInstance<T> {
+    fn run(&mut self, out: &mut dyn Collector<T>) {
+        if !self.active {
+            return;
+        }
+        let drained: Vec<T> = std::mem::take(&mut *self.queue.lock());
+        for item in drained {
+            out.collect(item);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::VecCollector;
+    use logbus::{Producer, Record, TopicConfig};
+    use std::sync::atomic::AtomicU64;
+
+    fn collect_all<T, S: ParallelSource<T>>(source: &S, parallelism: usize) -> Vec<Vec<T>>
+    where
+        T: Send + 'static,
+    {
+        (0..parallelism)
+            .map(|i| {
+                let items = Arc::new(Mutex::new(Vec::new()));
+                let closed = Arc::new(AtomicU64::new(0));
+                let mut col = VecCollector::new(items.clone(), closed);
+                source.create(i, parallelism).run(&mut col);
+                let items = items.lock().drain(..).collect::<Vec<T>>();
+                items
+            })
+            .collect()
+    }
+
+    #[test]
+    fn vec_source_splits_round_robin() {
+        let source = VecSource::new(vec![0, 1, 2, 3, 4]);
+        let parts = collect_all(&source, 2);
+        assert_eq!(parts[0], vec![0, 2, 4]);
+        assert_eq!(parts[1], vec![1, 3]);
+    }
+
+    #[test]
+    fn broker_source_reads_bounded() {
+        let broker = Broker::new();
+        broker.create_topic("in", TopicConfig::default()).unwrap();
+        let mut producer = Producer::new(broker.clone());
+        for i in 0..100 {
+            producer.send("in", Record::from_value(format!("r{i}"))).unwrap();
+        }
+        producer.flush().unwrap();
+
+        let source = BrokerSource::new(broker.clone(), "in").fetch_size(7);
+        let parts = collect_all(&source, 1);
+        assert_eq!(parts[0].len(), 100);
+        assert_eq!(&parts[0][99][..], b"r99");
+    }
+
+    #[test]
+    fn broker_source_single_partition_leaves_subtask_idle() {
+        let broker = Broker::new();
+        broker.create_topic("in", TopicConfig::default()).unwrap();
+        broker.produce("in", 0, Record::from_value("only")).unwrap();
+        let source = BrokerSource::new(broker, "in");
+        let parts = collect_all(&source, 2);
+        assert_eq!(parts[0].len(), 1, "subtask 0 owns the single partition");
+        assert!(parts[1].is_empty(), "subtask 1 has no partition to read");
+    }
+
+    #[test]
+    fn broker_source_multi_partition_split() {
+        let broker = Broker::new();
+        broker.create_topic("in", TopicConfig::default().partitions(3)).unwrap();
+        for p in 0..3 {
+            for i in 0..10 {
+                broker.produce("in", p, Record::from_value(format!("p{p}-{i}"))).unwrap();
+            }
+        }
+        let source = BrokerSource::new(broker, "in");
+        let parts = collect_all(&source, 2);
+        assert_eq!(parts[0].len(), 20, "partitions 0 and 2");
+        assert_eq!(parts[1].len(), 10, "partition 1");
+    }
+
+    #[test]
+    fn queue_source_only_subtask_zero() {
+        let queue = Arc::new(Mutex::new(vec![1, 2, 3]));
+        let source = QueueSource::new(queue);
+        let parts = collect_all(&source, 2);
+        assert_eq!(parts[0].len() + parts[1].len(), 3);
+        assert!(parts[1].is_empty());
+    }
+
+    #[test]
+    fn source_names() {
+        let broker = Broker::new();
+        assert_eq!(
+            ParallelSource::<Bytes>::name(&BrokerSource::new(broker, "x")),
+            "Source: Broker topic `x`"
+        );
+        assert_eq!(
+            ParallelSource::<i32>::name(&VecSource::new(vec![1])),
+            "Source: Custom Source"
+        );
+    }
+}

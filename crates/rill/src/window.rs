@@ -1,0 +1,183 @@
+//! Count windows: tumbling windows of a fixed number of elements.
+//!
+//! The paper lists "query complexity … as well as windowing" among the
+//! measurement extensions (§V); these operators give the native rill API
+//! the windowed aggregations such extended benchmarks need.
+
+use crate::datastream::{DataStream, KeyedStream};
+use crate::operator::Collector;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Collector buffering fixed-size windows over the whole stream.
+struct CountWindowAllCollector<T, C> {
+    size: usize,
+    buffer: Vec<T>,
+    downstream: C,
+}
+
+impl<T: Send, C: Collector<Vec<T>>> Collector<T> for CountWindowAllCollector<T, C> {
+    fn collect(&mut self, item: T) {
+        self.buffer.push(item);
+        if self.buffer.len() >= self.size {
+            let window = std::mem::take(&mut self.buffer);
+            self.downstream.collect(window);
+        }
+    }
+
+    fn close(&mut self) {
+        if !self.buffer.is_empty() {
+            let window = std::mem::take(&mut self.buffer);
+            self.downstream.collect(window);
+        }
+        self.downstream.close();
+    }
+}
+
+/// Collector reducing per-key tumbling count windows.
+struct CountWindowReduceCollector<K, T, FK, FR, C> {
+    size: usize,
+    key_fn: FK,
+    reduce_fn: FR,
+    state: HashMap<K, (usize, T)>,
+    downstream: C,
+}
+
+impl<K, T, FK, FR, C> Collector<T> for CountWindowReduceCollector<K, T, FK, FR, C>
+where
+    K: Eq + Hash + Send,
+    T: Send,
+    FK: FnMut(&T) -> K + Send,
+    FR: FnMut(T, T) -> T + Send,
+    C: Collector<T>,
+{
+    fn collect(&mut self, item: T) {
+        let key = (self.key_fn)(&item);
+        let entry = match self.state.remove(&key) {
+            Some((count, acc)) => (count + 1, (self.reduce_fn)(acc, item)),
+            None => (1, item),
+        };
+        if entry.0 >= self.size {
+            self.downstream.collect(entry.1);
+        } else {
+            self.state.insert(key, entry);
+        }
+    }
+
+    fn close(&mut self) {
+        // Emit partial windows on bounded-stream end, like a final
+        // watermark firing.
+        for (_key, (_count, acc)) in self.state.drain() {
+            self.downstream.collect(acc);
+        }
+        self.downstream.close();
+    }
+}
+
+impl<T: Send + 'static> DataStream<T> {
+    /// Groups the (non-keyed) stream into tumbling windows of `size`
+    /// elements; the final window may be partial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn count_window_all(self, size: usize) -> DataStream<Vec<T>> {
+        assert!(size > 0, "window size must be positive");
+        self.transform("CountWindowAll", move |col| {
+            Box::new(CountWindowAllCollector { size, buffer: Vec::new(), downstream: col })
+        })
+    }
+}
+
+impl<K, T> KeyedStream<K, T>
+where
+    K: Hash + Eq + Clone + Send + 'static,
+    T: Clone + Send + 'static,
+{
+    /// Reduces tumbling count windows of `size` elements per key: every
+    /// `size` elements of a key emit one reduced value; partial windows
+    /// flush when the bounded stream ends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn count_window_reduce<F>(self, size: usize, f: F) -> DataStream<T>
+    where
+        F: Fn(T, T) -> T + Clone + Send + Sync + 'static,
+    {
+        assert!(size > 0, "window size must be positive");
+        let key = self.key_fn();
+        self.into_stream().transform("CountWindowReduce", move |col| {
+            let key = key.clone();
+            Box::new(CountWindowReduceCollector {
+                size,
+                key_fn: move |t: &T| key(t),
+                reduce_fn: f.clone(),
+                state: HashMap::new(),
+                downstream: col,
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+
+    use crate::sink::VecSink;
+    use crate::source::VecSource;
+    use crate::StreamExecutionEnvironment;
+
+    #[test]
+    fn count_window_all_chunks() {
+        let env = StreamExecutionEnvironment::local();
+        let sink = VecSink::new();
+        env.add_source(VecSource::new((0..7).collect::<Vec<i64>>()))
+            .count_window_all(3)
+            .add_sink(sink.clone());
+        env.execute("windows").unwrap();
+        assert_eq!(sink.snapshot(), vec![vec![0, 1, 2], vec![3, 4, 5], vec![6]]);
+    }
+
+    #[test]
+    fn count_window_reduce_per_key() {
+        let env = StreamExecutionEnvironment::local();
+        let sink = VecSink::new();
+        env.add_source(VecSource::new(vec![
+            ("a", 1i64),
+            ("a", 2),
+            ("b", 10),
+            ("a", 3),
+            ("a", 4),
+            ("b", 20),
+        ]))
+        .key_by(|t: &(&str, i64)| t.0)
+        .count_window_reduce(2, |x, y| (x.0, x.1 + y.1))
+        .add_sink(sink.clone());
+        env.execute("windows").unwrap();
+        let mut got = sink.snapshot();
+        got.sort();
+        // a: windows [1,2] -> 3 and [3,4] -> 7; b: [10,20] -> 30.
+        assert_eq!(got, vec![("a", 3), ("a", 7), ("b", 30)]);
+    }
+
+    #[test]
+    fn partial_windows_flush_on_close() {
+        let env = StreamExecutionEnvironment::local();
+        let sink = VecSink::new();
+        env.add_source(VecSource::new(vec![("k", 1i64)]))
+            .key_by(|t: &(&str, i64)| t.0)
+            .count_window_reduce(10, |x, y| (x.0, x.1 + y.1))
+            .add_sink(sink.clone());
+        env.execute("windows").unwrap();
+        assert_eq!(sink.snapshot(), vec![("k", 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window size must be positive")]
+    fn zero_window_panics() {
+        let env = StreamExecutionEnvironment::local();
+        let _ = env
+            .add_source(VecSource::new(vec![1i64]))
+            .count_window_all(0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Applications and their lifecycle.
+
+use crate::container::ContainerId;
+use std::fmt;
+
+/// Identifier of a submitted application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ApplicationId(pub u32);
+
+impl fmt::Display for ApplicationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "application-{:04}", self.0)
+    }
+}
+
+/// Lifecycle of an application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ApplicationState {
+    /// Accepted; the master container is allocated.
+    Accepted,
+    /// The application reported itself running.
+    Running,
+    /// Finished normally; all containers released.
+    Finished,
+    /// Failed; all containers released.
+    Failed,
+    /// Killed by the operator; all containers released.
+    Killed,
+}
+
+impl ApplicationState {
+    /// Whether the application can still request containers.
+    pub fn is_active(self) -> bool {
+        matches!(self, ApplicationState::Accepted | ApplicationState::Running)
+    }
+}
+
+/// A submitted application and its containers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Application {
+    /// Application identifier.
+    pub id: ApplicationId,
+    /// Human-readable name supplied at submission.
+    pub name: String,
+    /// Current lifecycle state.
+    pub state: ApplicationState,
+    /// The application-master container (Apex's STRAM).
+    pub master: ContainerId,
+    /// All containers ever granted, including the master.
+    pub containers: Vec<ContainerId>,
+}
+
+impl fmt::Display for Application {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} `{}` ({:?}, {} containers)",
+            self.id,
+            self.name,
+            self.state,
+            self.containers.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn active_states() {
+        assert!(ApplicationState::Accepted.is_active());
+        assert!(ApplicationState::Running.is_active());
+        assert!(!ApplicationState::Finished.is_active());
+        assert!(!ApplicationState::Failed.is_active());
+        assert!(!ApplicationState::Killed.is_active());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ApplicationId(12).to_string(), "application-0012");
+        let app = Application {
+            id: ApplicationId(1),
+            name: "bench".into(),
+            state: ApplicationState::Running,
+            master: ContainerId(0),
+            containers: vec![ContainerId(0)],
+        };
+        assert_eq!(app.to_string(), "application-0001 `bench` (Running, 1 containers)");
+    }
+}

@@ -1,0 +1,95 @@
+//! Containers: allocated resource bundles tied to a node.
+
+use crate::app::ApplicationId;
+use crate::node::NodeId;
+use crate::resource::Resource;
+use std::fmt;
+
+/// Identifier of a container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContainerId(pub u64);
+
+impl fmt::Display for ContainerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "container-{:06}", self.0)
+    }
+}
+
+/// Lifecycle of a container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ContainerState {
+    /// Granted by the scheduler but not yet launched.
+    #[default]
+    Allocated,
+    /// Launched by its application.
+    Running,
+    /// Exited normally.
+    Completed,
+    /// Terminated by the resource manager or application.
+    Killed,
+}
+
+impl ContainerState {
+    /// Whether the container still holds node resources.
+    pub fn holds_resources(self) -> bool {
+        matches!(self, ContainerState::Allocated | ContainerState::Running)
+    }
+}
+
+/// A logical bundle of resources tied to a certain node (paper §II-D),
+/// granted to one application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Container {
+    /// Container identifier.
+    pub id: ContainerId,
+    /// Owning application.
+    pub app: ApplicationId,
+    /// Hosting node.
+    pub node: NodeId,
+    /// Granted resources.
+    pub resource: Resource,
+    /// Current lifecycle state.
+    pub state: ContainerState,
+    /// Whether this is the application's master container (Apex's STRAM
+    /// runs in it).
+    pub is_master: bool,
+}
+
+impl fmt::Display for Container {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {} ({}{})",
+            self.id,
+            self.node,
+            self.resource,
+            if self.is_master { ", AM" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_resource_holding() {
+        assert!(ContainerState::Allocated.holds_resources());
+        assert!(ContainerState::Running.holds_resources());
+        assert!(!ContainerState::Completed.holds_resources());
+        assert!(!ContainerState::Killed.holds_resources());
+    }
+
+    #[test]
+    fn display_formats() {
+        let c = Container {
+            id: ContainerId(3),
+            app: ApplicationId(1),
+            node: NodeId(0),
+            resource: Resource::new(512, 1),
+            state: ContainerState::Allocated,
+            is_master: true,
+        };
+        assert_eq!(c.to_string(), "container-000003 on node-0 (<512MiB, 1 vcores>, AM)");
+    }
+}

@@ -1,0 +1,96 @@
+//! Node managers: per-node capacity and liveness bookkeeping.
+
+use crate::resource::Resource;
+use std::fmt;
+
+/// Identifier of a cluster node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node-{}", self.0)
+    }
+}
+
+/// Point-in-time view of a node, as reported by
+/// [`ResourceManager::node_info`](crate::ResourceManager::node_info).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeInfo {
+    /// Node identifier.
+    pub id: NodeId,
+    /// Total capacity.
+    pub capacity: Resource,
+    /// Resources currently allocated to containers.
+    pub used: Resource,
+    /// Tick of the last received heartbeat.
+    pub last_heartbeat: u64,
+    /// Whether the node is considered live.
+    pub healthy: bool,
+}
+
+impl NodeInfo {
+    /// Resources still available for allocation.
+    pub fn available(&self) -> Resource {
+        self.capacity.saturating_sub(self.used)
+    }
+}
+
+/// Internal node state owned by the resource manager.
+#[derive(Debug, Clone)]
+pub(crate) struct NodeState {
+    pub(crate) id: NodeId,
+    pub(crate) capacity: Resource,
+    pub(crate) used: Resource,
+    pub(crate) last_heartbeat: u64,
+    pub(crate) healthy: bool,
+    pub(crate) containers: Vec<crate::container::ContainerId>,
+}
+
+impl NodeState {
+    pub(crate) fn new(id: NodeId, capacity: Resource, now: u64) -> Self {
+        NodeState {
+            id,
+            capacity,
+            used: Resource::zero(),
+            last_heartbeat: now,
+            healthy: true,
+            containers: Vec::new(),
+        }
+    }
+
+    pub(crate) fn available(&self) -> Resource {
+        self.capacity.saturating_sub(self.used)
+    }
+
+    pub(crate) fn info(&self) -> NodeInfo {
+        NodeInfo {
+            id: self.id,
+            capacity: self.capacity,
+            used: self.used,
+            last_heartbeat: self.last_heartbeat,
+            healthy: self.healthy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_state_tracks_usage() {
+        let mut n = NodeState::new(NodeId(1), Resource::new(1000, 4), 0);
+        assert_eq!(n.available(), Resource::new(1000, 4));
+        n.used += Resource::new(600, 3);
+        assert_eq!(n.available(), Resource::new(400, 1));
+        let info = n.info();
+        assert_eq!(info.available(), Resource::new(400, 1));
+        assert!(info.healthy);
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId(7).to_string(), "node-7");
+    }
+}

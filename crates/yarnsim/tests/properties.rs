@@ -1,0 +1,96 @@
+//! Property-based tests of the resource manager: accounting invariants
+//! under arbitrary allocate/release sequences.
+
+use proptest::prelude::*;
+use yarnsim::{
+    ApplicationState, Resource, ResourceManager, ResourceRequest,
+};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Allocate { memory: u64, vcores: u32 },
+    CompleteOldest,
+    FinishApp,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (64u64..2048, 1u32..3).prop_map(|(memory, vcores)| Op::Allocate { memory, vcores }),
+        Just(Op::CompleteOldest),
+        Just(Op::FinishApp),
+    ]
+}
+
+proptest! {
+    /// Under any operation sequence: used <= capacity on every node, and
+    /// the cluster aggregate equals the sum of live container resources.
+    #[test]
+    fn accounting_invariants(ops in prop::collection::vec(arb_op(), 0..60)) {
+        let mut rm = ResourceManager::new();
+        rm.register_node(Resource::new(8 * 1024, 8));
+        rm.register_node(Resource::new(8 * 1024, 8));
+        let mut app = rm.submit_application("prop", Resource::new(256, 1)).unwrap();
+        let mut live: Vec<yarnsim::ContainerId> = Vec::new();
+        let mut live_sum = Resource::new(256, 1); // the AM container
+
+        for op in ops {
+            match op {
+                Op::Allocate { memory, vcores } => {
+                    let request = ResourceRequest::new(Resource::new(memory, vcores));
+                    match rm.allocate(app, &[request]) {
+                        Ok(granted) => {
+                            rm.launch_container(granted[0].id).unwrap();
+                            live.push(granted[0].id);
+                            live_sum += granted[0].resource;
+                        }
+                        Err(yarnsim::Error::InsufficientResources { .. }) => {}
+                        Err(e) => return Err(TestCaseError::fail(e.to_string())),
+                    }
+                }
+                Op::CompleteOldest => {
+                    if !live.is_empty() {
+                        let id = live.remove(0);
+                        let resource = rm.container(id).unwrap().resource;
+                        rm.complete_container(id).unwrap();
+                        live_sum = live_sum.saturating_sub(resource);
+                    }
+                }
+                Op::FinishApp => {
+                    rm.finish_application(app, ApplicationState::Finished).unwrap();
+                    live.clear();
+                    // A fresh application replaces it.
+                    app = rm.submit_application("prop-next", Resource::new(256, 1)).unwrap();
+                    live_sum = Resource::new(256, 1);
+                }
+            }
+
+            // Invariants hold after every step.
+            for node in rm.nodes() {
+                prop_assert!(node.capacity.fits(&node.used), "overcommitted node {node:?}");
+            }
+            let metrics = rm.metrics();
+            prop_assert_eq!(metrics.used, live_sum);
+            prop_assert_eq!(metrics.live_containers, live.len() + 1, "live + AM");
+        }
+    }
+
+    /// Allocation is all-or-nothing: after a failed multi-request nothing
+    /// changed.
+    #[test]
+    fn failed_allocation_changes_nothing(count in 1usize..10, vcores in 1u32..8) {
+        let mut rm = ResourceManager::new();
+        rm.register_node(Resource::new(4 * 1024, 4));
+        let app = rm.submit_application("prop", Resource::new(128, 1)).unwrap();
+        let before = rm.metrics();
+        let requests = vec![ResourceRequest::new(Resource::new(512, vcores)); count];
+        let result = rm.allocate(app, &requests);
+        let after = rm.metrics();
+        match result {
+            Ok(granted) => prop_assert_eq!(granted.len(), count),
+            Err(_) => {
+                prop_assert_eq!(before.used, after.used);
+                prop_assert_eq!(before.live_containers, after.live_containers);
+            }
+        }
+    }
+}

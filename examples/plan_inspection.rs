@@ -1,0 +1,35 @@
+//! Execution-plan inspection: print the native grep plan (the paper's
+//! Fig. 12 — three elements) next to the abstraction-layer plan
+//! (Fig. 13 — seven elements).
+//!
+//! ```sh
+//! cargo run --example plan_inspection
+//! ```
+
+use logbus::{Broker, TopicConfig};
+use std::error::Error;
+use streambench_core::{beam_pipeline, queries, Query};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let broker = Broker::new();
+    broker.create_topic("input", TopicConfig::default())?;
+    broker.create_topic("output", TopicConfig::default())?;
+
+    println!("=== Native grep execution plan (paper Fig. 12) ===");
+    let native = queries::native_rill_plan(&broker, Query::Grep);
+    print!("{native}");
+    println!("elements: {}\n", native.element_count());
+
+    println!("=== Abstraction-layer grep execution plan (paper Fig. 13) ===");
+    let pipeline = beam_pipeline(&broker, Query::Grep, "input", "output");
+    let beam = beamline::runners::RillRunner::new().plan(&pipeline)?;
+    print!("{beam}");
+    println!("elements: {}", beam.element_count());
+
+    println!(
+        "\nThe layer-built plan has {}x the elements of the native plan —\n\
+         more operators, and every one of them pays a coder round trip.",
+        beam.element_count() as f64 / native.element_count() as f64
+    );
+    Ok(())
+}

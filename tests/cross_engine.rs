@@ -1,0 +1,134 @@
+//! Cross-engine, cross-API output equality: for every query, all eight
+//! implementation variants (3 native engines + the abstraction layer on
+//! 4 runners) must produce byte-identical output sets. This is the
+//! precondition that makes the paper's performance comparison meaningful.
+
+use beamline::runners::{ApxRunner, DStreamRunner, DirectRunner, RillRunner};
+use beamline::PipelineRunner;
+use logbus::{Broker, TopicConfig};
+use streambench_core::{
+    beam_pipeline, fresh_yarn_cluster, native_apx, native_dstream, native_rill, Query,
+    SenderConfig,
+};
+
+const RECORDS: u64 = 500;
+
+fn loaded_broker() -> Broker {
+    let broker = Broker::new();
+    broker.create_topic("input", TopicConfig::default()).unwrap();
+    streambench_core::send_workload(
+        &broker,
+        "input",
+        &SenderConfig { records: RECORDS, ..SenderConfig::default() },
+    )
+    .unwrap();
+    broker
+}
+
+fn sorted_output(broker: &Broker, topic: &str) -> Vec<Vec<u8>> {
+    let n = broker.latest_offset(topic, 0).unwrap();
+    let mut values: Vec<Vec<u8>> = broker
+        .fetch(topic, 0, 0, n as usize)
+        .unwrap()
+        .into_iter()
+        .map(|r| r.record.value.to_vec())
+        .collect();
+    values.sort();
+    values
+}
+
+fn run_all_variants(query: Query) -> Vec<(String, Vec<Vec<u8>>)> {
+    let broker = loaded_broker();
+    let mut outputs = Vec::new();
+
+    let fresh = |name: &str| {
+        let topic = format!("out-{name}");
+        broker.create_topic(&topic, TopicConfig::default()).unwrap();
+        topic
+    };
+
+    let topic = fresh("native-rill");
+    native_rill(&broker, query, "input", &topic, 1).unwrap();
+    outputs.push(("native rill".to_string(), sorted_output(&broker, &topic)));
+
+    let topic = fresh("native-dstream");
+    native_dstream(&broker, query, "input", &topic, 1, 128).unwrap();
+    outputs.push(("native dstream".to_string(), sorted_output(&broker, &topic)));
+
+    let topic = fresh("native-apx");
+    let mut rm = fresh_yarn_cluster();
+    native_apx(&broker, query, "input", &topic, 1, &mut rm).unwrap();
+    outputs.push(("native apx".to_string(), sorted_output(&broker, &topic)));
+
+    let runners: Vec<(&str, Box<dyn PipelineRunner>)> = vec![
+        ("beam direct", Box::new(DirectRunner::new())),
+        ("beam rill", Box::new(RillRunner::new())),
+        ("beam dstream", Box::new(DStreamRunner::new().with_batch_records(128))),
+        ("beam apx", Box::new(ApxRunner::new().with_window_size(64))),
+    ];
+    for (name, runner) in runners {
+        let topic = fresh(&name.replace(' ', "-"));
+        let pipeline = beam_pipeline(&broker, query, "input", &topic);
+        runner.run(&pipeline).unwrap();
+        outputs.push((name.to_string(), sorted_output(&broker, &topic)));
+    }
+    outputs
+}
+
+fn assert_all_equal(query: Query) {
+    let outputs = run_all_variants(query);
+    let (reference_name, reference) = &outputs[0];
+    assert!(!reference.is_empty(), "{query}: empty reference output");
+    for (name, output) in &outputs[1..] {
+        assert_eq!(
+            output.len(),
+            reference.len(),
+            "{query}: {name} count differs from {reference_name}"
+        );
+        assert_eq!(output, reference, "{query}: {name} differs from {reference_name}");
+    }
+}
+
+#[test]
+fn identity_outputs_identical_everywhere() {
+    assert_all_equal(Query::Identity);
+}
+
+#[test]
+fn sample_outputs_identical_everywhere() {
+    assert_all_equal(Query::Sample);
+}
+
+#[test]
+fn projection_outputs_identical_everywhere() {
+    assert_all_equal(Query::Projection);
+}
+
+#[test]
+fn grep_outputs_identical_everywhere() {
+    assert_all_equal(Query::Grep);
+}
+
+#[test]
+fn projection_extracts_first_column() {
+    let broker = loaded_broker();
+    broker.create_topic("out", TopicConfig::default()).unwrap();
+    native_rill(&broker, Query::Projection, "input", "out", 1).unwrap();
+    for value in sorted_output(&broker, "out") {
+        assert!(!value.contains(&b'\t'), "projected value contains a tab");
+        assert!(!value.is_empty());
+        assert!(value.iter().all(u8::is_ascii_digit), "first column is the user id");
+    }
+}
+
+#[test]
+fn grep_outputs_contain_the_needle() {
+    let broker = loaded_broker();
+    broker.create_topic("out", TopicConfig::default()).unwrap();
+    native_dstream(&broker, Query::Grep, "input", "out", 1, 64).unwrap();
+    let out = sorted_output(&broker, "out");
+    assert_eq!(out.len() as u64, streambench_core::data::expected_grep_hits(RECORDS));
+    for value in out {
+        assert!(value.windows(4).any(|w| w == b"test"));
+    }
+}
