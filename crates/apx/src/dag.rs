@@ -178,7 +178,10 @@ impl Dag {
         };
         let emitted = self.register_op(name, OpKind::Input, container)?;
         let window_size = self.core.lock().window_size;
-        let ctx = OperatorContext { name: name.to_string(), window_size };
+        let ctx = OperatorContext {
+            name: name.to_string(),
+            window_size,
+        };
         let name_owned = name.to_string();
         let make: MakeChain<T> = Box::new(move |dag: &Dag, mut sink: Box<dyn FrameSink<T>>| {
             let mut input = input;
@@ -188,8 +191,10 @@ impl Dag {
                 loop {
                     sink.begin_window(window_id);
                     let more = {
-                        let mut emitter =
-                            CountingEmitter { sink: &mut sink, emitted: emitted.clone() };
+                        let mut emitter = CountingEmitter {
+                            sink: &mut sink,
+                            emitted: emitted.clone(),
+                        };
                         input.emit_window(window_id, &mut emitter)
                     };
                     sink.end_window(window_id);
@@ -201,9 +206,17 @@ impl Dag {
                 input.teardown();
                 sink.end_stream();
             });
-            dag.core.lock().tasks.push(TaskEntry { name: name_owned, container, body });
+            dag.core.lock().tasks.push(TaskEntry {
+                name: name_owned,
+                container,
+                body,
+            });
         });
-        Ok(OpHandle { dag: self.clone(), container, make })
+        Ok(OpHandle {
+            dag: self.clone(),
+            container,
+            make,
+        })
     }
 }
 
@@ -232,7 +245,9 @@ pub struct OpHandle<T> {
 
 impl<T> std::fmt::Debug for OpHandle<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("OpHandle").field("container", &self.container).finish_non_exhaustive()
+        f.debug_struct("OpHandle")
+            .field("container", &self.container)
+            .finish_non_exhaustive()
     }
 }
 
@@ -249,7 +264,10 @@ impl<T: Send + 'static> OpHandle<T> {
     {
         let dag = self.dag.clone();
         let window_size = dag.core.lock().window_size;
-        let ctx = OperatorContext { name: name.to_string(), window_size };
+        let ctx = OperatorContext {
+            name: name.to_string(),
+            window_size,
+        };
         let parent_make = self.make;
         let parent_container = self.container;
         let name_owned = name.to_string();
@@ -262,7 +280,11 @@ impl<T: Send + 'static> OpHandle<T> {
                         Box::new(OperatorSink::new(op, &ctx, sink_u, emitted));
                     parent_make(dag, chain);
                 });
-                Ok(OpHandle { dag, container: parent_container, make })
+                Ok(OpHandle {
+                    dag,
+                    container: parent_container,
+                    make,
+                })
             }
             Link::Container => {
                 let emitted = dag.register_op(name, OpKind::Generic, parent_container)?;
@@ -281,7 +303,11 @@ impl<T: Send + 'static> OpHandle<T> {
                     });
                     parent_make(dag, Box::new(publisher));
                 });
-                Ok(OpHandle { dag, container: parent_container, make })
+                Ok(OpHandle {
+                    dag,
+                    container: parent_container,
+                    make,
+                })
             }
             Link::Network(codec) => {
                 let container = {
@@ -306,7 +332,11 @@ impl<T: Send + 'static> OpHandle<T> {
                     });
                     parent_make(dag, Box::new(publisher));
                 });
-                Ok(OpHandle { dag, container, make })
+                Ok(OpHandle {
+                    dag,
+                    container,
+                    make,
+                })
             }
         }
     }
@@ -359,8 +389,12 @@ mod tests {
     #[test]
     fn duplicate_names_rejected() {
         let dag = Dag::new("app");
-        let h = dag.add_input("a", VecInput::new(vec!["x".to_string()])).unwrap();
-        let err = h.add_operator::<String, _>("a", upper(), Link::Thread).unwrap_err();
+        let h = dag
+            .add_input("a", VecInput::new(vec!["x".to_string()]))
+            .unwrap();
+        let err = h
+            .add_operator::<String, _>("a", upper(), Link::Thread)
+            .unwrap_err();
         assert_eq!(err, Error::DuplicateOperator("a".to_string()));
     }
 
@@ -379,7 +413,11 @@ mod tests {
             .add_output("out", out.clone(), Link::Thread)
             .unwrap();
         assert_eq!(dag.operator_count(), 5);
-        assert_eq!(dag.container_count(), 2, "input group + one network boundary");
+        assert_eq!(
+            dag.container_count(),
+            2,
+            "input group + one network boundary"
+        );
         let ops = dag.operators();
         assert_eq!(ops[0].kind, OpKind::Input);
         assert_eq!(ops[4].kind, OpKind::Output);

@@ -61,7 +61,9 @@ mod tests {
         assert!(e.to_string().contains("resource allocation failed"));
         assert!(e.source().is_some());
         assert!(Error::EmptyDag.source().is_none());
-        assert!(Error::DuplicateOperator("x".into()).to_string().contains('x'));
+        assert!(Error::DuplicateOperator("x".into())
+            .to_string()
+            .contains('x'));
         assert!(Error::DanglingStream("y".into()).to_string().contains('y'));
         assert!(Error::TaskPanicked("z".into()).to_string().contains('z'));
     }

@@ -3,7 +3,7 @@
 
 use crate::operator::{Emitter, InputOperator, Operator, OperatorContext};
 use bytes::Bytes;
-use logbus::{Broker, Record};
+use logbus::{Broker, PartitionReader, PartitionWriter, Record, StoredRecord};
 
 /// Bounded input operator reading a `logbus` topic, one streaming window
 /// per `window_size` records (paper's Kafka input operator).
@@ -12,14 +12,30 @@ pub struct KafkaInput {
     broker: Broker,
     topic: String,
     window_size: usize,
-    /// (partition, position, end) cursors captured at setup.
-    cursors: Vec<(u32, u64, u64)>,
+    /// Per-partition cursors captured at setup, each holding a cached
+    /// fetch handle so per-window fetches skip the topic-name lookup.
+    cursors: Vec<InputCursor>,
+    /// Fetch buffer reused across windows.
+    fetch_buffer: Vec<StoredRecord>,
+}
+
+#[derive(Debug)]
+struct InputCursor {
+    reader: PartitionReader,
+    position: u64,
+    end: u64,
 }
 
 impl KafkaInput {
     /// Creates an input over all partitions of `topic`.
     pub fn new(broker: Broker, topic: impl Into<String>) -> Self {
-        KafkaInput { broker, topic: topic.into(), window_size: 2048, cursors: Vec::new() }
+        KafkaInput {
+            broker,
+            topic: topic.into(),
+            window_size: 2048,
+            cursors: Vec::new(),
+            fetch_buffer: Vec::new(),
+        }
     }
 }
 
@@ -28,32 +44,46 @@ impl InputOperator<Bytes> for KafkaInput {
         self.window_size = ctx.window_size;
         if let Ok(topic) = self.broker.topic(&self.topic) {
             for p in 0..topic.partition_count() {
-                let start = topic.earliest_offset(p).unwrap_or(0);
-                let end = topic.latest_offset(p).unwrap_or(start);
-                self.cursors.push((p, start, end));
+                let Ok(reader) = self.broker.partition_reader(&self.topic, p) else {
+                    continue;
+                };
+                let position = topic.earliest_offset(p).unwrap_or(0);
+                let end = topic.latest_offset(p).unwrap_or(position);
+                self.cursors.push(InputCursor {
+                    reader,
+                    position,
+                    end,
+                });
             }
         }
     }
 
     fn emit_window(&mut self, _window_id: u64, out: &mut dyn Emitter<Bytes>) -> bool {
         let mut emitted = 0usize;
-        for (partition, position, end) in &mut self.cursors {
-            if emitted >= self.window_size || *position >= *end {
+        for cursor in &mut self.cursors {
+            if emitted >= self.window_size || cursor.position >= cursor.end {
                 continue;
             }
-            let want = (self.window_size - emitted).min((*end - *position) as usize);
-            let Ok(batch) = self.broker.fetch(&self.topic, *partition, *position, want) else {
+            let want = (self.window_size - emitted).min((cursor.end - cursor.position) as usize);
+            self.fetch_buffer.clear();
+            if cursor
+                .reader
+                .fetch_into(cursor.position, want, &mut self.fetch_buffer)
+                .is_err()
+            {
                 continue;
-            };
-            if let Some(last) = batch.last() {
-                *position = last.offset + 1;
             }
-            for stored in batch {
+            if let Some(last) = self.fetch_buffer.last() {
+                cursor.position = last.offset + 1;
+            }
+            for stored in self.fetch_buffer.drain(..) {
                 out.emit(stored.record.value);
                 emitted += 1;
             }
         }
-        self.cursors.iter().any(|(_, position, end)| position < end)
+        self.cursors
+            .iter()
+            .any(|cursor| cursor.position < cursor.end)
     }
 }
 
@@ -72,6 +102,10 @@ pub struct KafkaOutput {
     partition: u32,
     per_tuple: bool,
     buffer: Vec<Record>,
+    /// Cached produce handle, resolved on the first append and re-tried
+    /// while the topic is missing (appends to unknown topics stay silent
+    /// drops, as before).
+    writer: Option<PartitionWriter>,
 }
 
 impl KafkaOutput {
@@ -83,6 +117,7 @@ impl KafkaOutput {
             partition: 0,
             per_tuple: false,
             buffer: Vec::new(),
+            writer: None,
         }
     }
 
@@ -92,19 +127,34 @@ impl KafkaOutput {
         self
     }
 
+    fn writer(&mut self) -> Option<&PartitionWriter> {
+        if self.writer.is_none() {
+            self.writer = self
+                .broker
+                .partition_writer(&self.topic, self.partition)
+                .ok();
+        }
+        self.writer.as_ref()
+    }
+
     fn flush(&mut self) {
         if self.buffer.is_empty() {
             return;
         }
         let batch = std::mem::take(&mut self.buffer);
-        let _ = self.broker.produce_batch(&self.topic, self.partition, batch);
+        if let Some(writer) = self.writer() {
+            let _ = writer.produce_batch(batch);
+        }
     }
 }
 
 impl Operator<Bytes, ()> for KafkaOutput {
     fn process(&mut self, tuple: Bytes, _out: &mut dyn Emitter<()>) {
         if self.per_tuple {
-            let _ = self.broker.produce(&self.topic, self.partition, Record::from_value(tuple));
+            let record = Record::from_value(tuple);
+            if let Some(writer) = self.writer() {
+                let _ = writer.produce(record);
+            }
         } else {
             self.buffer.push(Record::from_value(tuple));
         }
@@ -129,7 +179,9 @@ mod tests {
         broker.create_topic("in", TopicConfig::default()).unwrap();
         broker.create_topic("out", TopicConfig::default()).unwrap();
         for i in 0..n {
-            broker.produce("in", 0, Record::from_value(format!("r{i}"))).unwrap();
+            broker
+                .produce("in", 0, Record::from_value(format!("r{i}")))
+                .unwrap();
         }
         broker
     }
@@ -138,7 +190,10 @@ mod tests {
     fn kafka_input_reads_in_windows() {
         let broker = broker_with_records(25);
         let mut input = KafkaInput::new(broker, "in");
-        input.setup(&OperatorContext { name: "in".into(), window_size: 10 });
+        input.setup(&OperatorContext {
+            name: "in".into(),
+            window_size: 10,
+        });
         let mut windows: Vec<usize> = Vec::new();
         loop {
             let mut count = 0usize;
@@ -158,11 +213,17 @@ mod tests {
     fn kafka_input_is_bounded() {
         let broker = broker_with_records(5);
         let mut input = KafkaInput::new(broker.clone(), "in");
-        input.setup(&OperatorContext { name: "in".into(), window_size: 100 });
+        input.setup(&OperatorContext {
+            name: "in".into(),
+            window_size: 100,
+        });
         broker.produce("in", 0, Record::from_value("late")).unwrap();
         let mut count = 0;
         let mut emitter = |_t: Bytes| count += 1;
-        assert!(!input.emit_window(0, &mut emitter), "single window drains it");
+        assert!(
+            !input.emit_window(0, &mut emitter),
+            "single window drains it"
+        );
         assert_eq!(count, 5, "the late record is outside the bounded range");
     }
 
@@ -173,7 +234,11 @@ mod tests {
         let mut null = |_: ()| {};
         out.process(Bytes::from_static(b"a"), &mut null);
         out.process(Bytes::from_static(b"b"), &mut null);
-        assert_eq!(broker.latest_offset("out", 0).unwrap(), 0, "buffered until window end");
+        assert_eq!(
+            broker.latest_offset("out", 0).unwrap(),
+            0,
+            "buffered until window end"
+        );
         out.end_window(0, &mut null);
         assert_eq!(broker.latest_offset("out", 0).unwrap(), 2);
         // Identical append stamp: one broker request.
@@ -204,7 +269,10 @@ mod tests {
     fn missing_topic_is_harmless() {
         let broker = Broker::new();
         let mut input = KafkaInput::new(broker.clone(), "nope");
-        input.setup(&OperatorContext { name: "in".into(), window_size: 10 });
+        input.setup(&OperatorContext {
+            name: "in".into(),
+            window_size: 10,
+        });
         let mut emitter = |_t: Bytes| {};
         assert!(!input.emit_window(0, &mut emitter));
     }

@@ -134,7 +134,10 @@ mod tests {
 
     fn drive<I, O, Op: Operator<I, O>>(op: &mut Op, windows: Vec<Vec<I>>) -> Vec<O> {
         let mut out_tuples = Vec::new();
-        op.setup(&OperatorContext { name: "test".into(), window_size: 100 });
+        op.setup(&OperatorContext {
+            name: "test".into(),
+            window_size: 100,
+        });
         for (w, tuples) in windows.into_iter().enumerate() {
             let w = w as u64;
             op.begin_window(w);

@@ -63,7 +63,12 @@ impl RunningApp {
             operators: self
                 .operators
                 .iter()
-                .map(|o| (o.name.clone(), o.emitted.load(std::sync::atomic::Ordering::Relaxed)))
+                .map(|o| {
+                    (
+                        o.name.clone(),
+                        o.emitted.load(std::sync::atomic::Ordering::Relaxed),
+                    )
+                })
                 .collect(),
             containers_used: self.containers.len() + 1, // + application master
         })
@@ -88,7 +93,10 @@ pub struct AppResult {
 impl AppResult {
     /// Tuples emitted by the named operator.
     pub fn emitted_by(&self, operator: &str) -> Option<u64> {
-        self.operators.iter().find(|(n, _)| n == operator).map(|(_, c)| *c)
+        self.operators
+            .iter()
+            .find(|(n, _)| n == operator)
+            .map(|(_, c)| *c)
     }
 }
 
@@ -190,20 +198,23 @@ mod tests {
     fn linear_dag(link_mid: Link<String>) -> (Dag, VecOutput<String>) {
         let dag = Dag::with_window_size("app", 3);
         let out = VecOutput::new();
-        dag.add_input("input", VecInput::new(vec!["a".to_string(), "b".to_string(), "test".to_string()]))
-            .unwrap()
-            .add_operator::<String, _>(
-                "grep",
-                FnOperator::new(|t: String, e: &mut dyn Emitter<String>| {
-                    if t.contains("test") {
-                        e.emit(t);
-                    }
-                }),
-                link_mid,
-            )
-            .unwrap()
-            .add_output("output", out.clone(), Link::Network(Arc::new(StringCodec)))
-            .unwrap();
+        dag.add_input(
+            "input",
+            VecInput::new(vec!["a".to_string(), "b".to_string(), "test".to_string()]),
+        )
+        .unwrap()
+        .add_operator::<String, _>(
+            "grep",
+            FnOperator::new(|t: String, e: &mut dyn Emitter<String>| {
+                if t.contains("test") {
+                    e.emit(t);
+                }
+            }),
+            link_mid,
+        )
+        .unwrap()
+        .add_output("output", out.clone(), Link::Network(Arc::new(StringCodec)))
+        .unwrap();
         (dag, out)
     }
 
@@ -228,7 +239,10 @@ mod tests {
         let (dag, out) = linear_dag(Link::Thread);
         let result = Stram::run(&dag, &mut rm, &StramConfig::default()).unwrap();
         assert_eq!(out.snapshot(), vec!["test".to_string()]);
-        assert_eq!(result.containers_used, 3, "input+grep fused, output remote, + AM");
+        assert_eq!(
+            result.containers_used, 3,
+            "input+grep fused, output remote, + AM"
+        );
     }
 
     #[test]
@@ -245,9 +259,7 @@ mod tests {
     fn dangling_dag_rejected() {
         let mut rm = rm_with_capacity();
         let dag = Dag::new("dangling");
-        let _handle = dag
-            .add_input("input", VecInput::new(vec![1i64]))
-            .unwrap();
+        let _handle = dag.add_input("input", VecInput::new(vec![1i64])).unwrap();
         assert!(matches!(
             Stram::run(&dag, &mut rm, &StramConfig::default()),
             Err(Error::DanglingStream(_))
@@ -261,7 +273,11 @@ mod tests {
         let (dag, _out) = linear_dag(Link::Network(Arc::new(StringCodec)));
         let err = Stram::run(&dag, &mut rm, &StramConfig::default()).unwrap_err();
         assert!(matches!(err, Error::Resource(_)));
-        assert_eq!(rm.metrics().live_containers, 0, "failed app released the AM");
+        assert_eq!(
+            rm.metrics().live_containers,
+            0,
+            "failed app released the AM"
+        );
     }
 
     #[test]

@@ -66,7 +66,12 @@ where
     /// Creates the wrapper and runs the operator's `setup`.
     pub fn new(mut op: Op, ctx: &OperatorContext, downstream: S, emitted: Arc<AtomicU64>) -> Self {
         op.setup(ctx);
-        OperatorSink { op, downstream, emitted, _types: std::marker::PhantomData }
+        OperatorSink {
+            op,
+            downstream,
+            emitted,
+            _types: std::marker::PhantomData,
+        }
     }
 }
 
@@ -260,7 +265,9 @@ impl<T: Send + 'static> FrameSink<T> for EncodingPublisher<T> {
 
     fn tuple(&mut self, tuple: T) {
         let encoded = self.codec.encode(&tuple);
-        self.inner.bytes.fetch_add(encoded.len() as u64, Ordering::Relaxed);
+        self.inner
+            .bytes
+            .fetch_add(encoded.len() as u64, Ordering::Relaxed);
         self.inner.tuple(encoded);
     }
 
@@ -357,7 +364,10 @@ mod tests {
                 out.emit(t * 2);
             }
         });
-        let ctx = OperatorContext { name: "x".into(), window_size: 10 };
+        let ctx = OperatorContext {
+            name: "x".into(),
+            window_size: 10,
+        };
         let mut sink = OperatorSink::new(op, &ctx, collector, emitted.clone());
         sink.begin_window(0);
         sink.tuple(-1);

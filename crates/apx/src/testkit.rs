@@ -16,7 +16,11 @@ pub struct VecInput<T> {
 impl<T> VecInput<T> {
     /// Creates an input over `items`.
     pub fn new(items: Vec<T>) -> Self {
-        VecInput { items, cursor: 0, window_size: 1 }
+        VecInput {
+            items,
+            cursor: 0,
+            window_size: 1,
+        }
     }
 }
 
@@ -47,7 +51,9 @@ pub struct VecOutput<T> {
 impl<T> VecOutput<T> {
     /// Creates an empty collecting output.
     pub fn new() -> Self {
-        VecOutput { items: Arc::new(Mutex::new(Vec::new())) }
+        VecOutput {
+            items: Arc::new(Mutex::new(Vec::new())),
+        }
     }
 
     /// Snapshot of collected tuples.
@@ -61,7 +67,9 @@ impl<T> VecOutput<T> {
 
 impl<T> Clone for VecOutput<T> {
     fn clone(&self) -> Self {
-        VecOutput { items: self.items.clone() }
+        VecOutput {
+            items: self.items.clone(),
+        }
     }
 }
 
@@ -78,7 +86,10 @@ mod tests {
     #[test]
     fn vec_input_windows() {
         let mut input = VecInput::new(vec![1, 2, 3, 4, 5]);
-        input.setup(&OperatorContext { name: "i".into(), window_size: 2 });
+        input.setup(&OperatorContext {
+            name: "i".into(),
+            window_size: 2,
+        });
         let mut seen = Vec::new();
         let mut w = 0;
         loop {

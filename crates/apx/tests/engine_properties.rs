@@ -58,7 +58,11 @@ fn run_dag(items: Vec<i64>, window: usize, link_of: fn(u8) -> Link<i64>) -> Vec<
 }
 
 fn reference(items: &[i64]) -> Vec<i64> {
-    items.iter().map(|x| x.wrapping_mul(3)).filter(|x| x % 2 == 0).collect()
+    items
+        .iter()
+        .map(|x| x.wrapping_mul(3))
+        .filter(|x| x % 2 == 0)
+        .collect()
 }
 
 proptest! {

@@ -43,10 +43,7 @@ where
 {
     fn expand(self, input: &PCollection<T>) -> PCollection<Kv<T, i64>> {
         let keyed = input.apply(WithKeys::of(|t: &T| t.clone(), self.coder.clone()));
-        let grouped = keyed.apply(GroupByKey::create(
-            self.coder.clone(),
-            input.coder(),
-        ));
+        let grouped = keyed.apply(GroupByKey::create(self.coder.clone(), input.coder()));
         let out_coder = Arc::new(KvCoder::new(
             self.coder,
             Arc::new(VarIntCoder) as Arc<dyn Coder<i64>>,
@@ -134,12 +131,12 @@ pub struct CombinePerKey<K, V, F> {
 
 impl<K, V, F> CombinePerKey<K, V, F> {
     /// Creates the transform from component coders and a combiner.
-    pub fn of(
-        key_coder: Arc<dyn Coder<K>>,
-        value_coder: Arc<dyn Coder<V>>,
-        combine: F,
-    ) -> Self {
-        CombinePerKey { key_coder, value_coder, combine }
+    pub fn of(key_coder: Arc<dyn Coder<K>>, value_coder: Arc<dyn Coder<V>>, combine: F) -> Self {
+        CombinePerKey {
+            key_coder,
+            value_coder,
+            combine,
+        }
     }
 }
 
@@ -156,14 +153,21 @@ where
         ));
         let out_coder = Arc::new(KvCoder::new(self.key_coder, self.value_coder));
         let combine = self.combine;
-        let dofn = FnDoFn::new(move |kv: Kv<K, Vec<V>>, ctx: &mut ProcessContext<'_, Kv<K, V>>| {
-            let mut values = kv.value.into_iter();
-            if let Some(first) = values.next() {
-                let combined = values.fold(first, |acc, v| combine(acc, v));
-                ctx.output(Kv::new(kv.key, combined));
-            }
-        });
-        ParDo::of("Combine.PerKey", dofn, out_coder as Arc<dyn Coder<Kv<K, V>>>).expand(&grouped)
+        let dofn = FnDoFn::new(
+            move |kv: Kv<K, Vec<V>>, ctx: &mut ProcessContext<'_, Kv<K, V>>| {
+                let mut values = kv.value.into_iter();
+                if let Some(first) = values.next() {
+                    let combined = values.fold(first, &combine);
+                    ctx.output(Kv::new(kv.key, combined));
+                }
+            },
+        );
+        ParDo::of(
+            "Combine.PerKey",
+            dofn,
+            out_coder as Arc<dyn Coder<Kv<K, V>>>,
+        )
+        .expand(&grouped)
     }
 }
 
@@ -198,10 +202,14 @@ pub fn word_count(input: &PCollection<String>) -> PCollection<Kv<String, i64>> {
     let words = input.apply(crate::transforms::FlatMapElements::into_strings(
         "Tokenize",
         |line: String| {
-            line.split_whitespace().map(str::to_owned).collect::<Vec<_>>()
+            line.split_whitespace()
+                .map(str::to_owned)
+                .collect::<Vec<_>>()
         },
     ));
-    words.apply(Count::per_element(Arc::new(StrUtf8Coder) as Arc<dyn Coder<String>>))
+    words.apply(Count::per_element(
+        Arc::new(StrUtf8Coder) as Arc<dyn Coder<String>>
+    ))
 }
 
 #[cfg(test)]
@@ -215,12 +223,22 @@ mod tests {
     fn count_per_element() {
         let p = crate::Pipeline::new();
         let counts = p
-            .apply(Create::strings(vec!["a".into(), "b".into(), "a".into(), "a".into()]))
-            .apply(Count::per_element(Arc::new(StrUtf8Coder) as Arc<dyn Coder<String>>));
+            .apply(Create::strings(vec![
+                "a".into(),
+                "b".into(),
+                "a".into(),
+                "a".into(),
+            ]))
+            .apply(Count::per_element(
+                Arc::new(StrUtf8Coder) as Arc<dyn Coder<String>>
+            ));
         let result = DirectRunner::new().run(&p).unwrap();
         let mut got = result.collect_of(&counts).unwrap();
         got.sort_by(|x, y| x.key.cmp(&y.key));
-        assert_eq!(got, vec![Kv::new("a".to_string(), 3), Kv::new("b".to_string(), 1)]);
+        assert_eq!(
+            got,
+            vec![Kv::new("a".to_string(), 3), Kv::new("b".to_string(), 1)]
+        );
     }
 
     #[test]
@@ -246,7 +264,9 @@ mod tests {
         let p = crate::Pipeline::new();
         let distinct = p
             .apply(Create::i64s(vec![3, 1, 3, 2, 1, 3]))
-            .apply(Distinct::create(Arc::new(VarIntCoder) as Arc<dyn Coder<i64>>));
+            .apply(Distinct::create(
+                Arc::new(VarIntCoder) as Arc<dyn Coder<i64>>
+            ));
         let result = DirectRunner::new().run(&p).unwrap();
         let mut got = result.collect_of(&distinct).unwrap();
         got.sort_unstable();
@@ -257,14 +277,21 @@ mod tests {
     fn combine_per_key_folds() {
         let p = crate::Pipeline::new();
         let combined = p
-            .apply(Create::strings(vec!["x 1".into(), "x 2".into(), "y 5".into()]))
+            .apply(Create::strings(vec![
+                "x 1".into(),
+                "x 2".into(),
+                "y 5".into(),
+            ]))
             .apply(MapElements::new(
                 "Parse",
                 |s: String| {
                     let mut parts = s.split(' ');
                     Kv::new(
                         parts.next().unwrap_or_default().to_string(),
-                        parts.next().and_then(|v| v.parse::<i64>().ok()).unwrap_or(0),
+                        parts
+                            .next()
+                            .and_then(|v| v.parse::<i64>().ok())
+                            .unwrap_or(0),
                     )
                 },
                 Arc::new(KvCoder::new(
@@ -324,9 +351,9 @@ mod tests {
     fn composites_inherit_capability_matrix() {
         use crate::runners::DStreamRunner;
         let p = crate::Pipeline::new();
-        let _ = p
-            .apply(Create::i64s(vec![1, 2, 2]))
-            .apply(Distinct::create(Arc::new(VarIntCoder) as Arc<dyn Coder<i64>>));
+        let _ = p.apply(Create::i64s(vec![1, 2, 2])).apply(Distinct::create(
+            Arc::new(VarIntCoder) as Arc<dyn Coder<i64>>
+        ));
         let err = DStreamRunner::new().run(&p).unwrap_err();
         assert!(matches!(err, crate::Error::UnsupportedTransform { .. }));
     }

@@ -20,7 +20,9 @@ pub struct CoderError {
 impl CoderError {
     /// Creates an error.
     pub fn new(message: impl Into<String>) -> Self {
-        CoderError { message: message.into() }
+        CoderError {
+            message: message.into(),
+        }
     }
 }
 
@@ -85,8 +87,9 @@ pub(crate) fn get_varint(input: &mut &[u8]) -> Result<u64, CoderError> {
     let mut n = 0u64;
     let mut shift = 0u32;
     loop {
-        let (&byte, rest) =
-            input.split_first().ok_or_else(|| CoderError::new("varint ran out of bytes"))?;
+        let (&byte, rest) = input
+            .split_first()
+            .ok_or_else(|| CoderError::new("varint ran out of bytes"))?;
         *input = rest;
         if shift >= 64 {
             return Err(CoderError::new("varint too long"));
@@ -101,7 +104,10 @@ pub(crate) fn get_varint(input: &mut &[u8]) -> Result<u64, CoderError> {
 
 fn take<'a>(input: &mut &'a [u8], len: usize) -> Result<&'a [u8], CoderError> {
     if input.len() < len {
-        return Err(CoderError::new(format!("needed {len} bytes, had {}", input.len())));
+        return Err(CoderError::new(format!(
+            "needed {len} bytes, had {}",
+            input.len()
+        )));
     }
     let (head, rest) = input.split_at(len);
     *input = rest;
@@ -299,7 +305,9 @@ impl Coder<WindowedValue<Vec<u8>>> for WindowedValueCoder {
             PaneTiming::Late => 2,
             PaneTiming::Unknown => 3,
         };
-        out.push(timing | (u8::from(value.pane.is_first) << 2) | (u8::from(value.pane.is_last) << 3));
+        out.push(
+            timing | (u8::from(value.pane.is_first) << 2) | (u8::from(value.pane.is_last) << 3),
+        );
         put_varint(value.pane.index, out);
         put_varint(value.value.len() as u64, out);
         out.extend_from_slice(&value.value);
@@ -326,7 +334,12 @@ impl Coder<WindowedValue<Vec<u8>>> for WindowedValueCoder {
         };
         let len = get_varint(input)? as usize;
         let value = take(input, len)?.to_vec();
-        Ok(WindowedValue { value, timestamp, window, pane })
+        Ok(WindowedValue {
+            value,
+            timestamp,
+            window,
+            pane,
+        })
     }
 }
 
@@ -355,14 +368,20 @@ mod tests {
     fn bytes_coder_roundtrip() {
         let coder = BytesCoder;
         let value = Bytes::from_static(b"some \x00 payload");
-        assert_eq!(coder.decode_all(&coder.encode_to_vec(&value)).unwrap(), value);
+        assert_eq!(
+            coder.decode_all(&coder.encode_to_vec(&value)).unwrap(),
+            value
+        );
     }
 
     #[test]
     fn string_coder_roundtrip_and_invalid() {
         let coder = StrUtf8Coder;
         let value = "héllo".to_string();
-        assert_eq!(coder.decode_all(&coder.encode_to_vec(&value)).unwrap(), value);
+        assert_eq!(
+            coder.decode_all(&coder.encode_to_vec(&value)).unwrap(),
+            value
+        );
         let bad = vec![2, 0xff, 0xfe];
         assert!(coder.decode_all(&bad).is_err());
     }
@@ -392,9 +411,15 @@ mod tests {
     fn iterable_coder_roundtrip() {
         let coder = IterableCoder::new(Arc::new(StrUtf8Coder));
         let items = vec!["a".to_string(), String::new(), "ccc".to_string()];
-        assert_eq!(coder.decode_all(&coder.encode_to_vec(&items)).unwrap(), items);
+        assert_eq!(
+            coder.decode_all(&coder.encode_to_vec(&items)).unwrap(),
+            items
+        );
         let empty: Vec<String> = Vec::new();
-        assert_eq!(coder.decode_all(&coder.encode_to_vec(&empty)).unwrap(), empty);
+        assert_eq!(
+            coder.decode_all(&coder.encode_to_vec(&empty)).unwrap(),
+            empty
+        );
     }
 
     #[test]
@@ -405,7 +430,10 @@ mod tests {
             WindowedValue {
                 value: vec![],
                 timestamp: Instant(-5),
-                window: WindowRef::Interval { start: Instant(0), end: Instant(1000) },
+                window: WindowRef::Interval {
+                    start: Instant(0),
+                    end: Instant(1000),
+                },
                 pane: PaneInfo {
                     is_first: false,
                     is_last: true,

@@ -66,12 +66,20 @@ pub struct PaneInfo {
 impl PaneInfo {
     /// The pane carried by elements that were never retriggered: first,
     /// last, on time.
-    pub const ON_TIME_AND_ONLY: PaneInfo =
-        PaneInfo { is_first: true, is_last: true, timing: PaneTiming::OnTime, index: 0 };
+    pub const ON_TIME_AND_ONLY: PaneInfo = PaneInfo {
+        is_first: true,
+        is_last: true,
+        timing: PaneTiming::OnTime,
+        index: 0,
+    };
 
     /// The default pane of data that never passed a `GroupByKey`.
-    pub const NO_FIRING: PaneInfo =
-        PaneInfo { is_first: true, is_last: true, timing: PaneTiming::Unknown, index: 0 };
+    pub const NO_FIRING: PaneInfo = PaneInfo {
+        is_first: true,
+        is_last: true,
+        timing: PaneTiming::Unknown,
+        index: 0,
+    };
 }
 
 impl Default for PaneInfo {
@@ -186,7 +194,10 @@ mod tests {
     #[test]
     fn window_max_timestamp() {
         assert_eq!(WindowRef::Global.max_timestamp(), Instant::MAX);
-        let w = WindowRef::Interval { start: Instant(0), end: Instant(100) };
+        let w = WindowRef::Interval {
+            start: Instant(0),
+            end: Instant(100),
+        };
         assert_eq!(w.max_timestamp(), Instant(99));
     }
 

@@ -41,16 +41,20 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::UnsupportedTransform { runner, transform } => {
-                write!(f, "runner `{runner}` does not support transform `{transform}`")
+                write!(
+                    f,
+                    "runner `{runner}` does not support transform `{transform}`"
+                )
             }
             Error::UnsupportedShape { runner, reason } => {
-                write!(f, "runner `{runner}` cannot run this pipeline shape: {reason}")
+                write!(
+                    f,
+                    "runner `{runner}` cannot run this pipeline shape: {reason}"
+                )
             }
             Error::InvalidPipeline(msg) => write!(f, "invalid pipeline: {msg}"),
             Error::Engine(msg) => write!(f, "engine execution failed: {msg}"),
-            Error::NotMaterialized => {
-                f.write_str("collection was not materialized by this runner")
-            }
+            Error::NotMaterialized => f.write_str("collection was not materialized by this runner"),
             Error::Coder(msg) => write!(f, "coder failure while reading results: {msg}"),
         }
     }
@@ -71,8 +75,14 @@ mod tests {
     #[test]
     fn display() {
         let samples = vec![
-            Error::UnsupportedTransform { runner: "dstream", transform: "GroupByKey".into() },
-            Error::UnsupportedShape { runner: "rill", reason: "fan-out".into() },
+            Error::UnsupportedTransform {
+                runner: "dstream",
+                transform: "GroupByKey".into(),
+            },
+            Error::UnsupportedShape {
+                runner: "rill",
+                reason: "fan-out".into(),
+            },
             Error::InvalidPipeline("empty".into()),
             Error::Engine("boom".into()),
             Error::NotMaterialized,

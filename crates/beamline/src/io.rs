@@ -80,7 +80,14 @@ impl Coder<KafkaRecord> for KafkaRecordCoder {
         };
         let len = crate::coder::get_varint(input)? as usize;
         let value = Bytes::copy_from_slice(take(input, len)?);
-        Ok(KafkaRecord { topic, partition, offset, timestamp_micros, key, value })
+        Ok(KafkaRecord {
+            topic,
+            partition,
+            offset,
+            timestamp_micros,
+            key,
+            value,
+        })
     }
 }
 
@@ -91,12 +98,20 @@ pub struct BrokerIO;
 impl BrokerIO {
     /// Reads a topic as a bounded collection of [`KafkaRecord`]s.
     pub fn read(broker: Broker, topic: impl Into<String>) -> BrokerRead {
-        BrokerRead { broker, topic: topic.into(), fetch_size: 2048 }
+        BrokerRead {
+            broker,
+            topic: topic.into(),
+            fetch_size: 2048,
+        }
     }
 
     /// Writes byte payloads to a topic.
     pub fn write(broker: Broker, topic: impl Into<String>) -> BrokerWrite {
-        BrokerWrite { broker, topic: topic.into(), flush_records: 500 }
+        BrokerWrite {
+            broker,
+            topic: topic.into(),
+            flush_records: 500,
+        }
     }
 }
 
@@ -126,21 +141,32 @@ struct BrokerRawSource {
 
 impl RawSource for BrokerRawSource {
     fn read(&mut self, emit: RawEmit<'_>) {
-        let Ok(topic) = self.broker.topic(&self.topic) else { return };
+        let Ok(topic) = self.broker.topic(&self.topic) else {
+            return;
+        };
         let coder = KafkaRecordCoder;
+        // Cached per-partition handle plus one reused fetch buffer: the
+        // fetch loop resolves the topic name once, not per request.
+        let mut batch = Vec::with_capacity(self.fetch_size);
         for partition in 0..topic.partition_count() {
-            let Ok(end) = topic.latest_offset(partition) else { continue };
+            let Ok(reader) = self.broker.partition_reader(&self.topic, partition) else {
+                continue;
+            };
+            let Ok(end) = topic.latest_offset(partition) else {
+                continue;
+            };
             let mut offset = topic.earliest_offset(partition).unwrap_or(0);
             while offset < end {
                 let want = self.fetch_size.min((end - offset) as usize);
-                let Ok(batch) = self.broker.fetch(&self.topic, partition, offset, want) else {
+                batch.clear();
+                let Ok(appended) = reader.fetch_into(offset, want, &mut batch) else {
                     break;
                 };
-                if batch.is_empty() {
+                if appended == 0 {
                     break;
                 }
                 offset = batch.last().expect("non-empty").offset + 1;
-                for stored in batch {
+                for stored in batch.drain(..) {
                     let record = KafkaRecord {
                         topic: self.topic.clone(),
                         partition,
@@ -188,7 +214,9 @@ impl RootTransform<KafkaRecord> for BrokerRead {
         )
         .expand(&raw);
         // Rename the translated stage to the Flat Map the paper shows.
-        assembled.pipeline().set_translated_name(assembled.node(), "Flat Map");
+        assembled
+            .pipeline()
+            .set_translated_name(assembled.node(), "Flat Map");
         assembled
     }
 }
@@ -213,9 +241,7 @@ impl PTransform<KafkaRecord, Kv<Bytes, Bytes>> for WithoutMetadata {
         ));
         MapElements::new(
             "WithoutMetadata",
-            |record: KafkaRecord| {
-                Kv::new(record.key.unwrap_or_else(Bytes::new), record.value)
-            },
+            |record: KafkaRecord| Kv::new(record.key.unwrap_or_default(), record.value),
             coder,
         )
         .expand(input)
@@ -383,7 +409,7 @@ mod tests {
             key: None,
             value: Bytes::from_static(b"payload"),
         };
-        let kv = Kv::new(record.key.clone().unwrap_or_else(Bytes::new), record.value.clone());
+        let kv = Kv::new(record.key.clone().unwrap_or_default(), record.value.clone());
         assert_eq!(kv.key, Bytes::new());
         assert_eq!(kv.value, Bytes::from_static(b"payload"));
     }

@@ -48,17 +48,19 @@ pub mod runners;
 pub mod transforms;
 pub mod window;
 
+pub use aggregates::{CombinePerKey, Count, Distinct, KvSwap};
 pub use coder::{
     BytesCoder, Coder, CoderError, IterableCoder, KvCoder, StrUtf8Coder, VarIntCoder,
     WindowedValueCoder,
 };
 pub use element::{Instant, Kv, PaneInfo, PaneTiming, WindowRef, WindowedValue};
 pub use error::{Error, Result};
-pub use io::{BrokerIO, BrokerRead, BrokerWrite, KafkaRecord, KafkaRecordCoder, UnitCoder, WithoutMetadata};
+pub use io::{
+    BrokerIO, BrokerRead, BrokerWrite, KafkaRecord, KafkaRecordCoder, UnitCoder, WithoutMetadata,
+};
 pub use pardo::{DoFn, FnDoFn, ParDo, ProcessContext, RAW_PAR_DO};
 pub use pipeline::{PCollection, PTransform, Pipeline, RootTransform};
 pub use runners::{EngineReport, PipelineResult, PipelineRunner};
-pub use aggregates::{CombinePerKey, Count, Distinct, KvSwap};
 pub use transforms::{
     Create, Filter, FlatMapElements, Flatten, GroupByKey, Keys, MapElements, Values, WithKeys,
 };

@@ -111,7 +111,11 @@ pub struct RawAdapter<I, O, D> {
 impl<I, O, D> RawAdapter<I, O, D> {
     /// Creates the adapter.
     pub fn new(dofn: D, in_coder: Arc<dyn Coder<I>>, out_coder: Arc<dyn Coder<O>>) -> Self {
-        RawAdapter { dofn, in_coder, out_coder }
+        RawAdapter {
+            dofn,
+            in_coder,
+            out_coder,
+        }
     }
 }
 
@@ -163,7 +167,11 @@ impl<D, O> ParDo<D, O> {
     /// Creates a `ParDo` with an explicit output coder (Beam infers
     /// coders; here they are explicit).
     pub fn of(name: impl Into<String>, dofn: D, out_coder: Arc<dyn Coder<O>>) -> Self {
-        ParDo { name: name.into(), dofn, out_coder }
+        ParDo {
+            name: name.into(),
+            dofn,
+            out_coder,
+        }
     }
 }
 
@@ -178,7 +186,11 @@ where
         let out_coder = self.out_coder.clone();
         let dofn = self.dofn;
         let factory: Arc<dyn Fn() -> Box<dyn RawDoFn> + Send + Sync> = Arc::new(move || {
-            Box::new(RawAdapter::new(dofn.clone(), in_coder.clone(), out_coder.clone()))
+            Box::new(RawAdapter::new(
+                dofn.clone(),
+                in_coder.clone(),
+                out_coder.clone(),
+            ))
         });
         let node = input.pipeline().add_stage(
             self.name,
@@ -195,10 +207,7 @@ mod tests {
     use super::*;
     use crate::coder::{StrUtf8Coder, VarIntCoder};
 
-    fn run_bundle(
-        raw: &mut dyn RawDoFn,
-        inputs: Vec<RawElement>,
-    ) -> Vec<RawElement> {
+    fn run_bundle(raw: &mut dyn RawDoFn, inputs: Vec<RawElement>) -> Vec<RawElement> {
         let mut out = Vec::new();
         raw.start_bundle();
         for element in inputs {
@@ -213,8 +222,11 @@ mod tests {
         let dofn = FnDoFn::new(|s: String, ctx: &mut ProcessContext<'_, i64>| {
             ctx.output(s.len() as i64);
         });
-        let mut adapter =
-            RawAdapter::new(dofn, Arc::new(StrUtf8Coder) as _, Arc::new(VarIntCoder) as _);
+        let mut adapter = RawAdapter::new(
+            dofn,
+            Arc::new(StrUtf8Coder) as _,
+            Arc::new(VarIntCoder) as _,
+        );
         let input = WindowedValue::timestamped(
             StrUtf8Coder.encode_to_vec(&"abcd".to_string()),
             Instant(55),
@@ -261,8 +273,11 @@ mod tests {
         let dofn = FnDoFn::new(|s: String, ctx: &mut ProcessContext<'_, String>| {
             ctx.output_with_timestamp(s, Instant(99));
         });
-        let mut adapter =
-            RawAdapter::new(dofn, Arc::new(StrUtf8Coder) as _, Arc::new(StrUtf8Coder) as _);
+        let mut adapter = RawAdapter::new(
+            dofn,
+            Arc::new(StrUtf8Coder) as _,
+            Arc::new(StrUtf8Coder) as _,
+        );
         let input =
             WindowedValue::timestamped(StrUtf8Coder.encode_to_vec(&"x".to_string()), Instant(1));
         let out = run_bundle(&mut adapter, vec![input]);

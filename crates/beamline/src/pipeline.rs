@@ -31,7 +31,9 @@ pub struct Pipeline {
 impl Pipeline {
     /// Creates an empty pipeline.
     pub fn new() -> Self {
-        Pipeline { graph: Arc::new(Mutex::new(PipelineGraph::new())) }
+        Pipeline {
+            graph: Arc::new(Mutex::new(PipelineGraph::new())),
+        }
     }
 
     /// Applies a root transform (a source).
@@ -54,7 +56,9 @@ impl Pipeline {
         payload: StagePayload,
         input: Option<NodeId>,
     ) -> NodeId {
-        self.graph.lock().add_stage(name, translated, payload, input)
+        self.graph
+            .lock()
+            .add_stage(name, translated, payload, input)
     }
 
     pub(crate) fn set_translated_name(&self, node: NodeId, name: &str) {
@@ -89,13 +93,19 @@ impl<T> Clone for PCollection<T> {
 
 impl<T> std::fmt::Debug for PCollection<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PCollection").field("node", &self.node).finish_non_exhaustive()
+        f.debug_struct("PCollection")
+            .field("node", &self.node)
+            .finish_non_exhaustive()
     }
 }
 
 impl<T: Send + 'static> PCollection<T> {
     pub(crate) fn new(pipeline: Pipeline, node: NodeId, coder: Arc<dyn Coder<T>>) -> Self {
-        PCollection { pipeline, node, coder }
+        PCollection {
+            pipeline,
+            node,
+            coder,
+        }
     }
 
     /// The stage producing this collection.
@@ -155,8 +165,7 @@ mod tests {
             StagePayload::Read(Arc::new(|| Box::new(EmptySource))),
             None,
         );
-        let pc: PCollection<String> =
-            PCollection::new(p.clone(), read, Arc::new(StrUtf8Coder));
+        let pc: PCollection<String> = PCollection::new(p.clone(), read, Arc::new(StrUtf8Coder));
         assert_eq!(pc.node(), read);
         assert_eq!(p.stage_count(), 1);
         p.with_graph(|g| {

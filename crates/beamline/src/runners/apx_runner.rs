@@ -57,7 +57,11 @@ impl ApxRunner {
         for _ in 0..2 {
             rm.register_node(Resource::new(64 * 1024, 32));
         }
-        ApxRunner { rm: Mutex::new(rm), vcores: 1, window_size: 2048 }
+        ApxRunner {
+            rm: Mutex::new(rm),
+            vcores: 1,
+            window_size: 2048,
+        }
     }
 
     /// Sets the vcores per operator container (the paper's Apex
@@ -81,13 +85,17 @@ impl PipelineRunner for ApxRunner {
             Leaf(DoFnFactory, String),
         }
         let (source, stages) = pipeline.with_graph(|graph| -> Result<_> {
-            let chain = graph.linear_chain().ok_or_else(|| Error::UnsupportedShape {
-                runner: "apx",
-                reason: "only linear single-source pipelines are translatable".into(),
-            })?;
+            let chain = graph
+                .linear_chain()
+                .ok_or_else(|| Error::UnsupportedShape {
+                    runner: "apx",
+                    reason: "only linear single-source pipelines are translatable".into(),
+                })?;
             let first = graph.node(chain[0]).expect("chain node");
             let StagePayload::Read(source) = &first.payload else {
-                return Err(Error::InvalidPipeline("pipeline must start with a Read".into()));
+                return Err(Error::InvalidPipeline(
+                    "pipeline must start with a Read".into(),
+                ));
             };
             let mut stages = Vec::new();
             for (i, id) in chain.iter().enumerate().skip(1) {
@@ -121,7 +129,10 @@ impl PipelineRunner for ApxRunner {
 
         let dag = Dag::with_window_size("beamline", self.window_size);
         let mut handle = dag
-            .add_input("PTransformTranslation.UnknownRawPTransform", RawSourceInput::new(source))
+            .add_input(
+                "PTransformTranslation.UnknownRawPTransform",
+                RawSourceInput::new(source),
+            )
             .map_err(engine_err)?;
         let mut terminated = false;
         for stage in stages {
@@ -158,7 +169,11 @@ impl PipelineRunner for ApxRunner {
         let mut rm = self.rm.lock();
         let result = Stram::run(&dag, &mut rm, &StramConfig::default().vcores(self.vcores))
             .map_err(|e| Error::Engine(e.to_string()))?;
-        Ok(PipelineResult::new(result.duration, EngineReport::Apx(result), HashMap::new()))
+        Ok(PipelineResult::new(
+            result.duration,
+            EngineReport::Apx(result),
+            HashMap::new(),
+        ))
     }
 
     fn name(&self) -> &'static str {
@@ -232,7 +247,10 @@ struct PerElementBundleOperator {
 
 impl PerElementBundleOperator {
     fn new(factory: DoFnFactory) -> Self {
-        PerElementBundleOperator { factory, dofn: None }
+        PerElementBundleOperator {
+            factory,
+            dofn: None,
+        }
     }
 }
 
@@ -258,7 +276,10 @@ struct PerElementBundleOutput {
 
 impl PerElementBundleOutput {
     fn new(factory: DoFnFactory) -> Self {
-        PerElementBundleOutput { factory, dofn: None }
+        PerElementBundleOutput {
+            factory,
+            dofn: None,
+        }
     }
 }
 

@@ -39,15 +39,15 @@ impl PipelineRunner for DirectRunner {
                         out
                     }
                     StagePayload::ParDo(factory) => {
-                        let input = node
-                            .input
-                            .and_then(|id| materialized.get(&id))
-                            .ok_or_else(|| {
-                                Error::InvalidPipeline(format!(
-                                    "stage `{}` has no input",
-                                    node.name
-                                ))
-                            })?;
+                        let input =
+                            node.input
+                                .and_then(|id| materialized.get(&id))
+                                .ok_or_else(|| {
+                                    Error::InvalidPipeline(format!(
+                                        "stage `{}` has no input",
+                                        node.name
+                                    ))
+                                })?;
                         let mut out = Vec::new();
                         // One bundle per stage over the whole bounded
                         // input.
@@ -60,15 +60,15 @@ impl PipelineRunner for DirectRunner {
                         out
                     }
                     StagePayload::GroupByKey => {
-                        let input = node
-                            .input
-                            .and_then(|id| materialized.get(&id))
-                            .ok_or_else(|| {
-                                Error::InvalidPipeline(format!(
-                                    "stage `{}` has no input",
-                                    node.name
-                                ))
-                            })?;
+                        let input =
+                            node.input
+                                .and_then(|id| materialized.get(&id))
+                                .ok_or_else(|| {
+                                    Error::InvalidPipeline(format!(
+                                        "stage `{}` has no input",
+                                        node.name
+                                    ))
+                                })?;
                         group_by_key(input)?
                     }
                     StagePayload::Flatten(extra) => {
@@ -94,7 +94,11 @@ impl PipelineRunner for DirectRunner {
             }
             Ok(())
         })?;
-        Ok(PipelineResult::new(started.elapsed(), EngineReport::Direct, materialized))
+        Ok(PipelineResult::new(
+            started.elapsed(),
+            EngineReport::Direct,
+            materialized,
+        ))
     }
 
     fn name(&self) -> &'static str {
@@ -192,14 +196,20 @@ mod tests {
                 |s: &String| s.chars().next().unwrap_or('?').to_string(),
                 Arc::new(StrUtf8Coder),
             ))
-            .apply(GroupByKey::create(Arc::new(StrUtf8Coder), Arc::new(StrUtf8Coder)));
+            .apply(GroupByKey::create(
+                Arc::new(StrUtf8Coder),
+                Arc::new(StrUtf8Coder),
+            ));
         let result = DirectRunner::new().run(&p).unwrap();
         let mut groups = result.collect_of(&grouped).unwrap();
         groups.sort_by(|a, b| a.key.cmp(&b.key));
         assert_eq!(
             groups,
             vec![
-                Kv::new("a".to_string(), vec!["apple".to_string(), "avocado".to_string()]),
+                Kv::new(
+                    "a".to_string(),
+                    vec!["apple".to_string(), "avocado".to_string()]
+                ),
                 Kv::new("b".to_string(), vec!["banana".to_string()]),
             ]
         );
@@ -243,8 +253,14 @@ mod tests {
             // assigning identity stage, then window.
             .apply(crate::transforms::MapElements::into_i64("Id", |x: i64| x))
             .apply(WindowInto::new(WindowFn::fixed(Duration::from_micros(10))))
-            .apply(WithKeys::of(|_x: &i64| "all".to_string(), Arc::new(StrUtf8Coder)))
-            .apply(GroupByKey::create(Arc::new(StrUtf8Coder), Arc::new(VarIntCoder)));
+            .apply(WithKeys::of(
+                |_x: &i64| "all".to_string(),
+                Arc::new(StrUtf8Coder),
+            ))
+            .apply(GroupByKey::create(
+                Arc::new(StrUtf8Coder),
+                Arc::new(VarIntCoder),
+            ));
         let result = DirectRunner::new().run(&p).unwrap();
         // Create assigns MIN timestamps, so everything lands in one
         // window here; the unit above covers the multi-window case.

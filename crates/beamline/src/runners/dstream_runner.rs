@@ -37,7 +37,10 @@ impl Default for DStreamRunner {
 impl DStreamRunner {
     /// Creates a runner with parallelism 1 and 10k-record micro-batches.
     pub fn new() -> Self {
-        DStreamRunner { parallelism: 1, max_batch_records: 10_000 }
+        DStreamRunner {
+            parallelism: 1,
+            max_batch_records: 10_000,
+        }
     }
 
     /// Sets `spark.default.parallelism` (paper §III-A2).
@@ -60,13 +63,17 @@ impl PipelineRunner for DStreamRunner {
             Leaf(DoFnFactory),
         }
         let (source, stages) = pipeline.with_graph(|graph| -> Result<_> {
-            let chain = graph.linear_chain().ok_or_else(|| Error::UnsupportedShape {
-                runner: "dstream",
-                reason: "only linear single-source pipelines are translatable".into(),
-            })?;
+            let chain = graph
+                .linear_chain()
+                .ok_or_else(|| Error::UnsupportedShape {
+                    runner: "dstream",
+                    reason: "only linear single-source pipelines are translatable".into(),
+                })?;
             let first = graph.node(chain[0]).expect("chain node");
             let StagePayload::Read(source) = &first.payload else {
-                return Err(Error::InvalidPipeline("pipeline must start with a Read".into()));
+                return Err(Error::InvalidPipeline(
+                    "pipeline must start with a Read".into(),
+                ));
             };
             let mut stages = Vec::new();
             for (i, id) in chain.iter().enumerate().skip(1) {
@@ -94,9 +101,8 @@ impl PipelineRunner for DStreamRunner {
             Ok((source.clone(), stages))
         })?;
 
-        let ctx = Context::with_config(
-            ContextConfig::default().default_parallelism(self.parallelism),
-        );
+        let ctx =
+            Context::with_config(ContextConfig::default().default_parallelism(self.parallelism));
         let ssc = StreamingContext::new(ctx);
         let mut stream = ssc
             .receiver_stream(SourceBatcher::new(source, self.max_batch_records))
@@ -107,9 +113,8 @@ impl PipelineRunner for DStreamRunner {
         for stage in stages {
             match stage {
                 Stage::Middle(factory) => {
-                    stream = stream.map_partitions(move |part: Vec<RawElement>| {
-                        run_bundle(&factory, part)
-                    });
+                    stream = stream
+                        .map_partitions(move |part: Vec<RawElement>| run_bundle(&factory, part));
                 }
                 Stage::Leaf(factory) => {
                     has_leaf = true;
@@ -129,8 +134,14 @@ impl PipelineRunner for DStreamRunner {
                 let _ = rdd.count();
             });
         }
-        let report = ssc.run_to_completion().map_err(|e| Error::Engine(e.to_string()))?;
-        Ok(PipelineResult::new(report.elapsed, EngineReport::DStream(report), HashMap::new()))
+        let report = ssc
+            .run_to_completion()
+            .map_err(|e| Error::Engine(e.to_string()))?;
+        Ok(PipelineResult::new(
+            report.elapsed,
+            EngineReport::DStream(report),
+            HashMap::new(),
+        ))
     }
 
     fn name(&self) -> &'static str {
@@ -161,7 +172,11 @@ struct SourceBatcher {
 
 impl SourceBatcher {
     fn new(factory: SourceFactory, max_batch_records: usize) -> Self {
-        SourceBatcher { factory: Some(factory), buffered: VecDeque::new(), max_batch_records }
+        SourceBatcher {
+            factory: Some(factory),
+            buffered: VecDeque::new(),
+            max_batch_records,
+        }
     }
 }
 

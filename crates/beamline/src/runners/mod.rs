@@ -62,7 +62,11 @@ impl PipelineResult {
         engine: EngineReport,
         materialized: HashMap<NodeId, Vec<RawElement>>,
     ) -> Self {
-        PipelineResult { duration, engine, materialized }
+        PipelineResult {
+            duration,
+            engine,
+            materialized,
+        }
     }
 
     /// Raw materialized elements of a collection.

@@ -9,14 +9,15 @@
 //! coded form, so each stage pays a decode/encode round trip that native
 //! rill programs do not.
 
+use crate::coder::{Coder, WindowedValueCoder};
 use crate::element::WindowRef;
 use crate::error::{Error, Result};
 use crate::graph::{DoFnFactory, RawDoFn, RawElement, SourceFactory, StagePayload};
 use crate::pipeline::Pipeline;
 use crate::runners::{EngineReport, PipelineResult, PipelineRunner};
-use crate::coder::{Coder, WindowedValueCoder};
-use rill::{ClusterSpec, Collector, DataStream, ParallelSource, SourceFunction,
-    StreamExecutionEnvironment};
+use rill::{
+    ClusterSpec, Collector, DataStream, ParallelSource, SourceFunction, StreamExecutionEnvironment,
+};
 use std::collections::HashMap;
 
 /// Runs pipelines on a [`rill`] cluster.
@@ -35,7 +36,10 @@ impl Default for RillRunner {
 impl RillRunner {
     /// Creates a runner with parallelism 1 on a local cluster.
     pub fn new() -> Self {
-        RillRunner { parallelism: 1, cluster: ClusterSpec::local() }
+        RillRunner {
+            parallelism: 1,
+            cluster: ClusterSpec::local(),
+        }
     }
 
     /// Sets the job parallelism (the `-p` flag of paper §III-A2).
@@ -64,14 +68,20 @@ impl RillRunner {
     fn translate(&self, pipeline: &Pipeline) -> Result<StreamExecutionEnvironment> {
         #[derive(Clone)]
         enum Stage {
-            ParDo { translated: String, factory: DoFnFactory, leaf: bool },
+            ParDo {
+                translated: String,
+                factory: DoFnFactory,
+                leaf: bool,
+            },
             GroupByKey,
         }
         let (source, source_name, stages) = pipeline.with_graph(|graph| -> Result<_> {
-            let chain = graph.linear_chain().ok_or_else(|| Error::UnsupportedShape {
-                runner: "rill",
-                reason: "only linear single-source pipelines are translatable".into(),
-            })?;
+            let chain = graph
+                .linear_chain()
+                .ok_or_else(|| Error::UnsupportedShape {
+                    runner: "rill",
+                    reason: "only linear single-source pipelines are translatable".into(),
+                })?;
             let first = graph.node(chain[0]).expect("chain node");
             let StagePayload::Read(source) = &first.payload else {
                 return Err(Error::InvalidPipeline(
@@ -105,13 +115,18 @@ impl RillRunner {
 
         let env = StreamExecutionEnvironment::with_cluster(self.cluster);
         env.set_parallelism(self.parallelism);
-        let mut stream: Option<DataStream<RawElement>> = Some(
-            env.add_source(RawSourceAdapter { factory: source, name: source_name }),
-        );
+        let mut stream: Option<DataStream<RawElement>> = Some(env.add_source(RawSourceAdapter {
+            factory: source,
+            name: source_name,
+        }));
         for stage in stages {
             let current = stream.take().expect("stages after the leaf were rejected");
             match stage {
-                Stage::ParDo { translated, factory, leaf } if !leaf => {
+                Stage::ParDo {
+                    translated,
+                    factory,
+                    leaf,
+                } if !leaf => {
                     stream = Some(current.transform(&translated, move |col| {
                         // The engine serializes elements between the
                         // translated operators (Beam-on-Flink disables
@@ -124,8 +139,15 @@ impl RillRunner {
                         })
                     }));
                 }
-                Stage::ParDo { translated, factory, leaf: _ } => {
-                    current.add_sink(RawDoFnSink { factory, name: translated });
+                Stage::ParDo {
+                    translated,
+                    factory,
+                    leaf: _,
+                } => {
+                    current.add_sink(RawDoFnSink {
+                        factory,
+                        name: translated,
+                    });
                 }
                 Stage::GroupByKey => {
                     stream = Some(
@@ -180,7 +202,11 @@ impl PipelineRunner for RillRunner {
         let job = env
             .execute("beamline")
             .map_err(|e| Error::Engine(e.to_string()))?;
-        Ok(PipelineResult::new(job.duration, EngineReport::Rill(job), HashMap::new()))
+        Ok(PipelineResult::new(
+            job.duration,
+            EngineReport::Rill(job),
+            HashMap::new(),
+        ))
     }
 
     fn name(&self) -> &'static str {
@@ -200,7 +226,11 @@ struct RawSourceAdapter {
 impl ParallelSource<RawElement> for RawSourceAdapter {
     fn create(&self, subtask: usize, _parallelism: usize) -> Box<dyn SourceFunction<RawElement>> {
         Box::new(RawSourceInstance {
-            factory: if subtask == 0 { Some(self.factory.clone()) } else { None },
+            factory: if subtask == 0 {
+                Some(self.factory.clone())
+            } else {
+                None
+            },
         })
     }
 
@@ -273,7 +303,11 @@ struct RawDoFnSink {
 }
 
 impl rill::ParallelSink<RawElement> for RawDoFnSink {
-    fn create(&self, _subtask: usize, _parallelism: usize) -> Box<dyn rill::SinkFunction<RawElement>> {
+    fn create(
+        &self,
+        _subtask: usize,
+        _parallelism: usize,
+    ) -> Box<dyn rill::SinkFunction<RawElement>> {
         let mut dofn = (self.factory)();
         dofn.start_bundle();
         Box::new(RawDoFnSinkInstance { dofn: Some(dofn) })
@@ -306,7 +340,11 @@ impl rill::SinkFunction<RawElement> for RawDoFnSinkInstance {
 struct DiscardSink;
 
 impl rill::ParallelSink<RawElement> for DiscardSink {
-    fn create(&self, _subtask: usize, _parallelism: usize) -> Box<dyn rill::SinkFunction<RawElement>> {
+    fn create(
+        &self,
+        _subtask: usize,
+        _parallelism: usize,
+    ) -> Box<dyn rill::SinkFunction<RawElement>> {
         struct Instance;
         impl rill::SinkFunction<RawElement> for Instance {
             fn invoke(&mut self, _item: RawElement) {}

@@ -1,9 +1,7 @@
 //! Core transforms: `Create`, `MapElements`, `Filter`, `FlatMapElements`,
 //! key/value helpers, `Flatten`, and `GroupByKey`.
 
-use crate::coder::{
-    BytesCoder, Coder, IterableCoder, KvCoder, StrUtf8Coder, VarIntCoder,
-};
+use crate::coder::{BytesCoder, Coder, IterableCoder, KvCoder, StrUtf8Coder, VarIntCoder};
 use crate::element::{Kv, WindowedValue};
 use crate::graph::{RawEmit, RawSource, StagePayload};
 use crate::pardo::{DoFn, FnDoFn, ParDo, ProcessContext};
@@ -59,10 +57,16 @@ impl RawSource for CreateSource {
 
 impl<T: Send + Sync + 'static> RootTransform<T> for Create<T> {
     fn expand(self, pipeline: &Pipeline) -> PCollection<T> {
-        let encoded =
-            Arc::new(self.items.iter().map(|t| self.coder.encode_to_vec(t)).collect::<Vec<_>>());
+        let encoded = Arc::new(
+            self.items
+                .iter()
+                .map(|t| self.coder.encode_to_vec(t))
+                .collect::<Vec<_>>(),
+        );
         let factory: Arc<dyn Fn() -> Box<dyn RawSource> + Send + Sync> = Arc::new(move || {
-            Box::new(CreateSource { encoded: encoded.clone() }) as Box<dyn RawSource>
+            Box::new(CreateSource {
+                encoded: encoded.clone(),
+            }) as Box<dyn RawSource>
         });
         let node = pipeline.add_stage(
             "Create",
@@ -84,7 +88,11 @@ pub struct MapElements<F, O> {
 impl<F, O> MapElements<F, O> {
     /// Creates a map transform.
     pub fn new(name: impl Into<String>, f: F, out_coder: Arc<dyn Coder<O>>) -> Self {
-        MapElements { name: name.into(), f, out_coder }
+        MapElements {
+            name: name.into(),
+            f,
+            out_coder,
+        }
     }
 }
 
@@ -133,7 +141,10 @@ pub struct Filter<F> {
 impl<F> Filter<F> {
     /// Creates a filter transform.
     pub fn new(name: impl Into<String>, predicate: F) -> Self {
-        Filter { name: name.into(), predicate }
+        Filter {
+            name: name.into(),
+            predicate,
+        }
     }
 }
 
@@ -163,7 +174,11 @@ pub struct FlatMapElements<F, O> {
 impl<F, O> FlatMapElements<F, O> {
     /// Creates a flat-map transform.
     pub fn new(name: impl Into<String>, f: F, out_coder: Arc<dyn Coder<O>>) -> Self {
-        FlatMapElements { name: name.into(), f, out_coder }
+        FlatMapElements {
+            name: name.into(),
+            f,
+            out_coder,
+        }
     }
 }
 
@@ -280,8 +295,9 @@ impl Flatten {
     ///
     /// Panics if `collections` is empty.
     pub fn collections<T: Send + 'static>(collections: &[PCollection<T>]) -> PCollection<T> {
-        let (first, rest) =
-            collections.split_first().expect("Flatten requires at least one collection");
+        let (first, rest) = collections
+            .split_first()
+            .expect("Flatten requires at least one collection");
         let extra = rest.iter().map(PCollection::node).collect();
         let node = first.pipeline().add_stage(
             "Flatten",
@@ -306,7 +322,10 @@ impl<K, V> GroupByKey<K, V> {
     /// Creates the transform from the component coders of the input's
     /// `KvCoder`.
     pub fn create(key_coder: Arc<dyn Coder<K>>, value_coder: Arc<dyn Coder<V>>) -> Self {
-        GroupByKey { key_coder, value_coder }
+        GroupByKey {
+            key_coder,
+            value_coder,
+        }
     }
 }
 
@@ -359,8 +378,10 @@ mod tests {
         let kvs = p
             .apply(Create::strings(vec!["a 1".into()]))
             .apply(WithKeys::of(|s: &String| s.clone(), Arc::new(StrUtf8Coder)));
-        let grouped =
-            kvs.apply(GroupByKey::create(Arc::new(StrUtf8Coder), Arc::new(StrUtf8Coder)));
+        let grouped = kvs.apply(GroupByKey::create(
+            Arc::new(StrUtf8Coder),
+            Arc::new(StrUtf8Coder),
+        ));
         assert_eq!(p.stage_count(), 3);
         // The output coder round-trips grouped values.
         let kv = Kv::new("k".to_string(), vec!["v1".to_string(), "v2".to_string()]);

@@ -28,7 +28,9 @@ pub enum WindowFn {
 impl WindowFn {
     /// Fixed windows of `size`.
     pub fn fixed(size: Duration) -> Self {
-        WindowFn::Fixed { size_micros: size.as_micros().max(1) as i64 }
+        WindowFn::Fixed {
+            size_micros: size.as_micros().max(1) as i64,
+        }
     }
 
     /// The window containing `timestamp`.
@@ -102,7 +104,12 @@ impl WindowInto {
     /// Windows into the given window function with default trigger and
     /// accumulation.
     pub fn new(window_fn: WindowFn) -> Self {
-        WindowInto { strategy: WindowingStrategy { window_fn, ..WindowingStrategy::default() } }
+        WindowInto {
+            strategy: WindowingStrategy {
+                window_fn,
+                ..WindowingStrategy::default()
+            },
+        }
     }
 
     /// Overrides the trigger.
@@ -159,42 +166,61 @@ mod tests {
         let w = WindowFn::fixed(Duration::from_micros(100));
         assert_eq!(
             w.assign(Instant(250)),
-            WindowRef::Interval { start: Instant(200), end: Instant(300) }
+            WindowRef::Interval {
+                start: Instant(200),
+                end: Instant(300)
+            }
         );
         assert_eq!(
             w.assign(Instant(-1)),
-            WindowRef::Interval { start: Instant(-100), end: Instant(0) },
+            WindowRef::Interval {
+                start: Instant(-100),
+                end: Instant(0)
+            },
             "negative timestamps floor correctly"
         );
         assert_eq!(
             w.assign(Instant(200)),
-            WindowRef::Interval { start: Instant(200), end: Instant(300) },
+            WindowRef::Interval {
+                start: Instant(200),
+                end: Instant(300)
+            },
             "boundaries are inclusive at start"
         );
     }
 
     #[test]
     fn assign_windows_dofn() {
-        let mut dofn = AssignWindows { window_fn: WindowFn::fixed(Duration::from_micros(10)) };
+        let mut dofn = AssignWindows {
+            window_fn: WindowFn::fixed(Duration::from_micros(10)),
+        };
         let mut out = Vec::new();
-        dofn.process(WindowedValue::timestamped(vec![1u8], Instant(25)), &mut |e| out.push(e));
+        dofn.process(
+            WindowedValue::timestamped(vec![1u8], Instant(25)),
+            &mut |e| out.push(e),
+        );
         assert_eq!(
             out[0].window,
-            WindowRef::Interval { start: Instant(20), end: Instant(30) }
+            WindowRef::Interval {
+                start: Instant(20),
+                end: Instant(30)
+            }
         );
-        assert_eq!(out[0].value, vec![1u8], "payload untouched, no coder round trip");
+        assert_eq!(
+            out[0].value,
+            vec![1u8],
+            "payload untouched, no coder round trip"
+        );
     }
 
     #[test]
     fn strategy_builders() {
         let p = crate::Pipeline::new();
-        let windowed = p
-            .apply(crate::Create::i64s(vec![1, 2, 3]))
-            .apply(
-                WindowInto::new(WindowFn::fixed(Duration::from_millis(1)))
-                    .triggering(Trigger::AfterCount(10))
-                    .accumulation(AccumulationMode::Accumulating),
-            );
+        let windowed = p.apply(crate::Create::i64s(vec![1, 2, 3])).apply(
+            WindowInto::new(WindowFn::fixed(Duration::from_millis(1)))
+                .triggering(Trigger::AfterCount(10))
+                .accumulation(AccumulationMode::Accumulating),
+        );
         assert_eq!(p.stage_count(), 2);
         let _ = windowed;
     }

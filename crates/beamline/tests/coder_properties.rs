@@ -34,7 +34,10 @@ fn arb_window() -> impl Strategy<Value = WindowRef> {
         Just(WindowRef::Global),
         (any::<i32>(), 1..1_000_000i64).prop_map(|(start, len)| {
             let start = i64::from(start);
-            WindowRef::Interval { start: Instant(start), end: Instant(start + len) }
+            WindowRef::Interval {
+                start: Instant(start),
+                end: Instant(start + len),
+            }
         }),
     ]
 }

@@ -19,7 +19,10 @@ fn broker_with_input(records: usize) -> Broker {
     for i in 0..records {
         let marker = if i % 7 == 0 { "test" } else { "data" };
         producer
-            .send("in", Record::from_value(format!("user{i}\t{marker} query {i}")))
+            .send(
+                "in",
+                Record::from_value(format!("user{i}\t{marker} query {i}")),
+            )
             .unwrap();
     }
     producer.flush().unwrap();
@@ -61,7 +64,11 @@ fn reset_output(broker: &Broker) {
 fn grep_pipeline_has_seven_stages() {
     let broker = broker_with_input(1);
     let pipeline = grep_pipeline(&broker);
-    assert_eq!(pipeline.stage_count(), 7, "paper Fig. 13: seven plan elements");
+    assert_eq!(
+        pipeline.stage_count(),
+        7,
+        "paper Fig. 13: seven plan elements"
+    );
 }
 
 #[test]
@@ -99,7 +106,11 @@ fn parallel_runners_agree_on_grep() {
     // Parallelism 2, as in the paper's second setup per system.
     let runners: Vec<Box<dyn PipelineRunner>> = vec![
         Box::new(RillRunner::new().with_parallelism(2)),
-        Box::new(DStreamRunner::new().with_parallelism(2).with_batch_records(64)),
+        Box::new(
+            DStreamRunner::new()
+                .with_parallelism(2)
+                .with_batch_records(64),
+        ),
         Box::new(ApxRunner::new().with_vcores(2).with_window_size(32)),
     ];
     for runner in runners {
@@ -150,11 +161,17 @@ fn group_by_key_supported_matrix() {
                 |s: &String| s.split('\t').next().unwrap_or("").to_string(),
                 Arc::new(StrUtf8Coder),
             ))
-            .apply(GroupByKey::create(Arc::new(StrUtf8Coder), Arc::new(StrUtf8Coder)))
-            .apply(MapElements::into_string("CountValues", |kv: beamline::Kv<String, Vec<String>>| {
-                format!("{}\t{}", kv.key, kv.value.len())
+            .apply(GroupByKey::create(
+                Arc::new(StrUtf8Coder),
+                Arc::new(StrUtf8Coder),
+            ))
+            .apply(MapElements::into_string(
+                "CountValues",
+                |kv: beamline::Kv<String, Vec<String>>| format!("{}\t{}", kv.key, kv.value.len()),
+            ))
+            .apply(MapElements::into_bytes("Encode", |s: String| {
+                Bytes::from(s)
             }))
-            .apply(MapElements::into_bytes("Encode", |s: String| Bytes::from(s)))
             .apply(BrokerIO::write(broker.clone(), "out"));
         pipeline
     };
@@ -182,7 +199,10 @@ fn group_by_key_supported_matrix() {
 
     // Micro-batch and apx runners reject it.
     for (runner, name) in [
-        (Box::new(DStreamRunner::new()) as Box<dyn PipelineRunner>, "dstream"),
+        (
+            Box::new(DStreamRunner::new()) as Box<dyn PipelineRunner>,
+            "dstream",
+        ),
         (Box::new(ApxRunner::new()) as Box<dyn PipelineRunner>, "apx"),
     ] {
         let err = runner.run(&build(&broker)).unwrap_err();
@@ -205,13 +225,10 @@ fn non_linear_pipelines_rejected_by_engine_runners() {
         .apply(WithoutMetadata::new())
         .apply(Values::create(Arc::new(BytesCoder)));
     // Fan-out: two writes from one collection.
+    values.clone().apply(BrokerIO::write(broker.clone(), "out"));
     values
-        .clone()
+        .apply(MapElements::into_bytes("Copy", |v: Bytes| v))
         .apply(BrokerIO::write(broker.clone(), "out"));
-    values.apply(MapElements::into_bytes("Copy", |v: Bytes| v)).apply(BrokerIO::write(
-        broker.clone(),
-        "out",
-    ));
     for runner in [
         Box::new(RillRunner::new()) as Box<dyn PipelineRunner>,
         Box::new(DStreamRunner::new()),

@@ -3,8 +3,8 @@
 
 use beamline::runners::{DirectRunner, RillRunner};
 use beamline::{
-    BrokerIO, Coder, GroupByKey, Kv, MapElements, PipelineRunner, StrUtf8Coder,
-    Values, VarIntCoder, WindowFn, WindowInto, WithKeys, WithoutMetadata,
+    BrokerIO, Coder, GroupByKey, Kv, MapElements, PipelineRunner, StrUtf8Coder, Values,
+    VarIntCoder, WindowFn, WindowInto, WithKeys, WithoutMetadata,
 };
 use bytes::Bytes;
 use logbus::{Broker, ManualClock, Record, TopicConfig};
@@ -34,10 +34,16 @@ fn windowed_count_pipeline(broker: &Broker) -> beamline::Pipeline {
         .apply(BrokerIO::read(broker.clone(), "in"))
         .apply(WithoutMetadata::new())
         .apply(Values::create(Arc::new(beamline::BytesCoder)))
-        .apply(WindowInto::new(WindowFn::fixed(Duration::from_micros(4_000))))
+        .apply(WindowInto::new(WindowFn::fixed(Duration::from_micros(
+            4_000,
+        ))))
         .apply(WithKeys::of(
             |v: &Bytes| {
-                String::from_utf8_lossy(v).split('\t').next().unwrap_or("").to_string()
+                String::from_utf8_lossy(v)
+                    .split('\t')
+                    .next()
+                    .unwrap_or("")
+                    .to_string()
             },
             Arc::new(StrUtf8Coder) as Arc<dyn Coder<String>>,
         ))
@@ -50,9 +56,10 @@ fn windowed_count_pipeline(broker: &Broker) -> beamline::Pipeline {
             |kv: Kv<String, Vec<Bytes>>| kv.value.len() as i64,
             Arc::new(VarIntCoder) as Arc<dyn Coder<i64>>,
         ))
-        .apply(MapElements::into_bytes("Encode", |n: i64| Bytes::from(n.to_string())))
-        .apply(BrokerIO::write(broker.clone(), "out"))
-        ;
+        .apply(MapElements::into_bytes("Encode", |n: i64| {
+            Bytes::from(n.to_string())
+        }))
+        .apply(BrokerIO::write(broker.clone(), "out"));
     pipeline
 }
 
@@ -73,14 +80,18 @@ fn fixed_windows_partition_one_key_on_direct() {
     // 10 records at t = 0..9 ms in 4 ms windows: |0..4| = 4, |4..8| = 4,
     // |8..12| = 2 — three groups despite the single key.
     let broker = broker_with_timed_records(10);
-    DirectRunner::new().run(&windowed_count_pipeline(&broker)).unwrap();
+    DirectRunner::new()
+        .run(&windowed_count_pipeline(&broker))
+        .unwrap();
     assert_eq!(window_counts(&broker), vec![2, 4, 4]);
 }
 
 #[test]
 fn fixed_windows_agree_on_rill_runner() {
     let broker = broker_with_timed_records(10);
-    RillRunner::new().run(&windowed_count_pipeline(&broker)).unwrap();
+    RillRunner::new()
+        .run(&windowed_count_pipeline(&broker))
+        .unwrap();
     assert_eq!(window_counts(&broker), vec![2, 4, 4]);
 }
 
@@ -107,7 +118,9 @@ fn global_window_groups_everything() {
             |kv: Kv<String, Vec<Bytes>>| kv.value.len() as i64,
             Arc::new(VarIntCoder) as Arc<dyn Coder<i64>>,
         ))
-        .apply(MapElements::into_bytes("Encode", |n: i64| Bytes::from(n.to_string())))
+        .apply(MapElements::into_bytes("Encode", |n: i64| {
+            Bytes::from(n.to_string())
+        }))
         .apply(BrokerIO::write(broker.clone(), "out"));
     DirectRunner::new().run(&pipeline).unwrap();
     assert_eq!(window_counts(&broker), vec![10]);

@@ -14,7 +14,9 @@ static TAG: AtomicU64 = AtomicU64::new(0);
 
 fn fresh_topic(broker: &logbus::Broker, prefix: &str) -> String {
     let topic = format!("{prefix}-{}", TAG.fetch_add(1, Ordering::Relaxed));
-    broker.create_topic(&topic, logbus::TopicConfig::default()).unwrap();
+    broker
+        .create_topic(&topic, logbus::TopicConfig::default())
+        .unwrap();
     topic
 }
 
@@ -82,9 +84,13 @@ fn write_bundle_size(c: &mut Criterion) {
                     .apply(beamline::Values::create(std::sync::Arc::new(
                         beamline::BytesCoder,
                     )))
-                    .apply(beamline::BrokerIO::write(broker.clone(), &out)
-                        .flush_records(flush_records));
-                beamline::runners::DirectRunner::new().run(&pipeline).unwrap();
+                    .apply(
+                        beamline::BrokerIO::write(broker.clone(), &out)
+                            .flush_records(flush_records),
+                    );
+                beamline::runners::DirectRunner::new()
+                    .run(&pipeline)
+                    .unwrap();
             });
         });
     }

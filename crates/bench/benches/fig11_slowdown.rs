@@ -19,7 +19,11 @@ fn bench(c: &mut Criterion) {
     for query in Query::ALL {
         for system in System::ALL {
             for api in Api::ALL {
-                let setup = Setup { system, api, parallelism: 1 };
+                let setup = Setup {
+                    system,
+                    api,
+                    parallelism: 1,
+                };
                 group.bench_function(format!("{query}/{}", setup.label()), |b| {
                     b.iter(|| {
                         let tag = TAG.fetch_add(1, Ordering::Relaxed);

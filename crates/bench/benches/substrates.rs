@@ -16,25 +16,37 @@ fn broker_produce_fetch(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(std::time::Duration::from_secs(1))
         .measurement_time(std::time::Duration::from_secs(2));
+    // A pre-built record cloned per send (a refcount bump) keeps the
+    // measurement on the transport path instead of payload construction.
+    let record = logbus::Record::from_value("payload-0123456789abcdef");
     group.bench_function("produce_batched_512", |b| {
         b.iter(|| {
             let broker = logbus::Broker::new();
-            broker.create_topic("t", logbus::TopicConfig::default()).unwrap();
+            broker
+                .create_topic("t", logbus::TopicConfig::default())
+                .unwrap();
             let mut producer = logbus::Producer::with_config(
                 broker.clone(),
-                logbus::ProducerConfig { batch_records: 512, ..Default::default() },
+                logbus::ProducerConfig {
+                    batch_records: 512,
+                    ..Default::default()
+                },
             );
-            for i in 0..N {
-                producer.send("t", logbus::Record::from_value(format!("record-{i}"))).unwrap();
+            for _ in 0..N {
+                producer.send("t", record.clone()).unwrap();
             }
             producer.flush().unwrap();
         });
     });
     group.bench_function("fetch_2048", |b| {
         let broker = logbus::Broker::new();
-        broker.create_topic("t", logbus::TopicConfig::default()).unwrap();
+        broker
+            .create_topic("t", logbus::TopicConfig::default())
+            .unwrap();
         for i in 0..N {
-            broker.produce("t", 0, logbus::Record::from_value(format!("record-{i}"))).unwrap();
+            broker
+                .produce("t", 0, logbus::Record::from_value(format!("record-{i}")))
+                .unwrap();
         }
         b.iter(|| {
             let mut offset = 0;
@@ -53,19 +65,107 @@ fn broker_produce_fetch(c: &mut Criterion) {
     group.finish();
 }
 
+/// Named-lookup path vs cached partition handles, with the simulated
+/// request latency off: the steady-state hot path this PR optimizes.
+/// `EXPERIMENTS.md` records the measured ratios.
+fn broker_hot_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broker_hot_path");
+    group.throughput(Throughput::Elements(N));
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2));
+    let record = logbus::Record::from_value("payload-0123456789abcdef");
+    group.bench_function("produce_named", |b| {
+        b.iter(|| {
+            let broker = logbus::Broker::new();
+            broker
+                .create_topic("t", logbus::TopicConfig::default())
+                .unwrap();
+            for _ in 0..N {
+                broker.produce("t", 0, record.clone()).unwrap();
+            }
+        });
+    });
+    group.bench_function("produce_handle", |b| {
+        b.iter(|| {
+            let broker = logbus::Broker::new();
+            broker
+                .create_topic("t", logbus::TopicConfig::default())
+                .unwrap();
+            let writer = broker.partition_writer("t", 0).unwrap();
+            for _ in 0..N {
+                writer.produce(record.clone()).unwrap();
+            }
+        });
+    });
+    let broker = logbus::Broker::new();
+    broker
+        .create_topic("f", logbus::TopicConfig::default())
+        .unwrap();
+    for i in 0..N {
+        broker
+            .produce("f", 0, logbus::Record::from_value(format!("record-{i}")))
+            .unwrap();
+    }
+    group.bench_function("fetch_named_256", |b| {
+        b.iter(|| {
+            let mut offset = 0;
+            let mut total = 0usize;
+            loop {
+                let batch = broker.fetch("f", 0, offset, 256).unwrap();
+                if batch.is_empty() {
+                    break;
+                }
+                offset = batch.last().unwrap().offset + 1;
+                total += batch.len();
+            }
+            total
+        });
+    });
+    group.bench_function("fetch_handle_256", |b| {
+        let reader = broker.partition_reader("f", 0).unwrap();
+        let mut buffer = Vec::with_capacity(256);
+        b.iter(|| {
+            let mut offset = 0;
+            let mut total = 0usize;
+            loop {
+                buffer.clear();
+                let appended = reader.fetch_into(offset, 256, &mut buffer).unwrap();
+                if appended == 0 {
+                    break;
+                }
+                offset = buffer.last().unwrap().offset + 1;
+                total += appended;
+            }
+            total
+        });
+    });
+    group.finish();
+}
+
 fn engines_identity(c: &mut Criterion) {
     let broker = logbus::Broker::new();
-    broker.create_topic("input", logbus::TopicConfig::default()).unwrap();
+    broker
+        .create_topic("input", logbus::TopicConfig::default())
+        .unwrap();
     let mut generator = streambench_core::QueryLogGenerator::new(1);
     let mut producer = logbus::Producer::new(broker.clone());
     for _ in 0..N {
-        producer.send("input", logbus::Record::from_value(generator.next_payload())).unwrap();
+        producer
+            .send(
+                "input",
+                logbus::Record::from_value(generator.next_payload()),
+            )
+            .unwrap();
     }
     producer.flush().unwrap();
 
     let fresh = |prefix: &str| {
         let topic = format!("{prefix}-{}", TAG.fetch_add(1, Ordering::Relaxed));
-        broker.create_topic(&topic, logbus::TopicConfig::default()).unwrap();
+        broker
+            .create_topic(&topic, logbus::TopicConfig::default())
+            .unwrap();
         topic
     };
 
@@ -123,6 +223,7 @@ fn engines_identity(c: &mut Criterion) {
 
 fn bench(c: &mut Criterion) {
     broker_produce_fetch(c);
+    broker_hot_path(c);
     engines_identity(c);
 }
 

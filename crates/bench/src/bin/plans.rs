@@ -9,8 +9,12 @@ use streambench_core::{beam_pipeline, queries, Query};
 
 fn main() {
     let broker = Broker::new();
-    broker.create_topic("input", TopicConfig::default()).expect("create topic");
-    broker.create_topic("output", TopicConfig::default()).expect("create topic");
+    broker
+        .create_topic("input", TopicConfig::default())
+        .expect("create topic");
+    broker
+        .create_topic("output", TopicConfig::default())
+        .expect("create topic");
 
     println!("=== Fig. 12: native grep execution plan ===");
     let native = queries::native_rill_plan(&broker, Query::Grep);
@@ -19,7 +23,9 @@ fn main() {
 
     println!("=== Fig. 13: abstraction-layer grep execution plan ===");
     let pipeline = beam_pipeline(&broker, Query::Grep, "input", "output");
-    let plan = beamline::runners::RillRunner::new().plan(&pipeline).expect("translate");
+    let plan = beamline::runners::RillRunner::new()
+        .plan(&pipeline)
+        .expect("translate");
     print!("{plan}");
     println!("elements: {}", plan.element_count());
 }

@@ -13,9 +13,7 @@
 //! fall. See EXPERIMENTS.md for the side-by-side record.
 
 use std::collections::BTreeMap;
-use streambench_core::{
-    report, Api, BenchConfig, BenchmarkRunner, Measurement, Query, System,
-};
+use streambench_core::{report, Api, BenchConfig, BenchmarkRunner, Measurement, Query, System};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -133,7 +131,11 @@ fn fig11() {
     }
     println!(
         "{}",
-        report::render_bars("=== Fig. 11: slowdown factor sf(dsps, query) ===", &rows, "x")
+        report::render_bars(
+            "=== Fig. 11: slowdown factor sf(dsps, query) ===",
+            &rows,
+            "x"
+        )
     );
 }
 

@@ -2,8 +2,8 @@
 
 use logbus::{Broker, TopicConfig};
 use streambench_core::{
-    beam_pipeline, fresh_yarn_cluster, native_apx, native_dstream, native_rill, send_workload,
-    Api, Query, SenderConfig, Setup, System,
+    beam_pipeline, fresh_yarn_cluster, native_apx, native_dstream, native_rill, send_workload, Api,
+    Query, SenderConfig, Setup, System,
 };
 
 /// A broker preloaded with `records` workload records in `input`.
@@ -14,9 +14,18 @@ use streambench_core::{
 pub fn loaded_broker(records: u64, latency_micros: u64) -> Broker {
     let broker = Broker::new();
     broker.set_request_latency_micros(latency_micros);
-    broker.create_topic("input", TopicConfig::default()).expect("create input topic");
-    send_workload(&broker, "input", &SenderConfig { records, ..SenderConfig::default() })
-        .expect("load workload");
+    broker
+        .create_topic("input", TopicConfig::default())
+        .expect("create input topic");
+    send_workload(
+        &broker,
+        "input",
+        &SenderConfig {
+            records,
+            ..SenderConfig::default()
+        },
+    )
+    .expect("load workload");
     broker
 }
 
@@ -29,10 +38,14 @@ pub fn loaded_broker(records: u64, latency_micros: u64) -> Broker {
 /// Panics on execution failures.
 pub fn execute_setup_once(broker: &Broker, query: Query, setup: Setup, tag: u64) -> String {
     let output = format!("bench-out-{setup}-{tag}");
-    broker.create_topic(&output, TopicConfig::default()).expect("create output topic");
+    broker
+        .create_topic(&output, TopicConfig::default())
+        .expect("create output topic");
     match (setup.system, setup.api) {
         (System::Rill, Api::Native) => {
-            native_rill(broker, query, "input", &output, setup.parallelism).map(drop).unwrap()
+            native_rill(broker, query, "input", &output, setup.parallelism)
+                .map(drop)
+                .unwrap()
         }
         (System::DStream, Api::Native) => {
             native_dstream(broker, query, "input", &output, setup.parallelism, 2_000)
@@ -41,9 +54,16 @@ pub fn execute_setup_once(broker: &Broker, query: Query, setup: Setup, tag: u64)
         }
         (System::Apx, Api::Native) => {
             let mut rm = fresh_yarn_cluster();
-            native_apx(broker, query, "input", &output, setup.parallelism as u32, &mut rm)
-                .map(drop)
-                .unwrap()
+            native_apx(
+                broker,
+                query,
+                "input",
+                &output,
+                setup.parallelism as u32,
+                &mut rm,
+            )
+            .map(drop)
+            .unwrap()
         }
         (system, Api::Beam) => {
             use beamline::PipelineRunner;

@@ -46,6 +46,11 @@ impl std::error::Error for CalculatorError {}
 /// Computes the execution time of a finished query run from its output
 /// topic.
 ///
+/// This is a cold path — one description per finished run — so it reads
+/// through the named [`TopicDescription::describe`] lookups rather than
+/// cached partition handles; only per-record loops warrant the handle
+/// fast path.
+///
 /// # Errors
 ///
 /// [`CalculatorError::UnknownTopic`] or [`CalculatorError::EmptyOutput`].
@@ -56,8 +61,14 @@ pub fn measure(broker: &Broker, output_topic: &str) -> Result<QueryMeasurement, 
     if records == 0 {
         return Err(CalculatorError::EmptyOutput(output_topic.to_string()));
     }
-    let execution_seconds = description.append_time_span_seconds().unwrap_or(0.0).max(0.0);
-    Ok(QueryMeasurement { execution_seconds, output_records: records })
+    let execution_seconds = description
+        .append_time_span_seconds()
+        .unwrap_or(0.0)
+        .max(0.0);
+    Ok(QueryMeasurement {
+        execution_seconds,
+        output_records: records,
+    })
 }
 
 #[cfg(test)]
@@ -72,7 +83,9 @@ mod tests {
         let broker = Broker::with_clock(clock);
         broker.create_topic("out", TopicConfig::default()).unwrap();
         for i in 0..4 {
-            broker.produce("out", 0, Record::from_value(format!("{i}"))).unwrap();
+            broker
+                .produce("out", 0, Record::from_value(format!("{i}")))
+                .unwrap();
         }
         let m = measure(&broker, "out").unwrap();
         assert_eq!(m.output_records, 4);
@@ -86,7 +99,11 @@ mod tests {
         broker.create_topic("out", TopicConfig::default()).unwrap();
         // Two batches: one stamp each -> span is one tick.
         broker
-            .produce_batch("out", 0, vec![Record::from_value("a"), Record::from_value("b")])
+            .produce_batch(
+                "out",
+                0,
+                vec![Record::from_value("a"), Record::from_value("b")],
+            )
             .unwrap();
         broker
             .produce_batch("out", 0, vec![Record::from_value("c")])
@@ -103,7 +120,9 @@ mod tests {
             measure(&broker, "nope"),
             Err(CalculatorError::UnknownTopic("nope".to_string()))
         );
-        broker.create_topic("empty", TopicConfig::default()).unwrap();
+        broker
+            .create_topic("empty", TopicConfig::default())
+            .unwrap();
         assert_eq!(
             measure(&broker, "empty"),
             Err(CalculatorError::EmptyOutput("empty".to_string()))
@@ -114,7 +133,9 @@ mod tests {
     fn single_append_has_zero_span() {
         let broker = Broker::new();
         broker.create_topic("out", TopicConfig::default()).unwrap();
-        broker.produce("out", 0, Record::from_value("only")).unwrap();
+        broker
+            .produce("out", 0, Record::from_value("only"))
+            .unwrap();
         let m = measure(&broker, "out").unwrap();
         assert_eq!(m.execution_seconds, 0.0);
     }

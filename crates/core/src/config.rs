@@ -52,7 +52,10 @@ impl Default for BenchConfig {
 }
 
 fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 impl BenchConfig {
@@ -91,7 +94,10 @@ impl BenchConfig {
     /// Panics when `parallelisms` is empty or contains zero.
     pub fn parallelisms(mut self, parallelisms: Vec<usize>) -> Self {
         assert!(!parallelisms.is_empty(), "at least one parallelism");
-        assert!(parallelisms.iter().all(|&p| p > 0), "parallelism must be positive");
+        assert!(
+            parallelisms.iter().all(|&p| p > 0),
+            "parallelism must be positive"
+        );
         self.parallelisms = parallelisms;
         self
     }

@@ -62,21 +62,58 @@ impl QueryLogRecord {
             user_id,
             query,
             query_time,
-            item_rank: if rank_col.is_empty() { None } else { rank_col.parse().ok() },
-            click_url: if url_col.is_empty() { None } else { Some(url_col.to_string()) },
+            item_rank: if rank_col.is_empty() {
+                None
+            } else {
+                rank_col.parse().ok()
+            },
+            click_url: if url_col.is_empty() {
+                None
+            } else {
+                Some(url_col.to_string())
+            },
         })
     }
 }
 
 const WORDS: &[&str] = &[
-    "weather", "maps", "flight", "hotel", "movie", "music", "recipe", "news", "football",
-    "basketball", "camera", "laptop", "phone", "garden", "insurance", "mortgage", "lyrics",
-    "games", "dictionary", "translator", "horoscope", "pizza", "restaurant", "salary",
-    "university", "holiday", "festival", "museum", "library", "airport",
+    "weather",
+    "maps",
+    "flight",
+    "hotel",
+    "movie",
+    "music",
+    "recipe",
+    "news",
+    "football",
+    "basketball",
+    "camera",
+    "laptop",
+    "phone",
+    "garden",
+    "insurance",
+    "mortgage",
+    "lyrics",
+    "games",
+    "dictionary",
+    "translator",
+    "horoscope",
+    "pizza",
+    "restaurant",
+    "salary",
+    "university",
+    "holiday",
+    "festival",
+    "museum",
+    "library",
+    "airport",
 ];
 
 const DOMAINS: &[&str] = &[
-    "example.com", "search.example.org", "shop.example.net", "news.example.io",
+    "example.com",
+    "search.example.org",
+    "shop.example.net",
+    "news.example.io",
     "wiki.example.edu",
 ];
 
@@ -94,7 +131,11 @@ pub struct QueryLogGenerator {
 impl QueryLogGenerator {
     /// Creates a generator with the given seed.
     pub fn new(seed: u64) -> Self {
-        QueryLogGenerator { rng: StdRng::seed_from_u64(seed), seed, index: 0 }
+        QueryLogGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+            index: 0,
+        }
     }
 
     /// The generator's seed.
@@ -112,14 +153,14 @@ impl QueryLogGenerator {
         let index = self.index;
         self.index += 1;
         let user_id = self.rng.gen_range(100_000..10_000_000);
-        let word_count = self.rng.gen_range(1..=4);
+        let word_count = self.rng.gen_range(1usize..=4);
         let mut words = Vec::with_capacity(word_count + 1);
         for _ in 0..word_count {
             words.push(WORDS[self.rng.gen_range(0..WORDS.len())].to_string());
         }
         // Deterministic grep selectivity: every GREP_HIT_INTERVAL-th
         // record carries the "test" marker the grep query searches for.
-        if index % GREP_HIT_INTERVAL == 0 {
+        if index.is_multiple_of(GREP_HIT_INTERVAL) {
             let pos = self.rng.gen_range(0..=words.len());
             words.insert(pos, "test".to_string());
         }
@@ -141,7 +182,13 @@ impl QueryLogGenerator {
                 words.first().cloned().unwrap_or_default()
             )
         });
-        QueryLogRecord { user_id, query, query_time, item_rank, click_url }
+        QueryLogRecord {
+            user_id,
+            query,
+            query_time,
+            item_rank,
+            click_url,
+        }
     }
 
     /// Generates the next record as a tab-separated byte payload.
@@ -221,7 +268,10 @@ mod tests {
             .count() as u64;
         assert_eq!(hits, expected_grep_hits(n));
         let rate = hits as f64 / n as f64;
-        assert!((rate - 0.003).abs() < 0.0005, "rate {rate} should be ~0.3 %");
+        assert!(
+            (rate - 0.003).abs() < 0.0005,
+            "rate {rate} should be ~0.3 %"
+        );
     }
 
     #[test]
@@ -238,7 +288,9 @@ mod tests {
     fn sample_rate_approximately_forty_percent() {
         let mut g = QueryLogGenerator::new(11);
         let n = 20_000;
-        let kept = (0..n).filter(|_| sample_keeps(&g.next_payload(), 40)).count();
+        let kept = (0..n)
+            .filter(|_| sample_keeps(&g.next_payload(), 40))
+            .count();
         let rate = kept as f64 / f64::from(n);
         assert!((rate - 0.40).abs() < 0.02, "sample rate {rate}");
     }

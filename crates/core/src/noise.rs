@@ -43,9 +43,11 @@ impl NoiseModel {
     /// Draws the latency factor for the next run.
     pub fn next_factor(&mut self) -> f64 {
         if self.rng.gen_bool(self.outlier_probability) {
-            self.rng.gen_range(self.outlier_factor.0..self.outlier_factor.1)
+            self.rng
+                .gen_range(self.outlier_factor.0..self.outlier_factor.1)
         } else {
-            self.rng.gen_range(self.jitter_factor.0..self.jitter_factor.1)
+            self.rng
+                .gen_range(self.jitter_factor.0..self.jitter_factor.1)
         }
     }
 }
@@ -69,7 +71,7 @@ mod tests {
         let mut outliers = 0;
         for _ in 0..1000 {
             let f = model.next_factor();
-            assert!(f >= 0.9 && f < 7.0, "factor {f} out of range");
+            assert!((0.9..7.0).contains(&f), "factor {f} out of range");
             if f >= 2.0 {
                 outliers += 1;
             }

@@ -7,9 +7,7 @@
 //! measurements compare equal work.
 
 use crate::data::sample_keeps;
-use beamline::{
-    BrokerIO, BytesCoder, Filter, MapElements, Pipeline, Values, WithoutMetadata,
-};
+use beamline::{BrokerIO, BytesCoder, Filter, MapElements, Pipeline, Values, WithoutMetadata};
 use bytes::Bytes;
 use std::fmt;
 use std::sync::Arc;
@@ -34,7 +32,12 @@ pub enum Query {
 
 impl Query {
     /// All four queries in paper order.
-    pub const ALL: [Query; 4] = [Query::Identity, Query::Sample, Query::Projection, Query::Grep];
+    pub const ALL: [Query; 4] = [
+        Query::Identity,
+        Query::Sample,
+        Query::Projection,
+        Query::Grep,
+    ];
 
     /// The paper's Table II description.
     pub fn description(self) -> &'static str {
@@ -74,10 +77,16 @@ impl Query {
             Query::Identity => Some(payload.clone()),
             Query::Sample => sample_keeps(payload, SAMPLE_PERCENT).then(|| payload.clone()),
             Query::Projection => {
-                let cut = payload.iter().position(|&b| b == b'\t').unwrap_or(payload.len());
+                let cut = payload
+                    .iter()
+                    .position(|&b| b == b'\t')
+                    .unwrap_or(payload.len());
                 Some(payload.slice(..cut))
             }
-            Query::Grep => payload.windows(4).any(|w| w == b"test").then(|| payload.clone()),
+            Query::Grep => payload
+                .windows(4)
+                .any(|w| w == b"test")
+                .then(|| payload.clone()),
         }
     }
 
@@ -118,9 +127,7 @@ pub fn beam_pipeline(
         .apply(WithoutMetadata::new())
         .apply(Values::create(Arc::new(BytesCoder)));
     let transformed = match query {
-        Query::Identity => {
-            values.apply(MapElements::into_bytes("Identity", |v: Bytes| v))
-        }
+        Query::Identity => values.apply(MapElements::into_bytes("Identity", |v: Bytes| v)),
         Query::Sample => values.apply(Filter::new("Sample", |v: &Bytes| {
             sample_keeps(v, SAMPLE_PERCENT)
         })),
@@ -249,7 +256,10 @@ mod tests {
     fn apply_identity_and_projection() {
         let payload = Bytes::from_static(b"123\tsome query\t2006-03-01 00:00:00\t\t");
         assert_eq!(Query::Identity.apply(&payload), Some(payload.clone()));
-        assert_eq!(Query::Projection.apply(&payload), Some(Bytes::from_static(b"123")));
+        assert_eq!(
+            Query::Projection.apply(&payload),
+            Some(Bytes::from_static(b"123"))
+        );
     }
 
     #[test]
@@ -278,7 +288,9 @@ mod tests {
     #[test]
     fn beam_pipeline_has_seven_stages() {
         let broker = logbus::Broker::new();
-        broker.create_topic("in", logbus::TopicConfig::default()).unwrap();
+        broker
+            .create_topic("in", logbus::TopicConfig::default())
+            .unwrap();
         for query in Query::ALL {
             let pipeline = beam_pipeline(&broker, query, "in", "out");
             assert_eq!(pipeline.stage_count(), 7, "query {query}");

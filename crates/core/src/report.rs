@@ -25,7 +25,10 @@ pub struct FigureRow {
 pub fn average_times(measurements: &[Measurement], query: Query) -> Vec<FigureRow> {
     let mut grouped: BTreeMap<String, Vec<f64>> = BTreeMap::new();
     for m in measurements.iter().filter(|m| m.query == query) {
-        grouped.entry(m.setup.label()).or_default().push(m.execution_seconds);
+        grouped
+            .entry(m.setup.label())
+            .or_default()
+            .push(m.execution_seconds);
     }
     grouped
         .into_iter()
@@ -97,7 +100,11 @@ pub fn slowdown_factors(measurements: &[Measurement], query: Query) -> Vec<Figur
                     .filter(|m| {
                         m.query == query
                             && m.setup
-                                == Setup { system, api, parallelism: p }
+                                == Setup {
+                                    system,
+                                    api,
+                                    parallelism: p,
+                                }
                     })
                     .map(|m| m.execution_seconds)
                     .collect();
@@ -128,9 +135,10 @@ pub fn per_run_times(
     query: Query,
 ) -> BTreeMap<usize, Vec<f64>> {
     let mut table: BTreeMap<usize, Vec<(u32, f64)>> = BTreeMap::new();
-    for m in measurements.iter().filter(|m| {
-        m.query == query && m.setup.system == system && m.setup.api == api
-    }) {
+    for m in measurements
+        .iter()
+        .filter(|m| m.query == query && m.setup.system == system && m.setup.api == api)
+    {
         table
             .entry(m.setup.parallelism)
             .or_default()
@@ -151,7 +159,11 @@ pub fn render_bars(title: &str, rows: &[FigureRow], unit: &str) -> String {
     let mut out = String::new();
     out.push_str(title);
     out.push('\n');
-    let max = rows.iter().map(|r| r.value).fold(0.0_f64, f64::max).max(1e-12);
+    let max = rows
+        .iter()
+        .map(|r| r.value)
+        .fold(0.0_f64, f64::max)
+        .max(1e-12);
     let label_width = rows.iter().map(|r| r.label.len()).max().unwrap_or(0);
     for row in rows {
         let bar_len = ((row.value / max) * 40.0).round() as usize;
@@ -194,7 +206,13 @@ pub fn table_one() -> String {
         })
         .collect();
     render_table(
-        &["System", "Implementation (models)", "Data processing", "Parallelism knob", "Guarantees"],
+        &[
+            "System",
+            "Implementation (models)",
+            "Data processing",
+            "Parallelism knob",
+            "Guarantees",
+        ],
         &rows,
     )
 }
@@ -244,7 +262,11 @@ mod tests {
         seconds: f64,
     ) -> Measurement {
         Measurement {
-            setup: Setup { system, api, parallelism },
+            setup: Setup {
+                system,
+                api,
+                parallelism,
+            },
             query,
             run,
             execution_seconds: seconds,
@@ -255,16 +277,44 @@ mod tests {
     fn sample_measurements() -> Vec<Measurement> {
         let mut ms = Vec::new();
         for (i, &t) in [10.0, 12.0].iter().enumerate() {
-            ms.push(measurement(System::Rill, Api::Beam, 1, Query::Grep, i as u32, t));
+            ms.push(measurement(
+                System::Rill,
+                Api::Beam,
+                1,
+                Query::Grep,
+                i as u32,
+                t,
+            ));
         }
         for (i, &t) in [14.0, 14.0].iter().enumerate() {
-            ms.push(measurement(System::Rill, Api::Beam, 2, Query::Grep, i as u32, t));
+            ms.push(measurement(
+                System::Rill,
+                Api::Beam,
+                2,
+                Query::Grep,
+                i as u32,
+                t,
+            ));
         }
         for (i, &t) in [2.0, 2.0].iter().enumerate() {
-            ms.push(measurement(System::Rill, Api::Native, 1, Query::Grep, i as u32, t));
+            ms.push(measurement(
+                System::Rill,
+                Api::Native,
+                1,
+                Query::Grep,
+                i as u32,
+                t,
+            ));
         }
         for (i, &t) in [2.0, 2.0].iter().enumerate() {
-            ms.push(measurement(System::Rill, Api::Native, 2, Query::Grep, i as u32, t));
+            ms.push(measurement(
+                System::Rill,
+                Api::Native,
+                2,
+                Query::Grep,
+                i as u32,
+                t,
+            ));
         }
         ms
     }
@@ -310,8 +360,14 @@ mod tests {
     #[test]
     fn renderers_produce_text() {
         let rows = vec![
-            FigureRow { label: "A".into(), value: 2.0 },
-            FigureRow { label: "BB".into(), value: 1.0 },
+            FigureRow {
+                label: "A".into(),
+                value: 2.0,
+            },
+            FigureRow {
+                label: "BB".into(),
+                value: 1.0,
+            },
         ];
         let chart = render_bars("Fig X", &rows, "s");
         assert!(chart.contains("Fig X"));

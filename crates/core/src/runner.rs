@@ -62,7 +62,11 @@ impl fmt::Display for BenchError {
                 write!(f, "execution of {setup} failed: {message}")
             }
             BenchError::Calculator(msg) => write!(f, "result calculation failed: {msg}"),
-            BenchError::WrongOutput { setup, expected, actual } => write!(
+            BenchError::WrongOutput {
+                setup,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "{setup} produced {actual} output records, expected {expected}"
             ),
@@ -235,9 +239,7 @@ impl BenchmarkRunner {
             (system, Api::Beam) => {
                 let pipeline = queries::beam_pipeline(broker, query, "input", output_topic);
                 let runner: Box<dyn PipelineRunner> = match system {
-                    System::Rill => {
-                        Box::new(RillRunner::new().with_parallelism(setup.parallelism))
-                    }
+                    System::Rill => Box::new(RillRunner::new().with_parallelism(setup.parallelism)),
                     System::DStream => Box::new(
                         DStreamRunner::new()
                             .with_parallelism(setup.parallelism)
@@ -249,7 +251,10 @@ impl BenchmarkRunner {
                             .with_window_size(self.config.apx_window_size),
                     ),
                 };
-                runner.run(&pipeline).map(drop).map_err(|e| fail(e.to_string()))
+                runner
+                    .run(&pipeline)
+                    .map(drop)
+                    .map_err(|e| fail(e.to_string()))
             }
         }
     }
@@ -271,7 +276,10 @@ mod tests {
 
     #[test]
     fn quick_benchmark_identity_single_setup() {
-        let config = BenchConfig::quick().records(300).runs(1).parallelisms(vec![1]);
+        let config = BenchConfig::quick()
+            .records(300)
+            .runs(1)
+            .parallelisms(vec![1]);
         let runner = BenchmarkRunner::new(config);
         let measurements = runner.run_query(Query::Grep).unwrap();
         // 3 systems × 2 APIs × 1 parallelism × 1 run.
@@ -285,11 +293,18 @@ mod tests {
 
     #[test]
     fn sample_outputs_match_across_apis() {
-        let config = BenchConfig::quick().records(400).runs(1).parallelisms(vec![1]);
+        let config = BenchConfig::quick()
+            .records(400)
+            .runs(1)
+            .parallelisms(vec![1]);
         let runner = BenchmarkRunner::new(config);
         let measurements = runner.run_query(Query::Sample).unwrap();
         let counts: std::collections::HashSet<u64> =
             measurements.iter().map(|m| m.output_records).collect();
-        assert_eq!(counts.len(), 1, "all setups sample the same records: {measurements:?}");
+        assert_eq!(
+            counts.len(),
+            1,
+            "all setups sample the same records: {measurements:?}"
+        );
     }
 }

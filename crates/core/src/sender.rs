@@ -47,6 +47,11 @@ pub struct SendReport {
 /// order is guaranteed (paper §III-A1: Kafka only orders within one
 /// partition).
 ///
+/// The per-record loop rides the producer's cached partition handle:
+/// after the first flush resolves the `(topic, partition 0)` writer,
+/// steady-state sends touch no topic-name lookup or allocation beyond
+/// the record itself.
+///
 /// # Errors
 ///
 /// Propagates broker errors (unknown topic, etc.).
@@ -69,7 +74,9 @@ pub fn send_workload(
         producer.send(topic, Record::from_value(generator.next_payload()))?;
     }
     producer.close()?;
-    Ok(SendReport { sent: config.records })
+    Ok(SendReport {
+        sent: config.records,
+    })
 }
 
 #[cfg(test)]
@@ -81,7 +88,10 @@ mod tests {
     fn sends_exact_count_in_order() {
         let broker = Broker::new();
         broker.create_topic("in", TopicConfig::default()).unwrap();
-        let config = SenderConfig { records: 500, ..SenderConfig::default() };
+        let config = SenderConfig {
+            records: 500,
+            ..SenderConfig::default()
+        };
         let report = send_workload(&broker, "in", &config).unwrap();
         assert_eq!(report.sent, 500);
         assert_eq!(broker.latest_offset("in", 0).unwrap(), 500);
@@ -97,7 +107,10 @@ mod tests {
     #[test]
     fn missing_topic_errors() {
         let broker = Broker::new();
-        let config = SenderConfig { records: 1, ..SenderConfig::default() };
+        let config = SenderConfig {
+            records: 1,
+            ..SenderConfig::default()
+        };
         assert!(send_workload(&broker, "absent", &config).is_err());
     }
 

@@ -96,7 +96,11 @@ pub fn all_setups(parallelisms: &[usize]) -> Vec<Setup> {
     for system in System::ALL {
         for api in Api::ALL {
             for &parallelism in parallelisms {
-                setups.push(Setup { system, api, parallelism });
+                setups.push(Setup {
+                    system,
+                    api,
+                    parallelism,
+                });
             }
         }
     }
@@ -117,9 +121,17 @@ mod tests {
 
     #[test]
     fn labels_match_figure_style() {
-        let beam = Setup { system: System::Apx, api: Api::Beam, parallelism: 1 };
+        let beam = Setup {
+            system: System::Apx,
+            api: Api::Beam,
+            parallelism: 1,
+        };
         assert_eq!(beam.label(), "Apex Beam P1");
-        let native = Setup { system: System::DStream, api: Api::Native, parallelism: 2 };
+        let native = Setup {
+            system: System::DStream,
+            api: Api::Native,
+            parallelism: 2,
+        };
         assert_eq!(native.label(), "Spark P2");
         assert_eq!(native.to_string(), "dstream-native-p2");
     }

@@ -85,7 +85,10 @@ pub fn wordcount_dstream(
     let sink = finals.clone();
     ssc.broker_stream(broker.clone(), input_topic, batch_records)?
         .flat_map(|payload: Bytes| {
-            query_words(&payload).into_iter().map(|w| (w, 1u64)).collect::<Vec<_>>()
+            query_words(&payload)
+                .into_iter()
+                .map(|w| (w, 1u64))
+                .collect::<Vec<_>>()
         })
         .count_by_key_stateful()
         .foreach_rdd(&ssc, move |rdd| {
@@ -142,17 +145,24 @@ pub fn wordcount_apx(
     let finals: Arc<parking_lot::Mutex<HashMap<String, u64>>> =
         Arc::new(parking_lot::Mutex::new(HashMap::new()));
     let dag = apx::Dag::new("wordcount");
-    dag.add_input("kafka-input", apx::KafkaInput::new(broker.clone(), input_topic))?
-        .add_operator::<(String, u64), _>(
-            "count",
-            WordCounter { counts: HashMap::new() },
-            apx::Link::Network(Arc::new(apx::BytesCodec)),
-        )?
-        .add_output(
-            "latest",
-            LatestCounts { finals: finals.clone() },
-            apx::Link::Network(Arc::new(apx::StringU64Codec)),
-        )?;
+    dag.add_input(
+        "kafka-input",
+        apx::KafkaInput::new(broker.clone(), input_topic),
+    )?
+    .add_operator::<(String, u64), _>(
+        "count",
+        WordCounter {
+            counts: HashMap::new(),
+        },
+        apx::Link::Network(Arc::new(apx::BytesCodec)),
+    )?
+    .add_output(
+        "latest",
+        LatestCounts {
+            finals: finals.clone(),
+        },
+        apx::Link::Network(Arc::new(apx::StringU64Codec)),
+    )?;
     apx::Stram::run(&dag, rm, &apx::StramConfig::default())?;
     let result = finals.lock().clone();
     Ok(result)
@@ -161,10 +171,7 @@ pub fn wordcount_apx(
 /// The abstraction-layer WordCount pipeline over a broker topic
 /// (read → words → `Count.perElement`). Subject to the runner capability
 /// matrix: runs on `rill`, rejected by `dstream`/`apx`.
-pub fn wordcount_beam_pipeline(
-    broker: &logbus::Broker,
-    input_topic: &str,
-) -> beamline::Pipeline {
+pub fn wordcount_beam_pipeline(broker: &logbus::Broker, input_topic: &str) -> beamline::Pipeline {
     use beamline::{Coder, StrUtf8Coder};
     let pipeline = beamline::Pipeline::new();
     let words = pipeline
@@ -176,7 +183,7 @@ pub fn wordcount_beam_pipeline(
             |payload: Bytes| query_words(&payload),
         ));
     let _counts = words.apply(beamline::Count::per_element(
-        Arc::new(StrUtf8Coder) as Arc<dyn Coder<String>>,
+        Arc::new(StrUtf8Coder) as Arc<dyn Coder<String>>
     ));
     pipeline
 }
@@ -191,8 +198,15 @@ mod tests {
     fn loaded_broker(records: u64) -> (Broker, HashMap<String, u64>) {
         let broker = Broker::new();
         broker.create_topic("in", TopicConfig::default()).unwrap();
-        send_workload(&broker, "in", &SenderConfig { records, ..SenderConfig::default() })
-            .unwrap();
+        send_workload(
+            &broker,
+            "in",
+            &SenderConfig {
+                records,
+                ..SenderConfig::default()
+            },
+        )
+        .unwrap();
         let mut generator = QueryLogGenerator::new(SenderConfig::default().seed);
         let payloads: Vec<Bytes> = (0..records).map(|_| generator.next_payload()).collect();
         let expected = reference_word_counts(payloads.iter());
@@ -233,10 +247,15 @@ mod tests {
 
         // Rejected by the micro-batch runner — the paper's §III-B reason.
         let pipeline = wordcount_beam_pipeline(&broker, "in");
-        let err = beamline::runners::DStreamRunner::new().run(&pipeline).unwrap_err();
+        let err = beamline::runners::DStreamRunner::new()
+            .run(&pipeline)
+            .unwrap_err();
         assert!(matches!(
             err,
-            beamline::Error::UnsupportedTransform { runner: "dstream", .. }
+            beamline::Error::UnsupportedTransform {
+                runner: "dstream",
+                ..
+            }
         ));
     }
 }

@@ -48,11 +48,17 @@ pub fn average_execution_time(run_times: &[f64]) -> f64 {
 /// Panics when `pairs` is empty or any native average is zero (a
 /// malformed measurement set).
 pub fn slowdown_factor(pairs: &[(f64, f64)]) -> f64 {
-    assert!(!pairs.is_empty(), "slowdown factor needs at least one parallelism");
+    assert!(
+        !pairs.is_empty(),
+        "slowdown factor needs at least one parallelism"
+    );
     let sum: f64 = pairs
         .iter()
         .map(|(beam, native)| {
-            assert!(*native > 0.0, "native average execution time must be positive");
+            assert!(
+                *native > 0.0,
+                "native average execution time must be positive"
+            );
             beam / native
         })
         .sum();

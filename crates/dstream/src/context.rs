@@ -19,7 +19,11 @@ pub struct ContextConfig {
 
 impl Default for ContextConfig {
     fn default() -> Self {
-        ContextConfig { executors: 2, cores_per_executor: 2, default_parallelism: 1 }
+        ContextConfig {
+            executors: 2,
+            cores_per_executor: 2,
+            default_parallelism: 1,
+        }
     }
 }
 
@@ -67,7 +71,9 @@ impl Context {
 
     /// Creates a context from an explicit configuration.
     pub fn with_config(config: ContextConfig) -> Self {
-        let pool = Arc::new(ExecutorPool::new(config.executors * config.cores_per_executor));
+        let pool = Arc::new(ExecutorPool::new(
+            config.executors * config.cores_per_executor,
+        ));
         Context { pool, config }
     }
 
@@ -123,7 +129,9 @@ mod tests {
 
     #[test]
     fn config_builders() {
-        let config = ContextConfig::default().default_parallelism(3).executors(4, 2);
+        let config = ContextConfig::default()
+            .default_parallelism(3)
+            .executors(4, 2);
         assert_eq!(config.default_parallelism, 3);
         assert_eq!(config.executors, 4);
         let ctx = Context::with_config(config);

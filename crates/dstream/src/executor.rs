@@ -39,7 +39,10 @@ impl ExecutorPool {
                     .expect("spawn executor thread")
             })
             .collect();
-        ExecutorPool { workers, submit: Some(submit) }
+        ExecutorPool {
+            workers,
+            submit: Some(submit),
+        }
     }
 
     /// Number of worker threads.
@@ -80,7 +83,10 @@ impl ExecutorPool {
                 Err(_) => panic!("executor task panicked"),
             }
         }
-        results.into_iter().map(|r| r.expect("all tasks reported")).collect()
+        results
+            .into_iter()
+            .map(|r| r.expect("all tasks reported"))
+            .collect()
     }
 }
 

@@ -24,13 +24,19 @@ pub struct Rdd<T> {
 
 impl<T> Clone for Rdd<T> {
     fn clone(&self) -> Self {
-        Rdd { ctx: self.ctx.clone(), partitions: self.partitions, compute: self.compute.clone() }
+        Rdd {
+            ctx: self.ctx.clone(),
+            partitions: self.partitions,
+            compute: self.compute.clone(),
+        }
     }
 }
 
 impl<T> std::fmt::Debug for Rdd<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Rdd").field("partitions", &self.partitions).finish_non_exhaustive()
+        f.debug_struct("Rdd")
+            .field("partitions", &self.partitions)
+            .finish_non_exhaustive()
     }
 }
 
@@ -55,7 +61,11 @@ impl<T: Send + Sync + 'static> Rdd<T> {
         partitions: usize,
         compute: impl Fn(usize) -> Vec<T> + Send + Sync + 'static,
     ) -> Self {
-        Rdd { ctx, partitions: partitions.max(1), compute: Arc::new(compute) }
+        Rdd {
+            ctx,
+            partitions: partitions.max(1),
+            compute: Arc::new(compute),
+        }
     }
 
     /// Number of partitions.
@@ -305,7 +315,11 @@ mod tests {
             vec![i]
         });
         let mapped = rdd.map(|x| x * 10);
-        assert_eq!(calls.load(Ordering::SeqCst), 0, "nothing computed before an action");
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            0,
+            "nothing computed before an action"
+        );
         assert_eq!(mapped.collect(), vec![0, 10]);
         assert_eq!(calls.load(Ordering::SeqCst), 2);
     }
@@ -331,7 +345,11 @@ mod tests {
             vec![i as i64]
         });
         let repartitioned = rdd.repartition(2);
-        assert_eq!(calls.load(Ordering::SeqCst), 2, "map side ran at the boundary");
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            2,
+            "map side ran at the boundary"
+        );
         let _ = repartitioned.collect();
         let _ = repartitioned.collect();
         assert_eq!(
@@ -372,7 +390,10 @@ mod tests {
     #[test]
     fn same_key_lands_in_same_partition() {
         let pairs: Vec<(i32, i32)> = (0..100).map(|i| (i % 5, i)).collect();
-        let parts = ctx().parallelize(pairs, 4).shuffle_by_key(3).collect_partitions();
+        let parts = ctx()
+            .parallelize(pairs, 4)
+            .shuffle_by_key(3)
+            .collect_partitions();
         for key in 0..5 {
             let holding: Vec<usize> = parts
                 .iter()

@@ -1,7 +1,7 @@
 //! Micro-batch sources.
 
 use bytes::Bytes;
-use logbus::Broker;
+use logbus::{Broker, PartitionReader};
 
 /// A bounded supplier of micro-batches.
 ///
@@ -21,7 +21,9 @@ pub struct VecBatchSource<T> {
 impl<T> VecBatchSource<T> {
     /// Creates a source yielding the given batches in order.
     pub fn new(batches: Vec<Vec<T>>) -> Self {
-        VecBatchSource { batches: batches.into() }
+        VecBatchSource {
+            batches: batches.into(),
+        }
     }
 }
 
@@ -36,11 +38,20 @@ impl<T: Send> BatchSource<T> for VecBatchSource<T> {
 /// partitions, ending at the offsets current when the source was created.
 #[derive(Debug)]
 pub struct BrokerBatchSource {
-    broker: Broker,
-    topic: String,
     max_batch_records: usize,
-    /// (partition, next position, end offset) per partition.
-    cursors: Vec<(u32, u64, u64)>,
+    /// One cursor per partition: cached fetch handle, next position, and
+    /// the end offset captured at creation. The handles resolve the topic
+    /// name once, so per-micro-batch fetches skip the name lookup.
+    cursors: Vec<PartitionCursor>,
+    /// Fetch buffer reused across micro-batches.
+    fetch_buffer: Vec<logbus::StoredRecord>,
+}
+
+#[derive(Debug)]
+struct PartitionCursor {
+    reader: PartitionReader,
+    position: u64,
+    end: u64,
 }
 
 impl BrokerBatchSource {
@@ -59,29 +70,44 @@ impl BrokerBatchSource {
         let t = broker.topic(&topic)?;
         let mut cursors = Vec::new();
         for p in 0..t.partition_count() {
-            let start = t.earliest_offset(p)?;
+            let reader = broker.partition_reader(&topic, p)?;
+            let position = t.earliest_offset(p)?;
             let end = t.latest_offset(p)?;
-            cursors.push((p, start, end));
+            cursors.push(PartitionCursor {
+                reader,
+                position,
+                end,
+            });
         }
-        Ok(BrokerBatchSource { broker, topic, max_batch_records: max_batch_records.max(1), cursors })
+        Ok(BrokerBatchSource {
+            max_batch_records: max_batch_records.max(1),
+            cursors,
+            fetch_buffer: Vec::new(),
+        })
     }
 }
 
 impl BatchSource<Bytes> for BrokerBatchSource {
     fn next_batch(&mut self) -> Option<Vec<Bytes>> {
         let mut batch = Vec::new();
-        for (partition, position, end) in &mut self.cursors {
-            if batch.len() >= self.max_batch_records || *position >= *end {
+        for cursor in &mut self.cursors {
+            if batch.len() >= self.max_batch_records || cursor.position >= cursor.end {
                 continue;
             }
-            let want = (self.max_batch_records - batch.len()).min((*end - *position) as usize);
-            let Ok(records) = self.broker.fetch(&self.topic, *partition, *position, want) else {
+            let want =
+                (self.max_batch_records - batch.len()).min((cursor.end - cursor.position) as usize);
+            self.fetch_buffer.clear();
+            if cursor
+                .reader
+                .fetch_into(cursor.position, want, &mut self.fetch_buffer)
+                .is_err()
+            {
                 continue;
-            };
-            if let Some(last) = records.last() {
-                *position = last.offset + 1;
             }
-            batch.extend(records.into_iter().map(|r| r.record.value));
+            if let Some(last) = self.fetch_buffer.last() {
+                cursor.position = last.offset + 1;
+            }
+            batch.extend(self.fetch_buffer.drain(..).map(|r| r.record.value));
         }
         if batch.is_empty() {
             None
@@ -109,7 +135,9 @@ mod tests {
         let broker = Broker::new();
         broker.create_topic("t", TopicConfig::default()).unwrap();
         for i in 0..25 {
-            broker.produce("t", 0, Record::from_value(format!("{i}"))).unwrap();
+            broker
+                .produce("t", 0, Record::from_value(format!("{i}")))
+                .unwrap();
         }
         let mut source = BrokerBatchSource::new(broker.clone(), "t", 10).unwrap();
         assert_eq!(source.next_batch().unwrap().len(), 10);
@@ -123,10 +151,14 @@ mod tests {
     #[test]
     fn broker_source_merges_partitions() {
         let broker = Broker::new();
-        broker.create_topic("t", TopicConfig::default().partitions(2)).unwrap();
+        broker
+            .create_topic("t", TopicConfig::default().partitions(2))
+            .unwrap();
         for p in 0..2 {
             for i in 0..5 {
-                broker.produce("t", p, Record::from_value(format!("p{p}-{i}"))).unwrap();
+                broker
+                    .produce("t", p, Record::from_value(format!("p{p}-{i}")))
+                    .unwrap();
             }
         }
         let mut source = BrokerBatchSource::new(broker, "t", 100).unwrap();

@@ -102,10 +102,7 @@ mod tests {
     fn stateful_count() {
         let s = DStream::from_source(
             Context::local(),
-            VecBatchSource::new(vec![
-                vec![("x", ()), ("x", ()), ("y", ())],
-                vec![("x", ())],
-            ]),
+            VecBatchSource::new(vec![vec![("x", ()), ("x", ()), ("y", ())], vec![("x", ())]]),
         );
         let counts = drain(&s.count_by_key_stateful());
         assert_eq!(counts[0], vec![("x", 2), ("y", 1)]);

@@ -27,7 +27,10 @@ pub struct DStream<T> {
 
 impl<T> Clone for DStream<T> {
     fn clone(&self) -> Self {
-        DStream { ctx: self.ctx.clone(), pull: self.pull.clone() }
+        DStream {
+            ctx: self.ctx.clone(),
+            pull: self.pull.clone(),
+        }
     }
 }
 
@@ -57,7 +60,10 @@ impl<T: Clone + Send + Sync + 'static> DStream<T> {
         ctx: Context,
         pull: impl FnMut() -> Option<Rdd<T>> + Send + 'static,
     ) -> Self {
-        DStream { ctx, pull: Arc::new(Mutex::new(Box::new(pull))) }
+        DStream {
+            ctx,
+            pull: Arc::new(Mutex::new(Box::new(pull))),
+        }
     }
 
     /// The driver context.
@@ -78,9 +84,11 @@ impl<T: Clone + Send + Sync + 'static> DStream<T> {
         F: Fn(Rdd<T>) -> Rdd<U> + Send + 'static,
     {
         let parent = self.pull.clone();
-        let pull: BatchPull<U> =
-            Arc::new(Mutex::new(Box::new(move || (parent.lock())().map(&f))));
-        DStream { ctx: self.ctx.clone(), pull }
+        let pull: BatchPull<U> = Arc::new(Mutex::new(Box::new(move || (parent.lock())().map(&f))));
+        DStream {
+            ctx: self.ctx.clone(),
+            pull,
+        }
     }
 
     /// Element-wise transformation of every batch.
@@ -157,7 +165,9 @@ mod tests {
     #[test]
     fn flat_map_and_map_partitions() {
         let s = stream_of(vec![vec![2, 3]]);
-        let out = s.flat_map(|x| vec![x; x as usize]).map_partitions(|p| vec![p.len() as i64]);
+        let out = s
+            .flat_map(|x| vec![x; x as usize])
+            .map_partitions(|p| vec![p.len() as i64]);
         assert_eq!(out.next_batch().unwrap().collect(), vec![5]);
     }
 

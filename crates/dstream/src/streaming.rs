@@ -86,7 +86,9 @@ struct StreamingInner {
 
 impl std::fmt::Debug for StreamingContext {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("StreamingContext").field("ctx", &self.ctx).finish_non_exhaustive()
+        f.debug_struct("StreamingContext")
+            .field("ctx", &self.ctx)
+            .finish_non_exhaustive()
     }
 }
 
@@ -96,7 +98,10 @@ impl StreamingContext {
     pub fn new(ctx: Context) -> Self {
         StreamingContext {
             ctx,
-            inner: Arc::new(Mutex::new(StreamingInner { output_ops: Vec::new(), batch_interval: None })),
+            inner: Arc::new(Mutex::new(StreamingInner {
+                output_ops: Vec::new(),
+                batch_interval: None,
+            })),
         }
     }
 
@@ -142,13 +147,16 @@ impl StreamingContext {
         F: FnMut(Rdd<T>) + Send + 'static,
     {
         let stream = stream.clone();
-        self.inner.lock().output_ops.push(Box::new(move || match stream.next_batch() {
-            Some(rdd) => {
-                f(rdd);
-                true
-            }
-            None => false,
-        }));
+        self.inner
+            .lock()
+            .output_ops
+            .push(Box::new(move || match stream.next_batch() {
+                Some(rdd) => {
+                    f(rdd);
+                    true
+                }
+                None => false,
+            }));
     }
 
     /// Runs batch ticks until every output operation's stream is drained.
@@ -183,7 +191,10 @@ impl StreamingContext {
                 }
             }
         }
-        Ok(StreamingReport { batches, elapsed: started.elapsed() })
+        Ok(StreamingReport {
+            batches,
+            elapsed: started.elapsed(),
+        })
     }
 }
 
@@ -202,13 +213,22 @@ impl DStream<Bytes> {
     /// topic as one broker append per partition.
     pub fn save_to_broker(&self, ssc: &StreamingContext, broker: Broker, topic: &str) {
         let topic = topic.to_string();
+        // Cached produce handle, resolved on the first non-empty batch and
+        // re-tried while the topic is missing — so per-batch appends skip
+        // the topic-name lookup without changing late-creation semantics.
+        let mut writer: Option<logbus::PartitionWriter> = None;
         self.foreach_rdd(ssc, move |rdd| {
             for part in rdd.collect_partitions() {
                 if part.is_empty() {
                     continue;
                 }
                 let records: Vec<Record> = part.into_iter().map(Record::from_value).collect();
-                let _ = broker.produce_batch(&topic, 0, records);
+                if writer.is_none() {
+                    writer = broker.partition_writer(&topic, 0).ok();
+                }
+                if let Some(w) = &writer {
+                    let _ = w.produce_batch(records);
+                }
             }
         });
     }
@@ -244,7 +264,9 @@ mod tests {
         broker.create_topic("in", TopicConfig::default()).unwrap();
         broker.create_topic("out", TopicConfig::default()).unwrap();
         for i in 0..100 {
-            broker.produce("in", 0, Record::from_value(format!("{i}"))).unwrap();
+            broker
+                .produce("in", 0, Record::from_value(format!("{i}")))
+                .unwrap();
         }
         let ssc = StreamingContext::new(Context::local());
         let stream = ssc.broker_stream(broker.clone(), "in", 30).unwrap();
@@ -253,7 +275,11 @@ mod tests {
             .save_to_broker(&ssc, broker.clone(), "out");
         let report = ssc.run_to_completion().unwrap();
         assert_eq!(report.batches, 4, "100 records in batches of 30");
-        assert_eq!(broker.latest_offset("out", 0).unwrap(), 90, "two-digit records");
+        assert_eq!(
+            broker.latest_offset("out", 0).unwrap(),
+            90,
+            "two-digit records"
+        );
     }
 
     #[test]

@@ -157,7 +157,11 @@ mod tests {
     fn partial_final_window() {
         let s = stream_of(vec![vec![1], vec![2], vec![3]]);
         let windows = drain(&s.window(2, 2));
-        assert_eq!(windows, vec![vec![1, 2], vec![2, 3]], "drain emits the tail window");
+        assert_eq!(
+            windows,
+            vec![vec![1, 2], vec![2, 3]],
+            "drain emits the tail window"
+        );
     }
 
     #[test]

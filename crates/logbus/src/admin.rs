@@ -54,7 +54,10 @@ impl TopicDescription {
                 last_timestamp: bus.last_timestamp(topic, p)?,
             });
         }
-        Ok(TopicDescription { name: topic.to_string(), partitions })
+        Ok(TopicDescription {
+            name: topic.to_string(),
+            partitions,
+        })
     }
 
     /// Total retained records over all partitions.
@@ -64,12 +67,18 @@ impl TopicDescription {
 
     /// Earliest stored timestamp across partitions.
     pub fn first_timestamp(&self) -> Option<Timestamp> {
-        self.partitions.iter().filter_map(|p| p.first_timestamp).min()
+        self.partitions
+            .iter()
+            .filter_map(|p| p.first_timestamp)
+            .min()
     }
 
     /// Latest stored timestamp across partitions.
     pub fn last_timestamp(&self) -> Option<Timestamp> {
-        self.partitions.iter().filter_map(|p| p.last_timestamp).max()
+        self.partitions
+            .iter()
+            .filter_map(|p| p.last_timestamp)
+            .max()
     }
 
     /// The `LogAppendTime` span between the first and last stored record,
@@ -98,7 +107,9 @@ mod tests {
         let broker = Broker::with_clock(clock);
         broker.create_topic("out", TopicConfig::default()).unwrap();
         for i in 0..4 {
-            broker.produce("out", 0, Record::from_value(format!("{i}"))).unwrap();
+            broker
+                .produce("out", 0, Record::from_value(format!("{i}")))
+                .unwrap();
         }
         let desc = TopicDescription::describe(&broker, "out").unwrap();
         assert_eq!(desc.name, "out");
@@ -113,7 +124,9 @@ mod tests {
     #[test]
     fn empty_topic_has_no_span() {
         let broker = Broker::new();
-        broker.create_topic("empty", TopicConfig::default()).unwrap();
+        broker
+            .create_topic("empty", TopicConfig::default())
+            .unwrap();
         let desc = TopicDescription::describe(&broker, "empty").unwrap();
         assert_eq!(desc.total_records(), 0);
         assert!(desc.append_time_span_seconds().is_none());
@@ -123,7 +136,9 @@ mod tests {
     fn multi_partition_span_uses_extremes() {
         let clock = Arc::new(ManualClock::with_auto_tick(0, 1_000_000));
         let broker = Broker::with_clock(clock);
-        broker.create_topic("t", TopicConfig::default().partitions(2)).unwrap();
+        broker
+            .create_topic("t", TopicConfig::default().partitions(2))
+            .unwrap();
         broker.produce("t", 0, Record::from_value("a")).unwrap(); // t=0
         broker.produce("t", 1, Record::from_value("b")).unwrap(); // t=1
         broker.produce("t", 0, Record::from_value("c")).unwrap(); // t=2

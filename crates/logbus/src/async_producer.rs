@@ -17,6 +17,7 @@
 //!   benchmark's worst measured slowdowns.
 
 use crate::broker::Broker;
+use crate::handle::PartitionWriter;
 use crate::record::Record;
 use crossbeam::channel::{bounded, Sender};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -58,6 +59,10 @@ impl AsyncProducer {
         let worker = std::thread::Builder::new()
             .name(format!("async-producer-{topic}"))
             .spawn(move || {
+                // Cached partition handle; resolved on first use so topics
+                // created after the producer still work, re-tried per batch
+                // while unresolved.
+                let mut writer: Option<PartitionWriter> = None;
                 while let Ok(first) = receiver.recv() {
                     let mut batch = vec![first];
                     while batch.len() < max_batch {
@@ -67,15 +72,24 @@ impl AsyncProducer {
                         }
                     }
                     let shipped = batch.len() as u64;
+                    if writer.is_none() {
+                        writer = broker.partition_writer(&topic, partition).ok();
+                    }
                     // Failures (unknown topic) drop the batch, like a
                     // fire-and-forget client; pending still decreases so
                     // flush cannot hang.
-                    let _ = broker.produce_batch(&topic, partition, batch);
+                    if let Some(w) = &writer {
+                        let _ = w.produce_batch(batch);
+                    }
                     pending_worker.fetch_sub(shipped, Ordering::AcqRel);
                 }
             })
             .expect("spawn async producer thread");
-        AsyncProducer { sender: Some(sender), worker: Some(worker), pending }
+        AsyncProducer {
+            sender: Some(sender),
+            worker: Some(worker),
+            pending,
+        }
     }
 
     /// Queues one record. Does not wait for the broker unless the client
@@ -157,7 +171,11 @@ mod tests {
         let records = broker.fetch("t", 0, 0, 2_000).unwrap();
         let stamps: std::collections::BTreeSet<i64> =
             records.iter().map(|r| r.timestamp.as_micros()).collect();
-        assert!(stamps.len() < 100, "adaptive batches, got {} appends", stamps.len());
+        assert!(
+            stamps.len() < 100,
+            "adaptive batches, got {} appends",
+            stamps.len()
+        );
         assert!(stamps.len() > 1, "but more than one append");
     }
 
@@ -178,7 +196,11 @@ mod tests {
         let records = broker.fetch("t", 0, 0, 50).unwrap();
         let stamps: std::collections::BTreeSet<i64> =
             records.iter().map(|r| r.timestamp.as_micros()).collect();
-        assert_eq!(stamps.len(), 50, "per-record flush means per-record appends");
+        assert_eq!(
+            stamps.len(),
+            50,
+            "per-record flush means per-record appends"
+        );
     }
 
     #[test]

@@ -20,11 +20,16 @@ pub struct Broker {
     inner: Arc<BrokerInner>,
 }
 
+/// Committed offsets for one consumer group: `topic -> partition -> offset`.
+type GroupOffsets = HashMap<String, HashMap<u32, u64>>;
+
 #[derive(Debug)]
 struct BrokerInner {
     topics: RwLock<HashMap<String, Arc<Topic>>>,
-    /// Committed offsets: (group, topic, partition) -> offset.
-    group_offsets: RwLock<HashMap<(String, String, u32), u64>>,
+    /// Committed offsets, nested `group -> topic -> partition -> offset`
+    /// so lookups borrow the caller's `&str`s instead of allocating a
+    /// composite key per call.
+    group_offsets: RwLock<HashMap<String, GroupOffsets>>,
     clock: Arc<dyn Clock>,
     /// Simulated network round-trip per client request, in microseconds.
     request_latency_micros: std::sync::atomic::AtomicU64,
@@ -77,10 +82,12 @@ impl Broker {
 
     /// The configured simulated request latency in microseconds.
     pub fn request_latency_micros(&self) -> u64 {
-        self.inner.request_latency_micros.load(std::sync::atomic::Ordering::Relaxed)
+        self.inner
+            .request_latency_micros
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
-    fn request_delay(&self) -> std::time::Duration {
+    pub(crate) fn request_delay(&self) -> std::time::Duration {
         std::time::Duration::from_micros(self.request_latency_micros())
     }
 
@@ -157,17 +164,20 @@ impl Broker {
     /// # Errors
     ///
     /// Returns [`Error::UnknownTopic`] or [`Error::UnknownPartition`].
-    pub fn produce_batch(
-        &self,
-        topic: &str,
-        partition: u32,
-        records: Vec<Record>,
-    ) -> Result<u64> {
+    pub fn produce_batch(&self, topic: &str, partition: u32, records: Vec<Record>) -> Result<u64> {
         let t = self.topic(topic)?;
         t.append_batch_delayed(partition, records, self.now(), self.request_delay())
     }
 
     /// Fetches up to `max` records from `offset`.
+    ///
+    /// The topic is validated **before** the simulated round trip is paid:
+    /// a request for an unknown topic fails fast, like a metadata error on
+    /// a real client. The delay itself is paid *outside* any partition
+    /// lock — concurrent fetches overlap, whereas produces spin **while
+    /// holding** the partition append lock (one partition has one leader,
+    /// so same-partition produce requests serialize; see
+    /// [`Topic::append_delayed`]).
     ///
     /// # Errors
     ///
@@ -180,8 +190,66 @@ impl Broker {
         offset: u64,
         max: usize,
     ) -> Result<Vec<StoredRecord>> {
+        let t = self.topic(topic)?;
         crate::topic::spin_delay(self.request_delay());
-        self.topic(topic)?.read(partition, offset, max)
+        t.read(partition, offset, max)
+    }
+
+    /// Like [`Broker::fetch`], but **appends** into `out` (never clearing
+    /// it), returning the number of records appended.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Broker::fetch`].
+    pub fn fetch_into(
+        &self,
+        topic: &str,
+        partition: u32,
+        offset: u64,
+        max: usize,
+        out: &mut Vec<StoredRecord>,
+    ) -> Result<usize> {
+        let t = self.topic(topic)?;
+        crate::topic::spin_delay(self.request_delay());
+        t.read_into(partition, offset, max, out)
+    }
+
+    /// Resolves a cached produce handle for one partition; see
+    /// [`PartitionWriter`](crate::PartitionWriter).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownTopic`] or [`Error::UnknownPartition`].
+    pub fn partition_writer(&self, topic: &str, partition: u32) -> Result<crate::PartitionWriter> {
+        let t = self.topic(topic)?;
+        if partition >= t.partition_count() {
+            return Err(Error::UnknownPartition {
+                topic: topic.to_string(),
+                partition,
+            });
+        }
+        let target = crate::handle::WriteTarget {
+            broker: self.clone(),
+            topic: t,
+        };
+        Ok(crate::PartitionWriter::new(vec![target], partition))
+    }
+
+    /// Resolves a cached fetch handle for one partition; see
+    /// [`PartitionReader`](crate::PartitionReader).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownTopic`] or [`Error::UnknownPartition`].
+    pub fn partition_reader(&self, topic: &str, partition: u32) -> Result<crate::PartitionReader> {
+        let t = self.topic(topic)?;
+        if partition >= t.partition_count() {
+            return Err(Error::UnknownPartition {
+                topic: topic.to_string(),
+                partition,
+            });
+        }
+        Ok(crate::PartitionReader::new(self.clone(), t, partition))
     }
 
     /// Next offset to be written in the partition (the "latest" offset).
@@ -208,19 +276,30 @@ impl Broker {
         if !self.has_topic(topic) {
             return Err(Error::UnknownTopic(topic.to_string()));
         }
-        self.inner
-            .group_offsets
-            .write()
-            .insert((group.to_string(), topic.to_string(), partition), offset);
+        let mut groups = self.inner.group_offsets.write();
+        // Allocate the group/topic key strings only on their first commit;
+        // the steady-state commit path borrows the caller's `&str`s.
+        if !groups.contains_key(group) {
+            groups.insert(group.to_string(), HashMap::new());
+        }
+        let topics = groups.get_mut(group).expect("group just ensured");
+        if !topics.contains_key(topic) {
+            topics.insert(topic.to_string(), HashMap::new());
+        }
+        let partitions = topics.get_mut(topic).expect("topic just ensured");
+        partitions.insert(partition, offset);
         Ok(())
     }
 
     /// Fetches the committed offset for a consumer group, if any.
+    /// Allocation-free: the lookup borrows `group` and `topic` directly.
     pub fn committed_offset(&self, group: &str, topic: &str, partition: u32) -> Option<u64> {
         self.inner
             .group_offsets
             .read()
-            .get(&(group.to_string(), topic.to_string(), partition))
+            .get(group)?
+            .get(topic)?
+            .get(&partition)
             .copied()
     }
 }
@@ -250,7 +329,9 @@ mod tests {
         let broker = Broker::new();
         broker.create_topic("t", TopicConfig::default()).unwrap();
         for i in 0..10 {
-            let off = broker.produce("t", 0, Record::from_value(format!("{i}"))).unwrap();
+            let off = broker
+                .produce("t", 0, Record::from_value(format!("{i}")))
+                .unwrap();
             assert_eq!(off, i);
         }
         let records = broker.fetch("t", 0, 3, 4).unwrap();
@@ -268,7 +349,10 @@ mod tests {
         broker.produce_batch("t", 0, batch).unwrap();
         let records = broker.fetch("t", 0, 0, 10).unwrap();
         let stamps: Vec<i64> = records.iter().map(|r| r.timestamp.as_micros()).collect();
-        assert!(stamps.windows(2).all(|w| w[0] == w[1]), "batch shares one stamp");
+        assert!(
+            stamps.windows(2).all(|w| w[0] == w[1]),
+            "batch shares one stamp"
+        );
     }
 
     #[test]
@@ -276,7 +360,9 @@ mod tests {
         let broker = Broker::with_clock(Arc::new(ManualClock::new(0)));
         broker.create_topic("t", TopicConfig::default()).unwrap();
         for i in 0..100 {
-            broker.produce("t", 0, Record::from_value(format!("{i}"))).unwrap();
+            broker
+                .produce("t", 0, Record::from_value(format!("{i}")))
+                .unwrap();
         }
         let records = broker.fetch("t", 0, 0, 1000).unwrap();
         assert!(records.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));

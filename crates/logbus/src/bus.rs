@@ -10,6 +10,7 @@ use crate::broker::Broker;
 use crate::cluster::Cluster;
 use crate::config::TopicConfig;
 use crate::error::Result;
+use crate::handle::{PartitionReader, PartitionWriter};
 use crate::record::{Record, StoredRecord, Timestamp};
 
 /// Object-safe facade over a broker or cluster.
@@ -46,6 +47,36 @@ pub trait Bus: sealed::Sealed + Send + Sync + std::fmt::Debug {
         offset: u64,
         max: usize,
     ) -> Result<Vec<StoredRecord>>;
+
+    /// Fetches up to `max` records starting at `offset`, **appending**
+    /// them into `out` (never clearing it). Returns the number appended.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Bus::fetch`].
+    fn fetch_into(
+        &self,
+        topic: &str,
+        partition: u32,
+        offset: u64,
+        max: usize,
+        out: &mut Vec<StoredRecord>,
+    ) -> Result<usize>;
+
+    /// Resolves a cached produce handle for one partition — the
+    /// steady-state fast path that skips per-call topic-name resolution.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown topics/partitions.
+    fn partition_writer(&self, topic: &str, partition: u32) -> Result<PartitionWriter>;
+
+    /// Resolves a cached fetch handle for one partition.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown topics/partitions.
+    fn partition_reader(&self, topic: &str, partition: u32) -> Result<PartitionReader>;
 
     /// Next offset to be written.
     ///
@@ -87,8 +118,7 @@ pub trait Bus: sealed::Sealed + Send + Sync + std::fmt::Debug {
     /// # Errors
     ///
     /// Fails for unknown topics.
-    fn commit_offset(&self, group: &str, topic: &str, partition: u32, offset: u64)
-        -> Result<()>;
+    fn commit_offset(&self, group: &str, topic: &str, partition: u32, offset: u64) -> Result<()>;
 
     /// Reads a committed consumer-group offset.
     fn committed_offset(&self, group: &str, topic: &str, partition: u32) -> Option<u64>;
@@ -126,6 +156,25 @@ impl Bus for Broker {
         Broker::fetch(self, topic, partition, offset, max)
     }
 
+    fn fetch_into(
+        &self,
+        topic: &str,
+        partition: u32,
+        offset: u64,
+        max: usize,
+        out: &mut Vec<StoredRecord>,
+    ) -> Result<usize> {
+        Broker::fetch_into(self, topic, partition, offset, max, out)
+    }
+
+    fn partition_writer(&self, topic: &str, partition: u32) -> Result<PartitionWriter> {
+        Broker::partition_writer(self, topic, partition)
+    }
+
+    fn partition_reader(&self, topic: &str, partition: u32) -> Result<PartitionReader> {
+        Broker::partition_reader(self, topic, partition)
+    }
+
     fn latest_offset(&self, topic: &str, partition: u32) -> Result<u64> {
         Broker::latest_offset(self, topic, partition)
     }
@@ -146,13 +195,7 @@ impl Bus for Broker {
         self.topic(topic)?.last_timestamp(partition)
     }
 
-    fn commit_offset(
-        &self,
-        group: &str,
-        topic: &str,
-        partition: u32,
-        offset: u64,
-    ) -> Result<()> {
+    fn commit_offset(&self, group: &str, topic: &str, partition: u32, offset: u64) -> Result<()> {
         Broker::commit_offset(self, group, topic, partition, offset)
     }
 
@@ -188,6 +231,25 @@ impl Bus for Cluster {
         Cluster::fetch(self, topic, partition, offset, max)
     }
 
+    fn fetch_into(
+        &self,
+        topic: &str,
+        partition: u32,
+        offset: u64,
+        max: usize,
+        out: &mut Vec<StoredRecord>,
+    ) -> Result<usize> {
+        Cluster::fetch_into(self, topic, partition, offset, max, out)
+    }
+
+    fn partition_writer(&self, topic: &str, partition: u32) -> Result<PartitionWriter> {
+        Cluster::partition_writer(self, topic, partition)
+    }
+
+    fn partition_reader(&self, topic: &str, partition: u32) -> Result<PartitionReader> {
+        Cluster::partition_reader(self, topic, partition)
+    }
+
     fn latest_offset(&self, topic: &str, partition: u32) -> Result<u64> {
         let leader = self.leader_of(topic, partition)?;
         self.broker(leader).latest_offset(topic, partition)
@@ -213,20 +275,16 @@ impl Bus for Cluster {
         self.broker(leader).topic(topic)?.last_timestamp(partition)
     }
 
-    fn commit_offset(
-        &self,
-        group: &str,
-        topic: &str,
-        partition: u32,
-        offset: u64,
-    ) -> Result<()> {
+    fn commit_offset(&self, group: &str, topic: &str, partition: u32, offset: u64) -> Result<()> {
         let leader = self.leader_of(topic, partition)?;
-        self.broker(leader).commit_offset(group, topic, partition, offset)
+        self.broker(leader)
+            .commit_offset(group, topic, partition, offset)
     }
 
     fn committed_offset(&self, group: &str, topic: &str, partition: u32) -> Option<u64> {
         let leader = self.leader_of(topic, partition).ok()?;
-        self.broker(leader).committed_offset(group, topic, partition)
+        self.broker(leader)
+            .committed_offset(group, topic, partition)
     }
 
     fn now(&self) -> Timestamp {
@@ -244,11 +302,22 @@ mod tests {
         bus.create_topic("t", TopicConfig::default()).unwrap();
         assert!(bus.has_topic("t"));
         assert_eq!(bus.partition_count("t").unwrap(), 1);
-        bus.produce_batch("t", 0, vec![Record::from_value("a"), Record::from_value("b")])
-            .unwrap();
+        bus.produce_batch(
+            "t",
+            0,
+            vec![Record::from_value("a"), Record::from_value("b")],
+        )
+        .unwrap();
         assert_eq!(bus.latest_offset("t", 0).unwrap(), 2);
         assert_eq!(bus.earliest_offset("t", 0).unwrap(), 0);
         assert_eq!(bus.fetch("t", 0, 0, 10).unwrap().len(), 2);
+        let mut buffer = Vec::new();
+        assert_eq!(bus.fetch_into("t", 0, 0, 10, &mut buffer).unwrap(), 2);
+        assert_eq!(buffer, bus.fetch("t", 0, 0, 10).unwrap());
+        let writer = bus.partition_writer("t", 0).unwrap();
+        assert_eq!(writer.produce(Record::from_value("c")).unwrap(), 2);
+        let reader = bus.partition_reader("t", 0).unwrap();
+        assert_eq!(reader.fetch(0, 10).unwrap().len(), 3);
         assert!(bus.first_timestamp("t", 0).unwrap().is_some());
         assert!(bus.last_timestamp("t", 0).unwrap() >= bus.first_timestamp("t", 0).unwrap());
         bus.commit_offset("g", "t", 0, 1).unwrap();

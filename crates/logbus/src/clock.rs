@@ -54,12 +54,18 @@ impl ManualClock {
     /// Creates a manual clock starting at `start_micros` with an auto-tick
     /// of one microsecond per reading.
     pub fn new(start_micros: i64) -> Self {
-        ManualClock { micros: AtomicI64::new(start_micros), auto_tick: 1 }
+        ManualClock {
+            micros: AtomicI64::new(start_micros),
+            auto_tick: 1,
+        }
     }
 
     /// Creates a manual clock with an explicit per-reading auto-tick.
     pub fn with_auto_tick(start_micros: i64, auto_tick: i64) -> Self {
-        ManualClock { micros: AtomicI64::new(start_micros), auto_tick }
+        ManualClock {
+            micros: AtomicI64::new(start_micros),
+            auto_tick,
+        }
     }
 
     /// Advances the clock by `delta_micros`.

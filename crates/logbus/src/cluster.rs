@@ -154,12 +154,7 @@ impl Cluster {
     /// # Errors
     ///
     /// Propagates topic/partition lookup failures.
-    pub fn produce_batch(
-        &self,
-        topic: &str,
-        partition: u32,
-        records: Vec<Record>,
-    ) -> Result<u64> {
+    pub fn produce_batch(&self, topic: &str, partition: u32, records: Vec<Record>) -> Result<u64> {
         let placement = self.placement(topic, partition)?;
         let base = self.inner.brokers[placement.leader].produce_batch(
             topic,
@@ -197,6 +192,59 @@ impl Cluster {
         let placement = self.placement(topic, partition)?;
         self.inner.brokers[placement.leader].fetch(topic, partition, offset, max)
     }
+
+    /// Like [`Cluster::fetch`], but **appends** into `out`, returning the
+    /// number of records appended.
+    ///
+    /// # Errors
+    ///
+    /// Propagates topic/partition/offset failures.
+    pub fn fetch_into(
+        &self,
+        topic: &str,
+        partition: u32,
+        offset: u64,
+        max: usize,
+        out: &mut Vec<StoredRecord>,
+    ) -> Result<usize> {
+        let placement = self.placement(topic, partition)?;
+        self.inner.brokers[placement.leader].fetch_into(topic, partition, offset, max, out)
+    }
+
+    /// Resolves a cached produce handle holding the partition leader first
+    /// and every follower after it, so handle-based produces replicate —
+    /// and pay each broker's simulated round trip — exactly as
+    /// [`Cluster::produce_batch`] does.
+    ///
+    /// # Errors
+    ///
+    /// Propagates topic/partition lookup failures.
+    pub fn partition_writer(&self, topic: &str, partition: u32) -> Result<crate::PartitionWriter> {
+        let placement = self.placement(topic, partition)?;
+        let mut targets = Vec::with_capacity(1 + placement.followers.len());
+        for &b in std::iter::once(&placement.leader).chain(placement.followers.iter()) {
+            let broker = self.inner.brokers[b].clone();
+            let t = broker.topic(topic)?;
+            if partition >= t.partition_count() {
+                return Err(Error::UnknownPartition {
+                    topic: topic.to_string(),
+                    partition,
+                });
+            }
+            targets.push(crate::handle::WriteTarget { broker, topic: t });
+        }
+        Ok(crate::PartitionWriter::new(targets, partition))
+    }
+
+    /// Resolves a cached fetch handle reading from the partition leader.
+    ///
+    /// # Errors
+    ///
+    /// Propagates topic/partition lookup failures.
+    pub fn partition_reader(&self, topic: &str, partition: u32) -> Result<crate::PartitionReader> {
+        let placement = self.placement(topic, partition)?;
+        self.inner.brokers[placement.leader].partition_reader(topic, partition)
+    }
 }
 
 impl Default for Cluster {
@@ -212,9 +260,10 @@ mod tests {
     #[test]
     fn leaders_round_robin() {
         let cluster = Cluster::new(ClusterConfig { brokers: 3 });
-        cluster.create_topic("a", TopicConfig::default().partitions(3)).unwrap();
-        let leaders: Vec<usize> =
-            (0..3).map(|p| cluster.leader_of("a", p).unwrap()).collect();
+        cluster
+            .create_topic("a", TopicConfig::default().partitions(3))
+            .unwrap();
+        let leaders: Vec<usize> = (0..3).map(|p| cluster.leader_of("a", p).unwrap()).collect();
         assert_eq!(leaders, vec![0, 1, 2]);
     }
 
@@ -224,7 +273,13 @@ mod tests {
         let err = cluster
             .create_topic("big", TopicConfig::default().replication_factor(3))
             .unwrap_err();
-        assert!(matches!(err, Error::NotEnoughBrokers { requested: 3, available: 2 }));
+        assert!(matches!(
+            err,
+            Error::NotEnoughBrokers {
+                requested: 3,
+                available: 2
+            }
+        ));
     }
 
     #[test]
@@ -243,7 +298,9 @@ mod tests {
     #[test]
     fn rf1_stays_on_leader() {
         let cluster = Cluster::new(ClusterConfig { brokers: 3 });
-        cluster.create_topic("solo", TopicConfig::default()).unwrap();
+        cluster
+            .create_topic("solo", TopicConfig::default())
+            .unwrap();
         cluster.produce("solo", 0, Record::from_value("x")).unwrap();
         let leader = cluster.leader_of("solo", 0).unwrap();
         let mut hosted = 0;
@@ -270,7 +327,13 @@ mod tests {
     fn fetch_reads_leader() {
         let cluster = Cluster::default();
         cluster.create_topic("t", TopicConfig::default()).unwrap();
-        cluster.produce_batch("t", 0, vec![Record::from_value("a"), Record::from_value("b")]).unwrap();
+        cluster
+            .produce_batch(
+                "t",
+                0,
+                vec![Record::from_value("a"), Record::from_value("b")],
+            )
+            .unwrap();
         let records = cluster.fetch("t", 0, 0, 10).unwrap();
         assert_eq!(records.len(), 2);
         assert!(cluster.fetch("missing", 0, 0, 1).is_err());

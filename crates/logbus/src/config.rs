@@ -224,11 +224,15 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_configs() {
-        let mut c = TopicConfig::default();
-        c.replication_factor = 0;
+        let c = TopicConfig {
+            replication_factor: 0,
+            ..TopicConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = TopicConfig::default();
-        c.segment_bytes = 0;
+        let c = TopicConfig {
+            segment_bytes: 0,
+            ..TopicConfig::default()
+        };
         assert!(c.validate().is_err());
         assert!(TopicConfig::default().validate().is_ok());
     }

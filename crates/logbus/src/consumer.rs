@@ -2,8 +2,8 @@
 
 use crate::bus::Bus;
 use crate::error::{Error, Result};
+use crate::handle::PartitionReader;
 use crate::record::StoredRecord;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Consumer configuration.
@@ -21,7 +21,11 @@ pub struct ConsumerConfig {
 
 impl Default for ConsumerConfig {
     fn default() -> Self {
-        ConsumerConfig { group: None, max_poll_records: 4096, start_from_earliest: true }
+        ConsumerConfig {
+            group: None,
+            max_poll_records: 4096,
+            start_from_earliest: true,
+        }
     }
 }
 
@@ -47,8 +51,21 @@ impl GroupAssignment {
         for p in 0..partitions {
             assignment[p as usize % members].push(p);
         }
-        GroupAssignment { members: assignment }
+        GroupAssignment {
+            members: assignment,
+        }
     }
+}
+
+/// One assigned partition: its identity, fetch position, and the cached
+/// [`PartitionReader`] resolved at assignment time — so polling never
+/// re-resolves topic names or clones/sorts the assignment set.
+#[derive(Debug)]
+struct AssignedPartition {
+    topic: String,
+    partition: u32,
+    position: u64,
+    reader: PartitionReader,
 }
 
 /// A polling consumer over any [`Bus`].
@@ -77,8 +94,9 @@ impl GroupAssignment {
 pub struct Consumer {
     bus: Arc<dyn Bus>,
     config: ConsumerConfig,
-    /// Assigned partitions with their next fetch position.
-    positions: HashMap<(String, u32), u64>,
+    /// Assigned partitions, kept sorted by (topic, partition) so polling
+    /// order is deterministic without per-poll clone + sort.
+    assigned: Vec<AssignedPartition>,
     /// Round-robin cursor over assignments for fair polling.
     cursor: usize,
 }
@@ -91,12 +109,23 @@ impl Consumer {
 
     /// Creates a consumer with an explicit configuration.
     pub fn with_config(bus: impl Bus + 'static, config: ConsumerConfig) -> Self {
-        Consumer { bus: Arc::new(bus), config, positions: HashMap::new(), cursor: 0 }
+        Consumer {
+            bus: Arc::new(bus),
+            config,
+            assigned: Vec::new(),
+            cursor: 0,
+        }
     }
 
     /// The consumer configuration.
     pub fn config(&self) -> &ConsumerConfig {
         &self.config
+    }
+
+    fn find(&self, topic: &str, partition: u32) -> Option<usize> {
+        self.assigned
+            .iter()
+            .position(|a| a.partition == partition && a.topic == topic)
     }
 
     /// Assigns one partition, starting from the committed group offset if
@@ -106,9 +135,7 @@ impl Consumer {
     ///
     /// Fails for unknown topics/partitions.
     pub fn assign(&mut self, topic: &str, partition: u32) -> Result<()> {
-        if partition >= self.bus.partition_count(topic)? {
-            return Err(Error::UnknownPartition { topic: topic.to_string(), partition });
-        }
+        let reader = self.bus.partition_reader(topic, partition)?;
         let start = match self
             .config
             .group
@@ -116,10 +143,24 @@ impl Consumer {
             .and_then(|g| self.bus.committed_offset(g, topic, partition))
         {
             Some(committed) => committed,
-            None if self.config.start_from_earliest => self.bus.earliest_offset(topic, partition)?,
-            None => self.bus.latest_offset(topic, partition)?,
+            None if self.config.start_from_earliest => reader.earliest_offset()?,
+            None => reader.latest_offset()?,
         };
-        self.positions.insert((topic.to_string(), partition), start);
+        let entry = AssignedPartition {
+            topic: topic.to_string(),
+            partition,
+            position: start,
+            reader,
+        };
+        match self.find(topic, partition) {
+            Some(i) => self.assigned[i] = entry,
+            None => {
+                let at = self
+                    .assigned
+                    .partition_point(|a| (a.topic.as_str(), a.partition) < (topic, partition));
+                self.assigned.insert(at, entry);
+            }
+        }
         Ok(())
     }
 
@@ -137,14 +178,16 @@ impl Consumer {
 
     /// The currently assigned (topic, partition) pairs, sorted.
     pub fn assignment(&self) -> Vec<(String, u32)> {
-        let mut v: Vec<_> = self.positions.keys().cloned().collect();
-        v.sort();
-        v
+        self.assigned
+            .iter()
+            .map(|a| (a.topic.clone(), a.partition))
+            .collect()
     }
 
     /// Next fetch position for an assigned partition.
     pub fn position(&self, topic: &str, partition: u32) -> Option<u64> {
-        self.positions.get(&(topic.to_string(), partition)).copied()
+        self.find(topic, partition)
+            .map(|i| self.assigned[i].position)
     }
 
     /// Moves the fetch position of an assigned partition.
@@ -153,9 +196,9 @@ impl Consumer {
     ///
     /// Returns [`Error::NoAssignment`] if the partition is not assigned.
     pub fn seek(&mut self, topic: &str, partition: u32, offset: u64) -> Result<()> {
-        match self.positions.get_mut(&(topic.to_string(), partition)) {
-            Some(pos) => {
-                *pos = offset;
+        match self.find(topic, partition) {
+            Some(i) => {
+                self.assigned[i].position = offset;
                 Ok(())
             }
             None => Err(Error::NoAssignment),
@@ -168,10 +211,8 @@ impl Consumer {
     ///
     /// Propagates bus lookup failures.
     pub fn seek_to_beginning(&mut self) -> Result<()> {
-        let keys: Vec<_> = self.positions.keys().cloned().collect();
-        for (topic, partition) in keys {
-            let earliest = self.bus.earliest_offset(&topic, partition)?;
-            self.positions.insert((topic, partition), earliest);
+        for assigned in &mut self.assigned {
+            assigned.position = assigned.reader.earliest_offset()?;
         }
         Ok(())
     }
@@ -188,28 +229,40 @@ impl Consumer {
     /// Returns [`Error::NoAssignment`] when nothing is assigned; propagates
     /// fetch failures.
     pub fn poll(&mut self, max: usize) -> Result<Vec<StoredRecord>> {
-        if self.positions.is_empty() {
+        let mut out = Vec::new();
+        self.poll_into(max, &mut out)?;
+        Ok(out)
+    }
+
+    /// Buffer-reusing poll: clears `out` (retaining its capacity), then
+    /// fetches up to `max` records into it exactly as [`Consumer::poll`]
+    /// does. Returns the number of records polled. Steady-state loops that
+    /// pass the same buffer every iteration fetch without allocating.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Consumer::poll`].
+    pub fn poll_into(&mut self, max: usize, out: &mut Vec<StoredRecord>) -> Result<usize> {
+        out.clear();
+        if self.assigned.is_empty() {
             return Err(Error::NoAssignment);
         }
         let max = max.min(self.config.max_poll_records);
-        let mut keys: Vec<_> = self.positions.keys().cloned().collect();
-        keys.sort();
-        let n = keys.len();
-        let mut out = Vec::new();
+        let n = self.assigned.len();
         for i in 0..n {
             if out.len() >= max {
                 break;
             }
-            let key = &keys[(self.cursor + i) % n];
-            let pos = self.positions[key];
-            let batch = self.bus.fetch(&key.0, key.1, pos, max - out.len())?;
-            if let Some(last) = batch.last() {
-                self.positions.insert(key.clone(), last.offset + 1);
+            let assigned = &mut self.assigned[(self.cursor + i) % n];
+            let appended = assigned
+                .reader
+                .fetch_into(assigned.position, max - out.len(), out)?;
+            if appended > 0 {
+                assigned.position = out.last().expect("just appended").offset + 1;
             }
-            out.extend(batch);
         }
         self.cursor = self.cursor.wrapping_add(1);
-        Ok(out)
+        Ok(out.len())
     }
 
     /// Commits current positions under the configured group.
@@ -224,8 +277,13 @@ impl Consumer {
             .group
             .as_deref()
             .ok_or_else(|| Error::UnknownGroup("<none>".to_string()))?;
-        for ((topic, partition), &offset) in &self.positions {
-            self.bus.commit_offset(group, topic, *partition, offset)?;
+        for assigned in &self.assigned {
+            self.bus.commit_offset(
+                group,
+                &assigned.topic,
+                assigned.partition,
+                assigned.position,
+            )?;
         }
         Ok(())
     }
@@ -240,10 +298,14 @@ mod tests {
 
     fn setup(partitions: u32, records_per_partition: u64) -> Broker {
         let broker = Broker::new();
-        broker.create_topic("t", TopicConfig::default().partitions(partitions)).unwrap();
+        broker
+            .create_topic("t", TopicConfig::default().partitions(partitions))
+            .unwrap();
         for p in 0..partitions {
             for i in 0..records_per_partition {
-                broker.produce("t", p, Record::from_value(format!("p{p}-{i}"))).unwrap();
+                broker
+                    .produce("t", p, Record::from_value(format!("p{p}-{i}")))
+                    .unwrap();
             }
         }
         broker
@@ -261,6 +323,22 @@ mod tests {
         assert_eq!(batch.len(), 6);
         assert_eq!(batch[0].offset, 4);
         assert!(consumer.poll(100).unwrap().is_empty());
+    }
+
+    #[test]
+    fn poll_into_reuses_buffer() {
+        let broker = setup(1, 10);
+        let mut consumer = Consumer::new(broker);
+        consumer.assign("t", 0).unwrap();
+        let mut buffer = Vec::new();
+        assert_eq!(consumer.poll_into(4, &mut buffer).unwrap(), 4);
+        assert_eq!(buffer[0].offset, 0);
+        let capacity = buffer.capacity();
+        assert_eq!(consumer.poll_into(4, &mut buffer).unwrap(), 4);
+        assert_eq!(buffer[0].offset, 4, "buffer is cleared, not appended to");
+        assert_eq!(buffer.capacity(), capacity, "capacity is retained");
+        assert_eq!(consumer.poll_into(100, &mut buffer).unwrap(), 2);
+        assert_eq!(consumer.poll_into(100, &mut buffer).unwrap(), 0);
     }
 
     #[test]
@@ -294,9 +372,27 @@ mod tests {
     }
 
     #[test]
+    fn reassign_resets_position() {
+        let broker = setup(1, 10);
+        let mut consumer = Consumer::new(broker);
+        consumer.assign("t", 0).unwrap();
+        assert_eq!(consumer.poll(6).unwrap().len(), 6);
+        consumer.assign("t", 0).unwrap();
+        assert_eq!(
+            consumer.assignment().len(),
+            1,
+            "re-assign replaces, not duplicates"
+        );
+        assert_eq!(consumer.position("t", 0), Some(0));
+    }
+
+    #[test]
     fn group_offsets_resume() {
         let broker = setup(1, 10);
-        let config = ConsumerConfig { group: Some("g".into()), ..ConsumerConfig::default() };
+        let config = ConsumerConfig {
+            group: Some("g".into()),
+            ..ConsumerConfig::default()
+        };
         {
             let mut consumer = Consumer::with_config(broker.clone(), config.clone());
             consumer.assign("t", 0).unwrap();
@@ -323,7 +419,10 @@ mod tests {
         let broker = setup(1, 5);
         let mut consumer = Consumer::with_config(
             broker.clone(),
-            ConsumerConfig { start_from_earliest: false, ..ConsumerConfig::default() },
+            ConsumerConfig {
+                start_from_earliest: false,
+                ..ConsumerConfig::default()
+            },
         );
         consumer.assign("t", 0).unwrap();
         assert!(consumer.poll(100).unwrap().is_empty());
@@ -344,6 +443,27 @@ mod tests {
         let mut consumer = Consumer::new(broker);
         assert!(consumer.assign("t", 5).is_err());
         assert!(consumer.assign("missing", 0).is_err());
+    }
+
+    #[test]
+    fn assignment_is_sorted() {
+        let broker = Broker::new();
+        broker
+            .create_topic("b", TopicConfig::default().partitions(2))
+            .unwrap();
+        broker.create_topic("a", TopicConfig::default()).unwrap();
+        let mut consumer = Consumer::new(broker);
+        consumer.assign("b", 1).unwrap();
+        consumer.assign("a", 0).unwrap();
+        consumer.assign("b", 0).unwrap();
+        assert_eq!(
+            consumer.assignment(),
+            vec![
+                ("a".to_string(), 0),
+                ("b".to_string(), 0),
+                ("b".to_string(), 1)
+            ]
+        );
     }
 
     #[test]

@@ -55,11 +55,18 @@ impl fmt::Display for Error {
             }
             Error::TopicExists(t) => write!(f, "topic `{t}` already exists"),
             Error::InvalidConfig(msg) => write!(f, "invalid topic config: {msg}"),
-            Error::OffsetOutOfRange { requested, earliest, latest } => write!(
+            Error::OffsetOutOfRange {
+                requested,
+                earliest,
+                latest,
+            } => write!(
                 f,
                 "offset {requested} out of range (earliest {earliest}, latest {latest})"
             ),
-            Error::NotEnoughBrokers { requested, available } => write!(
+            Error::NotEnoughBrokers {
+                requested,
+                available,
+            } => write!(
                 f,
                 "replication factor {requested} exceeds available brokers ({available})"
             ),
@@ -75,9 +82,15 @@ impl std::error::Error for Error {}
 impl From<OffsetError> for Error {
     fn from(err: OffsetError) -> Self {
         match err {
-            OffsetError::OffsetOutOfRange { requested, earliest, latest } => {
-                Error::OffsetOutOfRange { requested, earliest, latest }
-            }
+            OffsetError::OffsetOutOfRange {
+                requested,
+                earliest,
+                latest,
+            } => Error::OffsetOutOfRange {
+                requested,
+                earliest,
+                latest,
+            },
         }
     }
 }
@@ -90,11 +103,21 @@ mod tests {
     fn display_is_lowercase_and_concise() {
         let samples: Vec<Error> = vec![
             Error::UnknownTopic("t".into()),
-            Error::UnknownPartition { topic: "t".into(), partition: 3 },
+            Error::UnknownPartition {
+                topic: "t".into(),
+                partition: 3,
+            },
             Error::TopicExists("t".into()),
             Error::InvalidConfig("bad".into()),
-            Error::OffsetOutOfRange { requested: 9, earliest: 0, latest: 5 },
-            Error::NotEnoughBrokers { requested: 3, available: 1 },
+            Error::OffsetOutOfRange {
+                requested: 9,
+                earliest: 0,
+                latest: 5,
+            },
+            Error::NotEnoughBrokers {
+                requested: 3,
+                available: 1,
+            },
             Error::NoAssignment,
             Error::UnknownGroup("g".into()),
             Error::ProducerClosed,
@@ -109,8 +132,20 @@ mod tests {
 
     #[test]
     fn offset_error_converts() {
-        let e: Error = OffsetError::OffsetOutOfRange { requested: 1, earliest: 2, latest: 3 }.into();
-        assert_eq!(e, Error::OffsetOutOfRange { requested: 1, earliest: 2, latest: 3 });
+        let e: Error = OffsetError::OffsetOutOfRange {
+            requested: 1,
+            earliest: 2,
+            latest: 3,
+        }
+        .into();
+        assert_eq!(
+            e,
+            Error::OffsetOutOfRange {
+                requested: 1,
+                earliest: 2,
+                latest: 3
+            }
+        );
     }
 
     #[test]

@@ -1,0 +1,365 @@
+//! Cached partition handles: the steady-state fast path.
+//!
+//! Every named broker operation (`produce`, `fetch`, …) pays the same
+//! fixed toll per call: hash the topic name, take the topic-map read
+//! lock, clone the topic `Arc`, and — for clients that buffer per
+//! partition — allocate a `(String, u32)` key. None of that work changes
+//! between calls in a steady-state pipeline, which produces to and
+//! fetches from the same partition millions of times.
+//!
+//! [`PartitionWriter`] and [`PartitionReader`] hoist that resolution out
+//! of the loop: they are obtained once (from a [`Broker`], a
+//! [`Cluster`](crate::Cluster), or any [`Bus`](crate::Bus)) and hold the
+//! resolved `Arc<Topic>` plus partition index. Per-record work is then
+//! exactly the per-partition lock and the append/read — plus the
+//! *deliberately preserved* simulated network round trip
+//! ([`Broker::set_request_latency_micros`]), which models the paper's
+//! remote Kafka cluster and must cost the same on both paths.
+//!
+//! Handles pin their topic: like a Kafka client with cached metadata,
+//! a handle keeps appending to (or reading from) the log it resolved,
+//! even if the topic is deleted from the broker's name map afterwards.
+//! The named-lookup methods on [`Broker`] remain the source of truth for
+//! topic existence.
+
+use crate::broker::Broker;
+use crate::error::Result;
+use crate::record::{Record, StoredRecord};
+use crate::topic::{spin_delay, Topic};
+use std::sync::Arc;
+
+/// One replica target of a writer: the hosting broker (for its clock and
+/// simulated request latency) and its resolved topic.
+#[derive(Debug, Clone)]
+pub(crate) struct WriteTarget {
+    pub(crate) broker: Broker,
+    pub(crate) topic: Arc<Topic>,
+}
+
+impl WriteTarget {
+    fn append(&self, partition: u32, record: Record) -> Result<u64> {
+        self.topic.append_delayed(
+            partition,
+            record,
+            self.broker.now(),
+            self.broker.request_delay(),
+        )
+    }
+
+    fn append_batch(&self, partition: u32, records: Vec<Record>) -> Result<u64> {
+        self.topic.append_batch_delayed(
+            partition,
+            records,
+            self.broker.now(),
+            self.broker.request_delay(),
+        )
+    }
+}
+
+/// A produce handle bound to one partition.
+///
+/// Obtained via [`Broker::partition_writer`] or
+/// [`Bus::partition_writer`](crate::Bus::partition_writer). Appends skip
+/// the topic-name lookup entirely; on a [`Cluster`](crate::Cluster) the
+/// handle holds the leader first and every follower after it, so each
+/// produce replicates exactly as the named path does — each broker paying
+/// its own simulated round trip while holding the partition append lock.
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use logbus::{Broker, Record, TopicConfig};
+///
+/// let broker = Broker::new();
+/// broker.create_topic("t", TopicConfig::default())?;
+/// let writer = broker.partition_writer("t", 0)?;
+/// for i in 0..100 {
+///     writer.produce(Record::from_value(format!("{i}")))?;
+/// }
+/// assert_eq!(broker.latest_offset("t", 0)?, 100);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PartitionWriter {
+    /// Leader first, then followers (empty only never — a writer always
+    /// has at least its leader target).
+    targets: Vec<WriteTarget>,
+    partition: u32,
+}
+
+impl PartitionWriter {
+    pub(crate) fn new(targets: Vec<WriteTarget>, partition: u32) -> Self {
+        debug_assert!(!targets.is_empty(), "a writer needs a leader target");
+        PartitionWriter { targets, partition }
+    }
+
+    /// The topic this writer appends to.
+    pub fn topic(&self) -> &str {
+        self.targets[0].topic.name()
+    }
+
+    /// The partition this writer appends to.
+    pub fn partition(&self) -> u32 {
+        self.partition
+    }
+
+    /// Appends one record, returning the leader's assigned offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownPartition`](crate::Error::UnknownPartition)
+    /// for out-of-range partitions (only possible if the handle was built
+    /// unchecked — construction validates the partition).
+    pub fn produce(&self, record: Record) -> Result<u64> {
+        let (leader, followers) = self.targets.split_first().expect("leader target");
+        if followers.is_empty() {
+            return leader.append(self.partition, record);
+        }
+        let offset = leader.append(self.partition, record.clone())?;
+        for follower in followers {
+            follower.append(self.partition, record.clone())?;
+        }
+        Ok(offset)
+    }
+
+    /// Appends a batch — one broker-side append, one shared
+    /// `LogAppendTime` stamp — returning the leader's base offset.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PartitionWriter::produce`].
+    pub fn produce_batch(&self, records: Vec<Record>) -> Result<u64> {
+        let (leader, followers) = self.targets.split_first().expect("leader target");
+        if followers.is_empty() {
+            return leader.append_batch(self.partition, records);
+        }
+        let offset = leader.append_batch(self.partition, records.clone())?;
+        for follower in followers {
+            follower.append_batch(self.partition, records.clone())?;
+        }
+        Ok(offset)
+    }
+}
+
+/// A fetch handle bound to one partition.
+///
+/// Obtained via [`Broker::partition_reader`] or
+/// [`Bus::partition_reader`](crate::Bus::partition_reader); on a
+/// [`Cluster`](crate::Cluster) it reads from the partition leader, like
+/// the named fetch path. Reads pay the leader broker's simulated round
+/// trip *without* holding any partition lock (fetches from different
+/// consumers overlap, unlike same-partition produces — see
+/// [`Broker::fetch`]).
+#[derive(Debug, Clone)]
+pub struct PartitionReader {
+    broker: Broker,
+    topic: Arc<Topic>,
+    partition: u32,
+}
+
+impl PartitionReader {
+    pub(crate) fn new(broker: Broker, topic: Arc<Topic>, partition: u32) -> Self {
+        PartitionReader {
+            broker,
+            topic,
+            partition,
+        }
+    }
+
+    /// The topic this reader fetches from.
+    pub fn topic(&self) -> &str {
+        self.topic.name()
+    }
+
+    /// The partition this reader fetches from.
+    pub fn partition(&self) -> u32 {
+        self.partition
+    }
+
+    /// Fetches up to `max` records from `offset` into a fresh vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OffsetOutOfRange`](crate::Error::OffsetOutOfRange)
+    /// outside the retained range.
+    pub fn fetch(&self, offset: u64, max: usize) -> Result<Vec<StoredRecord>> {
+        let mut out = Vec::new();
+        self.fetch_into(offset, max, &mut out)?;
+        Ok(out)
+    }
+
+    /// Fetches up to `max` records from `offset`, **appending** them to
+    /// `out` (the buffer is not cleared, so one buffer can accumulate a
+    /// poll across partitions). Returns the number of records appended.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PartitionReader::fetch`].
+    pub fn fetch_into(
+        &self,
+        offset: u64,
+        max: usize,
+        out: &mut Vec<StoredRecord>,
+    ) -> Result<usize> {
+        spin_delay(self.broker.request_delay());
+        self.topic.read_into(self.partition, offset, max, out)
+    }
+
+    /// Next offset to be written in the partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownPartition`](crate::Error::UnknownPartition)
+    /// (not possible for handles built through validated construction).
+    pub fn latest_offset(&self) -> Result<u64> {
+        self.topic.latest_offset(self.partition)
+    }
+
+    /// Earliest retained offset in the partition.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PartitionReader::latest_offset`].
+    pub fn earliest_offset(&self) -> Result<u64> {
+        self.topic.earliest_offset(self.partition)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, ClusterConfig};
+    use crate::config::TopicConfig;
+    use crate::error::Error;
+
+    #[test]
+    fn writer_and_named_path_interleave() {
+        let broker = Broker::new();
+        broker.create_topic("t", TopicConfig::default()).unwrap();
+        let writer = broker.partition_writer("t", 0).unwrap();
+        assert_eq!(writer.topic(), "t");
+        assert_eq!(writer.partition(), 0);
+        assert_eq!(writer.produce(Record::from_value("a")).unwrap(), 0);
+        assert_eq!(broker.produce("t", 0, Record::from_value("b")).unwrap(), 1);
+        assert_eq!(
+            writer.produce_batch(vec![Record::from_value("c")]).unwrap(),
+            2
+        );
+        assert_eq!(broker.latest_offset("t", 0).unwrap(), 3);
+    }
+
+    #[test]
+    fn reader_matches_named_fetch() {
+        let broker = Broker::new();
+        broker.create_topic("t", TopicConfig::default()).unwrap();
+        for i in 0..10 {
+            broker
+                .produce("t", 0, Record::from_value(format!("{i}")))
+                .unwrap();
+        }
+        let reader = broker.partition_reader("t", 0).unwrap();
+        assert_eq!(
+            reader.fetch(3, 4).unwrap(),
+            broker.fetch("t", 0, 3, 4).unwrap()
+        );
+        assert_eq!(reader.latest_offset().unwrap(), 10);
+        assert_eq!(reader.earliest_offset().unwrap(), 0);
+    }
+
+    #[test]
+    fn fetch_into_appends_and_reuses() {
+        let broker = Broker::new();
+        broker.create_topic("t", TopicConfig::default()).unwrap();
+        for i in 0..6 {
+            broker
+                .produce("t", 0, Record::from_value(format!("{i}")))
+                .unwrap();
+        }
+        let reader = broker.partition_reader("t", 0).unwrap();
+        let mut buffer = Vec::new();
+        assert_eq!(reader.fetch_into(0, 4, &mut buffer).unwrap(), 4);
+        assert_eq!(reader.fetch_into(4, 4, &mut buffer).unwrap(), 2);
+        assert_eq!(buffer.len(), 6);
+        for (i, stored) in buffer.iter().enumerate() {
+            assert_eq!(stored.offset, i as u64);
+        }
+    }
+
+    #[test]
+    fn handle_construction_validates() {
+        let broker = Broker::new();
+        assert!(matches!(
+            broker.partition_writer("nope", 0),
+            Err(Error::UnknownTopic(_))
+        ));
+        assert!(matches!(
+            broker.partition_reader("nope", 0),
+            Err(Error::UnknownTopic(_))
+        ));
+        broker.create_topic("t", TopicConfig::default()).unwrap();
+        assert!(matches!(
+            broker.partition_writer("t", 5),
+            Err(Error::UnknownPartition { partition: 5, .. })
+        ));
+        assert!(matches!(
+            broker.partition_reader("t", 5),
+            Err(Error::UnknownPartition { partition: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn cluster_writer_replicates_to_followers() {
+        let cluster = Cluster::new(ClusterConfig { brokers: 3 });
+        cluster
+            .create_topic("r", TopicConfig::default().replication_factor(3))
+            .unwrap();
+        let writer = cluster.partition_writer("r", 0).unwrap();
+        writer.produce(Record::from_value("x")).unwrap();
+        writer
+            .produce_batch(vec![Record::from_value("y"), Record::from_value("z")])
+            .unwrap();
+        for b in 0..3 {
+            let records = cluster.broker(b).fetch("r", 0, 0, 10).unwrap();
+            assert_eq!(records.len(), 3, "broker {b} missing replicas");
+        }
+    }
+
+    #[test]
+    fn cluster_reader_reads_leader() {
+        let cluster = Cluster::new(ClusterConfig { brokers: 3 });
+        cluster.create_topic("t", TopicConfig::default()).unwrap();
+        cluster.produce("t", 0, Record::from_value("a")).unwrap();
+        let reader = cluster.partition_reader("t", 0).unwrap();
+        assert_eq!(reader.fetch(0, 10).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn writer_pays_request_latency() {
+        let broker = Broker::new();
+        broker.create_topic("t", TopicConfig::default()).unwrap();
+        broker.set_request_latency_micros(2_000);
+        let writer = broker.partition_writer("t", 0).unwrap();
+        let start = std::time::Instant::now();
+        for _ in 0..5 {
+            writer.produce(Record::from_value("x")).unwrap();
+        }
+        assert!(start.elapsed() >= std::time::Duration::from_millis(10));
+    }
+
+    #[test]
+    fn reader_pays_request_latency() {
+        let broker = Broker::new();
+        broker.create_topic("t", TopicConfig::default()).unwrap();
+        broker.produce("t", 0, Record::from_value("x")).unwrap();
+        broker.set_request_latency_micros(2_000);
+        let reader = broker.partition_reader("t", 0).unwrap();
+        let start = std::time::Instant::now();
+        for _ in 0..5 {
+            reader.fetch(0, 1).unwrap();
+        }
+        assert!(start.elapsed() >= std::time::Duration::from_millis(10));
+    }
+}

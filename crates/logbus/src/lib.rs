@@ -22,6 +22,10 @@
 //!   commit offsets under a group id.
 //! * A [`Cluster`] of brokers assigns partition leaders and maintains
 //!   follower replicas according to the topic's replication factor.
+//! * **Partition handles** ([`PartitionWriter`], [`PartitionReader`])
+//!   cache topic resolution once so steady-state hot loops skip name
+//!   hashing, topic-map locking, and key allocation entirely — while the
+//!   simulated network round trip stays on both paths.
 //!
 //! # Example
 //!
@@ -58,6 +62,7 @@ mod cluster;
 mod config;
 mod consumer;
 mod error;
+mod handle;
 mod log;
 mod producer;
 mod record;
@@ -73,6 +78,7 @@ pub use cluster::{Cluster, ClusterConfig};
 pub use config::{Acks, CompressionHint, TimestampType, TopicConfig};
 pub use consumer::{Consumer, ConsumerConfig, GroupAssignment};
 pub use error::{Error, Result};
+pub use handle::{PartitionReader, PartitionWriter};
 pub use log::{LogStats, OffsetError, PartitionLog};
 pub use producer::{Partitioner, Producer, ProducerConfig, RateLimit};
 pub use record::{Header, Record, StoredRecord, Timestamp};

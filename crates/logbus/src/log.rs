@@ -75,7 +75,11 @@ impl PartitionLog {
         if self.active_segment_full() {
             self.segments.push(Segment::new(offset));
         }
-        let stored = StoredRecord { offset, timestamp: stamp, record };
+        let stored = StoredRecord {
+            offset,
+            timestamp: stamp,
+            record,
+        };
         self.segments
             .last_mut()
             .expect("log always has an active segment")
@@ -93,7 +97,9 @@ impl PartitionLog {
     }
 
     fn apply_retention(&mut self) {
-        let Some(limit) = self.config.retention_records else { return };
+        let Some(limit) = self.config.retention_records else {
+            return;
+        };
         // Drop whole inactive segments while the retained count exceeds the
         // limit, as Kafka's record-count retention does.
         while self.segments.len() > 1 {
@@ -116,6 +122,25 @@ impl PartitionLog {
     /// offset. Reading *at* the next offset yields an empty batch (a poll
     /// on a caught-up consumer).
     pub fn read(&self, offset: u64, max: usize) -> Result<Vec<StoredRecord>, OffsetError> {
+        let mut out = Vec::new();
+        self.read_into(offset, max, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`PartitionLog::read`], but **appends** the records to `out`
+    /// instead of allocating a fresh vector, so steady-state consumers can
+    /// reuse one buffer across polls. Returns the number of records
+    /// appended; `out` is never cleared or truncated.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PartitionLog::read`].
+    pub fn read_into(
+        &self,
+        offset: u64,
+        max: usize,
+        out: &mut Vec<StoredRecord>,
+    ) -> Result<usize, OffsetError> {
         if offset < self.log_start_offset || offset > self.next_offset() {
             return Err(OffsetError::OffsetOutOfRange {
                 requested: offset,
@@ -123,19 +148,26 @@ impl PartitionLog {
                 latest: self.next_offset(),
             });
         }
-        let mut out = Vec::new();
+        // Reserve the exact record count once: reads spanning several
+        // segments then append into a single allocation instead of
+        // growing geometrically.
+        out.reserve(max.min((self.next_offset() - offset) as usize));
+        let start = out.len();
         let mut cursor = offset;
         for segment in &self.segments {
-            if out.len() >= max {
+            let appended = out.len() - start;
+            if appended >= max {
                 break;
             }
-            let slice = segment.read_from(cursor, max - out.len());
+            let slice = segment.read_from(cursor, max - appended);
             out.extend_from_slice(slice);
-            if let Some(last) = out.last() {
-                cursor = last.offset + 1;
+            // Only records appended by this call may advance the cursor;
+            // `out` can hold unrelated records from other partitions.
+            if out.len() > start {
+                cursor = out.last().expect("non-empty past start").offset + 1;
             }
         }
-        Ok(out)
+        Ok(out.len() - start)
     }
 
     /// Offset of the first record whose stored timestamp is at or after
@@ -203,7 +235,11 @@ pub enum OffsetError {
 impl std::fmt::Display for OffsetError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            OffsetError::OffsetOutOfRange { requested, earliest, latest } => write!(
+            OffsetError::OffsetOutOfRange {
+                requested,
+                earliest,
+                latest,
+            } => write!(
                 f,
                 "offset {requested} out of range (earliest {earliest}, latest {latest})"
             ),
@@ -246,7 +282,10 @@ mod tests {
     fn segments_roll_by_size() {
         let mut log = log_with(64);
         append_n(&mut log, 50);
-        assert!(log.stats().segments > 1, "expected the tiny segments to roll");
+        assert!(
+            log.stats().segments > 1,
+            "expected the tiny segments to roll"
+        );
         // Reads spanning segment boundaries are seamless.
         let all = log.read(0, 1000).unwrap();
         assert_eq!(all.len(), 50);
@@ -267,12 +306,21 @@ mod tests {
     #[test]
     fn read_before_start_errors() {
         let mut log = PartitionLog::new(
-            TopicConfig::default().segment_bytes(40).retention_records(5),
+            TopicConfig::default()
+                .segment_bytes(40)
+                .retention_records(5),
         );
         append_n(&mut log, 100);
-        assert!(log.earliest_offset() > 0, "retention should have dropped segments");
+        assert!(
+            log.earliest_offset() > 0,
+            "retention should have dropped segments"
+        );
         let err = log.read(0, 10).unwrap_err();
-        let OffsetError::OffsetOutOfRange { requested, earliest, .. } = err;
+        let OffsetError::OffsetOutOfRange {
+            requested,
+            earliest,
+            ..
+        } = err;
         assert_eq!(requested, 0);
         assert_eq!(earliest, log.earliest_offset());
         // Offsets of retained records are preserved after retention.
@@ -313,7 +361,10 @@ mod timestamp_lookup_tests {
     fn log_with_stamps(stamps: &[i64], segment_bytes: usize) -> PartitionLog {
         let mut log = PartitionLog::new(TopicConfig::default().segment_bytes(segment_bytes));
         for (i, &ts) in stamps.iter().enumerate() {
-            log.append(Record::from_value(format!("r{i}")), Timestamp::from_micros(ts));
+            log.append(
+                Record::from_value(format!("r{i}")),
+                Timestamp::from_micros(ts),
+            );
         }
         log
     }
@@ -324,7 +375,11 @@ mod timestamp_lookup_tests {
         assert_eq!(log.offset_for_timestamp(Timestamp(5)), Some(0));
         assert_eq!(log.offset_for_timestamp(Timestamp(10)), Some(0));
         assert_eq!(log.offset_for_timestamp(Timestamp(11)), Some(1));
-        assert_eq!(log.offset_for_timestamp(Timestamp(20)), Some(1), "first of equal stamps");
+        assert_eq!(
+            log.offset_for_timestamp(Timestamp(20)),
+            Some(1),
+            "first of equal stamps"
+        );
         assert_eq!(log.offset_for_timestamp(Timestamp(35)), Some(4));
         assert_eq!(log.offset_for_timestamp(Timestamp(41)), None);
     }
@@ -337,7 +392,11 @@ mod timestamp_lookup_tests {
         assert!(log.stats().segments > 1);
         for probe in [0i64, 95, 500, 990] {
             let expected = stamps.iter().position(|&s| s >= probe).map(|i| i as u64);
-            assert_eq!(log.offset_for_timestamp(Timestamp(probe)), expected, "probe {probe}");
+            assert_eq!(
+                log.offset_for_timestamp(Timestamp(probe)),
+                expected,
+                "probe {probe}"
+            );
         }
     }
 

@@ -3,9 +3,9 @@
 use crate::bus::Bus;
 use crate::config::Acks;
 use crate::error::{Error, Result};
+use crate::handle::PartitionWriter;
 use crate::record::Record;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -106,12 +106,51 @@ pub struct ProducerMetrics {
 pub struct Producer {
     bus: Arc<dyn Bus>,
     config: ProducerConfig,
-    buffers: HashMap<(String, u32), Vec<Record>>,
-    round_robin: HashMap<String, u32>,
+    /// Per-topic state. A linear-scanned `Vec` rather than a map: a
+    /// producer talks to a handful of topics (the benchmark uses one), so
+    /// the steady-state lookup is a length check plus one `memcmp` —
+    /// cheaper than hashing the name, and allocation-free for `&str`
+    /// callers.
+    topics: Vec<TopicEntry>,
     metrics: ProducerMetrics,
     pacing_started: Option<Instant>,
     paced_records: u64,
     closed: bool,
+}
+
+#[derive(Debug)]
+struct TopicEntry {
+    name: String,
+    state: TopicState,
+}
+
+/// Cached per-topic producer state: record buffers and resolved partition
+/// writers, both indexed by partition number.
+#[derive(Debug, Default)]
+struct TopicState {
+    /// Partition count, cached after the first successful bus query
+    /// (`logbus` topics never change their partition count).
+    partition_count: Option<u32>,
+    /// Round-robin cursor for this topic.
+    round_robin: u32,
+    /// `buffers[p]` holds the records buffered for partition `p`.
+    buffers: Vec<Vec<Record>>,
+    /// `writers[p]` is the cached produce handle for partition `p`,
+    /// resolved lazily on first flush (records may be buffered before the
+    /// topic exists; resolution failures surface exactly where the old
+    /// name-based produce failed).
+    writers: Vec<Option<PartitionWriter>>,
+}
+
+impl TopicState {
+    fn slot(&mut self, partition: u32) -> &mut Vec<Record> {
+        let index = partition as usize;
+        if self.buffers.len() <= index {
+            self.buffers.resize_with(index + 1, Vec::new);
+            self.writers.resize_with(index + 1, || None);
+        }
+        &mut self.buffers[index]
+    }
 }
 
 impl Producer {
@@ -125,8 +164,7 @@ impl Producer {
         Producer {
             bus: Arc::new(bus),
             config,
-            buffers: HashMap::new(),
-            round_robin: HashMap::new(),
+            topics: Vec::new(),
             metrics: ProducerMetrics::default(),
             pacing_started: None,
             paced_records: 0,
@@ -144,32 +182,10 @@ impl Producer {
         self.metrics
     }
 
-    fn pick_partition(&mut self, topic: &str, record: &Record) -> Result<u32> {
-        match self.config.partitioner {
-            Partitioner::Fixed(p) => Ok(p),
-            Partitioner::RoundRobin => self.next_round_robin(topic),
-            Partitioner::KeyHash => match &record.key {
-                Some(key) => {
-                    let partitions = self.bus.partition_count(topic)?;
-                    let mut hasher = DefaultHasher::new();
-                    key.hash(&mut hasher);
-                    Ok((hasher.finish() % u64::from(partitions)) as u32)
-                }
-                None => self.next_round_robin(topic),
-            },
-        }
-    }
-
-    fn next_round_robin(&mut self, topic: &str) -> Result<u32> {
-        let partitions = self.bus.partition_count(topic)?;
-        let counter = self.round_robin.entry(topic.to_string()).or_insert(0);
-        let p = *counter % partitions;
-        *counter = counter.wrapping_add(1);
-        Ok(p)
-    }
-
     fn pace(&mut self) {
-        let Some(limit) = self.config.rate_limit else { return };
+        let Some(limit) = self.config.rate_limit else {
+            return;
+        };
         let started = *self.pacing_started.get_or_insert_with(Instant::now);
         self.paced_records += 1;
         let due = Duration::from_secs_f64(self.paced_records as f64 / limit.records_per_second);
@@ -192,16 +208,31 @@ impl Producer {
             return Err(Error::ProducerClosed);
         }
         self.pace();
-        let partition = match self.pick_partition(topic, &record) {
+        let index = self.topic_index(topic);
+        // Field-level borrows keep the `&str` topic lookup allocation-free.
+        let state = &mut self.topics[index].state;
+        let partitioner = self.config.partitioner;
+        let picked = match partitioner {
+            Partitioner::Fixed(p) => Ok(p),
+            Partitioner::RoundRobin => next_round_robin(self.bus.as_ref(), state, topic),
+            Partitioner::KeyHash => match &record.key {
+                Some(key) => cached_partition_count(self.bus.as_ref(), state, topic).map(|n| {
+                    let mut hasher = DefaultHasher::new();
+                    key.hash(&mut hasher);
+                    (hasher.finish() % u64::from(n)) as u32
+                }),
+                None => next_round_robin(self.bus.as_ref(), state, topic),
+            },
+        };
+        let partition = match picked {
             Ok(p) => p,
             Err(e) => return self.absorb(e),
         };
-        let key = (topic.to_string(), partition);
-        let buffer = self.buffers.entry(key.clone()).or_default();
+        let buffer = state.slot(partition);
         buffer.push(record);
         if buffer.len() >= self.config.batch_records {
-            let batch = std::mem::take(self.buffers.get_mut(&key).expect("buffer exists"));
-            self.flush_batch(&key.0, key.1, batch)?;
+            let batch = std::mem::take(buffer);
+            self.flush_batch(topic, partition, batch)?;
         }
         Ok(())
     }
@@ -217,14 +248,26 @@ impl Producer {
             return Err(Error::ProducerClosed);
         }
         self.pace();
-        let key = (topic.to_string(), partition);
-        let buffer = self.buffers.entry(key.clone()).or_default();
+        let index = self.topic_index(topic);
+        let buffer = self.topics[index].state.slot(partition);
         buffer.push(record);
         if buffer.len() >= self.config.batch_records {
-            let batch = std::mem::take(self.buffers.get_mut(&key).expect("buffer exists"));
-            self.flush_batch(&key.0, key.1, batch)?;
+            let batch = std::mem::take(buffer);
+            self.flush_batch(topic, partition, batch)?;
         }
         Ok(())
+    }
+
+    /// Index of the topic's entry, appending a fresh one on first use.
+    fn topic_index(&mut self, topic: &str) -> usize {
+        if let Some(index) = self.topics.iter().position(|entry| entry.name == topic) {
+            return index;
+        }
+        self.topics.push(TopicEntry {
+            name: topic.to_string(),
+            state: TopicState::default(),
+        });
+        self.topics.len() - 1
     }
 
     fn flush_batch(&mut self, topic: &str, partition: u32, batch: Vec<Record>) -> Result<()> {
@@ -233,8 +276,8 @@ impl Producer {
         }
         let len = batch.len() as u64;
         self.metrics.flushes += 1;
-        match self.bus.produce_batch(topic, partition, batch) {
-            Ok(_) => {
+        match self.produce_batch_cached(topic, partition, batch) {
+            Ok(()) => {
                 self.metrics.sent += len;
                 Ok(())
             }
@@ -247,6 +290,34 @@ impl Producer {
                 }
             }
         }
+    }
+
+    /// Appends a batch through the partition's cached writer, resolving
+    /// (and caching) the handle on first use. Resolution is retried on
+    /// every flush while it keeps failing, so records buffered before
+    /// their topic exists still land once it is created — the same
+    /// late-binding the per-call name lookup used to provide.
+    fn produce_batch_cached(
+        &mut self,
+        topic: &str,
+        partition: u32,
+        batch: Vec<Record>,
+    ) -> Result<()> {
+        let state = &mut self
+            .topics
+            .iter_mut()
+            .find(|entry| entry.name == topic)
+            .expect("flushed topics have state")
+            .state;
+        let index = partition as usize;
+        if state.writers.len() <= index {
+            state.writers.resize_with(index + 1, || None);
+        }
+        if state.writers[index].is_none() {
+            state.writers[index] = Some(self.bus.partition_writer(topic, partition)?);
+        }
+        let writer = state.writers[index].as_ref().expect("writer just resolved");
+        writer.produce_batch(batch).map(drop)
     }
 
     fn absorb(&mut self, e: Error) -> Result<()> {
@@ -264,10 +335,13 @@ impl Producer {
     ///
     /// Propagates the first bus error (unless `acks=0`).
     pub fn flush(&mut self) -> Result<()> {
-        let keys: Vec<(String, u32)> = self.buffers.keys().cloned().collect();
-        for key in keys {
-            let batch = std::mem::take(self.buffers.get_mut(&key).expect("buffer exists"));
-            self.flush_batch(&key.0, key.1, batch)?;
+        for i in 0..self.topics.len() {
+            let topic = self.topics[i].name.clone();
+            let partitions = self.topics[i].state.buffers.len();
+            for p in 0..partitions {
+                let batch = std::mem::take(&mut self.topics[i].state.buffers[p]);
+                self.flush_batch(&topic, p as u32, batch)?;
+            }
         }
         Ok(())
     }
@@ -282,6 +356,28 @@ impl Producer {
         self.closed = true;
         result
     }
+}
+
+/// Returns the topic's partition count, caching it in `state` on the
+/// first successful query (failures are not cached, so a topic created
+/// later is still picked up).
+fn cached_partition_count(bus: &dyn Bus, state: &mut TopicState, topic: &str) -> Result<u32> {
+    match state.partition_count {
+        Some(n) => Ok(n),
+        None => {
+            let n = bus.partition_count(topic)?;
+            state.partition_count = Some(n);
+            Ok(n)
+        }
+    }
+}
+
+/// Advances the topic's round-robin cursor and returns the next partition.
+fn next_round_robin(bus: &dyn Bus, state: &mut TopicState, topic: &str) -> Result<u32> {
+    let n = cached_partition_count(bus, state, topic)?;
+    let partition = state.round_robin % n;
+    state.round_robin = state.round_robin.wrapping_add(1);
+    Ok(partition)
 }
 
 impl Drop for Producer {
@@ -300,7 +396,9 @@ mod tests {
 
     fn broker_with(partitions: u32) -> Broker {
         let broker = Broker::new();
-        broker.create_topic("t", TopicConfig::default().partitions(partitions)).unwrap();
+        broker
+            .create_topic("t", TopicConfig::default().partitions(partitions))
+            .unwrap();
         broker
     }
 
@@ -309,10 +407,15 @@ mod tests {
         let broker = broker_with(1);
         let mut producer = Producer::with_config(
             broker.clone(),
-            ProducerConfig { batch_records: 10, ..ProducerConfig::default() },
+            ProducerConfig {
+                batch_records: 10,
+                ..ProducerConfig::default()
+            },
         );
         for i in 0..25 {
-            producer.send("t", Record::from_value(format!("{i}"))).unwrap();
+            producer
+                .send("t", Record::from_value(format!("{i}")))
+                .unwrap();
         }
         // Two automatic flushes of 10; 5 still buffered.
         assert_eq!(broker.latest_offset("t", 0).unwrap(), 20);
@@ -336,10 +439,15 @@ mod tests {
         let broker = broker_with(4);
         let mut producer = Producer::with_config(
             broker.clone(),
-            ProducerConfig { batch_records: 1, ..ProducerConfig::default() },
+            ProducerConfig {
+                batch_records: 1,
+                ..ProducerConfig::default()
+            },
         );
         for i in 0..8 {
-            producer.send("t", Record::from_value(format!("{i}"))).unwrap();
+            producer
+                .send("t", Record::from_value(format!("{i}")))
+                .unwrap();
         }
         for p in 0..4 {
             assert_eq!(broker.latest_offset("t", p).unwrap(), 2, "partition {p}");
@@ -358,12 +466,18 @@ mod tests {
             },
         );
         for _ in 0..10 {
-            producer.send("t", Record::from_key_value("stable", "v")).unwrap();
+            producer
+                .send("t", Record::from_key_value("stable", "v"))
+                .unwrap();
         }
         let populated: Vec<u32> = (0..4)
             .filter(|&p| broker.latest_offset("t", p).unwrap() > 0)
             .collect();
-        assert_eq!(populated.len(), 1, "all records should land on one partition");
+        assert_eq!(
+            populated.len(),
+            1,
+            "all records should land on one partition"
+        );
         assert_eq!(broker.latest_offset("t", populated[0]).unwrap(), 10);
     }
 
@@ -438,7 +552,9 @@ mod tests {
         );
         let start = Instant::now();
         for i in 0..50 {
-            producer.send("t", Record::from_value(format!("{i}"))).unwrap();
+            producer
+                .send("t", Record::from_value(format!("{i}")))
+                .unwrap();
         }
         // 50 records at 1000/s should take >= ~50ms.
         assert!(start.elapsed() >= Duration::from_millis(40));

@@ -61,7 +61,10 @@ pub struct Header {
 impl Header {
     /// Creates a header from a key and any byte-like value.
     pub fn new(key: impl Into<String>, value: impl Into<Bytes>) -> Self {
-        Header { key: key.into(), value: value.into() }
+        Header {
+            key: key.into(),
+            value: value.into(),
+        }
     }
 }
 
@@ -91,7 +94,12 @@ impl Record {
     /// assert!(r.key.is_none());
     /// ```
     pub fn from_value(value: impl Into<Bytes>) -> Self {
-        Record { key: None, value: value.into(), timestamp: None, headers: Vec::new() }
+        Record {
+            key: None,
+            value: value.into(),
+            timestamp: None,
+            headers: Vec::new(),
+        }
     }
 
     /// Creates a record with both key and value.
@@ -120,12 +128,12 @@ impl Record {
     /// rolling and batch-size accounting.
     pub fn wire_size(&self) -> usize {
         const RECORD_OVERHEAD: usize = 24; // offset + timestamp + lengths
-        let headers: usize =
-            self.headers.iter().map(|h| h.key.len() + h.value.len() + 8).sum();
-        RECORD_OVERHEAD
-            + self.key.as_ref().map_or(0, |k| k.len())
-            + self.value.len()
-            + headers
+        let headers: usize = self
+            .headers
+            .iter()
+            .map(|h| h.key.len() + h.value.len() + 8)
+            .sum();
+        RECORD_OVERHEAD + self.key.as_ref().map_or(0, |k| k.len()) + self.value.len() + headers
     }
 }
 

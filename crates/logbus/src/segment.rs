@@ -17,7 +17,11 @@ pub struct Segment {
 impl Segment {
     /// Creates an empty segment whose first record will get `base_offset`.
     pub fn new(base_offset: u64) -> Self {
-        Segment { base_offset, records: Vec::new(), bytes: 0 }
+        Segment {
+            base_offset,
+            records: Vec::new(),
+            bytes: 0,
+        }
     }
 
     /// Offset of the first record (present or future) in this segment.

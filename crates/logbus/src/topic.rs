@@ -41,7 +41,11 @@ impl Topic {
         let partitions = (0..config.partitions)
             .map(|_| RwLock::new(PartitionLog::new(config.clone())))
             .collect();
-        Ok(Topic { name: name.into(), config, partitions })
+        Ok(Topic {
+            name: name.into(),
+            config,
+            partitions,
+        })
     }
 
     /// The topic name.
@@ -60,10 +64,12 @@ impl Topic {
     }
 
     fn partition(&self, partition: u32) -> Result<&RwLock<PartitionLog>> {
-        self.partitions.get(partition as usize).ok_or_else(|| Error::UnknownPartition {
-            topic: self.name.clone(),
-            partition,
-        })
+        self.partitions
+            .get(partition as usize)
+            .ok_or_else(|| Error::UnknownPartition {
+                topic: self.name.clone(),
+                partition,
+            })
     }
 
     /// Appends `record` to `partition`, resolving the stored timestamp
@@ -93,13 +99,17 @@ impl Topic {
         now: Timestamp,
         delay: std::time::Duration,
     ) -> Result<u64> {
-        let stamp = match self.config.timestamp_type {
-            TimestampType::LogAppendTime => now,
-            TimestampType::CreateTime => record.timestamp.unwrap_or(now),
-        };
         let lock = self.partition(partition)?;
         let mut log = lock.write();
         spin_delay(delay);
+        let stamp = match self.config.timestamp_type {
+            // Clamped under the append lock: concurrent producers may
+            // sample the clock out of order, but `LogAppendTime` is
+            // assigned by the (serialized) append, so it never decreases
+            // along a partition.
+            TimestampType::LogAppendTime => log.last_timestamp().map_or(now, |last| now.max(last)),
+            TimestampType::CreateTime => record.timestamp.unwrap_or(now),
+        };
         Ok(log.append(record, stamp))
     }
 
@@ -136,10 +146,13 @@ impl Topic {
         let lock = self.partition(partition)?;
         let mut log = lock.write();
         spin_delay(delay);
+        // One shared, monotone `LogAppendTime` stamp for the whole batch
+        // (see `append_delayed` for why the clamp happens under the lock).
+        let append_stamp = log.last_timestamp().map_or(now, |last| now.max(last));
         let base = log.next_offset();
         for record in records {
             let stamp = match self.config.timestamp_type {
-                TimestampType::LogAppendTime => now,
+                TimestampType::LogAppendTime => append_stamp,
                 TimestampType::CreateTime => record.timestamp.unwrap_or(now),
             };
             log.append(record, stamp);
@@ -154,6 +167,26 @@ impl Topic {
     /// Returns [`Error::UnknownPartition`] or [`Error::OffsetOutOfRange`].
     pub fn read(&self, partition: u32, offset: u64, max: usize) -> Result<Vec<StoredRecord>> {
         Ok(self.partition(partition)?.read().read(offset, max)?)
+    }
+
+    /// Like [`Topic::read`], but **appends** into `out` (never clearing
+    /// it), returning the number of records appended — the allocation-free
+    /// read path for buffer-reusing consumers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownPartition`] or [`Error::OffsetOutOfRange`].
+    pub fn read_into(
+        &self,
+        partition: u32,
+        offset: u64,
+        max: usize,
+        out: &mut Vec<StoredRecord>,
+    ) -> Result<usize> {
+        Ok(self
+            .partition(partition)?
+            .read()
+            .read_into(offset, max, out)?)
     }
 
     /// Next offset to be written in `partition`.
@@ -217,9 +250,14 @@ mod tests {
 
     #[test]
     fn invalid_config_is_rejected() {
-        let mut config = TopicConfig::default();
-        config.replication_factor = 0;
-        assert!(matches!(Topic::new("t", config), Err(Error::InvalidConfig(_))));
+        let config = TopicConfig {
+            replication_factor: 0,
+            ..TopicConfig::default()
+        };
+        assert!(matches!(
+            Topic::new("t", config),
+            Err(Error::InvalidConfig(_))
+        ));
     }
 
     #[test]
@@ -240,7 +278,10 @@ mod tests {
         log_append.append(0, record.clone(), now).unwrap();
         create.append(0, record, now).unwrap();
 
-        assert_eq!(log_append.read(0, 0, 1).unwrap()[0].timestamp.as_micros(), 99);
+        assert_eq!(
+            log_append.read(0, 0, 1).unwrap()[0].timestamp.as_micros(),
+            99
+        );
         assert_eq!(create.read(0, 0, 1).unwrap()[0].timestamp.as_micros(), 7);
     }
 
@@ -251,15 +292,21 @@ mod tests {
             TopicConfig::default().timestamp_type(TimestampType::CreateTime),
         )
         .unwrap();
-        topic.append(0, Record::from_value("x"), Timestamp::from_micros(5)).unwrap();
+        topic
+            .append(0, Record::from_value("x"), Timestamp::from_micros(5))
+            .unwrap();
         assert_eq!(topic.read(0, 0, 1).unwrap()[0].timestamp.as_micros(), 5);
     }
 
     #[test]
     fn batch_append_is_contiguous() {
         let topic = Topic::new("t", TopicConfig::default()).unwrap();
-        let batch: Vec<Record> = (0..10).map(|i| Record::from_value(format!("{i}"))).collect();
-        let base = topic.append_batch(0, batch, Timestamp::from_micros(1)).unwrap();
+        let batch: Vec<Record> = (0..10)
+            .map(|i| Record::from_value(format!("{i}")))
+            .collect();
+        let base = topic
+            .append_batch(0, batch, Timestamp::from_micros(1))
+            .unwrap();
         assert_eq!(base, 0);
         let base2 = topic
             .append_batch(0, vec![Record::from_value("x")], Timestamp::from_micros(2))
@@ -271,7 +318,9 @@ mod tests {
     #[test]
     fn unknown_partition_errors() {
         let topic = Topic::new("t", TopicConfig::default().partitions(2)).unwrap();
-        assert!(topic.append(5, Record::from_value("x"), Timestamp(0)).is_err());
+        assert!(topic
+            .append(5, Record::from_value("x"), Timestamp(0))
+            .is_err());
         assert!(topic.read(2, 0, 1).is_err());
         assert!(topic.latest_offset(2).is_err());
         assert_eq!(topic.partition_count(), 2);
@@ -280,9 +329,15 @@ mod tests {
     #[test]
     fn per_partition_isolation() {
         let topic = Topic::new("t", TopicConfig::default().partitions(2)).unwrap();
-        topic.append(0, Record::from_value("a"), Timestamp(1)).unwrap();
-        topic.append(1, Record::from_value("b"), Timestamp(2)).unwrap();
-        topic.append(1, Record::from_value("c"), Timestamp(3)).unwrap();
+        topic
+            .append(0, Record::from_value("a"), Timestamp(1))
+            .unwrap();
+        topic
+            .append(1, Record::from_value("b"), Timestamp(2))
+            .unwrap();
+        topic
+            .append(1, Record::from_value("c"), Timestamp(3))
+            .unwrap();
         assert_eq!(topic.latest_offset(0).unwrap(), 1);
         assert_eq!(topic.latest_offset(1).unwrap(), 2);
         assert_eq!(topic.first_timestamp(1).unwrap().unwrap().as_micros(), 2);

@@ -13,8 +13,8 @@
 use crate::error::{Error, Result};
 use crate::graph::{NodeId, NodeKind, Partitioning, StreamGraph};
 use crate::operator::{
-    Collector, CountingCollector, FilterCollector, FlatMapCollector, GroupCollector,
-    MapCollector, ReduceCollector,
+    Collector, CountingCollector, FilterCollector, FlatMapCollector, GroupCollector, MapCollector,
+    ReduceCollector,
 };
 use crate::plan::ExecutionPlan;
 use crate::runtime::{ClusterSpec, JobManager, JobResult, TaskSpec};
@@ -30,7 +30,8 @@ use std::sync::Arc;
 /// Flink's bounded network buffers.
 const EXCHANGE_CAPACITY: usize = 4096;
 
-type BuildFn<T> = Arc<dyn Fn(usize, Box<dyn Collector<T>>) -> Box<dyn FnOnce() + Send> + Send + Sync>;
+type BuildFn<T> =
+    Arc<dyn Fn(usize, Box<dyn Collector<T>>) -> Box<dyn FnOnce() + Send> + Send + Sync>;
 
 #[derive(Debug)]
 struct EnvCore {
@@ -125,7 +126,9 @@ impl StreamExecutionEnvironment {
         let mut core = self.core.lock();
         let parallelism = core.parallelism;
         let name = source.name();
-        let node = core.graph.add_node(NodeKind::Source, name.clone(), parallelism);
+        let node = core
+            .graph
+            .add_node(NodeKind::Source, name.clone(), parallelism);
         drop(core);
         let source = Arc::new(source);
         let build: BuildFn<T> = Arc::new(move |subtask, mut col| {
@@ -169,7 +172,11 @@ impl StreamExecutionEnvironment {
                     .unwrap_or_else(|| node.to_string());
                 return Err(Error::DanglingStream { node: node_name });
             }
-            (core.cluster, std::mem::take(&mut core.tasks), std::mem::take(&mut core.sink_counters))
+            (
+                core.cluster,
+                std::mem::take(&mut core.tasks),
+                std::mem::take(&mut core.sink_counters),
+            )
         };
         JobManager::execute(name, cluster, tasks, counters)
     }
@@ -212,7 +219,9 @@ impl<T: Send + 'static> DataStream<T> {
     pub fn rename(self, name: impl Into<String>) -> Self {
         let name = name.into();
         let mut stream = self;
-        stream.env.with_core(|core| core.graph.set_name(stream.node, name.clone()));
+        stream
+            .env
+            .with_core(|core| core.graph.set_name(stream.node, name.clone()));
         if let Some(last) = stream.chain.last_mut() {
             *last = name;
         }
@@ -230,7 +239,9 @@ impl<T: Send + 'static> DataStream<T> {
     {
         let stream = self.maybe_unchain();
         let node = stream.env.with_core(|core| {
-            let node = core.graph.add_node(NodeKind::Operator, name, stream.parallelism);
+            let node = core
+                .graph
+                .add_node(NodeKind::Operator, name, stream.parallelism);
             core.graph.add_edge(stream.node, node, stream.pending);
             node
         });
@@ -255,7 +266,9 @@ impl<T: Send + 'static> DataStream<T> {
         U: Send + 'static,
         F: Fn(T) -> U + Clone + Send + Sync + 'static,
     {
-        self.transform("Map", move |col| Box::new(MapCollector::new(f.clone(), col)))
+        self.transform("Map", move |col| {
+            Box::new(MapCollector::new(f.clone(), col))
+        })
     }
 
     /// Keeps only elements satisfying the predicate.
@@ -263,7 +276,9 @@ impl<T: Send + 'static> DataStream<T> {
     where
         F: Fn(&T) -> bool + Clone + Send + Sync + 'static,
     {
-        self.transform("Filter", move |col| Box::new(FilterCollector::new(f.clone(), col)))
+        self.transform("Filter", move |col| {
+            Box::new(FilterCollector::new(f.clone(), col))
+        })
     }
 
     /// One-to-many transformation; `f` pushes outputs through the emitter.
@@ -272,7 +287,9 @@ impl<T: Send + 'static> DataStream<T> {
         U: Send + 'static,
         F: Fn(T, &mut dyn FnMut(U)) + Clone + Send + Sync + 'static,
     {
-        self.transform("Flat Map", move |col| Box::new(FlatMapCollector::new(f.clone(), col)))
+        self.transform("Flat Map", move |col| {
+            Box::new(FlatMapCollector::new(f.clone(), col))
+        })
     }
 
     /// Redistributes elements round-robin over subtasks at the
@@ -305,7 +322,10 @@ impl<T: Send + 'static> DataStream<T> {
                 (hasher.finish() % fan_out as u64) as usize
             }
         });
-        KeyedStream { stream, key: Arc::new(key) }
+        KeyedStream {
+            stream,
+            key: Arc::new(key),
+        }
     }
 
     /// Terminates the stream in a sink. Every pipeline branch must end in
@@ -317,7 +337,9 @@ impl<T: Send + 'static> DataStream<T> {
         let stream = self.maybe_unchain();
         let name = sink.name();
         let (node, counter) = stream.env.with_core(|core| {
-            let node = core.graph.add_node(NodeKind::Sink, name.clone(), stream.parallelism);
+            let node = core
+                .graph
+                .add_node(NodeKind::Sink, name.clone(), stream.parallelism);
             core.graph.add_edge(stream.node, node, stream.pending);
             let counter = Arc::new(AtomicU64::new(0));
             let key = if core.sink_counters.iter().any(|(n, _)| *n == name) {
@@ -358,7 +380,9 @@ impl<T: Send + 'static> DataStream<T> {
         }
         // A fresh exchange already starts an unchained task; only break
         // when the current chain has an operator pending.
-        self.exchange(Partitioning::Forward, |subtask, _fan_out| move |_item: &T| subtask)
+        self.exchange(Partitioning::Forward, |subtask, _fan_out| {
+            move |_item: &T| subtask
+        })
     }
 
     /// Finalizes the current chain into a task whose output crosses typed
@@ -583,7 +607,12 @@ mod tests {
         let env = StreamExecutionEnvironment::local();
         let _ = env.add_source(VecSource::new(vec![1])).map(|x: i64| x);
         let err = env.execute("job").unwrap_err();
-        assert_eq!(err, Error::DanglingStream { node: "Map".to_string() });
+        assert_eq!(
+            err,
+            Error::DanglingStream {
+                node: "Map".to_string()
+            }
+        );
     }
 
     #[test]
@@ -599,10 +628,14 @@ mod tests {
             slots_per_manager: 1,
         });
         env.set_parallelism(2);
-        env.add_source(VecSource::new(vec![1, 2, 3])).add_sink(VecSink::new());
+        env.add_source(VecSource::new(vec![1, 2, 3]))
+            .add_sink(VecSink::new());
         assert_eq!(
             env.execute("job").unwrap_err(),
-            Error::NotEnoughSlots { required: 2, available: 1 }
+            Error::NotEnoughSlots {
+                required: 2,
+                available: 1
+            }
         );
     }
 
@@ -617,8 +650,11 @@ mod tests {
             .map(|x| x * 10)
             .add_sink(sink.clone());
         env.execute("job").unwrap();
-        let expected: Vec<i64> =
-            (0..50).map(|x| x + 1).filter(|x| x % 2 == 0).map(|x| x * 10).collect();
+        let expected: Vec<i64> = (0..50)
+            .map(|x| x + 1)
+            .filter(|x| x % 2 == 0)
+            .map(|x| x * 10)
+            .collect();
         assert_eq!(sink.snapshot(), expected);
     }
 
@@ -638,7 +674,13 @@ mod tests {
         env.set_parallelism(1);
         env.add_source(VecSource::new((0..100_000).collect::<Vec<i64>>()))
             .rebalance()
-            .map(|x: i64| if x == 10 { panic!("downstream failure") } else { x })
+            .map(|x: i64| {
+                if x == 10 {
+                    panic!("downstream failure")
+                } else {
+                    x
+                }
+            })
             .add_sink(VecSink::new());
         let err = env.execute("job").unwrap_err();
         assert!(matches!(err, Error::TaskPanicked { .. }));
@@ -665,12 +707,17 @@ mod tests {
         let env = StreamExecutionEnvironment::local();
         let a = VecSink::new();
         let b = VecSink::new();
-        env.add_source(VecSource::new(vec![1, 2])).add_sink(a.clone());
+        env.add_source(VecSource::new(vec![1, 2]))
+            .add_sink(a.clone());
         env.add_source(VecSource::new(vec![3])).add_sink(b.clone());
         let result = env.execute("job").unwrap();
         assert_eq!(a.snapshot(), vec![1, 2]);
         assert_eq!(b.snapshot(), vec![3]);
         assert_eq!(result.total_sink_records(), 3);
-        assert_eq!(result.sink_counts.len(), 2, "duplicate sink names get distinct keys");
+        assert_eq!(
+            result.sink_counts.len(),
+            2,
+            "duplicate sink names get distinct keys"
+        );
     }
 }

@@ -35,8 +35,14 @@ pub enum Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::NotEnoughSlots { required, available } => {
-                write!(f, "job requires {required} task slots but only {available} are available")
+            Error::NotEnoughSlots {
+                required,
+                available,
+            } => {
+                write!(
+                    f,
+                    "job requires {required} task slots but only {available} are available"
+                )
             }
             Error::DanglingStream { node } => {
                 write!(f, "stream `{node}` is not terminated by a sink")
@@ -58,13 +64,24 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(
-            Error::NotEnoughSlots { required: 4, available: 2 }.to_string(),
+            Error::NotEnoughSlots {
+                required: 4,
+                available: 2
+            }
+            .to_string(),
             "job requires 4 task slots but only 2 are available"
         );
-        assert!(Error::DanglingStream { node: "Map".into() }.to_string().contains("Map"));
-        assert!(Error::TaskPanicked { task: "t".into(), message: "boom".into() }
+        assert!(Error::DanglingStream { node: "Map".into() }
             .to_string()
-            .contains("boom"));
-        assert!(Error::InvalidTopology("empty".into()).to_string().contains("empty"));
+            .contains("Map"));
+        assert!(Error::TaskPanicked {
+            task: "t".into(),
+            message: "boom".into()
+        }
+        .to_string()
+        .contains("boom"));
+        assert!(Error::InvalidTopology("empty".into())
+            .to_string()
+            .contains("empty"));
     }
 }

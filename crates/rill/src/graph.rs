@@ -101,7 +101,12 @@ impl StreamGraph {
         parallelism: usize,
     ) -> NodeId {
         let id = NodeId(self.nodes.len());
-        self.nodes.push(StreamNode { id, kind, name: name.into(), parallelism });
+        self.nodes.push(StreamNode {
+            id,
+            kind,
+            name: name.into(),
+            parallelism,
+        });
         id
     }
 
@@ -113,9 +118,16 @@ impl StreamGraph {
     /// (the builder API only creates forward edges, so a violation is a
     /// bug).
     pub fn add_edge(&mut self, from: NodeId, to: NodeId, partitioning: Partitioning) {
-        assert!(from.0 < self.nodes.len() && to.0 < self.nodes.len(), "unknown node");
+        assert!(
+            from.0 < self.nodes.len() && to.0 < self.nodes.len(),
+            "unknown node"
+        );
         assert!(from.0 < to.0, "stream graph edges must go forward");
-        self.edges.push(StreamEdge { from, to, partitioning });
+        self.edges.push(StreamEdge {
+            from,
+            to,
+            partitioning,
+        });
     }
 
     /// Renames a node.
@@ -142,7 +154,11 @@ impl StreamGraph {
 
     /// Outgoing edges of `id`.
     pub fn outputs(&self, id: NodeId) -> Vec<StreamEdge> {
-        self.edges.iter().filter(|e| e.from == id).copied().collect()
+        self.edges
+            .iter()
+            .filter(|e| e.from == id)
+            .copied()
+            .collect()
     }
 
     /// Incoming edges of `id`.

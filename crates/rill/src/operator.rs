@@ -70,7 +70,10 @@ pub struct FilterCollector<F, C> {
 impl<F, C> FilterCollector<F, C> {
     /// Wraps `downstream` with the predicate.
     pub fn new(predicate: F, downstream: C) -> Self {
-        FilterCollector { predicate, downstream }
+        FilterCollector {
+            predicate,
+            downstream,
+        }
     }
 }
 
@@ -101,7 +104,11 @@ pub struct FlatMapCollector<F, C, U> {
 impl<F, C, U> FlatMapCollector<F, C, U> {
     /// Wraps `downstream` with the flat-map function `f`.
     pub fn new(f: F, downstream: C) -> Self {
-        FlatMapCollector { f, downstream, _out: std::marker::PhantomData }
+        FlatMapCollector {
+            f,
+            downstream,
+            _out: std::marker::PhantomData,
+        }
     }
 }
 
@@ -133,7 +140,12 @@ pub struct ReduceCollector<K, T, FK, FR, C> {
 impl<K, T, FK, FR, C> ReduceCollector<K, T, FK, FR, C> {
     /// Creates a reducing collector.
     pub fn new(key_fn: FK, reduce_fn: FR, downstream: C) -> Self {
-        ReduceCollector { key_fn, reduce_fn, state: HashMap::new(), downstream }
+        ReduceCollector {
+            key_fn,
+            reduce_fn,
+            state: HashMap::new(),
+            downstream,
+        }
     }
 }
 
@@ -175,7 +187,12 @@ pub struct GroupCollector<K, T, FK, C> {
 impl<K, T, FK, C> GroupCollector<K, T, FK, C> {
     /// Creates a grouping collector.
     pub fn new(key_fn: FK, downstream: C) -> Self {
-        GroupCollector { key_fn, groups: HashMap::new(), order: Vec::new(), downstream }
+        GroupCollector {
+            key_fn,
+            groups: HashMap::new(),
+            order: Vec::new(),
+            downstream,
+        }
     }
 }
 
@@ -214,7 +231,10 @@ pub struct CountingCollector<C> {
 impl<C> CountingCollector<C> {
     /// Wraps `downstream`, incrementing `counter` per element.
     pub fn new(counter: Arc<AtomicU64>, downstream: C) -> Self {
-        CountingCollector { counter, downstream }
+        CountingCollector {
+            counter,
+            downstream,
+        }
     }
 }
 
@@ -325,7 +345,10 @@ mod tests {
             chain.collect(i);
         }
         chain.close();
-        assert_eq!(*items.lock(), vec!["n3".to_string(), "n4".to_string(), "n5".to_string()]);
+        assert_eq!(
+            *items.lock(),
+            vec!["n3".to_string(), "n4".to_string(), "n5".to_string()]
+        );
         assert_eq!(closed.load(Ordering::SeqCst), 1);
     }
 
@@ -348,10 +371,13 @@ mod tests {
     #[test]
     fn group_buffers_until_close() {
         let (items, _, sink) = harness::<(char, Vec<i64>)>();
-        let mut chain = GroupCollector::new(|t: &(char, i64)| t.0, MapCollector::new(
-            |(k, vs): (char, Vec<(char, i64)>)| (k, vs.into_iter().map(|t| t.1).collect()),
-            sink,
-        ));
+        let mut chain = GroupCollector::new(
+            |t: &(char, i64)| t.0,
+            MapCollector::new(
+                |(k, vs): (char, Vec<(char, i64)>)| (k, vs.into_iter().map(|t| t.1).collect()),
+                sink,
+            ),
+        );
         chain.collect(('b', 1));
         chain.collect(('a', 2));
         chain.collect(('b', 3));

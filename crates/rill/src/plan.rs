@@ -56,9 +56,17 @@ impl ExecutionPlan {
         let edges = graph
             .edges()
             .iter()
-            .map(|e| PlanEdge { from: e.from, to: e.to, partitioning: e.partitioning })
+            .map(|e| PlanEdge {
+                from: e.from,
+                to: e.to,
+                partitioning: e.partitioning,
+            })
             .collect();
-        ExecutionPlan { nodes, edges, chains: graph.chains() }
+        ExecutionPlan {
+            nodes,
+            edges,
+            chains: graph.chains(),
+        }
     }
 
     /// Plan nodes in topological order.
@@ -84,12 +92,18 @@ impl ExecutionPlan {
 
     /// Number of `Operator` nodes.
     pub fn operator_count(&self) -> usize {
-        self.nodes.iter().filter(|n| n.kind == NodeKind::Operator).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Operator)
+            .count()
     }
 
     /// Nodes whose name contains `needle`.
     pub fn nodes_named_like(&self, needle: &str) -> Vec<&PlanNode> {
-        self.nodes.iter().filter(|n| n.name.contains(needle)).collect()
+        self.nodes
+            .iter()
+            .filter(|n| n.name.contains(needle))
+            .collect()
     }
 }
 

@@ -29,13 +29,21 @@ impl ClusterSpec {
     /// separation between slots, paper §II-B), so small machines still run
     /// parallel jobs.
     pub fn local() -> Self {
-        let slots = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-        ClusterSpec { task_managers: 1, slots_per_manager: slots.max(4) }
+        let slots = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        ClusterSpec {
+            task_managers: 1,
+            slots_per_manager: slots.max(4),
+        }
     }
 
     /// The paper's two-worker deployment.
     pub fn two_workers(slots_per_manager: usize) -> Self {
-        ClusterSpec { task_managers: 2, slots_per_manager }
+        ClusterSpec {
+            task_managers: 2,
+            slots_per_manager,
+        }
     }
 
     /// Total slots.
@@ -130,7 +138,10 @@ impl JobManager {
         let required = tasks.iter().map(|t| t.parallelism).max().unwrap_or(0);
         let available = cluster.total_slots();
         if required > available {
-            return Err(Error::NotEnoughSlots { required, available });
+            return Err(Error::NotEnoughSlots {
+                required,
+                available,
+            });
         }
 
         let mut assignments = Vec::new();
@@ -167,7 +178,10 @@ impl JobManager {
                     .map(|s| s.to_string())
                     .or_else(|| payload.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "<non-string panic>".to_string());
-                failure.get_or_insert(Error::TaskPanicked { task: label, message });
+                failure.get_or_insert(Error::TaskPanicked {
+                    task: label,
+                    message,
+                });
             }
         }
         if let Some(err) = failure {
@@ -179,7 +193,12 @@ impl JobManager {
             .into_iter()
             .map(|(name, counter)| (name, counter.load(Ordering::Relaxed)))
             .collect();
-        Ok(JobResult { name: name.to_string(), duration, sink_counts, assignments })
+        Ok(JobResult {
+            name: name.to_string(),
+            duration,
+            sink_counts,
+            assignments,
+        })
     }
 }
 
@@ -191,13 +210,18 @@ mod tests {
         TaskSpec {
             name: name.to_string(),
             parallelism,
-            runnables: (0..parallelism).map(|_| Box::new(|| ()) as Box<dyn FnOnce() + Send>).collect(),
+            runnables: (0..parallelism)
+                .map(|_| Box::new(|| ()) as Box<dyn FnOnce() + Send>)
+                .collect(),
         }
     }
 
     #[test]
     fn cluster_spec_slots() {
-        let c = ClusterSpec { task_managers: 2, slots_per_manager: 3 };
+        let c = ClusterSpec {
+            task_managers: 2,
+            slots_per_manager: 3,
+        };
         assert_eq!(c.total_slots(), 6);
         assert!(ClusterSpec::local().total_slots() >= 1);
         assert_eq!(ClusterSpec::two_workers(4).total_slots(), 8);
@@ -205,10 +229,17 @@ mod tests {
 
     #[test]
     fn executes_and_assigns_slots() {
-        let cluster = ClusterSpec { task_managers: 2, slots_per_manager: 1 };
-        let result =
-            JobManager::execute("j", cluster, vec![noop_task("a", 2), noop_task("b", 1)], vec![])
-                .unwrap();
+        let cluster = ClusterSpec {
+            task_managers: 2,
+            slots_per_manager: 1,
+        };
+        let result = JobManager::execute(
+            "j",
+            cluster,
+            vec![noop_task("a", 2), noop_task("b", 1)],
+            vec![],
+        )
+        .unwrap();
         assert_eq!(result.name, "j");
         assert_eq!(result.assignments.len(), 3);
         // Subtask 1 of task `a` spills onto the second task manager.
@@ -223,7 +254,10 @@ mod tests {
 
     #[test]
     fn slot_sharing_requires_max_parallelism() {
-        let cluster = ClusterSpec { task_managers: 1, slots_per_manager: 2 };
+        let cluster = ClusterSpec {
+            task_managers: 1,
+            slots_per_manager: 2,
+        };
         // Three tasks of parallelism 2 share 2 slots.
         let tasks = vec![noop_task("a", 2), noop_task("b", 2), noop_task("c", 2)];
         assert!(JobManager::execute("j", cluster, tasks, vec![]).is_ok());
@@ -231,7 +265,10 @@ mod tests {
         let tasks = vec![noop_task("a", 3)];
         assert_eq!(
             JobManager::execute("j", cluster, tasks, vec![]).unwrap_err(),
-            Error::NotEnoughSlots { required: 3, available: 2 }
+            Error::NotEnoughSlots {
+                required: 3,
+                available: 2
+            }
         );
     }
 

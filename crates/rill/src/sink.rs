@@ -58,7 +58,9 @@ pub struct VecSink<T> {
 impl<T> VecSink<T> {
     /// Creates an empty collecting sink.
     pub fn new() -> Self {
-        VecSink { items: Arc::new(Mutex::new(Vec::new())) }
+        VecSink {
+            items: Arc::new(Mutex::new(Vec::new())),
+        }
     }
 
     /// Handle to the collected elements.
@@ -81,7 +83,9 @@ struct VecSinkInstance<T> {
 
 impl<T: Send + Sync + 'static> ParallelSink<T> for VecSink<T> {
     fn create(&self, _subtask: usize, _parallelism: usize) -> Box<dyn SinkFunction<T>> {
-        Box::new(VecSinkInstance { items: self.items.clone() })
+        Box::new(VecSinkInstance {
+            items: self.items.clone(),
+        })
     }
 }
 
@@ -109,7 +113,12 @@ pub struct BrokerSink {
 impl BrokerSink {
     /// Creates a sink appending to partition 0 of `topic`.
     pub fn new(broker: Broker, topic: impl Into<String>) -> Self {
-        BrokerSink { broker, topic: topic.into(), partition: 0, batch_records: 500 }
+        BrokerSink {
+            broker,
+            topic: topic.into(),
+            partition: 0,
+            batch_records: 500,
+        }
     }
 
     /// Selects the target partition.
@@ -204,7 +213,10 @@ mod tests {
         // wait for it to land.
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
         while broker.latest_offset("out", 0).unwrap() == 0 {
-            assert!(std::time::Instant::now() < deadline, "async flush never landed");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "async flush never landed"
+            );
             std::thread::yield_now();
         }
         instance.close();
@@ -240,6 +252,9 @@ mod tests {
             ParallelSink::<Bytes>::name(&BrokerSink::new(broker, "out")),
             "Sink: Broker topic `out`"
         );
-        assert_eq!(ParallelSink::<i64>::name(&VecSink::<i64>::new()), "Sink: Unnamed");
+        assert_eq!(
+            ParallelSink::<i64>::name(&VecSink::<i64>::new()),
+            "Sink: Unnamed"
+        );
     }
 }

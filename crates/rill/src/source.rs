@@ -43,7 +43,9 @@ pub struct VecSource<T> {
 impl<T> VecSource<T> {
     /// Creates a source over `items`.
     pub fn new(items: Vec<T>) -> Self {
-        VecSource { items: Arc::new(items) }
+        VecSource {
+            items: Arc::new(items),
+        }
     }
 }
 
@@ -55,7 +57,11 @@ struct VecSourceInstance<T> {
 
 impl<T: Clone + Send + Sync + 'static> ParallelSource<T> for VecSource<T> {
     fn create(&self, subtask: usize, parallelism: usize) -> Box<dyn SourceFunction<T>> {
-        Box::new(VecSourceInstance { items: self.items.clone(), subtask, parallelism })
+        Box::new(VecSourceInstance {
+            items: self.items.clone(),
+            subtask,
+            parallelism,
+        })
     }
 }
 
@@ -82,7 +88,11 @@ pub struct BrokerSource {
 impl BrokerSource {
     /// Creates a source reading all partitions of `topic`.
     pub fn new(broker: Broker, topic: impl Into<String>) -> Self {
-        BrokerSource { broker, topic: topic.into(), fetch_size: 2048 }
+        BrokerSource {
+            broker,
+            topic: topic.into(),
+            fetch_size: 2048,
+        }
     }
 
     /// Sets the per-fetch batch size.
@@ -101,7 +111,11 @@ struct BrokerSourceInstance {
 
 impl ParallelSource<Bytes> for BrokerSource {
     fn create(&self, subtask: usize, parallelism: usize) -> Box<dyn SourceFunction<Bytes>> {
-        let total = self.broker.topic(&self.topic).map(|t| t.partition_count()).unwrap_or(0);
+        let total = self
+            .broker
+            .topic(&self.topic)
+            .map(|t| t.partition_count())
+            .unwrap_or(0);
         let partitions = (0..total)
             .filter(|p| (*p as usize) % parallelism == subtask)
             .collect();
@@ -120,26 +134,29 @@ impl ParallelSource<Bytes> for BrokerSource {
 
 impl SourceFunction<Bytes> for BrokerSourceInstance {
     fn run(&mut self, out: &mut dyn Collector<Bytes>) {
+        // One cached partition handle per assigned partition and one fetch
+        // buffer reused across every fetch: the read loop resolves the
+        // topic name once, not once per request.
+        let mut batch = Vec::with_capacity(self.fetch_size);
         for &partition in &self.partitions {
-            let Ok(end) = self.broker.latest_offset(&self.topic, partition) else {
+            let Ok(reader) = self.broker.partition_reader(&self.topic, partition) else {
                 continue;
             };
-            let mut offset = self
-                .broker
-                .topic(&self.topic)
-                .ok()
-                .and_then(|t| t.earliest_offset(partition).ok())
-                .unwrap_or(0);
+            let Ok(end) = reader.latest_offset() else {
+                continue;
+            };
+            let mut offset = reader.earliest_offset().unwrap_or(0);
             while offset < end {
                 let max = self.fetch_size.min((end - offset) as usize);
-                let Ok(batch) = self.broker.fetch(&self.topic, partition, offset, max) else {
+                batch.clear();
+                let Ok(appended) = reader.fetch_into(offset, max, &mut batch) else {
                     break;
                 };
-                if batch.is_empty() {
+                if appended == 0 {
                     break;
                 }
                 offset = batch.last().expect("non-empty batch").offset + 1;
-                for stored in batch {
+                for stored in batch.drain(..) {
                     out.collect(stored.record.value);
                 }
             }
@@ -167,7 +184,10 @@ struct QueueSourceInstance<T> {
 
 impl<T: Send + Sync + 'static> ParallelSource<T> for QueueSource<T> {
     fn create(&self, subtask: usize, _parallelism: usize) -> Box<dyn SourceFunction<T>> {
-        Box::new(QueueSourceInstance { queue: self.queue.clone(), active: subtask == 0 })
+        Box::new(QueueSourceInstance {
+            queue: self.queue.clone(),
+            active: subtask == 0,
+        })
     }
 }
 
@@ -220,7 +240,9 @@ mod tests {
         broker.create_topic("in", TopicConfig::default()).unwrap();
         let mut producer = Producer::new(broker.clone());
         for i in 0..100 {
-            producer.send("in", Record::from_value(format!("r{i}"))).unwrap();
+            producer
+                .send("in", Record::from_value(format!("r{i}")))
+                .unwrap();
         }
         producer.flush().unwrap();
 
@@ -244,10 +266,14 @@ mod tests {
     #[test]
     fn broker_source_multi_partition_split() {
         let broker = Broker::new();
-        broker.create_topic("in", TopicConfig::default().partitions(3)).unwrap();
+        broker
+            .create_topic("in", TopicConfig::default().partitions(3))
+            .unwrap();
         for p in 0..3 {
             for i in 0..10 {
-                broker.produce("in", p, Record::from_value(format!("p{p}-{i}"))).unwrap();
+                broker
+                    .produce("in", p, Record::from_value(format!("p{p}-{i}")))
+                    .unwrap();
             }
         }
         let source = BrokerSource::new(broker, "in");

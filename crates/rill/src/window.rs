@@ -84,7 +84,11 @@ impl<T: Send + 'static> DataStream<T> {
     pub fn count_window_all(self, size: usize) -> DataStream<Vec<T>> {
         assert!(size > 0, "window size must be positive");
         self.transform("CountWindowAll", move |col| {
-            Box::new(CountWindowAllCollector { size, buffer: Vec::new(), downstream: col })
+            Box::new(CountWindowAllCollector {
+                size,
+                buffer: Vec::new(),
+                downstream: col,
+            })
         })
     }
 }
@@ -107,16 +111,17 @@ where
     {
         assert!(size > 0, "window size must be positive");
         let key = self.key_fn();
-        self.into_stream().transform("CountWindowReduce", move |col| {
-            let key = key.clone();
-            Box::new(CountWindowReduceCollector {
-                size,
-                key_fn: move |t: &T| key(t),
-                reduce_fn: f.clone(),
-                state: HashMap::new(),
-                downstream: col,
+        self.into_stream()
+            .transform("CountWindowReduce", move |col| {
+                let key = key.clone();
+                Box::new(CountWindowReduceCollector {
+                    size,
+                    key_fn: move |t: &T| key(t),
+                    reduce_fn: f.clone(),
+                    state: HashMap::new(),
+                    downstream: col,
+                })
             })
-        })
     }
 }
 

@@ -4,12 +4,7 @@
 use proptest::prelude::*;
 use rill::{StreamExecutionEnvironment, VecSink, VecSource};
 
-fn run_pipeline(
-    items: Vec<i64>,
-    parallelism: usize,
-    chaining: bool,
-    rebalance: bool,
-) -> Vec<i64> {
+fn run_pipeline(items: Vec<i64>, parallelism: usize, chaining: bool, rebalance: bool) -> Vec<i64> {
     let env = StreamExecutionEnvironment::local();
     env.set_parallelism(parallelism);
     if !chaining {
@@ -17,7 +12,11 @@ fn run_pipeline(
     }
     let sink = VecSink::new();
     let stream = env.add_source(VecSource::new(items));
-    let stream = if rebalance { stream.rebalance() } else { stream };
+    let stream = if rebalance {
+        stream.rebalance()
+    } else {
+        stream
+    };
     stream
         .map(|x| x.wrapping_mul(3))
         .filter(|x| x % 2 == 0)

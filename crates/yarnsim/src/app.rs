@@ -86,6 +86,9 @@ mod tests {
             master: ContainerId(0),
             containers: vec![ContainerId(0)],
         };
-        assert_eq!(app.to_string(), "application-0001 `bench` (Running, 1 containers)");
+        assert_eq!(
+            app.to_string(),
+            "application-0001 `bench` (Running, 1 containers)"
+        );
     }
 }

@@ -90,6 +90,9 @@ mod tests {
             state: ContainerState::Allocated,
             is_master: true,
         };
-        assert_eq!(c.to_string(), "container-000003 on node-0 (<512MiB, 1 vcores>, AM)");
+        assert_eq!(
+            c.to_string(),
+            "container-000003 on node-0 (<512MiB, 1 vcores>, AM)"
+        );
     }
 }

@@ -47,8 +47,14 @@ impl fmt::Display for Error {
             Error::UnknownContainer(id) => write!(f, "unknown container {id}"),
             Error::UnknownNode(id) => write!(f, "unknown node {id}"),
             Error::ApplicationNotActive(id) => write!(f, "application {id} is not active"),
-            Error::InvalidContainerState { container, operation } => {
-                write!(f, "cannot {operation} container {container} in its current state")
+            Error::InvalidContainerState {
+                container,
+                operation,
+            } => {
+                write!(
+                    f,
+                    "cannot {operation} container {container} in its current state"
+                )
             }
             Error::NodeUnavailable(id) => write!(f, "node {id} is unavailable"),
         }
@@ -64,12 +70,17 @@ mod tests {
     #[test]
     fn messages_are_concise() {
         let samples = vec![
-            Error::InsufficientResources { requested: Resource::new(1, 1) },
+            Error::InsufficientResources {
+                requested: Resource::new(1, 1),
+            },
             Error::UnknownApplication(ApplicationId(1)),
             Error::UnknownContainer(ContainerId(1)),
             Error::UnknownNode(NodeId(1)),
             Error::ApplicationNotActive(ApplicationId(1)),
-            Error::InvalidContainerState { container: ContainerId(1), operation: "launch" },
+            Error::InvalidContainerState {
+                container: ContainerId(1),
+                operation: "launch",
+            },
             Error::NodeUnavailable(NodeId(1)),
         ];
         for e in samples {

@@ -112,7 +112,10 @@ pub struct ResourceRequest {
 impl ResourceRequest {
     /// Requests a container of `resource` on any node.
     pub fn new(resource: Resource) -> Self {
-        ResourceRequest { resource, node: None }
+        ResourceRequest {
+            resource,
+            node: None,
+        }
     }
 
     /// Pins the request to a node.

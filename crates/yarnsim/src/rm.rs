@@ -189,7 +189,10 @@ impl ResourceManager {
     /// Returns [`Error::UnknownApplication`] or
     /// [`Error::ApplicationNotActive`].
     pub fn application_running(&mut self, id: ApplicationId) -> Result<()> {
-        let app = self.apps.get_mut(&id).ok_or(Error::UnknownApplication(id))?;
+        let app = self
+            .apps
+            .get_mut(&id)
+            .ok_or(Error::UnknownApplication(id))?;
         if !app.state.is_active() {
             return Err(Error::ApplicationNotActive(id));
         }
@@ -262,10 +265,11 @@ impl ResourceManager {
                     .filter(|n| n.healthy)
                     .map(NodeState::info)
                     .collect();
-                let idx = self
-                    .scheduler
-                    .place(&healthy, request.resource)
-                    .ok_or(Error::InsufficientResources { requested: request.resource })?;
+                let idx = self.scheduler.place(&healthy, request.resource).ok_or(
+                    Error::InsufficientResources {
+                        requested: request.resource,
+                    },
+                )?;
                 healthy[idx].id
             }
         };
@@ -309,9 +313,15 @@ impl ResourceManager {
     /// Returns [`Error::UnknownContainer`] or
     /// [`Error::InvalidContainerState`].
     pub fn launch_container(&mut self, id: ContainerId) -> Result<()> {
-        let c = self.containers.get_mut(&id).ok_or(Error::UnknownContainer(id))?;
+        let c = self
+            .containers
+            .get_mut(&id)
+            .ok_or(Error::UnknownContainer(id))?;
         if c.state != ContainerState::Allocated {
-            return Err(Error::InvalidContainerState { container: id, operation: "launch" });
+            return Err(Error::InvalidContainerState {
+                container: id,
+                operation: "launch",
+            });
         }
         c.state = ContainerState::Running;
         Ok(())
@@ -345,12 +355,21 @@ impl ResourceManager {
         target: ContainerState,
         op: &'static str,
     ) -> Result<()> {
-        let c = self.containers.get_mut(&id).ok_or(Error::UnknownContainer(id))?;
+        let c = self
+            .containers
+            .get_mut(&id)
+            .ok_or(Error::UnknownContainer(id))?;
         if !c.state.holds_resources() {
-            return Err(Error::InvalidContainerState { container: id, operation: op });
+            return Err(Error::InvalidContainerState {
+                container: id,
+                operation: op,
+            });
         }
         if target == ContainerState::Completed && c.state != ContainerState::Running {
-            return Err(Error::InvalidContainerState { container: id, operation: op });
+            return Err(Error::InvalidContainerState {
+                container: id,
+                operation: op,
+            });
         }
         c.state = target;
         let (node, resource) = (c.node, c.resource);
@@ -368,13 +387,12 @@ impl ResourceManager {
     /// Returns [`Error::UnknownApplication`]; finishing an already
     /// finished application is an error via
     /// [`Error::ApplicationNotActive`].
-    pub fn finish_application(
-        &mut self,
-        id: ApplicationId,
-        state: ApplicationState,
-    ) -> Result<()> {
+    pub fn finish_application(&mut self, id: ApplicationId, state: ApplicationState) -> Result<()> {
         debug_assert!(!state.is_active(), "finish requires a terminal state");
-        let app = self.apps.get_mut(&id).ok_or(Error::UnknownApplication(id))?;
+        let app = self
+            .apps
+            .get_mut(&id)
+            .ok_or(Error::UnknownApplication(id))?;
         if !app.state.is_active() {
             return Err(Error::ApplicationNotActive(id));
         }
@@ -399,8 +417,11 @@ impl ResourceManager {
             m.total += n.capacity;
             m.used += n.used;
         }
-        m.live_containers =
-            self.containers.values().filter(|c| c.state.holds_resources()).count();
+        m.live_containers = self
+            .containers
+            .values()
+            .filter(|c| c.state.holds_resources())
+            .count();
         m.active_applications = self.apps.values().filter(|a| a.state.is_active()).count();
         m
     }
@@ -421,7 +442,9 @@ mod tests {
     #[test]
     fn submit_allocates_master() {
         let (mut rm, _, _) = two_node_rm();
-        let app = rm.submit_application("bench", Resource::new(512, 1)).unwrap();
+        let app = rm
+            .submit_application("bench", Resource::new(512, 1))
+            .unwrap();
         let info = rm.application(app).unwrap();
         assert_eq!(info.state, ApplicationState::Accepted);
         assert!(rm.container(info.master).unwrap().is_master);
@@ -431,22 +454,33 @@ mod tests {
     #[test]
     fn allocation_is_all_or_nothing() {
         let (mut rm, _, _) = two_node_rm();
-        let app = rm.submit_application("bench", Resource::new(512, 1)).unwrap();
+        let app = rm
+            .submit_application("bench", Resource::new(512, 1))
+            .unwrap();
         // 3 containers of 3 vcores cannot fit on 2 nodes with 4 cores each
         // (first takes one node down to 1 core, second takes the other).
         let reqs = vec![ResourceRequest::new(Resource::new(1024, 3)); 3];
         let before = rm.metrics().used;
         let err = rm.allocate(app, &reqs).unwrap_err();
         assert!(matches!(err, Error::InsufficientResources { .. }));
-        assert_eq!(rm.metrics().used, before, "rollback must release partial grants");
+        assert_eq!(
+            rm.metrics().used,
+            before,
+            "rollback must release partial grants"
+        );
     }
 
     #[test]
     fn pinned_requests() {
         let (mut rm, a, b) = two_node_rm();
-        let app = rm.submit_application("bench", Resource::new(512, 1)).unwrap();
+        let app = rm
+            .submit_application("bench", Resource::new(512, 1))
+            .unwrap();
         let granted = rm
-            .allocate(app, &[ResourceRequest::new(Resource::new(1024, 1)).on_node(b)])
+            .allocate(
+                app,
+                &[ResourceRequest::new(Resource::new(1024, 1)).on_node(b)],
+            )
             .unwrap();
         assert_eq!(granted[0].node, b);
         // Pinning to a full node fails.
@@ -460,23 +494,38 @@ mod tests {
     #[test]
     fn container_lifecycle() {
         let (mut rm, _, _) = two_node_rm();
-        let app = rm.submit_application("bench", Resource::new(512, 1)).unwrap();
-        let c = rm.allocate(app, &[ResourceRequest::new(Resource::new(256, 1))]).unwrap()[0].id;
-        assert!(rm.complete_container(c).is_err(), "cannot complete before launch");
+        let app = rm
+            .submit_application("bench", Resource::new(512, 1))
+            .unwrap();
+        let c = rm
+            .allocate(app, &[ResourceRequest::new(Resource::new(256, 1))])
+            .unwrap()[0]
+            .id;
+        assert!(
+            rm.complete_container(c).is_err(),
+            "cannot complete before launch"
+        );
         rm.launch_container(c).unwrap();
         assert!(rm.launch_container(c).is_err(), "cannot launch twice");
         rm.complete_container(c).unwrap();
-        assert!(rm.kill_container(c).is_err(), "finished containers cannot be killed");
+        assert!(
+            rm.kill_container(c).is_err(),
+            "finished containers cannot be killed"
+        );
         assert_eq!(rm.container(c).unwrap().state, ContainerState::Completed);
     }
 
     #[test]
     fn finish_application_releases_everything() {
         let (mut rm, _, _) = two_node_rm();
-        let app = rm.submit_application("bench", Resource::new(512, 1)).unwrap();
-        rm.allocate(app, &[ResourceRequest::new(Resource::new(256, 1)); 3]).unwrap();
+        let app = rm
+            .submit_application("bench", Resource::new(512, 1))
+            .unwrap();
+        rm.allocate(app, &[ResourceRequest::new(Resource::new(256, 1)); 3])
+            .unwrap();
         assert_eq!(rm.metrics().live_containers, 4);
-        rm.finish_application(app, ApplicationState::Finished).unwrap();
+        rm.finish_application(app, ApplicationState::Finished)
+            .unwrap();
         assert_eq!(rm.metrics().live_containers, 0);
         assert_eq!(rm.metrics().used, Resource::zero());
         assert!(matches!(
@@ -493,7 +542,9 @@ mod tests {
     fn heartbeat_expiry_kills_containers() {
         let (mut rm, a, b) = two_node_rm();
         rm.set_liveness_window(2);
-        let app = rm.submit_application("bench", Resource::new(512, 1)).unwrap();
+        let app = rm
+            .submit_application("bench", Resource::new(512, 1))
+            .unwrap();
         rm.allocate(
             app,
             &[
@@ -514,7 +565,11 @@ mod tests {
         let info_b = rm.node_info(b).unwrap();
         assert!(!info_a.healthy);
         assert!(info_b.healthy);
-        assert_eq!(info_a.used, Resource::zero(), "expired node released containers");
+        assert_eq!(
+            info_a.used,
+            Resource::zero(),
+            "expired node released containers"
+        );
         assert!(info_b.used.vcores >= 1);
         // A heartbeat revives the node.
         rm.heartbeat(a).unwrap();
@@ -526,18 +581,25 @@ mod tests {
         let mut rm = ResourceManager::with_scheduler(Box::new(FifoScheduler));
         let a = rm.register_node(Resource::new(4096, 8));
         let _b = rm.register_node(Resource::new(4096, 8));
-        let app = rm.submit_application("bench", Resource::new(512, 1)).unwrap();
-        let granted = rm.allocate(app, &[ResourceRequest::new(Resource::new(256, 1)); 3]).unwrap();
+        let app = rm
+            .submit_application("bench", Resource::new(512, 1))
+            .unwrap();
+        let granted = rm
+            .allocate(app, &[ResourceRequest::new(Resource::new(256, 1)); 3])
+            .unwrap();
         assert!(granted.iter().all(|c| c.node == a));
     }
 
     #[test]
     fn capacity_scheduler_balances() {
         let (mut rm, a, b) = two_node_rm();
-        let app = rm.submit_application("bench", Resource::new(512, 1)).unwrap();
-        let granted = rm.allocate(app, &[ResourceRequest::new(Resource::new(512, 1)); 2]).unwrap();
-        let nodes: std::collections::HashSet<NodeId> =
-            granted.iter().map(|c| c.node).collect();
+        let app = rm
+            .submit_application("bench", Resource::new(512, 1))
+            .unwrap();
+        let granted = rm
+            .allocate(app, &[ResourceRequest::new(Resource::new(512, 1)); 2])
+            .unwrap();
+        let nodes: std::collections::HashSet<NodeId> = granted.iter().map(|c| c.node).collect();
         assert_eq!(nodes.len(), 2, "containers should spread over {a} and {b}");
     }
 
@@ -567,7 +629,9 @@ mod tests {
     #[test]
     fn metrics_aggregate() {
         let (mut rm, _, _) = two_node_rm();
-        let app = rm.submit_application("bench", Resource::new(512, 2)).unwrap();
+        let app = rm
+            .submit_application("bench", Resource::new(512, 2))
+            .unwrap();
         rm.application_running(app).unwrap();
         let m = rm.metrics();
         assert_eq!(m.healthy_nodes, 2);

@@ -51,7 +51,13 @@ mod tests {
     use crate::node::NodeId;
 
     fn node(id: u32, cap: Resource, used: Resource) -> NodeInfo {
-        NodeInfo { id: NodeId(id), capacity: cap, used, last_heartbeat: 0, healthy: true }
+        NodeInfo {
+            id: NodeId(id),
+            capacity: cap,
+            used,
+            last_heartbeat: 0,
+            healthy: true,
+        }
     }
 
     #[test]

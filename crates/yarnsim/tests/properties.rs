@@ -2,9 +2,7 @@
 //! under arbitrary allocate/release sequences.
 
 use proptest::prelude::*;
-use yarnsim::{
-    ApplicationState, Resource, ResourceManager, ResourceRequest,
-};
+use yarnsim::{ApplicationState, Resource, ResourceManager, ResourceRequest};
 
 #[derive(Debug, Clone)]
 enum Op {

@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     let mut producer = Producer::with_config(
         broker.clone(),
-        ProducerConfig { acks: Acks::Leader, batch_records: 8, ..ProducerConfig::default() },
+        ProducerConfig {
+            acks: Acks::Leader,
+            batch_records: 8,
+            ..ProducerConfig::default()
+        },
     );
     for i in 0..32 {
         producer.send("events", Record::from_value(format!("event-{i}")))?;
@@ -33,11 +37,21 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut consumer = Consumer::new(broker.clone());
     consumer.assign("events", 0)?;
     let first_batch = consumer.poll(10)?;
-    println!("first poll: {} records, offsets {}..{}",
-        first_batch.len(), first_batch[0].offset, first_batch.last().unwrap().offset);
+    println!(
+        "first poll: {} records, offsets {}..{}",
+        first_batch.len(),
+        first_batch[0].offset,
+        first_batch.last().unwrap().offset
+    );
     consumer.seek("events", 0, 30)?;
-    println!("after seek(30): {:?}",
-        consumer.poll(10)?.iter().map(|r| r.offset).collect::<Vec<_>>());
+    println!(
+        "after seek(30): {:?}",
+        consumer
+            .poll(10)?
+            .iter()
+            .map(|r| r.offset)
+            .collect::<Vec<_>>()
+    );
 
     // --- The measurement trick (paper §III-A3): the broker stamps every
     // append, so the time between the first and last output record is a

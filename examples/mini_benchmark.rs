@@ -21,15 +21,23 @@ fn main() -> Result<(), Box<dyn Error>> {
     for query in Query::ALL {
         let measurements = runner.run_query(query)?;
         let rows = report::average_times(&measurements, query);
-        println!("{}", report::render_bars(
-            &format!("Average execution times — {query} query"), &rows, "s"));
+        println!(
+            "{}",
+            report::render_bars(
+                &format!("Average execution times — {query} query"),
+                &rows,
+                "s"
+            )
+        );
         all.extend(measurements);
     }
 
     for query in Query::ALL {
         let rows = report::slowdown_factors(&all, query);
-        println!("{}", report::render_bars(
-            &format!("Slowdown factor sf(dsps, {query})"), &rows, "x"));
+        println!(
+            "{}",
+            report::render_bars(&format!("Slowdown factor sf(dsps, {query})"), &rows, "x")
+        );
     }
     Ok(())
 }

@@ -24,8 +24,17 @@ fn main() -> Result<(), Box<dyn Error>> {
     // Simulate the remote broker cluster's network round trip.
     broker.set_request_latency_micros(150);
     broker.create_topic("input", TopicConfig::default())?;
-    send_workload(&broker, "input", &SenderConfig { records, ..SenderConfig::default() })?;
-    println!("loaded {records} records; running `{query}` natively and via the abstraction layer\n");
+    send_workload(
+        &broker,
+        "input",
+        &SenderConfig {
+            records,
+            ..SenderConfig::default()
+        },
+    )?;
+    println!(
+        "loaded {records} records; running `{query}` natively and via the abstraction layer\n"
+    );
 
     let fresh_topic = |name: &str| -> Result<String, Box<dyn Error>> {
         let topic = format!("out-{name}");
@@ -44,7 +53,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         &beamline::runners::RillRunner::new(),
         &beam_pipeline(&broker, query, "input", &beam),
     )?;
-    results.push(("Flink analog (rill)", t_native, measure(&broker, &beam)?.execution_seconds));
+    results.push((
+        "Flink analog (rill)",
+        t_native,
+        measure(&broker, &beam)?.execution_seconds,
+    ));
 
     // dstream / Spark analog.
     let native = fresh_topic("dstream-native")?;
@@ -55,7 +68,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         &beamline::runners::DStreamRunner::new(),
         &beam_pipeline(&broker, query, "input", &beam),
     )?;
-    results.push(("Spark analog (dstream)", t_native, measure(&broker, &beam)?.execution_seconds));
+    results.push((
+        "Spark analog (dstream)",
+        t_native,
+        measure(&broker, &beam)?.execution_seconds,
+    ));
 
     // apx / Apex analog.
     let native = fresh_topic("apx-native")?;
@@ -67,13 +84,24 @@ fn main() -> Result<(), Box<dyn Error>> {
         &beamline::runners::ApxRunner::new(),
         &beam_pipeline(&broker, query, "input", &beam),
     )?;
-    results.push(("Apex analog (apx)", t_native, measure(&broker, &beam)?.execution_seconds));
+    results.push((
+        "Apex analog (apx)",
+        t_native,
+        measure(&broker, &beam)?.execution_seconds,
+    ));
 
-    println!("{:<24} {:>10} {:>10} {:>10}", "system", "native", "beam", "slowdown");
+    println!(
+        "{:<24} {:>10} {:>10} {:>10}",
+        "system", "native", "beam", "slowdown"
+    );
     for (label, native, beam) in results {
         println!(
             "{label:<24} {native:>9.3}s {beam:>9.3}s {:>9.1}x",
-            if native > 0.0 { beam / native } else { f64::NAN }
+            if native > 0.0 {
+                beam / native
+            } else {
+                f64::NAN
+            }
         );
     }
     Ok(())

@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let pipeline2 = beamline::Pipeline::new();
     let _ = word_count(&pipeline2.apply(Create::strings(lines.clone())));
     let report = RillRunner::new().run(&pipeline2)?;
-    println!("\nrill runner executed the identical pipeline in {:?}", report.duration);
+    println!(
+        "\nrill runner executed the identical pipeline in {:?}",
+        report.duration
+    );
 
     // ...but not on the micro-batch engine: stateful processing is
     // unsupported there (paper §III-B).

@@ -1,0 +1,295 @@
+//! Offline shim for the `criterion` API subset used by this workspace.
+//!
+//! A small wall-clock benchmarking harness: each `bench_function` warms
+//! up, sizes iteration counts to the configured measurement time, takes
+//! `sample_size` samples, and reports median/mean time per iteration
+//! plus throughput. Results print to stdout in a stable, greppable
+//! format:
+//!
+//! ```text
+//! group/label  median 1.234 µs/iter  mean 1.301 µs/iter  thrpt 810.4 Kelem/s
+//! ```
+//!
+//! Positional command-line arguments act as substring filters on the
+//! `group/label` id, like the real crate's filter argument.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement back-ends (only wall time is provided).
+pub mod measurement {
+    /// A way of measuring benchmark iterations.
+    pub trait Measurement {}
+
+    /// Wall-clock time measurement.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+
+    impl Measurement for WallTime {}
+}
+
+/// Declared throughput of one benchmark iteration, for rate reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Positional args (skipping flags and the binary name) filter
+        // benchmarks by id substring, as with the real crate.
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-') && a != "bench")
+            .collect();
+        Criterion { filters }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            warm_up_time: Duration::from_secs(1),
+            measurement_time: Duration::from_secs(3),
+            throughput: None,
+            _measurement: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a, M: measurement::Measurement> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M: measurement::Measurement> BenchmarkGroup<'_, M> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total measurement duration per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        let full_id = if self.name.is_empty() {
+            id.as_ref().to_string()
+        } else {
+            format!("{}/{}", self.name, id.as_ref())
+        };
+        if !self.criterion.matches(&full_id) {
+            return self;
+        }
+
+        // Warm-up: repeat single iterations until the warm-up budget is
+        // spent, collecting a per-iteration estimate as we go.
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        let warm_up_start = Instant::now();
+        let mut per_iter_estimate = Duration::from_nanos(1);
+        while warm_up_start.elapsed() < self.warm_up_time {
+            f(&mut bencher);
+            if !bencher.elapsed.is_zero() {
+                per_iter_estimate = bencher.elapsed;
+            }
+        }
+
+        let per_sample_budget = self.measurement_time / self.sample_size as u32;
+        let iters = (per_sample_budget.as_nanos() / per_iter_estimate.as_nanos().max(1))
+            .clamp(1, u128::from(u64::MAX)) as u64;
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.iters = iters;
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            samples.push(bencher.elapsed.as_secs_f64() / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => format!("  thrpt {}elem/s", si(n as f64 / median)),
+            Some(Throughput::Bytes(n)) => format!("  thrpt {}B/s", si(n as f64 / median)),
+            None => String::new(),
+        };
+        println!(
+            "{full_id}  median {}s/iter  mean {}s/iter{rate}",
+            si(median),
+            si(mean)
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Formats a value with an SI prefix: `1234.5` → `"1.234 K"`.
+fn si(value: f64) -> String {
+    let (scaled, prefix) = if value >= 1e9 {
+        (value / 1e9, "G")
+    } else if value >= 1e6 {
+        (value / 1e6, "M")
+    } else if value >= 1e3 {
+        (value / 1e3, "K")
+    } else if value >= 1.0 {
+        (value, "")
+    } else if value >= 1e-3 {
+        (value * 1e3, "m")
+    } else if value >= 1e-6 {
+        (value * 1e6, "µ")
+    } else {
+        (value * 1e9, "n")
+    };
+    format!("{scaled:.3} {prefix}")
+}
+
+/// Times the benchmarked routine.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the harness-chosen number of iterations, timing the
+    /// whole batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Bundles benchmark functions into a runnable group, like the real
+/// crate's macro. Configuration arguments are not supported.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits a `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion { filters: vec![] };
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(15))
+            .throughput(Throughput::Elements(10));
+        let mut runs = 0u64;
+        group.bench_function("work", |b| {
+            b.iter(|| {
+                runs += 1;
+                std::hint::black_box(runs)
+            })
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn filters_skip_non_matching() {
+        let mut c = Criterion {
+            filters: vec!["other".into()],
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).warm_up_time(Duration::from_millis(1));
+        let mut runs = 0u64;
+        group.bench_function("work", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        assert_eq!(runs, 0, "filtered-out benchmark must not run");
+    }
+
+    #[test]
+    fn si_formatting() {
+        assert_eq!(si(1_500.0), "1.500 K");
+        assert_eq!(si(0.002), "2.000 m");
+        assert_eq!(si(2.0e-6), "2.000 µ");
+    }
+}

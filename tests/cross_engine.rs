@@ -7,19 +7,23 @@ use beamline::runners::{ApxRunner, DStreamRunner, DirectRunner, RillRunner};
 use beamline::PipelineRunner;
 use logbus::{Broker, TopicConfig};
 use streambench_core::{
-    beam_pipeline, fresh_yarn_cluster, native_apx, native_dstream, native_rill, Query,
-    SenderConfig,
+    beam_pipeline, fresh_yarn_cluster, native_apx, native_dstream, native_rill, Query, SenderConfig,
 };
 
 const RECORDS: u64 = 500;
 
 fn loaded_broker() -> Broker {
     let broker = Broker::new();
-    broker.create_topic("input", TopicConfig::default()).unwrap();
+    broker
+        .create_topic("input", TopicConfig::default())
+        .unwrap();
     streambench_core::send_workload(
         &broker,
         "input",
-        &SenderConfig { records: RECORDS, ..SenderConfig::default() },
+        &SenderConfig {
+            records: RECORDS,
+            ..SenderConfig::default()
+        },
     )
     .unwrap();
     broker
@@ -63,7 +67,10 @@ fn run_all_variants(query: Query) -> Vec<(String, Vec<Vec<u8>>)> {
     let runners: Vec<(&str, Box<dyn PipelineRunner>)> = vec![
         ("beam direct", Box::new(DirectRunner::new())),
         ("beam rill", Box::new(RillRunner::new())),
-        ("beam dstream", Box::new(DStreamRunner::new().with_batch_records(128))),
+        (
+            "beam dstream",
+            Box::new(DStreamRunner::new().with_batch_records(128)),
+        ),
         ("beam apx", Box::new(ApxRunner::new().with_window_size(64))),
     ];
     for (name, runner) in runners {
@@ -85,7 +92,10 @@ fn assert_all_equal(query: Query) {
             reference.len(),
             "{query}: {name} count differs from {reference_name}"
         );
-        assert_eq!(output, reference, "{query}: {name} differs from {reference_name}");
+        assert_eq!(
+            output, reference,
+            "{query}: {name} differs from {reference_name}"
+        );
     }
 }
 
@@ -117,7 +127,10 @@ fn projection_extracts_first_column() {
     for value in sorted_output(&broker, "out") {
         assert!(!value.contains(&b'\t'), "projected value contains a tab");
         assert!(!value.is_empty());
-        assert!(value.iter().all(u8::is_ascii_digit), "first column is the user id");
+        assert!(
+            value.iter().all(u8::is_ascii_digit),
+            "first column is the user id"
+        );
     }
 }
 
@@ -127,7 +140,10 @@ fn grep_outputs_contain_the_needle() {
     broker.create_topic("out", TopicConfig::default()).unwrap();
     native_dstream(&broker, Query::Grep, "input", "out", 1, 64).unwrap();
     let out = sorted_output(&broker, "out");
-    assert_eq!(out.len() as u64, streambench_core::data::expected_grep_hits(RECORDS));
+    assert_eq!(
+        out.len() as u64,
+        streambench_core::data::expected_grep_hits(RECORDS)
+    );
     for value in out {
         assert!(value.windows(4).any(|w| w == b"test"));
     }

@@ -12,7 +12,9 @@ fn broker_with_records(n: usize) -> Broker {
     broker.create_topic("in", TopicConfig::default()).unwrap();
     broker.create_topic("out", TopicConfig::default()).unwrap();
     for i in 0..n {
-        broker.produce("in", 0, logbus::Record::from_value(format!("r{i}"))).unwrap();
+        broker
+            .produce("in", 0, logbus::Record::from_value(format!("r{i}")))
+            .unwrap();
     }
     broker
 }
@@ -92,7 +94,9 @@ fn beam_dofn_panic_on_rill_runner_fails_cleanly() {
     pipeline
         .apply(beamline::BrokerIO::read(broker.clone(), "in"))
         .apply(beamline::WithoutMetadata::new())
-        .apply(beamline::Values::create(std::sync::Arc::new(beamline::BytesCoder)))
+        .apply(beamline::Values::create(std::sync::Arc::new(
+            beamline::BytesCoder,
+        )))
         .apply(beamline::MapElements::into_bytes("Boom", |v: Bytes| {
             if v.ends_with(b"25") {
                 panic!("injected DoFn failure");
@@ -100,7 +104,9 @@ fn beam_dofn_panic_on_rill_runner_fails_cleanly() {
             v
         }))
         .apply(beamline::BrokerIO::write(broker.clone(), "out"));
-    let err = beamline::runners::RillRunner::new().run(&pipeline).unwrap_err();
+    let err = beamline::runners::RillRunner::new()
+        .run(&pipeline)
+        .unwrap_err();
     assert!(matches!(err, beamline::Error::Engine(_)), "{err:?}");
 }
 

@@ -16,11 +16,18 @@ fn broker() -> Broker {
 #[test]
 fn figure_12_native_grep_plan_has_three_elements() {
     let plan = queries::native_rill_plan(&broker(), Query::Grep);
-    assert_eq!(plan.element_count(), 3, "Fig. 12: data source, operator, data sink");
+    assert_eq!(
+        plan.element_count(),
+        3,
+        "Fig. 12: data source, operator, data sink"
+    );
     assert_eq!(plan.operator_count(), 1);
     let names: Vec<&str> = plan.nodes().iter().map(|n| n.name.as_str()).collect();
     assert!(names[0].starts_with("Source:"), "{names:?}");
-    assert_eq!(names[1], "Filter", "the grep query is a filter, as in Fig. 12");
+    assert_eq!(
+        names[1], "Filter",
+        "the grep query is a filter, as in Fig. 12"
+    );
     assert!(names[2].starts_with("Sink:"), "{names:?}");
     assert!(plan.nodes().iter().all(|n| n.parallelism == 1));
     assert_eq!(plan.chains().len(), 1, "the native plan is fully chained");
@@ -31,7 +38,11 @@ fn figure_13_beam_grep_plan_has_seven_elements() {
     let broker = broker();
     let pipeline = beam_pipeline(&broker, Query::Grep, "input", "output");
     let plan = RillRunner::new().plan(&pipeline).unwrap();
-    assert_eq!(plan.element_count(), 7, "Fig. 13: source + flat map + five ParDos");
+    assert_eq!(
+        plan.element_count(),
+        7,
+        "Fig. 13: source + flat map + five ParDos"
+    );
     assert_eq!(
         plan.nodes()[0].name,
         "Source: PTransformTranslation.UnknownRawPTransform"

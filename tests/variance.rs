@@ -5,11 +5,7 @@
 
 use streambench_core::{report, stats, Api, BenchConfig, BenchmarkRunner, Query, System};
 
-fn times_of(
-    measurements: &[streambench_core::Measurement],
-    system: System,
-    api: Api,
-) -> Vec<f64> {
+fn times_of(measurements: &[streambench_core::Measurement], system: System, api: Api) -> Vec<f64> {
     measurements
         .iter()
         .filter(|m| m.setup.system == system && m.setup.api == api)
@@ -41,7 +37,10 @@ fn noise_inflates_relative_std_dev() {
         noisy_rsd > quiet_rsd,
         "noise must raise the CV: quiet {quiet_rsd:.3} vs noisy {noisy_rsd:.3}"
     );
-    assert!(noisy_rsd > 0.10, "outliers should be clearly visible, got {noisy_rsd:.3}");
+    assert!(
+        noisy_rsd > 0.10,
+        "outliers should be clearly visible, got {noisy_rsd:.3}"
+    );
 }
 
 #[test]
@@ -52,7 +51,9 @@ fn noise_is_reproducible_by_seed() {
         .parallelisms(vec![1])
         .request_latency_micros(100)
         .with_noise(7);
-    let a = BenchmarkRunner::new(config.clone()).run_query(Query::Grep).unwrap();
+    let a = BenchmarkRunner::new(config.clone())
+        .run_query(Query::Grep)
+        .unwrap();
     let b = BenchmarkRunner::new(config).run_query(Query::Grep).unwrap();
     // Outputs identical; timings similar in structure (same factors drawn).
     let counts = |ms: &[streambench_core::Measurement]| -> Vec<u64> {
@@ -69,12 +70,18 @@ fn table_three_renders_per_run_series() {
         .parallelisms(vec![1, 2])
         .request_latency_micros(100)
         .with_noise(2019);
-    let measurements = BenchmarkRunner::new(config).run_query(Query::Identity).unwrap();
+    let measurements = BenchmarkRunner::new(config)
+        .run_query(Query::Identity)
+        .unwrap();
     let per_run = report::per_run_times(&measurements, System::Rill, Api::Native, Query::Identity);
     assert_eq!(per_run.len(), 2, "both parallelisms present");
     assert_eq!(per_run[&1].len(), 4, "one entry per run");
     let rendered = report::table_three(&per_run);
     assert!(rendered.contains("Parallelism = 1"));
     assert!(rendered.contains("Parallelism = 2"));
-    assert_eq!(rendered.lines().count(), 2 + 4, "header + separator + 4 runs");
+    assert_eq!(
+        rendered.lines().count(),
+        2 + 4,
+        "header + separator + 4 runs"
+    );
 }
