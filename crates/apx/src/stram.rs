@@ -174,7 +174,10 @@ impl Stram {
     ///
     /// See [`Stram::launch`] and [`RunningApp::await_completion`].
     pub fn run(dag: &Dag, rm: &mut ResourceManager, config: &StramConfig) -> Result<AppResult> {
-        Self::launch(dag, rm, config)?.await_completion(rm)
+        let mut app_span = obs::span("apx.run");
+        let app = Self::launch(dag, rm, config)?;
+        app_span.field("app", &app.name);
+        app.await_completion(rm)
     }
 }
 

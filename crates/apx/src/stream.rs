@@ -55,6 +55,10 @@ pub struct OperatorSink<I, O, Op, S> {
     op: Op,
     downstream: S,
     emitted: Arc<AtomicU64>,
+    /// `(records_in, busy_micros)` instruments, resolved at launch only
+    /// when instrumentation is enabled so the disabled path records
+    /// nothing per tuple.
+    instruments: Option<(obs::Counter, obs::Counter)>,
     _types: std::marker::PhantomData<fn(I) -> O>,
 }
 
@@ -66,10 +70,19 @@ where
     /// Creates the wrapper and runs the operator's `setup`.
     pub fn new(mut op: Op, ctx: &OperatorContext, downstream: S, emitted: Arc<AtomicU64>) -> Self {
         op.setup(ctx);
+        let instruments = if obs::enabled() {
+            Some((
+                obs::counter(&format!("apx.op.{}.records_in", ctx.name)),
+                obs::counter(&format!("apx.op.{}.busy_micros", ctx.name)),
+            ))
+        } else {
+            None
+        };
         OperatorSink {
             op,
             downstream,
             emitted,
+            instruments,
             _types: std::marker::PhantomData,
         }
     }
@@ -107,7 +120,15 @@ where
             emitted: &self.emitted,
             _type: std::marker::PhantomData,
         };
-        self.op.process(tuple, &mut emitter);
+        match &self.instruments {
+            Some((records_in, busy)) => {
+                records_in.inc();
+                let started = std::time::Instant::now();
+                self.op.process(tuple, &mut emitter);
+                busy.add(started.elapsed().as_micros() as u64);
+            }
+            None => self.op.process(tuple, &mut emitter),
+        }
     }
 
     fn end_window(&mut self, window_id: u64) {

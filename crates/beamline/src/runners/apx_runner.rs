@@ -80,6 +80,10 @@ impl ApxRunner {
 
 impl PipelineRunner for ApxRunner {
     fn run(&self, pipeline: &Pipeline) -> Result<PipelineResult> {
+        // Per-operator breakdown comes from the engine itself: the
+        // translated operator names (`{translated}#i`) surface as
+        // `apx.op.{name}.*` via the engine's `OperatorSink` instruments.
+        let _run_span = obs::span("beam.apx.run");
         enum Stage {
             Middle(DoFnFactory, String),
             Leaf(DoFnFactory, String),

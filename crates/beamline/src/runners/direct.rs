@@ -25,6 +25,7 @@ impl DirectRunner {
 
 impl PipelineRunner for DirectRunner {
     fn run(&self, pipeline: &Pipeline) -> Result<PipelineResult> {
+        let _run_span = obs::span("beam.direct.run");
         let started = WallInstant::now();
         let mut materialized: HashMap<NodeId, Vec<RawElement>> = HashMap::new();
         pipeline.with_graph(|graph| -> Result<()> {
@@ -32,6 +33,9 @@ impl PipelineRunner for DirectRunner {
                 return Err(Error::InvalidPipeline("pipeline has no transforms".into()));
             }
             for node in graph.nodes() {
+                let mut stage_span = obs::span("beam.direct.stage");
+                stage_span.field("stage", &node.name);
+                let stage_started = WallInstant::now();
                 let output = match &node.payload {
                     StagePayload::Read(factory) => {
                         let mut out = Vec::new();
@@ -90,6 +94,12 @@ impl PipelineRunner for DirectRunner {
                         out
                     }
                 };
+                if obs::enabled() {
+                    obs::counter(&format!("beam.direct.{}.records_out", node.name))
+                        .add(output.len() as u64);
+                    obs::counter(&format!("beam.direct.{}.busy_micros", node.name))
+                        .add(stage_started.elapsed().as_micros() as u64);
+                }
                 materialized.insert(node.id, output);
             }
             Ok(())

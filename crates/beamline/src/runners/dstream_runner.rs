@@ -58,9 +58,10 @@ impl DStreamRunner {
 
 impl PipelineRunner for DStreamRunner {
     fn run(&self, pipeline: &Pipeline) -> Result<PipelineResult> {
+        let _run_span = obs::span("beam.dstream.run");
         enum Stage {
-            Middle(DoFnFactory),
-            Leaf(DoFnFactory),
+            Middle(String, DoFnFactory),
+            Leaf(String, DoFnFactory),
         }
         let (source, stages) = pipeline.with_graph(|graph| -> Result<_> {
             let chain = graph
@@ -81,9 +82,11 @@ impl PipelineRunner for DStreamRunner {
                 let leaf = i == chain.len() - 1;
                 match &node.payload {
                     StagePayload::ParDo(factory) if leaf => {
-                        stages.push(Stage::Leaf(factory.clone()))
+                        stages.push(Stage::Leaf(node.translated_name.clone(), factory.clone()))
                     }
-                    StagePayload::ParDo(factory) => stages.push(Stage::Middle(factory.clone())),
+                    StagePayload::ParDo(factory) => {
+                        stages.push(Stage::Middle(node.translated_name.clone(), factory.clone()))
+                    }
                     StagePayload::GroupByKey => {
                         return Err(Error::UnsupportedTransform {
                             runner: "dstream",
@@ -112,16 +115,18 @@ impl PipelineRunner for DStreamRunner {
         let mut has_leaf = false;
         for stage in stages {
             match stage {
-                Stage::Middle(factory) => {
-                    stream = stream
-                        .map_partitions(move |part: Vec<RawElement>| run_bundle(&factory, part));
+                Stage::Middle(name, factory) => {
+                    stream = stream.map_partitions(move |part: Vec<RawElement>| {
+                        run_bundle(&name, &factory, part)
+                    });
                 }
-                Stage::Leaf(factory) => {
+                Stage::Leaf(name, factory) => {
                     has_leaf = true;
                     stream.foreach_rdd(&ssc, move |rdd| {
+                        let name = name.clone();
                         let factory = factory.clone();
                         rdd.foreach_partition(move |_i, part| {
-                            let _ = run_bundle(&factory, part);
+                            let _ = run_bundle(&name, &factory, part);
                         });
                     });
                 }
@@ -149,8 +154,22 @@ impl PipelineRunner for DStreamRunner {
     }
 }
 
-/// Runs one bundle of a raw `DoFn` over a batch partition.
-fn run_bundle(factory: &DoFnFactory, part: Vec<RawElement>) -> Vec<RawElement> {
+/// Runs one bundle of a raw `DoFn` over a batch partition, recording
+/// per-transform volume and busy time when instrumentation is enabled
+/// (instrument resolution is per bundle, not per element).
+fn run_bundle(name: &str, factory: &DoFnFactory, part: Vec<RawElement>) -> Vec<RawElement> {
+    let instruments = if obs::enabled() {
+        Some((
+            obs::counter(&format!("beam.dstream.{name}.records_in")),
+            obs::counter(&format!("beam.dstream.{name}.busy_micros")),
+        ))
+    } else {
+        None
+    };
+    if let Some((records_in, _)) = &instruments {
+        records_in.add(part.len() as u64);
+    }
+    let started = std::time::Instant::now();
     let mut dofn = factory();
     let mut out = Vec::new();
     dofn.start_bundle();
@@ -158,6 +177,9 @@ fn run_bundle(factory: &DoFnFactory, part: Vec<RawElement>) -> Vec<RawElement> {
         dofn.process(element, &mut |e| out.push(e));
     }
     dofn.finish_bundle(&mut |e| out.push(e));
+    if let Some((_, busy)) = &instruments {
+        busy.add(started.elapsed().as_micros() as u64);
+    }
     out
 }
 

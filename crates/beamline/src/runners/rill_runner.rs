@@ -127,6 +127,7 @@ impl RillRunner {
                     factory,
                     leaf,
                 } if !leaf => {
+                    let metric_name = translated.clone();
                     stream = Some(current.transform(&translated, move |col| {
                         // The engine serializes elements between the
                         // translated operators (Beam-on-Flink disables
@@ -135,6 +136,7 @@ impl RillRunner {
                         // trip per element per boundary.
                         Box::new(RawDoFnCollector {
                             dofn: Some(factory()),
+                            instruments: transform_instruments(&metric_name),
                             downstream: SerializedBoundary { downstream: col },
                         })
                     }));
@@ -177,6 +179,19 @@ impl RillRunner {
     }
 }
 
+/// `(records_in, busy_micros)` for one translated transform, resolved at
+/// job materialization only while instrumentation is enabled.
+fn transform_instruments(translated: &str) -> Option<(obs::Counter, obs::Counter)> {
+    if obs::enabled() {
+        Some((
+            obs::counter(&format!("beam.rill.{translated}.records_in")),
+            obs::counter(&format!("beam.rill.{translated}.busy_micros")),
+        ))
+    } else {
+        None
+    }
+}
+
 fn assemble_group(slot: (WindowRef, Vec<u8>), group: Vec<RawElement>) -> RawElement {
     let (window, key) = slot;
     let mut iterable = Vec::new();
@@ -198,7 +213,11 @@ fn assemble_group(slot: (WindowRef, Vec<u8>), group: Vec<RawElement>) -> RawElem
 
 impl PipelineRunner for RillRunner {
     fn run(&self, pipeline: &Pipeline) -> Result<PipelineResult> {
-        let env = self.translate(pipeline)?;
+        let _run_span = obs::span("beam.rill.run");
+        let env = {
+            let _translate_span = obs::span("beam.rill.translate");
+            self.translate(pipeline)?
+        };
         let job = env
             .execute("beamline")
             .map_err(|e| Error::Engine(e.to_string()))?;
@@ -273,8 +292,11 @@ impl<C: Collector<RawElement>> Collector<RawElement> for SerializedBoundary<C> {
 }
 
 /// rill collector wrapping a [`RawDoFn`]; the whole stream is one bundle.
+/// When instrumented, busy time is inclusive of the downstream chain (the
+/// collector-chain equivalent of a span tree).
 struct RawDoFnCollector<C> {
     dofn: Option<Box<dyn RawDoFn>>,
+    instruments: Option<(obs::Counter, obs::Counter)>,
     downstream: C,
 }
 
@@ -282,7 +304,15 @@ impl<C: Collector<RawElement>> Collector<RawElement> for RawDoFnCollector<C> {
     fn collect(&mut self, item: RawElement) {
         let dofn = self.dofn.as_mut().expect("dofn live until close");
         let downstream = &mut self.downstream;
-        dofn.process(item, &mut |e| downstream.collect(e));
+        match &self.instruments {
+            Some((records_in, busy)) => {
+                records_in.inc();
+                let started = std::time::Instant::now();
+                dofn.process(item, &mut |e| downstream.collect(e));
+                busy.add(started.elapsed().as_micros() as u64);
+            }
+            None => dofn.process(item, &mut |e| downstream.collect(e)),
+        }
     }
 
     fn close(&mut self) {
@@ -310,7 +340,10 @@ impl rill::ParallelSink<RawElement> for RawDoFnSink {
     ) -> Box<dyn rill::SinkFunction<RawElement>> {
         let mut dofn = (self.factory)();
         dofn.start_bundle();
-        Box::new(RawDoFnSinkInstance { dofn: Some(dofn) })
+        Box::new(RawDoFnSinkInstance {
+            dofn: Some(dofn),
+            instruments: transform_instruments(&self.name),
+        })
     }
 
     fn name(&self) -> String {
@@ -320,12 +353,21 @@ impl rill::ParallelSink<RawElement> for RawDoFnSink {
 
 struct RawDoFnSinkInstance {
     dofn: Option<Box<dyn RawDoFn>>,
+    instruments: Option<(obs::Counter, obs::Counter)>,
 }
 
 impl rill::SinkFunction<RawElement> for RawDoFnSinkInstance {
     fn invoke(&mut self, item: RawElement) {
         if let Some(dofn) = self.dofn.as_mut() {
-            dofn.process(item, &mut |_| {});
+            match &self.instruments {
+                Some((records_in, busy)) => {
+                    records_in.inc();
+                    let started = std::time::Instant::now();
+                    dofn.process(item, &mut |_| {});
+                    busy.add(started.elapsed().as_micros() as u64);
+                }
+                None => dofn.process(item, &mut |_| {}),
+            }
         }
     }
 

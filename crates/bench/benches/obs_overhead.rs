@@ -1,0 +1,56 @@
+//! Instrumentation-overhead guard: the produce hot path with the obs
+//! layer disabled must stay within noise of the uninstrumented PR 1
+//! baseline (`broker_hot_path/produce_handle`), and the enabled cost is
+//! recorded so EXPERIMENTS.md can quote it.
+//!
+//! The disabled path is one relaxed atomic load per call; the enabled
+//! path adds two clock reads plus three relaxed histogram increments.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+const N: u64 = 10_000;
+
+fn obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+    group.throughput(Throughput::Elements(N));
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2));
+    let record = logbus::Record::from_value("payload-0123456789abcdef");
+
+    // Mirrors broker_hot_path/produce_handle exactly, so the two are
+    // directly comparable across bench runs.
+    obs::set_enabled(false);
+    group.bench_function("produce_handle_disabled", |b| {
+        b.iter(|| {
+            let broker = logbus::Broker::new();
+            broker
+                .create_topic("t", logbus::TopicConfig::default())
+                .unwrap();
+            let writer = broker.partition_writer("t", 0).unwrap();
+            for _ in 0..N {
+                writer.produce(record.clone()).unwrap();
+            }
+        });
+    });
+
+    obs::set_enabled(true);
+    group.bench_function("produce_handle_enabled", |b| {
+        b.iter(|| {
+            let broker = logbus::Broker::new();
+            broker
+                .create_topic("t", logbus::TopicConfig::default())
+                .unwrap();
+            let writer = broker.partition_writer("t", 0).unwrap();
+            for _ in 0..N {
+                writer.produce(record.clone()).unwrap();
+            }
+        });
+    });
+    obs::set_enabled(false);
+    group.finish();
+}
+
+criterion_group!(benches, obs_overhead);
+criterion_main!(benches);

@@ -5,6 +5,10 @@
 //! STREAMBENCH_RECORDS=50000 STREAMBENCH_RUNS=5 cargo run --release -p streambench-bench --bin reproduce -- all
 //! # Or a single artifact:
 //! cargo run --release -p streambench-bench --bin reproduce -- fig9
+//! # With instrumentation: any target plus `--obs-json <path>` enables
+//! # the obs layer, prints the span tree, and writes metrics + spans +
+//! # per-stage totals as JSON:
+//! cargo run --release -p streambench-bench --bin reproduce -- smoke --obs-json obs.json
 //! ```
 //!
 //! Absolute numbers differ from the paper (this substrate is an
@@ -16,10 +20,17 @@ use std::collections::BTreeMap;
 use streambench_core::{report, Api, BenchConfig, BenchmarkRunner, Measurement, Query, System};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let obs_json = take_obs_json(&mut args);
     let target = args.first().map(String::as_str).unwrap_or("all");
 
+    if obs_json.is_some() {
+        obs::set_enabled(true);
+        obs::global().reset();
+    }
+
     match target {
+        "smoke" => smoke(),
         "table1" => print!("{}", report::table_one()),
         "table2" => print!("{}", report::table_two()),
         "fig6" => figures(&[Query::Identity]),
@@ -68,11 +79,84 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown target `{other}`; use table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|table3|all"
+                "unknown target `{other}`; use smoke|table1|table2|fig6|fig7|fig8|fig9|fig10|fig11|table3|all"
             );
             std::process::exit(2);
         }
     }
+
+    if let Some(path) = obs_json {
+        export_obs(&path);
+    }
+}
+
+/// Removes `--obs-json <path>` from the argument list, if present.
+fn take_obs_json(args: &mut Vec<String>) -> Option<String> {
+    let at = args.iter().position(|a| a == "--obs-json")?;
+    if at + 1 >= args.len() {
+        eprintln!("--obs-json requires a path argument");
+        std::process::exit(2);
+    }
+    let path = args.remove(at + 1);
+    args.remove(at);
+    Some(path)
+}
+
+/// A minimal instrumented campaign: the grep query across all six
+/// system × API setups, one run, small workload. Exists so CI can assert
+/// the instrumentation pipeline end to end in seconds.
+fn smoke() {
+    let config = BenchConfig::quick()
+        .records(500)
+        .runs(1)
+        .parallelisms(vec![1]);
+    eprintln!("running smoke campaign: grep, 500 records, 6 setups");
+    let runner = BenchmarkRunner::new(config);
+    let measurements = runner.run_query(Query::Grep).expect("smoke run");
+    let rows = report::average_times(&measurements, Query::Grep);
+    println!(
+        "{}",
+        report::render_bars("=== smoke: grep execution times (s) ===", &rows, "s")
+    );
+}
+
+/// Writes the collected metrics, spans, and per-stage totals as JSON and
+/// prints the span tree.
+fn export_obs(path: &str) {
+    let spans = obs::global().tracer().snapshot_spans();
+    let metrics = obs::global().registry().snapshot();
+
+    // Per-stage totals: summed duration of every span with a benchmark
+    // stage name (the three-phase process of paper §III-A, with `process`
+    // split out of `measure` = drain + calculate).
+    let mut stages: BTreeMap<&str, u64> = BTreeMap::new();
+    for stage in ["send", "process", "drain", "calculate"] {
+        stages.insert(stage, 0);
+    }
+    for span in &spans {
+        if let Some(total) = stages.get_mut(span.name.as_str()) {
+            *total += span.duration_micros;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("{\"metrics\":");
+    out.push_str(&metrics.to_json());
+    out.push_str(",\"spans\":");
+    out.push_str(&obs::span::spans_to_json(&spans));
+    out.push_str(",\"stages\":{");
+    for (i, (stage, micros)) in stages.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{stage}\":{micros}"));
+    }
+    out.push_str("}}");
+    std::fs::write(path, &out).expect("write obs json");
+
+    eprintln!("\n=== span tree ===");
+    eprint!("{}", obs::span::render_tree(&spans));
+    eprintln!("obs snapshot written to {path}");
 }
 
 fn campaign(queries: &[Query], noise: bool) -> Vec<Measurement> {

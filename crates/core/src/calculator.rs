@@ -55,8 +55,13 @@ impl std::error::Error for CalculatorError {}
 ///
 /// [`CalculatorError::UnknownTopic`] or [`CalculatorError::EmptyOutput`].
 pub fn measure(broker: &Broker, output_topic: &str) -> Result<QueryMeasurement, CalculatorError> {
-    let description = TopicDescription::describe(broker, output_topic)
-        .map_err(|_| CalculatorError::UnknownTopic(output_topic.to_string()))?;
+    let description = {
+        let mut drain_span = obs::span("drain");
+        drain_span.field("topic", output_topic);
+        TopicDescription::describe(broker, output_topic)
+            .map_err(|_| CalculatorError::UnknownTopic(output_topic.to_string()))?
+    };
+    let _calculate_span = obs::span("calculate");
     let records = description.total_records();
     if records == 0 {
         return Err(CalculatorError::EmptyOutput(output_topic.to_string()));

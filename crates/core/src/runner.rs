@@ -109,20 +109,25 @@ impl BenchmarkRunner {
     ///
     /// Fails on broker errors, engine failures, or wrong query output.
     pub fn run_query(&self, query: Query) -> Result<Vec<Measurement>, BenchError> {
+        let mut query_span = obs::span("query");
+        query_span.field("query", query.to_string());
         let broker = Broker::new();
         broker.set_request_latency_micros(self.config.request_latency_micros);
         // Replication factor one, one partition: paper §III-A1.
         broker.create_topic("input", TopicConfig::default())?;
-        send_workload(
-            &broker,
-            "input",
-            &SenderConfig {
-                records: self.config.records,
-                acks: self.config.sender_acks,
-                seed: self.config.seed,
-                ..SenderConfig::default()
-            },
-        )?;
+        {
+            let _send_span = obs::span("send");
+            send_workload(
+                &broker,
+                "input",
+                &SenderConfig {
+                    records: self.config.records,
+                    acks: self.config.sender_acks,
+                    seed: self.config.seed,
+                    ..SenderConfig::default()
+                },
+            )?;
+        }
 
         let mut noise = self.config.noise_seed.map(NoiseModel::new);
         let mut measurements = Vec::new();
@@ -138,7 +143,12 @@ impl BenchmarkRunner {
                         (self.config.request_latency_micros as f64 * factor) as u64,
                     );
                 }
-                let result = self.execute_setup(&broker, query, setup, &output_topic);
+                let result = {
+                    let mut process_span = obs::span("process");
+                    process_span.field("setup", setup.to_string());
+                    process_span.field("run", run.to_string());
+                    self.execute_setup(&broker, query, setup, &output_topic)
+                };
                 broker.set_request_latency_micros(self.config.request_latency_micros);
                 result?;
                 let measurement = self.measure(&broker, setup, &output_topic)?;

@@ -10,9 +10,43 @@ use crate::context::Context;
 use crate::rdd::Rdd;
 use crate::source::BatchSource;
 use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 type BatchPull<T> = Arc<Mutex<Box<dyn FnMut() -> Option<Rdd<T>> + Send>>>;
+
+/// Lazily resolved per-operator instruments (records-in, busy time).
+///
+/// RDD transformations are lazy — the element closure runs at action
+/// time, inside executor tasks — so metering wraps the element function
+/// itself. Resolution happens once per operator, on the first metered
+/// element batch, and only while instrumentation is enabled; the
+/// disabled path installs the bare closure.
+#[derive(Clone)]
+struct OpMeter {
+    name: &'static str,
+    slots: Arc<OnceLock<(obs::Counter, obs::Counter)>>,
+}
+
+impl OpMeter {
+    fn new(name: &'static str) -> Self {
+        OpMeter {
+            name,
+            slots: Arc::new(OnceLock::new()),
+        }
+    }
+
+    fn resolve(&self) -> (obs::Counter, obs::Counter) {
+        self.slots
+            .get_or_init(|| {
+                (
+                    obs::counter(&format!("dstream.op.{}.records_in", self.name)),
+                    obs::counter(&format!("dstream.op.{}.busy_micros", self.name)),
+                )
+            })
+            .clone()
+    }
+}
 
 /// A discretized stream: one RDD per micro-batch.
 ///
@@ -97,7 +131,22 @@ impl<T: Clone + Send + Sync + 'static> DStream<T> {
         U: Clone + Send + Sync + 'static,
         F: Fn(T) -> U + Clone + Send + Sync + 'static,
     {
-        self.transform(move |rdd| rdd.map(f.clone()))
+        let meter = OpMeter::new("Map");
+        self.transform(move |rdd| {
+            let f = f.clone();
+            if obs::enabled() {
+                let (records, busy) = meter.resolve();
+                rdd.map(move |x| {
+                    records.inc();
+                    let started = Instant::now();
+                    let out = f(x);
+                    busy.add(started.elapsed().as_micros() as u64);
+                    out
+                })
+            } else {
+                rdd.map(f)
+            }
+        })
     }
 
     /// Per-batch filtering.
@@ -105,7 +154,22 @@ impl<T: Clone + Send + Sync + 'static> DStream<T> {
     where
         F: Fn(&T) -> bool + Clone + Send + Sync + 'static,
     {
-        self.transform(move |rdd| rdd.filter(f.clone()))
+        let meter = OpMeter::new("Filter");
+        self.transform(move |rdd| {
+            let f = f.clone();
+            if obs::enabled() {
+                let (records, busy) = meter.resolve();
+                rdd.filter(move |x| {
+                    records.inc();
+                    let started = Instant::now();
+                    let keep = f(x);
+                    busy.add(started.elapsed().as_micros() as u64);
+                    keep
+                })
+            } else {
+                rdd.filter(f)
+            }
+        })
     }
 
     /// Per-batch one-to-many transformation.
@@ -115,7 +179,22 @@ impl<T: Clone + Send + Sync + 'static> DStream<T> {
         I: IntoIterator<Item = U>,
         F: Fn(T) -> I + Clone + Send + Sync + 'static,
     {
-        self.transform(move |rdd| rdd.flat_map(f.clone()))
+        let meter = OpMeter::new("FlatMap");
+        self.transform(move |rdd| {
+            let f = f.clone();
+            if obs::enabled() {
+                let (records, busy) = meter.resolve();
+                rdd.flat_map(move |x| {
+                    records.inc();
+                    let started = Instant::now();
+                    let out = f(x);
+                    busy.add(started.elapsed().as_micros() as u64);
+                    out
+                })
+            } else {
+                rdd.flat_map(f)
+            }
+        })
     }
 
     /// Whole-partition transformation of every batch.
@@ -124,7 +203,22 @@ impl<T: Clone + Send + Sync + 'static> DStream<T> {
         U: Clone + Send + Sync + 'static,
         F: Fn(Vec<T>) -> Vec<U> + Clone + Send + Sync + 'static,
     {
-        self.transform(move |rdd| rdd.map_partitions(f.clone()))
+        let meter = OpMeter::new("MapPartitions");
+        self.transform(move |rdd| {
+            let f = f.clone();
+            if obs::enabled() {
+                let (records, busy) = meter.resolve();
+                rdd.map_partitions(move |part| {
+                    records.add(part.len() as u64);
+                    let started = Instant::now();
+                    let out = f(part);
+                    busy.add(started.elapsed().as_micros() as u64);
+                    out
+                })
+            } else {
+                rdd.map_partitions(f)
+            }
+        })
     }
 
     /// Repartitions every batch — a shuffle per micro-batch. The

@@ -170,6 +170,17 @@ impl StreamingContext {
             return Err(Error::NoOutputOperations);
         }
         let interval = self.inner.lock().batch_interval;
+        let mut run_span = obs::span("dstream.run");
+        run_span.field("output_ops", ops.len().to_string());
+        // Resolved once before the loop so per-tick recording is lock-free.
+        let instruments = if obs::enabled() {
+            Some((
+                obs::histogram("dstream.batch.micros"),
+                obs::counter("dstream.batches"),
+            ))
+        } else {
+            None
+        };
         let started = Instant::now();
         let mut batches = 0u64;
         loop {
@@ -184,6 +195,10 @@ impl StreamingContext {
                 break;
             }
             batches += 1;
+            if let Some((batch_micros, batch_count)) = &instruments {
+                batch_micros.record(tick_started.elapsed().as_micros() as u64);
+                batch_count.inc();
+            }
             if let Some(interval) = interval {
                 let spent = tick_started.elapsed();
                 if spent < interval {
@@ -223,6 +238,9 @@ impl DStream<Bytes> {
                     continue;
                 }
                 let records: Vec<Record> = part.into_iter().map(Record::from_value).collect();
+                if obs::enabled() {
+                    obs::counter("dstream.sink.records").add(records.len() as u64);
+                }
                 if writer.is_none() {
                     writer = broker.partition_writer(&topic, 0).ok();
                 }

@@ -81,7 +81,10 @@ impl AsyncProducer {
                     if let Some(w) = &writer {
                         let _ = w.produce_batch(batch);
                     }
-                    pending_worker.fetch_sub(shipped, Ordering::AcqRel);
+                    let remaining = pending_worker.fetch_sub(shipped, Ordering::AcqRel) - shipped;
+                    if obs::enabled() {
+                        crate::telemetry::async_queue_depth().set(remaining as i64);
+                    }
                 }
             })
             .expect("spawn async producer thread");
@@ -96,9 +99,11 @@ impl AsyncProducer {
     /// queue is full.
     pub fn send(&self, record: Record) {
         if let Some(sender) = &self.sender {
-            self.pending.fetch_add(1, Ordering::AcqRel);
+            let queued = self.pending.fetch_add(1, Ordering::AcqRel) + 1;
             if sender.send(record).is_err() {
                 self.pending.fetch_sub(1, Ordering::AcqRel);
+            } else if obs::enabled() {
+                crate::telemetry::async_queue_depth().set(queued as i64);
             }
         }
     }

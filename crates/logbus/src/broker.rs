@@ -154,7 +154,13 @@ impl Broker {
     /// Returns [`Error::UnknownTopic`] or [`Error::UnknownPartition`].
     pub fn produce(&self, topic: &str, partition: u32, record: Record) -> Result<u64> {
         let t = self.topic(topic)?;
-        t.append_delayed(partition, record, self.now(), self.request_delay())
+        if !obs::enabled() {
+            return t.append_delayed(partition, record, self.now(), self.request_delay());
+        }
+        let started = std::time::Instant::now();
+        let result = t.append_delayed(partition, record, self.now(), self.request_delay());
+        crate::telemetry::produce_path().observe(1, started.elapsed(), result.is_ok());
+        result
     }
 
     /// Appends a batch of records; all records in the batch receive the
@@ -166,7 +172,14 @@ impl Broker {
     /// Returns [`Error::UnknownTopic`] or [`Error::UnknownPartition`].
     pub fn produce_batch(&self, topic: &str, partition: u32, records: Vec<Record>) -> Result<u64> {
         let t = self.topic(topic)?;
-        t.append_batch_delayed(partition, records, self.now(), self.request_delay())
+        if !obs::enabled() {
+            return t.append_batch_delayed(partition, records, self.now(), self.request_delay());
+        }
+        let count = records.len() as u64;
+        let started = std::time::Instant::now();
+        let result = t.append_batch_delayed(partition, records, self.now(), self.request_delay());
+        crate::telemetry::produce_path().observe(count, started.elapsed(), result.is_ok());
+        result
     }
 
     /// Fetches up to `max` records from `offset`.
@@ -191,8 +204,16 @@ impl Broker {
         max: usize,
     ) -> Result<Vec<StoredRecord>> {
         let t = self.topic(topic)?;
+        if !obs::enabled() {
+            crate::topic::spin_delay(self.request_delay());
+            return t.read(partition, offset, max);
+        }
+        let started = std::time::Instant::now();
         crate::topic::spin_delay(self.request_delay());
-        t.read(partition, offset, max)
+        let result = t.read(partition, offset, max);
+        let returned = result.as_ref().map_or(0, |r| r.len()) as u64;
+        crate::telemetry::fetch_path().observe(returned, started.elapsed());
+        result
     }
 
     /// Like [`Broker::fetch`], but **appends** into `out` (never clearing
@@ -210,8 +231,16 @@ impl Broker {
         out: &mut Vec<StoredRecord>,
     ) -> Result<usize> {
         let t = self.topic(topic)?;
+        if !obs::enabled() {
+            crate::topic::spin_delay(self.request_delay());
+            return t.read_into(partition, offset, max, out);
+        }
+        let started = std::time::Instant::now();
         crate::topic::spin_delay(self.request_delay());
-        t.read_into(partition, offset, max, out)
+        let result = t.read_into(partition, offset, max, out);
+        let appended = *result.as_ref().unwrap_or(&0) as u64;
+        crate::telemetry::fetch_path().observe(appended, started.elapsed());
+        result
     }
 
     /// Resolves a cached produce handle for one partition; see

@@ -114,6 +114,16 @@ impl PartitionWriter {
     /// for out-of-range partitions (only possible if the handle was built
     /// unchecked — construction validates the partition).
     pub fn produce(&self, record: Record) -> Result<u64> {
+        if !obs::enabled() {
+            return self.produce_inner(record);
+        }
+        let started = std::time::Instant::now();
+        let result = self.produce_inner(record);
+        crate::telemetry::produce_path().observe(1, started.elapsed(), result.is_ok());
+        result
+    }
+
+    fn produce_inner(&self, record: Record) -> Result<u64> {
         let (leader, followers) = self.targets.split_first().expect("leader target");
         if followers.is_empty() {
             return leader.append(self.partition, record);
@@ -132,6 +142,17 @@ impl PartitionWriter {
     ///
     /// Same as [`PartitionWriter::produce`].
     pub fn produce_batch(&self, records: Vec<Record>) -> Result<u64> {
+        if !obs::enabled() {
+            return self.produce_batch_inner(records);
+        }
+        let count = records.len() as u64;
+        let started = std::time::Instant::now();
+        let result = self.produce_batch_inner(records);
+        crate::telemetry::produce_path().observe(count, started.elapsed(), result.is_ok());
+        result
+    }
+
+    fn produce_batch_inner(&self, records: Vec<Record>) -> Result<u64> {
         let (leader, followers) = self.targets.split_first().expect("leader target");
         if followers.is_empty() {
             return leader.append_batch(self.partition, records);
@@ -204,8 +225,16 @@ impl PartitionReader {
         max: usize,
         out: &mut Vec<StoredRecord>,
     ) -> Result<usize> {
+        if !obs::enabled() {
+            spin_delay(self.broker.request_delay());
+            return self.topic.read_into(self.partition, offset, max, out);
+        }
+        let started = std::time::Instant::now();
         spin_delay(self.broker.request_delay());
-        self.topic.read_into(self.partition, offset, max, out)
+        let result = self.topic.read_into(self.partition, offset, max, out);
+        let appended = *result.as_ref().unwrap_or(&0) as u64;
+        crate::telemetry::fetch_path().observe(appended, started.elapsed());
+        result
     }
 
     /// Next offset to be written in the partition.
@@ -347,6 +376,30 @@ mod tests {
             writer.produce(Record::from_value("x")).unwrap();
         }
         assert!(start.elapsed() >= std::time::Duration::from_millis(10));
+    }
+
+    #[test]
+    fn enabled_telemetry_reaches_registry() {
+        let broker = Broker::new();
+        broker.create_topic("tel", TopicConfig::default()).unwrap();
+        let writer = broker.partition_writer("tel", 0).unwrap();
+        let reader = broker.partition_reader("tel", 0).unwrap();
+        obs::set_enabled(true);
+        writer
+            .produce_batch(vec![Record::from_value("a"), Record::from_value("b")])
+            .unwrap();
+        writer.produce(Record::from_value("c")).unwrap();
+        let mut out = Vec::new();
+        reader.fetch_into(0, 10, &mut out).unwrap();
+        obs::set_enabled(false);
+        assert_eq!(out.len(), 3);
+        let snap = obs::global().registry().snapshot();
+        // `>=`: other tests in this process may also have recorded.
+        assert!(snap.counters["logbus.produce.records"] >= 3);
+        assert!(snap.counters["logbus.fetch.records"] >= 3);
+        assert!(snap.histograms["logbus.produce.micros"].count >= 2);
+        assert!(snap.histograms["logbus.produce.batch_records"].max >= 2);
+        assert!(snap.histograms["logbus.fetch.micros"].count >= 1);
     }
 
     #[test]

@@ -67,6 +67,7 @@ mod log;
 mod producer;
 mod record;
 mod segment;
+mod telemetry;
 mod topic;
 
 pub use admin::{PartitionInfo, TopicDescription};
@@ -80,7 +81,7 @@ pub use consumer::{Consumer, ConsumerConfig, GroupAssignment};
 pub use error::{Error, Result};
 pub use handle::{PartitionReader, PartitionWriter};
 pub use log::{LogStats, OffsetError, PartitionLog};
-pub use producer::{Partitioner, Producer, ProducerConfig, RateLimit};
+pub use producer::{Partitioner, Producer, ProducerConfig, ProducerMetricsSnapshot, RateLimit};
 pub use record::{Header, Record, StoredRecord, Timestamp};
 pub use segment::Segment;
 pub use topic::Topic;

@@ -67,15 +67,33 @@ impl Default for ProducerConfig {
     }
 }
 
-/// Counters exposed by a producer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct ProducerMetrics {
+/// A timestamped copy of one producer's counters.
+///
+/// Returned by [`Producer::metrics`]. Deliberately **not** `Copy`: the
+/// old `ProducerMetrics` value was easy to squirrel away and misread as
+/// live; the capture time makes staleness explicit. The counters behind
+/// it are [`obs::Counter`] instruments, so the producer also feeds the
+/// fleet-wide `logbus.producer.*` totals in the global registry while
+/// instrumentation is enabled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProducerMetricsSnapshot {
+    /// Capture time, microseconds since the Unix epoch.
+    pub at_unix_micros: u64,
     /// Records successfully handed to the bus.
     pub sent: u64,
     /// Records dropped because `acks=0` suppressed a send error.
     pub dropped: u64,
     /// Flush operations performed (automatic and explicit).
     pub flushes: u64,
+}
+
+/// Per-instance counters (always live — they are producer semantics,
+/// not optional telemetry).
+#[derive(Debug, Default)]
+struct ProducerCounters {
+    sent: obs::Counter,
+    dropped: obs::Counter,
+    flushes: obs::Counter,
 }
 
 /// A batching producer over any [`Bus`].
@@ -112,7 +130,7 @@ pub struct Producer {
     /// cheaper than hashing the name, and allocation-free for `&str`
     /// callers.
     topics: Vec<TopicEntry>,
-    metrics: ProducerMetrics,
+    counters: ProducerCounters,
     pacing_started: Option<Instant>,
     paced_records: u64,
     closed: bool,
@@ -165,7 +183,7 @@ impl Producer {
             bus: Arc::new(bus),
             config,
             topics: Vec::new(),
-            metrics: ProducerMetrics::default(),
+            counters: ProducerCounters::default(),
             pacing_started: None,
             paced_records: 0,
             closed: false,
@@ -177,9 +195,14 @@ impl Producer {
         &self.config
     }
 
-    /// Current send counters.
-    pub fn metrics(&self) -> ProducerMetrics {
-        self.metrics
+    /// A timestamped copy of the current send counters.
+    pub fn metrics(&self) -> ProducerMetricsSnapshot {
+        ProducerMetricsSnapshot {
+            at_unix_micros: obs::metrics::unix_micros(),
+            sent: self.counters.sent.get(),
+            dropped: self.counters.dropped.get(),
+            flushes: self.counters.flushes.get(),
+        }
     }
 
     fn pace(&mut self) {
@@ -275,15 +298,25 @@ impl Producer {
             return Ok(());
         }
         let len = batch.len() as u64;
-        self.metrics.flushes += 1;
+        self.counters.flushes.inc();
+        let mirror = obs::enabled();
+        if mirror {
+            crate::telemetry::producer_totals().flushes.inc();
+        }
         match self.produce_batch_cached(topic, partition, batch) {
             Ok(()) => {
-                self.metrics.sent += len;
+                self.counters.sent.add(len);
+                if mirror {
+                    crate::telemetry::producer_totals().sent.add(len);
+                }
                 Ok(())
             }
             Err(e) => {
                 if self.config.acks == Acks::None {
-                    self.metrics.dropped += len;
+                    self.counters.dropped.add(len);
+                    if mirror {
+                        crate::telemetry::producer_totals().dropped.add(len);
+                    }
                     Ok(())
                 } else {
                     Err(e)
@@ -322,7 +355,10 @@ impl Producer {
 
     fn absorb(&mut self, e: Error) -> Result<()> {
         if self.config.acks == Acks::None {
-            self.metrics.dropped += 1;
+            self.counters.dropped.inc();
+            if obs::enabled() {
+                crate::telemetry::producer_totals().dropped.inc();
+            }
             Ok(())
         } else {
             Err(e)
@@ -564,5 +600,22 @@ mod tests {
     #[should_panic(expected = "rate must be positive")]
     fn zero_rate_panics() {
         let _ = RateLimit::per_second(0.0);
+    }
+
+    #[test]
+    fn metrics_snapshot_is_point_in_time() {
+        let broker = broker_with(1);
+        let mut producer = Producer::new(broker);
+        producer.send("t", Record::from_value("x")).unwrap();
+        let before = producer.metrics();
+        assert_eq!(before.sent, 0, "nothing flushed yet");
+        assert!(before.at_unix_micros > 0);
+        producer.flush().unwrap();
+        let after = producer.metrics();
+        assert_eq!(after.sent, 1);
+        assert_eq!(after.flushes, 1);
+        // The old Copy struct hid staleness; the timestamp exposes it.
+        assert!(after.at_unix_micros >= before.at_unix_micros);
+        assert_eq!(before.sent, 0, "snapshots never update in place");
     }
 }

@@ -1,0 +1,87 @@
+//! Cached broker-path instruments.
+//!
+//! Both the named broker methods and the cached partition handles report
+//! into the same global instruments, so a produce costs the same
+//! telemetry no matter which path it took. Handles are resolved once per
+//! process into statics: a hot-path call while instrumentation is
+//! enabled pays only the atomic adds of the instruments themselves, and
+//! while disabled only the `obs::enabled()` branch at the call site.
+
+use std::sync::OnceLock;
+
+/// Instruments on the produce path (named and handle-based).
+pub(crate) struct ProducePath {
+    /// End-to-end append latency, including the simulated round trip.
+    pub(crate) latency_micros: obs::Histogram,
+    /// Records per broker-side append.
+    pub(crate) batch_records: obs::Histogram,
+    /// Total records successfully appended.
+    pub(crate) records: obs::Counter,
+}
+
+pub(crate) fn produce_path() -> &'static ProducePath {
+    static PATH: OnceLock<ProducePath> = OnceLock::new();
+    PATH.get_or_init(|| ProducePath {
+        latency_micros: obs::histogram("logbus.produce.micros"),
+        batch_records: obs::histogram("logbus.produce.batch_records"),
+        records: obs::counter("logbus.produce.records"),
+    })
+}
+
+impl ProducePath {
+    /// Records one append of `records` records taking `elapsed`.
+    pub(crate) fn observe(&self, records: u64, elapsed: std::time::Duration, ok: bool) {
+        self.latency_micros.record(elapsed.as_micros() as u64);
+        self.batch_records.record(records);
+        if ok {
+            self.records.add(records);
+        }
+    }
+}
+
+/// Instruments on the fetch path (named and handle-based).
+pub(crate) struct FetchPath {
+    /// End-to-end fetch latency, including the simulated round trip.
+    pub(crate) latency_micros: obs::Histogram,
+    /// Total records returned to fetchers.
+    pub(crate) records: obs::Counter,
+}
+
+pub(crate) fn fetch_path() -> &'static FetchPath {
+    static PATH: OnceLock<FetchPath> = OnceLock::new();
+    PATH.get_or_init(|| FetchPath {
+        latency_micros: obs::histogram("logbus.fetch.micros"),
+        records: obs::counter("logbus.fetch.records"),
+    })
+}
+
+impl FetchPath {
+    /// Records one fetch returning `records` records after `elapsed`.
+    pub(crate) fn observe(&self, records: u64, elapsed: std::time::Duration) {
+        self.latency_micros.record(elapsed.as_micros() as u64);
+        self.records.add(records);
+    }
+}
+
+/// Fleet-wide producer totals (sums over all [`crate::Producer`]
+/// instances); the per-instance counts live on each producer.
+pub(crate) struct ProducerTotals {
+    pub(crate) sent: obs::Counter,
+    pub(crate) dropped: obs::Counter,
+    pub(crate) flushes: obs::Counter,
+}
+
+pub(crate) fn producer_totals() -> &'static ProducerTotals {
+    static TOTALS: OnceLock<ProducerTotals> = OnceLock::new();
+    TOTALS.get_or_init(|| ProducerTotals {
+        sent: obs::counter("logbus.producer.sent"),
+        dropped: obs::counter("logbus.producer.dropped"),
+        flushes: obs::counter("logbus.producer.flushes"),
+    })
+}
+
+/// Records queued in [`crate::AsyncProducer`]s but not yet appended.
+pub(crate) fn async_queue_depth() -> &'static obs::Gauge {
+    static DEPTH: OnceLock<obs::Gauge> = OnceLock::new();
+    DEPTH.get_or_init(|| obs::gauge("logbus.async_producer.queue_depth"))
+}

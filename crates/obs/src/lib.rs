@@ -1,0 +1,192 @@
+//! Unified observability: metrics registry + hierarchical span tracing.
+//!
+//! Every layer of the workspace (broker, engines, abstraction-layer
+//! runners, benchmark driver) reports into one global [`Obs`] instance,
+//! so a single snapshot attributes end-to-end cost stage by stage —
+//! the quantitative counterpart to the paper's qualitative execution-plan
+//! comparison (Figs. 12–13).
+//!
+//! # Cost model
+//!
+//! Instrumentation is **off by default**. Every hot-path site is guarded
+//! by [`enabled()`], a single relaxed atomic load plus a predictable
+//! branch; with the `noop` cargo feature the guard is a compile-time
+//! `false` and the optimizer deletes the site outright. Turning the
+//! switch on ([`set_enabled`]) activates histograms and spans; plain
+//! counters owned by individual components (for example the producer's
+//! sent/dropped counts) stay live regardless because they are part of
+//! component semantics, not optional telemetry.
+//!
+//! # Usage
+//!
+//! ```
+//! obs::set_enabled(true); // inert under the `noop` feature
+//! {
+//!     let _outer = obs::span("send");
+//!     obs::counter("records.sent").add(128);
+//!     obs::histogram("produce.micros").record(42);
+//!     let _inner = obs::span("flush"); // nests under `send`
+//! }
+//! let snap = obs::global().registry().snapshot();
+//! assert_eq!(snap.counters["records.sent"], 128);
+//! assert_eq!(snap.histograms["produce.micros"].count, 1);
+//! // Spans recorded only while the switch is on (and not `noop`-compiled).
+//! let spans = obs::global().tracer().snapshot_spans();
+//! assert_eq!(spans.len(), if obs::enabled() { 2 } else { 0 });
+//! obs::set_enabled(false);
+//! ```
+
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot};
+pub use span::{SpanGuard, SpanRecord, Tracer};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// Global runtime switch; see [`enabled`].
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether instrumentation is currently active.
+///
+/// With the `noop` feature this is a compile-time `false`, so guarded
+/// sites vanish entirely; otherwise it is one relaxed atomic load.
+#[inline(always)]
+pub fn enabled() -> bool {
+    if cfg!(feature = "noop") {
+        false
+    } else {
+        ENABLED.load(Ordering::Relaxed)
+    }
+}
+
+/// Flips the runtime switch. A no-op under the `noop` feature.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// The process-wide observability sink: one registry, one tracer.
+#[derive(Debug, Default)]
+pub struct Obs {
+    registry: Registry,
+    tracer: Tracer,
+}
+
+impl Obs {
+    /// Creates an empty instance (tests use private instances; production
+    /// code goes through [`global`]).
+    pub fn new() -> Self {
+        Obs::default()
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The span tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Zeroes all metric values and clears collected spans. Handles
+    /// already resolved by components stay connected (values reset, the
+    /// instruments themselves survive).
+    pub fn reset(&self) {
+        self.registry.reset();
+        self.tracer.clear();
+    }
+}
+
+/// The process-wide [`Obs`] instance.
+pub fn global() -> &'static Obs {
+    static GLOBAL: OnceLock<Obs> = OnceLock::new();
+    GLOBAL.get_or_init(Obs::new)
+}
+
+/// Get-or-create a counter in the global registry.
+pub fn counter(name: &str) -> Counter {
+    global().registry().counter(name)
+}
+
+/// Get-or-create a gauge in the global registry.
+pub fn gauge(name: &str) -> Gauge {
+    global().registry().gauge(name)
+}
+
+/// Get-or-create a histogram in the global registry.
+pub fn histogram(name: &str) -> Histogram {
+    global().registry().histogram(name)
+}
+
+/// Opens a span on the global tracer. Returns an inert guard (no
+/// allocation, no clock read) while instrumentation is disabled.
+#[inline]
+pub fn span(name: &str) -> SpanGuard {
+    if enabled() {
+        global().tracer().span(name)
+    } else {
+        SpanGuard::inert()
+    }
+}
+
+/// Records an instantaneous event (a zero-duration span) with structured
+/// fields under the current span, if instrumentation is enabled.
+#[inline]
+pub fn event(name: &str, fields: &[(&str, String)]) {
+    if enabled() {
+        global().tracer().event(name, fields);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests that touch the global switch serialize on this lock so the
+    /// enabled window of one cannot leak into another.
+    static SWITCH_LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+
+    #[test]
+    fn switch_round_trips() {
+        let _guard = SWITCH_LOCK.lock();
+        // Never leave the global switch on: other tests share it.
+        let before = enabled();
+        set_enabled(true);
+        if cfg!(feature = "noop") {
+            assert!(!enabled());
+        } else {
+            assert!(enabled());
+        }
+        set_enabled(false);
+        assert!(!enabled());
+        set_enabled(before);
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let _guard = SWITCH_LOCK.lock();
+        set_enabled(false);
+        let drained = global().tracer().snapshot_spans().len();
+        {
+            let _g = span("should-not-record");
+        }
+        assert_eq!(global().tracer().snapshot_spans().len(), drained);
+    }
+
+    #[test]
+    fn counter_handle_survives_reset() {
+        // Private instance: resetting the *global* Obs would race with
+        // other tests in this crate.
+        let obs = Obs::new();
+        let c = obs.registry().counter("obs.test.reset");
+        c.add(5);
+        obs.reset();
+        assert_eq!(c.get(), 0);
+        c.add(2);
+        let snap = obs.registry().snapshot();
+        assert_eq!(snap.counters["obs.test.reset"], 2);
+    }
+}

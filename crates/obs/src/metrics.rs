@@ -1,0 +1,654 @@
+//! Lock-light metric instruments and the registry that names them.
+//!
+//! Instruments are thin handles over shared atomics: recording never
+//! takes a lock, and handles are resolved once (one registry-mutex hit)
+//! then cached by the component that owns them. Snapshots are plain data
+//! with value-wise [`Snapshot::merge`], so per-run snapshots can be
+//! folded into campaign totals.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Number of log2 histogram buckets: bucket `i > 0` holds values `v`
+/// with `2^(i-1) <= v < 2^i`; bucket 0 holds zero. 65 buckets cover the
+/// full `u64` range.
+pub const BUCKETS: usize = 65;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A free-standing counter, not attached to any registry (used for
+    /// per-instance semantics like a producer's own sent/dropped counts).
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A value that can move both ways (queue depths, in-flight requests).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A free-standing gauge.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log2-bucketed latency/size histogram.
+///
+/// Recording is three relaxed atomic adds plus a CAS-free max update —
+/// no locks, no allocation. Quantiles are estimated from bucket upper
+/// bounds, clamped to the observed maximum.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<HistogramInner>);
+
+/// Bucket index for a recorded value.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Largest value a bucket can hold (its quantile representative).
+pub fn bucket_high(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// A free-standing histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let inner = &*self.0;
+        inner.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(v, Ordering::Relaxed);
+        inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Copies the current state into plain data.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = &*self.0;
+        HistogramSnapshot {
+            buckets: inner
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: inner.count.load(Ordering::Relaxed),
+            sum: inner.sum.load(Ordering::Relaxed),
+            max: inner.max.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        let inner = &*self.0;
+        for b in &inner.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        inner.count.store(0, Ordering::Relaxed);
+        inner.sum.store(0, Ordering::Relaxed);
+        inner.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Plain-data copy of a [`Histogram`], mergeable and serializable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`bucket_index`]).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Estimated quantile `q` in `[0, 1]`: the upper bound of the first
+    /// bucket whose cumulative count reaches `ceil(q * count)`, clamped
+    /// to the observed maximum. Returns 0 for an empty snapshot.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_high(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean of observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Folds `other` into `self` (bucket-wise add; commutative and
+    /// associative, so merge order never matters).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Name → instrument map. Lookup takes a mutex; recording through a
+/// resolved handle does not, so components resolve once and cache.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get-or-create the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock();
+        match inner.counters.get(name) {
+            Some(c) => c.clone(),
+            None => {
+                let c = Counter::new();
+                inner.counters.insert(name.to_string(), c.clone());
+                c
+            }
+        }
+    }
+
+    /// Get-or-create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock();
+        match inner.gauges.get(name) {
+            Some(g) => g.clone(),
+            None => {
+                let g = Gauge::new();
+                inner.gauges.insert(name.to_string(), g.clone());
+                g
+            }
+        }
+    }
+
+    /// Get-or-create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut inner = self.inner.lock();
+        match inner.histograms.get(name) {
+            Some(h) => h.clone(),
+            None => {
+                let h = Histogram::new();
+                inner.histograms.insert(name.to_string(), h.clone());
+                h
+            }
+        }
+    }
+
+    /// Zeroes every registered instrument **in place**: handles held by
+    /// components remain attached (a clear-the-map reset would silently
+    /// disconnect them).
+    pub fn reset(&self) {
+        let inner = self.inner.lock();
+        for c in inner.counters.values() {
+            c.reset();
+        }
+        for g in inner.gauges.values() {
+            g.reset();
+        }
+        for h in inner.histograms.values() {
+            h.reset();
+        }
+    }
+
+    /// Copies every instrument's current value into a timestamped
+    /// [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock();
+        Snapshot {
+            at_unix_micros: unix_micros(),
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Microseconds since the Unix epoch (0 if the clock is before it).
+pub fn unix_micros() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
+
+/// A timestamped, mergeable copy of a registry's instruments.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Capture time, microseconds since the Unix epoch.
+    pub at_unix_micros: u64,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Folds `other` into `self`: counters and gauges add, histograms
+    /// merge bucket-wise, the timestamp keeps the later capture. The
+    /// value part is commutative: `merge(a,b) == merge(b,a)`.
+    pub fn merge(&mut self, other: &Snapshot) {
+        self.at_unix_micros = self.at_unix_micros.max(other.at_unix_micros);
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            *self.gauges.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.histograms {
+            self.histograms
+                .entry(k.clone())
+                .or_insert_with(HistogramSnapshot::empty)
+                .merge(v);
+        }
+    }
+
+    /// Serializes to a JSON object (histograms expand to summary stats
+    /// plus raw buckets).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"at_unix_micros\":");
+        out.push_str(&self.at_unix_micros.to_string());
+        out.push_str(",\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::json::write_string(&mut out, k);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::json::write_string(&mut out, k);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::json::write_string(&mut out, k);
+            out.push_str(&format!(
+                ":{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":{:.3},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+                h.count,
+                h.sum,
+                h.max,
+                h.mean(),
+                h.p50(),
+                h.p95(),
+                h.p99(),
+            ));
+            // Trailing zero buckets carry no information; trim them so
+            // the JSON stays compact.
+            let last = h.buckets.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
+            for (j, c) in h.buckets[..last].iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&c.to_string());
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        for k in 1..63 {
+            let low = 1u64 << (k - 1);
+            let high = (1u64 << k) - 1;
+            assert_eq!(bucket_index(low), k, "lower edge of bucket {k}");
+            assert_eq!(bucket_index(high), k, "upper edge of bucket {k}");
+            assert_eq!(bucket_index(high + 1), k + 1, "first value past bucket {k}");
+        }
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_high(0), 0);
+        assert_eq!(bucket_high(1), 1);
+        assert_eq!(bucket_high(4), 15);
+        assert_eq!(bucket_high(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_counts_and_quantiles() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 10, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1116);
+        assert_eq!(s.max, 1000);
+        // p50 rank = 3 → third value (3) lives in bucket 2 (values 2..=3).
+        assert_eq!(s.p50(), 3);
+        // Top quantiles clamp to the observed max, not the bucket edge.
+        assert_eq!(s.quantile(1.0), 1000);
+        assert!(s.p99() <= 1000);
+        assert!((s.mean() - 186.0).abs() < 0.001);
+    }
+
+    #[test]
+    fn empty_histogram_is_quiet() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.quantile(1.0), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn registry_returns_shared_handles() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(2);
+        b.add(3);
+        assert_eq!(r.counter("x").get(), 5);
+        r.histogram("h").record(7);
+        r.gauge("g").set(-2);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["x"], 5);
+        assert_eq!(snap.gauges["g"], -2);
+        assert_eq!(snap.histograms["h"].count, 1);
+        assert!(snap.at_unix_micros > 0);
+    }
+
+    #[test]
+    fn snapshot_merge_accumulates() {
+        let r1 = Registry::new();
+        r1.counter("c").add(1);
+        r1.histogram("h").record(10);
+        let r2 = Registry::new();
+        r2.counter("c").add(2);
+        r2.counter("only2").add(9);
+        r2.histogram("h").record(20);
+        let mut a = r1.snapshot();
+        a.merge(&r2.snapshot());
+        assert_eq!(a.counters["c"], 3);
+        assert_eq!(a.counters["only2"], 9);
+        assert_eq!(a.histograms["h"].count, 2);
+        assert_eq!(a.histograms["h"].max, 20);
+    }
+
+    #[test]
+    fn snapshot_json_is_wellformed() {
+        let r = Registry::new();
+        r.counter("a.b").add(3);
+        r.gauge("depth").set(-1);
+        r.histogram("lat \"q\"").record(5);
+        let json = r.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"a.b\":3"));
+        assert!(json.contains("\"depth\":-1"));
+        assert!(json.contains("\\\"q\\\""));
+        assert!(json.contains("\"count\":1"));
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let h = Histogram::new();
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let h = h.clone();
+                let c = c.clone();
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 8000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 8000);
+        assert_eq!(s.max, 7999);
+    }
+
+    proptest! {
+        /// Quantiles are monotone in q and bracketed by [0, max].
+        #[test]
+        fn quantile_monotonicity(values in prop::collection::vec(0u64..1_000_000, 1..200)) {
+            let h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let s = h.snapshot();
+            let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+            let mut prev = 0u64;
+            for &q in &qs {
+                let cur = s.quantile(q);
+                prop_assert!(cur >= prev, "quantile({q}) = {cur} < previous {prev}");
+                prop_assert!(cur <= s.max);
+                prev = cur;
+            }
+            prop_assert_eq!(s.quantile(1.0), s.max);
+        }
+
+        /// merge(a, b) == merge(b, a) for histogram snapshots.
+        #[test]
+        fn histogram_merge_commutes(
+            a in prop::collection::vec(0u64..1_000_000, 0..100),
+            b in prop::collection::vec(0u64..1_000_000, 0..100),
+        ) {
+            let ha = Histogram::new();
+            for &v in &a { ha.record(v); }
+            let hb = Histogram::new();
+            for &v in &b { hb.record(v); }
+            let (sa, sb) = (ha.snapshot(), hb.snapshot());
+            let mut ab = sa.clone();
+            ab.merge(&sb);
+            let mut ba = sb.clone();
+            ba.merge(&sa);
+            prop_assert_eq!(ab, ba);
+        }
+
+        /// Registry-level snapshot merge commutes on the value part.
+        #[test]
+        fn snapshot_merge_commutes(
+            xs in prop::collection::vec((0u8..4, 0u64..1000), 0..40),
+            ys in prop::collection::vec((0u8..4, 0u64..1000), 0..40),
+        ) {
+            let build = |pairs: &[(u8, u64)]| {
+                let r = Registry::new();
+                for &(k, v) in pairs {
+                    r.counter(&format!("c{k}")).add(v);
+                    r.histogram(&format!("h{k}")).record(v);
+                }
+                r.snapshot()
+            };
+            let (sa, sb) = (build(&xs), build(&ys));
+            let mut ab = sa.clone();
+            ab.merge(&sb);
+            let mut ba = sb.clone();
+            ba.merge(&sa);
+            ab.at_unix_micros = 0;
+            ba.at_unix_micros = 0;
+            prop_assert_eq!(ab, ba);
+        }
+    }
+}

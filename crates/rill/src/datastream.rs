@@ -14,7 +14,7 @@ use crate::error::{Error, Result};
 use crate::graph::{NodeId, NodeKind, Partitioning, StreamGraph};
 use crate::operator::{
     Collector, CountingCollector, FilterCollector, FlatMapCollector, GroupCollector, MapCollector,
-    ReduceCollector,
+    MeteredCollector, ReduceCollector,
 };
 use crate::plan::ExecutionPlan;
 use crate::runtime::{ClusterSpec, JobManager, JobResult, TaskSpec};
@@ -23,7 +23,6 @@ use crate::source::ParallelSource;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 /// Capacity of inter-task exchange channels; provides backpressure like
@@ -40,7 +39,7 @@ struct EnvCore {
     chaining: bool,
     cluster: ClusterSpec,
     tasks: Vec<TaskSpec>,
-    sink_counters: Vec<(String, Arc<AtomicU64>)>,
+    sink_counters: Vec<(String, obs::Counter)>,
 }
 
 /// Entry point for building and executing jobs — rill's counterpart of
@@ -247,7 +246,21 @@ impl<T: Send + 'static> DataStream<T> {
         });
         let parent = stream.build;
         let make = Arc::new(make);
-        let build: BuildFn<U> = Arc::new(move |subtask, col| parent(subtask, make(col)));
+        let metric_name = name.to_string();
+        let build: BuildFn<U> = Arc::new(move |subtask, col| {
+            if obs::enabled() {
+                // Resolved at job materialization, not per element; the
+                // disabled path builds the exact pre-instrumentation chain.
+                let records_in = obs::counter(&format!("rill.op.{metric_name}.records_in"));
+                let busy = obs::counter(&format!("rill.op.{metric_name}.busy_micros"));
+                parent(
+                    subtask,
+                    Box::new(MeteredCollector::new(records_in, busy, make(col))),
+                )
+            } else {
+                parent(subtask, make(col))
+            }
+        });
         let mut chain = stream.chain;
         chain.push(name.to_string());
         DataStream {
@@ -341,7 +354,7 @@ impl<T: Send + 'static> DataStream<T> {
                 .graph
                 .add_node(NodeKind::Sink, name.clone(), stream.parallelism);
             core.graph.add_edge(stream.node, node, stream.pending);
-            let counter = Arc::new(AtomicU64::new(0));
+            let counter = obs::Counter::new();
             let key = if core.sink_counters.iter().any(|(n, _)| *n == name) {
                 format!("{name} ({node})")
             } else {

@@ -224,13 +224,13 @@ where
 
 /// Pass-through collector that counts elements; used for task metrics.
 pub struct CountingCollector<C> {
-    counter: Arc<AtomicU64>,
+    counter: obs::Counter,
     downstream: C,
 }
 
 impl<C> CountingCollector<C> {
     /// Wraps `downstream`, incrementing `counter` per element.
-    pub fn new(counter: Arc<AtomicU64>, downstream: C) -> Self {
+    pub fn new(counter: obs::Counter, downstream: C) -> Self {
         CountingCollector {
             counter,
             downstream,
@@ -243,12 +243,57 @@ where
     C: Collector<T>,
 {
     fn collect(&mut self, item: T) {
-        self.counter.fetch_add(1, Ordering::Relaxed);
+        self.counter.inc();
         self.downstream.collect(item);
     }
 
     fn close(&mut self) {
         self.downstream.close();
+    }
+}
+
+/// Pass-through collector recording records-in and busy time for one
+/// named operator; installed by
+/// [`DataStream::transform`](crate::DataStream::transform) only while
+/// instrumentation is enabled, so the disabled path never pays the
+/// per-element clock reads.
+///
+/// Busy time is *inclusive*: operator chains are single call stacks, so
+/// an operator's measured time contains its chained downstream (exactly
+/// like a span tree — subtract the downstream operator to get exclusive
+/// time).
+pub struct MeteredCollector<C> {
+    records_in: obs::Counter,
+    busy_micros: obs::Counter,
+    downstream: C,
+}
+
+impl<C> MeteredCollector<C> {
+    /// Wraps `downstream` with the given instruments.
+    pub fn new(records_in: obs::Counter, busy_micros: obs::Counter, downstream: C) -> Self {
+        MeteredCollector {
+            records_in,
+            busy_micros,
+            downstream,
+        }
+    }
+}
+
+impl<T, C> Collector<T> for MeteredCollector<C>
+where
+    C: Collector<T>,
+{
+    fn collect(&mut self, item: T) {
+        self.records_in.inc();
+        let started = std::time::Instant::now();
+        self.downstream.collect(item);
+        self.busy_micros.add(started.elapsed().as_micros() as u64);
+    }
+
+    fn close(&mut self) {
+        let started = std::time::Instant::now();
+        self.downstream.close();
+        self.busy_micros.add(started.elapsed().as_micros() as u64);
     }
 }
 
@@ -389,13 +434,39 @@ mod tests {
     #[test]
     fn counting_collector_counts() {
         let (items, _, sink) = harness::<i64>();
-        let counter = Arc::new(AtomicU64::new(0));
+        let counter = obs::Counter::new();
         let mut chain = CountingCollector::new(counter.clone(), sink);
         for i in 0..7 {
             chain.collect(i);
         }
         chain.close();
-        assert_eq!(counter.load(Ordering::Relaxed), 7);
+        assert_eq!(counter.get(), 7);
         assert_eq!(items.lock().len(), 7);
+    }
+
+    #[test]
+    fn metered_collector_counts_and_times() {
+        let (items, closed, sink) = harness::<i64>();
+        let records_in = obs::Counter::new();
+        let busy = obs::Counter::new();
+        let mut chain = MeteredCollector::new(
+            records_in.clone(),
+            busy.clone(),
+            MapCollector::new(
+                |x: i64| {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                    x
+                },
+                sink,
+            ),
+        );
+        for i in 0..5 {
+            chain.collect(i);
+        }
+        chain.close();
+        assert_eq!(records_in.get(), 5);
+        assert!(busy.get() >= 5 * 200, "busy time includes downstream work");
+        assert_eq!(items.lock().len(), 5);
+        assert_eq!(closed.load(Ordering::SeqCst), 1);
     }
 }

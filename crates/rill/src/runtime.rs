@@ -10,8 +10,6 @@
 
 use crate::error::{Error, Result};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Cluster shape: how many task managers, and how many slots each offers.
@@ -130,8 +128,10 @@ impl JobManager {
         name: &str,
         cluster: ClusterSpec,
         tasks: Vec<TaskSpec>,
-        sink_counters: Vec<(String, Arc<AtomicU64>)>,
+        sink_counters: Vec<(String, obs::Counter)>,
     ) -> Result<JobResult> {
+        let mut job_span = obs::span("rill.execute");
+        job_span.field("job", name);
         if tasks.is_empty() {
             return Err(Error::InvalidTopology("nothing to execute".to_string()));
         }
@@ -191,7 +191,7 @@ impl JobManager {
         let duration = started.elapsed();
         let sink_counts = sink_counters
             .into_iter()
-            .map(|(name, counter)| (name, counter.load(Ordering::Relaxed)))
+            .map(|(name, counter)| (name, counter.get()))
             .collect();
         Ok(JobResult {
             name: name.to_string(),
@@ -299,13 +299,13 @@ mod tests {
 
     #[test]
     fn sink_counters_reported() {
-        let counter = Arc::new(AtomicU64::new(0));
+        let counter = obs::Counter::new();
         let c2 = counter.clone();
         let task = TaskSpec {
             name: "t".to_string(),
             parallelism: 1,
             runnables: vec![Box::new(move || {
-                c2.fetch_add(42, Ordering::Relaxed);
+                c2.add(42);
             })],
         };
         let result = JobManager::execute(
