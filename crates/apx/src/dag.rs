@@ -188,15 +188,19 @@ impl Dag {
             let body = Box::new(move || {
                 input.setup(&ctx);
                 let mut window_id = 0u64;
+                // One window's tuples are buffered and handed to the chain
+                // as a single batch; the buffer is reused across windows.
+                let mut buffer: Vec<T> = Vec::new();
                 loop {
                     sink.begin_window(window_id);
                     let more = {
-                        let mut emitter = CountingEmitter {
-                            sink: &mut sink,
-                            emitted: emitted.clone(),
+                        let mut emitter = BufferingEmitter {
+                            buffer: &mut buffer,
                         };
                         input.emit_window(window_id, &mut emitter)
                     };
+                    emitted.fetch_add(buffer.len() as u64, Ordering::Relaxed);
+                    sink.tuple_batch(&mut buffer);
                     sink.end_window(window_id);
                     if !more {
                         break;
@@ -220,16 +224,15 @@ impl Dag {
     }
 }
 
-/// Emitter counting tuples before handing them to the frame sink.
-struct CountingEmitter<'a, T> {
-    sink: &'a mut Box<dyn FrameSink<T>>,
-    emitted: Arc<AtomicU64>,
+/// Emitter buffering one window's tuples; the count update and the chain
+/// traversal both happen once per window batch, not per tuple.
+struct BufferingEmitter<'a, T> {
+    buffer: &'a mut Vec<T>,
 }
 
-impl<T: Send> Emitter<T> for CountingEmitter<'_, T> {
+impl<T: Send> Emitter<T> for BufferingEmitter<'_, T> {
     fn emit(&mut self, tuple: T) {
-        self.emitted.fetch_add(1, Ordering::Relaxed);
-        self.sink.tuple(tuple);
+        self.buffer.push(tuple);
     }
 }
 

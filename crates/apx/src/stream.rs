@@ -24,6 +24,16 @@ pub trait FrameSink<T>: Send {
     /// One tuple.
     fn tuple(&mut self, tuple: T);
 
+    /// A whole batch of tuples within the current window, draining
+    /// `tuples` (capacity kept so callers reuse the buffer). The default
+    /// forwards tuple by tuple; batching sinks override it to move the
+    /// batch on whole — one virtual call, one count update per batch.
+    fn tuple_batch(&mut self, tuples: &mut Vec<T>) {
+        for tuple in tuples.drain(..) {
+            self.tuple(tuple);
+        }
+    }
+
     /// End of a streaming window.
     fn end_window(&mut self, window_id: u64);
 
@@ -38,6 +48,10 @@ impl<T, S: FrameSink<T> + ?Sized> FrameSink<T> for Box<S> {
 
     fn tuple(&mut self, tuple: T) {
         (**self).tuple(tuple);
+    }
+
+    fn tuple_batch(&mut self, tuples: &mut Vec<T>) {
+        (**self).tuple_batch(tuples);
     }
 
     fn end_window(&mut self, window_id: u64) {
@@ -59,6 +73,8 @@ pub struct OperatorSink<I, O, Op, S> {
     /// when instrumentation is enabled so the disabled path records
     /// nothing per tuple.
     instruments: Option<(obs::Counter, obs::Counter)>,
+    /// Reused output buffer for the batch path.
+    scratch: Vec<O>,
     _types: std::marker::PhantomData<fn(I) -> O>,
 }
 
@@ -83,8 +99,21 @@ where
             downstream,
             emitted,
             instruments,
+            scratch: Vec::new(),
             _types: std::marker::PhantomData,
         }
+    }
+}
+
+/// Emitter collecting an operator's output into a reusable buffer (the
+/// batch path: counts and forwarding happen once per batch, afterwards).
+struct VecEmitter<'a, O> {
+    out: &'a mut Vec<O>,
+}
+
+impl<O> Emitter<O> for VecEmitter<'_, O> {
+    fn emit(&mut self, tuple: O) {
+        self.out.push(tuple);
     }
 }
 
@@ -129,6 +158,31 @@ where
             }
             None => self.op.process(tuple, &mut emitter),
         }
+    }
+
+    fn tuple_batch(&mut self, tuples: &mut Vec<I>) {
+        let op = &mut self.op;
+        let mut emitter = VecEmitter {
+            out: &mut self.scratch,
+        };
+        match &self.instruments {
+            Some((records_in, busy)) => {
+                records_in.add(tuples.len() as u64);
+                let started = std::time::Instant::now();
+                for tuple in tuples.drain(..) {
+                    op.process(tuple, &mut emitter);
+                }
+                busy.add(started.elapsed().as_micros() as u64);
+            }
+            None => {
+                for tuple in tuples.drain(..) {
+                    op.process(tuple, &mut emitter);
+                }
+            }
+        }
+        self.emitted
+            .fetch_add(self.scratch.len() as u64, Ordering::Relaxed);
+        self.downstream.tuple_batch(&mut self.scratch);
     }
 
     fn end_window(&mut self, window_id: u64) {
@@ -255,6 +309,16 @@ impl<T: Send> FrameSink<T> for Publisher<T> {
         self.send(Frame::Tuple(tuple));
     }
 
+    fn tuple_batch(&mut self, tuples: &mut Vec<T>) {
+        // One stats update per batch; frames stay per-tuple so the
+        // wire protocol (and downstream pipelining) is unchanged.
+        self.tuples
+            .fetch_add(tuples.len() as u64, Ordering::Relaxed);
+        for tuple in tuples.drain(..) {
+            self.send(Frame::Tuple(tuple));
+        }
+    }
+
     fn end_window(&mut self, window_id: u64) {
         self.send(Frame::End(window_id));
     }
@@ -292,6 +356,20 @@ impl<T: Send + 'static> FrameSink<T> for EncodingPublisher<T> {
         self.inner.tuple(encoded);
     }
 
+    fn tuple_batch(&mut self, tuples: &mut Vec<T>) {
+        // Every tuple still pays the codec (the modeled buffer-server
+        // serialization); only the stats updates are amortized.
+        let mut bytes = 0u64;
+        let count = tuples.len() as u64;
+        for tuple in tuples.drain(..) {
+            let encoded = self.codec.encode(&tuple);
+            bytes += encoded.len() as u64;
+            self.inner.send(Frame::Tuple(encoded));
+        }
+        self.inner.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.inner.tuples.fetch_add(count, Ordering::Relaxed);
+    }
+
     fn end_window(&mut self, window_id: u64) {
         self.inner.end_window(window_id);
     }
@@ -304,11 +382,37 @@ impl<T: Send + 'static> FrameSink<T> for EncodingPublisher<T> {
 /// Drains a subscriber into a frame sink, decoding if needed; returns when
 /// the stream ends. This is the body of a downstream container's event
 /// loop.
+///
+/// Tuples already waiting in the queue are gathered opportunistically and
+/// handed downstream as one batch — an idle consumer still processes a
+/// lone tuple immediately (the blocking `recv` is per frame), but a busy
+/// stream amortizes the chain traversal over whole batches.
 pub fn drain_typed<T: Send>(rx: &Receiver<Frame<T>>, sink: &mut dyn FrameSink<T>) {
-    while let Ok(frame) = rx.recv() {
+    let mut batch: Vec<T> = Vec::new();
+    let mut pending: Option<Frame<T>> = None;
+    loop {
+        let frame = match pending.take() {
+            Some(frame) => frame,
+            None => match rx.recv() {
+                Ok(frame) => frame,
+                Err(_) => break,
+            },
+        };
         match frame {
             Frame::Begin(w) => sink.begin_window(w),
-            Frame::Tuple(t) => sink.tuple(t),
+            Frame::Tuple(t) => {
+                batch.push(t);
+                while let Ok(next) = rx.try_recv() {
+                    match next {
+                        Frame::Tuple(t) => batch.push(t),
+                        other => {
+                            pending = Some(other);
+                            break;
+                        }
+                    }
+                }
+                sink.tuple_batch(&mut batch);
+            }
             Frame::End(w) => sink.end_window(w),
             Frame::Eos => {
                 sink.end_stream();
@@ -321,16 +425,39 @@ pub fn drain_typed<T: Send>(rx: &Receiver<Frame<T>>, sink: &mut dyn FrameSink<T>
     sink.end_stream();
 }
 
-/// Drains an encoded subscriber, decoding every tuple through `codec`.
+/// Drains an encoded subscriber, decoding every tuple through `codec`;
+/// consecutive queued tuples are decoded into one batch (see
+/// [`drain_typed`] for the gathering strategy).
 pub fn drain_encoded<T: Send + 'static>(
     rx: &Receiver<Frame<Vec<u8>>>,
     codec: &dyn Codec<T>,
     sink: &mut dyn FrameSink<T>,
 ) {
-    while let Ok(frame) = rx.recv() {
+    let mut batch: Vec<T> = Vec::new();
+    let mut pending: Option<Frame<Vec<u8>>> = None;
+    loop {
+        let frame = match pending.take() {
+            Some(frame) => frame,
+            None => match rx.recv() {
+                Ok(frame) => frame,
+                Err(_) => break,
+            },
+        };
         match frame {
             Frame::Begin(w) => sink.begin_window(w),
-            Frame::Tuple(bytes) => sink.tuple(codec.decode(&bytes)),
+            Frame::Tuple(bytes) => {
+                batch.push(codec.decode(&bytes));
+                while let Ok(next) = rx.try_recv() {
+                    match next {
+                        Frame::Tuple(bytes) => batch.push(codec.decode(&bytes)),
+                        other => {
+                            pending = Some(other);
+                            break;
+                        }
+                    }
+                }
+                sink.tuple_batch(&mut batch);
+            }
             Frame::End(w) => sink.end_window(w),
             Frame::Eos => {
                 sink.end_stream();
@@ -359,6 +486,10 @@ impl<T: Send> FrameSink<T> for CollectingSink<T> {
 
     fn tuple(&mut self, tuple: T) {
         self.items.push(tuple);
+    }
+
+    fn tuple_batch(&mut self, tuples: &mut Vec<T>) {
+        self.items.append(tuples);
     }
 
     fn end_window(&mut self, _window_id: u64) {
@@ -399,6 +530,30 @@ mod tests {
         assert_eq!(sink.downstream.items, vec![10]);
         assert_eq!(sink.downstream.windows, (1, 1));
         assert!(sink.downstream.ended);
+    }
+
+    #[test]
+    fn operator_sink_processes_whole_batches() {
+        let collector = CollectingSink::default();
+        let emitted = Arc::new(AtomicU64::new(0));
+        let op = FnOperator::new(|t: i64, out: &mut dyn Emitter<i64>| {
+            if t % 2 == 0 {
+                out.emit(t * 10);
+            }
+        });
+        let ctx = OperatorContext {
+            name: "batch".into(),
+            window_size: 10,
+        };
+        let mut sink = OperatorSink::new(op, &ctx, collector, emitted.clone());
+        sink.begin_window(0);
+        let mut batch: Vec<i64> = (0..6).collect();
+        sink.tuple_batch(&mut batch);
+        assert!(batch.is_empty(), "the batch must be drained");
+        sink.end_window(0);
+        sink.end_stream();
+        assert_eq!(emitted.load(Ordering::Relaxed), 3, "exact emitted count");
+        assert_eq!(sink.downstream.items, vec![0, 20, 40]);
     }
 
     #[test]

@@ -57,6 +57,16 @@ pub trait Coder<T>: Send + Sync + 'static {
         out
     }
 
+    /// Encodes into a reused buffer: clears `out` (keeping its capacity)
+    /// and leaves exactly the encoding of `value` in it. A hot loop that
+    /// holds one scratch buffer pays no growth reallocations after the
+    /// first few elements, where `encode_to_vec` re-grows a fresh buffer
+    /// per element.
+    fn encode_into(&self, value: &T, out: &mut Vec<u8>) {
+        out.clear();
+        self.encode(value, out);
+    }
+
     /// Decodes a whole buffer.
     ///
     /// # Errors

@@ -146,8 +146,11 @@ impl RawSource for BrokerRawSource {
         };
         let coder = KafkaRecordCoder;
         // Cached per-partition handle plus one reused fetch buffer: the
-        // fetch loop resolves the topic name once, not per request.
+        // fetch loop resolves the topic name once, not per request. The
+        // encode scratch is likewise reused; each emitted element gets
+        // one exact-size allocation.
         let mut batch = Vec::with_capacity(self.fetch_size);
+        let mut scratch: Vec<u8> = Vec::new();
         for partition in 0..topic.partition_count() {
             let Ok(reader) = self.broker.partition_reader(&self.topic, partition) else {
                 continue;
@@ -175,8 +178,9 @@ impl RawSource for BrokerRawSource {
                         key: stored.record.key.clone(),
                         value: stored.record.value.clone(),
                     };
+                    coder.encode_into(&record, &mut scratch);
                     emit(WindowedValue::timestamped(
-                        coder.encode_to_vec(&record),
+                        scratch.clone(),
                         Instant(record.timestamp_micros),
                     ));
                 }

@@ -17,6 +17,10 @@ pub struct ProcessContext<'a, O> {
     window: WindowRef,
     pane: PaneInfo,
     coder: &'a dyn Coder<O>,
+    /// Reused encode buffer owned by the `DoFn` instance: output encoding
+    /// never re-grows a fresh `Vec` per element — one exact-size
+    /// allocation per emitted element, zero during encoding.
+    scratch: &'a mut Vec<u8>,
     emit: RawEmit<'a>,
 }
 
@@ -38,9 +42,9 @@ impl<O: 'static> ProcessContext<'_, O> {
 
     /// Emits an output element inheriting the input's metadata.
     pub fn output(&mut self, value: O) {
-        let encoded = self.coder.encode_to_vec(&value);
+        self.coder.encode_into(&value, self.scratch);
         (self.emit)(WindowedValue {
-            value: encoded,
+            value: self.scratch.clone(),
             timestamp: self.timestamp,
             window: self.window,
             pane: self.pane,
@@ -49,9 +53,9 @@ impl<O: 'static> ProcessContext<'_, O> {
 
     /// Emits an output element with an explicit timestamp.
     pub fn output_with_timestamp(&mut self, value: O, timestamp: Instant) {
-        let encoded = self.coder.encode_to_vec(&value);
+        self.coder.encode_into(&value, self.scratch);
         (self.emit)(WindowedValue {
-            value: encoded,
+            value: self.scratch.clone(),
             timestamp,
             window: self.window,
             pane: self.pane,
@@ -106,6 +110,8 @@ pub struct RawAdapter<I, O, D> {
     dofn: D,
     in_coder: Arc<dyn Coder<I>>,
     out_coder: Arc<dyn Coder<O>>,
+    /// Per-instance encode scratch reused across every output element.
+    scratch: Vec<u8>,
 }
 
 impl<I, O, D> RawAdapter<I, O, D> {
@@ -115,6 +121,7 @@ impl<I, O, D> RawAdapter<I, O, D> {
             dofn,
             in_coder,
             out_coder,
+            scratch: Vec::new(),
         }
     }
 }
@@ -139,6 +146,7 @@ where
             window: element.window,
             pane: element.pane,
             coder: &*self.out_coder,
+            scratch: &mut self.scratch,
             emit,
         };
         self.dofn.process(decoded, &mut ctx);
@@ -150,6 +158,7 @@ where
             window: WindowRef::Global,
             pane: PaneInfo::NO_FIRING,
             coder: &*self.out_coder,
+            scratch: &mut self.scratch,
             emit,
         };
         self.dofn.finish_bundle(&mut ctx);
@@ -266,6 +275,34 @@ mod tests {
         let out = run_bundle(&mut adapter, inputs);
         assert_eq!(out.len(), 1);
         assert_eq!(VarIntCoder.decode_all(&out[0].value).unwrap(), 5);
+    }
+
+    #[test]
+    fn scratch_reuse_leaves_no_residue_between_elements() {
+        let dofn = FnDoFn::new(|s: String, ctx: &mut ProcessContext<'_, String>| {
+            ctx.output(s);
+        });
+        let mut adapter = RawAdapter::new(
+            dofn,
+            Arc::new(StrUtf8Coder) as _,
+            Arc::new(StrUtf8Coder) as _,
+        );
+        let inputs = vec![
+            WindowedValue::in_global_window(
+                StrUtf8Coder.encode_to_vec(&"a-long-first-element".to_string()),
+            ),
+            WindowedValue::in_global_window(StrUtf8Coder.encode_to_vec(&"x".to_string())),
+        ];
+        let out = run_bundle(&mut adapter, inputs);
+        assert_eq!(out.len(), 2);
+        // The shorter second output must not carry bytes of the first:
+        // the shared scratch is cleared per element, and the emitted
+        // buffer is an exact-size copy.
+        assert_eq!(
+            StrUtf8Coder.decode_all(&out[1].value).unwrap(),
+            "x".to_string()
+        );
+        assert_eq!(out[1].value.capacity(), out[1].value.len());
     }
 
     #[test]

@@ -137,7 +137,11 @@ impl RillRunner {
                         Box::new(RawDoFnCollector {
                             dofn: Some(factory()),
                             instruments: transform_instruments(&metric_name),
-                            downstream: SerializedBoundary { downstream: col },
+                            scratch: Vec::new(),
+                            downstream: SerializedBoundary {
+                                downstream: col,
+                                scratch: Vec::new(),
+                            },
                         })
                     }));
                 }
@@ -265,25 +269,55 @@ struct RawSourceInstance {
 impl SourceFunction<RawElement> for RawSourceInstance {
     fn run(&mut self, out: &mut dyn Collector<RawElement>) {
         if let Some(factory) = &self.factory {
-            factory().read(&mut |e| out.collect(e));
+            // Chunk the read into batches so the whole translated chain is
+            // traversed per batch, not per element.
+            let mut batch: Vec<RawElement> = Vec::with_capacity(SOURCE_BATCH);
+            factory().read(&mut |e| {
+                batch.push(e);
+                if batch.len() >= SOURCE_BATCH {
+                    out.collect_batch(&mut batch);
+                }
+            });
+            out.collect_batch(&mut batch);
         }
     }
 }
+
+/// Elements handed downstream per source batch.
+const SOURCE_BATCH: usize = 1024;
 
 /// Serializes every element through the windowed-value envelope coder and
 /// back before handing it downstream — the per-boundary serialization the
 /// engine applies to translated operators.
 struct SerializedBoundary<C> {
     downstream: C,
+    /// Reused envelope-encode buffer; the round trip itself — the modeled
+    /// overhead — is still paid per element.
+    scratch: Vec<u8>,
+}
+
+impl<C: Collector<RawElement>> SerializedBoundary<C> {
+    fn round_trip(&mut self, item: &RawElement) -> RawElement {
+        WindowedValueCoder.encode_into(item, &mut self.scratch);
+        WindowedValueCoder
+            .decode_all(&self.scratch)
+            .expect("envelope encoded by the same coder")
+    }
 }
 
 impl<C: Collector<RawElement>> Collector<RawElement> for SerializedBoundary<C> {
     fn collect(&mut self, item: RawElement) {
-        let encoded = WindowedValueCoder.encode_to_vec(&item);
-        let decoded = WindowedValueCoder
-            .decode_all(&encoded)
-            .expect("envelope encoded by the same coder");
+        let decoded = self.round_trip(&item);
         self.downstream.collect(decoded);
+    }
+
+    fn collect_batch(&mut self, items: &mut Vec<RawElement>) {
+        // Per-element envelope round trips (the engine's per-boundary
+        // serialization), forwarded as one batch.
+        for item in items.iter_mut() {
+            *item = self.round_trip(item);
+        }
+        self.downstream.collect_batch(items);
     }
 
     fn close(&mut self) {
@@ -297,6 +331,8 @@ impl<C: Collector<RawElement>> Collector<RawElement> for SerializedBoundary<C> {
 struct RawDoFnCollector<C> {
     dofn: Option<Box<dyn RawDoFn>>,
     instruments: Option<(obs::Counter, obs::Counter)>,
+    /// Reused output buffer for the batch path.
+    scratch: Vec<RawElement>,
     downstream: C,
 }
 
@@ -313,6 +349,28 @@ impl<C: Collector<RawElement>> Collector<RawElement> for RawDoFnCollector<C> {
             }
             None => dofn.process(item, &mut |e| downstream.collect(e)),
         }
+    }
+
+    fn collect_batch(&mut self, items: &mut Vec<RawElement>) {
+        let dofn = self.dofn.as_mut().expect("dofn live until close");
+        let scratch = &mut self.scratch;
+        match &self.instruments {
+            Some((records_in, busy)) => {
+                // One count update and one timing pair per batch.
+                records_in.add(items.len() as u64);
+                let started = std::time::Instant::now();
+                for item in items.drain(..) {
+                    dofn.process(item, &mut |e| scratch.push(e));
+                }
+                busy.add(started.elapsed().as_micros() as u64);
+            }
+            None => {
+                for item in items.drain(..) {
+                    dofn.process(item, &mut |e| scratch.push(e));
+                }
+            }
+        }
+        self.downstream.collect_batch(&mut self.scratch);
     }
 
     fn close(&mut self) {
@@ -371,6 +429,28 @@ impl rill::SinkFunction<RawElement> for RawDoFnSinkInstance {
         }
     }
 
+    fn invoke_batch(&mut self, items: &mut Vec<RawElement>) {
+        let Some(dofn) = self.dofn.as_mut() else {
+            items.clear();
+            return;
+        };
+        match &self.instruments {
+            Some((records_in, busy)) => {
+                records_in.add(items.len() as u64);
+                let started = std::time::Instant::now();
+                for item in items.drain(..) {
+                    dofn.process(item, &mut |_| {});
+                }
+                busy.add(started.elapsed().as_micros() as u64);
+            }
+            None => {
+                for item in items.drain(..) {
+                    dofn.process(item, &mut |_| {});
+                }
+            }
+        }
+    }
+
     fn close(&mut self) {
         if let Some(mut dofn) = self.dofn.take() {
             dofn.finish_bundle(&mut |_| {});
@@ -390,6 +470,10 @@ impl rill::ParallelSink<RawElement> for DiscardSink {
         struct Instance;
         impl rill::SinkFunction<RawElement> for Instance {
             fn invoke(&mut self, _item: RawElement) {}
+
+            fn invoke_batch(&mut self, items: &mut Vec<RawElement>) {
+                items.clear();
+            }
         }
         Box::new(Instance)
     }

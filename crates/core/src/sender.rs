@@ -47,10 +47,11 @@ pub struct SendReport {
 /// order is guaranteed (paper §III-A1: Kafka only orders within one
 /// partition).
 ///
-/// The per-record loop rides the producer's cached partition handle:
-/// after the first flush resolves the `(topic, partition 0)` writer,
-/// steady-state sends touch no topic-name lookup or allocation beyond
-/// the record itself.
+/// Records are generated into reused `batch_records`-sized chunks and
+/// handed to [`Producer::send_batch`]: the closed check, pacing, and
+/// topic lookup are paid once per chunk, and full buffers flush through
+/// the producer's cached partition handle — no per-record producer
+/// bookkeeping at all.
 ///
 /// # Errors
 ///
@@ -70,8 +71,16 @@ pub fn send_workload(
             rate_limit: config.rate.map(RateLimit::per_second),
         },
     );
-    for _ in 0..config.records {
-        producer.send(topic, Record::from_value(generator.next_payload()))?;
+    let chunk_size = config.batch_records.max(1);
+    let mut chunk: Vec<Record> = Vec::with_capacity(chunk_size);
+    let mut remaining = config.records;
+    while remaining > 0 {
+        let take = (chunk_size as u64).min(remaining);
+        for _ in 0..take {
+            chunk.push(Record::from_value(generator.next_payload()));
+        }
+        producer.send_batch(topic, &mut chunk)?;
+        remaining -= take;
     }
     producer.close()?;
     Ok(SendReport {

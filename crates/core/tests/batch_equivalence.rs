@@ -1,0 +1,204 @@
+//! Equivalence suite for the batched data plane (DESIGN.md §9): the
+//! vectorized operator chains and the allocation-free Beam coder path
+//! must be invisible in the results. Every implementation — the three
+//! native engines and the three abstraction-layer runners — has to
+//! produce exactly the bytes of the per-element reference
+//! [`Query::apply`], for all four queries, at parallelism 1 and 2.
+//!
+//! Parallelism 1 asserts byte-identical **and order-preserving** output.
+//! Parallelism 2 compares as multisets: repartitioning (the dstream
+//! runner repartitions every micro-batch, rill splits the source across
+//! subtasks) may legally interleave outputs, but must neither drop,
+//! duplicate, nor alter a single byte.
+
+use beamline::runners::{ApxRunner, DStreamRunner, RillRunner};
+use beamline::PipelineRunner;
+use bytes::Bytes;
+use logbus::{Broker, TopicConfig};
+use proptest::prelude::*;
+use streambench_core::{
+    beam_pipeline, fresh_yarn_cluster, native_apx, native_dstream, native_rill, send_workload,
+    Query, QueryLogGenerator, SenderConfig,
+};
+
+const RECORDS: u64 = 400;
+const SEED: u64 = 97;
+const BATCH_RECORDS: usize = 128;
+
+/// A broker with the standard workload loaded into the `input` topic.
+fn load_input(records: u64, seed: u64) -> Broker {
+    let broker = Broker::new();
+    broker
+        .create_topic("input", TopicConfig::default())
+        .unwrap();
+    send_workload(
+        &broker,
+        "input",
+        &SenderConfig {
+            records,
+            seed,
+            ..SenderConfig::default()
+        },
+    )
+    .unwrap();
+    broker
+}
+
+/// The per-element reference: `Query::apply` over the generated payloads
+/// in generation order.
+fn reference(query: Query, records: u64, seed: u64) -> Vec<Bytes> {
+    QueryLogGenerator::new(seed)
+        .payloads(records)
+        .iter()
+        .filter_map(|p| query.apply(p))
+        .collect()
+}
+
+/// All record values of an output topic, in log order.
+fn outputs(broker: &Broker, topic: &str) -> Vec<Bytes> {
+    broker
+        .fetch(topic, 0, 0, 100_000)
+        .unwrap()
+        .into_iter()
+        .map(|stored| stored.record.value)
+        .collect()
+}
+
+/// The six implementation variants of the benchmark matrix.
+#[derive(Debug, Clone, Copy)]
+enum Impl {
+    RillNative,
+    DStreamNative,
+    ApxNative,
+    RillBeam,
+    DStreamBeam,
+    ApxBeam,
+}
+
+const ALL_IMPLS: [Impl; 6] = [
+    Impl::RillNative,
+    Impl::DStreamNative,
+    Impl::ApxNative,
+    Impl::RillBeam,
+    Impl::DStreamBeam,
+    Impl::ApxBeam,
+];
+
+fn execute(imp: Impl, broker: &Broker, query: Query, output: &str, parallelism: usize) {
+    match imp {
+        Impl::RillNative => {
+            native_rill(broker, query, "input", output, parallelism).unwrap();
+        }
+        Impl::DStreamNative => {
+            native_dstream(broker, query, "input", output, parallelism, BATCH_RECORDS).unwrap();
+        }
+        Impl::ApxNative => {
+            let mut rm = fresh_yarn_cluster();
+            native_apx(broker, query, "input", output, parallelism as u32, &mut rm).unwrap();
+        }
+        Impl::RillBeam => {
+            let pipeline = beam_pipeline(broker, query, "input", output);
+            RillRunner::new()
+                .with_parallelism(parallelism)
+                .run(&pipeline)
+                .unwrap();
+        }
+        Impl::DStreamBeam => {
+            let pipeline = beam_pipeline(broker, query, "input", output);
+            DStreamRunner::new()
+                .with_parallelism(parallelism)
+                .with_batch_records(BATCH_RECORDS)
+                .run(&pipeline)
+                .unwrap();
+        }
+        Impl::ApxBeam => {
+            let pipeline = beam_pipeline(broker, query, "input", output);
+            ApxRunner::new()
+                .with_vcores(parallelism as u32)
+                .run(&pipeline)
+                .unwrap();
+        }
+    }
+}
+
+/// Runs all six implementations at parallelism 1 and 2 and checks each
+/// against the per-element reference.
+fn assert_query_equivalence(query: Query) {
+    let broker = load_input(RECORDS, SEED);
+    let expected = reference(query, RECORDS, SEED);
+    assert!(!expected.is_empty(), "workload must produce output");
+    let mut expected_sorted = expected.clone();
+    expected_sorted.sort();
+
+    for parallelism in [1usize, 2] {
+        for imp in ALL_IMPLS {
+            let topic = format!("out-{imp:?}-p{parallelism}");
+            broker.create_topic(&topic, TopicConfig::default()).unwrap();
+            execute(imp, &broker, query, &topic, parallelism);
+            let got = outputs(&broker, &topic);
+            if parallelism == 1 {
+                assert_eq!(
+                    got, expected,
+                    "{imp:?} at parallelism 1 must match the reference byte-for-byte, in order ({query})"
+                );
+            } else {
+                let mut got_sorted = got;
+                got_sorted.sort();
+                assert_eq!(
+                    got_sorted, expected_sorted,
+                    "{imp:?} at parallelism 2 must match the reference as a multiset ({query})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn identity_matches_per_element_reference() {
+    assert_query_equivalence(Query::Identity);
+}
+
+#[test]
+fn sample_matches_per_element_reference() {
+    assert_query_equivalence(Query::Sample);
+}
+
+#[test]
+fn projection_matches_per_element_reference() {
+    assert_query_equivalence(Query::Projection);
+}
+
+#[test]
+fn grep_matches_per_element_reference() {
+    assert_query_equivalence(Query::Grep);
+}
+
+proptest! {
+    /// Randomized workloads through the fully batched rill path, native
+    /// and Beam: whatever the seed and record count, the batched chain
+    /// produces exactly the per-element reference — in order at
+    /// parallelism 1, as a multiset at parallelism 2.
+    #[test]
+    fn batched_rill_chain_equals_per_element_reference(seed in any::<u64>(), n in 20u64..120) {
+        let query = Query::ALL[(seed % 4) as usize];
+        let broker = load_input(n, seed);
+        let expected = reference(query, n, seed);
+
+        broker.create_topic("native-out", TopicConfig::default()).unwrap();
+        native_rill(&broker, query, "input", "native-out", 1).unwrap();
+        prop_assert_eq!(outputs(&broker, "native-out"), expected.clone());
+
+        broker.create_topic("beam-out", TopicConfig::default()).unwrap();
+        let pipeline = beam_pipeline(&broker, query, "input", "beam-out");
+        RillRunner::new().with_parallelism(1).run(&pipeline).unwrap();
+        prop_assert_eq!(outputs(&broker, "beam-out"), expected.clone());
+
+        let mut expected_sorted = expected;
+        expected_sorted.sort();
+        broker.create_topic("native-out-p2", TopicConfig::default()).unwrap();
+        native_rill(&broker, query, "input", "native-out-p2", 2).unwrap();
+        let mut got = outputs(&broker, "native-out-p2");
+        got.sort();
+        prop_assert_eq!(got, expected_sorted);
+    }
+}

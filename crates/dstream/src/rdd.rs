@@ -1,11 +1,11 @@
 //! Resilient-distributed-dataset analog: lazy, partitioned, immutable
 //! collections with lineage.
 //!
-//! An [`Rdd<T>`] is a recipe: a partition count plus a compute function
-//! producing any partition on demand (the lineage of paper §II-C's RDDs,
-//! without the fault-tolerance machinery — there are no node failures in
-//! one process). Transformations compose compute functions lazily; actions
-//! run one task per partition on the context's executor pool.
+//! An [`Rdd<T>`] is a recipe: a partition count plus a pass producing any
+//! partition on demand (the lineage of paper §II-C's RDDs, without the
+//! fault-tolerance machinery — there are no node failures in one process).
+//! Transformations compose passes lazily; actions run one task per
+//! partition on the context's executor pool.
 
 use crate::context::Context;
 use std::collections::hash_map::DefaultHasher;
@@ -13,13 +13,25 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-type Compute<T> = Arc<dyn Fn(usize) -> Vec<T> + Send + Sync>;
+/// A fused per-partition pass: computes partition `i` of the lineage,
+/// pushing each element into `sink` as it is produced. Stateless
+/// transformations wrap the parent's pass, so a chain of
+/// `map`/`filter`/`flat_map` runs as **one** traversal per partition —
+/// no intermediate `Vec` is materialized between transformations.
+type Pass<T> = Arc<dyn Fn(usize, &mut dyn FnMut(T)) + Send + Sync>;
+
+/// Runs one partition of a pass to completion, materializing the result.
+fn materialize<T>(pass: &Pass<T>, partition: usize) -> Vec<T> {
+    let mut out = Vec::new();
+    pass(partition, &mut |item| out.push(item));
+    out
+}
 
 /// A lazy, partitioned collection.
 pub struct Rdd<T> {
     ctx: Context,
     partitions: usize,
-    compute: Compute<T>,
+    pass: Pass<T>,
 }
 
 impl<T> Clone for Rdd<T> {
@@ -27,7 +39,7 @@ impl<T> Clone for Rdd<T> {
         Rdd {
             ctx: self.ctx.clone(),
             partitions: self.partitions,
-            compute: self.compute.clone(),
+            pass: self.pass.clone(),
         }
     }
 }
@@ -51,7 +63,13 @@ impl<T: Send + Sync + 'static> Rdd<T> {
         Rdd {
             ctx,
             partitions,
-            compute: Arc::new(move |i| parts.get(i).cloned().unwrap_or_default()),
+            pass: Arc::new(move |i, sink: &mut dyn FnMut(T)| {
+                if let Some(part) = parts.get(i) {
+                    for item in part {
+                        sink(item.clone());
+                    }
+                }
+            }),
         }
     }
 
@@ -64,7 +82,11 @@ impl<T: Send + Sync + 'static> Rdd<T> {
         Rdd {
             ctx,
             partitions: partitions.max(1),
-            compute: Arc::new(compute),
+            pass: Arc::new(move |i, sink: &mut dyn FnMut(T)| {
+                for item in compute(i) {
+                    sink(item);
+                }
+            }),
         }
     }
 
@@ -78,60 +100,102 @@ impl<T: Send + Sync + 'static> Rdd<T> {
         &self.ctx
     }
 
-    /// Element-wise transformation (lazy).
+    /// Element-wise transformation (lazy). Fuses into the parent's pass:
+    /// no intermediate `Vec` is materialized between transformations.
     pub fn map<U, F>(self, f: F) -> Rdd<U>
     where
         U: Send + Sync + 'static,
         F: Fn(T) -> U + Send + Sync + 'static,
     {
-        let compute = self.compute;
+        let pass = self.pass;
         Rdd {
             ctx: self.ctx,
             partitions: self.partitions,
-            compute: Arc::new(move |i| compute(i).into_iter().map(&f).collect()),
+            pass: Arc::new(move |i, sink: &mut dyn FnMut(U)| {
+                pass(i, &mut |item| sink(f(item)));
+            }),
         }
     }
 
-    /// Keeps elements satisfying the predicate (lazy).
+    /// Keeps elements satisfying the predicate (lazy, fused).
     pub fn filter<F>(self, f: F) -> Rdd<T>
     where
         F: Fn(&T) -> bool + Send + Sync + 'static,
     {
-        let compute = self.compute;
+        let pass = self.pass;
         Rdd {
             ctx: self.ctx,
             partitions: self.partitions,
-            compute: Arc::new(move |i| compute(i).into_iter().filter(|t| f(t)).collect()),
+            pass: Arc::new(move |i, sink: &mut dyn FnMut(T)| {
+                pass(i, &mut |item| {
+                    if f(&item) {
+                        sink(item);
+                    }
+                });
+            }),
         }
     }
 
-    /// One-to-many transformation (lazy).
+    /// One-to-many transformation (lazy, fused).
     pub fn flat_map<U, I, F>(self, f: F) -> Rdd<U>
     where
         U: Send + Sync + 'static,
         I: IntoIterator<Item = U>,
         F: Fn(T) -> I + Send + Sync + 'static,
     {
-        let compute = self.compute;
+        let pass = self.pass;
         Rdd {
             ctx: self.ctx,
             partitions: self.partitions,
-            compute: Arc::new(move |i| compute(i).into_iter().flat_map(&f).collect()),
+            pass: Arc::new(move |i, sink: &mut dyn FnMut(U)| {
+                pass(i, &mut |item| {
+                    for out in f(item) {
+                        sink(out);
+                    }
+                });
+            }),
         }
     }
 
-    /// Whole-partition transformation (lazy); the cheapest way to apply
-    /// per-batch logic, which is why micro-batching amortizes so well.
+    /// Whole-partition transformation (lazy); the parent partition is
+    /// materialized once so `f` sees the complete batch slice.
     pub fn map_partitions<U, F>(self, f: F) -> Rdd<U>
     where
         U: Send + Sync + 'static,
         F: Fn(Vec<T>) -> Vec<U> + Send + Sync + 'static,
     {
-        let compute = self.compute;
+        let pass = self.pass;
         Rdd {
             ctx: self.ctx,
             partitions: self.partitions,
-            compute: Arc::new(move |i| f(compute(i))),
+            pass: Arc::new(move |i, sink: &mut dyn FnMut(U)| {
+                for out in f(materialize(&pass, i)) {
+                    sink(out);
+                }
+            }),
+        }
+    }
+
+    /// Meters the elements flowing out of this RDD (crate-internal): one
+    /// records-count update and one timing pair **per partition**, not per
+    /// element. Because passes are fused, the busy time is inclusive — it
+    /// covers the upstream pass and the downstream consumption of each
+    /// element, not just one operator's closure.
+    pub(crate) fn metered(self, records: obs::Counter, busy: obs::Counter) -> Rdd<T> {
+        let pass = self.pass;
+        Rdd {
+            ctx: self.ctx,
+            partitions: self.partitions,
+            pass: Arc::new(move |i, sink: &mut dyn FnMut(T)| {
+                let mut count = 0u64;
+                let started = std::time::Instant::now();
+                pass(i, &mut |item| {
+                    count += 1;
+                    sink(item);
+                });
+                busy.add(started.elapsed().as_micros() as u64);
+                records.add(count);
+            }),
         }
     }
 
@@ -184,8 +248,8 @@ impl<T: Send + Sync + 'static> Rdd<T> {
         let pool = self.ctx.pool();
         let tasks: Vec<_> = (0..self.partitions)
             .map(|i| {
-                let compute = self.compute.clone();
-                move || compute(i)
+                let pass = self.pass.clone();
+                move || materialize(&pass, i)
             })
             .collect();
         pool.run_stage(tasks)
@@ -196,13 +260,18 @@ impl<T: Send + Sync + 'static> Rdd<T> {
         self.collect_partitions().into_iter().flatten().collect()
     }
 
-    /// Counts elements (runs the lineage).
+    /// Counts elements (runs the lineage). The fused pass lets counting
+    /// drop elements as they are produced — nothing is materialized.
     pub fn count(&self) -> usize {
         let pool = self.ctx.pool();
         let tasks: Vec<_> = (0..self.partitions)
             .map(|i| {
-                let compute = self.compute.clone();
-                move || compute(i).len()
+                let pass = self.pass.clone();
+                move || {
+                    let mut n = 0usize;
+                    pass(i, &mut |_item| n += 1);
+                    n
+                }
             })
             .collect();
         pool.run_stage(tasks).into_iter().sum()
@@ -217,9 +286,9 @@ impl<T: Send + Sync + 'static> Rdd<T> {
         let f = Arc::new(f);
         let tasks: Vec<_> = (0..self.partitions)
             .map(|i| {
-                let compute = self.compute.clone();
+                let pass = self.pass.clone();
                 let f = f.clone();
-                move || f(i, compute(i))
+                move || f(i, materialize(&pass, i))
             })
             .collect();
         let _: Vec<()> = pool.run_stage(tasks);
@@ -415,6 +484,42 @@ mod tests {
             seen2.fetch_add(part.len(), Ordering::SeqCst);
         });
         assert_eq!(seen.load(Ordering::SeqCst), 42);
+    }
+
+    #[test]
+    fn stateless_transforms_fuse_into_one_pass() {
+        // Two chained maps over one partition: fused execution interleaves
+        // them per element instead of completing one whole map before the
+        // next (which would need an intermediate Vec).
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let l1 = log.clone();
+        let l2 = log.clone();
+        let out = ctx()
+            .parallelize(vec![1i64, 2], 1)
+            .map(move |x| {
+                l1.lock().push(format!("a{x}"));
+                x
+            })
+            .map(move |x| {
+                l2.lock().push(format!("b{x}"));
+                x
+            })
+            .collect();
+        assert_eq!(out, vec![1, 2]);
+        assert_eq!(*log.lock(), vec!["a1", "b1", "a2", "b2"]);
+    }
+
+    #[test]
+    fn metered_counts_per_partition_not_per_element() {
+        let records = obs::Counter::new();
+        let busy = obs::Counter::new();
+        let rdd = ctx()
+            .parallelize((0..30).collect::<Vec<i64>>(), 3)
+            .metered(records.clone(), busy.clone())
+            .map(|x| x * 2);
+        assert_eq!(records.get(), 0, "metering is lazy like the lineage");
+        assert_eq!(rdd.count(), 30);
+        assert_eq!(records.get(), 30, "exact records-in total");
     }
 
     #[test]

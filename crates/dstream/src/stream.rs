@@ -17,11 +17,15 @@ type BatchPull<T> = Arc<Mutex<Box<dyn FnMut() -> Option<Rdd<T>> + Send>>>;
 
 /// Lazily resolved per-operator instruments (records-in, busy time).
 ///
-/// RDD transformations are lazy — the element closure runs at action
-/// time, inside executor tasks — so metering wraps the element function
-/// itself. Resolution happens once per operator, on the first metered
-/// element batch, and only while instrumentation is enabled; the
-/// disabled path installs the bare closure.
+/// RDD transformations are lazy — the work happens at action time,
+/// inside executor tasks — so metering is spliced into the lineage as a
+/// fused [`Rdd::metered`] stage just upstream of the operator: one
+/// records-count update and one timing pair per partition, not per
+/// element. Busy time is therefore inclusive of the fused pass (see
+/// DESIGN.md §9); records-in totals are exact. Resolution happens once
+/// per operator, on the first metered batch, and only while
+/// instrumentation is enabled; the disabled path installs the bare
+/// transformation.
 #[derive(Clone)]
 struct OpMeter {
     name: &'static str,
@@ -133,19 +137,13 @@ impl<T: Clone + Send + Sync + 'static> DStream<T> {
     {
         let meter = OpMeter::new("Map");
         self.transform(move |rdd| {
-            let f = f.clone();
-            if obs::enabled() {
+            let rdd = if obs::enabled() {
                 let (records, busy) = meter.resolve();
-                rdd.map(move |x| {
-                    records.inc();
-                    let started = Instant::now();
-                    let out = f(x);
-                    busy.add(started.elapsed().as_micros() as u64);
-                    out
-                })
+                rdd.metered(records, busy)
             } else {
-                rdd.map(f)
-            }
+                rdd
+            };
+            rdd.map(f.clone())
         })
     }
 
@@ -156,19 +154,13 @@ impl<T: Clone + Send + Sync + 'static> DStream<T> {
     {
         let meter = OpMeter::new("Filter");
         self.transform(move |rdd| {
-            let f = f.clone();
-            if obs::enabled() {
+            let rdd = if obs::enabled() {
                 let (records, busy) = meter.resolve();
-                rdd.filter(move |x| {
-                    records.inc();
-                    let started = Instant::now();
-                    let keep = f(x);
-                    busy.add(started.elapsed().as_micros() as u64);
-                    keep
-                })
+                rdd.metered(records, busy)
             } else {
-                rdd.filter(f)
-            }
+                rdd
+            };
+            rdd.filter(f.clone())
         })
     }
 
@@ -181,19 +173,13 @@ impl<T: Clone + Send + Sync + 'static> DStream<T> {
     {
         let meter = OpMeter::new("FlatMap");
         self.transform(move |rdd| {
-            let f = f.clone();
-            if obs::enabled() {
+            let rdd = if obs::enabled() {
                 let (records, busy) = meter.resolve();
-                rdd.flat_map(move |x| {
-                    records.inc();
-                    let started = Instant::now();
-                    let out = f(x);
-                    busy.add(started.elapsed().as_micros() as u64);
-                    out
-                })
+                rdd.metered(records, busy)
             } else {
-                rdd.flat_map(f)
-            }
+                rdd
+            };
+            rdd.flat_map(f.clone())
         })
     }
 

@@ -28,11 +28,21 @@ use std::thread::JoinHandle;
 /// (client-side backpressure, like a full `buffer.memory`).
 const QUEUE_CAPACITY: usize = 16_384;
 
+/// One unit of work for the sender thread: a single queued record, or a
+/// whole batch handed over in one channel message (the batch fast path —
+/// one queue operation and one atomic update per batch).
+#[derive(Debug)]
+enum Queued {
+    One(Record),
+    Many(Vec<Record>),
+}
+
 /// An asynchronous, adaptively batching producer for one partition.
 #[derive(Debug)]
 pub struct AsyncProducer {
-    sender: Option<Sender<Record>>,
+    sender: Option<Sender<Queued>>,
     worker: Option<JoinHandle<()>>,
+    max_batch: usize,
     /// Records accepted but not yet appended.
     pending: Arc<AtomicU64>,
 }
@@ -53,7 +63,7 @@ impl AsyncProducer {
     ) -> Self {
         let topic = topic.into();
         let max_batch = max_batch.max(1);
-        let (sender, receiver) = bounded::<Record>(QUEUE_CAPACITY);
+        let (sender, receiver) = bounded::<Queued>(QUEUE_CAPACITY);
         let pending = Arc::new(AtomicU64::new(0));
         let pending_worker = pending.clone();
         let worker = std::thread::Builder::new()
@@ -64,10 +74,14 @@ impl AsyncProducer {
                 // while unresolved.
                 let mut writer: Option<PartitionWriter> = None;
                 while let Ok(first) = receiver.recv() {
-                    let mut batch = vec![first];
+                    let mut batch = match first {
+                        Queued::One(record) => vec![record],
+                        Queued::Many(records) => records,
+                    };
                     while batch.len() < max_batch {
                         match receiver.try_recv() {
-                            Ok(record) => batch.push(record),
+                            Ok(Queued::One(record)) => batch.push(record),
+                            Ok(Queued::Many(records)) => batch.extend(records),
                             Err(_) => break,
                         }
                     }
@@ -91,6 +105,7 @@ impl AsyncProducer {
         AsyncProducer {
             sender: Some(sender),
             worker: Some(worker),
+            max_batch,
             pending,
         }
     }
@@ -100,11 +115,43 @@ impl AsyncProducer {
     pub fn send(&self, record: Record) {
         if let Some(sender) = &self.sender {
             let queued = self.pending.fetch_add(1, Ordering::AcqRel) + 1;
-            if sender.send(record).is_err() {
+            if sender.send(Queued::One(record)).is_err() {
                 self.pending.fetch_sub(1, Ordering::AcqRel);
             } else if obs::enabled() {
                 crate::telemetry::async_queue_depth().set(queued as i64);
             }
+        }
+    }
+
+    /// Queues a whole batch, draining `records` (capacity kept for reuse).
+    ///
+    /// One channel message and one pending-count update cover the entire
+    /// batch; batches larger than the producer's maximum batch size are
+    /// split so no single append exceeds it.
+    pub fn send_batch(&self, records: &mut Vec<Record>) {
+        if records.is_empty() {
+            return;
+        }
+        let Some(sender) = &self.sender else {
+            records.clear();
+            return;
+        };
+        let total = records.len() as u64;
+        self.pending.fetch_add(total, Ordering::AcqRel);
+        let mut shipped = 0u64;
+        while !records.is_empty() {
+            let take = records.len().min(self.max_batch);
+            let chunk: Vec<Record> = records.drain(..take).collect();
+            let len = chunk.len() as u64;
+            if sender.send(Queued::Many(chunk)).is_err() {
+                self.pending.fetch_sub(total - shipped, Ordering::AcqRel);
+                records.clear();
+                return;
+            }
+            shipped += len;
+        }
+        if obs::enabled() {
+            crate::telemetry::async_queue_depth().set(self.pending.load(Ordering::Acquire) as i64);
         }
     }
 
@@ -206,6 +253,44 @@ mod tests {
             50,
             "per-record flush means per-record appends"
         );
+    }
+
+    #[test]
+    fn send_batch_preserves_order_and_reuses_buffer() {
+        let broker = Broker::new();
+        broker.create_topic("t", TopicConfig::default()).unwrap();
+        let mut producer = AsyncProducer::with_max_batch(broker.clone(), "t", 0, 100);
+        let mut buffer = Vec::new();
+        for round in 0..4 {
+            for i in 0..250 {
+                buffer.push(Record::from_value(format!("r{}", round * 250 + i)));
+            }
+            producer.send_batch(&mut buffer);
+            assert!(buffer.is_empty(), "the batch must be drained");
+        }
+        producer.close();
+        let records = broker.fetch("t", 0, 0, 1_000).unwrap();
+        assert_eq!(records.len(), 1_000);
+        for (i, stored) in records.iter().enumerate() {
+            assert_eq!(&stored.record.value[..], format!("r{i}").as_bytes());
+        }
+    }
+
+    #[test]
+    fn send_batch_splits_oversized_batches() {
+        let broker = Broker::new();
+        broker.create_topic("t", TopicConfig::default()).unwrap();
+        let mut producer = AsyncProducer::with_max_batch(broker.clone(), "t", 0, 10);
+        let mut buffer: Vec<Record> = (0..35)
+            .map(|i| Record::from_value(format!("{i}")))
+            .collect();
+        producer.send_batch(&mut buffer);
+        producer.close();
+        let records = broker.fetch("t", 0, 0, 35).unwrap();
+        assert_eq!(records.len(), 35);
+        let stamps: std::collections::BTreeSet<i64> =
+            records.iter().map(|r| r.timestamp.as_micros()).collect();
+        assert!(stamps.len() >= 2, "the batch was split into capped appends");
     }
 
     #[test]

@@ -206,11 +206,17 @@ impl Producer {
     }
 
     fn pace(&mut self) {
+        self.pace_many(1);
+    }
+
+    /// Advances the pacing clock by `count` records in one step: a batch
+    /// sleeps once for its whole deficit instead of once per record.
+    fn pace_many(&mut self, count: u64) {
         let Some(limit) = self.config.rate_limit else {
             return;
         };
         let started = *self.pacing_started.get_or_insert_with(Instant::now);
-        self.paced_records += 1;
+        self.paced_records += count;
         let due = Duration::from_secs_f64(self.paced_records as f64 / limit.records_per_second);
         let elapsed = started.elapsed();
         if due > elapsed {
@@ -256,6 +262,76 @@ impl Producer {
         if buffer.len() >= self.config.batch_records {
             let batch = std::mem::take(buffer);
             self.flush_batch(topic, partition, batch)?;
+        }
+        Ok(())
+    }
+
+    /// Buffers a whole batch of records for `topic`, draining `records`
+    /// (capacity kept for the caller to reuse).
+    ///
+    /// The closed check, pacing, and topic lookup are paid once per batch
+    /// instead of once per record. With a [`Partitioner::Fixed`]
+    /// partitioner (the benchmark sender's setup) records move in bulk
+    /// `extend`s, flushing full buffers through the cached
+    /// [`PartitionWriter`] as they fill; other partitioners route each
+    /// record but still skip the per-record bookkeeping.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Producer::send`]. `records` is drained even when an
+    /// error cuts the batch short.
+    pub fn send_batch(&mut self, topic: &str, records: &mut Vec<Record>) -> Result<()> {
+        if self.closed {
+            return Err(Error::ProducerClosed);
+        }
+        if records.is_empty() {
+            return Ok(());
+        }
+        self.pace_many(records.len() as u64);
+        let index = self.topic_index(topic);
+        if let Partitioner::Fixed(partition) = self.config.partitioner {
+            let batch_records = self.config.batch_records;
+            loop {
+                let buffer = self.topics[index].state.slot(partition);
+                let room = batch_records.saturating_sub(buffer.len()).max(1);
+                let take = room.min(records.len());
+                buffer.extend(records.drain(..take));
+                if buffer.len() >= batch_records {
+                    let batch = std::mem::take(buffer);
+                    self.flush_batch(topic, partition, batch)?;
+                }
+                if records.is_empty() {
+                    return Ok(());
+                }
+            }
+        }
+        for record in records.drain(..) {
+            let state = &mut self.topics[index].state;
+            let picked = match self.config.partitioner {
+                Partitioner::Fixed(p) => Ok(p),
+                Partitioner::RoundRobin => next_round_robin(self.bus.as_ref(), state, topic),
+                Partitioner::KeyHash => match &record.key {
+                    Some(key) => cached_partition_count(self.bus.as_ref(), state, topic).map(|n| {
+                        let mut hasher = DefaultHasher::new();
+                        key.hash(&mut hasher);
+                        (hasher.finish() % u64::from(n)) as u32
+                    }),
+                    None => next_round_robin(self.bus.as_ref(), state, topic),
+                },
+            };
+            let partition = match picked {
+                Ok(p) => p,
+                Err(e) => {
+                    self.absorb(e)?;
+                    continue;
+                }
+            };
+            let buffer = self.topics[index].state.slot(partition);
+            buffer.push(record);
+            if buffer.len() >= self.config.batch_records {
+                let batch = std::mem::take(buffer);
+                self.flush_batch(topic, partition, batch)?;
+            }
         }
         Ok(())
     }
@@ -458,6 +534,96 @@ mod tests {
         producer.flush().unwrap();
         assert_eq!(broker.latest_offset("t", 0).unwrap(), 25);
         assert_eq!(producer.metrics().sent, 25);
+    }
+
+    #[test]
+    fn send_batch_flushes_full_buffers_in_order() {
+        let broker = broker_with(1);
+        let mut producer = Producer::with_config(
+            broker.clone(),
+            ProducerConfig {
+                batch_records: 10,
+                partitioner: Partitioner::Fixed(0),
+                ..ProducerConfig::default()
+            },
+        );
+        let mut batch: Vec<Record> = (0..25)
+            .map(|i| Record::from_value(format!("{i}")))
+            .collect();
+        producer.send_batch("t", &mut batch).unwrap();
+        assert!(batch.is_empty(), "the batch must be drained");
+        assert_eq!(
+            broker.latest_offset("t", 0).unwrap(),
+            20,
+            "two automatic flushes of 10; 5 still buffered"
+        );
+        producer.flush().unwrap();
+        let records = broker.fetch("t", 0, 0, 25).unwrap();
+        assert_eq!(records.len(), 25);
+        for (i, stored) in records.iter().enumerate() {
+            assert_eq!(&stored.record.value[..], format!("{i}").as_bytes());
+        }
+    }
+
+    #[test]
+    fn send_batch_round_robin_spreads() {
+        let broker = broker_with(4);
+        let mut producer = Producer::with_config(
+            broker.clone(),
+            ProducerConfig {
+                batch_records: 1,
+                ..ProducerConfig::default()
+            },
+        );
+        let mut batch: Vec<Record> = (0..8).map(|i| Record::from_value(format!("{i}"))).collect();
+        producer.send_batch("t", &mut batch).unwrap();
+        for p in 0..4 {
+            assert_eq!(broker.latest_offset("t", p).unwrap(), 2, "partition {p}");
+        }
+    }
+
+    #[test]
+    fn send_batch_matches_per_record_sends() {
+        let per_record = broker_with(1);
+        let batched = broker_with(1);
+        let config = || ProducerConfig {
+            batch_records: 7,
+            partitioner: Partitioner::Fixed(0),
+            ..ProducerConfig::default()
+        };
+        let mut a = Producer::with_config(per_record.clone(), config());
+        for i in 0..50 {
+            a.send("t", Record::from_value(format!("{i}"))).unwrap();
+        }
+        a.close().unwrap();
+        let mut b = Producer::with_config(batched.clone(), config());
+        let mut chunk = Vec::new();
+        for i in 0..50 {
+            chunk.push(Record::from_value(format!("{i}")));
+            if chunk.len() == 13 {
+                b.send_batch("t", &mut chunk).unwrap();
+            }
+        }
+        b.send_batch("t", &mut chunk).unwrap();
+        b.close().unwrap();
+        let left = per_record.fetch("t", 0, 0, 50).unwrap();
+        let right = batched.fetch("t", 0, 0, 50).unwrap();
+        assert_eq!(left.len(), right.len());
+        for (l, r) in left.iter().zip(right.iter()) {
+            assert_eq!(l.record.value, r.record.value);
+        }
+    }
+
+    #[test]
+    fn send_batch_on_closed_producer_errors() {
+        let broker = broker_with(1);
+        let mut producer = Producer::new(broker);
+        producer.close().unwrap();
+        let mut batch = vec![Record::from_value("x")];
+        assert_eq!(
+            producer.send_batch("t", &mut batch),
+            Err(Error::ProducerClosed)
+        );
     }
 
     #[test]

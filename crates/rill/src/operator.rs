@@ -5,6 +5,12 @@
 //! stack of inlined calls — rill's equivalent of Flink's operator chaining.
 //! No element is boxed or serialized inside a chain; types stay concrete
 //! from source to the next exchange or sink.
+//!
+//! Chains move data batch-at-a-time where they can: sources hand whole
+//! fetch batches to [`Collector::collect_batch`], and the stateless
+//! operators forward batches with one virtual call per *batch* instead of
+//! one per element. Stateful operators fall back to the per-element
+//! default, so correctness never depends on which path a chain takes.
 
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -19,6 +25,18 @@ pub trait Collector<T>: Send {
     /// Accepts one element.
     fn collect(&mut self, item: T);
 
+    /// Accepts a whole batch of elements, draining `items`.
+    ///
+    /// The contract: on return `items` is empty, its capacity intact, so
+    /// callers can refill and resend the same buffer. The default forwards
+    /// element by element; stateless operators override it to amortize the
+    /// boxed-collector virtual call over the batch.
+    fn collect_batch(&mut self, items: &mut Vec<T>) {
+        for item in items.drain(..) {
+            self.collect(item);
+        }
+    }
+
     /// Signals the end of the (bounded) stream.
     fn close(&mut self);
 }
@@ -29,31 +47,49 @@ impl<T, C: Collector<T> + ?Sized> Collector<T> for Box<C> {
         (**self).collect(item);
     }
 
+    fn collect_batch(&mut self, items: &mut Vec<T>) {
+        (**self).collect_batch(items);
+    }
+
     fn close(&mut self) {
         (**self).close();
     }
 }
 
 /// One-to-one transformation.
-pub struct MapCollector<F, C> {
+pub struct MapCollector<F, C, U> {
     f: F,
     downstream: C,
+    /// Reused output buffer for the batch path.
+    scratch: Vec<U>,
 }
 
-impl<F, C> MapCollector<F, C> {
+impl<F, C, U> MapCollector<F, C, U> {
     /// Wraps `downstream` with the mapping `f`.
     pub fn new(f: F, downstream: C) -> Self {
-        MapCollector { f, downstream }
+        MapCollector {
+            f,
+            downstream,
+            scratch: Vec::new(),
+        }
     }
 }
 
-impl<T, U, F, C> Collector<T> for MapCollector<F, C>
+impl<T, U, F, C> Collector<T> for MapCollector<F, C, U>
 where
     F: FnMut(T) -> U + Send,
     C: Collector<U>,
+    U: Send,
 {
     fn collect(&mut self, item: T) {
         self.downstream.collect((self.f)(item));
+    }
+
+    fn collect_batch(&mut self, items: &mut Vec<T>) {
+        // `Drain` is `TrustedLen`, so this is one reservation plus an
+        // unchecked-capacity fill — no per-element capacity test.
+        self.scratch.extend(items.drain(..).map(&mut self.f));
+        self.downstream.collect_batch(&mut self.scratch);
     }
 
     fn close(&mut self) {
@@ -88,6 +124,12 @@ where
         }
     }
 
+    fn collect_batch(&mut self, items: &mut Vec<T>) {
+        let predicate = &mut self.predicate;
+        items.retain(|item| predicate(item));
+        self.downstream.collect_batch(items);
+    }
+
     fn close(&mut self) {
         self.downstream.close();
     }
@@ -98,7 +140,8 @@ where
 pub struct FlatMapCollector<F, C, U> {
     f: F,
     downstream: C,
-    _out: std::marker::PhantomData<fn() -> U>,
+    /// Reused output buffer for the batch path.
+    scratch: Vec<U>,
 }
 
 impl<F, C, U> FlatMapCollector<F, C, U> {
@@ -107,7 +150,7 @@ impl<F, C, U> FlatMapCollector<F, C, U> {
         FlatMapCollector {
             f,
             downstream,
-            _out: std::marker::PhantomData,
+            scratch: Vec::new(),
         }
     }
 }
@@ -116,10 +159,19 @@ impl<T, U, F, C> Collector<T> for FlatMapCollector<F, C, U>
 where
     F: FnMut(T, &mut dyn FnMut(U)) + Send,
     C: Collector<U>,
+    U: Send,
 {
     fn collect(&mut self, item: T) {
         let downstream = &mut self.downstream;
         (self.f)(item, &mut |out| downstream.collect(out));
+    }
+
+    fn collect_batch(&mut self, items: &mut Vec<T>) {
+        let scratch = &mut self.scratch;
+        for item in items.drain(..) {
+            (self.f)(item, &mut |out| scratch.push(out));
+        }
+        self.downstream.collect_batch(&mut self.scratch);
     }
 
     fn close(&mut self) {
@@ -247,6 +299,11 @@ where
         self.downstream.collect(item);
     }
 
+    fn collect_batch(&mut self, items: &mut Vec<T>) {
+        self.counter.add(items.len() as u64);
+        self.downstream.collect_batch(items);
+    }
+
     fn close(&mut self) {
         self.downstream.close();
     }
@@ -290,6 +347,15 @@ where
         self.busy_micros.add(started.elapsed().as_micros() as u64);
     }
 
+    fn collect_batch(&mut self, items: &mut Vec<T>) {
+        // One counter add and one clock pair per batch: metering cost no
+        // longer scales with element count on the batched plane.
+        self.records_in.add(items.len() as u64);
+        let started = std::time::Instant::now();
+        self.downstream.collect_batch(items);
+        self.busy_micros.add(started.elapsed().as_micros() as u64);
+    }
+
     fn close(&mut self) {
         let started = std::time::Instant::now();
         self.downstream.close();
@@ -315,6 +381,10 @@ impl<T> VecCollector<T> {
 impl<T: Send> Collector<T> for VecCollector<T> {
     fn collect(&mut self, item: T) {
         self.items.lock().push(item);
+    }
+
+    fn collect_batch(&mut self, items: &mut Vec<T>) {
+        self.items.lock().append(items);
     }
 
     fn close(&mut self) {
@@ -442,6 +512,91 @@ mod tests {
         chain.close();
         assert_eq!(counter.get(), 7);
         assert_eq!(items.lock().len(), 7);
+    }
+
+    #[test]
+    fn batched_chain_matches_per_element() {
+        let (batched, _, batched_sink) = harness::<String>();
+        let (one_by_one, _, element_sink) = harness::<String>();
+        let build = |sink: VecCollector<String>| {
+            MapCollector::new(
+                |x: i64| x + 1,
+                FilterCollector::new(
+                    |x: &i64| *x % 2 == 1,
+                    FlatMapCollector::new(
+                        |x: i64, out: &mut dyn FnMut(String)| {
+                            out(format!("a{x}"));
+                            out(format!("b{x}"));
+                        },
+                        sink,
+                    ),
+                ),
+            )
+        };
+        let mut chain = build(batched_sink);
+        let mut batch: Vec<i64> = (0..10).collect();
+        chain.collect_batch(&mut batch);
+        assert!(batch.is_empty(), "the batch must be drained");
+        assert!(batch.capacity() >= 10, "capacity survives for reuse");
+        chain.close();
+
+        let mut chain = build(element_sink);
+        for i in 0..10 {
+            chain.collect(i);
+        }
+        chain.close();
+        assert_eq!(*batched.lock(), *one_by_one.lock());
+    }
+
+    #[test]
+    fn map_batch_reuses_scratch_across_batches() {
+        let (items, _, sink) = harness::<i64>();
+        let mut chain = MapCollector::new(|x: i64| x * 10, sink);
+        for round in 0..3i64 {
+            let mut batch = vec![round, round + 1];
+            chain.collect_batch(&mut batch);
+        }
+        chain.close();
+        assert_eq!(*items.lock(), vec![0, 10, 10, 20, 20, 30]);
+    }
+
+    #[test]
+    fn metered_collector_batch_records_once_per_batch() {
+        let (items, _, sink) = harness::<i64>();
+        let records_in = obs::Counter::new();
+        let busy = obs::Counter::new();
+        let mut chain = MeteredCollector::new(records_in.clone(), busy.clone(), sink);
+        let mut batch: Vec<i64> = (0..8).collect();
+        chain.collect_batch(&mut batch);
+        chain.close();
+        assert_eq!(records_in.get(), 8, "records-in still counts elements");
+        assert_eq!(items.lock().len(), 8);
+    }
+
+    #[test]
+    fn counting_collector_batch_counts_elements() {
+        let (items, _, sink) = harness::<i64>();
+        let counter = obs::Counter::new();
+        let mut chain = CountingCollector::new(counter.clone(), sink);
+        let mut batch: Vec<i64> = (0..6).collect();
+        chain.collect_batch(&mut batch);
+        chain.close();
+        assert_eq!(counter.get(), 6);
+        assert_eq!(items.lock().len(), 6);
+    }
+
+    #[test]
+    fn stateful_collectors_take_the_per_element_default() {
+        let (items, _, sink) = harness::<(char, i64)>();
+        let mut chain = ReduceCollector::new(
+            |t: &(char, i64)| t.0,
+            |a: (char, i64), b: (char, i64)| (a.0, a.1 + b.1),
+            sink,
+        );
+        let mut batch = vec![('a', 1), ('b', 10), ('a', 2)];
+        chain.collect_batch(&mut batch);
+        chain.close();
+        assert_eq!(*items.lock(), vec![('a', 1), ('b', 10), ('a', 3)]);
     }
 
     #[test]

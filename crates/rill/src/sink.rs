@@ -11,6 +11,15 @@ pub trait SinkFunction<T>: Send {
     /// Consumes one element.
     fn invoke(&mut self, item: T);
 
+    /// Consumes a whole batch, draining `items` (leaving its capacity for
+    /// reuse). The default forwards element by element; batching sinks
+    /// override it to hand the batch on whole.
+    fn invoke_batch(&mut self, items: &mut Vec<T>) {
+        for item in items.drain(..) {
+            self.invoke(item);
+        }
+    }
+
     /// Flushes buffered output; called once when the stream ends.
     fn close(&mut self) {}
 }
@@ -42,6 +51,10 @@ impl<T> SinkCollector<T> {
 impl<T: Send> Collector<T> for SinkCollector<T> {
     fn collect(&mut self, item: T) {
         self.sink.invoke(item);
+    }
+
+    fn collect_batch(&mut self, items: &mut Vec<T>) {
+        self.sink.invoke_batch(items);
     }
 
     fn close(&mut self) {
@@ -93,6 +106,10 @@ impl<T: Send> SinkFunction<T> for VecSinkInstance<T> {
     fn invoke(&mut self, item: T) {
         self.items.lock().push(item);
     }
+
+    fn invoke_batch(&mut self, items: &mut Vec<T>) {
+        self.items.lock().append(items);
+    }
 }
 
 /// Sink producing to a `logbus` topic.
@@ -137,6 +154,8 @@ impl BrokerSink {
 
 struct BrokerSinkInstance {
     producer: logbus::AsyncProducer,
+    /// Reused record buffer for the batch path.
+    scratch: Vec<Record>,
 }
 
 impl ParallelSink<Bytes> for BrokerSink {
@@ -148,6 +167,7 @@ impl ParallelSink<Bytes> for BrokerSink {
                 self.partition,
                 self.batch_records,
             ),
+            scratch: Vec::new(),
         })
     }
 
@@ -159,6 +179,13 @@ impl ParallelSink<Bytes> for BrokerSink {
 impl SinkFunction<Bytes> for BrokerSinkInstance {
     fn invoke(&mut self, item: Bytes) {
         self.producer.send(Record::from_value(item));
+    }
+
+    fn invoke_batch(&mut self, items: &mut Vec<Bytes>) {
+        // The whole batch crosses to the producer thread as one queue
+        // message: no per-element channel operation or atomic update.
+        self.scratch.extend(items.drain(..).map(Record::from_value));
+        self.producer.send_batch(&mut self.scratch);
     }
 
     fn close(&mut self) {
@@ -200,6 +227,23 @@ mod tests {
         let stamps: std::collections::BTreeSet<i64> =
             records.iter().map(|r| r.timestamp.as_micros()).collect();
         assert_eq!(stamps.len(), 3, "one LogAppendTime per batch");
+    }
+
+    #[test]
+    fn broker_sink_accepts_whole_batches() {
+        let broker = Broker::new();
+        broker.create_topic("out", TopicConfig::default()).unwrap();
+        let sink = BrokerSink::new(broker.clone(), "out").batch_records(100);
+        let mut instance = sink.create(0, 1);
+        let mut batch: Vec<Bytes> = (0..25).map(|i| Bytes::from(format!("r{i}"))).collect();
+        instance.invoke_batch(&mut batch);
+        assert!(batch.is_empty(), "the batch must be drained");
+        instance.close();
+        let records = broker.fetch("out", 0, 0, 25).unwrap();
+        assert_eq!(records.len(), 25);
+        for (i, stored) in records.iter().enumerate() {
+            assert_eq!(&stored.record.value[..], format!("r{i}").as_bytes());
+        }
     }
 
     #[test]

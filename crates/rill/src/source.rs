@@ -4,7 +4,50 @@ use crate::operator::Collector;
 use bytes::Bytes;
 use logbus::Broker;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Bounded exponential backoff for idle polls: a handful of spin-loop
+/// hints, then scheduler yields, then short sleeps that double up to a
+/// 1 ms cap — so a source waiting on a slow producer reacts in
+/// microseconds when data is close but stops burning a core when it
+/// is not. `reset` re-arms the fast path after progress.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    const SPINS: u32 = 6;
+    const YIELDS: u32 = 10;
+    const MAX_SLEEP_MICROS: u64 = 1000;
+
+    /// Creates a backoff at the hot (spinning) end of the scale.
+    pub fn new() -> Self {
+        Backoff::default()
+    }
+
+    /// Re-arms the backoff after progress was made.
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// Waits one escalating step: spin, yield, or sleep.
+    pub fn snooze(&mut self) {
+        if self.step < Self::SPINS {
+            for _ in 0..(1u32 << self.step) {
+                std::hint::spin_loop();
+            }
+        } else if self.step < Self::SPINS + Self::YIELDS {
+            std::thread::yield_now();
+        } else {
+            let exp = (self.step - Self::SPINS - Self::YIELDS).min(6);
+            let micros = (16u64 << exp).min(Self::MAX_SLEEP_MICROS);
+            std::thread::sleep(std::time::Duration::from_micros(micros));
+        }
+        self.step = self.step.saturating_add(1);
+    }
+}
 
 /// One parallel instance of a source, driving elements into the head of an
 /// operator chain.
@@ -67,10 +110,19 @@ impl<T: Clone + Send + Sync + 'static> ParallelSource<T> for VecSource<T> {
 
 impl<T: Clone + Send + Sync> SourceFunction<T> for VecSourceInstance<T> {
     fn run(&mut self, out: &mut dyn Collector<T>) {
+        // Emitted in reused batches so the chain runs batch-at-a-time.
+        const BATCH: usize = 1024;
+        let mut batch = Vec::with_capacity(BATCH.min(self.items.len()));
         let mut i = self.subtask;
         while i < self.items.len() {
-            out.collect(self.items[i].clone());
+            batch.push(self.items[i].clone());
+            if batch.len() == BATCH {
+                out.collect_batch(&mut batch);
+            }
             i += self.parallelism;
+        }
+        if !batch.is_empty() {
+            out.collect_batch(&mut batch);
         }
     }
 }
@@ -83,6 +135,16 @@ pub struct BrokerSource {
     broker: Broker,
     topic: String,
     fetch_size: usize,
+    follow: Option<FollowMode>,
+}
+
+/// Tailing configuration: instead of stopping at the offsets current at
+/// job start, the source polls until `target` records have been emitted
+/// across all subtasks, backing off while caught up with the producer.
+#[derive(Debug, Clone)]
+struct FollowMode {
+    target: u64,
+    emitted: Arc<AtomicU64>,
 }
 
 impl BrokerSource {
@@ -92,12 +154,24 @@ impl BrokerSource {
             broker,
             topic: topic.into(),
             fetch_size: 2048,
+            follow: None,
         }
     }
 
     /// Sets the per-fetch batch size.
     pub fn fetch_size(mut self, records: usize) -> Self {
         self.fetch_size = records.max(1);
+        self
+    }
+
+    /// Keeps polling (with [`Backoff`]) until `records` records have been
+    /// emitted across all subtasks — a bounded tail read over a topic
+    /// that is still being produced to.
+    pub fn follow_until(mut self, records: u64) -> Self {
+        self.follow = Some(FollowMode {
+            target: records,
+            emitted: Arc::new(AtomicU64::new(0)),
+        });
         self
     }
 }
@@ -107,6 +181,7 @@ struct BrokerSourceInstance {
     topic: String,
     fetch_size: usize,
     partitions: Vec<u32>,
+    follow: Option<FollowMode>,
 }
 
 impl ParallelSource<Bytes> for BrokerSource {
@@ -124,6 +199,7 @@ impl ParallelSource<Bytes> for BrokerSource {
             topic: self.topic.clone(),
             fetch_size: self.fetch_size,
             partitions,
+            follow: self.follow.clone(),
         })
     }
 
@@ -134,10 +210,22 @@ impl ParallelSource<Bytes> for BrokerSource {
 
 impl SourceFunction<Bytes> for BrokerSourceInstance {
     fn run(&mut self, out: &mut dyn Collector<Bytes>) {
+        match self.follow.clone() {
+            None => self.run_bounded(out),
+            Some(follow) => self.run_following(&follow, out),
+        }
+    }
+}
+
+impl BrokerSourceInstance {
+    /// Bounded read: stop at the per-partition offsets current at start.
+    fn run_bounded(&mut self, out: &mut dyn Collector<Bytes>) {
         // One cached partition handle per assigned partition and one fetch
         // buffer reused across every fetch: the read loop resolves the
-        // topic name once, not once per request.
+        // topic name once, not once per request. The payload buffer is
+        // reused too — the already-fetched batch goes downstream whole.
         let mut batch = Vec::with_capacity(self.fetch_size);
+        let mut payloads: Vec<Bytes> = Vec::with_capacity(self.fetch_size);
         for &partition in &self.partitions {
             let Ok(reader) = self.broker.partition_reader(&self.topic, partition) else {
                 continue;
@@ -156,9 +244,51 @@ impl SourceFunction<Bytes> for BrokerSourceInstance {
                     break;
                 }
                 offset = batch.last().expect("non-empty batch").offset + 1;
-                for stored in batch.drain(..) {
-                    out.collect(stored.record.value);
+                payloads.extend(batch.drain(..).map(|stored| stored.record.value));
+                out.collect_batch(&mut payloads);
+            }
+        }
+    }
+
+    /// Tailing read: poll every assigned partition until the shared
+    /// emitted count reaches the follow target, backing off exponentially
+    /// while caught up with the producer instead of spinning on empty
+    /// fetches.
+    fn run_following(&mut self, follow: &FollowMode, out: &mut dyn Collector<Bytes>) {
+        let mut cursors = Vec::new();
+        for &partition in &self.partitions {
+            let Ok(reader) = self.broker.partition_reader(&self.topic, partition) else {
+                continue;
+            };
+            let position = reader.earliest_offset().unwrap_or(0);
+            cursors.push((reader, position));
+        }
+        if cursors.is_empty() {
+            return;
+        }
+        let mut batch = Vec::with_capacity(self.fetch_size);
+        let mut payloads: Vec<Bytes> = Vec::with_capacity(self.fetch_size);
+        let mut backoff = Backoff::new();
+        while follow.emitted.load(Ordering::SeqCst) < follow.target {
+            let mut progressed = false;
+            for (reader, position) in &mut cursors {
+                batch.clear();
+                let Ok(appended) = reader.fetch_into(*position, self.fetch_size, &mut batch) else {
+                    continue;
+                };
+                if appended == 0 {
+                    continue;
                 }
+                *position = batch.last().expect("non-empty batch").offset + 1;
+                follow.emitted.fetch_add(appended as u64, Ordering::SeqCst);
+                payloads.extend(batch.drain(..).map(|stored| stored.record.value));
+                out.collect_batch(&mut payloads);
+                progressed = true;
+            }
+            if progressed {
+                backoff.reset();
+            } else {
+                backoff.snooze();
             }
         }
     }
@@ -196,10 +326,8 @@ impl<T: Send + Sync> SourceFunction<T> for QueueSourceInstance<T> {
         if !self.active {
             return;
         }
-        let drained: Vec<T> = std::mem::take(&mut *self.queue.lock());
-        for item in drained {
-            out.collect(item);
-        }
+        let mut drained: Vec<T> = std::mem::take(&mut *self.queue.lock());
+        out.collect_batch(&mut drained);
     }
 }
 
@@ -280,6 +408,46 @@ mod tests {
         let parts = collect_all(&source, 2);
         assert_eq!(parts[0].len(), 20, "partitions 0 and 2");
         assert_eq!(parts[1].len(), 10, "partition 1");
+    }
+
+    #[test]
+    fn follow_source_gets_all_records_from_slow_producer() {
+        let broker = Broker::new();
+        broker.create_topic("in", TopicConfig::default()).unwrap();
+        let producer_broker = broker.clone();
+        let producer = std::thread::spawn(move || {
+            for i in 0..40 {
+                producer_broker
+                    .produce("in", 0, Record::from_value(format!("r{i}")))
+                    .unwrap();
+                if i % 8 == 0 {
+                    // Leave the source caught up so it has to back off.
+                    std::thread::sleep(std::time::Duration::from_millis(3));
+                }
+            }
+        });
+        let source = BrokerSource::new(broker, "in")
+            .fetch_size(5)
+            .follow_until(40);
+        let items = Arc::new(Mutex::new(Vec::new()));
+        let closed = Arc::new(AtomicU64::new(0));
+        let mut col = VecCollector::new(items.clone(), closed);
+        source.create(0, 1).run(&mut col);
+        producer.join().unwrap();
+        let collected = items.lock();
+        assert_eq!(collected.len(), 40, "a slow producer loses no records");
+        assert_eq!(&collected[39][..], b"r39", "order preserved");
+    }
+
+    #[test]
+    fn backoff_escalates_and_resets() {
+        let mut backoff = Backoff::new();
+        for _ in 0..Backoff::SPINS + Backoff::YIELDS + 2 {
+            backoff.snooze();
+        }
+        assert!(backoff.step > Backoff::SPINS + Backoff::YIELDS);
+        backoff.reset();
+        assert_eq!(backoff.step, 0);
     }
 
     #[test]
