@@ -42,9 +42,14 @@ impl KafkaInput {
 impl InputOperator<Bytes> for KafkaInput {
     fn setup(&mut self, ctx: &OperatorContext) {
         self.window_size = ctx.window_size;
+        let retry = logbus::RetryPolicy::default();
         if let Ok(topic) = self.broker.topic(&self.topic) {
             for p in 0..topic.partition_count() {
-                let Ok(reader) = self.broker.partition_reader(&self.topic, p) else {
+                // Resolution retries through transient broker faults so a
+                // flaky setup never silently drops a partition.
+                let Ok(reader) =
+                    logbus::with_retry(&retry, || self.broker.partition_reader(&self.topic, p))
+                else {
                     continue;
                 };
                 let position = topic.earliest_offset(p).unwrap_or(0);
@@ -129,10 +134,15 @@ impl KafkaOutput {
 
     fn writer(&mut self) -> Option<&PartitionWriter> {
         if self.writer.is_none() {
-            self.writer = self
-                .broker
-                .partition_writer(&self.topic, self.partition)
-                .ok();
+            // Retried resolution plus an idempotent handle: transient
+            // faults are ridden out and a lost-ack resend never
+            // duplicates query output.
+            let retry = logbus::RetryPolicy::default();
+            self.writer = logbus::with_retry(&retry, || {
+                self.broker.partition_writer(&self.topic, self.partition)
+            })
+            .ok()
+            .map(logbus::PartitionWriter::idempotent);
         }
         self.writer.as_ref()
     }
@@ -263,6 +273,51 @@ mod tests {
         out.process(Bytes::from_static(b"a"), &mut null);
         out.teardown();
         assert_eq!(broker.latest_offset("out", 0).unwrap(), 1);
+    }
+
+    #[test]
+    fn faulted_broker_round_trips_exactly_once() {
+        let broker = broker_with_records(80);
+        let mut plan = logbus::FaultPlan::seeded(17);
+        plan.produce_error = 0.3;
+        plan.ack_loss = 0.3;
+        plan.fetch_error = 0.3;
+        plan.metadata_error = 0.3;
+        plan.duplicate = 0.0;
+        plan.extra_latency = 0.0;
+        broker.install_fault_plan(plan);
+
+        let mut input = KafkaInput::new(broker.clone(), "in");
+        input.setup(&OperatorContext {
+            name: "in".into(),
+            window_size: 9,
+        });
+        let mut out = KafkaOutput::new(broker.clone(), "out");
+        let mut window = 0u64;
+        loop {
+            let mut tuples = Vec::new();
+            let more = {
+                let mut emitter = |t: Bytes| tuples.push(t);
+                input.emit_window(window, &mut emitter)
+            };
+            let mut null = |_: ()| {};
+            for t in tuples {
+                out.process(t, &mut null);
+            }
+            out.end_window(window, &mut null);
+            window += 1;
+            if !more {
+                break;
+            }
+        }
+        out.teardown();
+        broker.clear_fault_plan();
+
+        let records = broker.fetch("out", 0, 0, 1_000).unwrap();
+        assert_eq!(records.len(), 80, "no loss, no duplicates through faults");
+        for (i, stored) in records.iter().enumerate() {
+            assert_eq!(&stored.record.value[..], format!("r{i}").as_bytes());
+        }
     }
 
     #[test]

@@ -151,8 +151,13 @@ impl RawSource for BrokerRawSource {
         // one exact-size allocation.
         let mut batch = Vec::with_capacity(self.fetch_size);
         let mut scratch: Vec<u8> = Vec::new();
+        let retry = logbus::RetryPolicy::default();
         for partition in 0..topic.partition_count() {
-            let Ok(reader) = self.broker.partition_reader(&self.topic, partition) else {
+            // Resolution retries through transient broker faults; the
+            // reader handle retries its own fetches.
+            let Ok(reader) = logbus::with_retry(&retry, || {
+                self.broker.partition_reader(&self.topic, partition)
+            }) else {
                 continue;
             };
             let Ok(end) = topic.latest_offset(partition) else {

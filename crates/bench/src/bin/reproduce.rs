@@ -9,6 +9,10 @@
 //! # the obs layer, prints the span tree, and writes metrics + spans +
 //! # per-stage totals as JSON:
 //! cargo run --release -p streambench-bench --bin reproduce -- smoke --obs-json obs.json
+//! # Under chaos: any target plus `--fault-seed <n>` injects seeded
+//! # transient broker faults into every processing phase and appends the
+//! # run-incident table (which runs needed retries, which were dropped):
+//! cargo run --release -p streambench-bench --bin reproduce -- smoke --fault-seed 2019
 //! ```
 //!
 //! Absolute numbers differ from the paper (this substrate is an
@@ -22,6 +26,7 @@ use streambench_core::{report, Api, BenchConfig, BenchmarkRunner, Measurement, Q
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let obs_json = take_obs_json(&mut args);
+    let fault_seed = take_fault_seed(&mut args);
     let target = args.first().map(String::as_str).unwrap_or("all");
 
     if obs_json.is_some() {
@@ -30,16 +35,16 @@ fn main() {
     }
 
     match target {
-        "smoke" => smoke(),
+        "smoke" => smoke(fault_seed),
         "table1" => print!("{}", report::table_one()),
         "table2" => print!("{}", report::table_two()),
-        "fig6" => figures(&[Query::Identity]),
-        "fig7" => figures(&[Query::Sample]),
-        "fig8" => figures(&[Query::Projection]),
-        "fig9" => figures(&[Query::Grep]),
-        "fig10" => fig10_and_table3(false),
-        "table3" => fig10_and_table3(true),
-        "fig11" => fig11(),
+        "fig6" => figures(&[Query::Identity], fault_seed),
+        "fig7" => figures(&[Query::Sample], fault_seed),
+        "fig8" => figures(&[Query::Projection], fault_seed),
+        "fig9" => figures(&[Query::Grep], fault_seed),
+        "fig10" => fig10_and_table3(false, fault_seed),
+        "table3" => fig10_and_table3(true, fault_seed),
+        "fig11" => fig11(fault_seed),
         "all" => {
             println!("=== Table I: system comparison ===");
             print!("{}", report::table_one());
@@ -48,7 +53,7 @@ fn main() {
             println!();
             // One noise-off campaign feeds Figs. 6-9 and 11; the noisy
             // campaign feeds Fig. 10 and Table III.
-            let measurements = campaign(&Query::ALL, false);
+            let measurements = campaign(&Query::ALL, false, fault_seed);
             for query in Query::ALL {
                 let rows = report::average_times(&measurements, query);
                 println!(
@@ -75,7 +80,7 @@ fn main() {
                     "x"
                 )
             );
-            fig10_and_table3(true);
+            fig10_and_table3(true, fault_seed);
         }
         other => {
             eprintln!(
@@ -102,22 +107,52 @@ fn take_obs_json(args: &mut Vec<String>) -> Option<String> {
     Some(path)
 }
 
+/// Removes `--fault-seed <n>` from the argument list, if present.
+/// The seed installs a `logbus::FaultPlan` of transient broker faults
+/// for every processing phase; the run-incident table at the end of the
+/// campaign records which runs needed retries.
+fn take_fault_seed(args: &mut Vec<String>) -> Option<u64> {
+    let at = args.iter().position(|a| a == "--fault-seed")?;
+    if at + 1 >= args.len() {
+        eprintln!("--fault-seed requires a numeric seed argument");
+        std::process::exit(2);
+    }
+    let raw = args.remove(at + 1);
+    args.remove(at);
+    match raw.parse() {
+        Ok(seed) => Some(seed),
+        Err(_) => {
+            eprintln!("--fault-seed requires a numeric seed, got `{raw}`");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// A minimal instrumented campaign: the grep query across all six
 /// system × API setups, one run, small workload. Exists so CI can assert
 /// the instrumentation pipeline end to end in seconds.
-fn smoke() {
-    let config = BenchConfig::quick()
+fn smoke(fault_seed: Option<u64>) {
+    let mut config = BenchConfig::quick()
         .records(500)
         .runs(1)
         .parallelisms(vec![1]);
-    eprintln!("running smoke campaign: grep, 500 records, 6 setups");
+    if let Some(seed) = fault_seed {
+        config = config.with_fault_seed(seed);
+    }
+    eprintln!(
+        "running smoke campaign: grep, 500 records, 6 setups{}",
+        fault_seed
+            .map(|s| format!(", fault seed {s}"))
+            .unwrap_or_default()
+    );
     let runner = BenchmarkRunner::new(config);
-    let measurements = runner.run_query(Query::Grep).expect("smoke run");
-    let rows = report::average_times(&measurements, Query::Grep);
+    let outcome = runner.run_query_report(Query::Grep).expect("smoke run");
+    let rows = report::average_times(&outcome.measurements, Query::Grep);
     println!(
         "{}",
         report::render_bars("=== smoke: grep execution times (s) ===", &rows, "s")
     );
+    print!("{}", report::render_incidents(&outcome.incidents));
 }
 
 /// Writes the collected metrics, spans, and per-stage totals as JSON and
@@ -159,25 +194,35 @@ fn export_obs(path: &str) {
     eprintln!("obs snapshot written to {path}");
 }
 
-fn campaign(queries: &[Query], noise: bool) -> Vec<Measurement> {
+fn campaign(queries: &[Query], noise: bool, fault_seed: Option<u64>) -> Vec<Measurement> {
     let mut config = BenchConfig::default();
     if noise {
         config = config.with_noise(2019);
     }
+    if let Some(seed) = fault_seed {
+        config = config.with_fault_seed(seed);
+    }
     eprintln!(
-        "running campaign: {} records, {} runs, parallelisms {:?}, noise {}",
+        "running campaign: {} records, {} runs, parallelisms {:?}, noise {}{}",
         config.records,
         config.runs,
         config.parallelisms,
-        if noise { "on" } else { "off" }
+        if noise { "on" } else { "off" },
+        fault_seed
+            .map(|s| format!(", fault seed {s}"))
+            .unwrap_or_default()
     );
     let runner = BenchmarkRunner::new(config);
-    let mut all = Vec::new();
+    let mut measurements = Vec::new();
+    let mut incidents = Vec::new();
     for &query in queries {
         eprintln!("  benchmarking {query} over the 12-setup matrix...");
-        all.extend(runner.run_query(query).expect("benchmark run"));
+        let outcome = runner.run_query_report(query).expect("benchmark run");
+        measurements.extend(outcome.measurements);
+        incidents.extend(outcome.incidents);
     }
-    all
+    print!("{}", report::render_incidents(&incidents));
+    measurements
 }
 
 fn figure_number(query: Query) -> u32 {
@@ -189,8 +234,8 @@ fn figure_number(query: Query) -> u32 {
     }
 }
 
-fn figures(queries: &[Query]) {
-    let measurements = campaign(queries, false);
+fn figures(queries: &[Query], fault_seed: Option<u64>) {
+    let measurements = campaign(queries, false, fault_seed);
     for &query in queries {
         let rows = report::average_times(&measurements, query);
         println!(
@@ -207,8 +252,8 @@ fn figures(queries: &[Query]) {
     }
 }
 
-fn fig11() {
-    let measurements = campaign(&Query::ALL, false);
+fn fig11(fault_seed: Option<u64>) {
+    let measurements = campaign(&Query::ALL, false, fault_seed);
     let mut rows = Vec::new();
     for query in Query::ALL {
         rows.extend(report::slowdown_factors(&measurements, query));
@@ -223,11 +268,11 @@ fn fig11() {
     );
 }
 
-fn fig10_and_table3(with_table3: bool) {
+fn fig10_and_table3(with_table3: bool, fault_seed: Option<u64>) {
     // The variance experiments run with the environment-noise model on:
     // the paper's cluster had noisy neighbours, this substrate does not
     // (see DESIGN.md).
-    let measurements = campaign(&Query::ALL, true);
+    let measurements = campaign(&Query::ALL, true, fault_seed);
     let rows = report::relative_std_devs(&measurements);
     println!(
         "{}",

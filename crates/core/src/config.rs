@@ -33,6 +33,14 @@ pub struct BenchConfig {
     /// Seed of the environment-noise model; `None` disables noise (the
     /// default — only the variance experiments enable it).
     pub noise_seed: Option<u64>,
+    /// Seed of the broker fault plan installed during each run's
+    /// processing phase (`logbus::FaultPlan::seeded`); `None` (the
+    /// default) benchmarks a fault-free broker. Load and measurement
+    /// phases always run fault-free.
+    pub fault_seed: Option<u64>,
+    /// Retries granted to a failed run before it is abandoned and
+    /// recorded as an outlier-with-cause (total attempts = 1 + retries).
+    pub max_run_retries: u32,
 }
 
 impl Default for BenchConfig {
@@ -47,6 +55,8 @@ impl Default for BenchConfig {
             dstream_batch_records: 2_000,
             apx_window_size: 2_048,
             noise_seed: None,
+            fault_seed: None,
+            max_run_retries: 2,
         }
     }
 }
@@ -119,6 +129,19 @@ impl BenchConfig {
         self.seed = seed;
         self
     }
+
+    /// Enables broker fault injection during processing with the given
+    /// plan seed.
+    pub fn with_fault_seed(mut self, seed: u64) -> Self {
+        self.fault_seed = Some(seed);
+        self
+    }
+
+    /// Sets the per-run retry budget.
+    pub fn max_run_retries(mut self, retries: u32) -> Self {
+        self.max_run_retries = retries;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -142,13 +165,17 @@ mod tests {
             .parallelisms(vec![1])
             .request_latency_micros(42)
             .with_noise(7)
-            .seed(1);
+            .seed(1)
+            .with_fault_seed(13)
+            .max_run_retries(4);
         assert_eq!(c.records, 500);
         assert_eq!(c.runs, 5);
         assert_eq!(c.parallelisms, vec![1]);
         assert_eq!(c.request_latency_micros, 42);
         assert_eq!(c.noise_seed, Some(7));
         assert_eq!(c.seed, 1);
+        assert_eq!(c.fault_seed, Some(13));
+        assert_eq!(c.max_run_retries, 4);
     }
 
     #[test]

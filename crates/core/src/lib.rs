@@ -53,7 +53,9 @@ pub use config::BenchConfig;
 pub use data::{QueryLogGenerator, QueryLogRecord};
 pub use noise::NoiseModel;
 pub use queries::{beam_pipeline, native_apx, native_dstream, native_rill, Query};
-pub use runner::{fresh_yarn_cluster, BenchError, BenchmarkRunner, Measurement};
+pub use runner::{
+    fresh_yarn_cluster, BenchError, BenchmarkRunner, Measurement, QueryReport, RunIncident,
+};
 pub use sender::{send_workload, SendReport, SenderConfig};
 pub use setup::{all_setups, Api, Setup, System};
 pub use systems::{profile, system_profiles, SystemProfile};

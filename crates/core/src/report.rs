@@ -6,7 +6,7 @@
 //! (query overview), and Table III (per-run times).
 
 use crate::queries::Query;
-use crate::runner::Measurement;
+use crate::runner::{Measurement, RunIncident};
 use crate::setup::{Api, Setup, System};
 use crate::stats;
 use std::collections::BTreeMap;
@@ -190,6 +190,39 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
+/// Renders the campaign's incident log: every run that needed retries
+/// or was abandoned, with its cause. Figures exclude abandoned runs;
+/// this table is the report's explanation of the gaps.
+pub fn render_incidents(incidents: &[RunIncident]) -> String {
+    let mut out = String::from("Run incidents (retried or abandoned runs)\n");
+    if incidents.is_empty() {
+        out.push_str("  none: every run succeeded on its first attempt\n");
+        return out;
+    }
+    let rows: Vec<Vec<String>> = incidents
+        .iter()
+        .map(|i| {
+            vec![
+                i.setup.label(),
+                capitalize(&i.query.to_string()),
+                format!("{}", i.run + 1),
+                i.attempts.to_string(),
+                if i.recovered {
+                    "recovered (retried)".to_string()
+                } else {
+                    "abandoned (outlier, excluded)".to_string()
+                },
+                i.error.clone(),
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(
+        &["Setup", "Query", "Run", "Attempts", "Outcome", "Last error"],
+        &rows,
+    ));
+    out
+}
+
 /// Renders the Table I analog: the system comparison.
 pub fn table_one() -> String {
     let profiles = crate::systems::system_profiles();
@@ -271,6 +304,7 @@ mod tests {
             run,
             execution_seconds: seconds,
             output_records: 1,
+            attempts: 1,
         }
     }
 
@@ -355,6 +389,42 @@ mod tests {
         let rendered = table_three(&table);
         assert!(rendered.contains("Parallelism = 1"));
         assert!(rendered.contains("10.0000s"));
+    }
+
+    #[test]
+    fn incident_log_marks_retried_and_abandoned_runs() {
+        assert!(render_incidents(&[]).contains("none: every run succeeded"));
+        let incidents = vec![
+            RunIncident {
+                setup: Setup {
+                    system: System::Rill,
+                    api: Api::Beam,
+                    parallelism: 1,
+                },
+                query: Query::Grep,
+                run: 0,
+                attempts: 2,
+                error: "execution of flink-beam-p1 failed: boom".into(),
+                recovered: true,
+            },
+            RunIncident {
+                setup: Setup {
+                    system: System::Apx,
+                    api: Api::Native,
+                    parallelism: 2,
+                },
+                query: Query::Sample,
+                run: 3,
+                attempts: 3,
+                error: "broker failure: broker unavailable".into(),
+                recovered: false,
+            },
+        ];
+        let rendered = render_incidents(&incidents);
+        assert!(rendered.contains("Run incidents"));
+        assert!(rendered.contains("recovered (retried)"));
+        assert!(rendered.contains("abandoned (outlier, excluded)"));
+        assert!(rendered.contains("boom"));
     }
 
     #[test]

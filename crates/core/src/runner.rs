@@ -26,6 +26,38 @@ pub struct Measurement {
     pub execution_seconds: f64,
     /// Records in the output topic.
     pub output_records: u64,
+    /// Attempts it took to obtain this measurement (1 = clean run;
+    /// more means earlier attempts failed and were retried).
+    pub attempts: u32,
+}
+
+/// A run that needed retries or was abandoned: the campaign's
+/// outlier-with-cause record. Abandoned runs (`recovered == false`)
+/// have no [`Measurement`] and are excluded from figures; the incident
+/// is the report's explanation of the gap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunIncident {
+    /// The affected setup.
+    pub setup: Setup,
+    /// The affected query.
+    pub query: Query,
+    /// Zero-based run index.
+    pub run: u32,
+    /// Attempts executed, including the final one.
+    pub attempts: u32,
+    /// The last failure observed.
+    pub error: String,
+    /// Whether a later attempt produced a valid measurement.
+    pub recovered: bool,
+}
+
+/// Measurements plus the incident log of a benchmark campaign.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryReport {
+    /// Successful measurements, one per recovered-or-clean run.
+    pub measurements: Vec<Measurement>,
+    /// Runs that were retried or abandoned.
+    pub incidents: Vec<RunIncident>,
 }
 
 /// Errors raised by the orchestrator.
@@ -105,10 +137,34 @@ impl BenchmarkRunner {
     /// instances — the paper restarts the systems per step), and phase 3
     /// computes the execution time from output-topic timestamps.
     ///
+    /// Returns the measurements only; use
+    /// [`BenchmarkRunner::run_query_report`] for the incident log.
+    ///
     /// # Errors
     ///
-    /// Fails on broker errors, engine failures, or wrong query output.
+    /// Fails on broker errors during load; a run that keeps failing
+    /// after its retry budget becomes an incident, not an error.
     pub fn run_query(&self, query: Query) -> Result<Vec<Measurement>, BenchError> {
+        self.run_query_report(query).map(|r| r.measurements)
+    }
+
+    /// [`BenchmarkRunner::run_query`] with the incident log attached.
+    ///
+    /// A failed run (engine error, broken measurement, or wrong output)
+    /// is retried up to `1 + max_run_retries` attempts, each against a
+    /// fresh output topic. A run that recovers is measured normally and
+    /// logged as a recovered incident; a run that exhausts its budget is
+    /// dropped from the measurements and logged as an abandoned
+    /// incident — the campaign itself keeps going. When
+    /// `config.fault_seed` is set, a seeded broker fault plan is
+    /// installed for each processing phase (and removed before
+    /// measuring), so load and measurement stay fault-free.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on broker errors outside the processing phase
+    /// (topic creation, workload load).
+    pub fn run_query_report(&self, query: Query) -> Result<QueryReport, BenchError> {
         let mut query_span = obs::span("query");
         query_span.field("query", query.to_string());
         let broker = Broker::new();
@@ -130,39 +186,106 @@ impl BenchmarkRunner {
         }
 
         let mut noise = self.config.noise_seed.map(NoiseModel::new);
-        let mut measurements = Vec::new();
+        let mut report = QueryReport::default();
         for setup in all_setups(&self.config.parallelisms) {
             for run in 0..self.config.runs {
-                let output_topic = format!("output-{setup}-r{run}");
-                broker.create_topic(&output_topic, TopicConfig::default())?;
-                // Environment noise: this run's broker round trips are
-                // genuinely slower by the drawn factor.
-                if let Some(model) = noise.as_mut() {
-                    let factor = model.next_factor();
-                    broker.set_request_latency_micros(
-                        (self.config.request_latency_micros as f64 * factor) as u64,
-                    );
-                }
-                let result = {
-                    let mut process_span = obs::span("process");
-                    process_span.field("setup", setup.to_string());
-                    process_span.field("run", run.to_string());
-                    self.execute_setup(&broker, query, setup, &output_topic)
-                };
-                broker.set_request_latency_micros(self.config.request_latency_micros);
-                result?;
-                let measurement = self.measure(&broker, setup, &output_topic)?;
-                self.check_output(setup, query, &measurement)?;
-                measurements.push(Measurement {
-                    setup,
-                    query,
-                    run,
-                    execution_seconds: measurement.execution_seconds,
-                    output_records: measurement.output_records,
-                });
+                self.run_once(&broker, query, setup, run, &mut noise, &mut report)?;
             }
         }
-        Ok(measurements)
+        Ok(report)
+    }
+
+    /// One (setup, run) cell: attempts until measured or out of budget.
+    fn run_once(
+        &self,
+        broker: &Broker,
+        query: Query,
+        setup: Setup,
+        run: u32,
+        noise: &mut Option<NoiseModel>,
+        report: &mut QueryReport,
+    ) -> Result<(), BenchError> {
+        let max_attempts = self.config.max_run_retries.saturating_add(1);
+        let mut attempts = 0u32;
+        let mut last_error: Option<BenchError> = None;
+        while attempts < max_attempts {
+            attempts += 1;
+            // Fresh output topic per attempt: a failed attempt's partial
+            // output can never leak into the measured one.
+            let output_topic = if attempts == 1 {
+                format!("output-{setup}-r{run}")
+            } else {
+                format!("output-{setup}-r{run}-a{attempts}")
+            };
+            broker.create_topic(&output_topic, TopicConfig::default())?;
+            // Environment noise: this attempt's broker round trips are
+            // genuinely slower by the drawn factor.
+            if let Some(model) = noise.as_mut() {
+                let factor = model.next_factor();
+                broker.set_request_latency_micros(
+                    (self.config.request_latency_micros as f64 * factor) as u64,
+                );
+            }
+            let result = {
+                let mut process_span = obs::span("process");
+                process_span.field("setup", setup.to_string());
+                process_span.field("run", run.to_string());
+                process_span.field("attempt", attempts.to_string());
+                if let Some(seed) = self.config.fault_seed {
+                    // A distinct per-attempt stream keeps retries from
+                    // replaying the exact fault schedule that failed.
+                    broker.install_fault_plan(logbus::FaultPlan::seeded(
+                        seed.wrapping_add(u64::from(attempts) - 1),
+                    ));
+                }
+                let result = self.execute_setup(broker, query, setup, &output_topic);
+                if self.config.fault_seed.is_some() {
+                    broker.clear_fault_plan();
+                }
+                result
+            };
+            broker.set_request_latency_micros(self.config.request_latency_micros);
+            let outcome = result
+                .and_then(|()| self.measure(broker, setup, &output_topic))
+                .and_then(|m| self.check_output(setup, query, &m).map(|()| m));
+            match outcome {
+                Ok(measurement) => {
+                    if attempts > 1 {
+                        report.incidents.push(RunIncident {
+                            setup,
+                            query,
+                            run,
+                            attempts,
+                            error: last_error
+                                .map(|e| e.to_string())
+                                .unwrap_or_else(|| "unknown failure".to_string()),
+                            recovered: true,
+                        });
+                    }
+                    report.measurements.push(Measurement {
+                        setup,
+                        query,
+                        run,
+                        execution_seconds: measurement.execution_seconds,
+                        output_records: measurement.output_records,
+                        attempts,
+                    });
+                    return Ok(());
+                }
+                Err(e) => last_error = Some(e),
+            }
+        }
+        report.incidents.push(RunIncident {
+            setup,
+            query,
+            run,
+            attempts,
+            error: last_error
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "unknown failure".to_string()),
+            recovered: false,
+        });
+        Ok(())
     }
 
     /// Benchmarks all four queries.
@@ -174,6 +297,21 @@ impl BenchmarkRunner {
         let mut all = Vec::new();
         for query in Query::ALL {
             all.extend(self.run_query(query)?);
+        }
+        Ok(all)
+    }
+
+    /// Benchmarks all four queries, with the combined incident log.
+    ///
+    /// # Errors
+    ///
+    /// See [`BenchmarkRunner::run_query_report`].
+    pub fn run_all_report(&self) -> Result<QueryReport, BenchError> {
+        let mut all = QueryReport::default();
+        for query in Query::ALL {
+            let report = self.run_query_report(query)?;
+            all.measurements.extend(report.measurements);
+            all.incidents.extend(report.incidents);
         }
         Ok(all)
     }
@@ -298,6 +436,31 @@ mod tests {
             assert_eq!(m.query, Query::Grep);
             assert_eq!(m.output_records, crate::data::expected_grep_hits(300));
             assert!(m.execution_seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn faulted_campaign_still_produces_correct_output() {
+        let config = BenchConfig::quick()
+            .records(300)
+            .runs(1)
+            .parallelisms(vec![1])
+            .with_fault_seed(2019);
+        let runner = BenchmarkRunner::new(config);
+        let report = runner.run_query_report(Query::Grep).unwrap();
+        // Every setup still yields its measurement: the engines ride
+        // through the injected faults, and any run that does fail gets
+        // retried rather than aborting the campaign.
+        assert_eq!(
+            report.measurements.len() + report.incidents.iter().filter(|i| !i.recovered).count(),
+            6
+        );
+        for m in &report.measurements {
+            assert_eq!(m.output_records, crate::data::expected_grep_hits(300));
+            assert!(m.attempts >= 1);
+        }
+        for incident in &report.incidents {
+            assert!(incident.attempts >= 2, "{incident:?}");
         }
     }
 

@@ -69,6 +69,7 @@ pub fn send_workload(
             batch_records: config.batch_records,
             partitioner: Partitioner::Fixed(0),
             rate_limit: config.rate.map(RateLimit::per_second),
+            retry: logbus::RetryPolicy::default(),
         },
     );
     let chunk_size = config.batch_records.max(1);

@@ -153,6 +153,46 @@ fn assert_query_equivalence(query: Query) {
     }
 }
 
+/// Delivery-guarantee acceptance: under a seeded plan of transient
+/// broker faults (errors, lost acks, duplicates, latency), every
+/// implementation must still produce exactly the fault-free reference
+/// bytes — in order at parallelism 1, as a multiset at parallelism 2.
+/// Retries ride out the errors and the idempotent output path dedups
+/// lost-ack resends, so the faults are invisible in the results.
+#[test]
+fn all_impls_match_reference_under_fault_plan() {
+    for query in Query::ALL {
+        let broker = load_input(RECORDS, SEED);
+        let expected = reference(query, RECORDS, SEED);
+        let mut expected_sorted = expected.clone();
+        expected_sorted.sort();
+
+        for parallelism in [1usize, 2] {
+            for imp in ALL_IMPLS {
+                let topic = format!("chaos-{imp:?}-p{parallelism}");
+                broker.create_topic(&topic, TopicConfig::default()).unwrap();
+                broker.install_fault_plan(logbus::FaultPlan::seeded(SEED ^ 0x00C0_FFEE));
+                execute(imp, &broker, query, &topic, parallelism);
+                broker.clear_fault_plan();
+                let got = outputs(&broker, &topic);
+                if parallelism == 1 {
+                    assert_eq!(
+                        got, expected,
+                        "{imp:?} under faults must match the fault-free reference in order ({query})"
+                    );
+                } else {
+                    let mut got_sorted = got;
+                    got_sorted.sort();
+                    assert_eq!(
+                        got_sorted, expected_sorted,
+                        "{imp:?} under faults must match the fault-free reference as a multiset ({query})"
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn identity_matches_per_element_reference() {
     assert_query_equivalence(Query::Identity);

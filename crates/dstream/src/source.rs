@@ -68,9 +68,10 @@ impl BrokerBatchSource {
     ) -> logbus::Result<Self> {
         let topic = topic.into();
         let t = broker.topic(&topic)?;
+        let retry = logbus::RetryPolicy::default();
         let mut cursors = Vec::new();
         for p in 0..t.partition_count() {
-            let reader = broker.partition_reader(&topic, p)?;
+            let reader = logbus::with_retry(&retry, || broker.partition_reader(&topic, p))?;
             let position = t.earliest_offset(p)?;
             let end = t.latest_offset(p)?;
             cursors.push(PartitionCursor {
@@ -90,6 +91,7 @@ impl BrokerBatchSource {
 impl BatchSource<Bytes> for BrokerBatchSource {
     fn next_batch(&mut self) -> Option<Vec<Bytes>> {
         let mut batch = Vec::new();
+        let mut behind = false;
         for cursor in &mut self.cursors {
             if batch.len() >= self.max_batch_records || cursor.position >= cursor.end {
                 continue;
@@ -102,6 +104,10 @@ impl BatchSource<Bytes> for BrokerBatchSource {
                 .fetch_into(cursor.position, want, &mut self.fetch_buffer)
                 .is_err()
             {
+                // Transient fetch faults were already retried inside the
+                // reader; an error here still leaves unread records, so
+                // keep the stream alive and try again next micro-batch.
+                behind = true;
                 continue;
             }
             if let Some(last) = self.fetch_buffer.last() {
@@ -109,7 +115,7 @@ impl BatchSource<Bytes> for BrokerBatchSource {
             }
             batch.extend(self.fetch_buffer.drain(..).map(|r| r.record.value));
         }
-        if batch.is_empty() {
+        if batch.is_empty() && !behind {
             None
         } else {
             Some(batch)
@@ -164,6 +170,35 @@ mod tests {
         let mut source = BrokerBatchSource::new(broker, "t", 100).unwrap();
         assert_eq!(source.next_batch().unwrap().len(), 10);
         assert!(source.next_batch().is_none());
+    }
+
+    #[test]
+    fn faulted_broker_loses_no_batches() {
+        let broker = Broker::new();
+        broker.create_topic("t", TopicConfig::default()).unwrap();
+        for i in 0..60 {
+            broker
+                .produce("t", 0, Record::from_value(format!("{i}")))
+                .unwrap();
+        }
+        let mut plan = logbus::FaultPlan::seeded(13);
+        plan.fetch_error = 0.4;
+        plan.metadata_error = 0.4;
+        plan.produce_error = 0.0;
+        plan.ack_loss = 0.0;
+        plan.duplicate = 0.0;
+        plan.extra_latency = 0.0;
+        broker.install_fault_plan(plan);
+        let mut source = BrokerBatchSource::new(broker.clone(), "t", 7).unwrap();
+        let mut all = Vec::new();
+        while let Some(batch) = source.next_batch() {
+            all.extend(batch);
+        }
+        broker.clear_fault_plan();
+        assert_eq!(all.len(), 60, "every record survives the fault plan");
+        for (i, value) in all.iter().enumerate() {
+            assert_eq!(&value[..], format!("{i}").as_bytes());
+        }
     }
 
     #[test]

@@ -231,6 +231,9 @@ impl DStream<Bytes> {
         // Cached produce handle, resolved on the first non-empty batch and
         // re-tried while the topic is missing — so per-batch appends skip
         // the topic-name lookup without changing late-creation semantics.
+        // Resolution rides through transient broker faults, and the
+        // idempotent handle keeps lost-ack resends and injected duplicates
+        // out of the query output.
         let mut writer: Option<logbus::PartitionWriter> = None;
         self.foreach_rdd(ssc, move |rdd| {
             for part in rdd.collect_partitions() {
@@ -242,7 +245,10 @@ impl DStream<Bytes> {
                     obs::counter("dstream.sink.records").add(records.len() as u64);
                 }
                 if writer.is_none() {
-                    writer = broker.partition_writer(&topic, 0).ok();
+                    let retry = logbus::RetryPolicy::default();
+                    writer = logbus::with_retry(&retry, || broker.partition_writer(&topic, 0))
+                        .ok()
+                        .map(|w| w.idempotent().with_retry(retry.clone()));
                 }
                 if let Some(w) = &writer {
                     let _ = w.produce_batch(records);
@@ -298,6 +304,38 @@ mod tests {
             90,
             "two-digit records"
         );
+    }
+
+    #[test]
+    fn faulted_roundtrip_is_exactly_once() {
+        let broker = Broker::new();
+        broker.create_topic("in", TopicConfig::default()).unwrap();
+        broker.create_topic("out", TopicConfig::default()).unwrap();
+        for i in 0..100 {
+            broker
+                .produce("in", 0, Record::from_value(format!("{i}")))
+                .unwrap();
+        }
+        // A duplicate-heavy plan: the idempotent sink must keep injected
+        // duplicates and lost-ack resends out of the output.
+        let mut plan = logbus::FaultPlan::seeded(29);
+        plan.produce_error = 0.3;
+        plan.ack_loss = 0.3;
+        plan.duplicate = 0.3;
+        plan.fetch_error = 0.3;
+        plan.metadata_error = 0.3;
+        plan.extra_latency = 0.0;
+        broker.install_fault_plan(plan);
+        let ssc = StreamingContext::new(Context::local());
+        let stream = ssc.broker_stream(broker.clone(), "in", 13).unwrap();
+        stream.save_to_broker(&ssc, broker.clone(), "out");
+        ssc.run_to_completion().unwrap();
+        broker.clear_fault_plan();
+        let records = broker.fetch("out", 0, 0, 1_000).unwrap();
+        assert_eq!(records.len(), 100, "no loss, no duplicates through faults");
+        for (i, stored) in records.iter().enumerate() {
+            assert_eq!(&stored.record.value[..], format!("{i}").as_bytes());
+        }
     }
 
     #[test]

@@ -66,6 +66,7 @@ impl AsyncProducer {
         let (sender, receiver) = bounded::<Queued>(QUEUE_CAPACITY);
         let pending = Arc::new(AtomicU64::new(0));
         let pending_worker = pending.clone();
+        let retry = crate::RetryPolicy::default();
         let worker = std::thread::Builder::new()
             .name(format!("async-producer-{topic}"))
             .spawn(move || {
@@ -87,11 +88,20 @@ impl AsyncProducer {
                     }
                     let shipped = batch.len() as u64;
                     if writer.is_none() {
-                        writer = broker.partition_writer(&topic, partition).ok();
+                        // Transient resolution faults are retried here;
+                        // non-transient ones (unknown topic) give up
+                        // immediately so a misdirected producer never
+                        // stalls its queue.
+                        writer = crate::retry::with_retry(&retry, || {
+                            broker.partition_writer(&topic, partition)
+                        })
+                        .ok()
+                        .map(|w| w.idempotent().with_retry(retry.clone()));
                     }
                     // Failures (unknown topic) drop the batch, like a
                     // fire-and-forget client; pending still decreases so
-                    // flush cannot hang.
+                    // flush cannot hang. The idempotent writer retries
+                    // transient faults itself and dedups lost-ack resends.
                     if let Some(w) = &writer {
                         let _ = w.produce_batch(batch);
                     }
@@ -291,6 +301,31 @@ mod tests {
         let stamps: std::collections::BTreeSet<i64> =
             records.iter().map(|r| r.timestamp.as_micros()).collect();
         assert!(stamps.len() >= 2, "the batch was split into capped appends");
+    }
+
+    #[test]
+    fn faulted_broker_loses_nothing_and_duplicates_nothing() {
+        let broker = Broker::new();
+        broker.create_topic("t", TopicConfig::default()).unwrap();
+        let mut plan = crate::FaultPlan::seeded(41);
+        plan.produce_error = 0.3;
+        plan.ack_loss = 0.3;
+        plan.duplicate = 0.0;
+        plan.fetch_error = 0.0;
+        plan.metadata_error = 0.3;
+        plan.extra_latency = 0.0;
+        broker.install_fault_plan(plan);
+        let mut producer = AsyncProducer::with_max_batch(broker.clone(), "t", 0, 16);
+        for i in 0..400 {
+            producer.send(Record::from_value(format!("r{i}")));
+        }
+        producer.close();
+        broker.clear_fault_plan();
+        let records = broker.fetch("t", 0, 0, 1_000).unwrap();
+        assert_eq!(records.len(), 400, "exactly-once despite lost acks");
+        for (i, stored) in records.iter().enumerate() {
+            assert_eq!(&stored.record.value[..], format!("r{i}").as_bytes());
+        }
     }
 
     #[test]

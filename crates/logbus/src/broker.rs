@@ -3,10 +3,12 @@
 use crate::clock::{Clock, SystemClock};
 use crate::config::TopicConfig;
 use crate::error::{Error, Result};
+use crate::fault::{FaultAction, FaultInjector, FaultOp, FaultPlan};
 use crate::record::{Record, StoredRecord, Timestamp};
 use crate::topic::Topic;
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// A single in-process broker.
@@ -33,6 +35,10 @@ struct BrokerInner {
     clock: Arc<dyn Clock>,
     /// Simulated network round-trip per client request, in microseconds.
     request_latency_micros: std::sync::atomic::AtomicU64,
+    /// Installed fault plan, if any; `faults_enabled` mirrors its
+    /// presence so the steady-state path pays one relaxed load.
+    faults: RwLock<Option<Arc<FaultInjector>>>,
+    faults_enabled: AtomicBool,
 }
 
 impl Default for Broker {
@@ -56,7 +62,73 @@ impl Broker {
                 group_offsets: RwLock::new(HashMap::new()),
                 clock,
                 request_latency_micros: std::sync::atomic::AtomicU64::new(0),
+                faults: RwLock::new(None),
+                faults_enabled: AtomicBool::new(false),
             }),
+        }
+    }
+
+    /// Installs a [`FaultPlan`]: from now on produce, fetch, and metadata
+    /// requests consult it for injected transient faults. Replaces any
+    /// previously installed plan (and its decision-stream state).
+    pub fn install_fault_plan(&self, plan: FaultPlan) {
+        *self.inner.faults.write() = Some(Arc::new(FaultInjector::new(plan)));
+        self.inner.faults_enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Removes the installed [`FaultPlan`], restoring fault-free service.
+    pub fn clear_fault_plan(&self) {
+        self.inner.faults_enabled.store(false, Ordering::Relaxed);
+        *self.inner.faults.write() = None;
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.inner
+            .faults
+            .read()
+            .as_ref()
+            .map(|injector| injector.plan().clone())
+    }
+
+    /// Draws a fault decision for one request; `None` on the fault-free
+    /// fast path (one relaxed load when no plan is installed).
+    pub(crate) fn fault_action(
+        &self,
+        op: FaultOp,
+        topic: &str,
+        partition: u32,
+    ) -> Option<FaultAction> {
+        if !self.inner.faults_enabled.load(Ordering::Relaxed) {
+            return None;
+        }
+        let injector = self.inner.faults.read().clone()?;
+        let action = injector.decide(op, topic, partition)?;
+        if obs::enabled() {
+            let path = crate::telemetry::fault_path();
+            match &action {
+                FaultAction::Error(_) => path.errors.add(1),
+                FaultAction::AckLost => path.ack_losses.add(1),
+                FaultAction::Duplicate => path.duplicates.add(1),
+                FaultAction::Latency(_) => path.latencies.add(1),
+            }
+        }
+        Some(action)
+    }
+
+    /// Consults the fault plan for a request that can only fail or slow
+    /// down (fetch/metadata): pays injected latency in place and returns
+    /// the injected error, if any.
+    pub(crate) fn fault_gate(&self, op: FaultOp, topic: &str, partition: u32) -> Result<()> {
+        match self.fault_action(op, topic, partition) {
+            None => Ok(()),
+            Some(FaultAction::Latency(extra)) => {
+                crate::topic::spin_delay(extra);
+                Ok(())
+            }
+            Some(FaultAction::Error(e)) => Err(e),
+            // Produce-only actions cannot be drawn for fetch/metadata ops.
+            Some(FaultAction::AckLost | FaultAction::Duplicate) => Ok(()),
         }
     }
 
@@ -155,12 +227,33 @@ impl Broker {
     pub fn produce(&self, topic: &str, partition: u32, record: Record) -> Result<u64> {
         let t = self.topic(topic)?;
         if !obs::enabled() {
-            return t.append_delayed(partition, record, self.now(), self.request_delay());
+            return self.produce_faulted(&t, partition, record);
         }
         let started = std::time::Instant::now();
-        let result = t.append_delayed(partition, record, self.now(), self.request_delay());
+        let result = self.produce_faulted(&t, partition, record);
         crate::telemetry::produce_path().observe(1, started.elapsed(), result.is_ok());
         result
+    }
+
+    fn produce_faulted(&self, t: &Topic, partition: u32, record: Record) -> Result<u64> {
+        match self.fault_action(FaultOp::Produce, t.name(), partition) {
+            None => {}
+            Some(FaultAction::Latency(extra)) => crate::topic::spin_delay(extra),
+            Some(FaultAction::Error(e)) => return Err(e),
+            Some(FaultAction::AckLost) => {
+                // The append happened; the ack did not. A naive client
+                // that retries will duplicate the record — at-least-once.
+                t.append_delayed(partition, record, self.now(), self.request_delay())?;
+                return Err(Error::RequestTimedOut);
+            }
+            Some(FaultAction::Duplicate) => {
+                let offset =
+                    t.append_delayed(partition, record.clone(), self.now(), self.request_delay())?;
+                t.append_delayed(partition, record, self.now(), self.request_delay())?;
+                return Ok(offset);
+            }
+        }
+        t.append_delayed(partition, record, self.now(), self.request_delay())
     }
 
     /// Appends a batch of records; all records in the batch receive the
@@ -173,13 +266,41 @@ impl Broker {
     pub fn produce_batch(&self, topic: &str, partition: u32, records: Vec<Record>) -> Result<u64> {
         let t = self.topic(topic)?;
         if !obs::enabled() {
-            return t.append_batch_delayed(partition, records, self.now(), self.request_delay());
+            return self.produce_batch_faulted(&t, partition, records);
         }
         let count = records.len() as u64;
         let started = std::time::Instant::now();
-        let result = t.append_batch_delayed(partition, records, self.now(), self.request_delay());
+        let result = self.produce_batch_faulted(&t, partition, records);
         crate::telemetry::produce_path().observe(count, started.elapsed(), result.is_ok());
         result
+    }
+
+    fn produce_batch_faulted(
+        &self,
+        t: &Topic,
+        partition: u32,
+        records: Vec<Record>,
+    ) -> Result<u64> {
+        match self.fault_action(FaultOp::Produce, t.name(), partition) {
+            None => {}
+            Some(FaultAction::Latency(extra)) => crate::topic::spin_delay(extra),
+            Some(FaultAction::Error(e)) => return Err(e),
+            Some(FaultAction::AckLost) => {
+                t.append_batch_delayed(partition, records, self.now(), self.request_delay())?;
+                return Err(Error::RequestTimedOut);
+            }
+            Some(FaultAction::Duplicate) => {
+                let offset = t.append_batch_delayed(
+                    partition,
+                    records.clone(),
+                    self.now(),
+                    self.request_delay(),
+                )?;
+                t.append_batch_delayed(partition, records, self.now(), self.request_delay())?;
+                return Ok(offset);
+            }
+        }
+        t.append_batch_delayed(partition, records, self.now(), self.request_delay())
     }
 
     /// Fetches up to `max` records from `offset`.
@@ -205,10 +326,12 @@ impl Broker {
     ) -> Result<Vec<StoredRecord>> {
         let t = self.topic(topic)?;
         if !obs::enabled() {
+            self.fault_gate(FaultOp::Fetch, topic, partition)?;
             crate::topic::spin_delay(self.request_delay());
             return t.read(partition, offset, max);
         }
         let started = std::time::Instant::now();
+        self.fault_gate(FaultOp::Fetch, topic, partition)?;
         crate::topic::spin_delay(self.request_delay());
         let result = t.read(partition, offset, max);
         let returned = result.as_ref().map_or(0, |r| r.len()) as u64;
@@ -232,10 +355,12 @@ impl Broker {
     ) -> Result<usize> {
         let t = self.topic(topic)?;
         if !obs::enabled() {
+            self.fault_gate(FaultOp::Fetch, topic, partition)?;
             crate::topic::spin_delay(self.request_delay());
             return t.read_into(partition, offset, max, out);
         }
         let started = std::time::Instant::now();
+        self.fault_gate(FaultOp::Fetch, topic, partition)?;
         crate::topic::spin_delay(self.request_delay());
         let result = t.read_into(partition, offset, max, out);
         let appended = *result.as_ref().unwrap_or(&0) as u64;
@@ -251,6 +376,7 @@ impl Broker {
     /// Returns [`Error::UnknownTopic`] or [`Error::UnknownPartition`].
     pub fn partition_writer(&self, topic: &str, partition: u32) -> Result<crate::PartitionWriter> {
         let t = self.topic(topic)?;
+        self.fault_gate(FaultOp::Metadata, topic, partition)?;
         if partition >= t.partition_count() {
             return Err(Error::UnknownPartition {
                 topic: topic.to_string(),
@@ -272,6 +398,7 @@ impl Broker {
     /// Returns [`Error::UnknownTopic`] or [`Error::UnknownPartition`].
     pub fn partition_reader(&self, topic: &str, partition: u32) -> Result<crate::PartitionReader> {
         let t = self.topic(topic)?;
+        self.fault_gate(FaultOp::Metadata, topic, partition)?;
         if partition >= t.partition_count() {
             return Err(Error::UnknownPartition {
                 topic: topic.to_string(),
@@ -287,7 +414,9 @@ impl Broker {
     ///
     /// Returns [`Error::UnknownTopic`] or [`Error::UnknownPartition`].
     pub fn latest_offset(&self, topic: &str, partition: u32) -> Result<u64> {
-        self.topic(topic)?.latest_offset(partition)
+        let t = self.topic(topic)?;
+        self.fault_gate(FaultOp::Metadata, topic, partition)?;
+        t.latest_offset(partition)
     }
 
     /// Commits `offset` for a consumer group.
@@ -305,17 +434,22 @@ impl Broker {
         if !self.has_topic(topic) {
             return Err(Error::UnknownTopic(topic.to_string()));
         }
+        self.fault_gate(FaultOp::Metadata, topic, partition)?;
         let mut groups = self.inner.group_offsets.write();
         // Allocate the group/topic key strings only on their first commit;
         // the steady-state commit path borrows the caller's `&str`s.
         if !groups.contains_key(group) {
             groups.insert(group.to_string(), HashMap::new());
         }
-        let topics = groups.get_mut(group).expect("group just ensured");
+        let Some(topics) = groups.get_mut(group) else {
+            return Err(Error::UnknownGroup(group.to_string()));
+        };
         if !topics.contains_key(topic) {
             topics.insert(topic.to_string(), HashMap::new());
         }
-        let partitions = topics.get_mut(topic).expect("topic just ensured");
+        let Some(partitions) = topics.get_mut(topic) else {
+            return Err(Error::UnknownTopic(topic.to_string()));
+        };
         partitions.insert(partition, offset);
         Ok(())
     }
@@ -418,6 +552,45 @@ mod tests {
             broker.produce("t", 0, Record::from_value("x")).unwrap();
         }
         assert!(start.elapsed() >= std::time::Duration::from_millis(10));
+    }
+
+    #[test]
+    fn fault_plan_injects_and_clears() {
+        let broker = Broker::new();
+        broker.create_topic("t", TopicConfig::default()).unwrap();
+        let mut plan = FaultPlan::seeded(1);
+        plan.produce_error = 1.0;
+        plan.max_consecutive = 1;
+        broker.install_fault_plan(plan);
+        assert!(broker.fault_plan().is_some());
+        let err = broker.produce("t", 0, Record::from_value("x")).unwrap_err();
+        assert!(err.is_transient(), "{err:?}");
+        // The consecutive-fault bound forces the next request through.
+        broker.produce("t", 0, Record::from_value("y")).unwrap();
+        broker.clear_fault_plan();
+        assert!(broker.fault_plan().is_none());
+        for _ in 0..50 {
+            broker.produce("t", 0, Record::from_value("z")).unwrap();
+        }
+    }
+
+    #[test]
+    fn lost_ack_applies_the_append() {
+        let broker = Broker::new();
+        broker.create_topic("t", TopicConfig::default()).unwrap();
+        let mut plan = FaultPlan::seeded(2);
+        plan.produce_error = 0.0;
+        plan.fetch_error = 0.0;
+        plan.metadata_error = 0.0;
+        plan.ack_loss = 1.0;
+        plan.duplicate = 0.0;
+        plan.extra_latency = 0.0;
+        plan.max_consecutive = 1;
+        broker.install_fault_plan(plan);
+        let err = broker.produce("t", 0, Record::from_value("x")).unwrap_err();
+        assert_eq!(err, Error::RequestTimedOut);
+        // The record landed even though the ack was lost.
+        assert_eq!(broker.latest_offset("t", 0).unwrap(), 1);
     }
 
     #[test]

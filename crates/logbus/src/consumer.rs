@@ -17,6 +17,10 @@ pub struct ConsumerConfig {
     /// (the benchmark's choice, so a query job sees the whole input topic),
     /// `false` = latest.
     pub start_from_earliest: bool,
+    /// Retry schedule for transient broker errors; applied to assignment
+    /// resolution, offset commits, and (through the cached readers) every
+    /// fetch.
+    pub retry: crate::RetryPolicy,
 }
 
 impl Default for ConsumerConfig {
@@ -25,6 +29,7 @@ impl Default for ConsumerConfig {
             group: None,
             max_poll_records: 4096,
             start_from_earliest: true,
+            retry: crate::RetryPolicy::default(),
         }
     }
 }
@@ -135,7 +140,10 @@ impl Consumer {
     ///
     /// Fails for unknown topics/partitions.
     pub fn assign(&mut self, topic: &str, partition: u32) -> Result<()> {
-        let reader = self.bus.partition_reader(topic, partition)?;
+        let reader = crate::retry::with_retry(&self.config.retry, || {
+            self.bus.partition_reader(topic, partition)
+        })?
+        .with_retry(self.config.retry.clone());
         let start = match self
             .config
             .group
@@ -257,8 +265,8 @@ impl Consumer {
             let appended = assigned
                 .reader
                 .fetch_into(assigned.position, max - out.len(), out)?;
-            if appended > 0 {
-                assigned.position = out.last().expect("just appended").offset + 1;
+            if let Some(last) = out.last().filter(|_| appended > 0) {
+                assigned.position = last.offset + 1;
             }
         }
         self.cursor = self.cursor.wrapping_add(1);
@@ -278,12 +286,14 @@ impl Consumer {
             .as_deref()
             .ok_or_else(|| Error::UnknownGroup("<none>".to_string()))?;
         for assigned in &self.assigned {
-            self.bus.commit_offset(
-                group,
-                &assigned.topic,
-                assigned.partition,
-                assigned.position,
-            )?;
+            crate::retry::with_retry(&self.config.retry, || {
+                self.bus.commit_offset(
+                    group,
+                    &assigned.topic,
+                    assigned.partition,
+                    assigned.position,
+                )
+            })?;
         }
         Ok(())
     }
@@ -464,6 +474,42 @@ mod tests {
                 ("b".to_string(), 1)
             ]
         );
+    }
+
+    #[test]
+    fn polling_and_commits_ride_through_transient_faults() {
+        let broker = setup(1, 200);
+        let mut plan = crate::FaultPlan::seeded(43);
+        plan.produce_error = 0.0;
+        plan.ack_loss = 0.0;
+        plan.duplicate = 0.0;
+        plan.fetch_error = 0.4;
+        plan.metadata_error = 0.4;
+        plan.extra_latency = 0.0;
+        broker.install_fault_plan(plan);
+        let mut consumer = Consumer::with_config(
+            broker.clone(),
+            ConsumerConfig {
+                group: Some("g".into()),
+                ..ConsumerConfig::default()
+            },
+        );
+        consumer.assign("t", 0).unwrap();
+        let mut seen = Vec::new();
+        loop {
+            let batch = consumer.poll(16).unwrap();
+            if batch.is_empty() {
+                break;
+            }
+            seen.extend(batch);
+        }
+        consumer.commit().unwrap();
+        broker.clear_fault_plan();
+        assert_eq!(seen.len(), 200, "no loss, no duplicates under faults");
+        for (i, stored) in seen.iter().enumerate() {
+            assert_eq!(stored.offset, i as u64);
+        }
+        assert_eq!(broker.committed_offset("g", "t", 0), Some(200));
     }
 
     #[test]

@@ -44,6 +44,37 @@ pub enum Error {
     UnknownGroup(String),
     /// The producer has been closed.
     ProducerClosed,
+    /// The broker is temporarily unreachable (transient; retryable).
+    BrokerUnavailable,
+    /// The partition leader is temporarily offline (transient; retryable).
+    PartitionOffline {
+        /// Topic name.
+        topic: String,
+        /// Partition index.
+        partition: u32,
+    },
+    /// The request timed out in flight; it may or may not have been
+    /// applied broker-side (transient; retryable).
+    RequestTimedOut,
+    /// A retried request exhausted its [`RetryPolicy`](crate::RetryPolicy)
+    /// budget; the boxed error is the last attempt's failure.
+    RetriesExhausted {
+        /// Attempts made (first try plus retries).
+        attempts: u32,
+        /// The error returned by the final attempt.
+        last: Box<Error>,
+    },
+}
+
+impl Error {
+    /// Whether a retry may succeed: `true` for the transient fault-plan
+    /// errors, `false` for definitive ones (unknown topic, bad offset, …).
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            Error::BrokerUnavailable | Error::PartitionOffline { .. } | Error::RequestTimedOut
+        )
+    }
 }
 
 impl fmt::Display for Error {
@@ -73,6 +104,14 @@ impl fmt::Display for Error {
             Error::NoAssignment => f.write_str("consumer has no partition assignment"),
             Error::UnknownGroup(g) => write!(f, "unknown consumer group `{g}`"),
             Error::ProducerClosed => f.write_str("producer is closed"),
+            Error::BrokerUnavailable => f.write_str("broker temporarily unavailable"),
+            Error::PartitionOffline { topic, partition } => {
+                write!(f, "partition {partition} of topic `{topic}` is offline")
+            }
+            Error::RequestTimedOut => f.write_str("request timed out"),
+            Error::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
         }
     }
 }
@@ -121,6 +160,16 @@ mod tests {
             Error::NoAssignment,
             Error::UnknownGroup("g".into()),
             Error::ProducerClosed,
+            Error::BrokerUnavailable,
+            Error::PartitionOffline {
+                topic: "t".into(),
+                partition: 1,
+            },
+            Error::RequestTimedOut,
+            Error::RetriesExhausted {
+                attempts: 4,
+                last: Box::new(Error::BrokerUnavailable),
+            },
         ];
         for e in samples {
             let msg = e.to_string();
@@ -146,6 +195,24 @@ mod tests {
                 latest: 3
             }
         );
+    }
+
+    #[test]
+    fn transience_classification() {
+        assert!(Error::BrokerUnavailable.is_transient());
+        assert!(Error::RequestTimedOut.is_transient());
+        assert!(Error::PartitionOffline {
+            topic: "t".into(),
+            partition: 0
+        }
+        .is_transient());
+        assert!(!Error::UnknownTopic("t".into()).is_transient());
+        assert!(!Error::ProducerClosed.is_transient());
+        assert!(!Error::RetriesExhausted {
+            attempts: 2,
+            last: Box::new(Error::RequestTimedOut)
+        }
+        .is_transient());
     }
 
     #[test]

@@ -23,36 +23,165 @@
 //! topic existence.
 
 use crate::broker::Broker;
-use crate::error::Result;
+use crate::error::{Error, Result};
+use crate::fault::{FaultAction, FaultOp};
 use crate::record::{Record, StoredRecord};
+use crate::retry::{RetryPolicy, RetryState};
 use crate::topic::{spin_delay, Topic};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// One replica target of a writer: the hosting broker (for its clock and
-/// simulated request latency) and its resolved topic.
+/// Process-wide idempotent-producer id source.
+static NEXT_PRODUCER_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Sequence state of one idempotent writer: a process-unique producer id
+/// plus the next batch sequence number. Shared (`Arc`) by writer clones,
+/// which therefore count as the same producer.
+#[derive(Debug)]
+pub(crate) struct Sequencer {
+    producer_id: u64,
+    next_seq: AtomicU64,
+}
+
+impl Sequencer {
+    fn new() -> Self {
+        Sequencer {
+            producer_id: NEXT_PRODUCER_ID.fetch_add(1, Ordering::Relaxed),
+            next_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Reserves `n` sequence numbers, returning the first. Retries of
+    /// the same batch reuse the reserved number, which is what lets the
+    /// broker deduplicate them.
+    fn reserve(&self, n: u64) -> (u64, u64) {
+        (
+            self.producer_id,
+            self.next_seq.fetch_add(n, Ordering::Relaxed),
+        )
+    }
+}
+
+/// One replica target of a writer: the hosting broker (for its clock,
+/// simulated request latency, and fault plan) and its resolved topic.
 #[derive(Debug, Clone)]
 pub(crate) struct WriteTarget {
     pub(crate) broker: Broker,
     pub(crate) topic: Arc<Topic>,
 }
 
+/// A failed append attempt: the error plus, when the records never
+/// reached the log (or reached it with a lost ack), the records
+/// themselves so the retry loop can resend without cloning on the
+/// fault-free fast path.
+type AppendFailure<R> = (Error, Option<R>);
+
 impl WriteTarget {
-    fn append(&self, partition: u32, record: Record) -> Result<u64> {
-        self.topic.append_delayed(
-            partition,
-            record,
-            self.broker.now(),
-            self.broker.request_delay(),
-        )
+    fn raw_append(&self, partition: u32, record: Record, seq: Option<(u64, u64)>) -> Result<u64> {
+        match seq {
+            None => self.topic.append_delayed(
+                partition,
+                record,
+                self.broker.now(),
+                self.broker.request_delay(),
+            ),
+            Some((producer_id, seq)) => self.topic.append_sequenced_delayed(
+                partition,
+                record,
+                self.broker.now(),
+                self.broker.request_delay(),
+                producer_id,
+                seq,
+            ),
+        }
     }
 
-    fn append_batch(&self, partition: u32, records: Vec<Record>) -> Result<u64> {
-        self.topic.append_batch_delayed(
-            partition,
-            records,
-            self.broker.now(),
-            self.broker.request_delay(),
-        )
+    fn raw_append_batch(
+        &self,
+        partition: u32,
+        records: Vec<Record>,
+        seq: Option<(u64, u64)>,
+    ) -> Result<u64> {
+        match seq {
+            None => self.topic.append_batch_delayed(
+                partition,
+                records,
+                self.broker.now(),
+                self.broker.request_delay(),
+            ),
+            Some((producer_id, first_seq)) => self.topic.append_batch_sequenced_delayed(
+                partition,
+                records,
+                self.broker.now(),
+                self.broker.request_delay(),
+                producer_id,
+                first_seq,
+            ),
+        }
+    }
+
+    // The Err variant deliberately carries the un-appended record so the
+    // retry loop can resend without cloning up front; boxing it would put
+    // an allocation on the fault path.
+    #[allow(clippy::result_large_err)]
+    fn append(
+        &self,
+        partition: u32,
+        record: Record,
+        seq: Option<(u64, u64)>,
+    ) -> std::result::Result<u64, AppendFailure<Record>> {
+        match self
+            .broker
+            .fault_action(FaultOp::Produce, self.topic.name(), partition)
+        {
+            None => {}
+            Some(FaultAction::Latency(extra)) => spin_delay(extra),
+            Some(FaultAction::Error(e)) => return Err((e, Some(record))),
+            Some(FaultAction::AckLost) => {
+                let _ = self.raw_append(partition, record.clone(), seq);
+                return Err((Error::RequestTimedOut, Some(record)));
+            }
+            Some(FaultAction::Duplicate) => {
+                let offset = self
+                    .raw_append(partition, record.clone(), seq)
+                    .map_err(|e| (e, None))?;
+                // Sequenced writers dedup this broker-side; plain ones
+                // genuinely get the record twice.
+                let _ = self.raw_append(partition, record, seq);
+                return Ok(offset);
+            }
+        }
+        self.raw_append(partition, record, seq)
+            .map_err(|e| (e, None))
+    }
+
+    fn append_batch(
+        &self,
+        partition: u32,
+        records: Vec<Record>,
+        seq: Option<(u64, u64)>,
+    ) -> std::result::Result<u64, AppendFailure<Vec<Record>>> {
+        match self
+            .broker
+            .fault_action(FaultOp::Produce, self.topic.name(), partition)
+        {
+            None => {}
+            Some(FaultAction::Latency(extra)) => spin_delay(extra),
+            Some(FaultAction::Error(e)) => return Err((e, Some(records))),
+            Some(FaultAction::AckLost) => {
+                let _ = self.raw_append_batch(partition, records.clone(), seq);
+                return Err((Error::RequestTimedOut, Some(records)));
+            }
+            Some(FaultAction::Duplicate) => {
+                let offset = self
+                    .raw_append_batch(partition, records.clone(), seq)
+                    .map_err(|e| (e, None))?;
+                let _ = self.raw_append_batch(partition, records, seq);
+                return Ok(offset);
+            }
+        }
+        self.raw_append_batch(partition, records, seq)
+            .map_err(|e| (e, None))
     }
 }
 
@@ -88,12 +217,40 @@ pub struct PartitionWriter {
     /// has at least its leader target).
     targets: Vec<WriteTarget>,
     partition: u32,
+    /// Retry schedule for transient errors (fault-plan injections).
+    retry: RetryPolicy,
+    /// Idempotence state; `None` for a plain at-least-once writer.
+    sequencer: Option<Arc<Sequencer>>,
 }
 
 impl PartitionWriter {
     pub(crate) fn new(targets: Vec<WriteTarget>, partition: u32) -> Self {
         debug_assert!(!targets.is_empty(), "a writer needs a leader target");
-        PartitionWriter { targets, partition }
+        PartitionWriter {
+            targets,
+            partition,
+            retry: RetryPolicy::default(),
+            sequencer: None,
+        }
+    }
+
+    /// Makes the writer idempotent: appends carry a producer id and
+    /// batch sequence number, and the broker deduplicates retried
+    /// appends (a retry after a lost ack returns the original offset
+    /// instead of appending again) — Kafka's
+    /// `enable.idempotence`. Clones of an idempotent writer share its
+    /// sequence state.
+    #[must_use]
+    pub fn idempotent(mut self) -> Self {
+        self.sequencer = Some(Arc::new(Sequencer::new()));
+        self
+    }
+
+    /// Replaces the writer's [`RetryPolicy`].
+    #[must_use]
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
     }
 
     /// The topic this writer appends to.
@@ -124,13 +281,45 @@ impl PartitionWriter {
     }
 
     fn produce_inner(&self, record: Record) -> Result<u64> {
-        let (leader, followers) = self.targets.split_first().expect("leader target");
+        let Some((leader, followers)) = self.targets.split_first() else {
+            return Err(Error::BrokerUnavailable);
+        };
+        let seq = self.sequencer.as_ref().map(|s| s.reserve(1));
         if followers.is_empty() {
-            return leader.append(self.partition, record);
+            // Single-broker fast path: the record is moved into the
+            // append and only comes back (for the resend) on failure —
+            // no clone when nothing faults.
+            let mut record = record;
+            let mut state = RetryState::new();
+            loop {
+                match leader.append(self.partition, record, seq) {
+                    Ok(offset) => {
+                        state.note_success();
+                        return Ok(offset);
+                    }
+                    Err((error, recovered)) => {
+                        state.backoff_or_give_up(&self.retry, error)?;
+                        match recovered {
+                            Some(rec) => record = rec,
+                            // Non-fault append errors are non-transient
+                            // and were propagated above; unreachable.
+                            None => return Err(Error::BrokerUnavailable),
+                        }
+                    }
+                }
+            }
         }
-        let offset = leader.append(self.partition, record.clone())?;
+        let offset = crate::retry::with_retry(&self.retry, || {
+            leader
+                .append(self.partition, record.clone(), seq)
+                .map_err(|(e, _)| e)
+        })?;
         for follower in followers {
-            follower.append(self.partition, record.clone())?;
+            crate::retry::with_retry(&self.retry, || {
+                follower
+                    .append(self.partition, record.clone(), seq)
+                    .map_err(|(e, _)| e)
+            })?;
         }
         Ok(offset)
     }
@@ -153,13 +342,45 @@ impl PartitionWriter {
     }
 
     fn produce_batch_inner(&self, records: Vec<Record>) -> Result<u64> {
-        let (leader, followers) = self.targets.split_first().expect("leader target");
+        let Some((leader, followers)) = self.targets.split_first() else {
+            return Err(Error::BrokerUnavailable);
+        };
+        // Empty batches reserve no sequence numbers (a zero-length
+        // reservation would collide with the next real batch).
+        let seq = match (&self.sequencer, records.is_empty()) {
+            (Some(s), false) => Some(s.reserve(records.len() as u64)),
+            _ => None,
+        };
         if followers.is_empty() {
-            return leader.append_batch(self.partition, records);
+            let mut records = records;
+            let mut state = RetryState::new();
+            loop {
+                match leader.append_batch(self.partition, records, seq) {
+                    Ok(offset) => {
+                        state.note_success();
+                        return Ok(offset);
+                    }
+                    Err((error, recovered)) => {
+                        state.backoff_or_give_up(&self.retry, error)?;
+                        match recovered {
+                            Some(batch) => records = batch,
+                            None => return Err(Error::BrokerUnavailable),
+                        }
+                    }
+                }
+            }
         }
-        let offset = leader.append_batch(self.partition, records.clone())?;
+        let offset = crate::retry::with_retry(&self.retry, || {
+            leader
+                .append_batch(self.partition, records.clone(), seq)
+                .map_err(|(e, _)| e)
+        })?;
         for follower in followers {
-            follower.append_batch(self.partition, records.clone())?;
+            crate::retry::with_retry(&self.retry, || {
+                follower
+                    .append_batch(self.partition, records.clone(), seq)
+                    .map_err(|(e, _)| e)
+            })?;
         }
         Ok(offset)
     }
@@ -179,6 +400,8 @@ pub struct PartitionReader {
     broker: Broker,
     topic: Arc<Topic>,
     partition: u32,
+    /// Retry schedule for transient errors (fault-plan injections).
+    retry: RetryPolicy,
 }
 
 impl PartitionReader {
@@ -187,7 +410,15 @@ impl PartitionReader {
             broker,
             topic,
             partition,
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Replaces the reader's [`RetryPolicy`].
+    #[must_use]
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
     }
 
     /// The topic this reader fetches from.
@@ -226,15 +457,27 @@ impl PartitionReader {
         out: &mut Vec<StoredRecord>,
     ) -> Result<usize> {
         if !obs::enabled() {
-            spin_delay(self.broker.request_delay());
-            return self.topic.read_into(self.partition, offset, max, out);
+            return self.fetch_into_inner(offset, max, out);
         }
         let started = std::time::Instant::now();
-        spin_delay(self.broker.request_delay());
-        let result = self.topic.read_into(self.partition, offset, max, out);
+        let result = self.fetch_into_inner(offset, max, out);
         let appended = *result.as_ref().unwrap_or(&0) as u64;
         crate::telemetry::fetch_path().observe(appended, started.elapsed());
         result
+    }
+
+    fn fetch_into_inner(
+        &self,
+        offset: u64,
+        max: usize,
+        out: &mut Vec<StoredRecord>,
+    ) -> Result<usize> {
+        crate::retry::with_retry(&self.retry, || {
+            self.broker
+                .fault_gate(FaultOp::Fetch, self.topic.name(), self.partition)?;
+            spin_delay(self.broker.request_delay());
+            self.topic.read_into(self.partition, offset, max, out)
+        })
     }
 
     /// Next offset to be written in the partition.
@@ -244,7 +487,11 @@ impl PartitionReader {
     /// Returns [`Error::UnknownPartition`](crate::Error::UnknownPartition)
     /// (not possible for handles built through validated construction).
     pub fn latest_offset(&self) -> Result<u64> {
-        self.topic.latest_offset(self.partition)
+        crate::retry::with_retry(&self.retry, || {
+            self.broker
+                .fault_gate(FaultOp::Metadata, self.topic.name(), self.partition)?;
+            self.topic.latest_offset(self.partition)
+        })
     }
 
     /// Earliest retained offset in the partition.
@@ -253,7 +500,11 @@ impl PartitionReader {
     ///
     /// Same as [`PartitionReader::latest_offset`].
     pub fn earliest_offset(&self) -> Result<u64> {
-        self.topic.earliest_offset(self.partition)
+        crate::retry::with_retry(&self.retry, || {
+            self.broker
+                .fault_gate(FaultOp::Metadata, self.topic.name(), self.partition)?;
+            self.topic.earliest_offset(self.partition)
+        })
     }
 }
 
@@ -400,6 +651,105 @@ mod tests {
         assert!(snap.histograms["logbus.produce.micros"].count >= 2);
         assert!(snap.histograms["logbus.produce.batch_records"].max >= 2);
         assert!(snap.histograms["logbus.fetch.micros"].count >= 1);
+    }
+
+    fn produce_only_plan(seed: u64, ack_loss: f64, produce_error: f64) -> crate::FaultPlan {
+        let mut plan = crate::FaultPlan::seeded(seed);
+        plan.produce_error = produce_error;
+        plan.fetch_error = 0.0;
+        plan.metadata_error = 0.0;
+        plan.ack_loss = ack_loss;
+        plan.duplicate = 0.0;
+        plan.extra_latency = 0.0;
+        plan
+    }
+
+    #[test]
+    fn writer_retries_through_transient_produce_errors() {
+        let broker = Broker::new();
+        broker.create_topic("t", TopicConfig::default()).unwrap();
+        let writer = broker.partition_writer("t", 0).unwrap();
+        broker.install_fault_plan(produce_only_plan(9, 0.0, 0.4));
+        for i in 0..200 {
+            writer.produce(Record::from_value(format!("{i}"))).unwrap();
+        }
+        broker.clear_fault_plan();
+        // Fail-before errors never touch the log: exactly one copy each.
+        assert_eq!(broker.latest_offset("t", 0).unwrap(), 200);
+    }
+
+    #[test]
+    fn idempotent_writer_survives_lost_acks_without_duplicates() {
+        let broker = Broker::new();
+        broker.create_topic("t", TopicConfig::default()).unwrap();
+        let writer = broker.partition_writer("t", 0).unwrap().idempotent();
+        broker.install_fault_plan(produce_only_plan(10, 0.4, 0.1));
+        for chunk in 0..40 {
+            let batch: Vec<Record> = (0..5)
+                .map(|i| Record::from_value(format!("{}", chunk * 5 + i)))
+                .collect();
+            writer.produce_batch(batch).unwrap();
+        }
+        broker.clear_fault_plan();
+        let records = broker.fetch("t", 0, 0, 1_000).unwrap();
+        assert_eq!(records.len(), 200, "lost acks must not duplicate");
+        for (i, stored) in records.iter().enumerate() {
+            assert_eq!(&stored.record.value[..], format!("{i}").as_bytes());
+        }
+    }
+
+    #[test]
+    fn plain_writer_is_at_least_once_under_lost_acks() {
+        let broker = Broker::new();
+        broker.create_topic("t", TopicConfig::default()).unwrap();
+        let writer = broker.partition_writer("t", 0).unwrap();
+        broker.install_fault_plan(produce_only_plan(11, 0.4, 0.0));
+        for i in 0..100 {
+            writer.produce(Record::from_value(format!("{i}"))).unwrap();
+        }
+        broker.clear_fault_plan();
+        let records = broker.fetch("t", 0, 0, 10_000).unwrap();
+        assert!(records.len() >= 100, "no record may be lost");
+        let values: std::collections::HashSet<Vec<u8>> =
+            records.iter().map(|r| r.record.value.to_vec()).collect();
+        assert_eq!(values.len(), 100, "every record is present at least once");
+        assert!(
+            records.len() > 100,
+            "a 40% ack-loss plan should have produced at least one duplicate"
+        );
+    }
+
+    #[test]
+    fn reader_retries_through_fetch_faults() {
+        let broker = Broker::new();
+        broker.create_topic("t", TopicConfig::default()).unwrap();
+        for i in 0..100 {
+            broker
+                .produce("t", 0, Record::from_value(format!("{i}")))
+                .unwrap();
+        }
+        let reader = broker.partition_reader("t", 0).unwrap();
+        let mut plan = crate::FaultPlan::seeded(12);
+        plan.produce_error = 0.0;
+        plan.fetch_error = 0.5;
+        plan.metadata_error = 0.3;
+        plan.ack_loss = 0.0;
+        plan.duplicate = 0.0;
+        plan.extra_latency = 0.0;
+        broker.install_fault_plan(plan);
+        let mut out = Vec::new();
+        let mut offset = 0u64;
+        while offset < 100 {
+            let end = reader.latest_offset().unwrap();
+            assert_eq!(end, 100);
+            let appended = reader.fetch_into(offset, 7, &mut out).unwrap();
+            offset += appended as u64;
+        }
+        broker.clear_fault_plan();
+        assert_eq!(out.len(), 100);
+        for (i, stored) in out.iter().enumerate() {
+            assert_eq!(stored.offset, i as u64);
+        }
     }
 
     #[test]

@@ -26,6 +26,11 @@
 //!   cache topic resolution once so steady-state hot loops skip name
 //!   hashing, topic-map locking, and key allocation entirely — while the
 //!   simulated network round trip stays on both paths.
+//! * A seeded, deterministic **fault plan** ([`FaultPlan`]) injects
+//!   transient broker errors, lost acks, duplicate appends, and added
+//!   latency; clients retry under a [`RetryPolicy`] and idempotent
+//!   writers deduplicate resends broker-side, giving at-least-once
+//!   delivery with exactly-once log contents.
 //!
 //! # Example
 //!
@@ -62,10 +67,12 @@ mod cluster;
 mod config;
 mod consumer;
 mod error;
+mod fault;
 mod handle;
 mod log;
 mod producer;
 mod record;
+mod retry;
 mod segment;
 mod telemetry;
 mod topic;
@@ -79,9 +86,11 @@ pub use cluster::{Cluster, ClusterConfig};
 pub use config::{Acks, CompressionHint, TimestampType, TopicConfig};
 pub use consumer::{Consumer, ConsumerConfig, GroupAssignment};
 pub use error::{Error, Result};
+pub use fault::{FaultOp, FaultPlan};
 pub use handle::{PartitionReader, PartitionWriter};
 pub use log::{LogStats, OffsetError, PartitionLog};
 pub use producer::{Partitioner, Producer, ProducerConfig, ProducerMetricsSnapshot, RateLimit};
 pub use record::{Header, Record, StoredRecord, Timestamp};
+pub use retry::{with_retry, RetryPolicy};
 pub use segment::Segment;
 pub use topic::Topic;

@@ -3,6 +3,7 @@
 use crate::config::TopicConfig;
 use crate::record::{Record, StoredRecord, Timestamp};
 use crate::segment::Segment;
+use std::collections::HashMap;
 
 /// Summary statistics for one partition log.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -34,6 +35,11 @@ pub struct PartitionLog {
     /// Offset of the earliest retained record.
     log_start_offset: u64,
     appended: u64,
+    /// Per-producer idempotence state: the last appended batch's first
+    /// sequence number and its assigned base offset, keyed by producer
+    /// id (Kafka's producer-epoch sequence dedup, collapsed to the
+    /// last-batch window that serial per-writer retries need).
+    producer_seqs: HashMap<u64, (u64, u64)>,
 }
 
 impl PartitionLog {
@@ -44,7 +50,21 @@ impl PartitionLog {
             config,
             log_start_offset: 0,
             appended: 0,
+            producer_seqs: HashMap::new(),
         }
+    }
+
+    /// Checks a sequenced append for idempotence: if the producer's batch
+    /// starting at `first_seq` was already appended, returns its stored
+    /// base offset (the append must be skipped); otherwise `None`.
+    pub fn duplicate_of(&self, producer_id: u64, first_seq: u64) -> Option<u64> {
+        let &(last_first, base) = self.producer_seqs.get(&producer_id)?;
+        (first_seq <= last_first).then_some(base)
+    }
+
+    /// Records a sequenced append so its retries deduplicate.
+    pub fn record_seq(&mut self, producer_id: u64, first_seq: u64, base: u64) {
+        self.producer_seqs.insert(producer_id, (first_seq, base));
     }
 
     /// Offset that the next appended record will receive.
@@ -163,8 +183,8 @@ impl PartitionLog {
             out.extend_from_slice(slice);
             // Only records appended by this call may advance the cursor;
             // `out` can hold unrelated records from other partitions.
-            if out.len() > start {
-                cursor = out.last().expect("non-empty past start").offset + 1;
+            if let Some(last) = out.last().filter(|_| out.len() > start) {
+                cursor = last.offset + 1;
             }
         }
         Ok(out.len() - start)
@@ -339,6 +359,18 @@ mod tests {
         append_n(&mut log, 10);
         assert_eq!(log.first_timestamp().unwrap().as_micros(), 0);
         assert_eq!(log.last_timestamp().unwrap().as_micros(), 9);
+    }
+
+    #[test]
+    fn producer_seq_dedup_window() {
+        let mut log = log_with(1 << 20);
+        assert_eq!(log.duplicate_of(7, 0), None);
+        log.record_seq(7, 0, 10);
+        assert_eq!(log.duplicate_of(7, 0), Some(10), "exact retry is a dup");
+        assert_eq!(log.duplicate_of(7, 1), None, "next batch is fresh");
+        assert_eq!(log.duplicate_of(8, 0), None, "other producers unaffected");
+        log.record_seq(7, 5, 42);
+        assert_eq!(log.duplicate_of(7, 3), Some(42), "stale seq is a dup");
     }
 
     #[test]

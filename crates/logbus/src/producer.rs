@@ -54,6 +54,10 @@ pub struct ProducerConfig {
     pub partitioner: Partitioner,
     /// Optional pacing limit.
     pub rate_limit: Option<RateLimit>,
+    /// Retry schedule for transient broker errors; applied to metadata
+    /// resolution and, through the cached idempotent writers, to every
+    /// append.
+    pub retry: crate::RetryPolicy,
 }
 
 impl Default for ProducerConfig {
@@ -63,6 +67,7 @@ impl Default for ProducerConfig {
             batch_records: 256,
             partitioner: Partitioner::default(),
             rate_limit: None,
+            retry: crate::RetryPolicy::default(),
         }
     }
 }
@@ -405,27 +410,38 @@ impl Producer {
     /// (and caching) the handle on first use. Resolution is retried on
     /// every flush while it keeps failing, so records buffered before
     /// their topic exists still land once it is created — the same
-    /// late-binding the per-call name lookup used to provide.
+    /// late-binding the per-call name lookup used to provide. Resolved
+    /// writers are idempotent and retry transient faults under the
+    /// configured [`RetryPolicy`](crate::RetryPolicy), so a lost ack
+    /// never duplicates the batch in the log.
     fn produce_batch_cached(
         &mut self,
         topic: &str,
         partition: u32,
         batch: Vec<Record>,
     ) -> Result<()> {
-        let state = &mut self
-            .topics
-            .iter_mut()
-            .find(|entry| entry.name == topic)
-            .expect("flushed topics have state")
-            .state;
+        let Some(entry) = self.topics.iter_mut().find(|entry| entry.name == topic) else {
+            // Flushes only target buffered topics, but stay typed rather
+            // than panicking if that invariant ever breaks.
+            return Err(Error::UnknownTopic(topic.to_string()));
+        };
+        let state = &mut entry.state;
         let index = partition as usize;
         if state.writers.len() <= index {
             state.writers.resize_with(index + 1, || None);
         }
         if state.writers[index].is_none() {
-            state.writers[index] = Some(self.bus.partition_writer(topic, partition)?);
+            let retry = &self.config.retry;
+            let bus = self.bus.as_ref();
+            let writer =
+                crate::retry::with_retry(retry, || bus.partition_writer(topic, partition))?
+                    .idempotent()
+                    .with_retry(retry.clone());
+            state.writers[index] = Some(writer);
         }
-        let writer = state.writers[index].as_ref().expect("writer just resolved");
+        let Some(writer) = state.writers[index].as_ref() else {
+            return Err(Error::BrokerUnavailable);
+        };
         writer.produce_batch(batch).map(drop)
     }
 
@@ -766,6 +782,39 @@ mod tests {
     #[should_panic(expected = "rate must be positive")]
     fn zero_rate_panics() {
         let _ = RateLimit::per_second(0.0);
+    }
+
+    #[test]
+    fn faulted_broker_gets_exactly_once_batches() {
+        let broker = broker_with(1);
+        let mut plan = crate::FaultPlan::seeded(47);
+        plan.produce_error = 0.3;
+        plan.ack_loss = 0.3;
+        plan.duplicate = 0.0;
+        plan.fetch_error = 0.0;
+        plan.metadata_error = 0.3;
+        plan.extra_latency = 0.0;
+        broker.install_fault_plan(plan);
+        let mut producer = Producer::with_config(
+            broker.clone(),
+            ProducerConfig {
+                batch_records: 8,
+                partitioner: Partitioner::Fixed(0),
+                ..ProducerConfig::default()
+            },
+        );
+        for i in 0..300 {
+            producer
+                .send("t", Record::from_value(format!("{i}")))
+                .unwrap();
+        }
+        producer.close().unwrap();
+        broker.clear_fault_plan();
+        let records = broker.fetch("t", 0, 0, 1_000).unwrap();
+        assert_eq!(records.len(), 300, "idempotent writers dedup lost acks");
+        for (i, stored) in records.iter().enumerate() {
+            assert_eq!(&stored.record.value[..], format!("{i}").as_bytes());
+        }
     }
 
     #[test]

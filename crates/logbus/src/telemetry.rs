@@ -80,6 +80,47 @@ pub(crate) fn producer_totals() -> &'static ProducerTotals {
     })
 }
 
+/// Retry-loop outcomes across every client tier (see
+/// [`crate::retry::with_retry`] and the handle-internal retry loops).
+pub(crate) struct RetryPath {
+    /// Retry attempts made (excludes each call's first attempt).
+    pub(crate) attempts: obs::Counter,
+    /// Calls that failed transiently but eventually succeeded.
+    pub(crate) recoveries: obs::Counter,
+    /// Calls abandoned with [`crate::Error::RetriesExhausted`].
+    pub(crate) give_ups: obs::Counter,
+    /// Give-ups caused by the wall-clock budget (subset of `give_ups`).
+    pub(crate) timeouts: obs::Counter,
+}
+
+pub(crate) fn retry_path() -> &'static RetryPath {
+    static PATH: OnceLock<RetryPath> = OnceLock::new();
+    PATH.get_or_init(|| RetryPath {
+        attempts: obs::counter("logbus.retry.attempts"),
+        recoveries: obs::counter("logbus.retry.recoveries"),
+        give_ups: obs::counter("logbus.retry.give_ups"),
+        timeouts: obs::counter("logbus.retry.timeouts"),
+    })
+}
+
+/// Faults injected by an installed [`crate::FaultPlan`], by class.
+pub(crate) struct FaultPath {
+    pub(crate) errors: obs::Counter,
+    pub(crate) ack_losses: obs::Counter,
+    pub(crate) duplicates: obs::Counter,
+    pub(crate) latencies: obs::Counter,
+}
+
+pub(crate) fn fault_path() -> &'static FaultPath {
+    static PATH: OnceLock<FaultPath> = OnceLock::new();
+    PATH.get_or_init(|| FaultPath {
+        errors: obs::counter("logbus.fault.errors"),
+        ack_losses: obs::counter("logbus.fault.ack_losses"),
+        duplicates: obs::counter("logbus.fault.duplicates"),
+        latencies: obs::counter("logbus.fault.latencies"),
+    })
+}
+
 /// Records queued in [`crate::AsyncProducer`]s but not yet appended.
 pub(crate) fn async_queue_depth() -> &'static obs::Gauge {
     static DEPTH: OnceLock<obs::Gauge> = OnceLock::new();

@@ -113,6 +113,73 @@ impl Topic {
         Ok(log.append(record, stamp))
     }
 
+    /// Like [`Topic::append_delayed`], for an idempotent producer: the
+    /// append carries `(producer_id, seq)` and is skipped — returning the
+    /// previously assigned offset — when the broker already applied it
+    /// (a retry after a lost ack). The dedup decision happens under the
+    /// same partition append lock as the append itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownPartition`] for out-of-range partitions.
+    pub(crate) fn append_sequenced_delayed(
+        &self,
+        partition: u32,
+        record: Record,
+        now: Timestamp,
+        delay: std::time::Duration,
+        producer_id: u64,
+        seq: u64,
+    ) -> Result<u64> {
+        let lock = self.partition(partition)?;
+        let mut log = lock.write();
+        spin_delay(delay);
+        if let Some(base) = log.duplicate_of(producer_id, seq) {
+            return Ok(base);
+        }
+        let stamp = match self.config.timestamp_type {
+            TimestampType::LogAppendTime => log.last_timestamp().map_or(now, |last| now.max(last)),
+            TimestampType::CreateTime => record.timestamp.unwrap_or(now),
+        };
+        let offset = log.append(record, stamp);
+        log.record_seq(producer_id, seq, offset);
+        Ok(offset)
+    }
+
+    /// Sequenced batch append; see [`Topic::append_sequenced_delayed`]
+    /// and [`Topic::append_batch_delayed`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownPartition`] for out-of-range partitions.
+    pub(crate) fn append_batch_sequenced_delayed(
+        &self,
+        partition: u32,
+        records: Vec<Record>,
+        now: Timestamp,
+        delay: std::time::Duration,
+        producer_id: u64,
+        first_seq: u64,
+    ) -> Result<u64> {
+        let lock = self.partition(partition)?;
+        let mut log = lock.write();
+        spin_delay(delay);
+        if let Some(base) = log.duplicate_of(producer_id, first_seq) {
+            return Ok(base);
+        }
+        let append_stamp = log.last_timestamp().map_or(now, |last| now.max(last));
+        let base = log.next_offset();
+        for record in records {
+            let stamp = match self.config.timestamp_type {
+                TimestampType::LogAppendTime => append_stamp,
+                TimestampType::CreateTime => record.timestamp.unwrap_or(now),
+            };
+            log.append(record, stamp);
+        }
+        log.record_seq(producer_id, first_seq, base);
+        Ok(base)
+    }
+
     /// Appends a batch, returning the offset of the first record.
     ///
     /// The batch is appended atomically with respect to other producers of

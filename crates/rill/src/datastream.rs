@@ -40,6 +40,7 @@ struct EnvCore {
     cluster: ClusterSpec,
     tasks: Vec<TaskSpec>,
     sink_counters: Vec<(String, obs::Counter)>,
+    watchdog: Option<std::time::Duration>,
 }
 
 /// Entry point for building and executing jobs — rill's counterpart of
@@ -84,8 +85,16 @@ impl StreamExecutionEnvironment {
                 cluster,
                 tasks: Vec::new(),
                 sink_counters: Vec::new(),
+                watchdog: None,
             })),
         }
+    }
+
+    /// Arms a watchdog for subsequent [`execute`](Self::execute) calls:
+    /// a job still running after `timeout` fails with
+    /// [`Error::WatchdogExpired`] instead of hanging the caller.
+    pub fn set_watchdog(&self, timeout: std::time::Duration) {
+        self.core.lock().watchdog = Some(timeout);
     }
 
     /// Sets the default parallelism applied to subsequently created
@@ -161,7 +170,7 @@ impl StreamExecutionEnvironment {
     /// the cluster's slots; [`Error::TaskPanicked`] if a subtask panics;
     /// [`Error::InvalidTopology`] when there is nothing to run.
     pub fn execute(&self, name: &str) -> Result<JobResult> {
-        let (cluster, tasks, counters) = {
+        let (cluster, tasks, counters, watchdog) = {
             let mut core = self.core.lock();
             if let Some(node) = core.graph.dangling().into_iter().next() {
                 let node_name = core
@@ -175,9 +184,10 @@ impl StreamExecutionEnvironment {
                 core.cluster,
                 std::mem::take(&mut core.tasks),
                 std::mem::take(&mut core.sink_counters),
+                core.watchdog,
             )
         };
-        JobManager::execute(name, cluster, tasks, counters)
+        JobManager::execute_with_watchdog(name, cluster, tasks, counters, watchdog)
     }
 
     fn with_core<R>(&self, f: impl FnOnce(&mut EnvCore) -> R) -> R {

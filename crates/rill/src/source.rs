@@ -226,8 +226,13 @@ impl BrokerSourceInstance {
         // reused too — the already-fetched batch goes downstream whole.
         let mut batch = Vec::with_capacity(self.fetch_size);
         let mut payloads: Vec<Bytes> = Vec::with_capacity(self.fetch_size);
+        let retry = logbus::RetryPolicy::default();
         for &partition in &self.partitions {
-            let Ok(reader) = self.broker.partition_reader(&self.topic, partition) else {
+            // Resolution and the end-offset lookup retry through transient
+            // broker faults; only a genuinely missing partition is skipped.
+            let Ok(reader) = logbus::with_retry(&retry, || {
+                self.broker.partition_reader(&self.topic, partition)
+            }) else {
                 continue;
             };
             let Ok(end) = reader.latest_offset() else {
@@ -256,8 +261,11 @@ impl BrokerSourceInstance {
     /// fetches.
     fn run_following(&mut self, follow: &FollowMode, out: &mut dyn Collector<Bytes>) {
         let mut cursors = Vec::new();
+        let retry = logbus::RetryPolicy::default();
         for &partition in &self.partitions {
-            let Ok(reader) = self.broker.partition_reader(&self.topic, partition) else {
+            let Ok(reader) = logbus::with_retry(&retry, || {
+                self.broker.partition_reader(&self.topic, partition)
+            }) else {
                 continue;
             };
             let position = reader.earliest_offset().unwrap_or(0);

@@ -113,18 +113,69 @@ impl ResourceManager {
             }
         }
         for node in &expired {
-            let doomed: Vec<ContainerId> = self
-                .containers
-                .values()
-                .filter(|c| c.node == *node && c.state.holds_resources())
-                .map(|c| c.id)
-                .collect();
-            for id in doomed {
+            let doomed = self.containers_on(*node);
+            for c in &doomed {
                 // Unhealthy nodes keep no resources; release unconditionally.
-                let _ = self.kill_container(id);
+                let _ = self.kill_container(c.id);
             }
+            // Heartbeat expiry is a failure like any other: bring the lost
+            // work back up on whatever healthy capacity remains.
+            self.reallocate(&doomed);
         }
         expired
+    }
+
+    /// Simulates a machine failure: marks `node` unhealthy immediately,
+    /// kills every container it hosted, and reallocates each one for its
+    /// still-active application onto the remaining healthy nodes — the
+    /// RM-side half of YARN's container recovery. Returns the replacement
+    /// containers; work no healthy node can host is dropped, exactly as a
+    /// capacity-starved real cluster would drop it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownNode`] for unregistered nodes.
+    pub fn fail_node(&mut self, node: NodeId) -> Result<Vec<Container>> {
+        let state = self.node_mut(node)?;
+        state.healthy = false;
+        let doomed = self.containers_on(node);
+        for c in &doomed {
+            let _ = self.kill_container(c.id);
+        }
+        Ok(self.reallocate(&doomed))
+    }
+
+    fn containers_on(&self, node: NodeId) -> Vec<Container> {
+        self.containers
+            .values()
+            .filter(|c| c.node == node && c.state.holds_resources())
+            .copied()
+            .collect()
+    }
+
+    /// Places a replacement for each lost container, preserving size and
+    /// master-ness. Applications that already finished stay down.
+    fn reallocate(&mut self, lost: &[Container]) -> Vec<Container> {
+        let mut replacements = Vec::new();
+        for old in lost {
+            let active = self.apps.get(&old.app).is_some_and(|a| a.state.is_active());
+            if !active {
+                continue;
+            }
+            let Ok(id) =
+                self.place_container(old.app, ResourceRequest::new(old.resource), old.is_master)
+            else {
+                continue;
+            };
+            if let Some(app) = self.apps.get_mut(&old.app) {
+                app.containers.push(id);
+                if old.is_master {
+                    app.master = id;
+                }
+            }
+            replacements.push(self.containers[&id]);
+        }
+        replacements
     }
 
     /// Current logical time.
@@ -574,6 +625,90 @@ mod tests {
         // A heartbeat revives the node.
         rm.heartbeat(a).unwrap();
         assert!(rm.node_info(a).unwrap().healthy);
+    }
+
+    #[test]
+    fn fail_node_reallocates_onto_healthy_nodes() {
+        let (mut rm, a, b) = two_node_rm();
+        let app = rm
+            .submit_application("bench", Resource::new(512, 1))
+            .unwrap();
+        rm.allocate(
+            app,
+            &[
+                ResourceRequest::new(Resource::new(256, 1)).on_node(a),
+                ResourceRequest::new(Resource::new(256, 1)).on_node(a),
+            ],
+        )
+        .unwrap();
+        let live_before = rm.metrics().live_containers;
+        let moved = rm.fail_node(a).unwrap();
+        let info_a = rm.node_info(a).unwrap();
+        assert!(!info_a.healthy);
+        assert_eq!(info_a.used, Resource::zero());
+        assert!(moved.iter().all(|c| c.node == b));
+        assert_eq!(
+            rm.metrics().live_containers,
+            live_before,
+            "every lost container came back on the healthy node"
+        );
+        let tracked = &rm.application(app).unwrap().containers;
+        assert!(moved.iter().all(|c| tracked.contains(&c.id)));
+    }
+
+    #[test]
+    fn fail_node_moves_the_application_master() {
+        let (mut rm, _, _) = two_node_rm();
+        let app = rm
+            .submit_application("bench", Resource::new(512, 1))
+            .unwrap();
+        let master = rm.application(app).unwrap().master;
+        let home = rm.container(master).unwrap().node;
+        let moved = rm.fail_node(home).unwrap();
+        let new_master = rm.application(app).unwrap().master;
+        assert_ne!(new_master, master);
+        assert_eq!(moved[0].id, new_master);
+        assert!(rm.container(new_master).unwrap().is_master);
+        assert_ne!(rm.container(new_master).unwrap().node, home);
+    }
+
+    #[test]
+    fn fail_node_without_capacity_drops_work() {
+        let mut rm = ResourceManager::new();
+        let only = rm.register_node(Resource::new(1024, 4));
+        rm.submit_application("bench", Resource::new(512, 1))
+            .unwrap();
+        let moved = rm.fail_node(only).unwrap();
+        assert!(moved.is_empty(), "no healthy node can host the master");
+        assert_eq!(rm.metrics().live_containers, 0);
+        assert_eq!(rm.metrics().healthy_nodes, 0);
+        assert!(rm.fail_node(NodeId(9)).is_err());
+    }
+
+    #[test]
+    fn heartbeat_expiry_reallocates_containers() {
+        let (mut rm, a, b) = two_node_rm();
+        rm.set_liveness_window(2);
+        let app = rm
+            .submit_application("bench", Resource::new(512, 1))
+            .unwrap();
+        rm.allocate(
+            app,
+            &[ResourceRequest::new(Resource::new(256, 1)).on_node(a)],
+        )
+        .unwrap();
+        let live_before = rm.metrics().live_containers;
+        for _ in 0..4 {
+            rm.heartbeat(b).unwrap();
+            rm.tick();
+        }
+        assert!(!rm.node_info(a).unwrap().healthy);
+        assert_eq!(
+            rm.metrics().live_containers,
+            live_before,
+            "the expired node's work moved over"
+        );
+        assert!(rm.live_containers(app).iter().all(|c| c.node == b));
     }
 
     #[test]
