@@ -173,7 +173,12 @@ impl RawSource for BrokerRawSource {
                 if appended == 0 {
                     break;
                 }
-                offset = batch.last().expect("non-empty").offset + 1;
+                // `appended > 0` was checked, but guard instead of panic
+                // on the connector path.
+                let Some(last) = batch.last() else {
+                    break;
+                };
+                offset = last.offset + 1;
                 for stored in batch.drain(..) {
                     let record = KafkaRecord {
                         topic: self.topic.clone(),
@@ -316,15 +321,14 @@ impl Clone for WriteDoFn {
 
 impl WriteDoFn {
     fn producer(&mut self) -> &logbus::AsyncProducer {
-        if self.producer.is_none() {
-            self.producer = Some(std::sync::Arc::new(logbus::AsyncProducer::with_max_batch(
+        self.producer.get_or_insert_with(|| {
+            std::sync::Arc::new(logbus::AsyncProducer::with_max_batch(
                 self.broker.clone(),
                 self.topic.clone(),
                 0,
                 self.max_batch,
-            )));
-        }
-        self.producer.as_deref().expect("just created")
+            ))
+        })
     }
 }
 

@@ -95,7 +95,9 @@ impl PipelineRunner for ApxRunner {
                     runner: "apx",
                     reason: "only linear single-source pipelines are translatable".into(),
                 })?;
-            let first = graph.node(chain[0]).expect("chain node");
+            let first = graph
+                .node(chain[0])
+                .ok_or_else(|| Error::InvalidPipeline("dangling node id in linear chain".into()))?;
             let StagePayload::Read(source) = &first.payload else {
                 return Err(Error::InvalidPipeline(
                     "pipeline must start with a Read".into(),
@@ -103,16 +105,18 @@ impl PipelineRunner for ApxRunner {
             };
             let mut stages = Vec::new();
             for (i, id) in chain.iter().enumerate().skip(1) {
-                let node = graph.node(*id).expect("chain node");
+                let node = graph.node(*id).ok_or_else(|| {
+                    Error::InvalidPipeline("dangling node id in linear chain".into())
+                })?;
                 let leaf = i == chain.len() - 1;
                 // Operator names must be unique in an apx DAG.
                 let name = format!("{}#{i}", node.translated_name);
                 match &node.payload {
                     StagePayload::ParDo(factory) if leaf => {
-                        stages.push(Stage::Leaf(factory.clone(), name))
+                        stages.push(Stage::Leaf(factory.clone(), name));
                     }
                     StagePayload::ParDo(factory) => {
-                        stages.push(Stage::Middle(factory.clone(), name))
+                        stages.push(Stage::Middle(factory.clone(), name));
                     }
                     StagePayload::GroupByKey => {
                         return Err(Error::UnsupportedTransform {
@@ -264,7 +268,9 @@ impl Operator<RawElement, RawElement> for PerElementBundleOperator {
     }
 
     fn process(&mut self, tuple: RawElement, out: &mut dyn Emitter<RawElement>) {
-        let dofn = self.dofn.as_mut().expect("setup ran");
+        // Normally built in `setup`; constructed lazily here so the data
+        // path never panics if the engine skips the lifecycle call.
+        let dofn = self.dofn.get_or_insert_with(|| (self.factory)());
         dofn.start_bundle();
         dofn.process(tuple, &mut |e| out.emit(e));
         dofn.finish_bundle(&mut |e| out.emit(e));
@@ -293,7 +299,9 @@ impl Operator<RawElement, ()> for PerElementBundleOutput {
     }
 
     fn process(&mut self, tuple: RawElement, _out: &mut dyn Emitter<()>) {
-        let dofn = self.dofn.as_mut().expect("setup ran");
+        // Normally built in `setup`; constructed lazily here so the data
+        // path never panics if the engine skips the lifecycle call.
+        let dofn = self.dofn.get_or_insert_with(|| (self.factory)());
         dofn.start_bundle();
         dofn.process(tuple, &mut |_| {});
         dofn.finish_bundle(&mut |_| {});

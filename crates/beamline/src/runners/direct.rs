@@ -133,7 +133,10 @@ pub(crate) fn group_by_key(input: &[RawElement]) -> Result<Vec<RawElement>> {
     }
     let mut out = Vec::with_capacity(order.len());
     for slot in order {
-        let values = groups.remove(&slot).expect("group exists");
+        // `order` only holds keys inserted into `groups` above.
+        let Some(values) = groups.remove(&slot) else {
+            continue;
+        };
         let (window, key) = slot;
         let mut iterable = Vec::new();
         put_varint(values.len() as u64, &mut iterable);

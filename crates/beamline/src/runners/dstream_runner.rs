@@ -70,7 +70,9 @@ impl PipelineRunner for DStreamRunner {
                     runner: "dstream",
                     reason: "only linear single-source pipelines are translatable".into(),
                 })?;
-            let first = graph.node(chain[0]).expect("chain node");
+            let first = graph
+                .node(chain[0])
+                .ok_or_else(|| Error::InvalidPipeline("dangling node id in linear chain".into()))?;
             let StagePayload::Read(source) = &first.payload else {
                 return Err(Error::InvalidPipeline(
                     "pipeline must start with a Read".into(),
@@ -78,14 +80,16 @@ impl PipelineRunner for DStreamRunner {
             };
             let mut stages = Vec::new();
             for (i, id) in chain.iter().enumerate().skip(1) {
-                let node = graph.node(*id).expect("chain node");
+                let node = graph.node(*id).ok_or_else(|| {
+                    Error::InvalidPipeline("dangling node id in linear chain".into())
+                })?;
                 let leaf = i == chain.len() - 1;
                 match &node.payload {
                     StagePayload::ParDo(factory) if leaf => {
-                        stages.push(Stage::Leaf(node.translated_name.clone(), factory.clone()))
+                        stages.push(Stage::Leaf(node.translated_name.clone(), factory.clone()));
                     }
                     StagePayload::ParDo(factory) => {
-                        stages.push(Stage::Middle(node.translated_name.clone(), factory.clone()))
+                        stages.push(Stage::Middle(node.translated_name.clone(), factory.clone()));
                     }
                     StagePayload::GroupByKey => {
                         return Err(Error::UnsupportedTransform {

@@ -82,7 +82,9 @@ impl RillRunner {
                     runner: "rill",
                     reason: "only linear single-source pipelines are translatable".into(),
                 })?;
-            let first = graph.node(chain[0]).expect("chain node");
+            let first = graph
+                .node(chain[0])
+                .ok_or_else(|| Error::InvalidPipeline("dangling node id in linear chain".into()))?;
             let StagePayload::Read(source) = &first.payload else {
                 return Err(Error::InvalidPipeline(
                     "pipeline must start with a Read".into(),
@@ -90,7 +92,9 @@ impl RillRunner {
             };
             let mut stages = Vec::new();
             for (i, id) in chain.iter().enumerate().skip(1) {
-                let node = graph.node(*id).expect("chain node");
+                let node = graph.node(*id).ok_or_else(|| {
+                    Error::InvalidPipeline("dangling node id in linear chain".into())
+                })?;
                 let leaf = i == chain.len() - 1;
                 match &node.payload {
                     StagePayload::ParDo(factory) => stages.push(Stage::ParDo {
@@ -120,7 +124,11 @@ impl RillRunner {
             name: source_name,
         }));
         for stage in stages {
-            let current = stream.take().expect("stages after the leaf were rejected");
+            let Some(current) = stream.take() else {
+                return Err(Error::InvalidPipeline(
+                    "stage after the terminal leaf".into(),
+                ));
+            };
             match stage {
                 Stage::ParDo {
                     translated,
@@ -338,7 +346,11 @@ struct RawDoFnCollector<C> {
 
 impl<C: Collector<RawElement>> Collector<RawElement> for RawDoFnCollector<C> {
     fn collect(&mut self, item: RawElement) {
-        let dofn = self.dofn.as_mut().expect("dofn live until close");
+        // `dofn` is taken at close; collecting afterwards violates the
+        // collector contract upstream, so drop rather than panic.
+        let Some(dofn) = self.dofn.as_mut() else {
+            return;
+        };
         let downstream = &mut self.downstream;
         match &self.instruments {
             Some((records_in, busy)) => {
@@ -352,7 +364,11 @@ impl<C: Collector<RawElement>> Collector<RawElement> for RawDoFnCollector<C> {
     }
 
     fn collect_batch(&mut self, items: &mut Vec<RawElement>) {
-        let dofn = self.dofn.as_mut().expect("dofn live until close");
+        // See `collect`: a post-close batch is dropped, not a panic.
+        let Some(dofn) = self.dofn.as_mut() else {
+            items.clear();
+            return;
+        };
         let scratch = &mut self.scratch;
         match &self.instruments {
             Some((records_in, busy)) => {

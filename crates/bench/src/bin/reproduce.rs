@@ -27,7 +27,7 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let obs_json = take_obs_json(&mut args);
     let fault_seed = take_fault_seed(&mut args);
-    let target = args.first().map(String::as_str).unwrap_or("all");
+    let target = args.first().map_or("all", String::as_str);
 
     if obs_json.is_some() {
         obs::set_enabled(true);

@@ -45,12 +45,12 @@ pub fn execute_setup_once(broker: &Broker, query: Query, setup: Setup, tag: u64)
         (System::Rill, Api::Native) => {
             native_rill(broker, query, "input", &output, setup.parallelism)
                 .map(drop)
-                .unwrap()
+                .unwrap();
         }
         (System::DStream, Api::Native) => {
             native_dstream(broker, query, "input", &output, setup.parallelism, 2_000)
                 .map(drop)
-                .unwrap()
+                .unwrap();
         }
         (System::Apx, Api::Native) => {
             let mut rm = fresh_yarn_cluster();
@@ -63,7 +63,7 @@ pub fn execute_setup_once(broker: &Broker, query: Query, setup: Setup, tag: u64)
                 &mut rm,
             )
             .map(drop)
-            .unwrap()
+            .unwrap();
         }
         (system, Api::Beam) => {
             use beamline::PipelineRunner;
@@ -80,7 +80,7 @@ pub fn execute_setup_once(broker: &Broker, query: Query, setup: Setup, tag: u64)
                     .with_vcores(setup.parallelism as u32)
                     .run(&pipeline),
             };
-            result.map(drop).unwrap()
+            result.map(drop).unwrap();
         }
     }
     output

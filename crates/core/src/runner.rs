@@ -36,6 +36,7 @@ pub struct Measurement {
 /// have no [`Measurement`] and are excluded from figures; the incident
 /// is the report's explanation of the gap.
 #[derive(Debug, Clone, PartialEq)]
+#[must_use = "an incident is the only surviving record of a degraded run; log or report it"]
 pub struct RunIncident {
     /// The affected setup.
     pub setup: Setup,
@@ -53,6 +54,7 @@ pub struct RunIncident {
 
 /// Measurements plus the incident log of a benchmark campaign.
 #[derive(Debug, Clone, Default, PartialEq)]
+#[must_use = "a report holds the campaign's measurements and incidents; dropping it loses both"]
 pub struct QueryReport {
     /// Successful measurements, one per recovered-or-clean run.
     pub measurements: Vec<Measurement>,
@@ -257,8 +259,7 @@ impl BenchmarkRunner {
                             run,
                             attempts,
                             error: last_error
-                                .map(|e| e.to_string())
-                                .unwrap_or_else(|| "unknown failure".to_string()),
+                                .map_or_else(|| "unknown failure".to_string(), |e| e.to_string()),
                             recovered: true,
                         });
                     }
@@ -280,9 +281,7 @@ impl BenchmarkRunner {
             query,
             run,
             attempts,
-            error: last_error
-                .map(|e| e.to_string())
-                .unwrap_or_else(|| "unknown failure".to_string()),
+            error: last_error.map_or_else(|| "unknown failure".to_string(), |e| e.to_string()),
             recovered: false,
         });
         Ok(())

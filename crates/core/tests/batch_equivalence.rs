@@ -242,3 +242,14 @@ proptest! {
         prop_assert_eq!(got, expected_sorted);
     }
 }
+
+/// End-of-suite gate for the `check-sync` build: the batched data plane
+/// exercised above must leave the lock-order graph acyclic and every
+/// append witness untripped. Named `zzz_` so libtest's alphabetical
+/// order runs it last (CI passes `--test-threads=1`).
+#[cfg(feature = "check-sync")]
+#[test]
+fn zzz_sync_checker_is_clean_after_batch_equivalence() {
+    parking_lot::sync_check::assert_clean("batch_equivalence suite");
+    println!("{}", parking_lot::sync_check::report());
+}

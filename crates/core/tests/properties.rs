@@ -80,8 +80,8 @@ proptest! {
     #[test]
     fn stats_basics(values in prop::collection::vec(0.001f64..1e6, 1..50)) {
         let m = stats::mean(&values);
-        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = values.iter().cloned().fold(0.0, f64::max);
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(0.0, f64::max);
         prop_assert!(m >= min - 1e-9 && m <= max + 1e-9);
         prop_assert!(stats::std_dev(&values) >= 0.0);
         prop_assert!(stats::relative_std_dev(&values) >= 0.0);

@@ -334,7 +334,7 @@ impl Broker {
         self.fault_gate(FaultOp::Fetch, topic, partition)?;
         crate::topic::spin_delay(self.request_delay());
         let result = t.read(partition, offset, max);
-        let returned = result.as_ref().map_or(0, |r| r.len()) as u64;
+        let returned = result.as_ref().map_or(0, std::vec::Vec::len) as u64;
         crate::telemetry::fetch_path().observe(returned, started.elapsed());
         result
     }

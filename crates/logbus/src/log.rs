@@ -40,7 +40,15 @@ pub struct PartitionLog {
     /// id (Kafka's producer-epoch sequence dedup, collapsed to the
     /// last-batch window that serial per-writer retries need).
     producer_seqs: HashMap<u64, (u64, u64)>,
+    /// Process-unique id keying this log's monotonic-write witnesses:
+    /// lets the checker tell partitions apart without holding a lock.
+    #[cfg(feature = "check-sync")]
+    witness_id: u64,
 }
+
+/// Hands out [`PartitionLog::witness_id`] values.
+#[cfg(feature = "check-sync")]
+static NEXT_WITNESS_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 impl PartitionLog {
     /// Creates an empty log with the given topic configuration.
@@ -51,6 +59,8 @@ impl PartitionLog {
             log_start_offset: 0,
             appended: 0,
             producer_seqs: HashMap::new(),
+            #[cfg(feature = "check-sync")]
+            witness_id: NEXT_WITNESS_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
     }
 
@@ -69,7 +79,7 @@ impl PartitionLog {
 
     /// Offset that the next appended record will receive.
     pub fn next_offset(&self) -> u64 {
-        self.segments.last().map(Segment::next_offset).unwrap_or(0)
+        self.segments.last().map_or(0, Segment::next_offset)
     }
 
     /// Offset of the earliest retained record.
@@ -92,6 +102,27 @@ impl PartitionLog {
     /// offset.
     pub fn append(&mut self, record: Record, stamp: Timestamp) -> u64 {
         let offset = self.next_offset();
+        // Lost-update witnesses: a torn or misordered append (e.g. two
+        // writers racing past the broker's partition lock) shows up as a
+        // non-monotonic offset or, on `LogAppendTime` topics, a stamp
+        // that travels backwards. Compiled out without `check-sync`.
+        #[cfg(feature = "check-sync")]
+        {
+            parking_lot::sync_check::witness_monotonic(
+                "logbus.offset",
+                self.witness_id,
+                offset,
+                true,
+            );
+            if self.config.timestamp_type == crate::config::TimestampType::LogAppendTime {
+                parking_lot::sync_check::witness_monotonic(
+                    "logbus.append_time",
+                    self.witness_id,
+                    stamp.as_micros().max(0) as u64,
+                    false,
+                );
+            }
+        }
         if self.active_segment_full() {
             self.segments.push(Segment::new(offset));
         }
@@ -100,10 +131,12 @@ impl PartitionLog {
             timestamp: stamp,
             record,
         };
-        self.segments
-            .last_mut()
-            .expect("log always has an active segment")
-            .append(stored);
+        // `active_segment_full` treats an empty log as full, so the push
+        // above guarantees a tail segment; the guard (rather than a
+        // panicking unwrap) upholds the hot-path no-panic contract.
+        if let Some(segment) = self.segments.last_mut() {
+            segment.append(stored);
+        }
         self.appended += 1;
         self.apply_retention();
         offset
@@ -112,8 +145,7 @@ impl PartitionLog {
     fn active_segment_full(&self) -> bool {
         self.segments
             .last()
-            .map(|s| s.bytes() >= self.config.segment_bytes)
-            .unwrap_or(true)
+            .is_none_or(|s| s.bytes() >= self.config.segment_bytes)
     }
 
     fn apply_retention(&mut self) {

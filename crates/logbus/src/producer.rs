@@ -81,6 +81,7 @@ impl Default for ProducerConfig {
 /// fleet-wide `logbus.producer.*` totals in the global registry while
 /// instrumentation is enabled.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use = "a snapshot is a point-in-time capture; dropping it unread discards the measurement"]
 pub struct ProducerMetricsSnapshot {
     /// Capture time, microseconds since the Unix epoch.
     pub at_unix_micros: u64,

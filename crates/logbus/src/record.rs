@@ -133,7 +133,10 @@ impl Record {
             .iter()
             .map(|h| h.key.len() + h.value.len() + 8)
             .sum();
-        RECORD_OVERHEAD + self.key.as_ref().map_or(0, |k| k.len()) + self.value.len() + headers
+        RECORD_OVERHEAD
+            + self.key.as_ref().map_or(0, bytes::Bytes::len)
+            + self.value.len()
+            + headers
     }
 }
 

@@ -19,6 +19,7 @@ use std::time::{Duration, Instant};
 
 /// Retry schedule for one client call.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use = "a policy does nothing until passed to a client or `with_retry`"]
 pub struct RetryPolicy {
     /// Maximum retries after the first attempt.
     pub max_retries: u32,

@@ -141,3 +141,14 @@ proptest! {
         }
     }
 }
+
+/// End-of-suite gate for the `check-sync` build: after every chaos
+/// scenario above ran, the shim's lock-order graph must be acyclic and
+/// the broker append witnesses untripped. Named `zzz_` so libtest's
+/// alphabetical order runs it last (CI passes `--test-threads=1`).
+#[cfg(feature = "check-sync")]
+#[test]
+fn zzz_sync_checker_is_clean_after_chaos() {
+    parking_lot::sync_check::assert_clean("logbus chaos suite");
+    println!("{}", parking_lot::sync_check::report());
+}

@@ -360,8 +360,7 @@ impl Registry {
 pub fn unix_micros() -> u64 {
     SystemTime::now()
         .duration_since(UNIX_EPOCH)
-        .map(|d| d.as_micros() as u64)
-        .unwrap_or(0)
+        .map_or(0, |d| d.as_micros() as u64)
 }
 
 /// A timestamped, mergeable copy of a registry's instruments.

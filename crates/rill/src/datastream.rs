@@ -176,8 +176,7 @@ impl StreamExecutionEnvironment {
                 let node_name = core
                     .graph
                     .node(node)
-                    .map(|n| n.name.clone())
-                    .unwrap_or_else(|| node.to_string());
+                    .map_or_else(|| node.to_string(), |n| n.name.clone());
                 return Err(Error::DanglingStream { node: node_name });
             }
             (
@@ -391,7 +390,7 @@ impl<T: Send + 'static> DataStream<T> {
                 name: chain.join(" -> "),
                 parallelism,
                 runnables,
-            })
+            });
         });
     }
 
@@ -441,7 +440,7 @@ impl<T: Send + 'static> DataStream<T> {
                 name: self.chain.join(" -> "),
                 parallelism: self.parallelism,
                 runnables,
-            })
+            });
         });
         let build: BuildFn<T> = Arc::new(move |subtask, mut col| {
             let rx: Receiver<T> = receivers[subtask].clone();

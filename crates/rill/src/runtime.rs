@@ -9,8 +9,9 @@
 //! a job needs as many slots as its maximum operator parallelism.
 
 use crate::error::{Error, Result};
+use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Cluster shape: how many task managers, and how many slots each offers.
@@ -28,9 +29,7 @@ impl ClusterSpec {
     /// separation between slots, paper §II-B), so small machines still run
     /// parallel jobs.
     pub fn local() -> Self {
-        let slots = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4);
+        let slots = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
         ClusterSpec {
             task_managers: 1,
             slots_per_manager: slots.max(4),
@@ -113,26 +112,26 @@ impl JobResult {
 /// the waiter when the count reaches zero.
 #[derive(Debug)]
 struct Latch {
-    remaining: StdMutex<usize>,
+    remaining: Mutex<usize>,
     done: Condvar,
 }
 
 impl Latch {
     fn new() -> Self {
         Latch {
-            remaining: StdMutex::new(0),
+            remaining: Mutex::new(0),
             done: Condvar::new(),
         }
     }
 
     fn add_one(&self) {
-        *self.remaining.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+        *self.remaining.lock() += 1;
     }
 
     /// Blocks until every registered subtask finished or `deadline`
     /// passes; returns how many were still running.
     fn wait_until(&self, deadline: Instant) -> usize {
-        let mut remaining = self.remaining.lock().unwrap_or_else(|e| e.into_inner());
+        let mut remaining = self.remaining.lock();
         while *remaining > 0 {
             let now = Instant::now();
             let Some(budget) = deadline
@@ -141,10 +140,7 @@ impl Latch {
             else {
                 return *remaining;
             };
-            let (guard, _) = self
-                .done
-                .wait_timeout(remaining, budget)
-                .unwrap_or_else(|e| e.into_inner());
+            let (guard, _) = self.done.wait_timeout(remaining, budget);
             remaining = guard;
         }
         0
@@ -157,7 +153,7 @@ struct LatchGuard(Arc<Latch>);
 
 impl Drop for LatchGuard {
     fn drop(&mut self) {
-        let mut remaining = self.0.remaining.lock().unwrap_or_else(|e| e.into_inner());
+        let mut remaining = self.0.remaining.lock();
         *remaining = remaining.saturating_sub(1);
         if *remaining == 0 {
             self.0.done.notify_all();
@@ -274,7 +270,7 @@ impl JobManager {
             if let Err(payload) = handle.join() {
                 let message = payload
                     .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
+                    .map(std::string::ToString::to_string)
                     .or_else(|| payload.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "<non-string panic>".to_string());
                 failure.get_or_insert(Error::TaskPanicked {

@@ -189,8 +189,7 @@ impl ParallelSource<Bytes> for BrokerSource {
         let total = self
             .broker
             .topic(&self.topic)
-            .map(|t| t.partition_count())
-            .unwrap_or(0);
+            .map_or(0, |t| t.partition_count());
         let partitions = (0..total)
             .filter(|p| (*p as usize) % parallelism == subtask)
             .collect();
@@ -248,7 +247,12 @@ impl BrokerSourceInstance {
                 if appended == 0 {
                     break;
                 }
-                offset = batch.last().expect("non-empty batch").offset + 1;
+                // `appended > 0` was checked, but guard instead of panic
+                // on the connector path.
+                let Some(last) = batch.last() else {
+                    break;
+                };
+                offset = last.offset + 1;
                 payloads.extend(batch.drain(..).map(|stored| stored.record.value));
                 out.collect_batch(&mut payloads);
             }
@@ -287,7 +291,12 @@ impl BrokerSourceInstance {
                 if appended == 0 {
                     continue;
                 }
-                *position = batch.last().expect("non-empty batch").offset + 1;
+                // Guard instead of panic on the connector path; an empty
+                // batch after `appended > 0` cannot happen.
+                let Some(last) = batch.last() else {
+                    continue;
+                };
+                *position = last.offset + 1;
                 follow.emitted.fetch_add(appended as u64, Ordering::SeqCst);
                 payloads.extend(batch.drain(..).map(|stored| stored.record.value));
                 out.collect_batch(&mut payloads);

@@ -1,0 +1,15 @@
+// Fixture: a `collect_batch` that reads its input but never drains it,
+// breaking the drained-`Vec` contract (DESIGN.md §9). Linted as if at
+// `crates/rill/src/operator.rs`; must trip exactly `batch-contract`,
+// once.
+struct Probe {
+    seen: usize,
+}
+
+impl Probe {
+    fn collect_batch(&mut self, items: &mut Vec<u64>) {
+        for item in items.iter() {
+            self.seen += *item as usize;
+        }
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: a fault-injection hook reaching outside the logbus fault
+// home, where engines could start depending on injected behavior.
+// Linted as if at `crates/rill/src/runtime.rs`; must trip exactly
+// `fault-confinement`, once.
+fn sabotage(injector: &logbus::FaultInjector) {
+    let _ = injector;
+}

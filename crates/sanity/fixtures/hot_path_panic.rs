@@ -1,0 +1,10 @@
+// Fixture: a single `.unwrap()` on a hot-path module. Linted as if it
+// lived at `crates/logbus/src/broker.rs`; must trip exactly
+// `hot-path-panic`, once. The string and comment below are decoys the
+// stripper must blank.
+fn lookup(map: &std::collections::HashMap<u32, u32>) -> u32 {
+    let decoy = "this .unwrap() is inside a string and must not count";
+    // and this .expect( sits in a comment
+    let _ = decoy;
+    *map.get(&1).unwrap()
+}

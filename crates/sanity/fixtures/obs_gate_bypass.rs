@@ -1,0 +1,7 @@
+// Fixture: `obs::global()` outside the obs/bench crates bypasses the
+// runtime gate. Linted as if at `crates/rill/src/runtime.rs`; must trip
+// exactly `obs-gate`, once.
+fn peek_metrics() -> usize {
+    let registry = obs::global();
+    registry.counters().len()
+}

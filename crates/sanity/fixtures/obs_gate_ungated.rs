@@ -1,0 +1,6 @@
+// Fixture: timed telemetry on a hot path with no `obs::enabled(` check
+// within the 15-line window. Linted as if at
+// `crates/rill/src/operator.rs`; must trip exactly `obs-gate`, once.
+fn record(hist: &obs::Histogram, started: std::time::Instant) {
+    hist.observe(started.elapsed().as_micros() as u64);
+}

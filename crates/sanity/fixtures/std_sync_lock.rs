@@ -1,0 +1,14 @@
+// Fixture: a direct `std::sync::Mutex` outside `shims/`, dodging the
+// instrumented parking_lot shim. Linted as if at
+// `crates/core/src/sender.rs`; must trip exactly `std-sync-lock`, once.
+struct Shared {
+    inner: std::sync::Mutex<Vec<u8>>,
+}
+
+impl Shared {
+    fn push(&self, byte: u8) {
+        if let Ok(mut inner) = self.inner.lock() {
+            inner.push(byte);
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! The lint catalog: each lint enforces one contract DESIGN.md states in
+//! prose (§7 hot-path discipline, §8 observability gating, §9 batching
+//! contract, §10 fault confinement, §11 this tool).
+
+use crate::strip::Stripped;
+use crate::Violation;
+
+/// Hot-path modules: broker/log/handle tiers plus every engine
+/// operator/collector/connector path. A panic here can poison a
+/// measurement run, so failures must surface as typed errors.
+const HOT_PATH: &[&str] = &[
+    "crates/logbus/src/handle.rs",
+    "crates/logbus/src/log.rs",
+    "crates/logbus/src/broker.rs",
+    "crates/logbus/src/topic.rs",
+    "crates/logbus/src/segment.rs",
+    "crates/logbus/src/telemetry.rs",
+    "crates/rill/src/operator.rs",
+    "crates/rill/src/sink.rs",
+    "crates/rill/src/source.rs",
+    "crates/dstream/src/rdd.rs",
+    "crates/dstream/src/stream.rs",
+    "crates/dstream/src/source.rs",
+    "crates/apx/src/operator.rs",
+    "crates/apx/src/stream.rs",
+    "crates/apx/src/malhar.rs",
+    "crates/beamline/src/pardo.rs",
+    "crates/beamline/src/io.rs",
+    "crates/beamline/src/coder.rs",
+    "crates/beamline/src/runners/",
+    "crates/core/src/sender.rs",
+];
+
+/// Panicking constructs forbidden on hot paths.
+const PANIC_PATTERNS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+/// Files allowed to bypass the `obs::enabled()` gate: the obs crate
+/// itself and the benchmark driver's cold snapshot/reset path.
+const GATE_BYPASS_OK: &[&str] = &["crates/obs/", "crates/bench/"];
+
+/// Files where the broker's fault-injection machinery may appear; every
+/// other layer interacts with faults only through `FaultPlan`.
+const FAULT_HOME: &[&str] = &[
+    "crates/logbus/src/fault.rs",
+    "crates/logbus/src/broker.rs",
+    "crates/logbus/src/handle.rs",
+];
+
+/// How many preceding lines an `obs::enabled()` gate may sit above a
+/// telemetry recording site and still count as guarding it.
+const GATE_WINDOW: usize = 15;
+
+/// True when `rel` (unix-style, repo-relative) is a hot-path module.
+pub fn is_hot_path(rel: &str) -> bool {
+    HOT_PATH.iter().any(|p| {
+        if p.ends_with('/') {
+            rel.contains(p)
+        } else {
+            rel == *p || rel.ends_with(p)
+        }
+    })
+}
+
+fn matches_any(rel: &str, set: &[&str]) -> bool {
+    set.iter().any(|p| {
+        if p.ends_with('/') {
+            rel.contains(p)
+        } else {
+            rel == *p || rel.ends_with(p)
+        }
+    })
+}
+
+/// Runs every per-file lint over one preprocessed source file.
+pub fn lint_file(rel: &str, src: &Stripped, out: &mut Vec<Violation>) {
+    hot_path_panic(rel, src, out);
+    obs_gate(rel, src, out);
+    batch_contract(rel, src, out);
+    std_sync_lock(rel, src, out);
+    fault_confinement(rel, src, out);
+}
+
+/// `hot-path-panic`: no `unwrap()`/`expect()`/`panic!` family on hot
+/// paths (non-test code). Residue goes in `sanity.allow` with a
+/// one-line justification.
+fn hot_path_panic(rel: &str, src: &Stripped, out: &mut Vec<Violation>) {
+    if !is_hot_path(rel) {
+        return;
+    }
+    for line in src.lines.iter().filter(|l| !l.in_test) {
+        for pat in PANIC_PATTERNS {
+            if line.code.contains(pat) {
+                out.push(Violation::new(
+                    "hot-path-panic",
+                    rel,
+                    line.number,
+                    &line.raw,
+                    format!("`{pat}` on a hot-path module; return a typed error instead"),
+                ));
+            }
+        }
+    }
+}
+
+/// `obs-gate`: instrumentation must stay behind the runtime gate.
+///
+/// Two shapes: (a) `obs::global()` outside the obs crate / bench driver
+/// bypasses the gated helpers entirely; (b) a `.observe(` telemetry
+/// recording on a hot path must have `obs::enabled(` within the
+/// preceding [`GATE_WINDOW`] lines (the fast path bails before timing).
+fn obs_gate(rel: &str, src: &Stripped, out: &mut Vec<Violation>) {
+    for (idx, line) in src.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        if line.code.contains("obs::global()") && !matches_any(rel, GATE_BYPASS_OK) {
+            out.push(Violation::new(
+                "obs-gate",
+                rel,
+                line.number,
+                &line.raw,
+                "`obs::global()` bypasses the runtime gate; use the gated `obs::*` helpers"
+                    .to_string(),
+            ));
+        }
+        if line.code.contains(".observe(") && is_hot_path(rel) {
+            let gated = src.lines[idx.saturating_sub(GATE_WINDOW)..=idx]
+                .iter()
+                .any(|l| l.code.contains("obs::enabled("));
+            if !gated {
+                out.push(Violation::new(
+                    "obs-gate",
+                    rel,
+                    line.number,
+                    &line.raw,
+                    format!(
+                        "telemetry `.observe(` with no `obs::enabled()` gate in the previous \
+                         {GATE_WINDOW} lines"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `batch-contract`: every `fn collect_batch` body must drain its input
+/// (`items` comes back empty, capacity intact — DESIGN.md §9). A body
+/// that never calls `drain`/`clear`/`mem::take`/`mem::swap` and does not
+/// delegate to another `collect_batch` cannot uphold that.
+fn batch_contract(rel: &str, src: &Stripped, out: &mut Vec<Violation>) {
+    let lines = &src.lines;
+    let mut i = 0;
+    while i < lines.len() {
+        let line = &lines[i];
+        if line.in_test || !line.code.contains("fn collect_batch") {
+            i += 1;
+            continue;
+        }
+        // Find the body: brace-match from the signature's `{` (a bodyless
+        // trait signature ends in `;` first and is skipped).
+        let mut depth = 0usize;
+        let mut entered = false;
+        let mut body = String::new();
+        let mut j = i;
+        'scan: while j < lines.len() {
+            // Body text starts *after* the opening brace: the signature
+            // itself contains `collect_batch(` and must not satisfy the
+            // delegation check below.
+            for c in lines[j].code.chars() {
+                if !entered {
+                    if c == ';' {
+                        break 'scan;
+                    }
+                    if c == '{' {
+                        depth = 1;
+                        entered = true;
+                    }
+                    continue;
+                }
+                if c == '{' {
+                    depth += 1;
+                } else if c == '}' {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        break 'scan;
+                    }
+                }
+                body.push(c);
+            }
+            body.push('\n');
+            j += 1;
+        }
+        if entered {
+            // `.append(` drains its `&mut Vec` argument; `invoke_batch(`
+            // delegates to a batch consumer that owns the contract.
+            let drains = [
+                "drain(",
+                "collect_batch(",
+                "invoke_batch(",
+                ".append(",
+                ".clear()",
+                "mem::take",
+                "mem::swap",
+            ]
+            .iter()
+            .any(|p| body.contains(p));
+            if !drains {
+                out.push(Violation::new(
+                    "batch-contract",
+                    rel,
+                    line.number,
+                    &line.raw,
+                    "`collect_batch` body never drains `items`; the drained-Vec contract \
+                     (DESIGN.md §9) requires it returns empty with capacity intact"
+                        .to_string(),
+                ));
+            }
+        }
+        i = j.max(i) + 1;
+    }
+}
+
+/// `std-sync-lock`: blocking `std::sync` primitives are forbidden outside
+/// the shims — all workspace locking must go through the `parking_lot`
+/// shim so the `check-sync` lock-order checker sees every acquisition.
+fn std_sync_lock(rel: &str, src: &Stripped, out: &mut Vec<Violation>) {
+    if rel.starts_with("shims/") || rel.contains("/shims/") {
+        return;
+    }
+    for line in &src.lines {
+        let code = &line.code;
+        let names_primitive = ["Mutex", "RwLock", "Condvar", "Barrier"]
+            .iter()
+            .any(|p| code.contains(p));
+        if names_primitive && (code.contains("std::sync::") || code.contains(" sync::")) {
+            // `std::sync::atomic`, `Arc`, `OnceLock`, `mpsc` are fine.
+            out.push(Violation::new(
+                "std-sync-lock",
+                rel,
+                line.number,
+                &line.raw,
+                "blocking `std::sync` primitive outside the shims; use the `parking_lot` \
+                 shim so `check-sync` can observe the lock"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// `fault-confinement`: the fault-injection machinery (`FaultInjector`,
+/// the `fault_action`/`fault_gate` hooks) lives only in the broker
+/// layer; every other crate configures faults exclusively via
+/// `FaultPlan` installation.
+fn fault_confinement(rel: &str, src: &Stripped, out: &mut Vec<Violation>) {
+    if matches_any(rel, FAULT_HOME) {
+        return;
+    }
+    for line in src.lines.iter().filter(|l| !l.in_test) {
+        for pat in ["FaultInjector", ".fault_action(", ".fault_gate("] {
+            if line.code.contains(pat) {
+                out.push(Violation::new(
+                    "fault-confinement",
+                    rel,
+                    line.number,
+                    &line.raw,
+                    format!("`{pat}` outside the broker fault layer; inject via `FaultPlan`"),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strip::preprocess;
+
+    fn run(rel: &str, src: &str) -> Vec<Violation> {
+        let mut out = Vec::new();
+        lint_file(rel, &preprocess(src), &mut out);
+        out
+    }
+
+    #[test]
+    fn hot_path_detection() {
+        assert!(is_hot_path("crates/logbus/src/broker.rs"));
+        assert!(is_hot_path("crates/beamline/src/runners/direct.rs"));
+        assert!(!is_hot_path("crates/logbus/src/config.rs"));
+        assert!(!is_hot_path("crates/core/src/report.rs"));
+    }
+
+    #[test]
+    fn unwrap_in_test_mod_is_ignored() {
+        let src = "fn live() -> u32 { 1 }\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n";
+        assert!(run("crates/logbus/src/broker.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_outside_hot_path_is_ignored() {
+        let src = "fn f() { Some(1).unwrap(); }\n";
+        assert!(run("crates/core/src/report.rs", src).is_empty());
+    }
+
+    #[test]
+    fn gated_observe_is_clean() {
+        let src = "fn f(b: &B) {\n    if !obs::enabled() {\n        return;\n    }\n    telemetry::produce_path().observe(1);\n}\n";
+        assert!(run("crates/logbus/src/broker.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! CLI for the workspace lint pass: `cargo run -p sanity`.
+//!
+//! Walks the repository (located from `CARGO_MANIFEST_DIR`, overridable
+//! with `--root <path>`), runs every lint, applies `sanity.allow`, and
+//! exits non-zero when findings remain. CI runs this as the `sanity`
+//! job; see DESIGN.md §11.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!("usage: sanity [--root <repo-root>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`; see --help");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| {
+        std::env::var_os("CARGO_MANIFEST_DIR")
+            .map(PathBuf::from)
+            .and_then(|d| d.parent().and_then(|p| p.parent()).map(PathBuf::from))
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+
+    let violations = sanity::run(&root);
+    if violations.is_empty() {
+        println!("sanity: clean ({})", root.display());
+        return ExitCode::SUCCESS;
+    }
+    for v in &violations {
+        eprintln!("{v}");
+    }
+    eprintln!(
+        "sanity: {} violation(s); fix them or carry a justified entry in sanity.allow",
+        violations.len()
+    );
+    ExitCode::FAILURE
+}

@@ -1,0 +1,268 @@
+//! Lexical preprocessing: comment/string stripping and test-region maps.
+//!
+//! Lints must not fire on the word `panic!` inside a doc comment or a
+//! string literal, and must ignore `#[cfg(test)]` modules entirely. This
+//! module reduces a source file to a byte-parallel "stripped" view where
+//! comment and literal interiors are blanked to spaces (newlines kept),
+//! then brace-matches `#[cfg(test)]` items to mark test-only lines.
+
+/// A preprocessed source file ready for lexical lints.
+pub struct Stripped {
+    /// One entry per source line.
+    pub lines: Vec<Line>,
+}
+
+/// One line of a preprocessed file.
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// The line with comment and string interiors blanked.
+    pub code: String,
+    /// The original text (used for violation excerpts).
+    pub raw: String,
+    /// True when the line sits inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+/// Preprocesses `src` into stripped, test-annotated lines.
+pub fn preprocess(src: &str) -> Stripped {
+    let stripped = blank_comments_and_strings(src);
+    let test_ranges = test_byte_ranges(&stripped);
+
+    let mut lines = Vec::new();
+    let mut offset = 0usize;
+    for (idx, (code, raw)) in stripped.lines().zip(src.lines()).enumerate() {
+        let start = offset;
+        offset += raw.len() + 1; // `lines()` strips the newline
+        let in_test = test_ranges.iter().any(|&(a, b)| start >= a && start < b);
+        lines.push(Line {
+            number: idx + 1,
+            code: code.to_string(),
+            raw: raw.to_string(),
+            in_test,
+        });
+    }
+    Stripped { lines }
+}
+
+/// Scanner state for [`blank_comments_and_strings`].
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(usize),
+    Char,
+}
+
+/// Returns `src` with comment bodies and string/char literal interiors
+/// replaced by spaces. Newlines survive so line numbers stay aligned.
+fn blank_comments_and_strings(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut mode = Mode::Code;
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match mode {
+            Mode::Code => {
+                if c == b'/' && b.get(i + 1) == Some(&b'/') {
+                    mode = Mode::LineComment;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if c == b'/' && b.get(i + 1) == Some(&b'*') {
+                    mode = Mode::BlockComment(1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if c == b'r' && matches!(b.get(i + 1), Some(&b'"') | Some(&b'#')) {
+                    // Raw string: r"…", r#"…"#, r##"…"##, …
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while b.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if b.get(j) == Some(&b'"') {
+                        mode = Mode::RawStr(hashes);
+                        out.resize(out.len() + (j - i + 1), b' ');
+                        i = j + 1;
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                } else if c == b'"' {
+                    mode = Mode::Str;
+                    out.push(b' ');
+                    i += 1;
+                } else if c == b'\'' {
+                    // Char literal vs lifetime: a literal is '\…' or 'x'.
+                    let escaped = b.get(i + 1) == Some(&b'\\');
+                    let closed = b.get(i + 2) == Some(&b'\'');
+                    if escaped || closed {
+                        mode = Mode::Char;
+                        out.push(b' ');
+                        i += 1;
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            Mode::LineComment => {
+                if c == b'\n' {
+                    mode = Mode::Code;
+                    out.push(b'\n');
+                } else {
+                    out.push(b' ');
+                }
+                i += 1;
+            }
+            Mode::BlockComment(depth) => {
+                if c == b'/' && b.get(i + 1) == Some(&b'*') {
+                    mode = Mode::BlockComment(depth + 1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if c == b'*' && b.get(i + 1) == Some(&b'/') {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(depth - 1)
+                    };
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else {
+                    out.push(if c == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == b'\\' {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if c == b'"' {
+                    mode = Mode::Code;
+                    out.push(b' ');
+                    i += 1;
+                } else {
+                    out.push(if c == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == b'"' {
+                    let mut j = i + 1;
+                    let mut seen = 0;
+                    while seen < hashes && b.get(j) == Some(&b'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        mode = Mode::Code;
+                        out.resize(out.len() + (j - i), b' ');
+                        i = j;
+                    } else {
+                        out.push(b' ');
+                        i += 1;
+                    }
+                } else {
+                    out.push(if c == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            Mode::Char => {
+                if c == b'\\' {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if c == b'\'' {
+                    mode = Mode::Code;
+                    out.push(b' ');
+                    i += 1;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    out.truncate(b.len());
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Byte ranges of `#[cfg(test)]` items (attribute through closing brace).
+fn test_byte_ranges(stripped: &str) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    for marker in ["#[cfg(test)]", "#[cfg(all(test"] {
+        let mut from = 0;
+        while let Some(pos) = stripped[from..].find(marker) {
+            let attr_start = from + pos;
+            from = attr_start + marker.len();
+            if let Some(open_rel) = stripped[attr_start..].find('{') {
+                let open = attr_start + open_rel;
+                let close = matching_brace(stripped.as_bytes(), open);
+                ranges.push((attr_start, close));
+            }
+        }
+    }
+    ranges
+}
+
+/// Index just past the brace matching the `{` at `open` (or EOF).
+fn matching_brace(b: &[u8], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, &c) in b.iter().enumerate().skip(open) {
+        if c == b'{' {
+            depth += 1;
+        } else if c == b'}' {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+    }
+    b.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = "let x = \"panic!\"; // unwrap()\nlet y = 1; /* expect( */\n";
+        let s = blank_comments_and_strings(src);
+        assert!(!s.contains("panic!"));
+        assert!(!s.contains("unwrap"));
+        assert!(!s.contains("expect"));
+        assert!(s.contains("let x ="));
+        assert!(s.contains("let y = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = "let p = r#\"a.unwrap()\"#;\nlet q = 2;\n";
+        let s = blank_comments_and_strings(src);
+        assert!(!s.contains("unwrap"));
+        assert!(s.contains("let q = 2;"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_do_not() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }\n";
+        let s = blank_comments_and_strings(src);
+        assert!(s.contains("<'a>"));
+        assert!(!s.contains("'x'"));
+    }
+
+    #[test]
+    fn cfg_test_regions_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn live2() {}\n";
+        let p = preprocess(src);
+        assert!(!p.lines[0].in_test);
+        assert!(p.lines[2].in_test);
+        assert!(p.lines[3].in_test);
+        assert!(!p.lines[5].in_test);
+    }
+}

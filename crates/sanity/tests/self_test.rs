@@ -1,0 +1,113 @@
+//! Self-test: every fixture under `fixtures/` is a known-bad snippet
+//! that must trip exactly one lint — no more, no fewer — when linted
+//! under a representative hot-path location. Keeps the lint engine
+//! honest about both false negatives and collateral findings.
+
+use sanity::lint_source;
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Asserts the fixture trips `lint` exactly once at the pretend path.
+fn assert_trips_once(file: &str, rel: &str, lint: &str) {
+    let found = lint_source(rel, &fixture(file));
+    assert_eq!(
+        found.len(),
+        1,
+        "{file} must trip exactly one violation, got: {found:?}"
+    );
+    assert_eq!(
+        found[0].lint, lint,
+        "{file} tripped the wrong lint: {found:?}"
+    );
+}
+
+#[test]
+fn hot_path_panic_fixture() {
+    assert_trips_once(
+        "hot_path_panic.rs",
+        "crates/logbus/src/broker.rs",
+        "hot-path-panic",
+    );
+}
+
+#[test]
+fn obs_gate_bypass_fixture() {
+    assert_trips_once(
+        "obs_gate_bypass.rs",
+        "crates/rill/src/runtime.rs",
+        "obs-gate",
+    );
+}
+
+#[test]
+fn obs_gate_ungated_observe_fixture() {
+    assert_trips_once(
+        "obs_gate_ungated.rs",
+        "crates/rill/src/operator.rs",
+        "obs-gate",
+    );
+}
+
+#[test]
+fn batch_contract_fixture() {
+    assert_trips_once(
+        "batch_contract.rs",
+        "crates/rill/src/operator.rs",
+        "batch-contract",
+    );
+}
+
+#[test]
+fn std_sync_lock_fixture() {
+    assert_trips_once(
+        "std_sync_lock.rs",
+        "crates/core/src/sender.rs",
+        "std-sync-lock",
+    );
+}
+
+#[test]
+fn fault_confinement_fixture() {
+    assert_trips_once(
+        "fault_confinement.rs",
+        "crates/rill/src/runtime.rs",
+        "fault-confinement",
+    );
+}
+
+/// The fixtures are bad only *because of where they claim to live*: the
+/// same panic fixture on a cold-path module is clean, and the ungated
+/// observe is fine off the hot path. Guards against the lints becoming
+/// workspace-wide bans they were never meant to be.
+#[test]
+fn fixtures_are_location_sensitive() {
+    let cold = "crates/bench/src/report.rs";
+    assert!(
+        lint_source(cold, &fixture("hot_path_panic.rs")).is_empty(),
+        "panic lint must only bite on hot-path modules"
+    );
+    assert!(
+        lint_source(cold, &fixture("obs_gate_ungated.rs")).is_empty(),
+        "ungated observe is allowed off the hot path"
+    );
+}
+
+/// A gated observe on a hot path is clean: the idiom the lint demands.
+#[test]
+fn gated_observe_is_clean() {
+    let src = r#"
+fn record(hist: &obs::Histogram, started: std::time::Instant) {
+    if !obs::enabled() {
+        return;
+    }
+    hist.observe(started.elapsed().as_micros() as u64);
+}
+"#;
+    let found = lint_source("crates/rill/src/operator.rs", src);
+    assert!(found.is_empty(), "gated observe flagged: {found:?}");
+}

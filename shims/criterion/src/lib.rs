@@ -164,7 +164,7 @@ impl<M: measurement::Measurement> BenchmarkGroup<'_, M> {
             f(&mut bencher);
             samples.push(bencher.elapsed.as_secs_f64() / iters as f64);
         }
-        samples.sort_by(|a, b| a.total_cmp(b));
+        samples.sort_by(f64::total_cmp);
         let median = samples[samples.len() / 2];
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
 
@@ -264,7 +264,7 @@ mod tests {
             b.iter(|| {
                 runs += 1;
                 std::hint::black_box(runs)
-            })
+            });
         });
         group.finish();
         assert!(runs > 0);
@@ -281,7 +281,7 @@ mod tests {
         group.bench_function("work", |b| {
             b.iter(|| {
                 runs += 1;
-            })
+            });
         });
         assert_eq!(runs, 0, "filtered-out benchmark must not run");
     }

@@ -1,0 +1,388 @@
+//! `check-sync`: dynamic lock-order and race checking built into the shim.
+//!
+//! With the `check-sync` cargo feature enabled, every `Mutex`/`RwLock`
+//! acquisition that goes through this shim is recorded into a global
+//! **lock-order graph** (an edge `A → B` means some thread acquired `B`
+//! while holding `A`). Edges are checked eagerly: the first edge that
+//! closes a cycle — a potential deadlock, even if this particular
+//! schedule did not hang — is recorded as a violation together with the
+//! first-acquisition site of every lock on the cycle. The checker also
+//! keeps **contention** counts (acquisitions that had to block),
+//! **long-hold** maxima per lock, and a **monotonic-write witness** used
+//! by the broker's append path to detect lost-update/LWW anomalies
+//! (offsets must be strictly increasing, `LogAppendTime` non-decreasing).
+//!
+//! Everything in this module compiles away when the feature is off: the
+//! lock types carry no extra fields and the lock/unlock paths are
+//! exactly the plain `std::sync` wrappers (see `lib.rs`).
+//!
+//! The checker's own state deliberately uses `std::sync::Mutex` — it
+//! must not recurse into the instrumented shim. The workspace lint that
+//! forbids `std::sync` locks outside the shims (`cargo run -p sanity`,
+//! lint `std-sync-lock`) exempts this crate for that reason.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::panic::Location;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex as StdMutex, OnceLock};
+use std::time::Instant;
+
+/// Next lock id; ids start at 1 so 0 can mean "unassigned".
+static NEXT_ID: AtomicUsize = AtomicUsize::new(1);
+
+/// Long-hold threshold in microseconds (default 100ms; see
+/// [`set_long_hold_threshold_micros`]).
+static LONG_HOLD_MICROS: AtomicU64 = AtomicU64::new(100_000);
+
+/// One checker finding. `kind` is stable (`lock-cycle` or
+/// `non-monotonic-write`); `detail` is the human-readable evidence.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub kind: &'static str,
+    pub detail: String,
+}
+
+/// A lock that held longer than the threshold at least once.
+#[derive(Debug, Clone)]
+pub struct LongHold {
+    /// First-acquisition site of the lock.
+    pub site: String,
+    /// Longest observed hold, in microseconds.
+    pub max_micros: u64,
+}
+
+/// Contention summary for one lock.
+#[derive(Debug, Clone)]
+pub struct ContentionStat {
+    /// First-acquisition site of the lock.
+    pub site: String,
+    /// Total acquisitions.
+    pub acquisitions: u64,
+    /// Acquisitions that found the lock held and had to block.
+    pub contended: u64,
+}
+
+#[derive(Default)]
+struct CheckState {
+    /// First-acquisition site per lock id.
+    labels: HashMap<usize, &'static Location<'static>>,
+    /// Lock-order adjacency: key held while value acquired.
+    edges: HashMap<usize, HashSet<usize>>,
+    /// Dedup for edge insertion (and thus cycle re-checks).
+    edge_set: HashSet<(usize, usize)>,
+    /// Canonicalized cycles already reported.
+    reported: HashSet<Vec<usize>>,
+    violations: Vec<Violation>,
+    acquisitions: HashMap<usize, u64>,
+    contended: HashMap<usize, u64>,
+    hold_max: HashMap<usize, u64>,
+    /// Monotonic witness: highest value seen per (domain, key).
+    witness: HashMap<(&'static str, u64), u64>,
+}
+
+fn state() -> &'static StdMutex<CheckState> {
+    static STATE: OnceLock<StdMutex<CheckState>> = OnceLock::new();
+    STATE.get_or_init(|| StdMutex::new(CheckState::default()))
+}
+
+fn with_state<R>(f: impl FnOnce(&mut CheckState) -> R) -> R {
+    let mut guard = state()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    f(&mut guard)
+}
+
+thread_local! {
+    /// Lock ids currently held by this thread, in acquisition order.
+    static HELD: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Per-lock instrumentation carried by `Mutex`/`RwLock` when the
+/// feature is on. `const`-constructible so `Mutex::new` stays `const`.
+#[derive(Debug, Default)]
+pub(crate) struct LockMeta {
+    id: AtomicUsize,
+}
+
+impl LockMeta {
+    pub(crate) const fn new() -> Self {
+        LockMeta {
+            id: AtomicUsize::new(0),
+        }
+    }
+
+    /// This lock's id, assigned on first acquisition; `site` (the
+    /// caller's source location) becomes the lock's label.
+    pub(crate) fn resolve(&self, site: &'static Location<'static>) -> usize {
+        let id = self.id.load(Ordering::Relaxed);
+        if id != 0 {
+            return id;
+        }
+        let fresh = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        match self
+            .id
+            .compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => {
+                with_state(|st| st.labels.insert(fresh, site));
+                fresh
+            }
+            Err(existing) => existing,
+        }
+    }
+}
+
+/// Proof of one held acquisition; returned by [`on_acquired`], consumed
+/// by [`on_released`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HoldToken {
+    id: usize,
+    acquired: Instant,
+}
+
+impl HoldToken {
+    pub(crate) fn id(&self) -> usize {
+        self.id
+    }
+}
+
+/// Records one blocked (contended) acquisition attempt.
+pub(crate) fn note_contended(id: usize) {
+    with_state(|st| *st.contended.entry(id).or_insert(0) += 1);
+}
+
+/// Records a completed acquisition: adds lock-order edges from every
+/// lock this thread already holds, checking each new edge for cycles.
+pub(crate) fn on_acquired(id: usize) -> HoldToken {
+    HELD.with(|h| {
+        let held = h.borrow();
+        if !held.is_empty() {
+            with_state(|st| {
+                for &prev in held.iter() {
+                    if prev != id && st.edge_set.insert((prev, id)) {
+                        st.edges.entry(prev).or_default().insert(id);
+                        record_cycle_if_any(st, prev, id);
+                    }
+                }
+            });
+        }
+    });
+    HELD.with(|h| h.borrow_mut().push(id));
+    with_state(|st| *st.acquisitions.entry(id).or_insert(0) += 1);
+    HoldToken {
+        id,
+        acquired: Instant::now(),
+    }
+}
+
+/// Records a release: pops the hold stack and updates hold-time maxima.
+pub(crate) fn on_released(token: HoldToken) {
+    // `try_with`: guards may drop during thread teardown.
+    let _ = HELD.try_with(|h| {
+        let mut held = h.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|&id| id == token.id) {
+            held.remove(pos);
+        }
+    });
+    let micros = token.acquired.elapsed().as_micros() as u64;
+    with_state(|st| {
+        let max = st.hold_max.entry(token.id).or_insert(0);
+        *max = (*max).max(micros);
+    });
+}
+
+/// After inserting edge `from → to`, reports a violation if `to` can
+/// already reach `from` (the new edge closes a cycle).
+fn record_cycle_if_any(st: &mut CheckState, from: usize, to: usize) {
+    // DFS from `to` looking for `from`, tracking the path.
+    let mut path = vec![to];
+    let mut visited = HashSet::new();
+    if !dfs(&st.edges, to, from, &mut visited, &mut path) {
+        return;
+    }
+    // path = to … from; the full cycle is from → to … from.
+    let mut cycle: Vec<usize> = Vec::with_capacity(path.len() + 1);
+    cycle.push(from);
+    cycle.extend(&path);
+    // Canonicalize (rotate so the smallest id leads) for dedup.
+    let mut canonical = cycle[..cycle.len() - 1].to_vec();
+    if let Some(min_pos) = canonical
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, &id)| id)
+        .map(|(i, _)| i)
+    {
+        canonical.rotate_left(min_pos);
+    }
+    if !st.reported.insert(canonical) {
+        return;
+    }
+    let describe = |id: usize| {
+        st.labels
+            .get(&id)
+            .map_or_else(|| format!("lock#{id}"), |l| format!("{l}"))
+    };
+    let chain: Vec<String> = cycle.iter().map(|&id| describe(id)).collect();
+    st.violations.push(Violation {
+        kind: "lock-cycle",
+        detail: format!(
+            "lock-order cycle (potential deadlock): {}",
+            chain.join(" -> ")
+        ),
+    });
+}
+
+fn dfs(
+    edges: &HashMap<usize, HashSet<usize>>,
+    at: usize,
+    target: usize,
+    visited: &mut HashSet<usize>,
+    path: &mut Vec<usize>,
+) -> bool {
+    if at == target {
+        return true;
+    }
+    if !visited.insert(at) {
+        return false;
+    }
+    if let Some(next) = edges.get(&at) {
+        for &n in next {
+            path.push(n);
+            if dfs(edges, n, target, visited, path) {
+                return true;
+            }
+            path.pop();
+        }
+    }
+    false
+}
+
+/// Monotonic-write witness for last-write-wins style invariants.
+///
+/// Records `value` for `(domain, key)` and reports a
+/// `non-monotonic-write` violation when it regresses: with
+/// `strict = true` the value must strictly increase (e.g. log offsets),
+/// otherwise it must not decrease (e.g. `LogAppendTime` stamps).
+pub fn witness_monotonic(domain: &'static str, key: u64, value: u64, strict: bool) {
+    with_state(|st| {
+        match st.witness.get(&(domain, key)) {
+            Some(&prev) if value < prev || (strict && value == prev) => {
+                st.violations.push(Violation {
+                    kind: "non-monotonic-write",
+                    detail: format!(
+                        "{domain}[{key}]: wrote {value} after {prev} \
+                         ({} expected)",
+                        if strict {
+                            "strictly increasing"
+                        } else {
+                            "non-decreasing"
+                        }
+                    ),
+                });
+            }
+            _ => {
+                st.witness.insert((domain, key), value);
+            }
+        };
+    });
+}
+
+/// Sets the long-hold reporting threshold (microseconds).
+pub fn set_long_hold_threshold_micros(micros: u64) {
+    LONG_HOLD_MICROS.store(micros, Ordering::Relaxed);
+}
+
+/// All violations recorded so far (cycles and witness regressions).
+pub fn violations() -> Vec<Violation> {
+    with_state(|st| st.violations.clone())
+}
+
+/// Drains and returns the recorded violations.
+pub fn take_violations() -> Vec<Violation> {
+    with_state(|st| std::mem::take(&mut st.violations))
+}
+
+/// Locks whose longest hold exceeded the threshold, worst first.
+pub fn long_holds() -> Vec<LongHold> {
+    let threshold = LONG_HOLD_MICROS.load(Ordering::Relaxed);
+    let mut holds = with_state(|st| {
+        st.hold_max
+            .iter()
+            .filter(|&(_, &max)| max > threshold)
+            .map(|(&id, &max)| LongHold {
+                site: st
+                    .labels
+                    .get(&id)
+                    .map_or_else(|| format!("lock#{id}"), |l| format!("{l}")),
+                max_micros: max,
+            })
+            .collect::<Vec<_>>()
+    });
+    holds.sort_by_key(|h| std::cmp::Reverse(h.max_micros));
+    holds
+}
+
+/// Per-lock contention counters, most contended first.
+pub fn contention() -> Vec<ContentionStat> {
+    let mut stats = with_state(|st| {
+        st.contended
+            .iter()
+            .map(|(&id, &contended)| ContentionStat {
+                site: st
+                    .labels
+                    .get(&id)
+                    .map_or_else(|| format!("lock#{id}"), |l| format!("{l}")),
+                acquisitions: st.acquisitions.get(&id).copied().unwrap_or(0),
+                contended,
+            })
+            .collect::<Vec<_>>()
+    });
+    stats.sort_by_key(|s| std::cmp::Reverse(s.contended));
+    stats
+}
+
+/// Human-readable summary: violations, hot locks, long holds.
+pub fn report() -> String {
+    let mut out = String::new();
+    let violations = violations();
+    out.push_str(&format!("check-sync: {} violation(s)\n", violations.len()));
+    for v in &violations {
+        out.push_str(&format!("  [{}] {}\n", v.kind, v.detail));
+    }
+    let contention = contention();
+    if !contention.is_empty() {
+        out.push_str("hot locks (contended acquisitions):\n");
+        for c in contention.iter().take(8) {
+            out.push_str(&format!(
+                "  {}: {} contended / {} total\n",
+                c.site, c.contended, c.acquisitions
+            ));
+        }
+    }
+    let holds = long_holds();
+    if !holds.is_empty() {
+        out.push_str("long holds (over threshold):\n");
+        for h in holds.iter().take(8) {
+            out.push_str(&format!("  {}: {}us max\n", h.site, h.max_micros));
+        }
+    }
+    out
+}
+
+/// Panics with the full report when any violation was recorded. Suites
+/// run under `check-sync` call this as their final (`zzz`-named) test.
+pub fn assert_clean(context: &str) {
+    let found = violations();
+    assert!(
+        found.is_empty(),
+        "check-sync found {} violation(s) in {context}:\n{}",
+        found.len(),
+        report()
+    );
+}
+
+/// Clears all recorded state (unit tests only; lock ids remain unique).
+pub fn reset() {
+    with_state(|st| *st = CheckState::default());
+}

@@ -1,0 +1,186 @@
+//! Tests for the `check-sync` lock-order and race checker.
+//!
+//! Run with `cargo test -p parking_lot --features check-sync`. The
+//! checker's state is process-global, so these tests serialize on a
+//! plain `std::sync` mutex (invisible to the checker by design) and
+//! reset the recorded state at each test's start.
+
+#![cfg(feature = "check-sync")]
+
+use parking_lot::{sync_check, Condvar, Mutex, RwLock};
+
+/// Serializes tests and clears checker state; holds until test end.
+fn begin() -> std::sync::MutexGuard<'static, ()> {
+    static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let guard = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    sync_check::reset();
+    guard
+}
+
+/// An A→B / B→A acquisition order must be reported as a cycle, even
+/// though this single-threaded schedule never deadlocks.
+#[test]
+fn inverted_lock_order_reports_cycle() {
+    let _serial = begin();
+    let a = Mutex::new(0u32);
+    let b = Mutex::new(0u32);
+    {
+        let _ga = a.lock();
+        let _gb = b.lock(); // edge A -> B
+    }
+    {
+        let _gb = b.lock();
+        let _ga = a.lock(); // edge B -> A: closes the cycle
+    }
+    let found = sync_check::take_violations();
+    assert!(
+        found
+            .iter()
+            .any(|v| v.kind == "lock-cycle" && v.detail.contains("sync_check.rs")),
+        "expected a lock-cycle violation naming this file, got: {found:?}"
+    );
+}
+
+/// Consistent A→B ordering across threads is clean: the graph gains one
+/// edge and no cycle.
+#[test]
+fn consistent_order_is_clean() {
+    let _serial = begin();
+    let a = std::sync::Arc::new(Mutex::new(0u32));
+    let b = std::sync::Arc::new(Mutex::new(0u32));
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let (a, b) = (a.clone(), b.clone());
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..100 {
+                let mut ga = a.lock();
+                let mut gb = b.lock();
+                *ga += 1;
+                *gb += 1;
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(*a.lock(), 400);
+    let found = sync_check::take_violations();
+    assert!(
+        found.is_empty(),
+        "consistent ordering must not add violations: {found:?}"
+    );
+}
+
+/// RwLock acquisitions participate in the order graph too: a read-write
+/// inversion against a mutex is still a potential deadlock.
+#[test]
+fn rwlock_participates_in_order_graph() {
+    let _serial = begin();
+    let m = Mutex::new(());
+    let rw = RwLock::new(());
+    {
+        let _gm = m.lock();
+        let _gr = rw.read(); // M -> RW
+    }
+    {
+        let _gw = rw.write();
+        let _gm = m.lock(); // RW -> M: cycle
+    }
+    let found = sync_check::take_violations();
+    assert!(
+        found
+            .iter()
+            .filter(|v| v.kind == "lock-cycle")
+            .any(|v| v.detail.contains("sync_check.rs")),
+        "expected rwlock/mutex cycle, got: {found:?}"
+    );
+}
+
+/// The monotonic witness accepts ordered writes and flags regressions,
+/// honoring strict vs non-decreasing domains.
+#[test]
+fn witness_flags_regressions_only() {
+    let _serial = begin();
+    sync_check::witness_monotonic("test.nondec", 7, 10, false);
+    sync_check::witness_monotonic("test.nondec", 7, 10, false); // equal: ok
+    sync_check::witness_monotonic("test.nondec", 7, 11, false);
+    sync_check::witness_monotonic("test.strict", 7, 1, true);
+    sync_check::witness_monotonic("test.strict", 7, 2, true);
+    let clean = sync_check::violations();
+    assert!(clean.is_empty(), "ordered writes flagged: {clean:?}");
+
+    sync_check::witness_monotonic("test.nondec", 7, 5, false); // regression
+    sync_check::witness_monotonic("test.strict", 7, 2, true); // repeat under strict
+    let flagged = sync_check::take_violations();
+    assert_eq!(flagged.len(), 2, "expected both regressions: {flagged:?}");
+    assert!(flagged.iter().all(|v| v.kind == "non-monotonic-write"));
+}
+
+/// Contended acquisitions are counted and show up in the report.
+#[test]
+fn contention_is_counted() {
+    let _serial = begin();
+    let m = std::sync::Arc::new(Mutex::new(0u64));
+    let m2 = m.clone();
+    let guard = m.lock();
+    let waiter = std::thread::spawn(move || {
+        *m2.lock() += 1; // blocks until the main thread releases
+    });
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    drop(guard);
+    waiter.join().unwrap();
+    let stats = sync_check::contention();
+    assert!(
+        stats.iter().any(|s| s.contended > 0),
+        "expected at least one contended acquisition: {stats:?}"
+    );
+    assert!(sync_check::report().contains("hot locks"));
+}
+
+/// Holds longer than the (lowered) threshold are reported as long holds.
+#[test]
+fn long_holds_are_reported() {
+    let _serial = begin();
+    sync_check::set_long_hold_threshold_micros(1_000);
+    let m = Mutex::new(());
+    {
+        let _g = m.lock();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let holds = sync_check::long_holds();
+    assert!(
+        holds.iter().any(|h| h.max_micros >= 1_000),
+        "expected a long hold past 1ms: {holds:?}"
+    );
+    sync_check::set_long_hold_threshold_micros(100_000);
+}
+
+/// Condvar waits release the lock for ordering purposes, and the
+/// notification round trip still works through the instrumented guards.
+#[test]
+fn condvar_wait_releases_hold() {
+    let _serial = begin();
+    let shared = std::sync::Arc::new((Mutex::new(0u32), Condvar::new()));
+    let shared2 = shared.clone();
+    let waiter = std::thread::spawn(move || {
+        let (lock, cv) = &*shared2;
+        let mut guard = lock.lock();
+        while *guard == 0 {
+            let (next, timed_out) = cv.wait_timeout(guard, std::time::Duration::from_secs(5));
+            guard = next;
+            assert!(!timed_out, "notify never arrived");
+        }
+        *guard
+    });
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    {
+        let (lock, cv) = &*shared;
+        *lock.lock() = 42;
+        cv.notify_all();
+    }
+    assert_eq!(waiter.join().unwrap(), 42);
+    let found = sync_check::take_violations();
+    assert!(found.is_empty(), "condvar flow flagged: {found:?}");
+}
