@@ -151,10 +151,17 @@ impl KafkaOutput {
         if self.buffer.is_empty() {
             return;
         }
-        let batch = std::mem::take(&mut self.buffer);
+        // Drain in place: the window buffer's capacity is reused across
+        // every window instead of reallocating per flush.
+        let mut batch = std::mem::take(&mut self.buffer);
         if let Some(writer) = self.writer() {
-            let _ = writer.produce_batch(batch);
+            if writer.produce_batch_drain(&mut batch).is_err() {
+                batch.clear();
+            }
+        } else {
+            batch.clear();
         }
+        self.buffer = batch;
     }
 }
 

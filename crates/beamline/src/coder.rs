@@ -343,7 +343,10 @@ impl Coder<WindowedValue<Vec<u8>>> for WindowedValueCoder {
             index,
         };
         let len = get_varint(input)? as usize;
-        let value = take(input, len)?.to_vec();
+        // Decoded payload buffers come from the pool tier so boundary
+        // round trips reuse the same buffers in steady state.
+        let mut value = logbus::pool::byte_vec();
+        value.extend_from_slice(take(input, len)?);
         Ok(WindowedValue {
             value,
             timestamp,

@@ -146,11 +146,11 @@ impl RawSource for BrokerRawSource {
         };
         let coder = KafkaRecordCoder;
         // Cached per-partition handle plus one reused fetch buffer: the
-        // fetch loop resolves the topic name once, not per request. The
-        // encode scratch is likewise reused; each emitted element gets
-        // one exact-size allocation.
+        // fetch loop resolves the topic name once, not per request.
+        // Emitted payload buffers come from the pool tier the downstream
+        // stage recycles into, so steady-state emission reuses the same
+        // handful of buffers.
         let mut batch = Vec::with_capacity(self.fetch_size);
-        let mut scratch: Vec<u8> = Vec::new();
         let retry = logbus::RetryPolicy::default();
         for partition in 0..topic.partition_count() {
             // Resolution retries through transient broker faults; the
@@ -180,17 +180,20 @@ impl RawSource for BrokerRawSource {
                 };
                 offset = last.offset + 1;
                 for stored in batch.drain(..) {
+                    // Key/value move out of the fetched record — refcounted
+                    // views of segment storage, never payload copies.
                     let record = KafkaRecord {
                         topic: self.topic.clone(),
                         partition,
                         offset: stored.offset,
                         timestamp_micros: stored.timestamp.as_micros(),
-                        key: stored.record.key.clone(),
-                        value: stored.record.value.clone(),
+                        key: stored.record.key,
+                        value: stored.record.value,
                     };
-                    coder.encode_into(&record, &mut scratch);
+                    let mut buf = logbus::pool::byte_vec();
+                    coder.encode_into(&record, &mut buf);
                     emit(WindowedValue::timestamped(
-                        scratch.clone(),
+                        buf,
                         Instant(record.timestamp_micros),
                     ));
                 }

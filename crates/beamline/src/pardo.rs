@@ -17,10 +17,6 @@ pub struct ProcessContext<'a, O> {
     window: WindowRef,
     pane: PaneInfo,
     coder: &'a dyn Coder<O>,
-    /// Reused encode buffer owned by the `DoFn` instance: output encoding
-    /// never re-grows a fresh `Vec` per element — one exact-size
-    /// allocation per emitted element, zero during encoding.
-    scratch: &'a mut Vec<u8>,
     emit: RawEmit<'a>,
 }
 
@@ -41,10 +37,16 @@ impl<O: 'static> ProcessContext<'_, O> {
     }
 
     /// Emits an output element inheriting the input's metadata.
+    ///
+    /// The encoded payload buffer comes from the pool tier (and returns
+    /// to it once the consuming stage decodes the element), so
+    /// steady-state emission allocates nothing: encoding writes directly
+    /// into the emitted buffer instead of a scratch-then-copy round trip.
     pub fn output(&mut self, value: O) {
-        self.coder.encode_into(&value, self.scratch);
+        let mut buf = logbus::pool::byte_vec();
+        self.coder.encode_into(&value, &mut buf);
         (self.emit)(WindowedValue {
-            value: self.scratch.clone(),
+            value: buf,
             timestamp: self.timestamp,
             window: self.window,
             pane: self.pane,
@@ -53,9 +55,10 @@ impl<O: 'static> ProcessContext<'_, O> {
 
     /// Emits an output element with an explicit timestamp.
     pub fn output_with_timestamp(&mut self, value: O, timestamp: Instant) {
-        self.coder.encode_into(&value, self.scratch);
+        let mut buf = logbus::pool::byte_vec();
+        self.coder.encode_into(&value, &mut buf);
         (self.emit)(WindowedValue {
-            value: self.scratch.clone(),
+            value: buf,
             timestamp,
             window: self.window,
             pane: self.pane,
@@ -110,8 +113,6 @@ pub struct RawAdapter<I, O, D> {
     dofn: D,
     in_coder: Arc<dyn Coder<I>>,
     out_coder: Arc<dyn Coder<O>>,
-    /// Per-instance encode scratch reused across every output element.
-    scratch: Vec<u8>,
 }
 
 impl<I, O, D> RawAdapter<I, O, D> {
@@ -121,7 +122,6 @@ impl<I, O, D> RawAdapter<I, O, D> {
             dofn,
             in_coder,
             out_coder,
-            scratch: Vec::new(),
         }
     }
 }
@@ -141,12 +141,14 @@ where
             .in_coder
             .decode_all(&element.value)
             .expect("stage input bytes produced by the declared coder");
+        // The input's coded buffer is dead after decoding; hand it back
+        // to the pool the upstream stage's emits draw from.
+        logbus::pool::recycle_byte_vec(element.value);
         let mut ctx = ProcessContext {
             timestamp: element.timestamp,
             window: element.window,
             pane: element.pane,
             coder: &*self.out_coder,
-            scratch: &mut self.scratch,
             emit,
         };
         self.dofn.process(decoded, &mut ctx);
@@ -158,7 +160,6 @@ where
             window: WindowRef::Global,
             pane: PaneInfo::NO_FIRING,
             coder: &*self.out_coder,
-            scratch: &mut self.scratch,
             emit,
         };
         self.dofn.finish_bundle(&mut ctx);
@@ -278,7 +279,7 @@ mod tests {
     }
 
     #[test]
-    fn scratch_reuse_leaves_no_residue_between_elements() {
+    fn pooled_buffers_leave_no_residue_between_elements() {
         let dofn = FnDoFn::new(|s: String, ctx: &mut ProcessContext<'_, String>| {
             ctx.output(s);
         });
@@ -296,13 +297,17 @@ mod tests {
         let out = run_bundle(&mut adapter, inputs);
         assert_eq!(out.len(), 2);
         // The shorter second output must not carry bytes of the first:
-        // the shared scratch is cleared per element, and the emitted
-        // buffer is an exact-size copy.
+        // pooled buffers are recycled between elements, but `encode_into`
+        // clears them so each emit holds exactly one encoding. (Capacity
+        // may exceed the payload — that's the pool retaining storage.)
         assert_eq!(
             StrUtf8Coder.decode_all(&out[1].value).unwrap(),
             "x".to_string()
         );
-        assert_eq!(out[1].value.capacity(), out[1].value.len());
+        assert_eq!(
+            StrUtf8Coder.decode_all(&out[0].value).unwrap(),
+            "a-long-first-element".to_string()
+        );
     }
 
     #[test]

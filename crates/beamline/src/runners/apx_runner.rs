@@ -199,7 +199,9 @@ struct RawElementCodec;
 
 impl apx::Codec<RawElement> for RawElementCodec {
     fn encode(&self, tuple: &RawElement) -> Vec<u8> {
-        WindowedValueCoder.encode_to_vec(tuple)
+        let mut out = logbus::pool::byte_vec();
+        WindowedValueCoder.encode_into(tuple, &mut out);
+        out
     }
 
     fn decode(&self, bytes: &[u8]) -> RawElement {

@@ -316,14 +316,18 @@ impl<C: Collector<RawElement>> SerializedBoundary<C> {
 impl<C: Collector<RawElement>> Collector<RawElement> for SerializedBoundary<C> {
     fn collect(&mut self, item: RawElement) {
         let decoded = self.round_trip(&item);
+        logbus::pool::recycle_byte_vec(item.value);
         self.downstream.collect(decoded);
     }
 
     fn collect_batch(&mut self, items: &mut Vec<RawElement>) {
         // Per-element envelope round trips (the engine's per-boundary
-        // serialization), forwarded as one batch.
+        // serialization), forwarded as one batch. The pre-round-trip
+        // payload buffers recycle into the pool the decode draws from.
         for item in items.iter_mut() {
-            *item = self.round_trip(item);
+            let decoded = self.round_trip(item);
+            let old = std::mem::replace(item, decoded);
+            logbus::pool::recycle_byte_vec(old.value);
         }
         self.downstream.collect_batch(items);
     }

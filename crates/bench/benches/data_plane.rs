@@ -8,6 +8,7 @@
 //! elements through each operator body in bulk. The batched chain is
 //! expected to sustain at least 2x the per-element throughput.
 
+use beamline::{Coder, WindowedValue, WindowedValueCoder};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rill::operator::{FilterCollector, MapCollector};
 use rill::Collector;
@@ -71,6 +72,42 @@ fn data_plane(c: &mut Criterion) {
                 x = end;
             }
             chain.close();
+        });
+    });
+
+    // The coded stage boundary of the abstraction layer: every element
+    // crossing a translated stage pays one `WindowedValueCoder` encode on
+    // the producing side and one decode on the consuming side. The copy
+    // variant allocates a fresh encode buffer per element and drops the
+    // decoded payload (so the byte-vec pool drains and decode allocates
+    // too) — the shape before the pooled path. The pooled variant runs
+    // the drained steady state: encode into a pooled buffer, recycle it
+    // and the decoded payload after the crossing (DESIGN.md §12).
+    let coder = WindowedValueCoder;
+    let wv = WindowedValue::in_global_window(b"payload-0123456789abcdef".to_vec());
+    group.bench_function("coded_boundary_copy", |b| {
+        b.iter(|| {
+            let mut survived = 0u64;
+            for _ in 0..N {
+                let buf = coder.encode_to_vec(&wv);
+                let out = coder.decode_all(&buf).unwrap();
+                survived += u64::from(!out.value.is_empty());
+            }
+            survived
+        });
+    });
+    group.bench_function("coded_boundary_pooled", |b| {
+        b.iter(|| {
+            let mut buf = logbus::pool::byte_vec();
+            let mut survived = 0u64;
+            for _ in 0..N {
+                coder.encode_into(&wv, &mut buf);
+                let out = coder.decode_all(&buf).unwrap();
+                survived += u64::from(!out.value.is_empty());
+                logbus::pool::recycle_byte_vec(out.value);
+            }
+            logbus::pool::recycle_byte_vec(buf);
+            survived
         });
     });
 

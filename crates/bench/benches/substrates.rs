@@ -99,6 +99,44 @@ fn broker_hot_path(c: &mut Criterion) {
             }
         });
     });
+    // The zero-copy pair (DESIGN.md §12): an owned byte copy per record —
+    // the pattern the refcounted record path eliminates — against the
+    // pooled drained-batch contract the client tiers run in steady state.
+    let payload: &[u8] = b"payload-0123456789abcdef";
+    group.bench_function("produce_copy_per_record", |b| {
+        b.iter(|| {
+            let broker = logbus::Broker::new();
+            broker
+                .create_topic("t", logbus::TopicConfig::default())
+                .unwrap();
+            let writer = broker.partition_writer("t", 0).unwrap();
+            for _ in 0..N {
+                writer
+                    .produce(logbus::Record::from_value(payload.to_vec()))
+                    .unwrap();
+            }
+        });
+    });
+    group.bench_function("produce_drain_512", |b| {
+        b.iter(|| {
+            let broker = logbus::Broker::new();
+            broker
+                .create_topic("t", logbus::TopicConfig::default())
+                .unwrap();
+            let writer = broker.partition_writer("t", 0).unwrap();
+            let mut batch = logbus::pool::record_vec();
+            let mut sent = 0u64;
+            while sent < N {
+                let take = 512.min(N - sent);
+                for _ in 0..take {
+                    batch.push(record.clone());
+                }
+                writer.produce_batch_drain(&mut batch).unwrap();
+                sent += take;
+            }
+            logbus::pool::recycle_record_vec(batch);
+        });
+    });
     let broker = logbus::Broker::new();
     broker
         .create_topic("f", logbus::TopicConfig::default())

@@ -1,0 +1,136 @@
+//! Allocation guard for the fault-free steady-state record path.
+//!
+//! Runs only with `--features alloc-count` (its own test binary, so the
+//! counting global allocator cannot interfere with other tests):
+//!
+//! ```text
+//! cargo test -p streambench-bench --features alloc-count --test alloc_guard
+//! ```
+//!
+//! The guard drives the batched produce→fetch hot path with everything
+//! warm — pooled batch vectors, recycled segment arenas, retention
+//! turning segments over — and asserts the measured phase performs
+//! near-zero heap allocations per record. This is the enforcement half
+//! of the zero-copy record path: `Bytes` clones are refcount bumps,
+//! segment arenas draw recycled chunks from the `bytes` shim free-list,
+//! and batch vectors cycle through the `logbus` pool tier.
+#![cfg(feature = "alloc-count")]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+/// Counts allocation *events* (alloc / alloc_zeroed / realloc) on the
+/// current thread; deallocations are pass-through. Thread-local counters
+/// keep any background threads (none in this binary's steady phase) from
+/// polluting the measurement.
+struct CountingAllocator;
+
+thread_local! {
+    static ALLOC_EVENTS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn alloc_events() -> u64 {
+    ALLOC_EVENTS.with(Cell::get)
+}
+
+fn bump() {
+    ALLOC_EVENTS.with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+const BATCH: usize = 64;
+const WARMUP_ROUNDS: usize = 512;
+const MEASURED_ROUNDS: usize = 512;
+
+/// One round of the steady-state loop: refill the pooled batch with
+/// refcount-bump clones, append it through the cached writer, fetch it
+/// back into a reused buffer.
+fn round(
+    writer: &logbus::PartitionWriter,
+    reader: &logbus::PartitionReader,
+    record: &logbus::Record,
+    batch: &mut Vec<logbus::Record>,
+    fetched: &mut Vec<logbus::StoredRecord>,
+) {
+    for _ in 0..BATCH {
+        batch.push(record.clone());
+    }
+    let base = writer
+        .produce_batch_drain(batch)
+        .expect("fault-free append");
+    fetched.clear();
+    let appended = reader
+        .fetch_into(base, BATCH, fetched)
+        .expect("fetch just-appended records");
+    assert_eq!(appended, BATCH);
+}
+
+#[test]
+fn steady_state_record_path_is_allocation_free() {
+    let broker = logbus::Broker::new();
+    // Small segments plus record-count retention keep segments (and
+    // their arena chunks and record-index vectors) turning over through
+    // the pools, which is exactly the steady state being guarded.
+    broker
+        .create_topic(
+            "t",
+            logbus::TopicConfig::new()
+                .segment_bytes(16 << 10)
+                .retention_records(4_096),
+        )
+        .expect("create topic");
+    let writer = broker.partition_writer("t", 0).expect("writer");
+    let reader = broker.partition_reader("t", 0).expect("reader");
+    let record = logbus::Record::from_value("payload-0123456789abcdef");
+    let mut batch = logbus::pool::record_vec();
+    let mut fetched: Vec<logbus::StoredRecord> = Vec::with_capacity(BATCH);
+
+    // Warm-up: grow pool capacities, roll enough segments for retention
+    // to start recycling, populate the chunk free-list.
+    for _ in 0..WARMUP_ROUNDS {
+        round(&writer, &reader, &record, &mut batch, &mut fetched);
+    }
+
+    let before = alloc_events();
+    // Self-check: the counter must have seen the warm-up's allocations,
+    // otherwise the guard below would pass vacuously.
+    assert!(before > 0, "counting allocator is not wired in");
+    for _ in 0..MEASURED_ROUNDS {
+        round(&writer, &reader, &record, &mut batch, &mut fetched);
+    }
+    let events = alloc_events() - before;
+
+    let records = (MEASURED_ROUNDS * BATCH) as f64;
+    let per_record = events as f64 / records;
+    // Near-zero: whole-run slack for pool-cap spill and segment-index
+    // growth, but orders of magnitude below one allocation per record
+    // (the pre-zero-copy path paid several per record).
+    assert!(
+        per_record < 0.01,
+        "steady state should be allocation-free: {events} allocation \
+         events over {records} records ({per_record:.4}/record)"
+    );
+}

@@ -198,6 +198,32 @@ fn identity_matches_per_element_reference() {
     assert_query_equivalence(Query::Identity);
 }
 
+/// The equivalence matrix must actually exercise the pooled zero-copy
+/// data plane, not a bypass: running one cell of every implementation
+/// visibly turns the pool tier over (buffers are both reused and
+/// recycled). Guards against a refactor quietly routing the engines
+/// around the pooled batch path while the byte-equivalence still holds.
+#[test]
+fn pool_tier_is_live_during_equivalence_runs() {
+    let broker = load_input(RECORDS, SEED);
+    let (reused_before, recycled_before) = logbus::pool::stats();
+    for imp in ALL_IMPLS {
+        let topic = format!("pool-probe-{imp:?}");
+        broker.create_topic(&topic, TopicConfig::default()).unwrap();
+        execute(imp, &broker, Query::Identity, &topic, 1);
+        assert!(!outputs(&broker, &topic).is_empty());
+    }
+    let (reused_after, recycled_after) = logbus::pool::stats();
+    assert!(
+        reused_after > reused_before,
+        "equivalence runs drew no buffers from the pool tier"
+    );
+    assert!(
+        recycled_after > recycled_before,
+        "equivalence runs returned no buffers to the pool tier"
+    );
+}
+
 #[test]
 fn sample_matches_per_element_reference() {
     assert_query_equivalence(Query::Sample);

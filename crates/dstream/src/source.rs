@@ -90,7 +90,7 @@ impl BrokerBatchSource {
 
 impl BatchSource<Bytes> for BrokerBatchSource {
     fn next_batch(&mut self) -> Option<Vec<Bytes>> {
-        let mut batch = Vec::new();
+        let mut batch = Vec::with_capacity(self.max_batch_records.min(1024));
         let mut behind = false;
         for cursor in &mut self.cursors {
             if batch.len() >= self.max_batch_records || cursor.position >= cursor.end {

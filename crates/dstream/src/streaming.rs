@@ -240,7 +240,10 @@ impl DStream<Bytes> {
                 if part.is_empty() {
                     continue;
                 }
-                let records: Vec<Record> = part.into_iter().map(Record::from_value).collect();
+                // The batch Vec comes from (and returns to) the logbus
+                // pool tier; `Record::from_value` on `Bytes` is zero-copy.
+                let mut records = logbus::pool::record_vec();
+                records.extend(part.into_iter().map(Record::from_value));
                 if obs::enabled() {
                     obs::counter("dstream.sink.records").add(records.len() as u64);
                 }
@@ -251,8 +254,11 @@ impl DStream<Bytes> {
                         .map(|w| w.idempotent().with_retry(retry.clone()));
                 }
                 if let Some(w) = &writer {
-                    let _ = w.produce_batch(records);
+                    if w.produce_batch_drain(&mut records).is_err() {
+                        records.clear();
+                    }
                 }
+                logbus::pool::recycle_record_vec(records);
             }
         });
     }

@@ -75,14 +75,23 @@ impl AsyncProducer {
                 // while unresolved.
                 let mut writer: Option<PartitionWriter> = None;
                 while let Ok(first) = receiver.recv() {
+                    // Batches come from (and return to) the pool tier, so
+                    // a steady stream reuses the same handful of buffers.
                     let mut batch = match first {
-                        Queued::One(record) => vec![record],
+                        Queued::One(record) => {
+                            let mut batch = crate::pool::record_vec();
+                            batch.push(record);
+                            batch
+                        }
                         Queued::Many(records) => records,
                     };
                     while batch.len() < max_batch {
                         match receiver.try_recv() {
                             Ok(Queued::One(record)) => batch.push(record),
-                            Ok(Queued::Many(records)) => batch.extend(records),
+                            Ok(Queued::Many(mut records)) => {
+                                batch.append(&mut records);
+                                crate::pool::recycle_record_vec(records);
+                            }
                             Err(_) => break,
                         }
                     }
@@ -103,8 +112,13 @@ impl AsyncProducer {
                     // flush cannot hang. The idempotent writer retries
                     // transient faults itself and dedups lost-ack resends.
                     if let Some(w) = &writer {
-                        let _ = w.produce_batch(batch);
+                        if w.produce_batch_drain(&mut batch).is_err() {
+                            batch.clear();
+                        }
+                    } else {
+                        batch.clear();
                     }
+                    crate::pool::recycle_record_vec(batch);
                     let remaining = pending_worker.fetch_sub(shipped, Ordering::AcqRel) - shipped;
                     if obs::enabled() {
                         crate::telemetry::async_queue_depth().set(remaining as i64);
@@ -151,7 +165,8 @@ impl AsyncProducer {
         let mut shipped = 0u64;
         while !records.is_empty() {
             let take = records.len().min(self.max_batch);
-            let chunk: Vec<Record> = records.drain(..take).collect();
+            let mut chunk = crate::pool::record_vec();
+            chunk.extend(records.drain(..take));
             let len = chunk.len() as u64;
             if sender.send(Queued::Many(chunk)).is_err() {
                 self.pending.fetch_sub(total - shipped, Ordering::AcqRel);

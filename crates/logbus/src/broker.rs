@@ -265,21 +265,29 @@ impl Broker {
     /// Returns [`Error::UnknownTopic`] or [`Error::UnknownPartition`].
     pub fn produce_batch(&self, topic: &str, partition: u32, records: Vec<Record>) -> Result<u64> {
         let t = self.topic(topic)?;
-        if !obs::enabled() {
-            return self.produce_batch_faulted(&t, partition, records);
+        let mut records = records;
+        let result = if obs::enabled() {
+            let count = records.len() as u64;
+            let started = std::time::Instant::now();
+            let result = self.produce_batch_faulted(&t, partition, &mut records);
+            crate::telemetry::produce_path().observe(count, started.elapsed(), result.is_ok());
+            result
+        } else {
+            self.produce_batch_faulted(&t, partition, &mut records)
+        };
+        if result.is_ok() {
+            crate::pool::recycle_record_vec(records);
         }
-        let count = records.len() as u64;
-        let started = std::time::Instant::now();
-        let result = self.produce_batch_faulted(&t, partition, records);
-        crate::telemetry::produce_path().observe(count, started.elapsed(), result.is_ok());
         result
     }
 
+    /// Drains `records` on success (the drained-Vec contract); leaves
+    /// them intact on failure for the caller's resend.
     fn produce_batch_faulted(
         &self,
         t: &Topic,
         partition: u32,
-        records: Vec<Record>,
+        records: &mut Vec<Record>,
     ) -> Result<u64> {
         match self.fault_action(FaultOp::Produce, t.name(), partition) {
             None => {}
@@ -290,12 +298,13 @@ impl Broker {
                 return Err(Error::RequestTimedOut);
             }
             Some(FaultAction::Duplicate) => {
-                let offset = t.append_batch_delayed(
-                    partition,
-                    records.clone(),
-                    self.now(),
-                    self.request_delay(),
-                )?;
+                // Fault path: the duplicated append consumes a pooled
+                // copy, the original batch drains into the second.
+                let mut copy = crate::pool::record_vec();
+                copy.extend(records.iter().cloned());
+                let offset =
+                    t.append_batch_delayed(partition, &mut copy, self.now(), self.request_delay())?;
+                crate::pool::recycle_record_vec(copy);
                 t.append_batch_delayed(partition, records, self.now(), self.request_delay())?;
                 return Ok(offset);
             }

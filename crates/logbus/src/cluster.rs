@@ -156,14 +156,19 @@ impl Cluster {
     /// Propagates topic/partition lookup failures.
     pub fn produce_batch(&self, topic: &str, partition: u32, records: Vec<Record>) -> Result<u64> {
         let placement = self.placement(topic, partition)?;
-        let base = self.inner.brokers[placement.leader].produce_batch(
-            topic,
-            partition,
-            records.clone(),
-        )?;
+        // Per-replica copies come from the pool tier; record clones are
+        // refcount bumps, not payload copies.
+        let mut copy = crate::pool::record_vec();
+        copy.extend(records.iter().cloned());
+        let base = self.inner.brokers[placement.leader].produce_batch(topic, partition, copy)?;
         for &f in &placement.followers {
-            self.inner.brokers[f].produce_batch(topic, partition, records.clone())?;
+            let mut copy = crate::pool::record_vec();
+            copy.extend(records.iter().cloned());
+            self.inner.brokers[f].produce_batch(topic, partition, copy)?;
         }
+        let mut records = records;
+        records.clear();
+        crate::pool::recycle_record_vec(records);
         Ok(base)
     }
 

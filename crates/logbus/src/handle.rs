@@ -76,6 +76,15 @@ pub(crate) struct WriteTarget {
 /// fault-free fast path.
 type AppendFailure<R> = (Error, Option<R>);
 
+/// Clones a batch into a pooled buffer (record clones are refcount
+/// bumps; only the pointer vector would allocate, and the pool avoids
+/// even that in steady state).
+fn clone_into_pooled(records: &[Record]) -> Vec<Record> {
+    let mut copy = crate::pool::record_vec();
+    copy.extend(records.iter().cloned());
+    copy
+}
+
 impl WriteTarget {
     fn raw_append(&self, partition: u32, record: Record, seq: Option<(u64, u64)>) -> Result<u64> {
         match seq {
@@ -96,10 +105,12 @@ impl WriteTarget {
         }
     }
 
+    /// Drains `records` on success; leaves them in place on failure so
+    /// the retry loop can resend without cloning on the fault-free path.
     fn raw_append_batch(
         &self,
         partition: u32,
-        records: Vec<Record>,
+        records: &mut Vec<Record>,
         seq: Option<(u64, u64)>,
     ) -> Result<u64> {
         match seq {
@@ -155,33 +166,41 @@ impl WriteTarget {
             .map_err(|e| (e, None))
     }
 
+    /// Batch append through the fault gate. Drains `records` on success
+    /// and leaves them intact on failure — the caller's buffer *is* the
+    /// resend queue, so the fault-free path never clones.
     fn append_batch(
         &self,
         partition: u32,
-        records: Vec<Record>,
+        records: &mut Vec<Record>,
         seq: Option<(u64, u64)>,
-    ) -> std::result::Result<u64, AppendFailure<Vec<Record>>> {
+    ) -> Result<u64> {
         match self
             .broker
             .fault_action(FaultOp::Produce, self.topic.name(), partition)
         {
             None => {}
             Some(FaultAction::Latency(extra)) => spin_delay(extra),
-            Some(FaultAction::Error(e)) => return Err((e, Some(records))),
+            Some(FaultAction::Error(e)) => return Err(e),
             Some(FaultAction::AckLost) => {
-                let _ = self.raw_append_batch(partition, records.clone(), seq);
-                return Err((Error::RequestTimedOut, Some(records)));
+                // The append reaches the log but the ack is lost: the
+                // log consumes a pooled copy; the caller's records stay
+                // put for the resend. Cloning here is fine — this is the
+                // fault path.
+                let mut copy = clone_into_pooled(records);
+                let _ = self.raw_append_batch(partition, &mut copy, seq);
+                crate::pool::recycle_record_vec(copy);
+                return Err(Error::RequestTimedOut);
             }
             Some(FaultAction::Duplicate) => {
-                let offset = self
-                    .raw_append_batch(partition, records.clone(), seq)
-                    .map_err(|e| (e, None))?;
+                let mut copy = clone_into_pooled(records);
+                let offset = self.raw_append_batch(partition, &mut copy, seq)?;
+                crate::pool::recycle_record_vec(copy);
                 let _ = self.raw_append_batch(partition, records, seq);
                 return Ok(offset);
             }
         }
         self.raw_append_batch(partition, records, seq)
-            .map_err(|e| (e, None))
     }
 }
 
@@ -325,12 +344,33 @@ impl PartitionWriter {
     }
 
     /// Appends a batch — one broker-side append, one shared
-    /// `LogAppendTime` stamp — returning the leader's base offset.
+    /// `LogAppendTime` stamp — returning the leader's base offset. On
+    /// success the vector is recycled through the pool tier; callers
+    /// holding a long-lived buffer should prefer
+    /// [`PartitionWriter::produce_batch_drain`].
     ///
     /// # Errors
     ///
     /// Same as [`PartitionWriter::produce`].
     pub fn produce_batch(&self, records: Vec<Record>) -> Result<u64> {
+        let mut records = records;
+        let result = self.produce_batch_drain(&mut records);
+        if result.is_ok() {
+            crate::pool::recycle_record_vec(records);
+        }
+        result
+    }
+
+    /// Like [`PartitionWriter::produce_batch`], but **drains** the
+    /// caller's buffer: on success it comes back empty with capacity
+    /// intact (the drained-Vec contract), on failure the records remain
+    /// for the caller to resend. The steady-state path allocates
+    /// nothing.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PartitionWriter::produce`].
+    pub fn produce_batch_drain(&self, records: &mut Vec<Record>) -> Result<u64> {
         if !obs::enabled() {
             return self.produce_batch_inner(records);
         }
@@ -341,7 +381,7 @@ impl PartitionWriter {
         result
     }
 
-    fn produce_batch_inner(&self, records: Vec<Record>) -> Result<u64> {
+    fn produce_batch_inner(&self, records: &mut Vec<Record>) -> Result<u64> {
         let Some((leader, followers)) = self.targets.split_first() else {
             return Err(Error::BrokerUnavailable);
         };
@@ -352,7 +392,9 @@ impl PartitionWriter {
             _ => None,
         };
         if followers.is_empty() {
-            let mut records = records;
+            // Single-broker fast path: the batch drains straight into
+            // the log; on failure the records are still in `records`
+            // for the next attempt — no clone when nothing faults.
             let mut state = RetryState::new();
             loop {
                 match leader.append_batch(self.partition, records, seq) {
@@ -360,28 +402,27 @@ impl PartitionWriter {
                         state.note_success();
                         return Ok(offset);
                     }
-                    Err((error, recovered)) => {
-                        state.backoff_or_give_up(&self.retry, error)?;
-                        match recovered {
-                            Some(batch) => records = batch,
-                            None => return Err(Error::BrokerUnavailable),
-                        }
-                    }
+                    Err(error) => state.backoff_or_give_up(&self.retry, error)?,
                 }
             }
         }
+        // Replication path: every target consumes its own pooled copy so
+        // the caller's buffer stays intact until all replicas ack.
         let offset = crate::retry::with_retry(&self.retry, || {
-            leader
-                .append_batch(self.partition, records.clone(), seq)
-                .map_err(|(e, _)| e)
+            let mut copy = clone_into_pooled(records);
+            let result = leader.append_batch(self.partition, &mut copy, seq);
+            crate::pool::recycle_record_vec(copy);
+            result
         })?;
         for follower in followers {
             crate::retry::with_retry(&self.retry, || {
-                follower
-                    .append_batch(self.partition, records.clone(), seq)
-                    .map_err(|(e, _)| e)
+                let mut copy = clone_into_pooled(records);
+                let result = follower.append_batch(self.partition, &mut copy, seq);
+                crate::pool::recycle_record_vec(copy);
+                result
             })?;
         }
+        records.clear();
         Ok(offset)
     }
 }

@@ -70,6 +70,7 @@ mod error;
 mod fault;
 mod handle;
 mod log;
+pub mod pool;
 mod producer;
 mod record;
 mod retry;

@@ -159,6 +159,9 @@ impl PartitionLog {
             if self.len() - first_len >= limit {
                 let removed = self.segments.remove(0);
                 self.log_start_offset = removed.next_offset();
+                // Return the segment's record index to the pool; arena
+                // chunks recycle once outstanding fetch views drop.
+                removed.recycle();
             } else {
                 break;
             }

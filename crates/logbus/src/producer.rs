@@ -266,8 +266,7 @@ impl Producer {
         let buffer = state.slot(partition);
         buffer.push(record);
         if buffer.len() >= self.config.batch_records {
-            let batch = std::mem::take(buffer);
-            self.flush_batch(topic, partition, batch)?;
+            self.flush_partition(index, topic, partition)?;
         }
         Ok(())
     }
@@ -303,8 +302,7 @@ impl Producer {
                 let take = room.min(records.len());
                 buffer.extend(records.drain(..take));
                 if buffer.len() >= batch_records {
-                    let batch = std::mem::take(buffer);
-                    self.flush_batch(topic, partition, batch)?;
+                    self.flush_partition(index, topic, partition)?;
                 }
                 if records.is_empty() {
                     return Ok(());
@@ -335,8 +333,7 @@ impl Producer {
             let buffer = self.topics[index].state.slot(partition);
             buffer.push(record);
             if buffer.len() >= self.config.batch_records {
-                let batch = std::mem::take(buffer);
-                self.flush_batch(topic, partition, batch)?;
+                self.flush_partition(index, topic, partition)?;
             }
         }
         Ok(())
@@ -357,8 +354,7 @@ impl Producer {
         let buffer = self.topics[index].state.slot(partition);
         buffer.push(record);
         if buffer.len() >= self.config.batch_records {
-            let batch = std::mem::take(buffer);
-            self.flush_batch(topic, partition, batch)?;
+            self.flush_partition(index, topic, partition)?;
         }
         Ok(())
     }
@@ -375,18 +371,25 @@ impl Producer {
         self.topics.len() - 1
     }
 
-    fn flush_batch(&mut self, topic: &str, partition: u32, batch: Vec<Record>) -> Result<()> {
-        if batch.is_empty() {
-            return Ok(());
+    /// Flushes partition `partition` of topic entry `index` through its
+    /// cached writer, **draining the buffer in place** so its capacity
+    /// is reused across the producer's whole lifetime (no `mem::take`,
+    /// no fresh `Vec` per flush).
+    fn flush_partition(&mut self, index: usize, topic: &str, partition: u32) -> Result<()> {
+        let p = partition as usize;
+        {
+            let state = &self.topics[index].state;
+            if state.buffers.len() <= p || state.buffers[p].is_empty() {
+                return Ok(());
+            }
         }
-        let len = batch.len() as u64;
         self.counters.flushes.inc();
         let mirror = obs::enabled();
         if mirror {
             crate::telemetry::producer_totals().flushes.inc();
         }
-        match self.produce_batch_cached(topic, partition, batch) {
-            Ok(()) => {
+        match self.produce_slot_cached(index, topic, partition) {
+            Ok(len) => {
                 self.counters.sent.add(len);
                 if mirror {
                     crate::telemetry::producer_totals().sent.add(len);
@@ -395,55 +398,54 @@ impl Producer {
             }
             Err(e) => {
                 if self.config.acks == Acks::None {
+                    // acks=0: the batch is dropped, not retried.
+                    let buffer = &mut self.topics[index].state.buffers[p];
+                    let len = buffer.len() as u64;
+                    buffer.clear();
                     self.counters.dropped.add(len);
                     if mirror {
                         crate::telemetry::producer_totals().dropped.add(len);
                     }
                     Ok(())
                 } else {
+                    // The records stay buffered for the next flush.
                     Err(e)
                 }
             }
         }
     }
 
-    /// Appends a batch through the partition's cached writer, resolving
-    /// (and caching) the handle on first use. Resolution is retried on
-    /// every flush while it keeps failing, so records buffered before
-    /// their topic exists still land once it is created — the same
-    /// late-binding the per-call name lookup used to provide. Resolved
-    /// writers are idempotent and retry transient faults under the
-    /// configured [`RetryPolicy`](crate::RetryPolicy), so a lost ack
-    /// never duplicates the batch in the log.
-    fn produce_batch_cached(
-        &mut self,
-        topic: &str,
-        partition: u32,
-        batch: Vec<Record>,
-    ) -> Result<()> {
-        let Some(entry) = self.topics.iter_mut().find(|entry| entry.name == topic) else {
-            // Flushes only target buffered topics, but stay typed rather
-            // than panicking if that invariant ever breaks.
-            return Err(Error::UnknownTopic(topic.to_string()));
-        };
-        let state = &mut entry.state;
-        let index = partition as usize;
-        if state.writers.len() <= index {
-            state.writers.resize_with(index + 1, || None);
+    /// Appends the slot's buffered batch through the partition's cached
+    /// writer, resolving (and caching) the handle on first use.
+    /// Resolution is retried on every flush while it keeps failing, so
+    /// records buffered before their topic exists still land once it is
+    /// created — the same late-binding the per-call name lookup used to
+    /// provide. Resolved writers are idempotent and retry transient
+    /// faults under the configured [`RetryPolicy`](crate::RetryPolicy),
+    /// so a lost ack never duplicates the batch in the log. Returns the
+    /// number of records flushed.
+    fn produce_slot_cached(&mut self, index: usize, topic: &str, partition: u32) -> Result<u64> {
+        let state = &mut self.topics[index].state;
+        let p = partition as usize;
+        if state.writers.len() <= p {
+            state.writers.resize_with(p + 1, || None);
         }
-        if state.writers[index].is_none() {
+        if state.writers[p].is_none() {
             let retry = &self.config.retry;
             let bus = self.bus.as_ref();
             let writer =
                 crate::retry::with_retry(retry, || bus.partition_writer(topic, partition))?
                     .idempotent()
                     .with_retry(retry.clone());
-            state.writers[index] = Some(writer);
+            state.writers[p] = Some(writer);
         }
-        let Some(writer) = state.writers[index].as_ref() else {
+        let Some(writer) = state.writers[p].as_ref() else {
             return Err(Error::BrokerUnavailable);
         };
-        writer.produce_batch(batch).map(drop)
+        let buffer = &mut state.buffers[p];
+        let len = buffer.len() as u64;
+        writer.produce_batch_drain(buffer)?;
+        Ok(len)
     }
 
     fn absorb(&mut self, e: Error) -> Result<()> {
@@ -468,8 +470,7 @@ impl Producer {
             let topic = self.topics[i].name.clone();
             let partitions = self.topics[i].state.buffers.len();
             for p in 0..partitions {
-                let batch = std::mem::take(&mut self.topics[i].state.buffers[p]);
-                self.flush_batch(&topic, p as u32, batch)?;
+                self.flush_partition(i, &topic, p as u32)?;
             }
         }
         Ok(())

@@ -71,7 +71,10 @@ impl Header {
 /// A record as handed to a [`Producer`](crate::Producer).
 ///
 /// Records are cheap to clone: key and value are reference-counted
-/// [`Bytes`].
+/// [`Bytes`]. Construction from owned data (`Vec<u8>`, `String`,
+/// `Bytes`) is zero-copy — the `Bytes` shim takes over the allocation
+/// rather than copying it — so only the borrowed [`From<&str>`]
+/// conversion pays a copy.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Record {
     /// Optional partitioning key.
@@ -141,14 +144,17 @@ impl Record {
 }
 
 impl From<&str> for Record {
+    /// Copies: the source is borrowed. Prefer `From<String>` /
+    /// `From<Bytes>` on hot paths — those never copy.
     fn from(value: &str) -> Self {
-        Record::from_value(value.as_bytes().to_vec())
+        Record::from_value(Bytes::copy_from_slice(value.as_bytes()))
     }
 }
 
 impl From<String> for Record {
+    /// Zero-copy: the `String`'s allocation becomes the record value.
     fn from(value: String) -> Self {
-        Record::from_value(value.into_bytes())
+        Record::from_value(Bytes::from(value))
     }
 }
 
@@ -232,6 +238,23 @@ mod tests {
             .with_header(Header::new("h", "vv"))
             .wire_size();
         assert_eq!(with_header, with_key + 1 + 2 + 8);
+    }
+
+    #[test]
+    fn owned_construction_is_zero_copy() {
+        let v = vec![1u8; 16];
+        let ptr = v.as_ptr();
+        let r = Record::from_value(v);
+        assert_eq!(r.value.as_ptr(), ptr, "Vec allocation must be taken over");
+
+        let s = String::from("zero-copy-string");
+        let ptr = s.as_ptr();
+        let r: Record = s.into();
+        assert_eq!(
+            r.value.as_ptr(),
+            ptr,
+            "String allocation must be taken over"
+        );
     }
 
     #[test]

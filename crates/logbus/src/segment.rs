@@ -1,27 +1,69 @@
 //! Log segments: contiguous runs of records within a partition log.
 
+use crate::pool;
 use crate::record::{StoredRecord, Timestamp};
+use bytes::{Bytes, BytesMut};
+
+/// Arena chunk size: appended payloads pack into contiguous refcounted
+/// chunks of this size, so per-record storage costs one `memcpy` and
+/// zero allocations in steady state (chunks recycle through the `bytes`
+/// shim's free-list once the segment and all fetched views drop).
+const ARENA_CHUNK: usize = 64 << 10;
+
+/// Payloads larger than this spill: the segment keeps the producer's
+/// refcounted buffer as-is instead of copying it into the arena, so one
+/// jumbo record cannot blow up arena chunk sizing.
+const ARENA_SPILL: usize = 16 << 10;
 
 /// A contiguous, append-only run of records starting at `base_offset`.
 ///
 /// Partition logs are divided into segments (as in Kafka) so that retention
 /// can drop whole segments cheaply and so that offset lookups stay fast on
 /// long logs.
-#[derive(Debug, Clone, Default)]
+///
+/// Each segment owns an arena of refcounted byte chunks: appended record
+/// keys and values are packed into the arena and stored as zero-copy
+/// [`Bytes`] views of it, so fetches hand out slices of segment storage
+/// without copying — the zero-copy fetch contract (DESIGN.md §12).
+#[derive(Debug, Default)]
 pub struct Segment {
     base_offset: u64,
     records: Vec<StoredRecord>,
+    arena: BytesMut,
     bytes: usize,
 }
 
 impl Segment {
     /// Creates an empty segment whose first record will get `base_offset`.
+    /// The record index comes from the pool tier; arena chunks are
+    /// acquired lazily on first append.
     pub fn new(base_offset: u64) -> Self {
         Segment {
             base_offset,
-            records: Vec::new(),
+            records: pool::stored_vec(),
+            arena: BytesMut::new(),
             bytes: 0,
         }
+    }
+
+    /// Packs `data` into the segment arena, returning a zero-copy view.
+    /// Static and oversize payloads pass through untouched.
+    fn pack(&mut self, data: Bytes) -> Bytes {
+        if data.is_empty() || data.is_static() || data.len() > ARENA_SPILL {
+            return data;
+        }
+        if self.arena.capacity() < data.len() {
+            // Roll to a fresh pooled chunk; views into the old chunk keep
+            // it alive, and it recycles when the last of them drops.
+            self.arena = BytesMut::with_capacity(ARENA_CHUNK);
+        }
+        self.arena.pack(&data)
+    }
+
+    /// Tears the segment down, returning its record index to the pool.
+    /// Arena chunks recycle on their own once every fetched view drops.
+    pub fn recycle(mut self) {
+        pool::recycle_stored_vec(std::mem::take(&mut self.records));
     }
 
     /// Offset of the first record (present or future) in this segment.
@@ -57,13 +99,20 @@ impl Segment {
     /// partition log maintains this invariant.
     ///
     /// [`next_offset`]: Segment::next_offset
-    pub fn append(&mut self, record: StoredRecord) {
+    pub fn append(&mut self, mut record: StoredRecord) {
         assert_eq!(
             record.offset,
             self.next_offset(),
             "segment append must be contiguous"
         );
         self.bytes += record.record.wire_size();
+        // Pack payloads into the arena: the producer's buffer can be
+        // recycled immediately while fetches serve refcounted views of
+        // contiguous segment storage.
+        record.record.value = self.pack(record.record.value);
+        if let Some(key) = record.record.key.take() {
+            record.record.key = Some(self.pack(key));
+        }
         self.records.push(record);
     }
 
@@ -177,6 +226,71 @@ mod tests {
             seg.bytes(),
             Record::from_value("aa").wire_size() + Record::from_value("bbb").wire_size()
         );
+    }
+
+    #[test]
+    fn arena_packs_values_contiguously() {
+        let mut seg = Segment::new(0);
+        seg.append(stored(0, 1, "alpha"));
+        seg.append(stored(1, 2, "beta"));
+        let a = seg.get(0).unwrap().value();
+        let b = seg.get(1).unwrap().value();
+        assert_eq!(&a[..], b"alpha");
+        assert_eq!(&b[..], b"beta");
+        // Both payloads live back-to-back in one arena chunk.
+        assert_eq!(a.as_ptr() as usize + a.len(), b.as_ptr() as usize);
+    }
+
+    #[test]
+    fn arena_packs_keys_too() {
+        let mut seg = Segment::new(0);
+        seg.append(StoredRecord {
+            offset: 0,
+            timestamp: Timestamp::from_micros(1),
+            record: Record::from_key_value(b"key".to_vec(), b"value".to_vec()),
+        });
+        let rec = seg.get(0).unwrap();
+        assert_eq!(&rec.key().unwrap()[..], b"key");
+        // Value packs first, then key: both land in the same chunk.
+        assert_eq!(
+            rec.value().as_ptr() as usize + rec.value().len(),
+            rec.key().unwrap().as_ptr() as usize,
+            "key and value pack into the same chunk"
+        );
+    }
+
+    #[test]
+    fn oversize_payloads_spill_without_copy() {
+        let big = vec![7u8; super::ARENA_SPILL + 1];
+        let bytes = bytes::Bytes::from(big);
+        let ptr = bytes.as_ptr();
+        let mut seg = Segment::new(0);
+        seg.append(StoredRecord {
+            offset: 0,
+            timestamp: Timestamp::from_micros(1),
+            record: Record::from_value(bytes),
+        });
+        assert_eq!(seg.get(0).unwrap().value().as_ptr(), ptr, "no copy");
+    }
+
+    #[test]
+    fn static_payloads_pass_through() {
+        let mut seg = Segment::new(0);
+        seg.append(StoredRecord {
+            offset: 0,
+            timestamp: Timestamp::from_micros(1),
+            record: Record::from_value(bytes::Bytes::from_static(b"static")),
+        });
+        assert!(seg.get(0).unwrap().value().is_static());
+    }
+
+    #[test]
+    fn fetched_views_survive_segment_recycle() {
+        let mut seg = Segment::new(0);
+        seg.append(stored(0, 1, "survivor"));
+        let view = seg.get(0).unwrap().value().clone();
+        seg.recycle();
+        assert_eq!(&view[..], b"survivor");
     }
 
     #[test]

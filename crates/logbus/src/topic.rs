@@ -152,10 +152,13 @@ impl Topic {
     /// # Errors
     ///
     /// Returns [`Error::UnknownPartition`] for out-of-range partitions.
+    /// Drains `records` (the drained-Vec contract: the batch comes back
+    /// empty with its capacity intact, even when the broker skips a
+    /// duplicate), so producer buffers recycle instead of reallocating.
     pub(crate) fn append_batch_sequenced_delayed(
         &self,
         partition: u32,
-        records: Vec<Record>,
+        records: &mut Vec<Record>,
         now: Timestamp,
         delay: std::time::Duration,
         producer_id: u64,
@@ -165,11 +168,14 @@ impl Topic {
         let mut log = lock.write();
         spin_delay(delay);
         if let Some(base) = log.duplicate_of(producer_id, first_seq) {
+            // The broker already holds these records; the retried batch
+            // is accepted (and therefore drained) without re-appending.
+            records.clear();
             return Ok(base);
         }
         let append_stamp = log.last_timestamp().map_or(now, |last| now.max(last));
         let base = log.next_offset();
-        for record in records {
+        for record in records.drain(..) {
             let stamp = match self.config.timestamp_type {
                 TimestampType::LogAppendTime => append_stamp,
                 TimestampType::CreateTime => record.timestamp.unwrap_or(now),
@@ -194,11 +200,21 @@ impl Topic {
         records: Vec<Record>,
         now: Timestamp,
     ) -> Result<u64> {
-        self.append_batch_delayed(partition, records, now, std::time::Duration::ZERO)
+        let mut records = records;
+        let result =
+            self.append_batch_delayed(partition, &mut records, now, std::time::Duration::ZERO);
+        if result.is_ok() {
+            crate::pool::recycle_record_vec(records);
+        }
+        result
     }
 
     /// Like [`Topic::append_batch`], holding the partition's append lock
     /// for an extra `delay` first (see [`Topic::append_delayed`]).
+    ///
+    /// Drains `records`: on success the batch comes back empty with its
+    /// capacity intact, so steady-state producers flush the same buffer
+    /// forever; on failure the records are left in place for the resend.
     ///
     /// # Errors
     ///
@@ -206,7 +222,7 @@ impl Topic {
     pub fn append_batch_delayed(
         &self,
         partition: u32,
-        records: Vec<Record>,
+        records: &mut Vec<Record>,
         now: Timestamp,
         delay: std::time::Duration,
     ) -> Result<u64> {
@@ -217,7 +233,7 @@ impl Topic {
         // (see `append_delayed` for why the clamp happens under the lock).
         let append_stamp = log.last_timestamp().map_or(now, |last| now.max(last));
         let base = log.next_offset();
-        for record in records {
+        for record in records.drain(..) {
             let stamp = match self.config.timestamp_type {
                 TimestampType::LogAppendTime => append_stamp,
                 TimestampType::CreateTime => record.timestamp.unwrap_or(now),

@@ -140,6 +140,47 @@ proptest! {
             last_stamp = stamp;
         }
     }
+
+    /// The pooled drain-batch path is exactly-once under any plan: each
+    /// batch drains out of the reused pool vector on success (fault
+    /// recovery happens inside the idempotent writer), the vector leaks
+    /// nothing across batches, and the log holds exactly the sent stream.
+    #[test]
+    fn pooled_drain_batches_are_exactly_once_under_faults(
+        plan in arb_plan(),
+        values in arb_values(),
+        batch in 1usize..24,
+    ) {
+        let broker = Broker::new();
+        broker.create_topic("t", TopicConfig::default()).unwrap();
+        let writer = broker
+            .partition_writer("t", 0)
+            .unwrap()
+            .idempotent()
+            .with_retry(logbus::RetryPolicy::default());
+        broker.install_fault_plan(plan);
+
+        // One pool vector reused for every batch — the producer-tier
+        // steady state.
+        let mut buffer = logbus::pool::record_vec();
+        for chunk in values.chunks(batch) {
+            prop_assert!(buffer.is_empty(), "nothing leaks across batches");
+            for v in chunk {
+                buffer.push(Record::from_value(v.to_le_bytes().to_vec()));
+            }
+            writer.produce_batch_drain(&mut buffer).unwrap();
+            prop_assert!(buffer.is_empty(), "success drains the batch");
+        }
+        broker.clear_fault_plan();
+        logbus::pool::recycle_record_vec(buffer);
+
+        let stored = broker.fetch("t", 0, 0, values.len() + 64).unwrap();
+        prop_assert_eq!(stored.len(), values.len(), "exactly-once");
+        for (i, (s, v)) in stored.iter().zip(&values).enumerate() {
+            prop_assert_eq!(s.offset, i as u64);
+            prop_assert_eq!(&s.record.value[..], &v.to_le_bytes()[..]);
+        }
+    }
 }
 
 /// End-of-suite gate for the `check-sync` build: after every chaos

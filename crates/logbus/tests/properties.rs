@@ -158,4 +158,66 @@ proptest! {
             prop_assert_eq!(&stored.record.value[..], expected.as_bytes());
         }
     }
+
+    /// Interleaved append/fetch over recycled segment storage never
+    /// aliases across records: views fetched in one round are pinned
+    /// while retention recycles old segments and later appends draw the
+    /// same arena chunks and batch vectors back out of the pools. Every
+    /// pinned view must still hold the exact bytes it held when fetched.
+    #[test]
+    fn recycled_segment_buffers_never_alias_live_views(
+        rounds in 4usize..20,
+        batch in 1usize..32,
+        payload_len in 1usize..160,
+    ) {
+        let broker = Broker::new();
+        // Tiny segments + tight retention force constant segment
+        // turnover, so arena chunks and record vectors recycle while
+        // some fetched views stay alive.
+        broker
+            .create_topic(
+                "t",
+                TopicConfig::default()
+                    .segment_bytes(512)
+                    .retention_records(64),
+            )
+            .unwrap();
+        let writer = broker.partition_writer("t", 0).unwrap();
+        let reader = broker.partition_reader("t", 0).unwrap();
+        // (offset, snapshot at fetch time, live zero-copy view)
+        let mut held: Vec<(u64, Vec<u8>, bytes::Bytes)> = Vec::new();
+        let mut fetch_buffer = Vec::new();
+        for round in 0..rounds {
+            let mut records = logbus::pool::record_vec();
+            for i in 0..batch {
+                // Distinct fill per record so aliasing is detectable.
+                let fill = (round * 37 + i * 5 + 1) as u8;
+                records.push(Record::from_value(vec![fill; payload_len]));
+            }
+            let base = writer.produce_batch_drain(&mut records).unwrap();
+            logbus::pool::recycle_record_vec(records);
+            fetch_buffer.clear();
+            reader.fetch_into(base, batch, &mut fetch_buffer).unwrap();
+            prop_assert_eq!(fetch_buffer.len(), batch);
+            // Pin every other round's views; drop the rest so their
+            // chunks actually return to the pool and get reused.
+            if round % 2 == 0 {
+                for stored in fetch_buffer.drain(..) {
+                    held.push((
+                        stored.offset,
+                        stored.record.value.to_vec(),
+                        stored.record.value,
+                    ));
+                }
+            }
+        }
+        for (offset, snapshot, view) in &held {
+            prop_assert_eq!(
+                &view[..],
+                &snapshot[..],
+                "view at offset {} changed after segment recycling",
+                offset
+            );
+        }
+    }
 }

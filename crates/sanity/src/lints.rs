@@ -85,6 +85,7 @@ pub fn lint_file(rel: &str, src: &Stripped, out: &mut Vec<Violation>) {
     batch_contract(rel, src, out);
     std_sync_lock(rel, src, out);
     fault_confinement(rel, src, out);
+    zero_copy(rel, src, out);
 }
 
 /// `hot-path-panic`: no `unwrap()`/`expect()`/`panic!` family on hot
@@ -277,6 +278,47 @@ fn fault_confinement(rel: &str, src: &Stripped, out: &mut Vec<Violation>) {
     }
 }
 
+/// Payload-copying constructs forbidden on hot paths (DESIGN.md §12):
+/// record keys/values are refcounted `Bytes` slices of segment storage,
+/// so the fault-free plane moves and refcount-bumps them — it never
+/// materializes an owned byte copy per record.
+const COPY_PATTERNS: &[&str] = &[
+    ".to_vec()",
+    ".to_owned()",
+    "Bytes::copy_from_slice(",
+    ".value.clone()",
+    ".key.clone()",
+];
+
+/// `zero-copy`: no per-record payload copies on hot-path modules.
+///
+/// `Bytes` clones are refcount bumps and stay legal; what this bans is
+/// converting a payload back into an owned `Vec`/`String`
+/// (`.to_vec()`, `.to_owned()`, `Bytes::copy_from_slice`) or cloning a
+/// record's key/value field where a move would do. Justified residue
+/// goes in `sanity.allow`.
+fn zero_copy(rel: &str, src: &Stripped, out: &mut Vec<Violation>) {
+    if !is_hot_path(rel) {
+        return;
+    }
+    for line in src.lines.iter().filter(|l| !l.in_test) {
+        for pat in COPY_PATTERNS {
+            if line.code.contains(pat) {
+                out.push(Violation::new(
+                    "zero-copy",
+                    rel,
+                    line.number,
+                    &line.raw,
+                    format!(
+                        "`{pat}` copies payload bytes on a hot-path module; move the \
+                         refcounted `Bytes` (or slice the arena) instead"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,5 +354,31 @@ mod tests {
     fn gated_observe_is_clean() {
         let src = "fn f(b: &B) {\n    if !obs::enabled() {\n        return;\n    }\n    telemetry::produce_path().observe(1);\n}\n";
         assert!(run("crates/logbus/src/broker.rs", src).is_empty());
+    }
+
+    #[test]
+    fn payload_copy_on_hot_path_is_flagged() {
+        let src = "fn f(r: &Record) -> Vec<u8> { r.value.to_vec() }\n";
+        let found = run("crates/logbus/src/segment.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].lint, "zero-copy");
+        let src = "fn f(r: &Record) -> Bytes { r.value.clone() }\n";
+        assert_eq!(run("crates/logbus/src/segment.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn payload_copy_off_hot_path_or_in_tests_is_ignored() {
+        let src = "fn f(r: &Record) -> Vec<u8> { r.value.to_vec() }\n";
+        assert!(run("crates/logbus/src/config.rs", src).is_empty());
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(r: &Record) { r.value.to_vec(); }\n}\n";
+        assert!(run("crates/logbus/src/segment.rs", src).is_empty());
+    }
+
+    #[test]
+    fn bytes_refcount_clone_is_clean() {
+        // Cloning a whole `Bytes` binding (refcount bump) stays legal;
+        // only field-level key/value clones and owned conversions flag.
+        let src = "fn f(b: &Bytes) -> Bytes { b.clone() }\n";
+        assert!(run("crates/logbus/src/segment.rs", src).is_empty());
     }
 }

@@ -1,13 +1,138 @@
-//! Offline shim for the `bytes::Bytes` API subset used by this
-//! workspace: a cheaply-cloneable, sliceable, immutable byte container.
+//! Offline shim for the `bytes` API subset used by this workspace:
+//! [`Bytes`], a cheaply-cloneable, sliceable, immutable byte container,
+//! and [`BytesMut`], an append-only builder whose frozen prefixes become
+//! zero-copy `Bytes` views of one shared allocation.
+//!
+//! # Storage model
 //!
 //! Backing storage is either a `&'static [u8]` (zero-cost
-//! [`Bytes::from_static`]) or a reference-counted `Arc<[u8]>`; clones and
-//! slices share storage and never copy.
+//! [`Bytes::from_static`]) or a reference-counted raw buffer taken
+//! directly from a `Vec<u8>` without copying ([`Bytes::from`] /
+//! [`BytesMut`]); clones and slices share storage and never copy.
+//!
+//! # Safety invariant
+//!
+//! All `unsafe` in the workspace's byte path is confined to this shim.
+//! A [`Shared`] buffer may be referenced by any number of read-only
+//! `Bytes` views plus at most one writer region per disjoint
+//! `[off, cap_end)` window owned by a `BytesMut`:
+//!
+//! * a `Bytes` view covers only bytes that were fully initialized
+//!   *before* the view was created, and those bytes are never written
+//!   again (freezing advances the writer's base past them);
+//! * a `BytesMut` writes only at `off + len ..`, strictly beyond every
+//!   frozen view and disjoint from every sibling produced by
+//!   [`BytesMut::split_to`].
+//!
+//! Reads and writes therefore never overlap, so no `&`/`&mut` aliasing
+//! or data race can occur even when views live on other threads.
+//!
+//! # Chunk pool
+//!
+//! Dropping the last reference to a shared buffer returns its
+//! allocation to a small capped free-list instead of the global
+//! allocator; [`BytesMut::with_capacity`] takes from the same list.
+//! In steady state (all buffers recycled through the pool) the byte
+//! path performs zero heap allocations. See [`pool_stats`].
 
 use std::hash::{Hash, Hasher};
 use std::ops::{Bound, Deref, RangeBounds};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Smallest buffer capacity worth keeping in the recycle pool.
+const POOL_MIN_CAP: usize = 1024;
+/// Largest buffer capacity the pool will retain (oversize chunks are
+/// freed rather than hoarded).
+const POOL_MAX_CAP: usize = 8 << 20;
+/// Maximum number of idle chunks retained; beyond this the allocator
+/// takes them back.
+const POOL_MAX_CHUNKS: usize = 64;
+
+/// Free-list of retired backing buffers, shared across threads: buffers
+/// can be dropped on a different thread than the one that filled them
+/// (consumer vs. producer), so the pool must be global. It is locked
+/// once per *chunk*, never per record.
+static CHUNK_POOL: Mutex<Vec<Vec<u8>>> = Mutex::new(Vec::new());
+static POOL_REUSED: AtomicUsize = AtomicUsize::new(0);
+static POOL_RECLAIMED: AtomicUsize = AtomicUsize::new(0);
+
+/// (buffers handed back out of the pool, buffers returned to the pool)
+/// since process start. Test/diagnostic hook for asserting the recycle
+/// path is live.
+pub fn pool_stats() -> (usize, usize) {
+    (
+        POOL_REUSED.load(Ordering::Relaxed),
+        POOL_RECLAIMED.load(Ordering::Relaxed),
+    )
+}
+
+fn pool_acquire(cap: usize) -> Vec<u8> {
+    if cap >= POOL_MIN_CAP {
+        if let Ok(mut pool) = CHUNK_POOL.lock() {
+            if let Some(idx) = pool.iter().position(|v| v.capacity() >= cap) {
+                let v = pool.swap_remove(idx);
+                POOL_REUSED.fetch_add(1, Ordering::Relaxed);
+                return v;
+            }
+        }
+    }
+    Vec::with_capacity(cap)
+}
+
+fn pool_reclaim(v: Vec<u8>) {
+    let cap = v.capacity();
+    if (POOL_MIN_CAP..=POOL_MAX_CAP).contains(&cap) {
+        if let Ok(mut pool) = CHUNK_POOL.lock() {
+            if pool.len() < POOL_MAX_CHUNKS {
+                POOL_RECLAIMED.fetch_add(1, Ordering::Relaxed);
+                let mut v = v;
+                v.clear();
+                pool.push(v);
+            }
+        }
+    }
+}
+
+/// A refcounted heap buffer: the raw parts of a `Vec<u8>` whose
+/// allocation is returned to the chunk pool when the last reference
+/// (every `Bytes` view and `BytesMut` writer) drops.
+struct Shared {
+    ptr: *mut u8,
+    cap: usize,
+}
+
+// SAFETY: `Shared` is an owning handle to a heap allocation; access
+// discipline (disjoint read/write regions) is enforced by the
+// `Bytes`/`BytesMut` API per the module-level invariant.
+unsafe impl Send for Shared {}
+unsafe impl Sync for Shared {}
+
+impl Shared {
+    fn from_vec(mut v: Vec<u8>) -> Arc<Shared> {
+        let ptr = v.as_mut_ptr();
+        let cap = v.capacity();
+        std::mem::forget(v);
+        Arc::new(Shared { ptr, cap })
+    }
+
+    /// The canonical zero-capacity buffer, shared so `BytesMut::new()`
+    /// never allocates.
+    fn empty() -> Arc<Shared> {
+        static EMPTY: OnceLock<Arc<Shared>> = OnceLock::new();
+        EMPTY.get_or_init(|| Shared::from_vec(Vec::new())).clone()
+    }
+}
+
+impl Drop for Shared {
+    fn drop(&mut self) {
+        // SAFETY: `ptr`/`cap` came from a forgotten `Vec<u8>`; length 0
+        // is always valid and sidesteps any question of which bytes are
+        // initialized. Reconstructing hands the allocation back.
+        let v = unsafe { Vec::from_raw_parts(self.ptr, 0, self.cap) };
+        pool_reclaim(v);
+    }
+}
 
 /// A cheaply-cloneable immutable byte buffer.
 #[derive(Clone)]
@@ -20,7 +145,7 @@ pub struct Bytes {
 #[derive(Clone)]
 enum Storage {
     Static(&'static [u8]),
-    Shared(Arc<[u8]>),
+    Shared(Arc<Shared>),
 }
 
 impl Bytes {
@@ -42,7 +167,8 @@ impl Bytes {
         }
     }
 
-    /// Copies `data` into a new shared buffer.
+    /// Copies `data` into a new shared buffer (the one constructor that
+    /// copies, for callers that only have a borrowed slice).
     pub fn copy_from_slice(data: &[u8]) -> Self {
         Bytes::from(data.to_vec())
     }
@@ -55,6 +181,11 @@ impl Bytes {
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
         self.start == self.end
+    }
+
+    /// Whether this view is backed by `&'static` storage (no refcount).
+    pub fn is_static(&self) -> bool {
+        matches!(self.data, Storage::Static(_))
     }
 
     /// Returns a sub-buffer sharing this buffer's storage.
@@ -86,17 +217,45 @@ impl Bytes {
         }
     }
 
+    /// Returns a view of `subset` sharing this buffer's storage, where
+    /// `subset` must be a sub-slice of `self` (same allocation). The
+    /// zero-copy escape hatch for decode paths that walk a `&[u8]`
+    /// cursor over a `Bytes` and want to keep a piece without copying.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `subset` does not lie inside `self`'s bounds.
+    pub fn slice_ref(&self, subset: &[u8]) -> Self {
+        if subset.is_empty() {
+            return Bytes::new();
+        }
+        let full = self.as_slice();
+        let full_start = full.as_ptr() as usize;
+        let sub_start = subset.as_ptr() as usize;
+        assert!(
+            sub_start >= full_start && sub_start + subset.len() <= full_start + full.len(),
+            "slice_ref: subset is not contained in this Bytes"
+        );
+        let off = sub_start - full_start;
+        self.slice(off..off + subset.len())
+    }
+
     /// Copies the contents into a new `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_slice().to_vec()
     }
 
     fn as_slice(&self) -> &[u8] {
-        let full: &[u8] = match &self.data {
-            Storage::Static(s) => s,
-            Storage::Shared(a) => a,
-        };
-        &full[self.start..self.end]
+        match &self.data {
+            Storage::Static(s) => &s[self.start..self.end],
+            // SAFETY: per the module invariant, `[start, end)` was fully
+            // initialized before this view existed and is never written
+            // while any view of it is alive; the `Arc` keeps the
+            // allocation alive for `&self`'s lifetime.
+            Storage::Shared(a) => unsafe {
+                std::slice::from_raw_parts(a.ptr.add(self.start), self.end - self.start)
+            },
+        }
     }
 }
 
@@ -127,10 +286,11 @@ impl std::borrow::Borrow<[u8]> for Bytes {
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Takes ownership of the `Vec`'s allocation without copying.
     fn from(v: Vec<u8>) -> Self {
         let end = v.len();
         Bytes {
-            data: Storage::Shared(Arc::from(v)),
+            data: Storage::Shared(Shared::from_vec(v)),
             start: 0,
             end,
         }
@@ -138,6 +298,7 @@ impl From<Vec<u8>> for Bytes {
 }
 
 impl From<String> for Bytes {
+    /// Takes ownership of the `String`'s allocation without copying.
     fn from(s: String) -> Self {
         Bytes::from(s.into_bytes())
     }
@@ -247,6 +408,194 @@ impl<'a> IntoIterator for &'a Bytes {
     }
 }
 
+/// An append-only byte builder over a pooled shared buffer. Appended
+/// bytes are split off as zero-copy [`Bytes`] views ([`BytesMut::split_to`]
+/// plus [`BytesMut::freeze`], or the fused [`BytesMut::pack`]); when
+/// capacity runs out the builder rolls to a fresh pooled chunk while
+/// earlier frozen views keep the old one alive.
+pub struct BytesMut {
+    shared: Arc<Shared>,
+    /// Write base: every byte below `off` is frozen (visible to `Bytes`
+    /// views) or belongs to a sibling from `split_to`; this builder
+    /// never writes below it.
+    off: usize,
+    /// Initialized-but-unfrozen bytes at `off..off + len`.
+    len: usize,
+    /// Exclusive upper bound of this builder's writable window
+    /// (`shared.cap` unless this half was produced by `split_to`).
+    cap_end: usize,
+}
+
+impl BytesMut {
+    /// Creates an empty builder without allocating.
+    pub fn new() -> Self {
+        BytesMut {
+            shared: Shared::empty(),
+            off: 0,
+            len: 0,
+            cap_end: 0,
+        }
+    }
+
+    /// Creates a builder with at least `cap` bytes of capacity, reusing
+    /// a pooled chunk when one is available.
+    pub fn with_capacity(cap: usize) -> Self {
+        let shared = Shared::from_vec(pool_acquire(cap));
+        let cap_end = shared.cap;
+        BytesMut {
+            shared,
+            off: 0,
+            len: 0,
+            cap_end,
+        }
+    }
+
+    /// Number of initialized, unfrozen bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether there are no pending bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writable capacity remaining (including pending bytes).
+    pub fn capacity(&self) -> usize {
+        self.cap_end - self.off
+    }
+
+    /// Ensures room for `additional` more bytes, rolling to a fresh
+    /// pooled chunk (and carrying pending bytes over) when the current
+    /// window is exhausted. Frozen views keep the old chunk alive; once
+    /// they drop it returns to the pool.
+    pub fn reserve(&mut self, additional: usize) {
+        if self.capacity() - self.len >= additional {
+            return;
+        }
+        let need = self.len + additional;
+        let new_cap = need.next_power_of_two().max(POOL_MIN_CAP);
+        let fresh = Shared::from_vec(pool_acquire(new_cap));
+        if self.len > 0 {
+            // SAFETY: source region `[off, off+len)` of the old buffer is
+            // initialized and owned by this builder; the fresh buffer has
+            // `new_cap >= len` capacity and no other referent. The two
+            // allocations are distinct, so the ranges cannot overlap.
+            unsafe {
+                std::ptr::copy_nonoverlapping(self.shared.ptr.add(self.off), fresh.ptr, self.len);
+            }
+        }
+        self.cap_end = fresh.cap;
+        self.shared = fresh;
+        self.off = 0;
+    }
+
+    /// Appends `src` to the pending region.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.reserve(src.len());
+        // SAFETY: `reserve` guaranteed `off + len + src.len() <= cap_end
+        // <= cap`; per the module invariant no reader or sibling writer
+        // touches `[off + len, cap_end)`, and `src` cannot alias the
+        // destination (no `&` to the unwritten region can exist).
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                src.as_ptr(),
+                self.shared.ptr.add(self.off + self.len),
+                src.len(),
+            );
+        }
+        self.len += src.len();
+    }
+
+    /// `bytes`-style alias for [`BytesMut::extend_from_slice`].
+    pub fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+
+    /// Splits off the first `at` pending bytes into their own builder
+    /// (sharing storage); `self` keeps the remainder. The two halves
+    /// own disjoint write windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `at > self.len()`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(
+            at <= self.len,
+            "split_to at {at} out of bounds (len {})",
+            self.len
+        );
+        let front = BytesMut {
+            shared: self.shared.clone(),
+            off: self.off,
+            len: at,
+            cap_end: self.off + at,
+        };
+        self.off += at;
+        self.len -= at;
+        front
+    }
+
+    /// Splits off *all* pending bytes, leaving `self` empty (but still
+    /// writable in place).
+    pub fn split(&mut self) -> BytesMut {
+        let len = self.len;
+        self.split_to(len)
+    }
+
+    /// Freezes the pending bytes into an immutable zero-copy view.
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            start: self.off,
+            end: self.off + self.len,
+            data: Storage::Shared(self.shared),
+        }
+    }
+
+    /// Copies `data` in and returns it as a frozen zero-copy view in
+    /// one step: the packer primitive used by segment arenas. Equivalent
+    /// to `extend_from_slice(data); split_to(data.len()).freeze()`.
+    pub fn pack(&mut self, data: &[u8]) -> Bytes {
+        self.extend_from_slice(data);
+        let start = self.off;
+        self.off += data.len();
+        self.len -= data.len();
+        Bytes {
+            start,
+            end: start + data.len(),
+            data: Storage::Shared(self.shared.clone()),
+        }
+    }
+
+    /// Discards pending bytes (frozen views are unaffected).
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+}
+
+impl Default for BytesMut {
+    fn default() -> Self {
+        BytesMut::new()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        // SAFETY: `[off, off+len)` is initialized and no other writer
+        // may touch it (`extend_from_slice` writes at `off + len..`,
+        // siblings are disjoint), so a shared borrow is sound.
+        unsafe { std::slice::from_raw_parts(self.shared.ptr.add(self.off), self.len) }
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut(len={}, cap={})", self.len, self.capacity())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +609,18 @@ mod tests {
     }
 
     #[test]
+    fn from_vec_is_zero_copy() {
+        let v = vec![7u8; 32];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(
+            b.as_slice().as_ptr(),
+            ptr,
+            "storage must be taken, not copied"
+        );
+    }
+
+    #[test]
     fn slices_share_storage() {
         let b = Bytes::from(b"hello world".to_vec());
         let s = b.slice(6..);
@@ -269,9 +630,114 @@ mod tests {
     }
 
     #[test]
+    fn empty_and_full_range_slices() {
+        let b = Bytes::from(b"abcdef".to_vec());
+        assert!(b.slice(3..3).is_empty());
+        assert_eq!(b.slice(..), b);
+        assert_eq!(b.slice(0..6), b);
+        let empty = Bytes::new();
+        assert_eq!(empty.slice(..), empty);
+    }
+
+    #[test]
+    fn nested_slices_stay_anchored() {
+        let b = Bytes::from(b"0123456789".to_vec());
+        let mid = b.slice(2..8); // "234567"
+        let inner = mid.slice(1..4); // "345"
+        assert_eq!(&inner[..], b"345");
+        assert_eq!(inner.slice(2..), Bytes::from_static(b"5"));
+    }
+
+    #[test]
     #[should_panic(expected = "out of bounds")]
     fn slice_out_of_bounds_panics() {
         let _ = Bytes::from_static(b"ab").slice(..3);
+    }
+
+    #[test]
+    fn slice_ref_shares_storage() {
+        let b = Bytes::from(b"key=value".to_vec());
+        let cursor: &[u8] = &b[4..];
+        let v = b.slice_ref(cursor);
+        assert_eq!(&v[..], b"value");
+        assert_eq!(v.as_slice().as_ptr(), cursor.as_ptr(), "no copy");
+        assert!(b.slice_ref(&[]).is_empty());
+        assert_eq!(b.slice_ref(&b[..]), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "not contained")]
+    fn slice_ref_foreign_slice_panics() {
+        let b = Bytes::from(b"abc".to_vec());
+        let other = [1u8, 2, 3];
+        let _ = b.slice_ref(&other);
+    }
+
+    #[test]
+    fn refcount_keeps_storage_alive_after_source_drops() {
+        let slice = {
+            let b = Bytes::from(b"long lived backing".to_vec());
+            b.slice(5..10)
+        };
+        assert_eq!(&slice[..], b"lived");
+    }
+
+    #[test]
+    fn bytesmut_pack_is_zero_copy_view() {
+        let mut buf = BytesMut::with_capacity(64);
+        let a = buf.pack(b"alpha");
+        let b = buf.pack(b"beta");
+        assert_eq!(&a[..], b"alpha");
+        assert_eq!(&b[..], b"beta");
+        // Both views are adjacent slices of the same allocation.
+        let a_end = a.as_slice().as_ptr() as usize + a.len();
+        assert_eq!(a_end, b.as_slice().as_ptr() as usize);
+    }
+
+    #[test]
+    fn bytesmut_split_freeze_round_trip() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.extend_from_slice(b"headerbody");
+        let header = buf.split_to(6).freeze();
+        assert_eq!(&header[..], b"header");
+        assert_eq!(&buf[..], b"body");
+        let body = buf.split().freeze();
+        assert_eq!(&body[..], b"body");
+    }
+
+    #[test]
+    fn bytesmut_growth_preserves_frozen_views() {
+        let mut buf = BytesMut::with_capacity(8);
+        let first = buf.pack(b"12345678"); // fills the chunk
+        let second = buf.pack(b"abcdefgh"); // forces a roll to a new chunk
+        assert_eq!(&first[..], b"12345678", "frozen view survives the roll");
+        assert_eq!(&second[..], b"abcdefgh");
+    }
+
+    #[test]
+    fn bytesmut_growth_carries_pending_bytes() {
+        let mut buf = BytesMut::with_capacity(4);
+        buf.extend_from_slice(b"abc");
+        buf.extend_from_slice(b"defghij"); // exceeds capacity mid-build
+        assert_eq!(&buf[..], b"abcdefghij");
+        assert_eq!(&buf.freeze()[..], b"abcdefghij");
+    }
+
+    #[test]
+    fn chunk_pool_recycles_buffers() {
+        let (reused_before, reclaimed_before) = pool_stats();
+        for _ in 0..4 {
+            let mut buf = BytesMut::with_capacity(POOL_MIN_CAP);
+            let view = buf.pack(&[9u8; 128]);
+            drop(buf);
+            drop(view); // last ref: chunk goes back to the pool
+        }
+        let (reused, reclaimed) = pool_stats();
+        assert!(
+            reclaimed > reclaimed_before,
+            "dropping the last view must reclaim the chunk"
+        );
+        assert!(reused > reused_before, "later builders must reuse chunks");
     }
 
     #[test]
@@ -281,5 +747,14 @@ mod tests {
         set.insert(Bytes::from_static(b"k"));
         assert!(set.contains(&Bytes::from(b"k".to_vec())));
         assert_eq!(Bytes::from_static(b"abc").iter().count(), 3);
+    }
+
+    #[test]
+    fn cross_thread_views() {
+        let mut buf = BytesMut::with_capacity(1024);
+        let view = buf.pack(b"shared across threads");
+        let handle = std::thread::spawn(move || view.to_vec());
+        buf.extend_from_slice(b"writer keeps writing meanwhile");
+        assert_eq!(handle.join().unwrap(), b"shared across threads");
     }
 }
