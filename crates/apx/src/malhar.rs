@@ -6,7 +6,12 @@ use bytes::Bytes;
 use logbus::{Broker, PartitionReader, PartitionWriter, Record, StoredRecord};
 
 /// Bounded input operator reading a `logbus` topic, one streaming window
-/// per `window_size` records (paper's Kafka input operator).
+/// per `window_size` records (paper's Kafka input operator). In follow
+/// mode ([`KafkaInput::follow_until`]) the operator tails the topic —
+/// blocking inside `emit_window` with [`logbus::Backoff`] while caught up
+/// — until a target record count has been emitted, so the window loop is
+/// throttled to the producer's rate instead of spinning through empty
+/// windows.
 #[derive(Debug)]
 pub struct KafkaInput {
     broker: Broker,
@@ -17,6 +22,9 @@ pub struct KafkaInput {
     cursors: Vec<InputCursor>,
     /// Fetch buffer reused across windows.
     fetch_buffer: Vec<StoredRecord>,
+    /// `Some(target)` puts the operator in follow mode.
+    follow_target: Option<u64>,
+    emitted_total: u64,
 }
 
 #[derive(Debug)]
@@ -25,6 +33,10 @@ struct InputCursor {
     position: u64,
     end: u64,
 }
+
+/// How long a follow-mode input waits inside one window without any new
+/// record before concluding the producer is gone and ending the stream.
+const FOLLOW_STALL_LIMIT: std::time::Duration = std::time::Duration::from_secs(10);
 
 impl KafkaInput {
     /// Creates an input over all partitions of `topic`.
@@ -35,6 +47,77 @@ impl KafkaInput {
             window_size: 2048,
             cursors: Vec::new(),
             fetch_buffer: Vec::new(),
+            follow_target: None,
+            emitted_total: 0,
+        }
+    }
+
+    /// Switches to follow mode: windows keep reading past the offsets
+    /// current at setup, polling with backoff while caught up, until
+    /// `records` records have been emitted in total.
+    pub fn follow_until(mut self, records: u64) -> Self {
+        self.follow_target = Some(records);
+        self
+    }
+
+    /// One fetch pass over the cursors, emitting up to `cap` tuples.
+    /// Returns the number emitted.
+    fn emit_pass(&mut self, cap: usize, out: &mut dyn Emitter<Bytes>) -> usize {
+        let mut emitted = 0usize;
+        for cursor in &mut self.cursors {
+            if emitted >= cap || cursor.position >= cursor.end {
+                continue;
+            }
+            let want = (cap - emitted).min((cursor.end - cursor.position) as usize);
+            self.fetch_buffer.clear();
+            if cursor
+                .reader
+                .fetch_into(cursor.position, want, &mut self.fetch_buffer)
+                .is_err()
+            {
+                continue;
+            }
+            if let Some(last) = self.fetch_buffer.last() {
+                cursor.position = last.offset + 1;
+            }
+            for stored in self.fetch_buffer.drain(..) {
+                out.emit(stored.record.value);
+                emitted += 1;
+            }
+        }
+        emitted
+    }
+
+    /// Follow-mode window: block (refreshing ends, backing off) until at
+    /// least one tuple is available, the target is reached, or the
+    /// producer stalls past [`FOLLOW_STALL_LIMIT`].
+    fn emit_window_following(&mut self, target: u64, out: &mut dyn Emitter<Bytes>) -> bool {
+        if self.emitted_total >= target {
+            return false;
+        }
+        let mut backoff = logbus::Backoff::new();
+        let started = std::time::Instant::now();
+        loop {
+            for cursor in &mut self.cursors {
+                if let Ok(end) = cursor.reader.latest_offset() {
+                    cursor.end = cursor.end.max(end);
+                }
+            }
+            let cap = self
+                .window_size
+                .min((target - self.emitted_total) as usize)
+                .max(1);
+            let emitted = self.emit_pass(cap, out);
+            if emitted > 0 {
+                self.emitted_total += emitted as u64;
+                return self.emitted_total < target;
+            }
+            if started.elapsed() >= FOLLOW_STALL_LIMIT {
+                // No producer progress for the whole stall window: end
+                // the stream instead of hanging the DAG.
+                return false;
+            }
+            backoff.snooze();
         }
     }
 }
@@ -64,28 +147,10 @@ impl InputOperator<Bytes> for KafkaInput {
     }
 
     fn emit_window(&mut self, _window_id: u64, out: &mut dyn Emitter<Bytes>) -> bool {
-        let mut emitted = 0usize;
-        for cursor in &mut self.cursors {
-            if emitted >= self.window_size || cursor.position >= cursor.end {
-                continue;
-            }
-            let want = (self.window_size - emitted).min((cursor.end - cursor.position) as usize);
-            self.fetch_buffer.clear();
-            if cursor
-                .reader
-                .fetch_into(cursor.position, want, &mut self.fetch_buffer)
-                .is_err()
-            {
-                continue;
-            }
-            if let Some(last) = self.fetch_buffer.last() {
-                cursor.position = last.offset + 1;
-            }
-            for stored in self.fetch_buffer.drain(..) {
-                out.emit(stored.record.value);
-                emitted += 1;
-            }
+        if let Some(target) = self.follow_target {
+            return self.emit_window_following(target, out);
         }
+        self.emit_pass(self.window_size, out);
         self.cursors
             .iter()
             .any(|cursor| cursor.position < cursor.end)
@@ -325,6 +390,42 @@ mod tests {
         for (i, stored) in records.iter().enumerate() {
             assert_eq!(&stored.record.value[..], format!("r{i}").as_bytes());
         }
+    }
+
+    #[test]
+    fn follow_input_tails_slow_producer() {
+        let broker = broker_with_records(0);
+        let producer_broker = broker.clone();
+        let producer = std::thread::spawn(move || {
+            for i in 0..30 {
+                producer_broker
+                    .produce("in", 0, Record::from_value(format!("r{i}")))
+                    .unwrap();
+                if i % 6 == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+            }
+        });
+        let mut input = KafkaInput::new(broker, "in").follow_until(30);
+        input.setup(&OperatorContext {
+            name: "in".into(),
+            window_size: 8,
+        });
+        let mut all: Vec<Bytes> = Vec::new();
+        let mut window = 0u64;
+        loop {
+            let more = {
+                let mut emitter = |t: Bytes| all.push(t);
+                input.emit_window(window, &mut emitter)
+            };
+            window += 1;
+            if !more {
+                break;
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(all.len(), 30, "a slow producer loses no records");
+        assert_eq!(&all[29][..], b"r29", "order preserved");
     }
 
     #[test]

@@ -102,6 +102,7 @@ impl BrokerIO {
             broker,
             topic: topic.into(),
             fetch_size: 2048,
+            follow: None,
         }
     }
 
@@ -123,6 +124,7 @@ pub struct BrokerRead {
     broker: Broker,
     topic: String,
     fetch_size: usize,
+    follow: Option<u64>,
 }
 
 impl BrokerRead {
@@ -131,16 +133,36 @@ impl BrokerRead {
         self.fetch_size = records.max(1);
         self
     }
+
+    /// Switches to follow mode: instead of stopping at the offsets
+    /// current at read time, the source tails the topic — polling with
+    /// [`logbus::Backoff`] while caught up with the producer — until
+    /// `records` records have been emitted. The source thread blocks on
+    /// producer progress, so downstream bundles are backpressured to the
+    /// offered rate.
+    pub fn follow_until(mut self, records: u64) -> Self {
+        self.follow = Some(records);
+        self
+    }
 }
+
+/// How long a follow-mode raw source waits without any new record before
+/// concluding the producer is gone and ending the read.
+const FOLLOW_STALL_LIMIT: std::time::Duration = std::time::Duration::from_secs(10);
 
 struct BrokerRawSource {
     broker: Broker,
     topic: String,
     fetch_size: usize,
+    follow: Option<u64>,
 }
 
 impl RawSource for BrokerRawSource {
     fn read(&mut self, emit: RawEmit<'_>) {
+        if let Some(target) = self.follow {
+            self.read_following(target, emit);
+            return;
+        }
         let Ok(topic) = self.broker.topic(&self.topic) else {
             return;
         };
@@ -202,16 +224,99 @@ impl RawSource for BrokerRawSource {
     }
 }
 
+impl BrokerRawSource {
+    /// Tailing read: poll every partition (ends refreshed each pass,
+    /// with backoff while caught up) until `target` records have been
+    /// emitted or the producer stalls past [`FOLLOW_STALL_LIMIT`].
+    fn read_following(&mut self, target: u64, emit: RawEmit<'_>) {
+        let coder = KafkaRecordCoder;
+        let retry = logbus::RetryPolicy::default();
+        let Ok(topic) = self.broker.topic(&self.topic) else {
+            return;
+        };
+        let mut cursors = Vec::new();
+        for partition in 0..topic.partition_count() {
+            let Ok(reader) = logbus::with_retry(&retry, || {
+                self.broker.partition_reader(&self.topic, partition)
+            }) else {
+                continue;
+            };
+            let position = reader.earliest_offset().unwrap_or(0);
+            cursors.push((partition, reader, position));
+        }
+        if cursors.is_empty() {
+            return;
+        }
+        let mut batch = Vec::with_capacity(self.fetch_size);
+        let mut backoff = logbus::Backoff::new();
+        let mut last_progress = std::time::Instant::now();
+        let mut emitted = 0u64;
+        while emitted < target {
+            let mut progressed = false;
+            for (partition, reader, position) in &mut cursors {
+                if emitted >= target {
+                    break;
+                }
+                let want = self.fetch_size.min((target - emitted) as usize);
+                batch.clear();
+                let Ok(appended) = reader.fetch_into(*position, want, &mut batch) else {
+                    continue;
+                };
+                if appended == 0 {
+                    continue;
+                }
+                // Guard instead of panic on the connector path; an empty
+                // batch after `appended > 0` cannot happen.
+                let Some(last) = batch.last() else {
+                    continue;
+                };
+                *position = last.offset + 1;
+                for stored in batch.drain(..) {
+                    let record = KafkaRecord {
+                        topic: self.topic.clone(),
+                        partition: *partition,
+                        offset: stored.offset,
+                        timestamp_micros: stored.timestamp.as_micros(),
+                        key: stored.record.key,
+                        value: stored.record.value,
+                    };
+                    let mut buf = logbus::pool::byte_vec();
+                    coder.encode_into(&record, &mut buf);
+                    emit(WindowedValue::timestamped(
+                        buf,
+                        Instant(record.timestamp_micros),
+                    ));
+                    emitted += 1;
+                }
+                progressed = true;
+            }
+            if progressed {
+                backoff.reset();
+                last_progress = std::time::Instant::now();
+            } else {
+                if last_progress.elapsed() >= FOLLOW_STALL_LIMIT {
+                    // No producer progress for the whole stall window:
+                    // end the read instead of hanging the pipeline.
+                    return;
+                }
+                backoff.snooze();
+            }
+        }
+    }
+}
+
 impl RootTransform<KafkaRecord> for BrokerRead {
     fn expand(self, pipeline: &Pipeline) -> PCollection<KafkaRecord> {
         let broker = self.broker.clone();
         let topic = self.topic.clone();
         let fetch_size = self.fetch_size;
+        let follow = self.follow;
         let factory: Arc<dyn Fn() -> Box<dyn RawSource> + Send + Sync> = Arc::new(move || {
             Box::new(BrokerRawSource {
                 broker: broker.clone(),
                 topic: topic.clone(),
                 fetch_size,
+                follow,
             }) as Box<dyn RawSource>
         });
         let read_node = pipeline.add_stage(

@@ -28,6 +28,7 @@ use crate::coder::{Coder, WindowedValueCoder};
 use crate::error::{Error, Result};
 use crate::graph::{DoFnFactory, RawDoFn, RawElement, SourceFactory, StagePayload};
 use crate::pipeline::Pipeline;
+use crate::runners::feed::SourceFeed;
 use crate::runners::{EngineReport, PipelineResult, PipelineRunner};
 use apx::{Dag, Emitter, InputOperator, Link, Operator, OperatorContext, Stram, StramConfig};
 use parking_lot::Mutex;
@@ -212,19 +213,26 @@ impl apx::Codec<RawElement> for RawElementCodec {
 }
 
 /// Input operator driving a pipeline source, one streaming window per
-/// `window_size` elements.
+/// `window_size` elements. The source streams through a bounded
+/// [`SourceFeed`] (started lazily on the first window), so a follow-mode
+/// source backpressures the window loop instead of being materialized
+/// whole.
 struct RawSourceInput {
     factory: Option<SourceFactory>,
+    feed: Option<SourceFeed>,
     buffered: std::collections::VecDeque<RawElement>,
     window_size: usize,
+    exhausted: bool,
 }
 
 impl RawSourceInput {
     fn new(factory: SourceFactory) -> Self {
         RawSourceInput {
             factory: Some(factory),
+            feed: None,
             buffered: std::collections::VecDeque::new(),
             window_size: 2048,
+            exhausted: false,
         }
     }
 }
@@ -236,15 +244,27 @@ impl InputOperator<RawElement> for RawSourceInput {
 
     fn emit_window(&mut self, _window_id: u64, out: &mut dyn Emitter<RawElement>) -> bool {
         if let Some(factory) = self.factory.take() {
-            let mut all = Vec::new();
-            factory().read(&mut |e| all.push(e));
-            self.buffered = all.into();
+            self.feed = Some(SourceFeed::spawn(factory));
+        }
+        // Block for the window's first chunk, then top up with whatever
+        // is already queued — slow producers yield small timely windows.
+        if self.buffered.is_empty() && !self.exhausted {
+            match self.feed.as_mut().and_then(SourceFeed::next_chunk) {
+                Some(chunk) => self.buffered.extend(chunk),
+                None => self.exhausted = true,
+            }
+        }
+        while self.buffered.len() < self.window_size && !self.exhausted {
+            match self.feed.as_mut().and_then(SourceFeed::try_next_chunk) {
+                Some(chunk) => self.buffered.extend(chunk),
+                None => break,
+            }
         }
         let take = self.window_size.min(self.buffered.len());
         for element in self.buffered.drain(..take) {
             out.emit(element);
         }
-        !self.buffered.is_empty()
+        !self.buffered.is_empty() || !self.exhausted
     }
 }
 

@@ -16,6 +16,7 @@
 use crate::error::{Error, Result};
 use crate::graph::{DoFnFactory, RawElement, SourceFactory, StagePayload};
 use crate::pipeline::Pipeline;
+use crate::runners::feed::SourceFeed;
 use crate::runners::{EngineReport, PipelineResult, PipelineRunner};
 use dstream::{BatchSource, Context, ContextConfig, StreamingContext};
 use std::collections::HashMap;
@@ -187,11 +188,14 @@ fn run_bundle(name: &str, factory: &DoFnFactory, part: Vec<RawElement>) -> Vec<R
     out
 }
 
-/// Discretizes a pipeline source: the bounded input is read once on the
-/// first pull and then served in micro-batches (the direct-stream view of
-/// a preloaded topic).
+/// Discretizes a pipeline source: a bounded [`SourceFeed`] streams the
+/// input through a capacity-limited channel (started lazily on the first
+/// pull), and micro-batches are cut from its chunks — so a follow-mode
+/// source backpressures the micro-batch driver instead of being
+/// materialized whole.
 struct SourceBatcher {
     factory: Option<SourceFactory>,
+    feed: Option<SourceFeed>,
     buffered: VecDeque<RawElement>,
     max_batch_records: usize,
 }
@@ -200,6 +204,7 @@ impl SourceBatcher {
     fn new(factory: SourceFactory, max_batch_records: usize) -> Self {
         SourceBatcher {
             factory: Some(factory),
+            feed: None,
             buffered: VecDeque::new(),
             max_batch_records,
         }
@@ -209,12 +214,22 @@ impl SourceBatcher {
 impl BatchSource<RawElement> for SourceBatcher {
     fn next_batch(&mut self) -> Option<Vec<RawElement>> {
         if let Some(factory) = self.factory.take() {
-            let mut all = Vec::new();
-            factory().read(&mut |e| all.push(e));
-            self.buffered = all.into();
+            self.feed = Some(SourceFeed::spawn(factory));
         }
+        // Block for the first chunk of the batch, then top up with
+        // whatever is already queued — a slow producer yields small
+        // timely batches instead of stalling until a full one exists.
         if self.buffered.is_empty() {
-            return None;
+            match self.feed.as_mut().and_then(SourceFeed::next_chunk) {
+                Some(chunk) => self.buffered.extend(chunk),
+                None => return None,
+            }
+        }
+        while self.buffered.len() < self.max_batch_records {
+            match self.feed.as_mut().and_then(SourceFeed::try_next_chunk) {
+                Some(chunk) => self.buffered.extend(chunk),
+                None => break,
+            }
         }
         let take = self.max_batch_records.min(self.buffered.len());
         Some(self.buffered.drain(..take).collect())

@@ -18,6 +18,7 @@
 mod apx_runner;
 mod direct;
 mod dstream_runner;
+mod feed;
 mod rill_runner;
 
 pub use apx_runner::ApxRunner;

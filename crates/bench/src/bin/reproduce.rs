@@ -13,6 +13,11 @@
 //! # transient broker faults into every processing phase and appends the
 //! # run-incident table (which runs needed retries, which were dropped):
 //! cargo run --release -p streambench-bench --bin reproduce -- smoke --fault-seed 2019
+//! # Latency mode: an open-loop, coordinated-omission-safe offered-rate
+//! # sweep per (engine, SDK, parallelism) cell, with p50/p95/p99/p999
+//! # and a sustainable-vs-overloaded verdict per trial
+//! # (`STREAMBENCH_LATENCY_*` env vars set records/warmup/bounds):
+//! cargo run --release -p streambench-bench --bin reproduce -- --latency --rates 500,2000,8000 --latency-json latency.json
 //! ```
 //!
 //! Absolute numbers differ from the paper (this substrate is an
@@ -21,17 +26,30 @@
 //! fall. See EXPERIMENTS.md for the side-by-side record.
 
 use std::collections::BTreeMap;
-use streambench_core::{report, Api, BenchConfig, BenchmarkRunner, Measurement, Query, System};
+use streambench_core::{
+    report, Api, BenchConfig, BenchmarkRunner, LatencyConfig, Measurement, Query, System,
+};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let obs_json = take_obs_json(&mut args);
     let fault_seed = take_fault_seed(&mut args);
+    let latency = take_flag(&mut args, "--latency");
+    let rates = take_value(&mut args, "--rates");
+    let latency_json = take_value(&mut args, "--latency-json");
     let target = args.first().map_or("all", String::as_str);
 
     if obs_json.is_some() {
         obs::set_enabled(true);
         obs::global().reset();
+    }
+
+    if latency {
+        latency_mode(rates.as_deref(), latency_json.as_deref());
+        if let Some(path) = obs_json {
+            export_obs(&path);
+        }
+        return;
     }
 
     match target {
@@ -105,6 +123,71 @@ fn take_obs_json(args: &mut Vec<String>) -> Option<String> {
     let path = args.remove(at + 1);
     args.remove(at);
     Some(path)
+}
+
+/// Removes a boolean flag from the argument list, returning whether it
+/// was present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(at) => {
+            args.remove(at);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Removes `<flag> <value>` from the argument list, if present.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let at = args.iter().position(|a| a == flag)?;
+    if at + 1 >= args.len() {
+        eprintln!("{flag} requires an argument");
+        std::process::exit(2);
+    }
+    let value = args.remove(at + 1);
+    args.remove(at);
+    Some(value)
+}
+
+/// The latency-mode benchmark: sweeps offered rates per (engine, SDK,
+/// parallelism) cell with the open-loop coordinated-omission-safe
+/// sender, classifies each cell sustainable vs overloaded, and prints
+/// the per-cell p50/p95/p99/p999 table (plus JSON when requested).
+/// Defaults come from `STREAMBENCH_LATENCY_*`; `--rates a,b,c`
+/// overrides the sweep.
+fn latency_mode(rates: Option<&str>, json_path: Option<&str>) {
+    let mut config = LatencyConfig::from_env();
+    if let Some(raw) = rates {
+        let parsed: Vec<f64> = raw
+            .split(',')
+            .filter_map(|part| part.trim().parse().ok())
+            .filter(|r: &f64| r.is_finite() && *r > 0.0)
+            .collect();
+        if parsed.is_empty() {
+            eprintln!("--rates requires a comma-separated list of positive numbers, got `{raw}`");
+            std::process::exit(2);
+        }
+        config = config.rates(parsed);
+    }
+    eprintln!(
+        "running latency sweep: {} query, {} records/trial, rates {:?}, parallelisms {:?}",
+        config.query, config.records, config.rates, config.parallelisms
+    );
+    let report = match streambench_core::run_latency(&config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("latency sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", report::latency_table(&report));
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("latency report written to {path}");
+    }
 }
 
 /// Removes `--fault-seed <n>` from the argument list, if present.

@@ -61,11 +61,30 @@ impl Default for BenchConfig {
     }
 }
 
-fn env_u64(name: &str, default: u64) -> u64 {
+pub(crate) fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+pub(crate) fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Parses a comma-separated list (`"500,2000"`) into numbers, skipping
+/// malformed entries. `None` when the variable is unset or yields no
+/// usable value.
+pub(crate) fn env_list<T: std::str::FromStr>(name: &str) -> Option<Vec<T>> {
+    let raw = std::env::var(name).ok()?;
+    let values: Vec<T> = raw
+        .split(',')
+        .filter_map(|part| part.trim().parse().ok())
+        .collect();
+    (!values.is_empty()).then_some(values)
 }
 
 impl BenchConfig {
@@ -182,5 +201,20 @@ mod tests {
     #[should_panic(expected = "at least one parallelism")]
     fn empty_parallelisms_panics() {
         let _ = BenchConfig::quick().parallelisms(vec![]);
+    }
+
+    #[test]
+    fn env_helpers_parse_and_default() {
+        std::env::set_var("STREAMBENCH_TEST_U64", "7");
+        assert_eq!(env_u64("STREAMBENCH_TEST_U64", 1), 7);
+        assert_eq!(env_u64("STREAMBENCH_TEST_U64_UNSET", 1), 1);
+        std::env::set_var("STREAMBENCH_TEST_F64", "2.5");
+        assert!((env_f64("STREAMBENCH_TEST_F64", 0.0) - 2.5).abs() < 1e-12);
+        std::env::set_var("STREAMBENCH_TEST_LIST", "500, 2000,junk");
+        assert_eq!(
+            env_list::<u64>("STREAMBENCH_TEST_LIST"),
+            Some(vec![500, 2000])
+        );
+        assert_eq!(env_list::<u64>("STREAMBENCH_TEST_LIST_UNSET"), None);
     }
 }

@@ -38,6 +38,7 @@
 pub mod calculator;
 pub mod config;
 pub mod data;
+pub mod latency;
 pub mod noise;
 pub mod queries;
 pub mod report;
@@ -51,11 +52,15 @@ pub mod systems;
 pub use calculator::{measure, CalculatorError, QueryMeasurement};
 pub use config::BenchConfig;
 pub use data::{QueryLogGenerator, QueryLogRecord};
+pub use latency::{run_latency, LatencyCell, LatencyConfig, LatencyReport, LatencyTrial};
 pub use noise::NoiseModel;
 pub use queries::{beam_pipeline, native_apx, native_dstream, native_rill, Query};
 pub use runner::{
     fresh_yarn_cluster, BenchError, BenchmarkRunner, Measurement, QueryReport, RunIncident,
 };
-pub use sender::{send_workload, SendReport, SenderConfig};
+pub use sender::{
+    parse_event_time_micros, send_open_loop, send_workload, OpenLoopSchedule, OpenLoopSendReport,
+    SendReport, SenderConfig,
+};
 pub use setup::{all_setups, Api, Setup, System};
 pub use systems::{profile, system_profiles, SystemProfile};

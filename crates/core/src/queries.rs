@@ -121,9 +121,43 @@ pub fn beam_pipeline(
     input_topic: &str,
     output_topic: &str,
 ) -> Pipeline {
+    beam_pipeline_impl(broker, query, input_topic, output_topic, None)
+}
+
+/// [`beam_pipeline`] in follow mode: the read tails the input topic
+/// until `target_records` records have been consumed, backpressuring the
+/// runner to the producer's rate — the abstraction-layer path of the
+/// latency benchmark.
+pub fn beam_pipeline_following(
+    broker: &logbus::Broker,
+    query: Query,
+    input_topic: &str,
+    output_topic: &str,
+    target_records: u64,
+) -> Pipeline {
+    beam_pipeline_impl(
+        broker,
+        query,
+        input_topic,
+        output_topic,
+        Some(target_records),
+    )
+}
+
+fn beam_pipeline_impl(
+    broker: &logbus::Broker,
+    query: Query,
+    input_topic: &str,
+    output_topic: &str,
+    follow: Option<u64>,
+) -> Pipeline {
     let pipeline = Pipeline::new();
+    let mut read = BrokerIO::read(broker.clone(), input_topic);
+    if let Some(target) = follow {
+        read = read.follow_until(target);
+    }
     let values = pipeline
-        .apply(BrokerIO::read(broker.clone(), input_topic))
+        .apply(read)
         .apply(WithoutMetadata::new())
         .apply(Values::create(Arc::new(BytesCoder)));
     let transformed = match query {
@@ -154,9 +188,44 @@ pub fn native_rill(
     output_topic: &str,
     parallelism: usize,
 ) -> rill::Result<rill::JobResult> {
+    native_rill_impl(broker, query, input_topic, output_topic, parallelism, None)
+}
+
+/// [`native_rill`] in follow mode: the source tails the input topic
+/// (with backoff while caught up) until `target_records` records have
+/// been consumed — the native rill path of the latency benchmark.
+pub fn native_rill_following(
+    broker: &logbus::Broker,
+    query: Query,
+    input_topic: &str,
+    output_topic: &str,
+    parallelism: usize,
+    target_records: u64,
+) -> rill::Result<rill::JobResult> {
+    native_rill_impl(
+        broker,
+        query,
+        input_topic,
+        output_topic,
+        parallelism,
+        Some(target_records),
+    )
+}
+
+fn native_rill_impl(
+    broker: &logbus::Broker,
+    query: Query,
+    input_topic: &str,
+    output_topic: &str,
+    parallelism: usize,
+    follow: Option<u64>,
+) -> rill::Result<rill::JobResult> {
     let env = rill::StreamExecutionEnvironment::local();
     env.set_parallelism(parallelism);
-    let source = rill::BrokerSource::new(broker.clone(), input_topic);
+    let mut source = rill::BrokerSource::new(broker.clone(), input_topic);
+    if let Some(target) = follow {
+        source = source.follow_until(target);
+    }
     // The sink's async producer batches adaptively, so sparse outputs
     // (grep) land as individual appends spread over the run — which the
     // LogAppendTime measurement needs — while dense outputs amortize.
@@ -205,11 +274,59 @@ pub fn native_dstream(
     parallelism: usize,
     batch_records: usize,
 ) -> dstream::Result<dstream::StreamingReport> {
+    native_dstream_impl(
+        broker,
+        query,
+        input_topic,
+        output_topic,
+        parallelism,
+        batch_records,
+        None,
+    )
+}
+
+/// [`native_dstream`] in follow mode: micro-batches tail the input topic
+/// until `target_records` records have been consumed — the native
+/// dstream path of the latency benchmark.
+pub fn native_dstream_following(
+    broker: &logbus::Broker,
+    query: Query,
+    input_topic: &str,
+    output_topic: &str,
+    parallelism: usize,
+    batch_records: usize,
+    target_records: u64,
+) -> dstream::Result<dstream::StreamingReport> {
+    native_dstream_impl(
+        broker,
+        query,
+        input_topic,
+        output_topic,
+        parallelism,
+        batch_records,
+        Some(target_records),
+    )
+}
+
+fn native_dstream_impl(
+    broker: &logbus::Broker,
+    query: Query,
+    input_topic: &str,
+    output_topic: &str,
+    parallelism: usize,
+    batch_records: usize,
+    follow: Option<u64>,
+) -> dstream::Result<dstream::StreamingReport> {
     let ctx = dstream::Context::with_config(
         dstream::ContextConfig::default().default_parallelism(parallelism),
     );
     let ssc = dstream::StreamingContext::new(ctx);
-    let stream = ssc.broker_stream(broker.clone(), input_topic, batch_records)?;
+    let stream = match follow {
+        None => ssc.broker_stream(broker.clone(), input_topic, batch_records)?,
+        Some(target) => {
+            ssc.broker_stream_following(broker.clone(), input_topic, batch_records, target)?
+        }
+    };
     let transformed = match query {
         Query::Identity => stream.map(|v: Bytes| v),
         Query::Sample => stream.filter(|v: &Bytes| sample_keeps(v, SAMPLE_PERCENT)),
@@ -233,8 +350,46 @@ pub fn native_apx(
     vcores: u32,
     rm: &mut yarnsim::ResourceManager,
 ) -> apx::Result<apx::AppResult> {
+    native_apx_impl(broker, query, input_topic, output_topic, vcores, rm, None)
+}
+
+/// [`native_apx`] in follow mode: the Kafka input operator tails the
+/// input topic until `target_records` records have been consumed — the
+/// native apx path of the latency benchmark.
+pub fn native_apx_following(
+    broker: &logbus::Broker,
+    query: Query,
+    input_topic: &str,
+    output_topic: &str,
+    vcores: u32,
+    rm: &mut yarnsim::ResourceManager,
+    target_records: u64,
+) -> apx::Result<apx::AppResult> {
+    native_apx_impl(
+        broker,
+        query,
+        input_topic,
+        output_topic,
+        vcores,
+        rm,
+        Some(target_records),
+    )
+}
+
+fn native_apx_impl(
+    broker: &logbus::Broker,
+    query: Query,
+    input_topic: &str,
+    output_topic: &str,
+    vcores: u32,
+    rm: &mut yarnsim::ResourceManager,
+    follow: Option<u64>,
+) -> apx::Result<apx::AppResult> {
     let dag = apx::Dag::new(format!("native-{query}"));
-    let input = apx::KafkaInput::new(broker.clone(), input_topic);
+    let mut input = apx::KafkaInput::new(broker.clone(), input_topic);
+    if let Some(target) = follow {
+        input = input.follow_until(target);
+    }
     let output = apx::KafkaOutput::new(broker.clone(), output_topic);
     let codec = Arc::new(apx::BytesCodec);
     let op = apx::FnOperator::new(move |v: Bytes, out: &mut dyn apx::Emitter<Bytes>| {

@@ -5,6 +5,7 @@
 //! Fig. 11 (slowdown factors), Table I (system comparison), Table II
 //! (query overview), and Table III (per-run times).
 
+use crate::latency::LatencyReport;
 use crate::queries::Query;
 use crate::runner::{Measurement, RunIncident};
 use crate::setup::{Api, Setup, System};
@@ -282,6 +283,81 @@ pub fn table_three(per_run: &BTreeMap<usize, Vec<f64>>) -> String {
     render_table(&header_refs, &rows)
 }
 
+/// Renders the latency sweep: one row per (cell, offered rate) with the
+/// CO-safe percentiles and the sustainability verdict, followed by a
+/// per-cell summary of the highest sustainable rate — the latency
+/// dimension added to the paper's slowdown matrix.
+pub fn latency_table(report: &LatencyReport) -> String {
+    let mut out = format!(
+        "Latency sweep — {} query, {} records/trial (warmup {}), sustainable ⇔ \
+         p99 ≤ {} ms and drain ratio ≤ {}\n",
+        report.query,
+        report.records_per_trial,
+        report.warmup_records,
+        report.p99_bound_micros as f64 / 1_000.0,
+        report.catchup_ratio,
+    );
+    let ms = |micros: u64| format!("{:.3}", micros as f64 / 1_000.0);
+    let mut rows = Vec::new();
+    for cell in &report.cells {
+        for trial in &cell.trials {
+            rows.push(vec![
+                cell.setup.label(),
+                format!("{:.0}", trial.offered_rate),
+                if trial.sustainable {
+                    "sustainable".to_string()
+                } else {
+                    "overloaded".to_string()
+                },
+                ms(trial.p50_micros),
+                ms(trial.p95_micros),
+                ms(trial.p99_micros),
+                ms(trial.p999_micros),
+                format!("{:.2}", trial.drain_ratio),
+            ]);
+        }
+    }
+    out.push_str(&render_table(
+        &[
+            "Setup",
+            "Rate (rec/s)",
+            "Verdict",
+            "p50 (ms)",
+            "p95 (ms)",
+            "p99 (ms)",
+            "p999 (ms)",
+            "Drain",
+        ],
+        &rows,
+    ));
+    out.push_str("\nHighest sustainable rate per cell\n");
+    let summary: Vec<Vec<String>> = report
+        .cells
+        .iter()
+        .map(|cell| match cell.highest_sustainable() {
+            Some(t) => vec![
+                cell.setup.label(),
+                format!("{:.0}", t.offered_rate),
+                ms(t.p50_micros),
+                ms(t.p99_micros),
+                ms(t.p999_micros),
+            ],
+            None => vec![
+                cell.setup.label(),
+                "none (overloaded at every rate)".to_string(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ],
+        })
+        .collect();
+    out.push_str(&render_table(
+        &["Setup", "Rate (rec/s)", "p50 (ms)", "p99 (ms)", "p999 (ms)"],
+        &summary,
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -425,6 +501,58 @@ mod tests {
         assert!(rendered.contains("recovered (retried)"));
         assert!(rendered.contains("abandoned (outlier, excluded)"));
         assert!(rendered.contains("boom"));
+    }
+
+    #[test]
+    fn latency_table_lists_trials_and_summary() {
+        use crate::latency::{LatencyCell, LatencyTrial};
+        let trial = |rate: f64, sustainable: bool| LatencyTrial {
+            offered_rate: rate,
+            output_records: 100,
+            measured: 90,
+            p50_micros: 1_500,
+            p95_micros: 3_000,
+            p99_micros: 5_000,
+            p999_micros: 9_000,
+            max_micros: 12_000,
+            mean_micros: 2_000.0,
+            drain_ratio: 1.02,
+            max_send_lag_micros: 10,
+            output_ok: true,
+            sustainable,
+        };
+        let report = LatencyReport {
+            query: Query::Identity,
+            records_per_trial: 100,
+            warmup_records: 10,
+            p99_bound_micros: 200_000,
+            catchup_ratio: 1.5,
+            cells: vec![
+                LatencyCell {
+                    setup: Setup {
+                        system: System::Rill,
+                        api: Api::Beam,
+                        parallelism: 1,
+                    },
+                    trials: vec![trial(500.0, true), trial(4_000.0, false)],
+                },
+                LatencyCell {
+                    setup: Setup {
+                        system: System::Apx,
+                        api: Api::Native,
+                        parallelism: 1,
+                    },
+                    trials: vec![trial(500.0, false)],
+                },
+            ],
+        };
+        let rendered = latency_table(&report);
+        assert!(rendered.contains("Flink Beam P1"));
+        assert!(rendered.contains("sustainable"));
+        assert!(rendered.contains("overloaded"));
+        assert!(rendered.contains("1.500"), "{rendered}");
+        assert!(rendered.contains("Highest sustainable rate per cell"));
+        assert!(rendered.contains("none (overloaded at every rate)"));
     }
 
     #[test]

@@ -35,7 +35,9 @@ impl<T: Send> BatchSource<T> for VecBatchSource<T> {
 
 /// Reads a `logbus` topic in micro-batches (Spark's Kafka direct stream):
 /// each call fetches up to `max_batch_records` across the topic's
-/// partitions, ending at the offsets current when the source was created.
+/// partitions, ending at the offsets current when the source was created —
+/// or, in follow mode ([`BrokerBatchSource::following`]), tailing the
+/// topic until a target record count has been emitted.
 #[derive(Debug)]
 pub struct BrokerBatchSource {
     max_batch_records: usize,
@@ -45,6 +47,7 @@ pub struct BrokerBatchSource {
     cursors: Vec<PartitionCursor>,
     /// Fetch buffer reused across micro-batches.
     fetch_buffer: Vec<logbus::StoredRecord>,
+    follow: Option<FollowState>,
 }
 
 #[derive(Debug)]
@@ -53,6 +56,19 @@ struct PartitionCursor {
     position: u64,
     end: u64,
 }
+
+/// Tailing state: keep polling (ends refreshed each call) until `target`
+/// records have been emitted across all partitions.
+#[derive(Debug)]
+struct FollowState {
+    target: u64,
+    emitted: u64,
+}
+
+/// How long a follow-mode source waits without any new record before
+/// concluding the producer is gone and ending the stream — the escape
+/// hatch that keeps a stalled latency run from hanging the driver.
+const FOLLOW_STALL_LIMIT: std::time::Duration = std::time::Duration::from_secs(10);
 
 impl BrokerBatchSource {
     /// Creates a bounded micro-batch reader over all partitions of
@@ -84,20 +100,45 @@ impl BrokerBatchSource {
             max_batch_records: max_batch_records.max(1),
             cursors,
             fetch_buffer: Vec::new(),
+            follow: None,
         })
     }
-}
 
-impl BatchSource<Bytes> for BrokerBatchSource {
-    fn next_batch(&mut self) -> Option<Vec<Bytes>> {
-        let mut batch = Vec::with_capacity(self.max_batch_records.min(1024));
+    /// Creates a tailing micro-batch reader: instead of stopping at the
+    /// offsets current at creation, `next_batch` keeps polling (ends
+    /// refreshed every call, with [`logbus::Backoff`] while caught up)
+    /// until `target_records` records have been emitted. Blocking inside
+    /// `next_batch` is the backpressure: the micro-batch driver is
+    /// throttled to the producer's rate instead of spinning on empty
+    /// batches or buffering without bound.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the topic does not exist.
+    pub fn following(
+        broker: Broker,
+        topic: impl Into<String>,
+        max_batch_records: usize,
+        target_records: u64,
+    ) -> logbus::Result<Self> {
+        let mut source = Self::new(broker, topic, max_batch_records)?;
+        source.follow = Some(FollowState {
+            target: target_records,
+            emitted: 0,
+        });
+        Ok(source)
+    }
+
+    /// One bounded fetch pass over the cursors, appending up to `cap`
+    /// payloads to `batch`. Returns whether a fetch error left unread
+    /// records behind.
+    fn fetch_pass(&mut self, cap: usize, batch: &mut Vec<Bytes>) -> bool {
         let mut behind = false;
         for cursor in &mut self.cursors {
-            if batch.len() >= self.max_batch_records || cursor.position >= cursor.end {
+            if batch.len() >= cap || cursor.position >= cursor.end {
                 continue;
             }
-            let want =
-                (self.max_batch_records - batch.len()).min((cursor.end - cursor.position) as usize);
+            let want = (cap - batch.len()).min((cursor.end - cursor.position) as usize);
             self.fetch_buffer.clear();
             if cursor
                 .reader
@@ -115,6 +156,61 @@ impl BatchSource<Bytes> for BrokerBatchSource {
             }
             batch.extend(self.fetch_buffer.drain(..).map(|r| r.record.value));
         }
+        behind
+    }
+
+    /// Follow-mode batch: poll (refreshing ends) until data arrives, the
+    /// target is reached, or the producer stalls past
+    /// [`FOLLOW_STALL_LIMIT`].
+    fn following_batch(&mut self) -> Option<Vec<Bytes>> {
+        let follow = self.follow.take()?;
+        let FollowState {
+            target,
+            mut emitted,
+        } = follow;
+        if emitted >= target {
+            self.follow = Some(FollowState { target, emitted });
+            return None;
+        }
+        let mut backoff = logbus::Backoff::new();
+        let started = std::time::Instant::now();
+        let result = loop {
+            // Records appended after creation are part of a followed
+            // stream: refresh the per-partition ends every poll.
+            for cursor in &mut self.cursors {
+                if let Ok(end) = cursor.reader.latest_offset() {
+                    cursor.end = cursor.end.max(end);
+                }
+            }
+            let cap = self
+                .max_batch_records
+                .min((target - emitted) as usize)
+                .max(1);
+            let mut batch = Vec::with_capacity(cap.min(1024));
+            self.fetch_pass(cap, &mut batch);
+            if !batch.is_empty() {
+                emitted += batch.len() as u64;
+                break Some(batch);
+            }
+            if started.elapsed() >= FOLLOW_STALL_LIMIT {
+                // No producer progress for the whole stall window: end
+                // the stream instead of hanging the job.
+                break None;
+            }
+            backoff.snooze();
+        };
+        self.follow = Some(FollowState { target, emitted });
+        result
+    }
+}
+
+impl BatchSource<Bytes> for BrokerBatchSource {
+    fn next_batch(&mut self) -> Option<Vec<Bytes>> {
+        if self.follow.is_some() {
+            return self.following_batch();
+        }
+        let mut batch = Vec::with_capacity(self.max_batch_records.min(1024));
+        let behind = self.fetch_pass(self.max_batch_records, &mut batch);
         if batch.is_empty() && !behind {
             None
         } else {
@@ -205,5 +301,48 @@ mod tests {
     fn missing_topic_errors() {
         let broker = Broker::new();
         assert!(BrokerBatchSource::new(broker, "missing", 10).is_err());
+    }
+
+    #[test]
+    fn following_source_tails_slow_producer() {
+        let broker = Broker::new();
+        broker.create_topic("t", TopicConfig::default()).unwrap();
+        let producer_broker = broker.clone();
+        let producer = std::thread::spawn(move || {
+            for i in 0..30 {
+                producer_broker
+                    .produce("t", 0, Record::from_value(format!("{i}")))
+                    .unwrap();
+                if i % 6 == 0 {
+                    // Leave the source caught up so it has to back off.
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+            }
+        });
+        let mut source = BrokerBatchSource::following(broker, "t", 8, 30).unwrap();
+        let mut all = Vec::new();
+        while let Some(batch) = source.next_batch() {
+            assert!(batch.len() <= 8);
+            all.extend(batch);
+        }
+        producer.join().unwrap();
+        assert_eq!(all.len(), 30, "a slow producer loses no records");
+        for (i, value) in all.iter().enumerate() {
+            assert_eq!(&value[..], format!("{i}").as_bytes());
+        }
+    }
+
+    #[test]
+    fn following_source_stops_at_target_with_extra_records() {
+        let broker = Broker::new();
+        broker.create_topic("t", TopicConfig::default()).unwrap();
+        for i in 0..20 {
+            broker
+                .produce("t", 0, Record::from_value(format!("{i}")))
+                .unwrap();
+        }
+        let mut source = BrokerBatchSource::following(broker, "t", 100, 12).unwrap();
+        assert_eq!(source.next_batch().unwrap().len(), 12);
+        assert!(source.next_batch().is_none(), "target reached ends stream");
     }
 }

@@ -140,6 +140,32 @@ impl StreamingContext {
         Ok(self.receiver_stream(source))
     }
 
+    /// Creates a tailing stream over a `logbus` topic that keeps polling
+    /// (with backoff while caught up) until `target_records` records have
+    /// been read — the follow-mode analog of [`Self::broker_stream`] used
+    /// by the latency harness. Batch ticks block on producer progress, so
+    /// the micro-batch driver is backpressured to the offered rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Source`] for unknown topics.
+    pub fn broker_stream_following(
+        &self,
+        broker: Broker,
+        topic: &str,
+        max_batch_records: usize,
+        target_records: u64,
+    ) -> Result<DStream<Bytes>> {
+        let source = crate::source::BrokerBatchSource::following(
+            broker,
+            topic,
+            max_batch_records,
+            target_records,
+        )
+        .map_err(|e| Error::Source(e.to_string()))?;
+        Ok(self.receiver_stream(source))
+    }
+
     /// Registers an output operation applied to every batch of `stream`.
     pub(crate) fn register_output<T, F>(&self, stream: &DStream<T>, mut f: F)
     where

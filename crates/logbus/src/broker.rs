@@ -137,6 +137,24 @@ impl Broker {
         self.inner.clock.now()
     }
 
+    /// Reads the broker clock as a raw microsecond count.
+    ///
+    /// Event times stamped from this reading are directly comparable
+    /// with the `LogAppendTime` stamps the broker assigns on append —
+    /// both come from the same monotone clock, so sink-observation
+    /// minus event time is a well-defined end-to-end latency.
+    pub fn now_micros(&self) -> i64 {
+        self.inner.clock.now_micros()
+    }
+
+    /// The clock this broker stamps `LogAppendTime` with.
+    ///
+    /// Load generators share it so event times and append stamps live
+    /// in one time domain.
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.inner.clock)
+    }
+
     /// Simulates a network round trip of `micros` microseconds on every
     /// produce and fetch request.
     ///
@@ -538,6 +556,23 @@ mod tests {
         }
         let records = broker.fetch("t", 0, 0, 1000).unwrap();
         assert!(records.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+    }
+
+    #[test]
+    fn log_append_time_has_microsecond_resolution() {
+        // Appends one microsecond apart must receive distinct stamps —
+        // millisecond truncation anywhere in the stamping path would
+        // collapse them.
+        let broker = Broker::with_clock(Arc::new(ManualClock::new(1_000_000)));
+        broker.create_topic("t", TopicConfig::default()).unwrap();
+        broker.produce("t", 0, Record::from_value("a")).unwrap();
+        broker.produce("t", 0, Record::from_value("b")).unwrap();
+        let records = broker.fetch("t", 0, 0, 10).unwrap();
+        assert_eq!(
+            records[1].timestamp.as_micros() - records[0].timestamp.as_micros(),
+            1
+        );
+        assert!(broker.now_micros() > 1_000_000);
     }
 
     #[test]

@@ -15,11 +15,29 @@ use std::time::{SystemTime, UNIX_EPOCH};
 pub trait Clock: Send + Sync + std::fmt::Debug {
     /// Current time in microseconds since the Unix epoch.
     fn now(&self) -> Timestamp;
+
+    /// Current time as a raw microsecond count.
+    ///
+    /// Convenience for latency measurement: the same reading as
+    /// [`Clock::now`], already unwrapped. Shares `now`'s monotonicity
+    /// guarantee.
+    fn now_micros(&self) -> i64 {
+        self.now().as_micros()
+    }
 }
 
-/// Wall-clock time backed by [`SystemTime`].
+/// Wall-clock time backed by [`SystemTime`], made monotone across threads.
+///
+/// `SystemTime` alone may step backwards (NTP adjustments) and gives no
+/// cross-thread ordering; latency deltas computed from raw readings could
+/// go negative. All `SystemClock` instances share a process-wide
+/// high-water mark so readings never decrease, even when the underlying
+/// wall clock does.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct SystemClock;
+
+/// Process-wide high-water mark shared by every [`SystemClock`].
+static SYSTEM_CLOCK_WATERMARK: AtomicI64 = AtomicI64::new(0);
 
 impl SystemClock {
     /// Creates a new system clock.
@@ -30,11 +48,14 @@ impl SystemClock {
 
 impl Clock for SystemClock {
     fn now(&self) -> Timestamp {
-        let micros = SystemTime::now()
+        let raw = SystemTime::now()
             .duration_since(UNIX_EPOCH)
             .unwrap_or_default()
             .as_micros() as i64;
-        Timestamp::from_micros(micros)
+        // fetch_max returns the previous watermark: the reading is the
+        // larger of the raw wall clock and everything handed out before.
+        let prev = SYSTEM_CLOCK_WATERMARK.fetch_max(raw, Ordering::SeqCst);
+        Timestamp::from_micros(raw.max(prev))
     }
 }
 
@@ -96,6 +117,60 @@ mod tests {
         let a = clock.now();
         let b = clock.now();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn system_clock_is_monotone_across_threads() {
+        // Readings interleaved across threads must never decrease once
+        // ordered through a shared channel of observations.
+        let observations = parking_lot::Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let clock = SystemClock::new();
+                    for _ in 0..1_000 {
+                        // Read inside the critical section so push order
+                        // is reading order.
+                        let mut obs = observations.lock();
+                        obs.push(clock.now_micros());
+                    }
+                });
+            }
+        });
+        let obs = observations.into_inner();
+        assert_eq!(obs.len(), 4_000);
+        assert!(
+            obs.windows(2).all(|w| w[0] <= w[1]),
+            "interleaved readings went backwards"
+        );
+    }
+
+    #[test]
+    fn now_micros_has_microsecond_resolution() {
+        // Spin until the clock moves: the step must be sub-millisecond,
+        // pinning that readings are not millisecond-truncated.
+        let clock = SystemClock::new();
+        let a = clock.now_micros();
+        let mut b = clock.now_micros();
+        for _ in 0..1_000_000 {
+            if b != a {
+                break;
+            }
+            b = clock.now_micros();
+        }
+        assert!(b > a, "clock never advanced");
+        assert!(
+            (b - a) < 1_000,
+            "clock step {} us suggests millisecond truncation",
+            b - a
+        );
+    }
+
+    #[test]
+    fn manual_clock_now_micros_matches_now() {
+        let clock = ManualClock::with_auto_tick(500, 0);
+        assert_eq!(clock.now_micros(), 500);
+        assert_eq!(clock.now().as_micros(), 500);
     }
 
     #[test]

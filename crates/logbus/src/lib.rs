@@ -60,6 +60,7 @@
 
 mod admin;
 mod async_producer;
+mod backoff;
 mod broker;
 mod bus;
 mod clock;
@@ -80,6 +81,7 @@ mod topic;
 
 pub use admin::{PartitionInfo, TopicDescription};
 pub use async_producer::AsyncProducer;
+pub use backoff::Backoff;
 pub use broker::Broker;
 pub use bus::Bus;
 pub use clock::{Clock, ManualClock, SystemClock};

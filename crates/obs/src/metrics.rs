@@ -12,10 +12,28 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{SystemTime, UNIX_EPOCH};
 
-/// Number of log2 histogram buckets: bucket `i > 0` holds values `v`
-/// with `2^(i-1) <= v < 2^i`; bucket 0 holds zero. 65 buckets cover the
-/// full `u64` range.
-pub const BUCKETS: usize = 65;
+/// Sub-bucket precision bits of the log-linear histogram layout: every
+/// power-of-two range is split into `2^SUB_BITS` linear sub-buckets, so
+/// the relative quantile error is bounded by `1 / 2^SUB_BITS` (12.5 %)
+/// instead of the factor-of-two error of plain log2 buckets. This is
+/// what makes sub-millisecond latency percentiles meaningful: a 500 µs
+/// observation lands in a 32 µs-wide bucket, not a 256 µs-wide one.
+pub const SUB_BITS: u32 = 3;
+
+/// Linear sub-buckets per power-of-two range (`2^SUB_BITS`).
+pub const SUB_BUCKETS: usize = 1 << SUB_BITS;
+
+/// Values below the cutoff get one exact bucket each (indices `0..16`
+/// hold exactly the value equal to the index).
+const LINEAR_CUTOFF: u64 = 2 * SUB_BUCKETS as u64;
+
+/// First power-of-two exponent served by the log-linear region.
+const FIRST_MAJOR: usize = SUB_BITS as usize + 1;
+
+/// Number of histogram buckets: `LINEAR_CUTOFF` exact small-value
+/// buckets plus `SUB_BUCKETS` per power-of-two range up to `2^63`,
+/// covering the full `u64` range (see [`bucket_index`]).
+pub const BUCKETS: usize = LINEAR_CUTOFF as usize + (63 - SUB_BITS as usize) * SUB_BUCKETS;
 
 /// A monotonically increasing event count.
 #[derive(Debug, Clone, Default)]
@@ -88,6 +106,8 @@ struct HistogramInner {
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
+    /// Smallest observed value; `u64::MAX` while empty.
+    min: AtomicU64,
 }
 
 impl Default for HistogramInner {
@@ -97,37 +117,57 @@ impl Default for HistogramInner {
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
         }
     }
 }
 
-/// A log2-bucketed latency/size histogram.
+/// A log-linear bucketed latency/size histogram (HDR-style: log2 major
+/// buckets, [`SUB_BUCKETS`] linear sub-buckets each).
 ///
-/// Recording is three relaxed atomic adds plus a CAS-free max update —
-/// no locks, no allocation. Quantiles are estimated from bucket upper
-/// bounds, clamped to the observed maximum.
+/// Recording is three relaxed atomic adds plus CAS-free max/min updates
+/// — no locks, no allocation. Quantiles are estimated from bucket upper
+/// bounds, clamped to the observed minimum and maximum.
 #[derive(Debug, Clone, Default)]
 pub struct Histogram(Arc<HistogramInner>);
 
-/// Bucket index for a recorded value.
+/// Bucket index for a recorded value: values below [`SUB_BUCKETS`]` * 2`
+/// map exactly to their own bucket; larger values map to
+/// `(major, sub)` where `major` is the position of the leading bit and
+/// `sub` the next [`SUB_BITS`] bits of the mantissa.
 #[inline]
 pub fn bucket_index(v: u64) -> usize {
-    if v == 0 {
-        0
+    if v < LINEAR_CUTOFF {
+        v as usize
     } else {
-        64 - v.leading_zeros() as usize
+        let major = 63 - v.leading_zeros() as usize;
+        let sub = ((v >> (major - SUB_BITS as usize)) & (SUB_BUCKETS as u64 - 1)) as usize;
+        LINEAR_CUTOFF as usize + (major - FIRST_MAJOR) * SUB_BUCKETS + sub
     }
 }
 
 /// Largest value a bucket can hold (its quantile representative).
 pub fn bucket_high(i: usize) -> u64 {
-    if i == 0 {
-        0
-    } else if i >= 64 {
-        u64::MAX
-    } else {
-        (1u64 << i) - 1
+    if i < LINEAR_CUTOFF as usize {
+        return i as u64;
     }
+    let rel = i - LINEAR_CUTOFF as usize;
+    let major = FIRST_MAJOR + rel / SUB_BUCKETS;
+    let sub = (rel % SUB_BUCKETS) as u64;
+    let shift = (major - SUB_BITS as usize) as u32;
+    let low = (SUB_BUCKETS as u64 + sub) << shift;
+    low + ((1u64 << shift) - 1)
+}
+
+/// Smallest value a bucket can hold.
+pub fn bucket_low(i: usize) -> u64 {
+    if i < LINEAR_CUTOFF as usize {
+        return i as u64;
+    }
+    let rel = i - LINEAR_CUTOFF as usize;
+    let major = FIRST_MAJOR + rel / SUB_BUCKETS;
+    let sub = (rel % SUB_BUCKETS) as u64;
+    (SUB_BUCKETS as u64 + sub) << (major - SUB_BITS as usize)
 }
 
 impl Histogram {
@@ -144,6 +184,7 @@ impl Histogram {
         inner.count.fetch_add(1, Ordering::Relaxed);
         inner.sum.fetch_add(v, Ordering::Relaxed);
         inner.max.fetch_max(v, Ordering::Relaxed);
+        inner.min.fetch_min(v, Ordering::Relaxed);
     }
 
     /// Number of observations so far.
@@ -154,15 +195,21 @@ impl Histogram {
     /// Copies the current state into plain data.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let inner = &*self.0;
+        let count = inner.count.load(Ordering::Relaxed);
+        let max = inner.max.load(Ordering::Relaxed);
+        let raw_min = inner.min.load(Ordering::Relaxed);
         HistogramSnapshot {
             buckets: inner
                 .buckets
                 .iter()
                 .map(|b| b.load(Ordering::Relaxed))
                 .collect(),
-            count: inner.count.load(Ordering::Relaxed),
+            count,
             sum: inner.sum.load(Ordering::Relaxed),
-            max: inner.max.load(Ordering::Relaxed),
+            max,
+            // Normalize the empty sentinel (and a mid-record racy read)
+            // so `min <= max` always holds on a snapshot.
+            min: if count == 0 { 0 } else { raw_min.min(max) },
         }
     }
 
@@ -174,6 +221,7 @@ impl Histogram {
         inner.count.store(0, Ordering::Relaxed);
         inner.sum.store(0, Ordering::Relaxed);
         inner.max.store(0, Ordering::Relaxed);
+        inner.min.store(u64::MAX, Ordering::Relaxed);
     }
 }
 
@@ -188,6 +236,8 @@ pub struct HistogramSnapshot {
     pub sum: u64,
     /// Largest observed value.
     pub max: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
 }
 
 impl HistogramSnapshot {
@@ -198,12 +248,18 @@ impl HistogramSnapshot {
             count: 0,
             sum: 0,
             max: 0,
+            min: 0,
         }
     }
 
     /// Estimated quantile `q` in `[0, 1]`: the upper bound of the first
     /// bucket whose cumulative count reaches `ceil(q * count)`, clamped
-    /// to the observed maximum. Returns 0 for an empty snapshot.
+    /// to the observed `[min, max]` range. The clamp applies to **every**
+    /// quantile, so any quantile that lands in the observed-max bucket
+    /// reports the true observed max (not the bucket edge above it), and
+    /// a quantile landing in the observed-min bucket never reports a
+    /// value below the smallest observation. Returns 0 for an empty
+    /// snapshot.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -214,7 +270,7 @@ impl HistogramSnapshot {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return bucket_high(i).min(self.max);
+                return bucket_high(i).clamp(self.min, self.max);
             }
         }
         self.max
@@ -235,6 +291,12 @@ impl HistogramSnapshot {
         self.quantile(0.99)
     }
 
+    /// 99.9th percentile estimate — the coordinated-omission-sensitive
+    /// tail the latency report quotes.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
     /// Mean of observed values (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -247,6 +309,15 @@ impl HistogramSnapshot {
     /// Folds `other` into `self` (bucket-wise add; commutative and
     /// associative, so merge order never matters).
     pub fn merge(&mut self, other: &HistogramSnapshot) {
+        // Empty sides carry the min sentinel 0, which must not poison
+        // the merged minimum.
+        if other.count > 0 {
+            self.min = if self.count > 0 {
+                self.min.min(other.min)
+            } else {
+                other.min
+            };
+        }
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
             *a += b;
         }
@@ -427,14 +498,16 @@ impl Snapshot {
             }
             crate::json::write_string(&mut out, k);
             out.push_str(&format!(
-                ":{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":{:.3},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+                ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.3},\"p50\":{},\"p95\":{},\"p99\":{},\"p999\":{},\"buckets\":[",
                 h.count,
                 h.sum,
+                h.min,
                 h.max,
                 h.mean(),
                 h.p50(),
                 h.p95(),
                 h.p99(),
+                h.p999(),
             ));
             // Trailing zero buckets carry no information; trim them so
             // the JSON stays compact.
@@ -470,24 +543,37 @@ mod tests {
     }
 
     #[test]
-    fn bucket_boundaries_are_exact_powers_of_two() {
-        assert_eq!(bucket_index(0), 0);
-        assert_eq!(bucket_index(1), 1);
-        assert_eq!(bucket_index(2), 2);
-        assert_eq!(bucket_index(3), 2);
-        assert_eq!(bucket_index(4), 3);
-        for k in 1..63 {
-            let low = 1u64 << (k - 1);
-            let high = (1u64 << k) - 1;
-            assert_eq!(bucket_index(low), k, "lower edge of bucket {k}");
-            assert_eq!(bucket_index(high), k, "upper edge of bucket {k}");
-            assert_eq!(bucket_index(high + 1), k + 1, "first value past bucket {k}");
+    fn bucket_layout_is_log_linear() {
+        // Small values are exact: one bucket per value below the cutoff.
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize, "exact bucket for {v}");
+            assert_eq!(bucket_high(v as usize), v);
+            assert_eq!(bucket_low(v as usize), v);
         }
-        assert_eq!(bucket_index(u64::MAX), 64);
-        assert_eq!(bucket_high(0), 0);
-        assert_eq!(bucket_high(1), 1);
-        assert_eq!(bucket_high(4), 15);
-        assert_eq!(bucket_high(64), u64::MAX);
+        // Buckets tile the u64 range: consecutive indices, no gaps.
+        for i in 0..BUCKETS - 1 {
+            assert_eq!(
+                bucket_low(i + 1),
+                bucket_high(i) + 1,
+                "bucket {i} upper edge must abut bucket {} lower edge",
+                i + 1
+            );
+        }
+        assert_eq!(bucket_high(BUCKETS - 1), u64::MAX);
+        // Every bucket contains its own edges.
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_low(i)), i, "low edge of bucket {i}");
+            assert_eq!(bucket_index(bucket_high(i)), i, "high edge of bucket {i}");
+        }
+        // Relative bucket width is bounded by 1/SUB_BUCKETS.
+        for &v in &[100u64, 999, 65_537, 1_000_000, u64::MAX / 3] {
+            let i = bucket_index(v);
+            let width = bucket_high(i) - bucket_low(i) + 1;
+            assert!(
+                (width as f64) <= (bucket_low(i) as f64) / SUB_BUCKETS as f64 + 1.0,
+                "bucket width {width} too coarse at {v}"
+            );
+        }
     }
 
     #[test]
@@ -500,12 +586,104 @@ mod tests {
         assert_eq!(s.count, 6);
         assert_eq!(s.sum, 1116);
         assert_eq!(s.max, 1000);
-        // p50 rank = 3 → third value (3) lives in bucket 2 (values 2..=3).
+        // p50 rank = 3 → third value (3) has its own exact bucket.
         assert_eq!(s.p50(), 3);
         // Top quantiles clamp to the observed max, not the bucket edge.
         assert_eq!(s.quantile(1.0), 1000);
         assert!(s.p99() <= 1000);
         assert!((s.mean() - 186.0).abs() < 0.001);
+        assert_eq!(s.min, 1);
+    }
+
+    #[test]
+    fn all_quantiles_in_max_bucket_clamp_to_observed_max() {
+        // Every observation is the same off-edge value: whatever bucket
+        // it lands in, every quantile — p50 and p95 included, not just
+        // p99 — must report the observed max, not the bucket's upper
+        // edge (1000 lives in the 960..=1023 bucket).
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(1000);
+        }
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 0.95, 0.99, 0.999, 1.0] {
+            assert_eq!(s.quantile(q), 1000, "quantile({q})");
+        }
+        assert_eq!(s.p999(), 1000);
+    }
+
+    #[test]
+    fn low_quantiles_clamp_to_observed_min() {
+        let h = Histogram::new();
+        h.record(970); // same bucket as 1000 (960..=1023)
+        for _ in 0..99 {
+            h.record(1000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.min, 970);
+        assert!(s.quantile(0.0) >= 970);
+        assert!(s.p50() <= 1000);
+    }
+
+    /// Satellite: merge + quantile estimates under concurrent observers
+    /// — snapshots taken while recorders are still running must stay
+    /// internally consistent (count equals bucket mass, quantiles inside
+    /// `[min, max]`), and the post-join merged view must be exact.
+    #[test]
+    fn concurrent_observers_merge_and_quantiles() {
+        let shared = Histogram::new();
+        let threads = 8usize;
+        let per_thread = 2_000u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let shared = shared.clone();
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        // Spread across buckets: value depends on both
+                        // thread and iteration.
+                        shared.record((t as u64 + 1) * 100 + (i % 50));
+                    }
+                });
+            }
+            // Mid-flight snapshots: never torn beyond per-field races.
+            for _ in 0..50 {
+                let s = shared.snapshot();
+                assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+                if s.count > 0 {
+                    assert!(s.min <= s.max);
+                    let p = s.p999();
+                    assert!(p >= s.min && p <= s.max);
+                    assert!(s.p50() <= s.p95() && s.p95() <= s.p99());
+                }
+                std::thread::yield_now();
+            }
+        });
+        let total = shared.snapshot();
+        assert_eq!(total.count, threads as u64 * per_thread);
+        assert_eq!(total.min, 100);
+        assert_eq!(total.max, 849);
+
+        // Independent per-thread histograms merged afterwards equal the
+        // shared one observed concurrently.
+        let parts: Vec<HistogramSnapshot> = (0..threads)
+            .map(|t| {
+                let h = Histogram::new();
+                for i in 0..per_thread {
+                    h.record((t as u64 + 1) * 100 + (i % 50));
+                }
+                h.snapshot()
+            })
+            .collect();
+        let mut merged = HistogramSnapshot::empty();
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged.buckets, total.buckets);
+        assert_eq!(merged.min, total.min);
+        assert_eq!(merged.max, total.max);
+        for q in [0.5, 0.95, 0.99, 0.999] {
+            assert_eq!(merged.quantile(q), total.quantile(q), "quantile({q})");
+        }
     }
 
     #[test]

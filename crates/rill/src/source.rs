@@ -7,47 +7,11 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Bounded exponential backoff for idle polls: a handful of spin-loop
-/// hints, then scheduler yields, then short sleeps that double up to a
-/// 1 ms cap — so a source waiting on a slow producer reacts in
-/// microseconds when data is close but stops burning a core when it
-/// is not. `reset` re-arms the fast path after progress.
-#[derive(Debug, Default)]
-pub struct Backoff {
-    step: u32,
-}
-
-impl Backoff {
-    const SPINS: u32 = 6;
-    const YIELDS: u32 = 10;
-    const MAX_SLEEP_MICROS: u64 = 1000;
-
-    /// Creates a backoff at the hot (spinning) end of the scale.
-    pub fn new() -> Self {
-        Backoff::default()
-    }
-
-    /// Re-arms the backoff after progress was made.
-    pub fn reset(&mut self) {
-        self.step = 0;
-    }
-
-    /// Waits one escalating step: spin, yield, or sleep.
-    pub fn snooze(&mut self) {
-        if self.step < Self::SPINS {
-            for _ in 0..(1u32 << self.step) {
-                std::hint::spin_loop();
-            }
-        } else if self.step < Self::SPINS + Self::YIELDS {
-            std::thread::yield_now();
-        } else {
-            let exp = (self.step - Self::SPINS - Self::YIELDS).min(6);
-            let micros = (16u64 << exp).min(Self::MAX_SLEEP_MICROS);
-            std::thread::sleep(std::time::Duration::from_micros(micros));
-        }
-        self.step = self.step.saturating_add(1);
-    }
-}
+/// Bounded exponential backoff for idle polls, shared with every engine
+/// connector through `logbus` (see [`logbus::Backoff`]): spin, then
+/// yield, then capped sleeps, with `reset` re-arming the fast path after
+/// progress.
+pub use logbus::Backoff;
 
 /// One parallel instance of a source, driving elements into the head of an
 /// operator chain.
@@ -454,17 +418,6 @@ mod tests {
         let collected = items.lock();
         assert_eq!(collected.len(), 40, "a slow producer loses no records");
         assert_eq!(&collected[39][..], b"r39", "order preserved");
-    }
-
-    #[test]
-    fn backoff_escalates_and_resets() {
-        let mut backoff = Backoff::new();
-        for _ in 0..Backoff::SPINS + Backoff::YIELDS + 2 {
-            backoff.snooze();
-        }
-        assert!(backoff.step > Backoff::SPINS + Backoff::YIELDS);
-        backoff.reset();
-        assert_eq!(backoff.step, 0);
     }
 
     #[test]
