@@ -3,7 +3,12 @@
 
 use crate::operator::{Emitter, InputOperator, Operator, OperatorContext};
 use bytes::Bytes;
-use logbus::{Broker, PartitionReader, PartitionWriter, Record, StoredRecord};
+use logbus::{AssignmentStrategy, Broker, GroupedReader, PartitionWriter, Record};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotonic suffix for auto-generated consumer-group names.
+static NEXT_GROUP_ID: AtomicU64 = AtomicU64::new(0);
 
 /// Bounded input operator reading a `logbus` topic, one streaming window
 /// per `window_size` records (paper's Kafka input operator). In follow
@@ -12,26 +17,24 @@ use logbus::{Broker, PartitionReader, PartitionWriter, Record, StoredRecord};
 /// — until a target record count has been emitted, so the window loop is
 /// throttled to the producer's rate instead of spinning through empty
 /// windows.
+///
+/// The operator is a consumer-group member (auto-named per operator;
+/// [`KafkaInput::in_group`] shares a named group across parallel
+/// operators so they split the topic via the coordinator's rebalance
+/// protocol). Ownership handovers commit positions, so the group reads
+/// the topic exactly once.
 #[derive(Debug)]
 pub struct KafkaInput {
     broker: Broker,
     topic: String,
     window_size: usize,
-    /// Per-partition cursors captured at setup, each holding a cached
-    /// fetch handle so per-window fetches skip the topic-name lookup.
-    cursors: Vec<InputCursor>,
-    /// Fetch buffer reused across windows.
-    fetch_buffer: Vec<StoredRecord>,
+    /// Explicit consumer-group name; auto-generated at setup when unset.
+    group: Option<String>,
+    /// Group-coordinated cursors, joined at setup.
+    reader: Option<GroupedReader>,
     /// `Some(target)` puts the operator in follow mode.
     follow_target: Option<u64>,
     emitted_total: u64,
-}
-
-#[derive(Debug)]
-struct InputCursor {
-    reader: PartitionReader,
-    position: u64,
-    end: u64,
 }
 
 /// How long a follow-mode input waits inside one window without any new
@@ -39,17 +42,25 @@ struct InputCursor {
 const FOLLOW_STALL_LIMIT: std::time::Duration = std::time::Duration::from_secs(10);
 
 impl KafkaInput {
-    /// Creates an input over all partitions of `topic`.
+    /// Creates an input over `topic`, joining a fresh single-member
+    /// consumer group at setup.
     pub fn new(broker: Broker, topic: impl Into<String>) -> Self {
         KafkaInput {
             broker,
             topic: topic.into(),
             window_size: 2048,
-            cursors: Vec::new(),
-            fetch_buffer: Vec::new(),
+            group: None,
+            reader: None,
             follow_target: None,
             emitted_total: 0,
         }
+    }
+
+    /// Joins the named consumer group instead of a fresh one — parallel
+    /// operators sharing a group split the topic's partitions.
+    pub fn in_group(mut self, group: impl Into<String>) -> Self {
+        self.group = Some(group.into());
+        self
     }
 
     /// Switches to follow mode: windows keep reading past the offsets
@@ -60,61 +71,38 @@ impl KafkaInput {
         self
     }
 
-    /// One fetch pass over the cursors, emitting up to `cap` tuples.
-    /// Returns the number emitted.
-    fn emit_pass(&mut self, cap: usize, out: &mut dyn Emitter<Bytes>) -> usize {
-        let mut emitted = 0usize;
-        for cursor in &mut self.cursors {
-            if emitted >= cap || cursor.position >= cursor.end {
-                continue;
-            }
-            let want = (cap - emitted).min((cursor.end - cursor.position) as usize);
-            self.fetch_buffer.clear();
-            if cursor
-                .reader
-                .fetch_into(cursor.position, want, &mut self.fetch_buffer)
-                .is_err()
-            {
-                continue;
-            }
-            if let Some(last) = self.fetch_buffer.last() {
-                cursor.position = last.offset + 1;
-            }
-            for stored in self.fetch_buffer.drain(..) {
-                out.emit(stored.record.value);
-                emitted += 1;
-            }
-        }
-        emitted
-    }
-
     /// Follow-mode window: block (refreshing ends, backing off) until at
     /// least one tuple is available, the target is reached, or the
     /// producer stalls past [`FOLLOW_STALL_LIMIT`].
     fn emit_window_following(&mut self, target: u64, out: &mut dyn Emitter<Bytes>) -> bool {
+        let Some(reader) = self.reader.as_mut() else {
+            return false;
+        };
         if self.emitted_total >= target {
+            let _ = reader.leave();
             return false;
         }
         let mut backoff = logbus::Backoff::new();
         let started = std::time::Instant::now();
         loop {
-            for cursor in &mut self.cursors {
-                if let Ok(end) = cursor.reader.latest_offset() {
-                    cursor.end = cursor.end.max(end);
-                }
-            }
+            let _ = reader.poll_rebalance();
+            reader.refresh_ends();
             let cap = self
                 .window_size
                 .min((target - self.emitted_total) as usize)
                 .max(1);
-            let emitted = self.emit_pass(cap, out);
+            let emitted = reader.fetch_pass(cap, &mut |_p, stored| out.emit(stored.record.value));
             if emitted > 0 {
                 self.emitted_total += emitted as u64;
+                // Commit so an ownership handover resumes past what this
+                // operator already emitted.
+                let _ = reader.commit();
                 return self.emitted_total < target;
             }
             if started.elapsed() >= FOLLOW_STALL_LIMIT {
                 // No producer progress for the whole stall window: end
                 // the stream instead of hanging the DAG.
+                let _ = reader.leave();
                 return false;
             }
             backoff.snooze();
@@ -125,35 +113,41 @@ impl KafkaInput {
 impl InputOperator<Bytes> for KafkaInput {
     fn setup(&mut self, ctx: &OperatorContext) {
         self.window_size = ctx.window_size;
-        let retry = logbus::RetryPolicy::default();
-        if let Ok(topic) = self.broker.topic(&self.topic) {
-            for p in 0..topic.partition_count() {
-                // Resolution retries through transient broker faults so a
-                // flaky setup never silently drops a partition.
-                let Ok(reader) =
-                    logbus::with_retry(&retry, || self.broker.partition_reader(&self.topic, p))
-                else {
-                    continue;
-                };
-                let position = topic.earliest_offset(p).unwrap_or(0);
-                let end = topic.latest_offset(p).unwrap_or(position);
-                self.cursors.push(InputCursor {
-                    reader,
-                    position,
-                    end,
-                });
-            }
-        }
+        let group = self.group.clone().unwrap_or_else(|| {
+            format!("apx-src-{}", NEXT_GROUP_ID.fetch_add(1, Ordering::Relaxed))
+        });
+        let bus: Arc<dyn logbus::Bus> = Arc::new(self.broker.clone());
+        // A missing topic stays harmless: the operator just emits
+        // nothing, as before the group protocol.
+        self.reader = if self.follow_target.is_some() {
+            GroupedReader::following(bus, &self.topic, &group, AssignmentStrategy::Range).ok()
+        } else {
+            GroupedReader::bounded(bus, &self.topic, &group, AssignmentStrategy::Range).ok()
+        };
     }
 
     fn emit_window(&mut self, _window_id: u64, out: &mut dyn Emitter<Bytes>) -> bool {
         if let Some(target) = self.follow_target {
             return self.emit_window_following(target, out);
         }
-        self.emit_pass(self.window_size, out);
-        self.cursors
-            .iter()
-            .any(|cursor| cursor.position < cursor.end)
+        let Some(reader) = self.reader.as_mut() else {
+            return false;
+        };
+        let _ = reader.poll_rebalance();
+        let emitted = reader.fetch_pass(self.window_size, &mut |_p, stored| {
+            out.emit(stored.record.value);
+        });
+        let _ = reader.commit();
+        if reader.drained() {
+            let _ = reader.leave();
+            return false;
+        }
+        if emitted == 0 {
+            // A peer still owns an undrained partition (or a fetch
+            // faulted); keep the window loop alive without spinning hot.
+            std::thread::yield_now();
+        }
+        true
     }
 }
 

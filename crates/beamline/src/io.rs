@@ -103,6 +103,7 @@ impl BrokerIO {
             topic: topic.into(),
             fetch_size: 2048,
             follow: None,
+            group: None,
         }
     }
 
@@ -119,18 +120,32 @@ impl BrokerIO {
 /// The read transform. Expands into **two** stages — the raw source plus
 /// the record-assembly flat map — exactly the `Source` + `Flat Map` head
 /// of the paper's Fig. 13 plan.
+///
+/// Every expanded read is backed by one consumer group (auto-named per
+/// transform, or [`BrokerRead::consumer_group`]): each parallel source
+/// instance joins as a member and the coordinator's rebalance protocol
+/// splits the topic's partitions among them, with position handover on
+/// ownership changes.
 #[derive(Debug, Clone)]
 pub struct BrokerRead {
     broker: Broker,
     topic: String,
     fetch_size: usize,
     follow: Option<u64>,
+    group: Option<String>,
 }
 
 impl BrokerRead {
     /// Overrides the per-request fetch size.
     pub fn fetch_size(mut self, records: usize) -> Self {
         self.fetch_size = records.max(1);
+        self
+    }
+
+    /// Names the consumer group the expanded source instances join —
+    /// reads sharing a name share partition ownership.
+    pub fn consumer_group(mut self, group: impl Into<String>) -> Self {
+        self.group = Some(group.into());
         self
     }
 
@@ -155,155 +170,113 @@ struct BrokerRawSource {
     topic: String,
     fetch_size: usize,
     follow: Option<u64>,
+    group: String,
+}
+
+impl BrokerRawSource {
+    /// Encodes one fetched record and hands it to `emit`.
+    fn emit_record(
+        topic: &str,
+        emit: &mut RawEmit<'_>,
+        partition: u32,
+        stored: logbus::StoredRecord,
+    ) {
+        // Key/value move out of the fetched record — refcounted views of
+        // segment storage, never payload copies. The encode buffer comes
+        // from the pool tier the downstream stage recycles into.
+        let record = KafkaRecord {
+            topic: topic.to_string(),
+            partition,
+            offset: stored.offset,
+            timestamp_micros: stored.timestamp.as_micros(),
+            key: stored.record.key,
+            value: stored.record.value,
+        };
+        let mut buf = logbus::pool::byte_vec();
+        KafkaRecordCoder.encode_into(&record, &mut buf);
+        emit(WindowedValue::timestamped(
+            buf,
+            Instant(record.timestamp_micros),
+        ));
+    }
 }
 
 impl RawSource for BrokerRawSource {
-    fn read(&mut self, emit: RawEmit<'_>) {
+    fn read(&mut self, mut emit: RawEmit<'_>) {
         if let Some(target) = self.follow {
             self.read_following(target, emit);
             return;
         }
-        let Ok(topic) = self.broker.topic(&self.topic) else {
+        let bus: Arc<dyn logbus::Bus> = Arc::new(self.broker.clone());
+        let Ok(mut reader) = logbus::GroupedReader::bounded(
+            bus,
+            &self.topic,
+            &self.group,
+            logbus::AssignmentStrategy::Range,
+        ) else {
             return;
         };
-        let coder = KafkaRecordCoder;
-        // Cached per-partition handle plus one reused fetch buffer: the
-        // fetch loop resolves the topic name once, not per request.
-        // Emitted payload buffers come from the pool tier the downstream
-        // stage recycles into, so steady-state emission reuses the same
-        // handful of buffers.
-        let mut batch = Vec::with_capacity(self.fetch_size);
-        let retry = logbus::RetryPolicy::default();
-        for partition in 0..topic.partition_count() {
-            // Resolution retries through transient broker faults; the
-            // reader handle retries its own fetches.
-            let Ok(reader) = logbus::with_retry(&retry, || {
-                self.broker.partition_reader(&self.topic, partition)
-            }) else {
-                continue;
-            };
-            let Ok(end) = topic.latest_offset(partition) else {
-                continue;
-            };
-            let mut offset = topic.earliest_offset(partition).unwrap_or(0);
-            while offset < end {
-                let want = self.fetch_size.min((end - offset) as usize);
-                batch.clear();
-                let Ok(appended) = reader.fetch_into(offset, want, &mut batch) else {
-                    break;
-                };
-                if appended == 0 {
-                    break;
-                }
-                // `appended > 0` was checked, but guard instead of panic
-                // on the connector path.
-                let Some(last) = batch.last() else {
-                    break;
-                };
-                offset = last.offset + 1;
-                for stored in batch.drain(..) {
-                    // Key/value move out of the fetched record — refcounted
-                    // views of segment storage, never payload copies.
-                    let record = KafkaRecord {
-                        topic: self.topic.clone(),
-                        partition,
-                        offset: stored.offset,
-                        timestamp_micros: stored.timestamp.as_micros(),
-                        key: stored.record.key,
-                        value: stored.record.value,
-                    };
-                    let mut buf = logbus::pool::byte_vec();
-                    coder.encode_into(&record, &mut buf);
-                    emit(WindowedValue::timestamped(
-                        buf,
-                        Instant(record.timestamp_micros),
-                    ));
-                }
-            }
-        }
+        let topic = self.topic.clone();
+        while reader
+            .next_batch(
+                self.fetch_size,
+                FOLLOW_STALL_LIMIT,
+                &mut |partition, stored| {
+                    Self::emit_record(&topic, &mut emit, partition, stored);
+                },
+            )
+            .is_some()
+        {}
     }
 }
 
 impl BrokerRawSource {
-    /// Tailing read: poll every partition (ends refreshed each pass,
-    /// with backoff while caught up) until `target` records have been
-    /// emitted or the producer stalls past [`FOLLOW_STALL_LIMIT`].
-    fn read_following(&mut self, target: u64, emit: RawEmit<'_>) {
-        let coder = KafkaRecordCoder;
-        let retry = logbus::RetryPolicy::default();
-        let Ok(topic) = self.broker.topic(&self.topic) else {
+    /// Tailing read: poll the owned partitions (ends refreshed each
+    /// pass, with backoff while caught up) until `target` records have
+    /// been emitted or the producer stalls past [`FOLLOW_STALL_LIMIT`].
+    fn read_following(&mut self, target: u64, mut emit: RawEmit<'_>) {
+        let bus: Arc<dyn logbus::Bus> = Arc::new(self.broker.clone());
+        let Ok(mut reader) = logbus::GroupedReader::following(
+            bus,
+            &self.topic,
+            &self.group,
+            logbus::AssignmentStrategy::Range,
+        ) else {
             return;
         };
-        let mut cursors = Vec::new();
-        for partition in 0..topic.partition_count() {
-            let Ok(reader) = logbus::with_retry(&retry, || {
-                self.broker.partition_reader(&self.topic, partition)
-            }) else {
-                continue;
-            };
-            let position = reader.earliest_offset().unwrap_or(0);
-            cursors.push((partition, reader, position));
-        }
-        if cursors.is_empty() {
-            return;
-        }
-        let mut batch = Vec::with_capacity(self.fetch_size);
+        let topic = self.topic.clone();
         let mut backoff = logbus::Backoff::new();
         let mut last_progress = std::time::Instant::now();
         let mut emitted = 0u64;
         while emitted < target {
-            let mut progressed = false;
-            for (partition, reader, position) in &mut cursors {
-                if emitted >= target {
-                    break;
-                }
-                let want = self.fetch_size.min((target - emitted) as usize);
-                batch.clear();
-                let Ok(appended) = reader.fetch_into(*position, want, &mut batch) else {
-                    continue;
-                };
-                if appended == 0 {
-                    continue;
-                }
-                // Guard instead of panic on the connector path; an empty
-                // batch after `appended > 0` cannot happen.
-                let Some(last) = batch.last() else {
-                    continue;
-                };
-                *position = last.offset + 1;
-                for stored in batch.drain(..) {
-                    let record = KafkaRecord {
-                        topic: self.topic.clone(),
-                        partition: *partition,
-                        offset: stored.offset,
-                        timestamp_micros: stored.timestamp.as_micros(),
-                        key: stored.record.key,
-                        value: stored.record.value,
-                    };
-                    let mut buf = logbus::pool::byte_vec();
-                    coder.encode_into(&record, &mut buf);
-                    emit(WindowedValue::timestamped(
-                        buf,
-                        Instant(record.timestamp_micros),
-                    ));
-                    emitted += 1;
-                }
-                progressed = true;
-            }
-            if progressed {
+            let _ = reader.poll_rebalance();
+            reader.refresh_ends();
+            let want = self.fetch_size.min((target - emitted) as usize).max(1);
+            let delivered = reader.fetch_pass(want, &mut |partition, stored| {
+                Self::emit_record(&topic, &mut emit, partition, stored);
+            });
+            if delivered > 0 {
+                emitted += delivered as u64;
+                // Commit so an ownership handover resumes past what this
+                // instance already emitted.
+                let _ = reader.commit();
                 backoff.reset();
                 last_progress = std::time::Instant::now();
             } else {
                 if last_progress.elapsed() >= FOLLOW_STALL_LIMIT {
                     // No producer progress for the whole stall window:
                     // end the read instead of hanging the pipeline.
-                    return;
+                    break;
                 }
                 backoff.snooze();
             }
         }
+        let _ = reader.leave();
     }
 }
+
+/// Monotonic suffix for auto-generated consumer-group names.
+static NEXT_GROUP_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 impl RootTransform<KafkaRecord> for BrokerRead {
     fn expand(self, pipeline: &Pipeline) -> PCollection<KafkaRecord> {
@@ -311,12 +284,21 @@ impl RootTransform<KafkaRecord> for BrokerRead {
         let topic = self.topic.clone();
         let fetch_size = self.fetch_size;
         let follow = self.follow;
+        // One group per expanded read: every parallel source instance the
+        // runner creates from this factory joins it as a member.
+        let group = self.group.clone().unwrap_or_else(|| {
+            format!(
+                "beamline-src-{}",
+                NEXT_GROUP_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            )
+        });
         let factory: Arc<dyn Fn() -> Box<dyn RawSource> + Send + Sync> = Arc::new(move || {
             Box::new(BrokerRawSource {
                 broker: broker.clone(),
                 topic: topic.clone(),
                 fetch_size,
                 follow,
+                group: group.clone(),
             }) as Box<dyn RawSource>
         });
         let read_node = pipeline.add_stage(

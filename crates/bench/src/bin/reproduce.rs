@@ -18,6 +18,11 @@
 //! # and a sustainable-vs-overloaded verdict per trial
 //! # (`STREAMBENCH_LATENCY_*` env vars set records/warmup/bounds):
 //! cargo run --release -p streambench-bench --bin reproduce -- --latency --rates 500,2000,8000 --latency-json latency.json
+//! # Scale-out mode: binary-search the max sustainable open-loop rate
+//! # per (engine, SDK, parallelism) cell, input topic partitioned to
+//! # the cell's parallelism and split by the engine's consumer group
+//! # (`STREAMBENCH_SCALEOUT_*` env vars set records/bracket/iters):
+//! cargo run --release -p streambench-bench --bin reproduce -- --scaleout --parallelisms 1,2,4,8,16,32 --scaleout-json scaleout.json
 //! ```
 //!
 //! Absolute numbers differ from the paper (this substrate is an
@@ -27,7 +32,8 @@
 
 use std::collections::BTreeMap;
 use streambench_core::{
-    report, Api, BenchConfig, BenchmarkRunner, LatencyConfig, Measurement, Query, System,
+    report, Api, BenchConfig, BenchmarkRunner, LatencyConfig, Measurement, Query, ScaleoutConfig,
+    System,
 };
 
 fn main() {
@@ -37,6 +43,9 @@ fn main() {
     let latency = take_flag(&mut args, "--latency");
     let rates = take_value(&mut args, "--rates");
     let latency_json = take_value(&mut args, "--latency-json");
+    let scaleout = take_flag(&mut args, "--scaleout");
+    let parallelisms = take_value(&mut args, "--parallelisms");
+    let scaleout_json = take_value(&mut args, "--scaleout-json");
     let target = args.first().map_or("all", String::as_str);
 
     if obs_json.is_some() {
@@ -46,6 +55,14 @@ fn main() {
 
     if latency {
         latency_mode(rates.as_deref(), latency_json.as_deref());
+        if let Some(path) = obs_json {
+            export_obs(&path);
+        }
+        return;
+    }
+
+    if scaleout {
+        scaleout_mode(parallelisms.as_deref(), scaleout_json.as_deref());
         if let Some(path) = obs_json {
             export_obs(&path);
         }
@@ -187,6 +204,50 @@ fn latency_mode(rates: Option<&str>, json_path: Option<&str>) {
             std::process::exit(1);
         }
         eprintln!("latency report written to {path}");
+    }
+}
+
+/// The scale-out benchmark: binary-searches the max sustainable
+/// open-loop rate per (engine, SDK, parallelism) cell. The input topic
+/// is partitioned to the cell's parallelism, records are key-hash
+/// routed through the shared producer partitioner, and the engine's
+/// consumer group splits the partitions across its parallel sources.
+/// Defaults come from `STREAMBENCH_SCALEOUT_*`; `--parallelisms a,b,c`
+/// overrides the sweep.
+fn scaleout_mode(parallelisms: Option<&str>, json_path: Option<&str>) {
+    let mut config = ScaleoutConfig::from_env();
+    if let Some(raw) = parallelisms {
+        let parsed: Vec<usize> = raw
+            .split(',')
+            .filter_map(|part| part.trim().parse().ok())
+            .filter(|p: &usize| *p > 0)
+            .collect();
+        if parsed.is_empty() {
+            eprintln!(
+                "--parallelisms requires a comma-separated list of positive integers, got `{raw}`"
+            );
+            std::process::exit(2);
+        }
+        config = config.parallelisms(parsed);
+    }
+    eprintln!(
+        "running scale-out sweep: {} query, {} records/probe, bracket [{:.0}, {:.0}] rec/s, parallelisms {:?}",
+        config.query, config.records, config.min_rate, config.max_rate, config.parallelisms
+    );
+    let report = match streambench_core::run_scaleout(&config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("scale-out sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", report::scaleout_table(&report));
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("scale-out report written to {path}");
     }
 }
 

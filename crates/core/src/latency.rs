@@ -35,8 +35,8 @@
 
 use crate::config::{env_f64, env_list, env_u64};
 use crate::queries::{self, Query};
-use crate::runner::{fresh_yarn_cluster, BenchError};
-use crate::sender::{parse_event_time_micros, send_open_loop, OpenLoopSchedule};
+use crate::runner::{fresh_yarn_cluster_for, BenchError};
+use crate::sender::{parse_event_time_micros, send_open_loop_partitioned, OpenLoopSchedule};
 use crate::setup::{all_setups, Setup, System};
 use beamline::runners::{ApxRunner, DStreamRunner, RillRunner};
 use beamline::PipelineRunner;
@@ -67,6 +67,11 @@ pub struct LatencyConfig {
     pub catchup_ratio: f64,
     /// Simulated broker network round trip per request, in microseconds.
     pub request_latency_micros: u64,
+    /// Partitions of the input topic. With more than one, the open-loop
+    /// sender key-hash-routes records through the shared producer
+    /// partitioner ([`send_open_loop_partitioned`]) and the engines'
+    /// consumer groups split the partitions among parallel sources.
+    pub input_partitions: usize,
     /// Micro-batch size of the `dstream` engine.
     pub dstream_batch_records: usize,
     /// Streaming-window size of the `apx` engine.
@@ -86,6 +91,7 @@ impl Default for LatencyConfig {
             p99_bound_micros: 200_000,
             catchup_ratio: 1.5,
             request_latency_micros: 25,
+            input_partitions: 1,
             dstream_batch_records: 2_000,
             apx_window_size: 2_048,
             seed: 2019,
@@ -144,6 +150,12 @@ impl LatencyConfig {
     /// Sets the query under test.
     pub fn query(mut self, query: Query) -> Self {
         self.query = query;
+        self
+    }
+
+    /// Sets the input topic's partition count.
+    pub fn input_partitions(mut self, partitions: usize) -> Self {
+        self.input_partitions = partitions.max(1);
         self
     }
 }
@@ -281,7 +293,7 @@ impl LatencyReport {
 }
 
 /// Formats a float as JSON (finite; `NaN`/inf degrade to `0`).
-fn fmt_f64(v: f64) -> String {
+pub(crate) fn fmt_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -330,14 +342,21 @@ pub fn run_latency(config: &LatencyConfig) -> Result<LatencyReport, BenchError> 
 const SCHEDULE_LEAD_MICROS: i64 = 5_000;
 
 /// One trial: fresh broker, open-loop sender thread, follow-mode engine
-/// on the calling thread, sink-side latency measurement.
-fn run_trial(config: &LatencyConfig, setup: Setup, rate: f64) -> Result<LatencyTrial, BenchError> {
+/// on the calling thread, sink-side latency measurement. `pub(crate)`
+/// so the scale-out sweep ([`crate::scaleout`]) can binary-search over
+/// the same trial machinery.
+pub(crate) fn run_trial(
+    config: &LatencyConfig,
+    setup: Setup,
+    rate: f64,
+) -> Result<LatencyTrial, BenchError> {
     let mut trial_span = obs::span("latency.trial");
     trial_span.field("setup", setup.to_string());
     trial_span.field("rate", format!("{rate}"));
+    let partitions = config.input_partitions.max(1) as u32;
     let broker = Broker::new();
     broker.set_request_latency_micros(config.request_latency_micros);
-    broker.create_topic("input", TopicConfig::default())?;
+    broker.create_topic("input", TopicConfig::default().partitions(partitions))?;
     broker.create_topic("output", TopicConfig::default())?;
 
     let schedule = OpenLoopSchedule::new(broker.now_micros() + SCHEDULE_LEAD_MICROS, rate);
@@ -347,7 +366,9 @@ fn run_trial(config: &LatencyConfig, setup: Setup, rate: f64) -> Result<LatencyT
         let seed = config.seed;
         std::thread::Builder::new()
             .name("latency-open-loop-sender".into())
-            .spawn(move || send_open_loop(&broker, "input", &schedule, records, seed))
+            .spawn(move || {
+                send_open_loop_partitioned(&broker, "input", partitions, &schedule, records, seed)
+            })
             .map_err(|e| BenchError::Broker(format!("sender thread spawn failed: {e}")))?
     };
 
@@ -461,7 +482,7 @@ fn execute_following(broker: &Broker, config: &LatencyConfig, setup: Setup) -> R
         .map(drop)
         .map_err(|e| e.to_string()),
         (System::Apx, Api::Native) => {
-            let mut rm = fresh_yarn_cluster();
+            let mut rm = fresh_yarn_cluster_for(setup.parallelism);
             queries::native_apx_following(
                 broker,
                 config.query,
@@ -483,7 +504,11 @@ fn execute_following(broker: &Broker, config: &LatencyConfig, setup: Setup) -> R
                 config.records,
             );
             let runner: Box<dyn PipelineRunner> = match system {
-                System::Rill => Box::new(RillRunner::new().with_parallelism(setup.parallelism)),
+                System::Rill => Box::new(
+                    RillRunner::new()
+                        .with_parallelism(setup.parallelism)
+                        .with_cluster(rill::ClusterSpec::local_for(setup.parallelism)),
+                ),
                 System::DStream => Box::new(
                     DStreamRunner::new()
                         .with_parallelism(setup.parallelism)

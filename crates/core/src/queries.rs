@@ -220,7 +220,11 @@ fn native_rill_impl(
     parallelism: usize,
     follow: Option<u64>,
 ) -> rill::Result<rill::JobResult> {
-    let env = rill::StreamExecutionEnvironment::local();
+    // `local_for` widens the slot pool past the host core count when
+    // needed, so high-parallelism scale-out cells schedule instead of
+    // failing with "not enough slots" on small hosts.
+    let env =
+        rill::StreamExecutionEnvironment::with_cluster(rill::ClusterSpec::local_for(parallelism));
     env.set_parallelism(parallelism);
     let mut source = rill::BrokerSource::new(broker.clone(), input_topic);
     if let Some(target) = follow {

@@ -386,7 +386,11 @@ impl BenchmarkRunner {
             (system, Api::Beam) => {
                 let pipeline = queries::beam_pipeline(broker, query, "input", output_topic);
                 let runner: Box<dyn PipelineRunner> = match system {
-                    System::Rill => Box::new(RillRunner::new().with_parallelism(setup.parallelism)),
+                    System::Rill => Box::new(
+                        RillRunner::new()
+                            .with_parallelism(setup.parallelism)
+                            .with_cluster(rill::ClusterSpec::local_for(setup.parallelism)),
+                    ),
                     System::DStream => Box::new(
                         DStreamRunner::new()
                             .with_parallelism(setup.parallelism)
@@ -410,8 +414,17 @@ impl BenchmarkRunner {
 /// A fresh two-worker YARN-style cluster, matching the paper's two
 /// worker nodes.
 pub fn fresh_yarn_cluster() -> yarnsim::ResourceManager {
+    fresh_yarn_cluster_for(1)
+}
+
+/// A fresh YARN-style cluster sized for `parallelism` engine workers:
+/// the paper's two worker nodes, plus one more per eight additional
+/// containers so high-parallelism scale-out cells never starve on
+/// vcores.
+pub fn fresh_yarn_cluster_for(parallelism: usize) -> yarnsim::ResourceManager {
+    let nodes = 2.max(parallelism.div_ceil(8));
     let mut rm = yarnsim::ResourceManager::new();
-    for _ in 0..2 {
+    for _ in 0..nodes {
         rm.register_node(yarnsim::Resource::new(64 * 1024, 32));
     }
     rm

@@ -224,6 +224,69 @@ pub fn send_open_loop(
     })
 }
 
+/// [`send_open_loop`] across a partitioned topic: each record routes by
+/// the key-hash of its query-log id column through
+/// [`logbus::partition_for_key`] — the same routing the shared producer
+/// partitioner applies for [`logbus::Partitioner::KeyHash`] — so
+/// placement is content-deterministic and every partition's substream
+/// keeps schedule order. Due records are shipped as one append per
+/// partition with records due.
+///
+/// # Errors
+///
+/// Propagates broker errors (unknown topic, etc.).
+pub fn send_open_loop_partitioned(
+    broker: &Broker,
+    topic: &str,
+    partitions: u32,
+    schedule: &OpenLoopSchedule,
+    records: u64,
+    seed: u64,
+) -> logbus::Result<OpenLoopSendReport> {
+    if partitions <= 1 {
+        return send_open_loop(broker, topic, schedule, records, seed);
+    }
+    let clock = broker.clock();
+    let mut generator = QueryLogGenerator::new(seed);
+    let mut next = 0u64;
+    let mut max_lag = 0i64;
+    let mut batches: Vec<Vec<Record>> = (0..partitions).map(|_| Vec::new()).collect();
+    while next < records {
+        let scheduled = schedule.event_time_micros(next);
+        let mut now = clock.now_micros();
+        while now < scheduled {
+            let nap = (scheduled - now).min(OPEN_LOOP_NAP_MICROS) as u64;
+            std::thread::sleep(std::time::Duration::from_micros(nap));
+            now = clock.now_micros();
+        }
+        max_lag = max_lag.max(now - scheduled);
+        let due = schedule.due_count(now, next, records).max(1);
+        for i in 0..due {
+            let payload = generator.next_payload();
+            let key_len = payload
+                .iter()
+                .position(|&b| b == b'\t')
+                .unwrap_or(payload.len());
+            let partition = logbus::partition_for_key(&payload[..key_len], partitions);
+            batches[partition as usize].push(Record::from_key_value(
+                payload.slice(..key_len),
+                stamp_event_time(schedule.event_time_micros(next + i), &payload),
+            ));
+        }
+        for (p, batch) in batches.iter_mut().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            broker.produce_batch(topic, p as u32, std::mem::take(batch))?;
+        }
+        next += due;
+    }
+    Ok(OpenLoopSendReport {
+        sent: records,
+        max_send_lag_micros: max_lag,
+    })
+}
+
 /// Prefixes `payload` with its event time: `"<micros>\t<payload>"`.
 /// The prefix survives every benchmark query: identity/sample/grep keep
 /// the record whole, and projection cuts at the *first* tab — leaving
@@ -363,6 +426,33 @@ mod tests {
             let tab = value.iter().position(|&b| b == b'\t').unwrap();
             assert_eq!(&value[tab + 1..], &generator.next_payload()[..]);
         }
+    }
+
+    #[test]
+    fn partitioned_open_loop_routes_by_key_hash() {
+        let broker = Broker::new();
+        broker
+            .create_topic("in", TopicConfig::default().partitions(4))
+            .unwrap();
+        let schedule = OpenLoopSchedule::new(broker.now_micros(), 50_000.0);
+        let report = send_open_loop_partitioned(&broker, "in", 4, &schedule, 300, 7).unwrap();
+        assert_eq!(report.sent, 300);
+        let mut total = 0u64;
+        for p in 0..4 {
+            let stored = broker.fetch("in", p, 0, 1_000).unwrap();
+            total += stored.len() as u64;
+            let mut last_event = i64::MIN;
+            for record in &stored {
+                // Placement equals the shared partitioner's key hash.
+                let key = record.record.key.as_ref().expect("keyed record");
+                assert_eq!(logbus::partition_for_key(key, 4), p);
+                // Event times stay schedule-ordered within the partition.
+                let event = parse_event_time_micros(&record.record.value).unwrap();
+                assert!(event >= last_event, "partition {p} out of order");
+                last_event = event;
+            }
+        }
+        assert_eq!(total, 300, "every record lands in exactly one partition");
     }
 
     mod schedule_properties {

@@ -9,17 +9,23 @@
 //! Parallelism 2 compares as multisets: repartitioning (the dstream
 //! runner repartitions every micro-batch, rill splits the source across
 //! subtasks) may legally interleave outputs, but must neither drop,
-//! duplicate, nor alter a single byte.
+//! duplicate, nor alter a single byte. Parallelism 4 runs against a
+//! **multi-partition** input topic (records key-hash routed through the
+//! shared producer partitioner) so the engines' consumer groups have to
+//! split real partitions — again compared as multisets.
 
 use beamline::runners::{ApxRunner, DStreamRunner, RillRunner};
 use beamline::PipelineRunner;
 use bytes::Bytes;
-use logbus::{Broker, TopicConfig};
+use logbus::{Broker, Partitioner, Producer, ProducerConfig, Record, TopicConfig};
 use proptest::prelude::*;
 use streambench_core::{
     beam_pipeline, fresh_yarn_cluster, native_apx, native_dstream, native_rill, send_workload,
     Query, QueryLogGenerator, SenderConfig,
 };
+
+/// Partition count of the multi-partition equivalence phase.
+const INPUT_PARTITIONS: u32 = 4;
 
 const RECORDS: u64 = 400;
 const SEED: u64 = 97;
@@ -41,6 +47,38 @@ fn load_input(records: u64, seed: u64) -> Broker {
         },
     )
     .unwrap();
+    broker
+}
+
+/// A broker whose `input` topic has `partitions` partitions, loaded
+/// with the standard workload key-hash routed through the shared
+/// producer partitioner (key = the payload's first column, the same
+/// routing the scale-out sender uses).
+fn load_input_partitioned(records: u64, seed: u64, partitions: u32) -> Broker {
+    let broker = Broker::new();
+    broker
+        .create_topic("input", TopicConfig::default().partitions(partitions))
+        .unwrap();
+    let mut producer = Producer::with_config(
+        broker.clone(),
+        ProducerConfig {
+            partitioner: Partitioner::KeyHash,
+            ..ProducerConfig::default()
+        },
+    );
+    for payload in QueryLogGenerator::new(seed).payloads(records) {
+        let cut = payload
+            .iter()
+            .position(|&b| b == b'\t')
+            .unwrap_or(payload.len());
+        producer
+            .send(
+                "input",
+                Record::from_key_value(payload.slice(..cut), payload.clone()),
+            )
+            .unwrap();
+    }
+    producer.flush().unwrap();
     broker
 }
 
@@ -121,8 +159,9 @@ fn execute(imp: Impl, broker: &Broker, query: Query, output: &str, parallelism: 
     }
 }
 
-/// Runs all six implementations at parallelism 1 and 2 and checks each
-/// against the per-element reference.
+/// Runs all six implementations at parallelism 1 and 2 (single-partition
+/// input), then at parallelism 4 against a 4-partition key-routed input,
+/// checking each against the per-element reference.
 fn assert_query_equivalence(query: Query) {
     let broker = load_input(RECORDS, SEED);
     let expected = reference(query, RECORDS, SEED);
@@ -150,6 +189,24 @@ fn assert_query_equivalence(query: Query) {
                 );
             }
         }
+    }
+
+    // Parallelism 4 over a genuinely partitioned input: the consumer
+    // group splits 4 partitions across the parallel sources, and the
+    // union of their outputs must still be the reference multiset.
+    let partitioned = load_input_partitioned(RECORDS, SEED, INPUT_PARTITIONS);
+    for imp in ALL_IMPLS {
+        let topic = format!("out-{imp:?}-p4-multi");
+        partitioned
+            .create_topic(&topic, TopicConfig::default())
+            .unwrap();
+        execute(imp, &partitioned, query, &topic, 4);
+        let mut got_sorted = outputs(&partitioned, &topic);
+        got_sorted.sort();
+        assert_eq!(
+            got_sorted, expected_sorted,
+            "{imp:?} at parallelism 4 over {INPUT_PARTITIONS} partitions must match the reference as a multiset ({query})"
+        );
     }
 }
 
@@ -267,6 +324,94 @@ proptest! {
         got.sort();
         prop_assert_eq!(got, expected_sorted);
     }
+}
+
+/// Chaos variant with a **rebalance mid-run**: a native rill job at
+/// parallelism 2 drains a 4-partition input in a named consumer group
+/// while (a) a seeded fault plan injects transient broker faults and
+/// (b) a disturber member joins the same group mid-run — forcing the
+/// engine subtasks to commit and hand partitions over — holds its
+/// assignment briefly, then leaves, handing the partitions back. The
+/// commit-then-release handover must make the whole dance invisible:
+/// the output is exactly the fault-free reference multiset, nothing
+/// lost, nothing duplicated.
+#[test]
+fn group_rebalance_mid_run_is_exactly_once() {
+    use logbus::{AssignmentStrategy, Bus, GroupMember};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    const N: u64 = 2_000;
+    const GROUP: &str = "chaos-rebalance";
+    let broker = load_input_partitioned(N, SEED, INPUT_PARTITIONS);
+    let mut expected_sorted = reference(Query::Identity, N, SEED);
+    expected_sorted.sort();
+    broker
+        .create_topic("rebalance-out", TopicConfig::default())
+        .unwrap();
+    broker.install_fault_plan(logbus::FaultPlan::seeded(SEED ^ 0x0BA1_A4CE));
+
+    let disturber = std::thread::spawn({
+        let broker = broker.clone();
+        move || {
+            let bus: Arc<dyn Bus> = Arc::new(broker);
+            // Wait for the engine's group to show committed progress so
+            // the join really lands mid-run (bounded: the job may drain
+            // everything before we get in — then the join/leave churn
+            // still exercises the coordinator, just without a revoke).
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while Instant::now() < deadline {
+                let committed: u64 = (0..INPUT_PARTITIONS)
+                    .filter_map(|p| bus.committed_offset(GROUP, "input", p))
+                    .sum();
+                if committed > 0 {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            // Joining under the fault plan: retry transient errors.
+            let mut member = loop {
+                match GroupMember::join(
+                    bus.clone(),
+                    GROUP,
+                    "disturber",
+                    &["input"],
+                    AssignmentStrategy::Range,
+                ) {
+                    Ok(member) => break member,
+                    Err(_) => std::thread::yield_now(),
+                }
+            };
+            let hold = Instant::now() + Duration::from_millis(30);
+            while Instant::now() < hold {
+                // Claim whatever the revoking subtasks release; errors
+                // under the fault plan just retry next poll.
+                let _ = member.poll_rebalance(|_| Ok(()), |_| Ok(()));
+                std::thread::yield_now();
+            }
+            while member.leave().is_err() {
+                std::thread::yield_now();
+            }
+        }
+    });
+
+    let env = rill::StreamExecutionEnvironment::local();
+    env.set_parallelism(2);
+    let source = rill::BrokerSource::new(broker.clone(), "input")
+        .consumer_group(GROUP, AssignmentStrategy::Range);
+    env.add_source(source)
+        .map(|v: Bytes| v)
+        .add_sink(rill::BrokerSink::new(broker.clone(), "rebalance-out"));
+    env.execute("chaos-rebalance").unwrap();
+    disturber.join().unwrap();
+    broker.clear_fault_plan();
+
+    let mut got_sorted = outputs(&broker, "rebalance-out");
+    got_sorted.sort();
+    assert_eq!(
+        got_sorted, expected_sorted,
+        "a mid-run rebalance under faults must not lose or duplicate records"
+    );
 }
 
 /// End-of-suite gate for the `check-sync` build: the batched data plane

@@ -1,7 +1,9 @@
 //! Micro-batch sources.
 
 use bytes::Bytes;
-use logbus::{Broker, PartitionReader};
+use logbus::{AssignmentStrategy, Broker, GroupedReader};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A bounded supplier of micro-batches.
 ///
@@ -33,28 +35,27 @@ impl<T: Send> BatchSource<T> for VecBatchSource<T> {
     }
 }
 
+/// Monotonic suffix for auto-generated consumer-group names.
+static NEXT_GROUP_ID: AtomicU64 = AtomicU64::new(0);
+
 /// Reads a `logbus` topic in micro-batches (Spark's Kafka direct stream):
-/// each call fetches up to `max_batch_records` across the topic's
-/// partitions, ending at the offsets current when the source was created —
-/// or, in follow mode ([`BrokerBatchSource::following`]), tailing the
-/// topic until a target record count has been emitted.
+/// each call fetches up to `max_batch_records` across the partitions this
+/// source's consumer-group member owns, ending at the offsets current
+/// when the source was created — or, in follow mode
+/// ([`BrokerBatchSource::following`]), tailing the topic until a target
+/// record count has been emitted.
+///
+/// Every source is a member of a consumer group (auto-named per source;
+/// [`BrokerBatchSource::new_in_group`] places several sources in one
+/// shared group so parallel micro-batch instances split the topic via
+/// the coordinator's rebalance protocol). Ownership changes mid-run hand
+/// positions over through committed offsets, so the group as a whole
+/// reads the topic exactly once.
 #[derive(Debug)]
 pub struct BrokerBatchSource {
     max_batch_records: usize,
-    /// One cursor per partition: cached fetch handle, next position, and
-    /// the end offset captured at creation. The handles resolve the topic
-    /// name once, so per-micro-batch fetches skip the name lookup.
-    cursors: Vec<PartitionCursor>,
-    /// Fetch buffer reused across micro-batches.
-    fetch_buffer: Vec<logbus::StoredRecord>,
+    reader: GroupedReader,
     follow: Option<FollowState>,
-}
-
-#[derive(Debug)]
-struct PartitionCursor {
-    reader: PartitionReader,
-    position: u64,
-    end: u64,
 }
 
 /// Tailing state: keep polling (ends refreshed each call) until `target`
@@ -71,8 +72,8 @@ struct FollowState {
 const FOLLOW_STALL_LIMIT: std::time::Duration = std::time::Duration::from_secs(10);
 
 impl BrokerBatchSource {
-    /// Creates a bounded micro-batch reader over all partitions of
-    /// `topic`.
+    /// Creates a bounded micro-batch reader over `topic`, joining a
+    /// fresh single-member consumer group.
     ///
     /// # Errors
     ///
@@ -82,24 +83,31 @@ impl BrokerBatchSource {
         topic: impl Into<String>,
         max_batch_records: usize,
     ) -> logbus::Result<Self> {
-        let topic = topic.into();
-        let t = broker.topic(&topic)?;
-        let retry = logbus::RetryPolicy::default();
-        let mut cursors = Vec::new();
-        for p in 0..t.partition_count() {
-            let reader = logbus::with_retry(&retry, || broker.partition_reader(&topic, p))?;
-            let position = t.earliest_offset(p)?;
-            let end = t.latest_offset(p)?;
-            cursors.push(PartitionCursor {
-                reader,
-                position,
-                end,
-            });
-        }
+        let group = format!(
+            "dstream-src-{}",
+            NEXT_GROUP_ID.fetch_add(1, Ordering::Relaxed)
+        );
+        Self::new_in_group(broker, topic, max_batch_records, group)
+    }
+
+    /// Creates a bounded micro-batch reader that joins the named
+    /// consumer group — parallel sources sharing a group split the
+    /// topic's partitions via the coordinator.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the topic does not exist.
+    pub fn new_in_group(
+        broker: Broker,
+        topic: impl Into<String>,
+        max_batch_records: usize,
+        group: impl Into<String>,
+    ) -> logbus::Result<Self> {
+        let reader =
+            GroupedReader::bounded(Arc::new(broker), topic, group, AssignmentStrategy::Range)?;
         Ok(BrokerBatchSource {
             max_batch_records: max_batch_records.max(1),
-            cursors,
-            fetch_buffer: Vec::new(),
+            reader,
             follow: None,
         })
     }
@@ -121,86 +129,75 @@ impl BrokerBatchSource {
         max_batch_records: usize,
         target_records: u64,
     ) -> logbus::Result<Self> {
-        let mut source = Self::new(broker, topic, max_batch_records)?;
-        source.follow = Some(FollowState {
-            target: target_records,
-            emitted: 0,
-        });
-        Ok(source)
+        let group = format!(
+            "dstream-src-{}",
+            NEXT_GROUP_ID.fetch_add(1, Ordering::Relaxed)
+        );
+        Self::following_in_group(broker, topic, max_batch_records, target_records, group)
     }
 
-    /// One bounded fetch pass over the cursors, appending up to `cap`
-    /// payloads to `batch`. Returns whether a fetch error left unread
-    /// records behind.
-    fn fetch_pass(&mut self, cap: usize, batch: &mut Vec<Bytes>) -> bool {
-        let mut behind = false;
-        for cursor in &mut self.cursors {
-            if batch.len() >= cap || cursor.position >= cursor.end {
-                continue;
-            }
-            let want = (cap - batch.len()).min((cursor.end - cursor.position) as usize);
-            self.fetch_buffer.clear();
-            if cursor
-                .reader
-                .fetch_into(cursor.position, want, &mut self.fetch_buffer)
-                .is_err()
-            {
-                // Transient fetch faults were already retried inside the
-                // reader; an error here still leaves unread records, so
-                // keep the stream alive and try again next micro-batch.
-                behind = true;
-                continue;
-            }
-            if let Some(last) = self.fetch_buffer.last() {
-                cursor.position = last.offset + 1;
-            }
-            batch.extend(self.fetch_buffer.drain(..).map(|r| r.record.value));
-        }
-        behind
+    /// Follow-mode reader joining the named consumer group.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the topic does not exist.
+    pub fn following_in_group(
+        broker: Broker,
+        topic: impl Into<String>,
+        max_batch_records: usize,
+        target_records: u64,
+        group: impl Into<String>,
+    ) -> logbus::Result<Self> {
+        let reader =
+            GroupedReader::following(Arc::new(broker), topic, group, AssignmentStrategy::Range)?;
+        Ok(BrokerBatchSource {
+            max_batch_records: max_batch_records.max(1),
+            reader,
+            follow: Some(FollowState {
+                target: target_records,
+                emitted: 0,
+            }),
+        })
     }
 
     /// Follow-mode batch: poll (refreshing ends) until data arrives, the
     /// target is reached, or the producer stalls past
     /// [`FOLLOW_STALL_LIMIT`].
     fn following_batch(&mut self) -> Option<Vec<Bytes>> {
-        let follow = self.follow.take()?;
-        let FollowState {
-            target,
-            mut emitted,
-        } = follow;
-        if emitted >= target {
-            self.follow = Some(FollowState { target, emitted });
+        let follow = self.follow.as_mut()?;
+        if follow.emitted >= follow.target {
+            let _ = self.reader.leave();
             return None;
         }
         let mut backoff = logbus::Backoff::new();
         let started = std::time::Instant::now();
-        let result = loop {
+        loop {
+            let _ = self.reader.poll_rebalance();
             // Records appended after creation are part of a followed
             // stream: refresh the per-partition ends every poll.
-            for cursor in &mut self.cursors {
-                if let Ok(end) = cursor.reader.latest_offset() {
-                    cursor.end = cursor.end.max(end);
-                }
-            }
+            self.reader.refresh_ends();
             let cap = self
                 .max_batch_records
-                .min((target - emitted) as usize)
+                .min((follow.target - follow.emitted) as usize)
                 .max(1);
             let mut batch = Vec::with_capacity(cap.min(1024));
-            self.fetch_pass(cap, &mut batch);
+            self.reader
+                .fetch_pass(cap, &mut |_p, stored| batch.push(stored.record.value));
             if !batch.is_empty() {
-                emitted += batch.len() as u64;
-                break Some(batch);
+                follow.emitted += batch.len() as u64;
+                // Commit so an ownership handover resumes past what this
+                // member already emitted.
+                let _ = self.reader.commit();
+                return Some(batch);
             }
             if started.elapsed() >= FOLLOW_STALL_LIMIT {
                 // No producer progress for the whole stall window: end
                 // the stream instead of hanging the job.
-                break None;
+                let _ = self.reader.leave();
+                return None;
             }
             backoff.snooze();
-        };
-        self.follow = Some(FollowState { target, emitted });
-        result
+        }
     }
 }
 
@@ -210,12 +207,15 @@ impl BatchSource<Bytes> for BrokerBatchSource {
             return self.following_batch();
         }
         let mut batch = Vec::with_capacity(self.max_batch_records.min(1024));
-        let behind = self.fetch_pass(self.max_batch_records, &mut batch);
-        if batch.is_empty() && !behind {
-            None
-        } else {
-            Some(batch)
-        }
+        self.reader
+            .next_batch(
+                self.max_batch_records,
+                FOLLOW_STALL_LIMIT,
+                &mut |_p, stored| {
+                    batch.push(stored.record.value);
+                },
+            )
+            .map(|_delivered| batch)
     }
 }
 
@@ -266,6 +266,43 @@ mod tests {
         let mut source = BrokerBatchSource::new(broker, "t", 100).unwrap();
         assert_eq!(source.next_batch().unwrap().len(), 10);
         assert!(source.next_batch().is_none());
+    }
+
+    #[test]
+    fn grouped_sources_split_topic_exactly_once() {
+        let broker = Broker::new();
+        broker
+            .create_topic("t", TopicConfig::default().partitions(4))
+            .unwrap();
+        for p in 0..4 {
+            for i in 0..20 {
+                broker
+                    .produce("t", p, Record::from_value(format!("p{p}-{i}")))
+                    .unwrap();
+            }
+        }
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let broker = broker.clone();
+                std::thread::spawn(move || {
+                    let mut source =
+                        BrokerBatchSource::new_in_group(broker, "t", 16, "dstream-shared").unwrap();
+                    let mut all = Vec::new();
+                    while let Some(batch) = source.next_batch() {
+                        all.extend(batch);
+                    }
+                    all
+                })
+            })
+            .collect();
+        let mut all: Vec<Vec<u8>> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .map(|b| b.to_vec())
+            .collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 80, "the group reads every record exactly once");
     }
 
     #[test]

@@ -1,15 +1,33 @@
-//! The broker: topic management, produce/fetch, and group offsets.
+//! The broker: topic management, produce/fetch, group offsets, and the
+//! consumer-group coordinator.
 
 use crate::clock::{Clock, SystemClock};
 use crate::config::TopicConfig;
 use crate::error::{Error, Result};
 use crate::fault::{FaultAction, FaultInjector, FaultOp, FaultPlan};
+use crate::group::{AssignmentStrategy, GroupState, GroupView, TopicPartition};
 use crate::record::{Record, StoredRecord, Timestamp};
 use crate::topic::Topic;
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// Shard count for the topic and group maps. Sixteen shards keep the
+/// name→shard spread wide enough that concurrent clients on distinct
+/// topics (the scale-out sweep runs one topic set per cell) effectively
+/// never contend on a map lock, while the per-broker footprint stays a
+/// few hundred bytes.
+const MAP_SHARDS: usize = 16;
+
+/// Picks the shard for a name. `DefaultHasher` is SipHash-backed, so
+/// adversarial or sequential names still spread evenly.
+fn shard_index(name: &str) -> usize {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    name.hash(&mut hasher);
+    (hasher.finish() as usize) % MAP_SHARDS
+}
 
 /// A single in-process broker.
 ///
@@ -25,13 +43,31 @@ pub struct Broker {
 /// Committed offsets for one consumer group: `topic -> partition -> offset`.
 type GroupOffsets = HashMap<String, HashMap<u32, u64>>;
 
+/// Everything the broker tracks per consumer group — committed offsets
+/// plus coordinator state — kept in one entry so a lookup touches exactly
+/// one shard lock.
+#[derive(Debug, Default)]
+struct GroupEntry {
+    /// Committed offsets, nested `topic -> partition -> offset` so
+    /// lookups borrow the caller's `&str`s instead of allocating a
+    /// composite key per call.
+    offsets: GroupOffsets,
+    /// Membership, generation, and target assignment.
+    state: GroupState,
+}
+
 #[derive(Debug)]
 struct BrokerInner {
-    topics: RwLock<HashMap<String, Arc<Topic>>>,
-    /// Committed offsets, nested `group -> topic -> partition -> offset`
-    /// so lookups borrow the caller's `&str`s instead of allocating a
-    /// composite key per call.
-    group_offsets: RwLock<HashMap<String, GroupOffsets>>,
+    /// The topic map, sharded by name hash so topic resolution from
+    /// concurrent clients on distinct topics never serialises. Each
+    /// partition's append lock lives inside its [`Topic`]; the shards
+    /// only guard the name→topic mapping.
+    topic_shards: [RwLock<HashMap<String, Arc<Topic>>>; MAP_SHARDS],
+    /// Consumer-group entries (offsets + coordinator state), sharded by
+    /// group name with the same spread. Group operations take exactly one
+    /// shard lock and never a topic-shard lock — partition counts are
+    /// resolved *before* joining — so the lock-order graph stays acyclic.
+    group_shards: [RwLock<HashMap<String, GroupEntry>>; MAP_SHARDS],
     clock: Arc<dyn Clock>,
     /// Simulated network round-trip per client request, in microseconds.
     request_latency_micros: std::sync::atomic::AtomicU64,
@@ -58,8 +94,8 @@ impl Broker {
     pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
         Broker {
             inner: Arc::new(BrokerInner {
-                topics: RwLock::new(HashMap::new()),
-                group_offsets: RwLock::new(HashMap::new()),
+                topic_shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+                group_shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
                 clock,
                 request_latency_micros: std::sync::atomic::AtomicU64::new(0),
                 faults: RwLock::new(None),
@@ -190,11 +226,11 @@ impl Broker {
     pub fn create_topic(&self, name: impl Into<String>, config: TopicConfig) -> Result<()> {
         let name = name.into();
         let topic = Arc::new(Topic::new(name.clone(), config)?);
-        let mut topics = self.inner.topics.write();
-        if topics.contains_key(&name) {
+        let mut shard = self.inner.topic_shards[shard_index(&name)].write();
+        if shard.contains_key(&name) {
             return Err(Error::TopicExists(name));
         }
-        topics.insert(name, topic);
+        shard.insert(name, topic);
         Ok(())
     }
 
@@ -204,8 +240,7 @@ impl Broker {
     ///
     /// Returns [`Error::UnknownTopic`] if the topic does not exist.
     pub fn delete_topic(&self, name: &str) -> Result<()> {
-        self.inner
-            .topics
+        self.inner.topic_shards[shard_index(name)]
             .write()
             .remove(name)
             .map(drop)
@@ -214,12 +249,19 @@ impl Broker {
 
     /// Whether a topic exists.
     pub fn has_topic(&self, name: &str) -> bool {
-        self.inner.topics.read().contains_key(name)
+        self.inner.topic_shards[shard_index(name)]
+            .read()
+            .contains_key(name)
     }
 
     /// Lists topic names in unspecified order.
     pub fn topic_names(&self) -> Vec<String> {
-        self.inner.topics.read().keys().cloned().collect()
+        // One shard lock at a time; no cross-shard invariant to hold.
+        self.inner
+            .topic_shards
+            .iter()
+            .flat_map(|shard| shard.read().keys().cloned().collect::<Vec<_>>())
+            .collect()
     }
 
     /// Looks up a topic handle.
@@ -228,8 +270,7 @@ impl Broker {
     ///
     /// Returns [`Error::UnknownTopic`] if the topic does not exist.
     pub fn topic(&self, name: &str) -> Result<Arc<Topic>> {
-        self.inner
-            .topics
+        self.inner.topic_shards[shard_index(name)]
             .read()
             .get(name)
             .cloned()
@@ -462,19 +503,19 @@ impl Broker {
             return Err(Error::UnknownTopic(topic.to_string()));
         }
         self.fault_gate(FaultOp::Metadata, topic, partition)?;
-        let mut groups = self.inner.group_offsets.write();
+        let mut shard = self.inner.group_shards[shard_index(group)].write();
         // Allocate the group/topic key strings only on their first commit;
         // the steady-state commit path borrows the caller's `&str`s.
-        if !groups.contains_key(group) {
-            groups.insert(group.to_string(), HashMap::new());
+        if !shard.contains_key(group) {
+            shard.insert(group.to_string(), GroupEntry::default());
         }
-        let Some(topics) = groups.get_mut(group) else {
+        let Some(entry) = shard.get_mut(group) else {
             return Err(Error::UnknownGroup(group.to_string()));
         };
-        if !topics.contains_key(topic) {
-            topics.insert(topic.to_string(), HashMap::new());
+        if !entry.offsets.contains_key(topic) {
+            entry.offsets.insert(topic.to_string(), HashMap::new());
         }
-        let Some(partitions) = topics.get_mut(topic) else {
+        let Some(partitions) = entry.offsets.get_mut(topic) else {
             return Err(Error::UnknownTopic(topic.to_string()));
         };
         partitions.insert(partition, offset);
@@ -484,13 +525,150 @@ impl Broker {
     /// Fetches the committed offset for a consumer group, if any.
     /// Allocation-free: the lookup borrows `group` and `topic` directly.
     pub fn committed_offset(&self, group: &str, topic: &str, partition: u32) -> Option<u64> {
-        self.inner
-            .group_offsets
+        self.inner.group_shards[shard_index(group)]
             .read()
             .get(group)?
+            .offsets
             .get(topic)?
             .get(&partition)
             .copied()
+    }
+
+    // ---- consumer-group coordination -----------------------------------
+    //
+    // Partition counts are resolved from the topic shards *before* the
+    // group shard lock is taken, so no group operation ever holds two
+    // locks — the `check-sync` lock-order graph stays a forest even with
+    // group traffic interleaved with produces and fetches.
+
+    /// Joins (or re-registers in) a consumer group, subscribing to
+    /// `topics`. Bumps the group generation and recomputes the sticky
+    /// target assignment. Returns the new generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownTopic`] if any subscribed topic does not
+    /// exist.
+    pub fn join_group(
+        &self,
+        group: &str,
+        member: &str,
+        topics: &[&str],
+        strategy: AssignmentStrategy,
+    ) -> Result<u64> {
+        let mut with_counts = Vec::with_capacity(topics.len());
+        for name in topics {
+            let t = self.topic(name)?;
+            with_counts.push(((*name).to_string(), t.partition_count()));
+        }
+        Ok(self.join_group_with(group, member, with_counts, strategy))
+    }
+
+    /// Join with pre-resolved partition counts. [`Cluster`](crate::Cluster)
+    /// resolves counts against partition leaders, then delegates here on
+    /// its coordinator broker.
+    pub(crate) fn join_group_with(
+        &self,
+        group: &str,
+        member: &str,
+        topics_with_counts: Vec<(String, u32)>,
+        strategy: AssignmentStrategy,
+    ) -> u64 {
+        let mut shard = self.inner.group_shards[shard_index(group)].write();
+        let entry = shard.entry(group.to_string()).or_default();
+        let generation = entry.state.join(member, topics_with_counts, strategy);
+        drop(shard);
+        if obs::enabled() {
+            let path = crate::telemetry::group_path();
+            path.rebalances.add(1);
+            path.generation.set(generation as i64);
+        }
+        generation
+    }
+
+    /// Leaves a consumer group, releasing every partition the member
+    /// owned and rebalancing the remainder. A no-op for unknown groups
+    /// or non-members (leaving twice must be safe).
+    pub fn leave_group(&self, group: &str, member: &str) -> Result<()> {
+        let mut shard = self.inner.group_shards[shard_index(group)].write();
+        let Some(entry) = shard.get_mut(group) else {
+            return Ok(());
+        };
+        let changed = entry.state.leave(member);
+        let generation = entry.state.generation();
+        drop(shard);
+        if changed && obs::enabled() {
+            let path = crate::telemetry::group_path();
+            path.rebalances.add(1);
+            path.generation.set(generation as i64);
+        }
+        Ok(())
+    }
+
+    /// The group's current generation (0 before the first join — clients
+    /// poll this cheaply to detect rebalances).
+    pub fn group_generation(&self, group: &str) -> Result<u64> {
+        Ok(self.inner.group_shards[shard_index(group)]
+            .read()
+            .get(group)
+            .map_or(0, |entry| entry.state.generation()))
+    }
+
+    /// Total membership changes the group has seen.
+    pub fn group_rebalances(&self, group: &str) -> u64 {
+        self.inner.group_shards[shard_index(group)]
+            .read()
+            .get(group)
+            .map_or(0, |entry| entry.state.rebalances())
+    }
+
+    /// Fetches a member's target assignment at the current generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownGroup`] if the group does not exist or the
+    /// member is not registered in it.
+    pub fn sync_group(&self, group: &str, member: &str) -> Result<GroupView> {
+        self.inner.group_shards[shard_index(group)]
+            .read()
+            .get(group)
+            .and_then(|entry| entry.state.view(member))
+            .ok_or_else(|| Error::UnknownGroup(group.to_string()))
+    }
+
+    /// Claims ownership of targeted partitions; returns the granted
+    /// subset (partitions still held by their previous owner are skipped
+    /// — retry after they release).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownGroup`] if the group does not exist.
+    pub fn claim_partitions(
+        &self,
+        group: &str,
+        member: &str,
+        parts: &[TopicPartition],
+    ) -> Result<Vec<TopicPartition>> {
+        let mut shard = self.inner.group_shards[shard_index(group)].write();
+        let Some(entry) = shard.get_mut(group) else {
+            return Err(Error::UnknownGroup(group.to_string()));
+        };
+        Ok(entry.state.claim(member, parts))
+    }
+
+    /// Releases ownership of partitions held by `member`. A no-op for
+    /// partitions the member does not own.
+    pub fn release_partitions(
+        &self,
+        group: &str,
+        member: &str,
+        parts: &[TopicPartition],
+    ) -> Result<()> {
+        let mut shard = self.inner.group_shards[shard_index(group)].write();
+        if let Some(entry) = shard.get_mut(group) {
+            entry.state.release(member, parts);
+        }
+        Ok(())
     }
 }
 
@@ -644,5 +822,96 @@ mod tests {
         assert!(broker.fetch("nope", 0, 0, 1).is_err());
         assert!(broker.latest_offset("nope", 0).is_err());
         assert!(broker.topic("nope").is_err());
+    }
+
+    #[test]
+    fn sharded_topic_map_resolves_many_topics() {
+        // More topics than shards, so every shard holds several entries
+        // and cross-shard listing has to merge.
+        let broker = Broker::new();
+        for i in 0..64 {
+            broker
+                .create_topic(format!("topic-{i}"), TopicConfig::default())
+                .unwrap();
+        }
+        let mut names = broker.topic_names();
+        names.sort();
+        assert_eq!(names.len(), 64);
+        for i in 0..64 {
+            let name = format!("topic-{i}");
+            assert!(broker.has_topic(&name));
+            assert_eq!(broker.topic(&name).unwrap().name(), name);
+            broker.produce(&name, 0, Record::from_value("x")).unwrap();
+            assert_eq!(broker.latest_offset(&name, 0).unwrap(), 1);
+        }
+        broker.delete_topic("topic-7").unwrap();
+        assert!(!broker.has_topic("topic-7"));
+        assert_eq!(broker.topic_names().len(), 63);
+    }
+
+    #[test]
+    fn group_coordination_lifecycle() {
+        use crate::group::{AssignmentStrategy, TopicPartition};
+
+        let broker = Broker::new();
+        broker
+            .create_topic("t", TopicConfig::default().partitions(4))
+            .unwrap();
+        assert_eq!(broker.group_generation("g").unwrap(), 0);
+        assert_eq!(broker.group_rebalances("g"), 0);
+
+        let g1 = broker
+            .join_group("g", "a", &["t"], AssignmentStrategy::Range)
+            .unwrap();
+        assert_eq!(g1, 1);
+        let view = broker.sync_group("g", "a").unwrap();
+        assert_eq!(view.target.len(), 4);
+        let granted = broker.claim_partitions("g", "a", &view.target).unwrap();
+        assert_eq!(granted.len(), 4);
+
+        // A second member splits the target; its claims wait for `a`.
+        broker
+            .join_group("g", "b", &["t"], AssignmentStrategy::Range)
+            .unwrap();
+        let b_view = broker.sync_group("g", "b").unwrap();
+        assert_eq!(b_view.target.len(), 2);
+        assert!(broker
+            .claim_partitions("g", "b", &b_view.target)
+            .unwrap()
+            .is_empty());
+        broker.release_partitions("g", "a", &b_view.target).unwrap();
+        assert_eq!(
+            broker.claim_partitions("g", "b", &b_view.target).unwrap(),
+            b_view.target
+        );
+
+        broker.leave_group("g", "a").unwrap();
+        assert_eq!(broker.sync_group("g", "b").unwrap().target.len(), 4);
+        assert_eq!(broker.group_rebalances("g"), 3);
+        assert!(broker.sync_group("g", "a").is_err());
+
+        // Unknown-group behaviour: sync/claim fail, leave/release do not.
+        assert!(broker.sync_group("nope", "x").is_err());
+        assert!(broker
+            .claim_partitions("nope", "x", &[TopicPartition::new("t", 0)])
+            .is_err());
+        broker.leave_group("nope", "x").unwrap();
+        broker
+            .release_partitions("nope", "x", &[TopicPartition::new("t", 0)])
+            .unwrap();
+    }
+
+    #[test]
+    fn join_group_rejects_unknown_topics() {
+        let broker = Broker::new();
+        assert_eq!(
+            broker.join_group(
+                "g",
+                "a",
+                &["missing"],
+                crate::group::AssignmentStrategy::Range
+            ),
+            Err(Error::UnknownTopic("missing".to_string()))
+        );
     }
 }

@@ -10,6 +10,7 @@ use crate::broker::Broker;
 use crate::cluster::Cluster;
 use crate::config::TopicConfig;
 use crate::error::Result;
+use crate::group::{AssignmentStrategy, GroupView, TopicPartition};
 use crate::handle::{PartitionReader, PartitionWriter};
 use crate::record::{Record, StoredRecord, Timestamp};
 
@@ -123,6 +124,62 @@ pub trait Bus: sealed::Sealed + Send + Sync + std::fmt::Debug {
     /// Reads a committed consumer-group offset.
     fn committed_offset(&self, group: &str, topic: &str, partition: u32) -> Option<u64>;
 
+    /// Joins (or re-registers in) a consumer group; returns the new
+    /// generation. See [`Broker::join_group`].
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown topics.
+    fn join_group(
+        &self,
+        group: &str,
+        member: &str,
+        topics: &[&str],
+        strategy: AssignmentStrategy,
+    ) -> Result<u64>;
+
+    /// Leaves a consumer group; a no-op for non-members.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; `Result` keeps room for coordinator faults.
+    fn leave_group(&self, group: &str, member: &str) -> Result<()>;
+
+    /// The group's current generation (0 before the first join).
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; `Result` keeps room for coordinator faults.
+    fn group_generation(&self, group: &str) -> Result<u64>;
+
+    /// A member's target assignment at the current generation.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown groups or non-members.
+    fn sync_group(&self, group: &str, member: &str) -> Result<GroupView>;
+
+    /// Claims ownership of targeted partitions; returns the granted
+    /// subset (cooperative handover — previous owners release first).
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown groups.
+    fn claim_partitions(
+        &self,
+        group: &str,
+        member: &str,
+        parts: &[TopicPartition],
+    ) -> Result<Vec<TopicPartition>>;
+
+    /// Releases partition ownership held by `member`.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; `Result` keeps room for coordinator faults.
+    fn release_partitions(&self, group: &str, member: &str, parts: &[TopicPartition])
+        -> Result<()>;
+
     /// Reads the bus clock.
     fn now(&self) -> Timestamp;
 }
@@ -201,6 +258,46 @@ impl Bus for Broker {
 
     fn committed_offset(&self, group: &str, topic: &str, partition: u32) -> Option<u64> {
         Broker::committed_offset(self, group, topic, partition)
+    }
+
+    fn join_group(
+        &self,
+        group: &str,
+        member: &str,
+        topics: &[&str],
+        strategy: AssignmentStrategy,
+    ) -> Result<u64> {
+        Broker::join_group(self, group, member, topics, strategy)
+    }
+
+    fn leave_group(&self, group: &str, member: &str) -> Result<()> {
+        Broker::leave_group(self, group, member)
+    }
+
+    fn group_generation(&self, group: &str) -> Result<u64> {
+        Broker::group_generation(self, group)
+    }
+
+    fn sync_group(&self, group: &str, member: &str) -> Result<GroupView> {
+        Broker::sync_group(self, group, member)
+    }
+
+    fn claim_partitions(
+        &self,
+        group: &str,
+        member: &str,
+        parts: &[TopicPartition],
+    ) -> Result<Vec<TopicPartition>> {
+        Broker::claim_partitions(self, group, member, parts)
+    }
+
+    fn release_partitions(
+        &self,
+        group: &str,
+        member: &str,
+        parts: &[TopicPartition],
+    ) -> Result<()> {
+        Broker::release_partitions(self, group, member, parts)
     }
 
     fn now(&self) -> Timestamp {
@@ -287,6 +384,57 @@ impl Bus for Cluster {
             .committed_offset(group, topic, partition)
     }
 
+    // Group coordination is delegated to broker 0, the cluster's
+    // coordinator node (Kafka pins each group to one coordinator broker
+    // the same way). Partition counts are resolved against the leaders
+    // *first*, so the coordinator never needs topics it does not host.
+
+    fn join_group(
+        &self,
+        group: &str,
+        member: &str,
+        topics: &[&str],
+        strategy: AssignmentStrategy,
+    ) -> Result<u64> {
+        let mut with_counts = Vec::with_capacity(topics.len());
+        for name in topics {
+            with_counts.push(((*name).to_string(), Bus::partition_count(self, name)?));
+        }
+        Ok(self
+            .broker(0)
+            .join_group_with(group, member, with_counts, strategy))
+    }
+
+    fn leave_group(&self, group: &str, member: &str) -> Result<()> {
+        self.broker(0).leave_group(group, member)
+    }
+
+    fn group_generation(&self, group: &str) -> Result<u64> {
+        self.broker(0).group_generation(group)
+    }
+
+    fn sync_group(&self, group: &str, member: &str) -> Result<GroupView> {
+        self.broker(0).sync_group(group, member)
+    }
+
+    fn claim_partitions(
+        &self,
+        group: &str,
+        member: &str,
+        parts: &[TopicPartition],
+    ) -> Result<Vec<TopicPartition>> {
+        self.broker(0).claim_partitions(group, member, parts)
+    }
+
+    fn release_partitions(
+        &self,
+        group: &str,
+        member: &str,
+        parts: &[TopicPartition],
+    ) -> Result<()> {
+        self.broker(0).release_partitions(group, member, parts)
+    }
+
     fn now(&self) -> Timestamp {
         self.broker(0).now()
     }
@@ -323,6 +471,24 @@ mod tests {
         bus.commit_offset("g", "t", 0, 1).unwrap();
         assert_eq!(bus.committed_offset("g", "t", 0), Some(1));
         assert!(bus.now().as_micros() > 0);
+
+        // Group coordination surfaces through the same facade.
+        assert_eq!(bus.group_generation("cg").unwrap(), 0);
+        let generation = bus
+            .join_group("cg", "m1", &["t"], AssignmentStrategy::Range)
+            .unwrap();
+        assert_eq!(generation, 1);
+        assert_eq!(bus.group_generation("cg").unwrap(), 1);
+        let view = bus.sync_group("cg", "m1").unwrap();
+        assert_eq!(view.target, vec![TopicPartition::new("t", 0)]);
+        let granted = bus.claim_partitions("cg", "m1", &view.target).unwrap();
+        assert_eq!(granted, view.target);
+        bus.release_partitions("cg", "m1", &granted).unwrap();
+        bus.leave_group("cg", "m1").unwrap();
+        assert!(bus.sync_group("cg", "m1").is_err());
+        assert!(bus
+            .join_group("cg", "m1", &["missing"], AssignmentStrategy::Range)
+            .is_err());
     }
 
     #[test]

@@ -54,7 +54,10 @@ impl Clock for SystemClock {
             .as_micros() as i64;
         // fetch_max returns the previous watermark: the reading is the
         // larger of the raw wall clock and everything handed out before.
-        let prev = SYSTEM_CLOCK_WATERMARK.fetch_max(raw, Ordering::SeqCst);
+        // Relaxed suffices: an atomic RMW always reads the latest value in
+        // the location's modification order, so the max never regresses,
+        // and no other memory is ordered against the watermark.
+        let prev = SYSTEM_CLOCK_WATERMARK.fetch_max(raw, Ordering::Relaxed);
         Timestamp::from_micros(raw.max(prev))
     }
 }

@@ -1,0 +1,1005 @@
+//! Consumer-group coordination: membership, generations, and sticky
+//! cooperative partition assignment.
+//!
+//! The coordinator reproduces the Kafka group-membership semantics the
+//! benchmark's engine connectors rely on, scaled down to an in-process
+//! broker:
+//!
+//! * A **group** is a named set of members subscribed to topics. Every
+//!   membership change bumps a **generation** number; clients detect a
+//!   rebalance by comparing generations, exactly as Kafka consumers do
+//!   with `group.generation.id`.
+//! * Assignment is **sticky**: on a rebalance each surviving member keeps
+//!   as many of its previously targeted partitions as its new quota
+//!   allows, so a member joining or leaving moves the minimum number of
+//!   partitions. Two placement strategies are offered — [`Range`]
+//!   (contiguous partition blocks per member) and [`RoundRobin`]
+//!   (partitions dealt one at a time) — matching the two classic Kafka
+//!   assignors.
+//! * Handover is **cooperative**: a rebalance only *retargets* partitions.
+//!   The previous owner keeps serving a partition until it observes the
+//!   new generation, commits its position, and releases; only then can the
+//!   new target claim it. Readers therefore never observe a partition
+//!   with two concurrent owners, and committed offsets hand position over
+//!   exactly once.
+//!
+//! The split of responsibilities mirrors the real system: [`GroupState`]
+//! is the broker-side coordinator bookkeeping (stored under the group
+//! shard lock in [`Broker`](crate::Broker)), while [`GroupMember`] is the
+//! client-side helper that connectors embed to drive the
+//! join → poll → revoke/claim cycle with callbacks.
+//!
+//! [`Range`]: AssignmentStrategy::Range
+//! [`RoundRobin`]: AssignmentStrategy::RoundRobin
+
+use crate::bus::Bus;
+use crate::error::Result;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A (topic, partition) coordinate, the unit of group assignment.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TopicPartition {
+    /// Topic name.
+    pub topic: String,
+    /// Partition index within the topic.
+    pub partition: u32,
+}
+
+impl TopicPartition {
+    /// Creates a new coordinate.
+    pub fn new(topic: impl Into<String>, partition: u32) -> Self {
+        TopicPartition {
+            topic: topic.into(),
+            partition,
+        }
+    }
+}
+
+impl std::fmt::Display for TopicPartition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}-{}", self.topic, self.partition)
+    }
+}
+
+/// How a group's partitions are placed across members.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AssignmentStrategy {
+    /// Contiguous blocks of partitions per member (Kafka's range
+    /// assignor). Keeps key-adjacent partitions on one worker.
+    #[default]
+    Range,
+    /// Partitions dealt one at a time across members (Kafka's
+    /// round-robin assignor). Evens out skewed partition counts.
+    RoundRobin,
+}
+
+/// A member's view of the group after a sync: the current generation and
+/// the partitions targeted at this member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupView {
+    /// Generation the target assignment belongs to.
+    pub generation: u64,
+    /// Partitions this member should own once previous owners release.
+    pub target: Vec<TopicPartition>,
+}
+
+/// Broker-side per-member bookkeeping.
+#[derive(Debug, Clone)]
+pub(crate) struct MemberState {
+    /// Subscribed topics with their partition counts, resolved at join
+    /// time so assignment never needs the topic shard locks.
+    topics: Vec<(String, u32)>,
+    /// Partitions targeted at this member in the current generation.
+    target: Vec<TopicPartition>,
+}
+
+/// Broker-side coordinator state for one group.
+///
+/// All methods are pure bookkeeping; the enclosing
+/// [`Broker`](crate::Broker) serialises calls under the group shard lock,
+/// so no method here takes any other lock (the PR 5 lock-order graph
+/// stays a forest).
+#[derive(Debug, Default)]
+pub(crate) struct GroupState {
+    /// Bumped on every membership change.
+    generation: u64,
+    /// Placement strategy; fixed by the first joiner of a generation era.
+    strategy: AssignmentStrategy,
+    /// Live members, keyed by member id (sorted for deterministic
+    /// assignment).
+    members: BTreeMap<String, MemberState>,
+    /// Current owner of each partition; owners lag targets during a
+    /// cooperative handover.
+    owned: BTreeMap<TopicPartition, String>,
+    /// Total membership changes, exported as the rebalance counter.
+    rebalances: u64,
+}
+
+impl GroupState {
+    /// Adds or re-registers a member and recomputes targets.
+    ///
+    /// Returns the new generation. Re-joining with changed subscriptions
+    /// still bumps the generation (subscription changes retarget
+    /// partitions just like membership changes).
+    pub(crate) fn join(
+        &mut self,
+        member: &str,
+        topics: Vec<(String, u32)>,
+        strategy: AssignmentStrategy,
+    ) -> u64 {
+        self.strategy = strategy;
+        self.members.insert(
+            member.to_string(),
+            MemberState {
+                topics,
+                target: Vec::new(),
+            },
+        );
+        self.bump_and_retarget();
+        self.generation
+    }
+
+    /// Removes a member, releasing everything it owned, and recomputes
+    /// targets. Returns `false` if the member was not in the group.
+    pub(crate) fn leave(&mut self, member: &str) -> bool {
+        if self.members.remove(member).is_none() {
+            return false;
+        }
+        self.owned.retain(|_, owner| owner != member);
+        self.bump_and_retarget();
+        true
+    }
+
+    /// Current generation (0 before the first join).
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Total membership changes so far.
+    pub(crate) fn rebalances(&self) -> u64 {
+        self.rebalances
+    }
+
+    /// The member's target assignment at the current generation, or
+    /// `None` for a non-member.
+    pub(crate) fn view(&self, member: &str) -> Option<GroupView> {
+        self.members.get(member).map(|m| GroupView {
+            generation: self.generation,
+            target: m.target.clone(),
+        })
+    }
+
+    /// Grants ownership of every requested partition that is targeted at
+    /// `member` and not currently owned by someone else. Returns the
+    /// granted subset; the caller retries for the remainder once previous
+    /// owners release.
+    pub(crate) fn claim(&mut self, member: &str, parts: &[TopicPartition]) -> Vec<TopicPartition> {
+        let Some(state) = self.members.get(member) else {
+            return Vec::new();
+        };
+        let mut granted = Vec::new();
+        for tp in parts {
+            if !state.target.contains(tp) {
+                continue;
+            }
+            match self.owned.get(tp) {
+                Some(owner) if owner != member => continue,
+                _ => {
+                    self.owned.insert(tp.clone(), member.to_string());
+                    granted.push(tp.clone());
+                }
+            }
+        }
+        granted
+    }
+
+    /// Releases ownership of the given partitions if held by `member`.
+    pub(crate) fn release(&mut self, member: &str, parts: &[TopicPartition]) {
+        for tp in parts {
+            if self.owned.get(tp).is_some_and(|owner| owner == member) {
+                self.owned.remove(tp);
+            }
+        }
+    }
+
+    /// Bumps the generation and recomputes every member's target with the
+    /// sticky balanced assignor.
+    fn bump_and_retarget(&mut self) {
+        self.generation += 1;
+        self.rebalances += 1;
+
+        // Remember previous targets for stickiness, then clear.
+        let previous: BTreeMap<TopicPartition, String> = self
+            .members
+            .iter()
+            .flat_map(|(id, m)| m.target.iter().map(move |tp| (tp.clone(), id.clone())))
+            .collect();
+        for m in self.members.values_mut() {
+            m.target.clear();
+        }
+
+        // Union of subscribed topics with partition counts.
+        let mut topics: BTreeMap<String, u32> = BTreeMap::new();
+        for m in self.members.values() {
+            for (topic, count) in &m.topics {
+                let entry = topics.entry(topic.clone()).or_insert(*count);
+                *entry = (*entry).max(*count);
+            }
+        }
+
+        for (topic, count) in &topics {
+            self.retarget_topic(topic, *count, &previous);
+        }
+    }
+
+    /// Distributes one topic's partitions across its subscribers:
+    /// sticky retention up to quota, then strategy-ordered fill.
+    fn retarget_topic(
+        &mut self,
+        topic: &str,
+        count: u32,
+        previous: &BTreeMap<TopicPartition, String>,
+    ) {
+        let subscribers: Vec<String> = self
+            .members
+            .iter()
+            .filter(|(_, m)| m.topics.iter().any(|(t, _)| t == topic))
+            .map(|(id, _)| id.clone())
+            .collect();
+        if subscribers.is_empty() {
+            return;
+        }
+        let n = count as usize;
+        let base = n / subscribers.len();
+        let extra = n % subscribers.len();
+        // Sorted member order decides who absorbs the remainder, so the
+        // quota vector is deterministic across brokers and reruns.
+        let quota: BTreeMap<&str, usize> = subscribers
+            .iter()
+            .enumerate()
+            .map(|(i, id)| (id.as_str(), base + usize::from(i < extra)))
+            .collect();
+
+        // Pass 1 — sticky retention: a partition stays with its previous
+        // target while that member is still subscribed and under quota.
+        let mut kept: BTreeMap<&str, usize> =
+            subscribers.iter().map(|id| (id.as_str(), 0)).collect();
+        let mut unassigned: Vec<u32> = Vec::new();
+        for p in 0..count {
+            let tp = TopicPartition::new(topic, p);
+            let keeper = previous.get(&tp).and_then(|id| {
+                let under_quota = kept.get(id.as_str()).copied().unwrap_or(usize::MAX)
+                    < quota.get(id.as_str()).copied().unwrap_or(0);
+                under_quota.then_some(id.clone())
+            });
+            match keeper {
+                Some(id) => {
+                    *kept.get_mut(id.as_str()).expect("subscriber") += 1;
+                    self.members
+                        .get_mut(&id)
+                        .expect("member exists")
+                        .target
+                        .push(tp);
+                }
+                None => unassigned.push(p),
+            }
+        }
+
+        // Pass 2 — fill members below quota with the leftovers.
+        match self.strategy {
+            AssignmentStrategy::Range => {
+                // Contiguous blocks: walk members in order, give each its
+                // remaining quota as one run of partitions.
+                let mut rest = unassigned.into_iter();
+                for id in &subscribers {
+                    let want = quota[id.as_str()] - kept[id.as_str()];
+                    for _ in 0..want {
+                        let Some(p) = rest.next() else { return };
+                        self.members
+                            .get_mut(id)
+                            .expect("member exists")
+                            .target
+                            .push(TopicPartition::new(topic, p));
+                    }
+                }
+            }
+            AssignmentStrategy::RoundRobin => {
+                // Deal leftovers one at a time, skipping full members.
+                let mut cursor = 0usize;
+                for p in unassigned {
+                    let mut placed = false;
+                    for _ in 0..subscribers.len() {
+                        let id = &subscribers[cursor];
+                        cursor = (cursor + 1) % subscribers.len();
+                        if kept[id.as_str()] < quota[id.as_str()] {
+                            *kept.get_mut(id.as_str()).expect("subscriber") += 1;
+                            self.members
+                                .get_mut(id)
+                                .expect("member exists")
+                                .target
+                                .push(TopicPartition::new(topic, p));
+                            placed = true;
+                            break;
+                        }
+                    }
+                    debug_assert!(placed, "quota sums to partition count");
+                }
+            }
+        }
+    }
+}
+
+/// Client-side group membership helper.
+///
+/// Engine connectors embed one `GroupMember` per worker. The lifecycle:
+///
+/// 1. [`GroupMember::join`] registers with the coordinator.
+/// 2. Each poll loop calls [`GroupMember::poll_rebalance`] with revoke
+///    and assign callbacks. On a generation change the member commits and
+///    releases partitions it must give up (the revoke callback runs
+///    *before* release, so positions are committed first — this is what
+///    makes handover exactly-once), then claims newly targeted
+///    partitions as their previous owners release them.
+/// 3. [`GroupMember::leave`] deregisters and releases everything.
+#[derive(Debug)]
+pub struct GroupMember {
+    bus: Arc<dyn Bus>,
+    group: String,
+    member: String,
+    generation: u64,
+    owned: Vec<TopicPartition>,
+    /// True while the member still has unclaimed targets (previous
+    /// owners have not released yet) and must re-sync next poll.
+    pending: bool,
+    left: bool,
+}
+
+impl GroupMember {
+    /// Joins `group` under `member` id, subscribing to `topics`.
+    pub fn join(
+        bus: Arc<dyn Bus>,
+        group: impl Into<String>,
+        member: impl Into<String>,
+        topics: &[&str],
+        strategy: AssignmentStrategy,
+    ) -> Result<Self> {
+        let group = group.into();
+        let member = member.into();
+        bus.join_group(&group, &member, topics, strategy)?;
+        Ok(GroupMember {
+            bus,
+            group,
+            member,
+            generation: 0,
+            owned: Vec::new(),
+            pending: true,
+            left: false,
+        })
+    }
+
+    /// Group name.
+    pub fn group(&self) -> &str {
+        &self.group
+    }
+
+    /// Member id.
+    pub fn member_id(&self) -> &str {
+        &self.member
+    }
+
+    /// Generation of the last synced assignment.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Partitions currently owned by this member.
+    pub fn owned(&self) -> &[TopicPartition] {
+        &self.owned
+    }
+
+    /// Reconciles this member with the coordinator.
+    ///
+    /// Cheap when nothing changed: one generation read. On a generation
+    /// change (or while claims are still pending) the member syncs its
+    /// target, hands over partitions it lost — `on_revoke` runs before
+    /// the release so the callback can commit positions — and claims
+    /// whatever it gained that previous owners have released.
+    ///
+    /// Returns `true` if ownership changed.
+    pub fn poll_rebalance(
+        &mut self,
+        mut on_revoke: impl FnMut(&[TopicPartition]) -> Result<()>,
+        mut on_assign: impl FnMut(&[TopicPartition]) -> Result<()>,
+    ) -> Result<bool> {
+        if self.left {
+            return Ok(false);
+        }
+        let current = self.bus.group_generation(&self.group)?;
+        if current == self.generation && !self.pending {
+            return Ok(false);
+        }
+        let view = self.bus.sync_group(&self.group, &self.member)?;
+
+        // Revoke: everything owned but no longer targeted. Commit (via
+        // the callback) before releasing so the next owner resumes from
+        // our position.
+        let revoked: Vec<TopicPartition> = self
+            .owned
+            .iter()
+            .filter(|tp| !view.target.contains(tp))
+            .cloned()
+            .collect();
+        if !revoked.is_empty() {
+            on_revoke(&revoked)?;
+            self.bus
+                .release_partitions(&self.group, &self.member, &revoked)?;
+            self.owned.retain(|tp| view.target.contains(tp));
+        }
+
+        // Claim: everything targeted but not yet owned. Grants may be
+        // partial while previous owners still hold on; stay pending and
+        // retry next poll.
+        let wanted: Vec<TopicPartition> = view
+            .target
+            .iter()
+            .filter(|tp| !self.owned.contains(tp))
+            .cloned()
+            .collect();
+        let granted = if wanted.is_empty() {
+            Vec::new()
+        } else {
+            self.bus
+                .claim_partitions(&self.group, &self.member, &wanted)?
+        };
+        if !granted.is_empty() {
+            on_assign(&granted)?;
+            self.owned.extend(granted.iter().cloned());
+            self.owned.sort();
+        }
+
+        self.generation = view.generation;
+        self.pending = self.owned.len() < view.target.len();
+        Ok(!revoked.is_empty() || !granted.is_empty())
+    }
+
+    /// Leaves the group, releasing all owned partitions. Idempotent.
+    pub fn leave(&mut self) -> Result<()> {
+        if self.left {
+            return Ok(());
+        }
+        if !self.owned.is_empty() {
+            let owned = std::mem::take(&mut self.owned);
+            self.bus
+                .release_partitions(&self.group, &self.member, &owned)?;
+        }
+        self.bus.leave_group(&self.group, &self.member)?;
+        self.left = true;
+        Ok(())
+    }
+}
+
+/// Monotonic suffix for auto-generated [`GroupedReader`] member ids.
+static NEXT_READER_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// A group-coordinated multi-partition reader: a [`GroupMember`] plus
+/// fetch cursors for whatever the coordinator currently assigns this
+/// member. This is the shared consumption engine behind the engine
+/// connectors' group modes — it replaces each connector's private
+/// all-partitions cursor cache with protocol-driven ownership.
+///
+/// Positions hand over through committed offsets: on revoke the cursor's
+/// position is committed before the partition is released, and a newly
+/// claimed partition resumes from its committed offset. A topic is
+/// therefore read exactly once across the whole group, rebalances
+/// included.
+pub struct GroupedReader {
+    bus: Arc<dyn Bus>,
+    topic: String,
+    member: GroupMember,
+    cursors: Vec<GroupCursor>,
+    /// Bounded finish line per partition, captured at join; `None` in
+    /// follow mode, where ends refresh on every pass.
+    ends: Option<Vec<u64>>,
+    /// Fetch buffer reused across passes.
+    fetch_buffer: Vec<crate::StoredRecord>,
+}
+
+#[derive(Debug)]
+struct GroupCursor {
+    partition: u32,
+    reader: crate::PartitionReader,
+    position: u64,
+    end: u64,
+}
+
+impl std::fmt::Debug for GroupedReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupedReader")
+            .field("topic", &self.topic)
+            .field("group", &self.member.group())
+            .field("member", &self.member.member_id())
+            .field("generation", &self.member.generation())
+            .field("cursors", &self.cursors)
+            .field("bounded", &self.ends.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl GroupedReader {
+    /// Joins `group` for a bounded read of `topic`: the finish line is
+    /// the per-partition end offsets current at join.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the topic does not exist or the coordinator rejects
+    /// the join after retries.
+    pub fn bounded(
+        bus: Arc<dyn Bus>,
+        topic: impl Into<String>,
+        group: impl Into<String>,
+        strategy: AssignmentStrategy,
+    ) -> Result<Self> {
+        Self::join_reader(bus, topic.into(), group.into(), strategy, true)
+    }
+
+    /// Joins `group` for a tailing read: ends refresh on every pass, so
+    /// records appended after the join are part of the stream.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the topic does not exist or the coordinator rejects
+    /// the join after retries.
+    pub fn following(
+        bus: Arc<dyn Bus>,
+        topic: impl Into<String>,
+        group: impl Into<String>,
+        strategy: AssignmentStrategy,
+    ) -> Result<Self> {
+        Self::join_reader(bus, topic.into(), group.into(), strategy, false)
+    }
+
+    fn join_reader(
+        bus: Arc<dyn Bus>,
+        topic: String,
+        group: String,
+        strategy: AssignmentStrategy,
+        bounded: bool,
+    ) -> Result<Self> {
+        let retry = crate::RetryPolicy::default();
+        let count = crate::with_retry(&retry, || bus.partition_count(&topic))?;
+        let ends = if bounded {
+            let mut ends = Vec::with_capacity(count as usize);
+            for p in 0..count {
+                ends.push(crate::with_retry(&retry, || bus.latest_offset(&topic, p))?);
+            }
+            Some(ends)
+        } else {
+            None
+        };
+        let member_id = format!(
+            "{group}-reader-{}",
+            NEXT_READER_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        );
+        let member = crate::with_retry(&retry, || {
+            GroupMember::join(bus.clone(), &group, &member_id, &[&topic], strategy)
+        })?;
+        let mut reader = GroupedReader {
+            bus,
+            topic,
+            member,
+            cursors: Vec::new(),
+            ends,
+            fetch_buffer: Vec::new(),
+        };
+        // Best-effort initial claim: a transient fault here just leaves
+        // the cursors to be built on the next poll.
+        let _ = reader.poll_rebalance();
+        Ok(reader)
+    }
+
+    /// Member id under which this reader joined.
+    pub fn member_id(&self) -> &str {
+        self.member.member_id()
+    }
+
+    /// Generation of the last synced assignment.
+    pub fn generation(&self) -> u64 {
+        self.member.generation()
+    }
+
+    /// Number of partitions currently owned.
+    pub fn owned_partitions(&self) -> usize {
+        self.cursors.len()
+    }
+
+    /// Reconciles with the coordinator: commits and drops cursors for
+    /// revoked partitions, builds cursors (resuming from the committed
+    /// offset) for newly claimed ones.
+    ///
+    /// Returns `true` if ownership changed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates coordinator faults; safe to retry on the next pass.
+    pub fn poll_rebalance(&mut self) -> Result<bool> {
+        let bus = self.bus.clone();
+        let topic = self.topic.clone();
+        let group = self.member.group().to_string();
+        let ends = self.ends.clone();
+        // The callbacks run sequentially (revoke, then assign) but both
+        // mutate the cursor set, so share it through a `RefCell`.
+        let cursors = std::cell::RefCell::new(&mut self.cursors);
+        self.member.poll_rebalance(
+            |revoked| {
+                let mut cursors = cursors.borrow_mut();
+                for tp in revoked {
+                    let Some(i) = cursors.iter().position(|c| c.partition == tp.partition) else {
+                        continue;
+                    };
+                    let cursor = cursors.swap_remove(i);
+                    // Commit before release (the caller releases after this
+                    // callback) so the next owner resumes from our position.
+                    bus.commit_offset(&group, &topic, cursor.partition, cursor.position)?;
+                }
+                Ok(())
+            },
+            |assigned| {
+                let mut cursors = cursors.borrow_mut();
+                for tp in assigned {
+                    if cursors.iter().any(|c| c.partition == tp.partition) {
+                        continue;
+                    }
+                    let reader = bus.partition_reader(&topic, tp.partition)?;
+                    let earliest = bus.earliest_offset(&topic, tp.partition).unwrap_or(0);
+                    let position = bus
+                        .committed_offset(&group, &topic, tp.partition)
+                        .unwrap_or(0)
+                        .max(earliest);
+                    let end = match &ends {
+                        Some(ends) => ends.get(tp.partition as usize).copied().unwrap_or(position),
+                        None => bus.latest_offset(&topic, tp.partition).unwrap_or(position),
+                    };
+                    cursors.push(GroupCursor {
+                        partition: tp.partition,
+                        reader,
+                        position,
+                        end,
+                    });
+                }
+                cursors.sort_by_key(|c| c.partition);
+                Ok(())
+            },
+        )
+    }
+
+    /// Follow mode: refreshes cursor ends to the current latest offsets.
+    /// No-op for a bounded reader, whose finish line is fixed at join.
+    pub fn refresh_ends(&mut self) {
+        if self.ends.is_some() {
+            return;
+        }
+        for cursor in &mut self.cursors {
+            if let Ok(end) = cursor.reader.latest_offset() {
+                cursor.end = cursor.end.max(end);
+            }
+        }
+    }
+
+    /// One fetch pass over the owned cursors: up to `cap` records handed
+    /// to `sink` with their partition, in per-partition offset order.
+    /// Returns the number delivered. Fetch faults leave records in place
+    /// for the next pass.
+    pub fn fetch_pass(
+        &mut self,
+        cap: usize,
+        sink: &mut dyn FnMut(u32, crate::StoredRecord),
+    ) -> usize {
+        let buffer = &mut self.fetch_buffer;
+        let mut delivered = 0usize;
+        for cursor in &mut self.cursors {
+            if delivered >= cap || cursor.position >= cursor.end {
+                continue;
+            }
+            let want = (cap - delivered).min((cursor.end - cursor.position) as usize);
+            buffer.clear();
+            if cursor
+                .reader
+                .fetch_into(cursor.position, want, buffer)
+                .is_err()
+            {
+                continue;
+            }
+            if let Some(last) = buffer.last() {
+                cursor.position = last.offset + 1;
+            }
+            for stored in buffer.drain(..) {
+                sink(cursor.partition, stored);
+                delivered += 1;
+            }
+        }
+        delivered
+    }
+
+    /// Commits the current position of every owned cursor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates commit faults; positions stay local and the commit can
+    /// be retried.
+    pub fn commit(&self) -> Result<()> {
+        for cursor in &self.cursors {
+            self.bus.commit_offset(
+                self.member.group(),
+                &self.topic,
+                cursor.partition,
+                cursor.position,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Whether the **group** has drained the bounded read: every
+    /// partition has reached the end captured at join — own partitions
+    /// judged by live cursor position, peers' by their committed offset.
+    /// Always `false` in follow mode.
+    pub fn drained(&self) -> bool {
+        let Some(ends) = &self.ends else {
+            return false;
+        };
+        ends.iter().enumerate().all(|(p, end)| {
+            if let Some(cursor) = self.cursors.iter().find(|c| c.partition == p as u32) {
+                return cursor.position >= *end;
+            }
+            self.bus
+                .committed_offset(self.member.group(), &self.topic, p as u32)
+                .unwrap_or(0)
+                >= *end
+        })
+    }
+
+    /// Drives one bounded batch: polls for rebalances, fetches up to
+    /// `cap` records into `sink`, commits, and backs off while peers
+    /// drain their share. Returns the number delivered, or `None` once
+    /// the group has drained the topic (or nothing arrived for `stall`),
+    /// after committing and leaving the group.
+    pub fn next_batch(
+        &mut self,
+        cap: usize,
+        stall: std::time::Duration,
+        sink: &mut dyn FnMut(u32, crate::StoredRecord),
+    ) -> Option<usize> {
+        let mut backoff = crate::Backoff::new();
+        let started = std::time::Instant::now();
+        loop {
+            let _ = self.poll_rebalance();
+            let delivered = self.fetch_pass(cap, sink);
+            if delivered > 0 {
+                let _ = self.commit();
+                return Some(delivered);
+            }
+            let _ = self.commit();
+            if self.drained() || started.elapsed() >= stall {
+                let _ = self.leave();
+                return None;
+            }
+            // Caught up but the group is not done — a peer still owns an
+            // undrained partition, or our claim is pending.
+            backoff.snooze();
+        }
+    }
+
+    /// Commits all positions and leaves the group. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates coordinator faults from the final commit or release.
+    pub fn leave(&mut self) -> Result<()> {
+        self.commit()?;
+        self.cursors.clear();
+        self.member.leave()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn targets(state: &GroupState, member: &str) -> Vec<u32> {
+        let mut v: Vec<u32> = state
+            .view(member)
+            .expect("member")
+            .target
+            .iter()
+            .map(|tp| tp.partition)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn single_member_gets_everything() {
+        let mut g = GroupState::default();
+        let gen = g.join("a", vec![("t".into(), 4)], AssignmentStrategy::Range);
+        assert_eq!(gen, 1);
+        assert_eq!(targets(&g, "a"), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn range_assignment_is_contiguous_and_balanced() {
+        let mut g = GroupState::default();
+        g.join("a", vec![("t".into(), 8)], AssignmentStrategy::Range);
+        g.join("b", vec![("t".into(), 8)], AssignmentStrategy::Range);
+        g.join("c", vec![("t".into(), 8)], AssignmentStrategy::Range);
+        let sizes: Vec<usize> = ["a", "b", "c"]
+            .iter()
+            .map(|m| targets(&g, m).len())
+            .collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![2, 3, 3]);
+        // Every partition targeted exactly once.
+        let mut all: Vec<u32> = ["a", "b", "c"]
+            .iter()
+            .flat_map(|m| targets(&g, m))
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sticky_retention_minimises_movement() {
+        let mut g = GroupState::default();
+        g.join("a", vec![("t".into(), 8)], AssignmentStrategy::Range);
+        let before = targets(&g, "a");
+        assert_eq!(before.len(), 8);
+        g.join("b", vec![("t".into(), 8)], AssignmentStrategy::Range);
+        let after_a = targets(&g, "a");
+        // `a` keeps exactly its quota's worth of its old partitions.
+        assert_eq!(after_a.len(), 4);
+        assert!(after_a.iter().all(|p| before.contains(p)));
+        assert_eq!(targets(&g, "b").len(), 4);
+    }
+
+    #[test]
+    fn leave_returns_partitions_to_survivors() {
+        let mut g = GroupState::default();
+        g.join("a", vec![("t".into(), 6)], AssignmentStrategy::RoundRobin);
+        g.join("b", vec![("t".into(), 6)], AssignmentStrategy::RoundRobin);
+        assert!(g.leave("b"));
+        assert_eq!(targets(&g, "a"), vec![0, 1, 2, 3, 4, 5]);
+        assert!(!g.leave("b"), "second leave is a no-op");
+    }
+
+    #[test]
+    fn claim_respects_cooperative_handover() {
+        let mut g = GroupState::default();
+        g.join("a", vec![("t".into(), 2)], AssignmentStrategy::Range);
+        let all: Vec<TopicPartition> = (0..2).map(|p| TopicPartition::new("t", p)).collect();
+        assert_eq!(g.claim("a", &all).len(), 2);
+
+        g.join("b", vec![("t".into(), 2)], AssignmentStrategy::Range);
+        let b_target = g.view("b").expect("b").target.clone();
+        assert_eq!(b_target.len(), 1);
+        // `a` still owns it: claim is denied until `a` releases.
+        assert!(g.claim("b", &b_target).is_empty());
+        g.release("a", &b_target);
+        assert_eq!(g.claim("b", &b_target), b_target);
+    }
+
+    #[test]
+    fn claim_ignores_untargeted_partitions() {
+        let mut g = GroupState::default();
+        g.join("a", vec![("t".into(), 2)], AssignmentStrategy::Range);
+        g.join("b", vec![("t".into(), 2)], AssignmentStrategy::Range);
+        let a_target = g.view("a").expect("a").target.clone();
+        // `b` asking for `a`'s partition gets nothing.
+        assert!(g.claim("b", &a_target).is_empty());
+    }
+
+    #[test]
+    fn generation_bumps_on_every_membership_change() {
+        let mut g = GroupState::default();
+        assert_eq!(g.generation(), 0);
+        g.join("a", vec![("t".into(), 1)], AssignmentStrategy::Range);
+        assert_eq!(g.generation(), 1);
+        g.join("b", vec![("t".into(), 1)], AssignmentStrategy::Range);
+        assert_eq!(g.generation(), 2);
+        g.leave("a");
+        assert_eq!(g.generation(), 3);
+        assert_eq!(g.rebalances(), 3);
+    }
+
+    #[test]
+    fn round_robin_interleaves_fresh_assignment() {
+        let mut g = GroupState::default();
+        g.join("a", vec![("t".into(), 4)], AssignmentStrategy::RoundRobin);
+        g.leave("a");
+        g.join("x", vec![("t".into(), 4)], AssignmentStrategy::RoundRobin);
+        g.join("y", vec![("t".into(), 4)], AssignmentStrategy::RoundRobin);
+        // After x leaves-and-rejoins era, fresh deal interleaves: x gets
+        // a partition, then y, alternating.
+        let x = targets(&g, "x");
+        let y = targets(&g, "y");
+        assert_eq!(x.len() + y.len(), 4);
+        assert!((x.len() as i64 - y.len() as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn grouped_reader_drains_bounded_topic() {
+        let broker = crate::Broker::new();
+        broker
+            .create_topic("t", crate::TopicConfig::default().partitions(3))
+            .unwrap();
+        for p in 0..3 {
+            for i in 0..7 {
+                broker
+                    .produce("t", p, crate::Record::from_value(format!("p{p}-{i}")))
+                    .unwrap();
+            }
+        }
+        // A record produced after the join is outside the finish line.
+        let mut reader = GroupedReader::bounded(
+            Arc::new(broker.clone()),
+            "t",
+            "g",
+            AssignmentStrategy::Range,
+        )
+        .unwrap();
+        broker
+            .produce("t", 0, crate::Record::from_value("late"))
+            .unwrap();
+        assert_eq!(reader.owned_partitions(), 3, "sole member owns the topic");
+        let mut seen = Vec::new();
+        while let Some(_n) =
+            reader.next_batch(5, std::time::Duration::from_secs(5), &mut |p, stored| {
+                seen.push((p, stored.record.value));
+            })
+        {}
+        assert_eq!(seen.len(), 21, "bounded read stops at ends-at-join");
+    }
+
+    #[test]
+    fn concurrent_grouped_readers_share_topic_exactly_once() {
+        let broker = crate::Broker::new();
+        broker
+            .create_topic("t", crate::TopicConfig::default().partitions(4))
+            .unwrap();
+        for p in 0..4 {
+            for i in 0..50 {
+                broker
+                    .produce("t", p, crate::Record::from_value(format!("p{p}-{i}")))
+                    .unwrap();
+            }
+        }
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let broker = broker.clone();
+                std::thread::spawn(move || {
+                    let mut reader = GroupedReader::bounded(
+                        Arc::new(broker),
+                        "t",
+                        "share",
+                        AssignmentStrategy::RoundRobin,
+                    )
+                    .unwrap();
+                    let mut seen = Vec::new();
+                    while reader
+                        .next_batch(8, std::time::Duration::from_secs(5), &mut |p, stored| {
+                            seen.push((p, stored.record.value));
+                        })
+                        .is_some()
+                    {}
+                    seen
+                })
+            })
+            .collect();
+        let mut all: Vec<_> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 200, "group reads every record exactly once");
+    }
+}

@@ -69,6 +69,7 @@ mod config;
 mod consumer;
 mod error;
 mod fault;
+mod group;
 mod handle;
 mod log;
 pub mod pool;
@@ -90,9 +91,12 @@ pub use config::{Acks, CompressionHint, TimestampType, TopicConfig};
 pub use consumer::{Consumer, ConsumerConfig, GroupAssignment};
 pub use error::{Error, Result};
 pub use fault::{FaultOp, FaultPlan};
+pub use group::{AssignmentStrategy, GroupMember, GroupView, GroupedReader, TopicPartition};
 pub use handle::{PartitionReader, PartitionWriter};
 pub use log::{LogStats, OffsetError, PartitionLog};
-pub use producer::{Partitioner, Producer, ProducerConfig, ProducerMetricsSnapshot, RateLimit};
+pub use producer::{
+    partition_for_key, Partitioner, Producer, ProducerConfig, ProducerMetricsSnapshot, RateLimit,
+};
 pub use record::{Header, Record, StoredRecord, Timestamp};
 pub use retry::{with_retry, RetryPolicy};
 pub use segment::Segment;

@@ -251,11 +251,8 @@ impl Producer {
             Partitioner::Fixed(p) => Ok(p),
             Partitioner::RoundRobin => next_round_robin(self.bus.as_ref(), state, topic),
             Partitioner::KeyHash => match &record.key {
-                Some(key) => cached_partition_count(self.bus.as_ref(), state, topic).map(|n| {
-                    let mut hasher = DefaultHasher::new();
-                    key.hash(&mut hasher);
-                    (hasher.finish() % u64::from(n)) as u32
-                }),
+                Some(key) => cached_partition_count(self.bus.as_ref(), state, topic)
+                    .map(|n| partition_for_key(key, n)),
                 None => next_round_robin(self.bus.as_ref(), state, topic),
             },
         };
@@ -315,11 +312,8 @@ impl Producer {
                 Partitioner::Fixed(p) => Ok(p),
                 Partitioner::RoundRobin => next_round_robin(self.bus.as_ref(), state, topic),
                 Partitioner::KeyHash => match &record.key {
-                    Some(key) => cached_partition_count(self.bus.as_ref(), state, topic).map(|n| {
-                        let mut hasher = DefaultHasher::new();
-                        key.hash(&mut hasher);
-                        (hasher.finish() % u64::from(n)) as u32
-                    }),
+                    Some(key) => cached_partition_count(self.bus.as_ref(), state, topic)
+                        .map(|n| partition_for_key(key, n)),
                     None => next_round_robin(self.bus.as_ref(), state, topic),
                 },
             };
@@ -486,6 +480,20 @@ impl Producer {
         self.closed = true;
         result
     }
+}
+
+/// Routes a record key to a partition: the shared key-hash partitioner.
+///
+/// Every producer tier (per-record [`Producer::send`], batched
+/// [`Producer::send_batch`]) and the benchmark's parallel load
+/// generators call this one function, so a key always lands on the same
+/// partition no matter which path produced it — the property keyed
+/// engine shuffles depend on.
+#[must_use]
+pub fn partition_for_key(key: &[u8], partition_count: u32) -> u32 {
+    let mut hasher = DefaultHasher::new();
+    key.hash(&mut hasher);
+    (hasher.finish() % u64::from(partition_count.max(1))) as u32
 }
 
 /// Returns the topic's partition count, caching it in `state` on the

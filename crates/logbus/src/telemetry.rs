@@ -126,3 +126,36 @@ pub(crate) fn async_queue_depth() -> &'static obs::Gauge {
     static DEPTH: OnceLock<obs::Gauge> = OnceLock::new();
     DEPTH.get_or_init(|| obs::gauge("logbus.async_producer.queue_depth"))
 }
+
+/// Per-partition leader health: how often a produce found the append
+/// lock already held (a second producer contending on the same leader).
+pub(crate) struct LeaderPath {
+    /// Appends that had to wait for the partition append lock.
+    pub(crate) append_contended: obs::Counter,
+    /// Appends that took the lock uncontended (fast path).
+    pub(crate) append_uncontended: obs::Counter,
+}
+
+pub(crate) fn leader_path() -> &'static LeaderPath {
+    static PATH: OnceLock<LeaderPath> = OnceLock::new();
+    PATH.get_or_init(|| LeaderPath {
+        append_contended: obs::counter("logbus.leader.append_contended"),
+        append_uncontended: obs::counter("logbus.leader.append_uncontended"),
+    })
+}
+
+/// Consumer-group coordinator activity.
+pub(crate) struct GroupPath {
+    /// Membership changes across all groups (each bumps a generation).
+    pub(crate) rebalances: obs::Counter,
+    /// Generation of the most recently rebalanced group.
+    pub(crate) generation: obs::Gauge,
+}
+
+pub(crate) fn group_path() -> &'static GroupPath {
+    static PATH: OnceLock<GroupPath> = OnceLock::new();
+    PATH.get_or_init(|| GroupPath {
+        rebalances: obs::counter("logbus.group.rebalances"),
+        generation: obs::gauge("logbus.group.generation"),
+    })
+}

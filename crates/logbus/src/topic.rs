@@ -72,6 +72,27 @@ impl Topic {
             })
     }
 
+    /// Takes a partition's append lock, recording whether the
+    /// acquisition contended — the per-partition leader health signal.
+    /// With the obs gate off this is exactly `lock.write()` plus one
+    /// branch, so the hot path stays allocation- and atomic-free.
+    fn write_log<'a>(lock: &'a RwLock<PartitionLog>) -> parking_lot::WriteGuard<'a, PartitionLog> {
+        if !obs::enabled() {
+            return lock.write();
+        }
+        let leaders = crate::telemetry::leader_path();
+        match lock.try_write() {
+            Some(guard) => {
+                leaders.append_uncontended.add(1);
+                guard
+            }
+            None => {
+                leaders.append_contended.add(1);
+                lock.write()
+            }
+        }
+    }
+
     /// Appends `record` to `partition`, resolving the stored timestamp
     /// according to the topic's [`TimestampType`]. `now` is the broker
     /// clock reading. Returns the assigned offset.
@@ -100,7 +121,7 @@ impl Topic {
         delay: std::time::Duration,
     ) -> Result<u64> {
         let lock = self.partition(partition)?;
-        let mut log = lock.write();
+        let mut log = Self::write_log(lock);
         spin_delay(delay);
         let stamp = match self.config.timestamp_type {
             // Clamped under the append lock: concurrent producers may
@@ -132,7 +153,7 @@ impl Topic {
         seq: u64,
     ) -> Result<u64> {
         let lock = self.partition(partition)?;
-        let mut log = lock.write();
+        let mut log = Self::write_log(lock);
         spin_delay(delay);
         if let Some(base) = log.duplicate_of(producer_id, seq) {
             return Ok(base);
@@ -165,7 +186,7 @@ impl Topic {
         first_seq: u64,
     ) -> Result<u64> {
         let lock = self.partition(partition)?;
-        let mut log = lock.write();
+        let mut log = Self::write_log(lock);
         spin_delay(delay);
         if let Some(base) = log.duplicate_of(producer_id, first_seq) {
             // The broker already holds these records; the retried batch
@@ -227,7 +248,7 @@ impl Topic {
         delay: std::time::Duration,
     ) -> Result<u64> {
         let lock = self.partition(partition)?;
-        let mut log = lock.write();
+        let mut log = Self::write_log(lock);
         spin_delay(delay);
         // One shared, monotone `LogAppendTime` stamp for the whole batch
         // (see `append_delayed` for why the clamp happens under the lock).

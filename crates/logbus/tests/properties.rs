@@ -221,3 +221,148 @@ proptest! {
         }
     }
 }
+
+fn arb_keyed_payloads() -> impl Strategy<Value = Vec<(Vec<u8>, Vec<u8>)>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(any::<u8>(), 0..24),
+            prop::collection::vec(any::<u8>(), 0..48),
+        ),
+        1..150,
+    )
+}
+
+proptest! {
+    /// Both producer tiers — per-record `send` and batched `send_batch`
+    /// — route identical keys to identical partitions for any partition
+    /// count, and both agree with the shared `partition_for_key`
+    /// partitioner the benchmark's parallel load generators use.
+    #[test]
+    fn producer_tiers_route_keys_identically(
+        keyed in arb_keyed_payloads(),
+        partitions in 1u32..32,
+        batch in 1usize..64,
+    ) {
+        let broker = Broker::new();
+        for topic in ["per-record", "batched"] {
+            broker
+                .create_topic(topic, TopicConfig::default().partitions(partitions))
+                .unwrap();
+        }
+        let config = ProducerConfig {
+            batch_records: batch,
+            partitioner: logbus::Partitioner::KeyHash,
+            ..ProducerConfig::default()
+        };
+
+        let mut per_record = Producer::with_config(broker.clone(), config.clone());
+        for (key, value) in &keyed {
+            per_record
+                .send("per-record", Record::from_key_value(key.clone(), value.clone()))
+                .unwrap();
+        }
+        per_record.flush().unwrap();
+
+        let mut batched = Producer::with_config(broker.clone(), config);
+        let mut records: Vec<Record> = keyed
+            .iter()
+            .map(|(key, value)| Record::from_key_value(key.clone(), value.clone()))
+            .collect();
+        batched.send_batch("batched", &mut records).unwrap();
+        batched.flush().unwrap();
+
+        for p in 0..partitions {
+            let a = broker.fetch("per-record", p, 0, keyed.len() + 1).unwrap();
+            let b = broker.fetch("batched", p, 0, keyed.len() + 1).unwrap();
+            prop_assert_eq!(a.len(), b.len(), "partition {} diverged", p);
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert_eq!(&x.record.value[..], &y.record.value[..]);
+                // ... and the partition each record landed on is the
+                // shared partitioner's verdict for its key.
+                let key = x.record.key.as_ref().expect("keyed record");
+                prop_assert_eq!(logbus::partition_for_key(key, partitions), p);
+            }
+        }
+    }
+
+    /// Any join/leave churn converges to a disjoint cover: after the
+    /// survivors quiesce, every partition is owned by exactly one
+    /// member, assignments are balanced to within one partition, and
+    /// all members agree on the generation.
+    #[test]
+    fn rebalance_converges_to_disjoint_cover(
+        partitions in 1u32..16,
+        joiners in 2usize..6,
+        leaver_mask in any::<u8>(),
+        round_robin in any::<bool>(),
+    ) {
+        use logbus::{AssignmentStrategy, Bus, GroupMember};
+
+        let broker = Broker::new();
+        broker
+            .create_topic("t", TopicConfig::default().partitions(partitions))
+            .unwrap();
+        let bus: Arc<dyn Bus> = Arc::new(broker.clone());
+        let strategy = if round_robin {
+            AssignmentStrategy::RoundRobin
+        } else {
+            AssignmentStrategy::Range
+        };
+
+        let mut members: Vec<GroupMember> = (0..joiners)
+            .map(|i| {
+                GroupMember::join(
+                    bus.clone(),
+                    "g",
+                    format!("m{i}"),
+                    &["t"],
+                    strategy,
+                )
+                .unwrap()
+            })
+            .collect();
+        // Leave at least one member in the group.
+        let mut keep: Vec<bool> = (0..joiners)
+            .map(|i| leaver_mask & (1 << i) != 0)
+            .collect();
+        if keep.iter().all(|k| !k) {
+            keep[0] = true;
+        }
+        for (member, keep) in members.iter_mut().zip(&keep) {
+            if !keep {
+                member.leave().unwrap();
+            }
+        }
+        let mut survivors: Vec<GroupMember> = members
+            .into_iter()
+            .zip(keep)
+            .filter_map(|(m, keep)| keep.then_some(m))
+            .collect();
+
+        // Quiesce: claims release asymmetrically, so poll everyone
+        // until a full round changes nothing.
+        for _ in 0..32 {
+            let mut changed = false;
+            for member in &mut survivors {
+                changed |= member
+                    .poll_rebalance(|_| Ok(()), |_| Ok(()))
+                    .unwrap();
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let mut owned: Vec<u32> = survivors
+            .iter()
+            .flat_map(|m| m.owned().iter().map(|tp| tp.partition))
+            .collect();
+        owned.sort_unstable();
+        prop_assert_eq!(owned, (0..partitions).collect::<Vec<_>>());
+        let sizes: Vec<usize> = survivors.iter().map(|m| m.owned().len()).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        prop_assert!(max - min <= 1, "unbalanced assignment: {:?}", sizes);
+        let generation = survivors[0].generation();
+        prop_assert!(survivors.iter().all(|m| m.generation() == generation));
+    }
+}

@@ -36,6 +36,21 @@ impl ClusterSpec {
         }
     }
 
+    /// A local cluster guaranteed to fit a job of the given maximum
+    /// operator parallelism: [`ClusterSpec::local`], widened so
+    /// `total_slots() >= parallelism`. Slots are logical (no CPU
+    /// separation, paper §II-B), so over-provisioning slots on a small
+    /// host is exactly what a real Flink standalone config would do.
+    pub fn local_for(parallelism: usize) -> Self {
+        let base = Self::local();
+        ClusterSpec {
+            task_managers: base.task_managers,
+            slots_per_manager: base
+                .slots_per_manager
+                .max(parallelism.div_ceil(base.task_managers)),
+        }
+    }
+
     /// The paper's two-worker deployment.
     pub fn two_workers(slots_per_manager: usize) -> Self {
         ClusterSpec {

@@ -2,10 +2,17 @@
 
 use crate::operator::Collector;
 use bytes::Bytes;
-use logbus::Broker;
+use logbus::{AssignmentStrategy, Broker, Consumer, ConsumerConfig, StoredRecord};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// A bounded group read that makes no progress for this long gives up —
+/// the connector-path guard against a peer that died mid-handover.
+const GROUP_STALL_LIMIT: std::time::Duration = std::time::Duration::from_secs(10);
+
+/// Process-wide counters for auto-generated group and member names.
+static NEXT_GROUP_ID: AtomicU64 = AtomicU64::new(0);
 
 /// Bounded exponential backoff for idle polls, shared with every engine
 /// connector through `logbus` (see [`logbus::Backoff`]): spin, then
@@ -91,15 +98,30 @@ impl<T: Clone + Send + Sync> SourceFunction<T> for VecSourceInstance<T> {
     }
 }
 
-/// Bounded source reading a `logbus` topic: each subtask consumes the
-/// partitions congruent to its index and stops at the offsets that were
-/// current when the job started.
+/// Bounded source reading a `logbus` topic.
+///
+/// By default the subtasks form a **consumer group**: each instance joins
+/// the broker's group coordinator under a source-wide group name, and the
+/// sticky rebalance protocol decides which partitions each subtask owns —
+/// members joining or leaving mid-run hand partitions over with their
+/// committed positions, so no record is lost or read twice. Reads stop at
+/// the offsets that were current when the job started.
+/// [`BrokerSource::static_assignment`] opts out, reverting to the fixed
+/// `partition % parallelism == subtask` split.
 #[derive(Debug, Clone)]
 pub struct BrokerSource {
     broker: Broker,
     topic: String,
     fetch_size: usize,
     follow: Option<FollowMode>,
+    group: Option<GroupSpec>,
+}
+
+/// Consumer-group configuration shared by all subtasks of one source.
+#[derive(Debug, Clone)]
+struct GroupSpec {
+    name: String,
+    strategy: AssignmentStrategy,
 }
 
 /// Tailing configuration: instead of stopping at the offsets current at
@@ -112,19 +134,42 @@ struct FollowMode {
 }
 
 impl BrokerSource {
-    /// Creates a source reading all partitions of `topic`.
+    /// Creates a source reading all partitions of `topic`, with the
+    /// subtasks coordinating through an auto-named consumer group.
     pub fn new(broker: Broker, topic: impl Into<String>) -> Self {
+        let group = format!("rill-src-{}", NEXT_GROUP_ID.fetch_add(1, Ordering::Relaxed));
         BrokerSource {
             broker,
             topic: topic.into(),
             fetch_size: 2048,
             follow: None,
+            group: Some(GroupSpec {
+                name: group,
+                strategy: AssignmentStrategy::Range,
+            }),
         }
     }
 
     /// Sets the per-fetch batch size.
     pub fn fetch_size(mut self, records: usize) -> Self {
         self.fetch_size = records.max(1);
+        self
+    }
+
+    /// Names the consumer group explicitly (e.g. to share committed
+    /// offsets across job restarts) and picks the assignment strategy.
+    pub fn consumer_group(mut self, name: impl Into<String>, strategy: AssignmentStrategy) -> Self {
+        self.group = Some(GroupSpec {
+            name: name.into(),
+            strategy,
+        });
+        self
+    }
+
+    /// Disables group coordination: subtask `i` of `p` reads exactly the
+    /// partitions with `partition % p == i`, with no rebalancing.
+    pub fn static_assignment(mut self) -> Self {
+        self.group = None;
         self
     }
 
@@ -146,10 +191,13 @@ struct BrokerSourceInstance {
     fetch_size: usize,
     partitions: Vec<u32>,
     follow: Option<FollowMode>,
+    group: Option<GroupSpec>,
 }
 
 impl ParallelSource<Bytes> for BrokerSource {
     fn create(&self, subtask: usize, parallelism: usize) -> Box<dyn SourceFunction<Bytes>> {
+        // Static fallback split; group mode lets the coordinator assign
+        // partitions instead.
         let total = self
             .broker
             .topic(&self.topic)
@@ -163,6 +211,7 @@ impl ParallelSource<Bytes> for BrokerSource {
             fetch_size: self.fetch_size,
             partitions,
             follow: self.follow.clone(),
+            group: self.group.clone(),
         })
     }
 
@@ -173,14 +222,121 @@ impl ParallelSource<Bytes> for BrokerSource {
 
 impl SourceFunction<Bytes> for BrokerSourceInstance {
     fn run(&mut self, out: &mut dyn Collector<Bytes>) {
-        match self.follow.clone() {
-            None => self.run_bounded(out),
-            Some(follow) => self.run_following(&follow, out),
+        match (self.group.clone(), self.follow.clone()) {
+            (Some(spec), None) => self.run_bounded_group(&spec, out),
+            (Some(spec), Some(follow)) => self.run_following_group(&spec, &follow, out),
+            (None, None) => self.run_bounded(out),
+            (None, Some(follow)) => self.run_following(&follow, out),
         }
     }
 }
 
 impl BrokerSourceInstance {
+    /// Builds the group-mode consumer for this instance and joins the
+    /// source's consumer group.
+    fn join_group(&self, spec: &GroupSpec) -> Option<Consumer> {
+        let mut consumer = Consumer::with_config(
+            self.broker.clone(),
+            ConsumerConfig {
+                group: Some(spec.name.clone()),
+                max_poll_records: self.fetch_size.max(1),
+                ..ConsumerConfig::default()
+            },
+        );
+        consumer
+            .subscribe_group(&[&self.topic], spec.strategy)
+            .ok()?;
+        Some(consumer)
+    }
+
+    /// Bounded group read: members drain the partitions the coordinator
+    /// assigns them, committing positions as they go. A member is done
+    /// when **every** partition of the topic is committed past the end
+    /// offset captured at start — not merely its own share, because a
+    /// rebalance may retarget partitions mid-run and the work only
+    /// finishes when the group collectively drains the topic.
+    fn run_bounded_group(&mut self, spec: &GroupSpec, out: &mut dyn Collector<Bytes>) {
+        let retry = logbus::RetryPolicy::default();
+        let Ok(total) = logbus::with_retry(&retry, || {
+            self.broker.topic(&self.topic).map(|t| t.partition_count())
+        }) else {
+            return;
+        };
+        // End offsets current at start: the bounded read's finish line.
+        let mut ends = Vec::with_capacity(total as usize);
+        for p in 0..total {
+            let Ok(end) = logbus::with_retry(&retry, || self.broker.latest_offset(&self.topic, p))
+            else {
+                return;
+            };
+            ends.push(end);
+        }
+        let Some(mut consumer) = self.join_group(spec) else {
+            return;
+        };
+        let mut batch: Vec<StoredRecord> = Vec::with_capacity(self.fetch_size);
+        let mut payloads: Vec<Bytes> = Vec::with_capacity(self.fetch_size);
+        let mut backoff = Backoff::new();
+        let mut last_progress = std::time::Instant::now();
+        loop {
+            let polled = consumer.poll_into(self.fetch_size, &mut batch).unwrap_or(0);
+            if polled > 0 {
+                payloads.extend(batch.drain(..).map(|stored| stored.record.value));
+                out.collect_batch(&mut payloads);
+                // Commit after emitting so a peer resuming from the
+                // committed position never re-reads what went downstream.
+                let _ = consumer.commit();
+                backoff.reset();
+                last_progress = std::time::Instant::now();
+                continue;
+            }
+            let _ = consumer.commit();
+            let drained = (0..total as usize).all(|p| {
+                self.broker
+                    .committed_offset(&spec.name, &self.topic, p as u32)
+                    .unwrap_or(0)
+                    >= ends[p]
+            });
+            if drained || last_progress.elapsed() > GROUP_STALL_LIMIT {
+                break;
+            }
+            // Caught up but the group is not done (a peer still owns an
+            // undrained partition, or our claim is pending) — back off.
+            backoff.snooze();
+        }
+        let _ = consumer.leave_group();
+    }
+
+    /// Tailing group read: like [`BrokerSourceInstance::run_following`],
+    /// with the coordinator deciding partition ownership. Positions hand
+    /// over through commits on revoke, so the shared emitted count never
+    /// double-counts a record across a rebalance.
+    fn run_following_group(
+        &mut self,
+        spec: &GroupSpec,
+        follow: &FollowMode,
+        out: &mut dyn Collector<Bytes>,
+    ) {
+        let Some(mut consumer) = self.join_group(spec) else {
+            return;
+        };
+        let mut batch: Vec<StoredRecord> = Vec::with_capacity(self.fetch_size);
+        let mut payloads: Vec<Bytes> = Vec::with_capacity(self.fetch_size);
+        let mut backoff = Backoff::new();
+        while follow.emitted.load(Ordering::SeqCst) < follow.target {
+            let polled = consumer.poll_into(self.fetch_size, &mut batch).unwrap_or(0);
+            if polled > 0 {
+                follow.emitted.fetch_add(polled as u64, Ordering::SeqCst);
+                payloads.extend(batch.drain(..).map(|stored| stored.record.value));
+                out.collect_batch(&mut payloads);
+                backoff.reset();
+            } else {
+                backoff.snooze();
+            }
+        }
+        let _ = consumer.leave_group();
+    }
+
     /// Bounded read: stop at the per-partition offsets current at start.
     fn run_bounded(&mut self, out: &mut dyn Collector<Bytes>) {
         // One cached partition handle per assigned partition and one fetch
@@ -385,10 +541,59 @@ mod tests {
                     .unwrap();
             }
         }
-        let source = BrokerSource::new(broker, "in");
+        // Static assignment splits by `partition % parallelism`.
+        let source = BrokerSource::new(broker.clone(), "in").static_assignment();
         let parts = collect_all(&source, 2);
         assert_eq!(parts[0].len(), 20, "partitions 0 and 2");
         assert_eq!(parts[1].len(), 10, "partition 1");
+
+        // Group mode makes no per-subtask ownership promise under the
+        // sequential harness (the first member may drain everything), but
+        // the group as a whole reads each record exactly once.
+        let grouped = BrokerSource::new(broker, "in");
+        let parts = collect_all(&grouped, 2);
+        let mut seen: Vec<Vec<u8>> = parts
+            .iter()
+            .flat_map(|p| p.iter().map(bytes::Bytes::to_vec))
+            .collect();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), 30, "group reads every record exactly once");
+    }
+
+    #[test]
+    fn concurrent_group_members_share_the_topic_exactly_once() {
+        let broker = Broker::new();
+        broker
+            .create_topic("in", TopicConfig::default().partitions(4))
+            .unwrap();
+        for p in 0..4 {
+            for i in 0..25 {
+                broker
+                    .produce("in", p, Record::from_value(format!("p{p}-{i}")))
+                    .unwrap();
+            }
+        }
+        let source = BrokerSource::new(broker, "in").fetch_size(7);
+        let items = Arc::new(Mutex::new(Vec::new()));
+        let handles: Vec<_> = (0..2)
+            .map(|subtask| {
+                let mut instance = source.create(subtask, 2);
+                let items = items.clone();
+                std::thread::spawn(move || {
+                    let closed = Arc::new(AtomicU64::new(0));
+                    let mut col = VecCollector::new(items, closed);
+                    instance.run(&mut col);
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let mut seen: Vec<Vec<u8>> = items.lock().iter().map(bytes::Bytes::to_vec).collect();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), 100, "two live members drain 100 unique records");
     }
 
     #[test]

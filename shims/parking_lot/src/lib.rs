@@ -169,6 +169,30 @@ impl<T: ?Sized> RwLock<T> {
             .unwrap_or_else(sync::PoisonError::into_inner)
     }
 
+    /// Attempts to acquire exclusive write access without blocking.
+    #[track_caller]
+    pub fn try_write(&self) -> Option<WriteGuard<'_, T>> {
+        #[cfg(feature = "check-sync")]
+        {
+            let id = self.meta.resolve(std::panic::Location::caller());
+            let inner = match self.inner.try_write() {
+                Ok(guard) => guard,
+                Err(sync::TryLockError::Poisoned(e)) => e.into_inner(),
+                Err(sync::TryLockError::WouldBlock) => return None,
+            };
+            Some(WriteGuard {
+                token: check::on_acquired(id),
+                inner: Some(inner),
+            })
+        }
+        #[cfg(not(feature = "check-sync"))]
+        match self.inner.try_write() {
+            Ok(guard) => Some(guard),
+            Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Acquires exclusive write access.
     #[track_caller]
     pub fn write(&self) -> WriteGuard<'_, T> {
