@@ -3,9 +3,8 @@
 
 use crate::operator::{Emitter, InputOperator, Operator, OperatorContext};
 use bytes::Bytes;
-use logbus::{AssignmentStrategy, Broker, GroupedReader, PartitionWriter, Record};
+use logbus::{AssignmentStrategy, Bus, BusHandle, GroupedReader, PartitionWriter, Record};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
 /// Monotonic suffix for auto-generated consumer-group names.
 static NEXT_GROUP_ID: AtomicU64 = AtomicU64::new(0);
@@ -25,7 +24,7 @@ static NEXT_GROUP_ID: AtomicU64 = AtomicU64::new(0);
 /// the topic exactly once.
 #[derive(Debug)]
 pub struct KafkaInput {
-    broker: Broker,
+    bus: BusHandle,
     topic: String,
     window_size: usize,
     /// Explicit consumer-group name; auto-generated at setup when unset.
@@ -43,10 +42,11 @@ const FOLLOW_STALL_LIMIT: std::time::Duration = std::time::Duration::from_secs(1
 
 impl KafkaInput {
     /// Creates an input over `topic`, joining a fresh single-member
-    /// consumer group at setup.
-    pub fn new(broker: Broker, topic: impl Into<String>) -> Self {
+    /// consumer group at setup. Accepts a [`Broker`](logbus::Broker), a
+    /// [`Cluster`](logbus::Cluster), or an existing [`BusHandle`].
+    pub fn new(bus: impl Into<BusHandle>, topic: impl Into<String>) -> Self {
         KafkaInput {
-            broker,
+            bus: bus.into(),
             topic: topic.into(),
             window_size: 2048,
             group: None,
@@ -116,7 +116,7 @@ impl InputOperator<Bytes> for KafkaInput {
         let group = self.group.clone().unwrap_or_else(|| {
             format!("apx-src-{}", NEXT_GROUP_ID.fetch_add(1, Ordering::Relaxed))
         });
-        let bus: Arc<dyn logbus::Bus> = Arc::new(self.broker.clone());
+        let bus = self.bus.as_bus();
         // A missing topic stays harmless: the operator just emits
         // nothing, as before the group protocol.
         self.reader = if self.follow_target.is_some() {
@@ -161,7 +161,7 @@ impl InputOperator<Bytes> for KafkaInput {
 /// mechanical source of its output-volume-dependent slowdown.
 #[derive(Debug)]
 pub struct KafkaOutput {
-    broker: Broker,
+    bus: BusHandle,
     topic: String,
     partition: u32,
     per_tuple: bool,
@@ -174,9 +174,11 @@ pub struct KafkaOutput {
 
 impl KafkaOutput {
     /// Creates a window-batched output to partition 0 of `topic`.
-    pub fn new(broker: Broker, topic: impl Into<String>) -> Self {
+    /// Accepts a [`Broker`](logbus::Broker), a
+    /// [`Cluster`](logbus::Cluster), or an existing [`BusHandle`].
+    pub fn new(bus: impl Into<BusHandle>, topic: impl Into<String>) -> Self {
         KafkaOutput {
-            broker,
+            bus: bus.into(),
             topic: topic.into(),
             partition: 0,
             per_tuple: false,
@@ -198,7 +200,7 @@ impl KafkaOutput {
             // duplicates query output.
             let retry = logbus::RetryPolicy::default();
             self.writer = logbus::with_retry(&retry, || {
-                self.broker.partition_writer(&self.topic, self.partition)
+                self.bus.partition_writer(&self.topic, self.partition)
             })
             .ok()
             .map(logbus::PartitionWriter::idempotent);
@@ -248,7 +250,7 @@ impl Operator<Bytes, ()> for KafkaOutput {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use logbus::TopicConfig;
+    use logbus::{Broker, TopicConfig};
 
     fn broker_with_records(n: usize) -> Broker {
         let broker = Broker::new();

@@ -7,7 +7,7 @@ use crate::pardo::{DoFn, ParDo, ProcessContext};
 use crate::pipeline::{PCollection, PTransform, Pipeline, RootTransform};
 use crate::transforms::MapElements;
 use bytes::Bytes;
-use logbus::{Broker, Record};
+use logbus::{BusHandle, Record};
 use std::sync::Arc;
 
 /// A consumed broker record with its metadata, the analog of Beam's
@@ -97,9 +97,11 @@ pub struct BrokerIO;
 
 impl BrokerIO {
     /// Reads a topic as a bounded collection of [`KafkaRecord`]s.
-    pub fn read(broker: Broker, topic: impl Into<String>) -> BrokerRead {
+    /// Accepts a [`Broker`](logbus::Broker), a
+    /// [`Cluster`](logbus::Cluster), or an existing [`BusHandle`].
+    pub fn read(bus: impl Into<BusHandle>, topic: impl Into<String>) -> BrokerRead {
         BrokerRead {
-            broker,
+            bus: bus.into(),
             topic: topic.into(),
             fetch_size: 2048,
             follow: None,
@@ -108,9 +110,11 @@ impl BrokerIO {
     }
 
     /// Writes byte payloads to a topic.
-    pub fn write(broker: Broker, topic: impl Into<String>) -> BrokerWrite {
+    /// Accepts a [`Broker`](logbus::Broker), a
+    /// [`Cluster`](logbus::Cluster), or an existing [`BusHandle`].
+    pub fn write(bus: impl Into<BusHandle>, topic: impl Into<String>) -> BrokerWrite {
         BrokerWrite {
-            broker,
+            bus: bus.into(),
             topic: topic.into(),
             flush_records: 500,
         }
@@ -128,7 +132,7 @@ impl BrokerIO {
 /// ownership changes.
 #[derive(Debug, Clone)]
 pub struct BrokerRead {
-    broker: Broker,
+    bus: BusHandle,
     topic: String,
     fetch_size: usize,
     follow: Option<u64>,
@@ -166,7 +170,7 @@ impl BrokerRead {
 const FOLLOW_STALL_LIMIT: std::time::Duration = std::time::Duration::from_secs(10);
 
 struct BrokerRawSource {
-    broker: Broker,
+    bus: BusHandle,
     topic: String,
     fetch_size: usize,
     follow: Option<u64>,
@@ -207,7 +211,7 @@ impl RawSource for BrokerRawSource {
             self.read_following(target, emit);
             return;
         }
-        let bus: Arc<dyn logbus::Bus> = Arc::new(self.broker.clone());
+        let bus = self.bus.as_bus();
         let Ok(mut reader) = logbus::GroupedReader::bounded(
             bus,
             &self.topic,
@@ -235,7 +239,7 @@ impl BrokerRawSource {
     /// pass, with backoff while caught up) until `target` records have
     /// been emitted or the producer stalls past [`FOLLOW_STALL_LIMIT`].
     fn read_following(&mut self, target: u64, mut emit: RawEmit<'_>) {
-        let bus: Arc<dyn logbus::Bus> = Arc::new(self.broker.clone());
+        let bus = self.bus.as_bus();
         let Ok(mut reader) = logbus::GroupedReader::following(
             bus,
             &self.topic,
@@ -280,7 +284,7 @@ static NEXT_GROUP_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU6
 
 impl RootTransform<KafkaRecord> for BrokerRead {
     fn expand(self, pipeline: &Pipeline) -> PCollection<KafkaRecord> {
-        let broker = self.broker.clone();
+        let bus = self.bus.clone();
         let topic = self.topic.clone();
         let fetch_size = self.fetch_size;
         let follow = self.follow;
@@ -294,7 +298,7 @@ impl RootTransform<KafkaRecord> for BrokerRead {
         });
         let factory: Arc<dyn Fn() -> Box<dyn RawSource> + Send + Sync> = Arc::new(move || {
             Box::new(BrokerRawSource {
-                broker: broker.clone(),
+                bus: bus.clone(),
                 topic: topic.clone(),
                 fetch_size,
                 follow,
@@ -364,7 +368,7 @@ impl PTransform<KafkaRecord, Kv<Bytes, Bytes>> for WithoutMetadata {
 /// difference.
 #[derive(Debug, Clone)]
 pub struct BrokerWrite {
-    broker: Broker,
+    bus: BusHandle,
     topic: String,
     flush_records: usize,
 }
@@ -390,7 +394,7 @@ impl Coder<()> for UnitCoder {
 }
 
 struct WriteDoFn {
-    broker: Broker,
+    bus: BusHandle,
     topic: String,
     max_batch: usize,
     /// Lazily created per instance; an `Arc` so the `DoFn` stays `Sync`
@@ -401,7 +405,7 @@ struct WriteDoFn {
 impl Clone for WriteDoFn {
     fn clone(&self) -> Self {
         WriteDoFn {
-            broker: self.broker.clone(),
+            bus: self.bus.clone(),
             topic: self.topic.clone(),
             max_batch: self.max_batch,
             producer: None,
@@ -413,7 +417,7 @@ impl WriteDoFn {
     fn producer(&mut self) -> &logbus::AsyncProducer {
         self.producer.get_or_insert_with(|| {
             std::sync::Arc::new(logbus::AsyncProducer::with_max_batch(
-                self.broker.clone(),
+                self.bus.clone(),
                 self.topic.clone(),
                 0,
                 self.max_batch,
@@ -440,7 +444,7 @@ impl DoFn<Bytes, ()> for WriteDoFn {
 impl PTransform<Bytes, ()> for BrokerWrite {
     fn expand(self, input: &PCollection<Bytes>) -> PCollection<()> {
         let dofn = WriteDoFn {
-            broker: self.broker,
+            bus: self.bus,
             topic: self.topic.clone(),
             max_batch: self.flush_records,
             producer: None,
@@ -457,7 +461,7 @@ impl PTransform<Bytes, ()> for BrokerWrite {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use logbus::TopicConfig;
+    use logbus::{Broker, TopicConfig};
 
     #[test]
     fn kafka_record_coder_roundtrip() {

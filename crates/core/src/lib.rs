@@ -38,6 +38,7 @@
 pub mod calculator;
 pub mod config;
 pub mod data;
+pub mod failover;
 pub mod latency;
 pub mod noise;
 pub mod queries;
@@ -53,6 +54,7 @@ pub mod systems;
 pub use calculator::{measure, CalculatorError, QueryMeasurement};
 pub use config::BenchConfig;
 pub use data::{QueryLogGenerator, QueryLogRecord};
+pub use failover::{percentile_micros, run_failover, FailoverCell, FailoverConfig, FailoverReport};
 pub use latency::{run_latency, LatencyCell, LatencyConfig, LatencyReport, LatencyTrial};
 pub use noise::NoiseModel;
 pub use queries::{beam_pipeline, native_apx, native_dstream, native_rill, Query};

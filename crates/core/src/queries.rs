@@ -116,12 +116,12 @@ impl fmt::Display for Query {
 /// metadata → values → query logic → output formatting → write. Seven
 /// erased stages, the Fig. 13 shape.
 pub fn beam_pipeline(
-    broker: &logbus::Broker,
+    bus: impl Into<logbus::BusHandle>,
     query: Query,
     input_topic: &str,
     output_topic: &str,
 ) -> Pipeline {
-    beam_pipeline_impl(broker, query, input_topic, output_topic, None)
+    beam_pipeline_impl(&bus.into(), query, input_topic, output_topic, None)
 }
 
 /// [`beam_pipeline`] in follow mode: the read tails the input topic
@@ -129,14 +129,14 @@ pub fn beam_pipeline(
 /// runner to the producer's rate — the abstraction-layer path of the
 /// latency benchmark.
 pub fn beam_pipeline_following(
-    broker: &logbus::Broker,
+    bus: impl Into<logbus::BusHandle>,
     query: Query,
     input_topic: &str,
     output_topic: &str,
     target_records: u64,
 ) -> Pipeline {
     beam_pipeline_impl(
-        broker,
+        &bus.into(),
         query,
         input_topic,
         output_topic,
@@ -145,14 +145,14 @@ pub fn beam_pipeline_following(
 }
 
 fn beam_pipeline_impl(
-    broker: &logbus::Broker,
+    bus: &logbus::BusHandle,
     query: Query,
     input_topic: &str,
     output_topic: &str,
     follow: Option<u64>,
 ) -> Pipeline {
     let pipeline = Pipeline::new();
-    let mut read = BrokerIO::read(broker.clone(), input_topic);
+    let mut read = BrokerIO::read(bus.clone(), input_topic);
     if let Some(target) = follow {
         read = read.follow_until(target);
     }
@@ -175,27 +175,34 @@ fn beam_pipeline_impl(
     };
     transformed
         .apply(MapElements::into_bytes("FormatOutput", |v: Bytes| v))
-        .apply(BrokerIO::write(broker.clone(), output_topic));
+        .apply(BrokerIO::write(bus.clone(), output_topic));
     pipeline
 }
 
 /// Native implementation on the `rill` engine: source → operator → sink,
 /// fully chained (the Fig. 12 plan shape).
 pub fn native_rill(
-    broker: &logbus::Broker,
+    bus: impl Into<logbus::BusHandle>,
     query: Query,
     input_topic: &str,
     output_topic: &str,
     parallelism: usize,
 ) -> rill::Result<rill::JobResult> {
-    native_rill_impl(broker, query, input_topic, output_topic, parallelism, None)
+    native_rill_impl(
+        &bus.into(),
+        query,
+        input_topic,
+        output_topic,
+        parallelism,
+        None,
+    )
 }
 
 /// [`native_rill`] in follow mode: the source tails the input topic
 /// (with backoff while caught up) until `target_records` records have
 /// been consumed — the native rill path of the latency benchmark.
 pub fn native_rill_following(
-    broker: &logbus::Broker,
+    bus: impl Into<logbus::BusHandle>,
     query: Query,
     input_topic: &str,
     output_topic: &str,
@@ -203,7 +210,7 @@ pub fn native_rill_following(
     target_records: u64,
 ) -> rill::Result<rill::JobResult> {
     native_rill_impl(
-        broker,
+        &bus.into(),
         query,
         input_topic,
         output_topic,
@@ -213,7 +220,7 @@ pub fn native_rill_following(
 }
 
 fn native_rill_impl(
-    broker: &logbus::Broker,
+    bus: &logbus::BusHandle,
     query: Query,
     input_topic: &str,
     output_topic: &str,
@@ -226,14 +233,14 @@ fn native_rill_impl(
     let env =
         rill::StreamExecutionEnvironment::with_cluster(rill::ClusterSpec::local_for(parallelism));
     env.set_parallelism(parallelism);
-    let mut source = rill::BrokerSource::new(broker.clone(), input_topic);
+    let mut source = rill::BrokerSource::new(bus.clone(), input_topic);
     if let Some(target) = follow {
         source = source.follow_until(target);
     }
     // The sink's async producer batches adaptively, so sparse outputs
     // (grep) land as individual appends spread over the run — which the
     // LogAppendTime measurement needs — while dense outputs amortize.
-    let sink = rill::BrokerSink::new(broker.clone(), output_topic);
+    let sink = rill::BrokerSink::new(bus.clone(), output_topic);
     let stream = env.add_source(source);
     // One operator per query: the native plan is source → operator →
     // sink, three elements, as in the paper's Fig. 12.
@@ -252,9 +259,10 @@ fn native_rill_impl(
 
 /// Builds (without executing) the native rill job for `query` and
 /// returns its execution plan — the paper's Fig. 12 view.
-pub fn native_rill_plan(broker: &logbus::Broker, query: Query) -> rill::ExecutionPlan {
+pub fn native_rill_plan(bus: impl Into<logbus::BusHandle>, query: Query) -> rill::ExecutionPlan {
+    let bus = bus.into();
     let env = rill::StreamExecutionEnvironment::local();
-    let stream = env.add_source(rill::BrokerSource::new(broker.clone(), "plan-input"));
+    let stream = env.add_source(rill::BrokerSource::new(bus.clone(), "plan-input"));
     let transformed = match query {
         Query::Identity => stream.map(|v: Bytes| v),
         Query::Sample => stream.filter(|v: &Bytes| sample_keeps(v, SAMPLE_PERCENT)),
@@ -264,14 +272,14 @@ pub fn native_rill_plan(broker: &logbus::Broker, query: Query) -> rill::Executio
         }),
         Query::Grep => stream.filter(|v: &Bytes| v.windows(4).any(|w| w == b"test")),
     };
-    transformed.add_sink(rill::BrokerSink::new(broker.clone(), "plan-output"));
+    transformed.add_sink(rill::BrokerSink::new(bus.clone(), "plan-output"));
     env.execution_plan()
 }
 
 /// Native implementation on the `dstream` engine: broker stream →
 /// per-batch transformation → per-batch save.
 pub fn native_dstream(
-    broker: &logbus::Broker,
+    bus: impl Into<logbus::BusHandle>,
     query: Query,
     input_topic: &str,
     output_topic: &str,
@@ -279,7 +287,7 @@ pub fn native_dstream(
     batch_records: usize,
 ) -> dstream::Result<dstream::StreamingReport> {
     native_dstream_impl(
-        broker,
+        &bus.into(),
         query,
         input_topic,
         output_topic,
@@ -293,7 +301,7 @@ pub fn native_dstream(
 /// until `target_records` records have been consumed — the native
 /// dstream path of the latency benchmark.
 pub fn native_dstream_following(
-    broker: &logbus::Broker,
+    bus: impl Into<logbus::BusHandle>,
     query: Query,
     input_topic: &str,
     output_topic: &str,
@@ -302,7 +310,7 @@ pub fn native_dstream_following(
     target_records: u64,
 ) -> dstream::Result<dstream::StreamingReport> {
     native_dstream_impl(
-        broker,
+        &bus.into(),
         query,
         input_topic,
         output_topic,
@@ -313,7 +321,7 @@ pub fn native_dstream_following(
 }
 
 fn native_dstream_impl(
-    broker: &logbus::Broker,
+    bus: &logbus::BusHandle,
     query: Query,
     input_topic: &str,
     output_topic: &str,
@@ -326,9 +334,9 @@ fn native_dstream_impl(
     );
     let ssc = dstream::StreamingContext::new(ctx);
     let stream = match follow {
-        None => ssc.broker_stream(broker.clone(), input_topic, batch_records)?,
+        None => ssc.broker_stream(bus.clone(), input_topic, batch_records)?,
         Some(target) => {
-            ssc.broker_stream_following(broker.clone(), input_topic, batch_records, target)?
+            ssc.broker_stream_following(bus.clone(), input_topic, batch_records, target)?
         }
     };
     let transformed = match query {
@@ -340,28 +348,36 @@ fn native_dstream_impl(
         }),
         Query::Grep => stream.filter(|v: &Bytes| v.windows(4).any(|w| w == b"test")),
     };
-    transformed.save_to_broker(&ssc, broker.clone(), output_topic);
+    transformed.save_to_broker(&ssc, bus.clone(), output_topic);
     ssc.run_to_completion()
 }
 
 /// Native implementation on the `apx` engine: Kafka input → operator →
 /// Kafka output, one container per operator as in stock Apex.
 pub fn native_apx(
-    broker: &logbus::Broker,
+    bus: impl Into<logbus::BusHandle>,
     query: Query,
     input_topic: &str,
     output_topic: &str,
     vcores: u32,
     rm: &mut yarnsim::ResourceManager,
 ) -> apx::Result<apx::AppResult> {
-    native_apx_impl(broker, query, input_topic, output_topic, vcores, rm, None)
+    native_apx_impl(
+        &bus.into(),
+        query,
+        input_topic,
+        output_topic,
+        vcores,
+        rm,
+        None,
+    )
 }
 
 /// [`native_apx`] in follow mode: the Kafka input operator tails the
 /// input topic until `target_records` records have been consumed — the
 /// native apx path of the latency benchmark.
 pub fn native_apx_following(
-    broker: &logbus::Broker,
+    bus: impl Into<logbus::BusHandle>,
     query: Query,
     input_topic: &str,
     output_topic: &str,
@@ -370,7 +386,7 @@ pub fn native_apx_following(
     target_records: u64,
 ) -> apx::Result<apx::AppResult> {
     native_apx_impl(
-        broker,
+        &bus.into(),
         query,
         input_topic,
         output_topic,
@@ -381,7 +397,7 @@ pub fn native_apx_following(
 }
 
 fn native_apx_impl(
-    broker: &logbus::Broker,
+    bus: &logbus::BusHandle,
     query: Query,
     input_topic: &str,
     output_topic: &str,
@@ -390,11 +406,11 @@ fn native_apx_impl(
     follow: Option<u64>,
 ) -> apx::Result<apx::AppResult> {
     let dag = apx::Dag::new(format!("native-{query}"));
-    let mut input = apx::KafkaInput::new(broker.clone(), input_topic);
+    let mut input = apx::KafkaInput::new(bus.clone(), input_topic);
     if let Some(target) = follow {
         input = input.follow_until(target);
     }
-    let output = apx::KafkaOutput::new(broker.clone(), output_topic);
+    let output = apx::KafkaOutput::new(bus.clone(), output_topic);
     let codec = Arc::new(apx::BytesCodec);
     let op = apx::FnOperator::new(move |v: Bytes, out: &mut dyn apx::Emitter<Bytes>| {
         if let Some(result) = query.apply(&v) {

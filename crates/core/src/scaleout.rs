@@ -53,7 +53,9 @@ pub struct ScaleoutConfig {
     /// ... and its drain ratio is within this bound.
     pub catchup_ratio: f64,
     /// The (system, SDK) pairs to sweep. Defaults to the paper's
-    /// headline comparison: native rill vs beamline-on-rill.
+    /// headline comparison (native rill vs beamline-on-rill) plus the
+    /// native dstream and apx engines, so the default sweep covers every
+    /// system at least once.
     pub cells: Vec<(System, Api)>,
     /// Workload seed.
     pub seed: u64,
@@ -71,7 +73,12 @@ impl Default for ScaleoutConfig {
             query: Query::Identity,
             p99_bound_micros: 200_000,
             catchup_ratio: 1.5,
-            cells: vec![(System::Rill, Api::Native), (System::Rill, Api::Beam)],
+            cells: vec![
+                (System::Rill, Api::Native),
+                (System::Rill, Api::Beam),
+                (System::DStream, Api::Native),
+                (System::Apx, Api::Native),
+            ],
             seed: 2019,
         }
     }

@@ -6,7 +6,7 @@
 
 use crate::data::QueryLogGenerator;
 use bytes::Bytes;
-use logbus::{Acks, Broker, Partitioner, Producer, ProducerConfig, RateLimit, Record};
+use logbus::{Acks, Broker, BusHandle, Partitioner, Producer, ProducerConfig, RateLimit, Record};
 
 /// Data-sender configuration.
 #[derive(Debug, Clone)]
@@ -58,13 +58,13 @@ pub struct SendReport {
 ///
 /// Propagates broker errors (unknown topic, etc.).
 pub fn send_workload(
-    broker: &Broker,
+    bus: impl Into<BusHandle>,
     topic: &str,
     config: &SenderConfig,
 ) -> logbus::Result<SendReport> {
     let mut generator = QueryLogGenerator::new(config.seed);
     let mut producer = Producer::with_config(
-        broker.clone(),
+        bus.into(),
         ProducerConfig {
             acks: config.acks,
             batch_records: config.batch_records,

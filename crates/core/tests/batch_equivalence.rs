@@ -414,6 +414,51 @@ fn group_rebalance_mid_run_is_exactly_once() {
     );
 }
 
+/// Kill-the-leader phase: every cell of the matrix — all six
+/// implementations, all four queries — must produce the byte-identical
+/// fault-free reference while a chaos thread repeatedly fails the
+/// machine hosting the current partition leader (YARN node failure +
+/// broker kill + delayed restart on the replacement host). Epoch-fenced
+/// elections, the committed-read high-watermark, and idempotent client
+/// retries have to make the crashes invisible in the results.
+#[test]
+fn all_impls_match_reference_across_leader_kills() {
+    use streambench_core::FailoverConfig;
+
+    let mut elections = 0u64;
+    for query in Query::ALL {
+        let config = FailoverConfig {
+            records: 800,
+            query,
+            kills_per_cell: 2,
+            hold_millis: 5,
+            seed: SEED,
+            ..FailoverConfig::default()
+        };
+        let report = streambench_core::run_failover(&config).unwrap();
+        assert_eq!(report.cells.len(), 6, "all six implementation variants");
+        for cell in &report.cells {
+            assert!(
+                cell.output_ok,
+                "{} must match the reference byte-for-byte across leader kills \
+                 ({query}; {} kills, epoch {})",
+                cell.setup, cell.kills, cell.input_epoch
+            );
+            assert!(cell.kills >= 1, "{}: no kill landed", cell.setup);
+            assert_eq!(
+                cell.unavailability_micros.len(),
+                cell.kills as usize,
+                "every kill measures one unavailability window"
+            );
+            elections += cell.input_epoch;
+        }
+    }
+    assert!(
+        elections > 0,
+        "at least one input-partition election must have happened"
+    );
+}
+
 /// End-of-suite gate for the `check-sync` build: the batched data plane
 /// exercised above must leave the lock-order graph acyclic and every
 /// append witness untripped. Named `zzz_` so libtest's alphabetical

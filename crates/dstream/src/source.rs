@@ -1,9 +1,8 @@
 //! Micro-batch sources.
 
 use bytes::Bytes;
-use logbus::{AssignmentStrategy, Broker, GroupedReader};
+use logbus::{AssignmentStrategy, BusHandle, GroupedReader};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
 /// A bounded supplier of micro-batches.
 ///
@@ -79,7 +78,7 @@ impl BrokerBatchSource {
     ///
     /// Fails when the topic does not exist.
     pub fn new(
-        broker: Broker,
+        bus: impl Into<BusHandle>,
         topic: impl Into<String>,
         max_batch_records: usize,
     ) -> logbus::Result<Self> {
@@ -87,7 +86,7 @@ impl BrokerBatchSource {
             "dstream-src-{}",
             NEXT_GROUP_ID.fetch_add(1, Ordering::Relaxed)
         );
-        Self::new_in_group(broker, topic, max_batch_records, group)
+        Self::new_in_group(bus, topic, max_batch_records, group)
     }
 
     /// Creates a bounded micro-batch reader that joins the named
@@ -98,13 +97,13 @@ impl BrokerBatchSource {
     ///
     /// Fails when the topic does not exist.
     pub fn new_in_group(
-        broker: Broker,
+        bus: impl Into<BusHandle>,
         topic: impl Into<String>,
         max_batch_records: usize,
         group: impl Into<String>,
     ) -> logbus::Result<Self> {
         let reader =
-            GroupedReader::bounded(Arc::new(broker), topic, group, AssignmentStrategy::Range)?;
+            GroupedReader::bounded(bus.into().as_bus(), topic, group, AssignmentStrategy::Range)?;
         Ok(BrokerBatchSource {
             max_batch_records: max_batch_records.max(1),
             reader,
@@ -124,7 +123,7 @@ impl BrokerBatchSource {
     ///
     /// Fails when the topic does not exist.
     pub fn following(
-        broker: Broker,
+        bus: impl Into<BusHandle>,
         topic: impl Into<String>,
         max_batch_records: usize,
         target_records: u64,
@@ -133,7 +132,7 @@ impl BrokerBatchSource {
             "dstream-src-{}",
             NEXT_GROUP_ID.fetch_add(1, Ordering::Relaxed)
         );
-        Self::following_in_group(broker, topic, max_batch_records, target_records, group)
+        Self::following_in_group(bus, topic, max_batch_records, target_records, group)
     }
 
     /// Follow-mode reader joining the named consumer group.
@@ -142,14 +141,14 @@ impl BrokerBatchSource {
     ///
     /// Fails when the topic does not exist.
     pub fn following_in_group(
-        broker: Broker,
+        bus: impl Into<BusHandle>,
         topic: impl Into<String>,
         max_batch_records: usize,
         target_records: u64,
         group: impl Into<String>,
     ) -> logbus::Result<Self> {
         let reader =
-            GroupedReader::following(Arc::new(broker), topic, group, AssignmentStrategy::Range)?;
+            GroupedReader::following(bus.into().as_bus(), topic, group, AssignmentStrategy::Range)?;
         Ok(BrokerBatchSource {
             max_batch_records: max_batch_records.max(1),
             reader,
@@ -222,7 +221,7 @@ impl BatchSource<Bytes> for BrokerBatchSource {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use logbus::{Record, TopicConfig};
+    use logbus::{Broker, Record, TopicConfig};
 
     #[test]
     fn vec_source_drains() {

@@ -5,7 +5,7 @@ use crate::rdd::Rdd;
 use crate::source::BatchSource;
 use crate::stream::DStream;
 use bytes::Bytes;
-use logbus::{Broker, Record};
+use logbus::{Bus, BusHandle, Record};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -131,11 +131,11 @@ impl StreamingContext {
     /// Returns [`Error::Source`] for unknown topics.
     pub fn broker_stream(
         &self,
-        broker: Broker,
+        bus: impl Into<BusHandle>,
         topic: &str,
         max_batch_records: usize,
     ) -> Result<DStream<Bytes>> {
-        let source = crate::source::BrokerBatchSource::new(broker, topic, max_batch_records)
+        let source = crate::source::BrokerBatchSource::new(bus, topic, max_batch_records)
             .map_err(|e| Error::Source(e.to_string()))?;
         Ok(self.receiver_stream(source))
     }
@@ -151,13 +151,13 @@ impl StreamingContext {
     /// Returns [`Error::Source`] for unknown topics.
     pub fn broker_stream_following(
         &self,
-        broker: Broker,
+        bus: impl Into<BusHandle>,
         topic: &str,
         max_batch_records: usize,
         target_records: u64,
     ) -> Result<DStream<Bytes>> {
         let source = crate::source::BrokerBatchSource::following(
-            broker,
+            bus,
             topic,
             max_batch_records,
             target_records,
@@ -252,7 +252,8 @@ impl<T: Clone + Send + Sync + 'static> DStream<T> {
 impl DStream<Bytes> {
     /// Registers an output operation writing every batch to a `logbus`
     /// topic as one broker append per partition.
-    pub fn save_to_broker(&self, ssc: &StreamingContext, broker: Broker, topic: &str) {
+    pub fn save_to_broker(&self, ssc: &StreamingContext, bus: impl Into<BusHandle>, topic: &str) {
+        let bus = bus.into();
         let topic = topic.to_string();
         // Cached produce handle, resolved on the first non-empty batch and
         // re-tried while the topic is missing — so per-batch appends skip
@@ -275,7 +276,7 @@ impl DStream<Bytes> {
                 }
                 if writer.is_none() {
                     let retry = logbus::RetryPolicy::default();
-                    writer = logbus::with_retry(&retry, || broker.partition_writer(&topic, 0))
+                    writer = logbus::with_retry(&retry, || bus.partition_writer(&topic, 0))
                         .ok()
                         .map(|w| w.idempotent().with_retry(retry.clone()));
                 }
@@ -294,7 +295,7 @@ impl DStream<Bytes> {
 mod tests {
     use super::*;
     use crate::source::VecBatchSource;
-    use logbus::TopicConfig;
+    use logbus::{Broker, TopicConfig};
 
     #[test]
     fn run_to_completion_counts_batches() {

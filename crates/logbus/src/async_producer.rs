@@ -16,7 +16,7 @@
 //!   full round trip per record — the degenerate behaviour behind the
 //!   benchmark's worst measured slowdowns.
 
-use crate::broker::Broker;
+use crate::bus::Bus;
 use crate::handle::PartitionWriter;
 use crate::record::Record;
 use crossbeam::channel::{bounded, Sender};
@@ -49,14 +49,17 @@ pub struct AsyncProducer {
 
 impl AsyncProducer {
     /// Creates a producer appending to `topic`/`partition` with a maximum
-    /// batch of 500 records.
-    pub fn new(broker: Broker, topic: impl Into<String>, partition: u32) -> Self {
-        Self::with_max_batch(broker, topic, partition, 500)
+    /// batch of 500 records. Works over any [`Bus`]: against a
+    /// [`Cluster`](crate::Cluster) the cached writer re-resolves the
+    /// partition leader per attempt, so the background sender rides
+    /// through leader failover.
+    pub fn new(bus: impl Bus + 'static, topic: impl Into<String>, partition: u32) -> Self {
+        Self::with_max_batch(bus, topic, partition, 500)
     }
 
     /// Creates a producer with an explicit maximum batch size.
     pub fn with_max_batch(
-        broker: Broker,
+        bus: impl Bus + 'static,
         topic: impl Into<String>,
         partition: u32,
         max_batch: usize,
@@ -102,7 +105,7 @@ impl AsyncProducer {
                         // immediately so a misdirected producer never
                         // stalls its queue.
                         writer = crate::retry::with_retry(&retry, || {
-                            broker.partition_writer(&topic, partition)
+                            bus.partition_writer(&topic, partition)
                         })
                         .ok()
                         .map(|w| w.idempotent().with_retry(retry.clone()));
@@ -212,7 +215,32 @@ impl Drop for AsyncProducer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::broker::Broker;
     use crate::config::TopicConfig;
+
+    #[test]
+    fn rides_through_leader_failover_on_a_cluster() {
+        let cluster = crate::Cluster::new(crate::ClusterConfig { brokers: 3 });
+        cluster
+            .create_topic("t", TopicConfig::default().replication_factor(3))
+            .unwrap();
+        let mut producer = AsyncProducer::with_max_batch(cluster.clone(), "t", 0, 32);
+        for i in 0..200 {
+            producer.send(Record::from_value(format!("r{i}")));
+            if i == 100 {
+                producer.flush();
+                let leader = cluster.leader_of("t", 0).unwrap();
+                cluster.kill_broker(leader);
+            }
+        }
+        producer.close();
+        assert!(cluster.leader_epoch("t", 0).unwrap() >= 1);
+        let records = cluster.fetch("t", 0, 0, 1_000).unwrap();
+        assert_eq!(records.len(), 200, "exactly-once across the leader kill");
+        for (i, stored) in records.iter().enumerate() {
+            assert_eq!(&stored.record.value[..], format!("r{i}").as_bytes());
+        }
+    }
 
     #[test]
     fn sends_everything_in_order() {

@@ -75,6 +75,11 @@ struct BrokerInner {
     /// presence so the steady-state path pays one relaxed load.
     faults: RwLock<Option<Arc<FaultInjector>>>,
     faults_enabled: AtomicBool,
+    /// Process liveness: `false` after a (simulated) crash. Every client
+    /// request checks this with one relaxed load; a dead broker answers
+    /// everything with [`Error::BrokerDown`]. The logs themselves survive
+    /// — a restart is the same process with its disk intact.
+    alive: AtomicBool,
 }
 
 impl Default for Broker {
@@ -100,7 +105,39 @@ impl Broker {
                 request_latency_micros: std::sync::atomic::AtomicU64::new(0),
                 faults: RwLock::new(None),
                 faults_enabled: AtomicBool::new(false),
+                alive: AtomicBool::new(true),
             }),
+        }
+    }
+
+    /// Whether the broker is up. Dead brokers reject every request with
+    /// [`Error::BrokerDown`].
+    pub fn is_alive(&self) -> bool {
+        self.inner.alive.load(Ordering::Relaxed)
+    }
+
+    /// Simulates a broker crash: from now on every request fails with
+    /// [`Error::BrokerDown`]. Logs and group state stay in place (the
+    /// crash loses the process, not the disk); [`Broker::restart`] brings
+    /// the broker back. Idempotent.
+    pub fn kill(&self) {
+        self.inner.alive.store(false, Ordering::Relaxed);
+    }
+
+    /// Brings a killed broker back up. Idempotent; the restarted broker
+    /// serves its retained logs as they were at the crash. A rejoining
+    /// cluster replica is additionally truncated to its leader's log by
+    /// [`Cluster::restart_broker`](crate::Cluster::restart_broker).
+    pub fn restart(&self) {
+        self.inner.alive.store(true, Ordering::Relaxed);
+    }
+
+    /// One-relaxed-load liveness gate at the top of every request path.
+    pub(crate) fn ensure_alive(&self) -> Result<()> {
+        if self.inner.alive.load(Ordering::Relaxed) {
+            Ok(())
+        } else {
+            Err(Error::BrokerDown)
         }
     }
 
@@ -284,6 +321,7 @@ impl Broker {
     ///
     /// Returns [`Error::UnknownTopic`] or [`Error::UnknownPartition`].
     pub fn produce(&self, topic: &str, partition: u32, record: Record) -> Result<u64> {
+        self.ensure_alive()?;
         let t = self.topic(topic)?;
         if !obs::enabled() {
             return self.produce_faulted(&t, partition, record);
@@ -323,6 +361,7 @@ impl Broker {
     ///
     /// Returns [`Error::UnknownTopic`] or [`Error::UnknownPartition`].
     pub fn produce_batch(&self, topic: &str, partition: u32, records: Vec<Record>) -> Result<u64> {
+        self.ensure_alive()?;
         let t = self.topic(topic)?;
         let mut records = records;
         let result = if obs::enabled() {
@@ -392,6 +431,7 @@ impl Broker {
         offset: u64,
         max: usize,
     ) -> Result<Vec<StoredRecord>> {
+        self.ensure_alive()?;
         let t = self.topic(topic)?;
         if !obs::enabled() {
             self.fault_gate(FaultOp::Fetch, topic, partition)?;
@@ -421,6 +461,7 @@ impl Broker {
         max: usize,
         out: &mut Vec<StoredRecord>,
     ) -> Result<usize> {
+        self.ensure_alive()?;
         let t = self.topic(topic)?;
         if !obs::enabled() {
             self.fault_gate(FaultOp::Fetch, topic, partition)?;
@@ -443,6 +484,7 @@ impl Broker {
     ///
     /// Returns [`Error::UnknownTopic`] or [`Error::UnknownPartition`].
     pub fn partition_writer(&self, topic: &str, partition: u32) -> Result<crate::PartitionWriter> {
+        self.ensure_alive()?;
         let t = self.topic(topic)?;
         self.fault_gate(FaultOp::Metadata, topic, partition)?;
         if partition >= t.partition_count() {
@@ -454,6 +496,7 @@ impl Broker {
         let target = crate::handle::WriteTarget {
             broker: self.clone(),
             topic: t,
+            fence: None,
         };
         Ok(crate::PartitionWriter::new(vec![target], partition))
     }
@@ -465,6 +508,7 @@ impl Broker {
     ///
     /// Returns [`Error::UnknownTopic`] or [`Error::UnknownPartition`].
     pub fn partition_reader(&self, topic: &str, partition: u32) -> Result<crate::PartitionReader> {
+        self.ensure_alive()?;
         let t = self.topic(topic)?;
         self.fault_gate(FaultOp::Metadata, topic, partition)?;
         if partition >= t.partition_count() {
@@ -482,6 +526,7 @@ impl Broker {
     ///
     /// Returns [`Error::UnknownTopic`] or [`Error::UnknownPartition`].
     pub fn latest_offset(&self, topic: &str, partition: u32) -> Result<u64> {
+        self.ensure_alive()?;
         let t = self.topic(topic)?;
         self.fault_gate(FaultOp::Metadata, topic, partition)?;
         t.latest_offset(partition)
@@ -499,6 +544,7 @@ impl Broker {
         partition: u32,
         offset: u64,
     ) -> Result<()> {
+        self.ensure_alive()?;
         if !self.has_topic(topic) {
             return Err(Error::UnknownTopic(topic.to_string()));
         }
@@ -556,6 +602,7 @@ impl Broker {
         topics: &[&str],
         strategy: AssignmentStrategy,
     ) -> Result<u64> {
+        self.ensure_alive()?;
         let mut with_counts = Vec::with_capacity(topics.len());
         for name in topics {
             let t = self.topic(name)?;
@@ -590,6 +637,7 @@ impl Broker {
     /// owned and rebalancing the remainder. A no-op for unknown groups
     /// or non-members (leaving twice must be safe).
     pub fn leave_group(&self, group: &str, member: &str) -> Result<()> {
+        self.ensure_alive()?;
         let mut shard = self.inner.group_shards[shard_index(group)].write();
         let Some(entry) = shard.get_mut(group) else {
             return Ok(());
@@ -608,6 +656,7 @@ impl Broker {
     /// The group's current generation (0 before the first join — clients
     /// poll this cheaply to detect rebalances).
     pub fn group_generation(&self, group: &str) -> Result<u64> {
+        self.ensure_alive()?;
         Ok(self.inner.group_shards[shard_index(group)]
             .read()
             .get(group)
@@ -629,6 +678,7 @@ impl Broker {
     /// Returns [`Error::UnknownGroup`] if the group does not exist or the
     /// member is not registered in it.
     pub fn sync_group(&self, group: &str, member: &str) -> Result<GroupView> {
+        self.ensure_alive()?;
         self.inner.group_shards[shard_index(group)]
             .read()
             .get(group)
@@ -649,6 +699,7 @@ impl Broker {
         member: &str,
         parts: &[TopicPartition],
     ) -> Result<Vec<TopicPartition>> {
+        self.ensure_alive()?;
         let mut shard = self.inner.group_shards[shard_index(group)].write();
         let Some(entry) = shard.get_mut(group) else {
             return Err(Error::UnknownGroup(group.to_string()));
@@ -664,6 +715,7 @@ impl Broker {
         member: &str,
         parts: &[TopicPartition],
     ) -> Result<()> {
+        self.ensure_alive()?;
         let mut shard = self.inner.group_shards[shard_index(group)].write();
         if let Some(entry) = shard.get_mut(group) {
             entry.state.release(member, parts);

@@ -13,6 +13,7 @@ use crate::error::Result;
 use crate::group::{AssignmentStrategy, GroupView, TopicPartition};
 use crate::handle::{PartitionReader, PartitionWriter};
 use crate::record::{Record, StoredRecord, Timestamp};
+use std::sync::Arc;
 
 /// Object-safe facade over a broker or cluster.
 ///
@@ -188,6 +189,177 @@ mod sealed {
     pub trait Sealed {}
     impl Sealed for super::Broker {}
     impl Sealed for super::Cluster {}
+    impl Sealed for super::BusHandle {}
+}
+
+/// A cheaply cloneable, type-erased handle to any [`Bus`].
+///
+/// Engine connectors take `impl Into<BusHandle>`, so call sites pass a
+/// [`Broker`], a [`Cluster`], or an existing handle without ceremony —
+/// and a topology chosen at runtime (single broker for the fault-free
+/// benchmarks, replicated cluster for failover runs) flows through the
+/// same connector code. `BusHandle` implements [`Bus`] itself by
+/// delegation, so anything generic over `impl Bus` accepts one too.
+#[derive(Debug, Clone)]
+pub struct BusHandle(Arc<dyn Bus>);
+
+impl BusHandle {
+    /// The underlying type-erased bus, for APIs that want an
+    /// `Arc<dyn Bus>` (e.g. [`GroupedReader`](crate::GroupedReader)).
+    pub fn as_bus(&self) -> Arc<dyn Bus> {
+        self.0.clone()
+    }
+}
+
+impl From<Broker> for BusHandle {
+    fn from(broker: Broker) -> Self {
+        BusHandle(Arc::new(broker))
+    }
+}
+
+impl From<&Broker> for BusHandle {
+    fn from(broker: &Broker) -> Self {
+        BusHandle(Arc::new(broker.clone()))
+    }
+}
+
+impl From<Cluster> for BusHandle {
+    fn from(cluster: Cluster) -> Self {
+        BusHandle(Arc::new(cluster))
+    }
+}
+
+impl From<&Cluster> for BusHandle {
+    fn from(cluster: &Cluster) -> Self {
+        BusHandle(Arc::new(cluster.clone()))
+    }
+}
+
+impl From<&BusHandle> for BusHandle {
+    fn from(handle: &BusHandle) -> Self {
+        handle.clone()
+    }
+}
+
+impl From<Arc<dyn Bus>> for BusHandle {
+    fn from(bus: Arc<dyn Bus>) -> Self {
+        BusHandle(bus)
+    }
+}
+
+impl Bus for BusHandle {
+    fn create_topic(&self, name: &str, config: TopicConfig) -> Result<()> {
+        self.0.create_topic(name, config)
+    }
+
+    fn has_topic(&self, name: &str) -> bool {
+        self.0.has_topic(name)
+    }
+
+    fn produce_batch(&self, topic: &str, partition: u32, records: Vec<Record>) -> Result<u64> {
+        self.0.produce_batch(topic, partition, records)
+    }
+
+    fn fetch(
+        &self,
+        topic: &str,
+        partition: u32,
+        offset: u64,
+        max: usize,
+    ) -> Result<Vec<StoredRecord>> {
+        self.0.fetch(topic, partition, offset, max)
+    }
+
+    fn fetch_into(
+        &self,
+        topic: &str,
+        partition: u32,
+        offset: u64,
+        max: usize,
+        out: &mut Vec<StoredRecord>,
+    ) -> Result<usize> {
+        self.0.fetch_into(topic, partition, offset, max, out)
+    }
+
+    fn partition_writer(&self, topic: &str, partition: u32) -> Result<PartitionWriter> {
+        self.0.partition_writer(topic, partition)
+    }
+
+    fn partition_reader(&self, topic: &str, partition: u32) -> Result<PartitionReader> {
+        self.0.partition_reader(topic, partition)
+    }
+
+    fn latest_offset(&self, topic: &str, partition: u32) -> Result<u64> {
+        self.0.latest_offset(topic, partition)
+    }
+
+    fn earliest_offset(&self, topic: &str, partition: u32) -> Result<u64> {
+        self.0.earliest_offset(topic, partition)
+    }
+
+    fn partition_count(&self, topic: &str) -> Result<u32> {
+        self.0.partition_count(topic)
+    }
+
+    fn first_timestamp(&self, topic: &str, partition: u32) -> Result<Option<Timestamp>> {
+        self.0.first_timestamp(topic, partition)
+    }
+
+    fn last_timestamp(&self, topic: &str, partition: u32) -> Result<Option<Timestamp>> {
+        self.0.last_timestamp(topic, partition)
+    }
+
+    fn commit_offset(&self, group: &str, topic: &str, partition: u32, offset: u64) -> Result<()> {
+        self.0.commit_offset(group, topic, partition, offset)
+    }
+
+    fn committed_offset(&self, group: &str, topic: &str, partition: u32) -> Option<u64> {
+        self.0.committed_offset(group, topic, partition)
+    }
+
+    fn join_group(
+        &self,
+        group: &str,
+        member: &str,
+        topics: &[&str],
+        strategy: AssignmentStrategy,
+    ) -> Result<u64> {
+        self.0.join_group(group, member, topics, strategy)
+    }
+
+    fn leave_group(&self, group: &str, member: &str) -> Result<()> {
+        self.0.leave_group(group, member)
+    }
+
+    fn group_generation(&self, group: &str) -> Result<u64> {
+        self.0.group_generation(group)
+    }
+
+    fn sync_group(&self, group: &str, member: &str) -> Result<GroupView> {
+        self.0.sync_group(group, member)
+    }
+
+    fn claim_partitions(
+        &self,
+        group: &str,
+        member: &str,
+        parts: &[TopicPartition],
+    ) -> Result<Vec<TopicPartition>> {
+        self.0.claim_partitions(group, member, parts)
+    }
+
+    fn release_partitions(
+        &self,
+        group: &str,
+        member: &str,
+        parts: &[TopicPartition],
+    ) -> Result<()> {
+        self.0.release_partitions(group, member, parts)
+    }
+
+    fn now(&self) -> Timestamp {
+        self.0.now()
+    }
 }
 
 impl Bus for Broker {
@@ -348,13 +520,13 @@ impl Bus for Cluster {
     }
 
     fn latest_offset(&self, topic: &str, partition: u32) -> Result<u64> {
-        let leader = self.leader_of(topic, partition)?;
-        self.broker(leader).latest_offset(topic, partition)
+        // The committed frontier (high-watermark), not the leader's raw
+        // log end — consumers never observe unreplicated records.
+        Cluster::latest_offset(self, topic, partition)
     }
 
     fn earliest_offset(&self, topic: &str, partition: u32) -> Result<u64> {
-        let leader = self.leader_of(topic, partition)?;
-        self.broker(leader).topic(topic)?.earliest_offset(partition)
+        self.committed_earliest_offset(topic, partition)
     }
 
     fn partition_count(&self, topic: &str) -> Result<u32> {
@@ -373,21 +545,19 @@ impl Bus for Cluster {
     }
 
     fn commit_offset(&self, group: &str, topic: &str, partition: u32, offset: u64) -> Result<()> {
-        let leader = self.leader_of(topic, partition)?;
-        self.broker(leader)
-            .commit_offset(group, topic, partition, offset)
+        Cluster::commit_offset(self, group, topic, partition, offset)
     }
 
     fn committed_offset(&self, group: &str, topic: &str, partition: u32) -> Option<u64> {
-        let leader = self.leader_of(topic, partition).ok()?;
-        self.broker(leader)
-            .committed_offset(group, topic, partition)
+        Cluster::committed_offset(self, group, topic, partition)
     }
 
-    // Group coordination is delegated to broker 0, the cluster's
-    // coordinator node (Kafka pins each group to one coordinator broker
-    // the same way). Partition counts are resolved against the leaders
-    // *first*, so the coordinator never needs topics it does not host.
+    // Group coordination and offset commits live cluster-side (the
+    // replicated `__consumer_offsets` model): the coordinator *role*
+    // belongs to the first live broker and fails over with the state
+    // intact when that broker dies. Partition counts are resolved
+    // against the leaders first, so the coordinator never needs topics
+    // it does not host.
 
     fn join_group(
         &self,
@@ -400,21 +570,19 @@ impl Bus for Cluster {
         for name in topics {
             with_counts.push(((*name).to_string(), Bus::partition_count(self, name)?));
         }
-        Ok(self
-            .broker(0)
-            .join_group_with(group, member, with_counts, strategy))
+        self.join_group_with(group, member, with_counts, strategy)
     }
 
     fn leave_group(&self, group: &str, member: &str) -> Result<()> {
-        self.broker(0).leave_group(group, member)
+        Cluster::leave_group(self, group, member)
     }
 
     fn group_generation(&self, group: &str) -> Result<u64> {
-        self.broker(0).group_generation(group)
+        Cluster::group_generation(self, group)
     }
 
     fn sync_group(&self, group: &str, member: &str) -> Result<GroupView> {
-        self.broker(0).sync_group(group, member)
+        Cluster::sync_group(self, group, member)
     }
 
     fn claim_partitions(
@@ -423,7 +591,7 @@ impl Bus for Cluster {
         member: &str,
         parts: &[TopicPartition],
     ) -> Result<Vec<TopicPartition>> {
-        self.broker(0).claim_partitions(group, member, parts)
+        Cluster::claim_partitions(self, group, member, parts)
     }
 
     fn release_partitions(
@@ -432,7 +600,7 @@ impl Bus for Cluster {
         member: &str,
         parts: &[TopicPartition],
     ) -> Result<()> {
-        self.broker(0).release_partitions(group, member, parts)
+        Cluster::release_partitions(self, group, member, parts)
     }
 
     fn now(&self) -> Timestamp {

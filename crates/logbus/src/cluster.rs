@@ -1,18 +1,46 @@
-//! A multi-broker cluster with partition leaders and follower replicas.
+//! A multi-broker cluster with partition leaders, follower replicas,
+//! epoch-fenced leader election, and committed (high-watermark) reads.
 //!
 //! The paper's setup runs Apache Kafka on a three-node cluster with
-//! single-partition, replication-factor-one topics. [`Cluster`] models the
-//! general case — leader assignment and synchronous follower replication —
-//! so the benchmark's topology is just a configuration of it.
+//! single-partition, replication-factor-one topics. [`Cluster`] models
+//! the general case — leader assignment, synchronous follower
+//! replication, and crash failover — so the benchmark's topology is just
+//! a configuration of it.
+//!
+//! # Failure model
+//!
+//! Each partition has a fixed replica set (leader first) and a
+//! [`PartitionState`] tracking the leader epoch, the in-sync set, and
+//! each replica's confirmed log end. A broker can be killed
+//! ([`Cluster::kill_broker`], or deterministically via a
+//! [`FaultPlan`]'s crash probability); its logs survive, only the
+//! process dies. The next request that needs the dead leader runs an
+//! election: the live in-sync replica with the most confirmed log is
+//! promoted, the epoch is bumped and fenced onto every live replica's
+//! log, and divergent tails past the new leader's end are truncated. A
+//! restarted broker rejoins as a follower — its log truncated back to
+//! its last confirmed offset — and re-enters the in-sync set once a
+//! produce or read repair catches it up.
+//!
+//! Consumers only observe offsets below the **high-watermark** (the
+//! minimum confirmed end across the in-sync set), so nothing a consumer
+//! ever saw can be lost to an election, and a deposed leader's unacked
+//! tail is never visible.
 
 use crate::broker::Broker;
 use crate::clock::{Clock, SystemClock};
-use crate::config::TopicConfig;
+use crate::config::{Acks, TopicConfig};
+use crate::election::PartitionState;
 use crate::error::{Error, Result};
+use crate::fault::{FaultAction, FaultInjector, FaultOp, FaultPlan};
+use crate::group::{AssignmentStrategy, GroupState, GroupView, TopicPartition};
 use crate::record::{Record, StoredRecord};
-use parking_lot::RwLock;
+use crate::topic::{spin_delay, Topic};
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Cluster construction parameters.
 #[derive(Debug, Clone)]
@@ -28,20 +56,41 @@ impl Default for ClusterConfig {
     }
 }
 
-/// Leader/follower placement for one partition.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Placement {
-    leader: usize,
-    followers: Vec<usize>,
+/// Routing and replication state for one partition.
+#[derive(Debug)]
+struct PartitionRoute {
+    /// The fixed replica set (broker indices), designated leader first.
+    /// Membership never changes; liveness and sync are tracked in
+    /// `state`.
+    replicas: Vec<usize>,
+    /// Serialises replicated produces, elections, and read repair for
+    /// this partition — the single-writer rule the leader would enforce.
+    produce: Mutex<()>,
+    /// Epoch, leadership, in-sync set, and high-watermark.
+    state: RwLock<PartitionState>,
 }
 
-/// A set of brokers with per-partition leader assignment and synchronous
-/// replication.
+/// Everything the cluster tracks per consumer group. Conceptually this
+/// is the replicated `__consumer_offsets` state: it lives cluster-side,
+/// so commits and membership survive the death of whichever broker is
+/// currently acting as coordinator.
+#[derive(Debug, Default)]
+struct GroupEntry {
+    /// Committed offsets, nested `topic -> partition -> offset` so the
+    /// steady-state commit path borrows the caller's `&str`s.
+    offsets: HashMap<String, HashMap<u32, u64>>,
+    /// Membership, generation, and target assignment.
+    state: GroupState,
+}
+
+/// A set of brokers with per-partition leader assignment, synchronous
+/// replication, and crash failover.
 ///
-/// Replication is applied eagerly on every produce; the acknowledgement
-/// level is a producer-side concern (see
-/// [`ProducerConfig`](crate::ProducerConfig)) and controls only what the
-/// producer waits for / observes, not whether replicas converge.
+/// Produces go through the partition leader and replicate to every live
+/// follower before the acknowledgement level is judged
+/// ([`Acks::All`] waits for the full in-sync set). Fetches come from the
+/// leader but are clamped to the high-watermark, so consumers only see
+/// records the whole in-sync set holds.
 #[derive(Debug, Clone)]
 pub struct Cluster {
     inner: Arc<ClusterInner>,
@@ -50,8 +99,16 @@ pub struct Cluster {
 #[derive(Debug)]
 struct ClusterInner {
     brokers: Vec<Broker>,
-    placements: RwLock<HashMap<(String, u32), Placement>>,
+    routes: RwLock<HashMap<(String, u32), Arc<PartitionRoute>>>,
     next_leader: RwLock<usize>,
+    /// Replicated consumer-group coordination state (see [`GroupEntry`]).
+    groups: RwLock<HashMap<String, GroupEntry>>,
+    /// Crash schedule, consulted per replicated produce; `crash_enabled`
+    /// mirrors its presence so the fault-free path pays one relaxed load.
+    crash_plan: RwLock<Option<Arc<FaultInjector>>>,
+    crash_enabled: AtomicBool,
+    /// Pending restarts of crashed brokers: `(broker index, due time)`.
+    restarts: Mutex<Vec<(usize, Instant)>>,
 }
 
 impl Cluster {
@@ -69,8 +126,12 @@ impl Cluster {
         Cluster {
             inner: Arc::new(ClusterInner {
                 brokers,
-                placements: RwLock::new(HashMap::new()),
+                routes: RwLock::new(HashMap::new()),
                 next_leader: RwLock::new(0),
+                groups: RwLock::new(HashMap::new()),
+                crash_plan: RwLock::new(None),
+                crash_enabled: AtomicBool::new(false),
+                restarts: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -110,33 +171,51 @@ impl Cluster {
         if self.inner.brokers.iter().any(|b| b.has_topic(&name)) {
             return Err(Error::TopicExists(name));
         }
-        let mut placements = self.inner.placements.write();
+        let mut routes = self.inner.routes.write();
         let mut next = self.inner.next_leader.write();
         for partition in 0..config.partitions {
             let leader = *next % n;
             *next += 1;
-            let followers: Vec<usize> = (1..config.replication_factor as usize)
+            let replicas: Vec<usize> = (0..config.replication_factor as usize)
                 .map(|i| (leader + i) % n)
                 .collect();
-            for &b in std::iter::once(&leader).chain(followers.iter()) {
+            for &b in &replicas {
                 // A broker hosts the topic once even when it holds several
                 // of its partitions.
                 if !self.inner.brokers[b].has_topic(&name) {
                     self.inner.brokers[b].create_topic(&name, config.clone())?;
                 }
             }
-            placements.insert((name.clone(), partition), Placement { leader, followers });
+            let state = PartitionState::new(replicas.len());
+            routes.insert(
+                (name.clone(), partition),
+                Arc::new(PartitionRoute {
+                    replicas,
+                    produce: Mutex::new(()),
+                    state: RwLock::new(state),
+                }),
+            );
         }
         Ok(())
     }
 
-    fn placement(&self, topic: &str, partition: u32) -> Result<Placement> {
-        self.inner
-            .placements
+    fn route(&self, topic: &str, partition: u32) -> Result<Arc<PartitionRoute>> {
+        if let Some(route) = self
+            .inner
+            .routes
             .read()
             .get(&(topic.to_string(), partition))
-            .cloned()
-            .ok_or_else(|| Error::UnknownTopic(topic.to_string()))
+        {
+            return Ok(route.clone());
+        }
+        Err(if self.inner.brokers.iter().any(|b| b.has_topic(topic)) {
+            Error::UnknownPartition {
+                topic: topic.to_string(),
+                partition,
+            }
+        } else {
+            Error::UnknownTopic(topic.to_string())
+        })
     }
 
     /// Index of the leader broker for a partition.
@@ -145,44 +224,515 @@ impl Cluster {
     ///
     /// Returns [`Error::UnknownTopic`] for unplaced partitions.
     pub fn leader_of(&self, topic: &str, partition: u32) -> Result<usize> {
-        Ok(self.placement(topic, partition)?.leader)
+        let route = self.route(topic, partition)?;
+        let pos = route.state.read().leader_pos;
+        Ok(route.replicas[pos])
     }
 
-    /// Appends a batch through the partition leader and replicates it to
-    /// all followers. Returns the leader's base offset.
+    /// Leader epoch the partition is currently at (bumped by every
+    /// election).
     ///
     /// # Errors
     ///
-    /// Propagates topic/partition lookup failures.
-    pub fn produce_batch(&self, topic: &str, partition: u32, records: Vec<Record>) -> Result<u64> {
-        let placement = self.placement(topic, partition)?;
-        // Per-replica copies come from the pool tier; record clones are
-        // refcount bumps, not payload copies.
-        let mut copy = crate::pool::record_vec();
-        copy.extend(records.iter().cloned());
-        let base = self.inner.brokers[placement.leader].produce_batch(topic, partition, copy)?;
-        for &f in &placement.followers {
-            let mut copy = crate::pool::record_vec();
-            copy.extend(records.iter().cloned());
-            self.inner.brokers[f].produce_batch(topic, partition, copy)?;
+    /// Returns [`Error::UnknownTopic`] for unplaced partitions.
+    pub fn leader_epoch(&self, topic: &str, partition: u32) -> Result<u64> {
+        Ok(self.route(topic, partition)?.state.read().epoch)
+    }
+
+    /// The partition's high-watermark: the frontier consumers can see.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownTopic`] for unplaced partitions.
+    pub fn high_watermark_of(&self, topic: &str, partition: u32) -> Result<u64> {
+        Ok(self.route(topic, partition)?.state.read().hw)
+    }
+
+    // ---- crash failover ------------------------------------------------
+
+    /// Installs a deterministic crash schedule: each replicated produce
+    /// draws from `plan`'s crash stream and may kill the partition
+    /// leader's broker, which restarts `plan.crash_restart_micros` later
+    /// and rejoins as a follower. Request-level faults in the plan are
+    /// **not** installed by this call — use
+    /// [`Broker::install_fault_plan`] on individual brokers for those.
+    pub fn install_crash_plan(&self, plan: FaultPlan) {
+        let enabled = plan.crash > 0.0;
+        *self.inner.crash_plan.write() = Some(Arc::new(FaultInjector::new(plan)));
+        self.inner.crash_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Removes the crash schedule and restarts any broker still down
+    /// from it, so the cluster converges back to full health.
+    pub fn clear_crash_plan(&self) {
+        *self.inner.crash_plan.write() = None;
+        self.inner.crash_enabled.store(false, Ordering::Relaxed);
+        let due: Vec<usize> = {
+            let mut restarts = self.inner.restarts.lock();
+            restarts.drain(..).map(|(b, _)| b).collect()
+        };
+        for broker in due {
+            self.restart_broker(broker);
         }
-        let mut records = records;
+    }
+
+    /// Kills broker `index`: every request it hosts fails with
+    /// [`Error::BrokerDown`] until [`Cluster::restart_broker`]. Elections
+    /// run lazily — the next produce or committed fetch that needs a dead
+    /// leader promotes an in-sync follower.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn kill_broker(&self, index: usize) {
+        self.inner.brokers[index].kill();
+    }
+
+    /// Restarts broker `index` and repairs its logs: every partition it
+    /// replicates is truncated back to the replica's last confirmed
+    /// offset (discarding any unacknowledged tail a deposed leader wrote)
+    /// and fenced at the current epoch. The broker rejoins each in-sync
+    /// set only after the next produce or read repair catches it up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn restart_broker(&self, index: usize) {
+        self.inner.brokers[index].restart();
+        let hosted: Vec<((String, u32), Arc<PartitionRoute>)> = self
+            .inner
+            .routes
+            .read()
+            .iter()
+            .filter(|(_, route)| route.replicas.contains(&index))
+            .map(|(key, route)| (key.clone(), route.clone()))
+            .collect();
+        for ((topic, partition), route) in hosted {
+            let _produce = route.produce.lock();
+            let mut st = route.state.write();
+            let Some(pos) = route.replicas.iter().position(|&b| b == index) else {
+                continue;
+            };
+            let Ok(t) = self.inner.brokers[index].topic(&topic) else {
+                continue;
+            };
+            let truncated = t.truncate_to(partition, st.synced[pos]).unwrap_or(0);
+            let _ = t.set_leader_epoch(partition, st.epoch);
+            if pos != st.leader_pos {
+                // Out of sync until a produce or repair catches it up.
+                st.in_sync[pos] = false;
+            }
+            if truncated > 0 && obs::enabled() {
+                crate::telemetry::failover_path()
+                    .truncated_records
+                    .add(truncated);
+            }
+        }
+    }
+
+    /// Restarts crash-plan brokers whose downtime has elapsed.
+    fn tick_restarts(&self) {
+        let now = Instant::now();
+        let due: Vec<usize> = {
+            let mut restarts = self.inner.restarts.lock();
+            let mut ready = Vec::new();
+            restarts.retain(|&(broker, deadline)| {
+                if deadline <= now {
+                    ready.push(broker);
+                    false
+                } else {
+                    true
+                }
+            });
+            ready
+        };
+        for broker in due {
+            self.restart_broker(broker);
+        }
+    }
+
+    /// Kills `broker` as part of the crash plan and schedules its
+    /// restart.
+    fn crash_broker(&self, broker: usize, restart_micros: u64) {
+        self.inner.brokers[broker].kill();
+        if restart_micros > 0 {
+            self.inner.restarts.lock().push((
+                broker,
+                Instant::now() + std::time::Duration::from_micros(restart_micros),
+            ));
+        }
+    }
+
+    /// Runs an election for a partition whose leader is dead. Requires
+    /// the route's produce lock and state write lock (passed as `st`).
+    fn elect_locked(
+        &self,
+        topic: &str,
+        partition: u32,
+        route: &PartitionRoute,
+        st: &mut PartitionState,
+    ) -> Result<()> {
+        let mut alive = [false; 64];
+        let n = route.replicas.len().min(alive.len());
+        for (pos, flag) in alive.iter_mut().enumerate().take(n) {
+            *flag = self.inner.brokers[route.replicas[pos]].is_alive();
+        }
+        if st.elect(&alive[..n]).is_none() {
+            return Err(Error::PartitionOffline {
+                topic: topic.to_string(),
+                partition,
+            });
+        }
+        // Fence the new epoch onto every live replica's log and truncate
+        // divergent tails past the new leader's end: records the old
+        // leader appended without full acknowledgement disappear here,
+        // before anything ever read them (they were above the
+        // high-watermark by construction).
+        let leader_id = route.replicas[st.leader_pos];
+        let leader_topic = self.inner.brokers[leader_id].topic(topic)?;
+        leader_topic.set_leader_epoch(partition, st.epoch)?;
+        let leader_end = leader_topic.latest_offset(partition)?;
+        let mut epoch_bumps = 1u64;
+        let mut truncated = 0u64;
+        for (pos, &replica) in route.replicas.iter().enumerate() {
+            if pos == st.leader_pos || !alive.get(pos).copied().unwrap_or(false) {
+                continue;
+            }
+            let t = self.inner.brokers[replica].topic(topic)?;
+            t.set_leader_epoch(partition, st.epoch)?;
+            truncated += t.truncate_to(partition, leader_end)?;
+            st.synced[pos] = st.synced[pos].min(leader_end);
+            epoch_bumps += 1;
+        }
+        let leader_pos = st.leader_pos;
+        st.synced[leader_pos] = leader_end;
+        st.recompute_hw();
+        if obs::enabled() {
+            let path = crate::telemetry::failover_path();
+            path.elections.add(1);
+            path.epoch_bumps.add(epoch_bumps);
+            path.truncated_records.add(truncated);
+        }
+        Ok(())
+    }
+
+    /// Ensures the partition has a live leader, electing one if needed.
+    fn ensure_leader(&self, topic: &str, partition: u32, route: &PartitionRoute) -> Result<()> {
+        let leader_dead = {
+            let st = route.state.read();
+            !self.inner.brokers[route.replicas[st.leader_pos]].is_alive()
+        };
+        if !leader_dead {
+            return Ok(());
+        }
+        if self.inner.crash_enabled.load(Ordering::Relaxed) {
+            self.tick_restarts();
+        }
+        let _produce = route.produce.lock();
+        let mut st = route.state.write();
+        if !self.inner.brokers[route.replicas[st.leader_pos]].is_alive() {
+            self.elect_locked(topic, partition, route, &mut st)?;
+        }
+        Ok(())
+    }
+
+    // ---- replicated produce --------------------------------------------
+
+    /// Copies leader-stored records `[from, to)` onto a follower,
+    /// skipping anything the follower already holds.
+    fn copy_replica(
+        &self,
+        leader_topic: &Arc<Topic>,
+        follower_topic: &Arc<Topic>,
+        partition: u32,
+        from: u64,
+        to: u64,
+    ) -> Result<()> {
+        if from >= to {
+            return Ok(());
+        }
+        let mut buffer = crate::pool::stored_vec();
+        leader_topic.read_into(partition, from, (to - from) as usize, &mut buffer)?;
+        follower_topic.append_replica_batch(partition, &buffer)?;
+        crate::pool::recycle_stored_vec(buffer);
+        Ok(())
+    }
+
+    /// Brings every live follower up to `leader_end` through its fault
+    /// gate, maintaining the in-sync set: dead followers drop out,
+    /// caught-up followers (re-)enter, faulted ones stay in but lag —
+    /// holding the high-watermark back until they recover.
+    fn sync_followers(
+        &self,
+        topic: &str,
+        partition: u32,
+        route: &PartitionRoute,
+        st: &mut PartitionState,
+        leader_topic: &Arc<Topic>,
+        leader_end: u64,
+    ) -> Result<()> {
+        for (pos, &replica) in route.replicas.iter().enumerate() {
+            if pos == st.leader_pos {
+                continue;
+            }
+            let follower = &self.inner.brokers[replica];
+            if !follower.is_alive() {
+                st.in_sync[pos] = false;
+                continue;
+            }
+            if st.synced[pos] >= leader_end {
+                st.in_sync[pos] = true;
+                continue;
+            }
+            // The replication fetch pays the same fault gate a client
+            // produce would: transient errors leave the follower lagging
+            // (in sync, but holding the high-watermark back), a lost ack
+            // applies the copy without confirming it — the next round
+            // skips what the follower already holds.
+            let mut acked = true;
+            match follower.fault_action(FaultOp::Produce, topic, partition) {
+                None => {}
+                Some(FaultAction::Latency(extra)) => spin_delay(extra),
+                Some(FaultAction::Error(_)) => continue,
+                Some(FaultAction::AckLost) => acked = false,
+                // Replica copies are keyed by offset, so a duplicate
+                // delivery is absorbed broker-side.
+                Some(FaultAction::Duplicate) => {}
+            }
+            let follower_topic = follower.topic(topic)?;
+            spin_delay(follower.request_delay());
+            self.copy_replica(
+                leader_topic,
+                &follower_topic,
+                partition,
+                st.synced[pos],
+                leader_end,
+            )?;
+            if acked {
+                st.synced[pos] = leader_end;
+                st.in_sync[pos] = true;
+            }
+        }
+        st.recompute_hw();
+        Ok(())
+    }
+
+    /// The replicated produce path: append to the (live, fenced) leader,
+    /// replicate to followers, judge `acks`, advance the high-watermark.
+    /// Drains `records` on overall success and leaves them intact on
+    /// failure — the caller's buffer is the resend queue.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::BrokerDown`] when the leader crashed mid-request,
+    /// [`Error::PartitionOffline`] when no in-sync replica is alive,
+    /// [`Error::RequestTimedOut`] when `acks` is [`Acks::All`] and the
+    /// in-sync set has not fully confirmed the batch (the leader holds
+    /// it; an idempotent retry deduplicates), plus topic/partition
+    /// lookup failures.
+    pub(crate) fn replicated_append(
+        &self,
+        topic: &str,
+        partition: u32,
+        records: &mut Vec<Record>,
+        seq: Option<(u64, u64)>,
+        acks: Acks,
+    ) -> Result<u64> {
+        let route = self.route(topic, partition)?;
+        if self.inner.crash_enabled.load(Ordering::Relaxed) {
+            self.tick_restarts();
+        }
+        let _produce = route.produce.lock();
+
+        // Deterministic crash injection: the leader's process dies before
+        // it ever sees this request.
+        if self.inner.crash_enabled.load(Ordering::Relaxed) {
+            let injector = self.inner.crash_plan.read().clone();
+            if let Some(injector) = injector {
+                if injector.decide_crash(topic, partition) {
+                    let leader = {
+                        let st = route.state.read();
+                        route.replicas[st.leader_pos]
+                    };
+                    if self.inner.brokers[leader].is_alive() {
+                        self.crash_broker(leader, injector.plan().crash_restart_micros);
+                    }
+                    return Err(Error::BrokerDown);
+                }
+            }
+        }
+
+        let mut st = route.state.write();
+        if !self.inner.brokers[route.replicas[st.leader_pos]].is_alive() {
+            self.elect_locked(topic, partition, &route, &mut st)?;
+        }
+        let epoch = st.epoch;
+        let leader_id = route.replicas[st.leader_pos];
+        let leader_broker = &self.inner.brokers[leader_id];
+        let leader_topic = leader_broker.topic(topic)?;
+
+        // Leader append through the fault gate, fenced at the epoch this
+        // request resolved. The leader consumes a pooled copy so the
+        // caller's buffer survives an `acks=all` shortfall for resend
+        // (record clones are refcount bumps).
+        let target = crate::handle::WriteTarget {
+            broker: leader_broker.clone(),
+            topic: leader_topic.clone(),
+            fence: Some(epoch),
+        };
+        let mut copy = crate::handle::clone_into_pooled(records);
+        let appended = target.append_batch(partition, &mut copy, seq);
+        crate::pool::recycle_record_vec(copy);
+        let base = appended?;
+        let leader_end = leader_topic.latest_offset(partition)?;
+        let leader_pos = st.leader_pos;
+        st.synced[leader_pos] = leader_end;
+
+        self.sync_followers(topic, partition, &route, &mut st, &leader_topic, leader_end)?;
+
+        if acks == Acks::All && !st.fully_acked(leader_end) {
+            // The leader holds the batch but the in-sync set has not
+            // confirmed it; the records stay with the caller for the
+            // retry, which an idempotent sequencer deduplicates.
+            return Err(Error::RequestTimedOut);
+        }
         records.clear();
+        Ok(base)
+    }
+
+    // ---- committed reads -----------------------------------------------
+
+    /// Read repair: if the high-watermark trails the leader's log end
+    /// (an `acks=1` produce left followers behind, or a follower just
+    /// rejoined), catch the followers up so it can advance. Skips
+    /// silently when a producer holds the partition lock — that produce
+    /// will advance the watermark itself.
+    fn try_advance_hw(&self, topic: &str, partition: u32, route: &PartitionRoute) -> Result<()> {
+        let Some(_produce) = route.produce.try_lock() else {
+            return Ok(());
+        };
+        let mut st = route.state.write();
+        let leader_id = route.replicas[st.leader_pos];
+        if !self.inner.brokers[leader_id].is_alive() {
+            self.elect_locked(topic, partition, route, &mut st)?;
+        }
+        let leader_pos = st.leader_pos;
+        let leader_topic = self.inner.brokers[route.replicas[leader_pos]].topic(topic)?;
+        let leader_end = leader_topic.latest_offset(partition)?;
+        st.synced[leader_pos] = leader_end;
+        if !st.fully_acked(leader_end) {
+            self.sync_followers(topic, partition, route, &mut st, &leader_topic, leader_end)?;
+        } else {
+            st.recompute_hw();
+        }
+        Ok(())
+    }
+
+    /// Fetches up to `max` committed records (below the high-watermark)
+    /// from the partition leader, **appending** into `out`. Returns the
+    /// number appended — 0 when `offset` has reached the committed
+    /// frontier.
+    pub(crate) fn committed_read_into(
+        &self,
+        topic: &str,
+        partition: u32,
+        offset: u64,
+        max: usize,
+        out: &mut Vec<StoredRecord>,
+    ) -> Result<usize> {
+        let route = self.route(topic, partition)?;
+        self.ensure_leader(topic, partition, &route)?;
+        let mut hw = route.state.read().hw;
+        if offset >= hw {
+            // Nothing committed past the cursor: repair the watermark
+            // (laggards may be holding it back) and re-check.
+            self.try_advance_hw(topic, partition, &route)?;
+            hw = route.state.read().hw;
+            if offset >= hw {
+                return Ok(0);
+            }
+        }
+        let leader_id = {
+            let st = route.state.read();
+            route.replicas[st.leader_pos]
+        };
+        let broker = &self.inner.brokers[leader_id];
+        broker.ensure_alive()?;
+        broker.fault_gate(FaultOp::Fetch, topic, partition)?;
+        spin_delay(broker.request_delay());
+        let capped = max.min((hw - offset) as usize);
+        broker
+            .topic(topic)?
+            .read_into(partition, offset, capped, out)
+    }
+
+    /// The committed frontier consumers can read to — the
+    /// high-watermark, repaired forward if followers were lagging.
+    pub(crate) fn committed_latest_offset(&self, topic: &str, partition: u32) -> Result<u64> {
+        let route = self.route(topic, partition)?;
+        self.ensure_leader(topic, partition, &route)?;
+        self.try_advance_hw(topic, partition, &route)?;
+        let (leader_id, hw) = {
+            let st = route.state.read();
+            (route.replicas[st.leader_pos], st.hw)
+        };
+        let broker = &self.inner.brokers[leader_id];
+        broker.ensure_alive()?;
+        broker.fault_gate(FaultOp::Metadata, topic, partition)?;
+        Ok(hw)
+    }
+
+    /// Earliest retained offset on the partition leader.
+    pub(crate) fn committed_earliest_offset(&self, topic: &str, partition: u32) -> Result<u64> {
+        let route = self.route(topic, partition)?;
+        self.ensure_leader(topic, partition, &route)?;
+        let leader_id = {
+            let st = route.state.read();
+            route.replicas[st.leader_pos]
+        };
+        let broker = &self.inner.brokers[leader_id];
+        broker.ensure_alive()?;
+        broker.fault_gate(FaultOp::Metadata, topic, partition)?;
+        broker.topic(topic)?.earliest_offset(partition)
+    }
+
+    // ---- named convenience paths ---------------------------------------
+
+    /// Appends a batch through the replicated produce path with
+    /// [`Acks::All`] (one shot — no client retry; use a
+    /// [`PartitionWriter`](crate::PartitionWriter) for failover-riding
+    /// produces). Returns the leader's base offset.
+    ///
+    /// # Errors
+    ///
+    /// Same as the replicated produce path.
+    pub fn produce_batch(&self, topic: &str, partition: u32, records: Vec<Record>) -> Result<u64> {
+        let mut records = records;
+        let base = self.replicated_append(topic, partition, &mut records, None, Acks::All)?;
         crate::pool::recycle_record_vec(records);
         Ok(base)
     }
 
-    /// Appends one record through the partition leader (replicating to
-    /// followers). Returns the assigned offset.
+    /// Appends one record through the replicated produce path. Returns
+    /// the assigned offset.
     ///
     /// # Errors
     ///
-    /// Propagates topic/partition lookup failures.
+    /// Same as [`Cluster::produce_batch`].
     pub fn produce(&self, topic: &str, partition: u32, record: Record) -> Result<u64> {
         self.produce_batch(topic, partition, vec![record])
     }
 
-    /// Fetches from the partition leader.
+    /// Next committed offset (the high-watermark).
+    ///
+    /// # Errors
+    ///
+    /// Propagates topic/partition lookup failures.
+    pub fn latest_offset(&self, topic: &str, partition: u32) -> Result<u64> {
+        self.committed_latest_offset(topic, partition)
+    }
+
+    /// Fetches committed records from the partition leader.
     ///
     /// # Errors
     ///
@@ -194,8 +744,9 @@ impl Cluster {
         offset: u64,
         max: usize,
     ) -> Result<Vec<StoredRecord>> {
-        let placement = self.placement(topic, partition)?;
-        self.inner.brokers[placement.leader].fetch(topic, partition, offset, max)
+        let mut out = Vec::new();
+        self.committed_read_into(topic, partition, offset, max, &mut out)?;
+        Ok(out)
     }
 
     /// Like [`Cluster::fetch`], but **appends** into `out`, returning the
@@ -212,43 +763,218 @@ impl Cluster {
         max: usize,
         out: &mut Vec<StoredRecord>,
     ) -> Result<usize> {
-        let placement = self.placement(topic, partition)?;
-        self.inner.brokers[placement.leader].fetch_into(topic, partition, offset, max, out)
+        self.committed_read_into(topic, partition, offset, max, out)
     }
 
-    /// Resolves a cached produce handle holding the partition leader first
-    /// and every follower after it, so handle-based produces replicate —
-    /// and pay each broker's simulated round trip — exactly as
-    /// [`Cluster::produce_batch`] does.
+    /// Resolves a cached produce handle routed through the cluster: every
+    /// attempt re-resolves the partition leader, so the handle rides
+    /// through leader changes, and it defaults to [`Acks::All`] (tune
+    /// with [`PartitionWriter::with_acks`](crate::PartitionWriter::with_acks)).
     ///
     /// # Errors
     ///
     /// Propagates topic/partition lookup failures.
     pub fn partition_writer(&self, topic: &str, partition: u32) -> Result<crate::PartitionWriter> {
-        let placement = self.placement(topic, partition)?;
-        let mut targets = Vec::with_capacity(1 + placement.followers.len());
-        for &b in std::iter::once(&placement.leader).chain(placement.followers.iter()) {
-            let broker = self.inner.brokers[b].clone();
-            let t = broker.topic(topic)?;
-            if partition >= t.partition_count() {
-                return Err(Error::UnknownPartition {
-                    topic: topic.to_string(),
-                    partition,
-                });
-            }
-            targets.push(crate::handle::WriteTarget { broker, topic: t });
-        }
-        Ok(crate::PartitionWriter::new(targets, partition))
+        self.route(topic, partition)?;
+        Ok(crate::PartitionWriter::routed(
+            self.clone(),
+            topic.to_string(),
+            partition,
+        ))
     }
 
-    /// Resolves a cached fetch handle reading from the partition leader.
+    /// Resolves a cached fetch handle routed through the cluster: reads
+    /// come from whoever currently leads the partition, clamped to the
+    /// high-watermark.
     ///
     /// # Errors
     ///
     /// Propagates topic/partition lookup failures.
     pub fn partition_reader(&self, topic: &str, partition: u32) -> Result<crate::PartitionReader> {
-        let placement = self.placement(topic, partition)?;
-        self.inner.brokers[placement.leader].partition_reader(topic, partition)
+        self.route(topic, partition)?;
+        Ok(crate::PartitionReader::routed(
+            self.clone(),
+            topic.to_string(),
+            partition,
+        ))
+    }
+
+    // ---- consumer-group coordination -----------------------------------
+    //
+    // Group state lives cluster-side — the replicated `__consumer_offsets`
+    // model — so commits and membership survive the death of the broker
+    // acting as coordinator. Requests are gated on *some* broker being
+    // alive (the coordinator role fails over with the state intact).
+
+    /// The broker currently acting as group coordinator: the first live
+    /// one.
+    fn coordinator(&self) -> Result<&Broker> {
+        self.inner
+            .brokers
+            .iter()
+            .find(|b| b.is_alive())
+            .ok_or(Error::BrokerDown)
+    }
+
+    /// Commits `offset` for a consumer group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownTopic`] if no broker hosts the topic, or
+    /// [`Error::BrokerDown`] when the whole cluster is down.
+    pub fn commit_offset(
+        &self,
+        group: &str,
+        topic: &str,
+        partition: u32,
+        offset: u64,
+    ) -> Result<()> {
+        let coordinator = self.coordinator()?;
+        if !self.inner.brokers.iter().any(|b| b.has_topic(topic)) {
+            return Err(Error::UnknownTopic(topic.to_string()));
+        }
+        coordinator.fault_gate(FaultOp::Metadata, topic, partition)?;
+        let mut groups = self.inner.groups.write();
+        let entry = match groups.get_mut(group) {
+            Some(entry) => entry,
+            None => groups.entry(group.to_string()).or_default(),
+        };
+        if !entry.offsets.contains_key(topic) {
+            entry.offsets.insert(topic.to_string(), HashMap::new());
+        }
+        if let Some(partitions) = entry.offsets.get_mut(topic) {
+            partitions.insert(partition, offset);
+        }
+        Ok(())
+    }
+
+    /// Fetches the committed offset for a consumer group, if any.
+    pub fn committed_offset(&self, group: &str, topic: &str, partition: u32) -> Option<u64> {
+        self.inner
+            .groups
+            .read()
+            .get(group)?
+            .offsets
+            .get(topic)?
+            .get(&partition)
+            .copied()
+    }
+
+    /// Join with pre-resolved partition counts (see
+    /// [`Broker::join_group`] for the semantics).
+    pub(crate) fn join_group_with(
+        &self,
+        group: &str,
+        member: &str,
+        topics_with_counts: Vec<(String, u32)>,
+        strategy: AssignmentStrategy,
+    ) -> Result<u64> {
+        self.coordinator()?;
+        let generation = {
+            let mut groups = self.inner.groups.write();
+            let entry = groups.entry(group.to_string()).or_default();
+            entry.state.join(member, topics_with_counts, strategy)
+        };
+        if obs::enabled() {
+            let path = crate::telemetry::group_path();
+            path.rebalances.add(1);
+            path.generation.set(generation as i64);
+        }
+        Ok(generation)
+    }
+
+    /// Leaves a consumer group (see [`Broker::leave_group`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BrokerDown`] when the whole cluster is down.
+    pub fn leave_group(&self, group: &str, member: &str) -> Result<()> {
+        self.coordinator()?;
+        let outcome = {
+            let mut groups = self.inner.groups.write();
+            groups
+                .get_mut(group)
+                .map(|entry| (entry.state.leave(member), entry.state.generation()))
+        };
+        if let Some((true, generation)) = outcome {
+            if obs::enabled() {
+                let path = crate::telemetry::group_path();
+                path.rebalances.add(1);
+                path.generation.set(generation as i64);
+            }
+        }
+        Ok(())
+    }
+
+    /// The group's current generation (0 before the first join).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BrokerDown`] when the whole cluster is down.
+    pub fn group_generation(&self, group: &str) -> Result<u64> {
+        self.coordinator()?;
+        Ok(self
+            .inner
+            .groups
+            .read()
+            .get(group)
+            .map_or(0, |entry| entry.state.generation()))
+    }
+
+    /// A member's target assignment at the current generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownGroup`] for unknown groups/members, or
+    /// [`Error::BrokerDown`] when the whole cluster is down.
+    pub fn sync_group(&self, group: &str, member: &str) -> Result<GroupView> {
+        self.coordinator()?;
+        self.inner
+            .groups
+            .read()
+            .get(group)
+            .and_then(|entry| entry.state.view(member))
+            .ok_or_else(|| Error::UnknownGroup(group.to_string()))
+    }
+
+    /// Claims ownership of targeted partitions; returns the granted
+    /// subset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownGroup`] for unknown groups, or
+    /// [`Error::BrokerDown`] when the whole cluster is down.
+    pub fn claim_partitions(
+        &self,
+        group: &str,
+        member: &str,
+        parts: &[TopicPartition],
+    ) -> Result<Vec<TopicPartition>> {
+        self.coordinator()?;
+        let mut groups = self.inner.groups.write();
+        let Some(entry) = groups.get_mut(group) else {
+            return Err(Error::UnknownGroup(group.to_string()));
+        };
+        Ok(entry.state.claim(member, parts))
+    }
+
+    /// Releases ownership of partitions held by `member`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BrokerDown`] when the whole cluster is down.
+    pub fn release_partitions(
+        &self,
+        group: &str,
+        member: &str,
+        parts: &[TopicPartition],
+    ) -> Result<()> {
+        self.coordinator()?;
+        let mut groups = self.inner.groups.write();
+        if let Some(entry) = groups.get_mut(group) {
+            entry.state.release(member, parts);
+        }
+        Ok(())
     }
 }
 
@@ -342,5 +1068,210 @@ mod tests {
         let records = cluster.fetch("t", 0, 0, 10).unwrap();
         assert_eq!(records.len(), 2);
         assert!(cluster.fetch("missing", 0, 0, 1).is_err());
+    }
+
+    #[test]
+    fn leader_kill_elects_most_caught_up_follower() {
+        let cluster = Cluster::new(ClusterConfig { brokers: 3 });
+        cluster
+            .create_topic("t", TopicConfig::default().replication_factor(3))
+            .unwrap();
+        for i in 0..5 {
+            cluster
+                .produce("t", 0, Record::from_value(format!("{i}")))
+                .unwrap();
+        }
+        let old_leader = cluster.leader_of("t", 0).unwrap();
+        assert_eq!(cluster.leader_epoch("t", 0).unwrap(), 0);
+        cluster.kill_broker(old_leader);
+        // The next produce elects a follower and lands on it.
+        let offset = cluster
+            .produce("t", 0, Record::from_value("after"))
+            .unwrap();
+        assert_eq!(offset, 5);
+        let new_leader = cluster.leader_of("t", 0).unwrap();
+        assert_ne!(new_leader, old_leader);
+        assert_eq!(cluster.leader_epoch("t", 0).unwrap(), 1);
+        // Committed reads see everything: nothing readable was lost.
+        let records = cluster.fetch("t", 0, 0, 10).unwrap();
+        assert_eq!(records.len(), 6);
+        assert_eq!(&records[5].record.value[..], b"after");
+    }
+
+    #[test]
+    fn rf1_leader_kill_takes_partition_offline_until_restart() {
+        let cluster = Cluster::new(ClusterConfig { brokers: 3 });
+        cluster
+            .create_topic("solo", TopicConfig::default())
+            .unwrap();
+        cluster.produce("solo", 0, Record::from_value("x")).unwrap();
+        let leader = cluster.leader_of("solo", 0).unwrap();
+        cluster.kill_broker(leader);
+        assert!(matches!(
+            cluster.produce("solo", 0, Record::from_value("y")),
+            Err(Error::PartitionOffline { .. })
+        ));
+        cluster.restart_broker(leader);
+        cluster.produce("solo", 0, Record::from_value("y")).unwrap();
+        assert_eq!(cluster.fetch("solo", 0, 0, 10).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn restarted_broker_truncates_unacked_tail_and_rejoins() {
+        let cluster = Cluster::new(ClusterConfig { brokers: 3 });
+        cluster
+            .create_topic("t", TopicConfig::default().replication_factor(3))
+            .unwrap();
+        cluster.produce("t", 0, Record::from_value("a")).unwrap();
+        let old_leader = cluster.leader_of("t", 0).unwrap();
+        // Fake a divergent unacked tail on the leader: write directly to
+        // its log, bypassing replication (as a dying leader would).
+        cluster
+            .broker(old_leader)
+            .produce("t", 0, Record::from_value("zombie"))
+            .unwrap();
+        cluster.kill_broker(old_leader);
+        // Election promotes a follower that never saw "zombie"; a fresh
+        // produce takes its offset.
+        cluster.produce("t", 0, Record::from_value("b")).unwrap();
+        cluster.restart_broker(old_leader);
+        // The rejoined replica dropped the zombie record...
+        let log = cluster.broker(old_leader).fetch("t", 0, 0, 10).unwrap();
+        assert_eq!(log.len(), 1, "unacked tail must be truncated on rejoin");
+        // ...and catches back up on the next produce, converging with the
+        // new leader's log.
+        cluster.produce("t", 0, Record::from_value("c")).unwrap();
+        let log = cluster.broker(old_leader).fetch("t", 0, 0, 10).unwrap();
+        let values: Vec<&[u8]> = log.iter().map(|r| &r.record.value[..]).collect();
+        assert_eq!(values, vec![b"a" as &[u8], b"b", b"c"]);
+        assert_eq!(cluster.fetch("t", 0, 0, 10).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn acks_levels_are_distinguishable_against_a_lagging_follower() {
+        let cluster = Cluster::new(ClusterConfig { brokers: 2 });
+        cluster
+            .create_topic("t", TopicConfig::default().replication_factor(2))
+            .unwrap();
+        let leader = cluster.leader_of("t", 0).unwrap();
+        let follower = (leader + 1) % 2;
+        // The follower errors every replication fetch (it stays alive and
+        // in sync, just unreachable), so the batch can never be fully
+        // acknowledged while the plan is installed.
+        let mut plan = FaultPlan::seeded(1);
+        plan.produce_error = 1.0;
+        plan.fetch_error = 0.0;
+        plan.metadata_error = 0.0;
+        plan.ack_loss = 0.0;
+        plan.duplicate = 0.0;
+        plan.extra_latency = 0.0;
+        plan.max_consecutive = u32::MAX;
+        cluster.broker(follower).install_fault_plan(plan);
+
+        // acks=all: the leader takes the batch but the in-sync set never
+        // confirms it.
+        let mut batch = vec![Record::from_value("a")];
+        assert!(matches!(
+            cluster.replicated_append("t", 0, &mut batch, None, Acks::All),
+            Err(Error::RequestTimedOut)
+        ));
+        assert_eq!(batch.len(), 1, "failed batch stays with the caller");
+        // acks=1 acks the same situation, with the high-watermark held
+        // back by the lagging follower — committed reads see nothing.
+        let mut batch = vec![Record::from_value("b")];
+        cluster
+            .replicated_append("t", 0, &mut batch, None, Acks::Leader)
+            .unwrap();
+        assert!(batch.is_empty(), "acked batch drains");
+        assert_eq!(cluster.high_watermark_of("t", 0).unwrap(), 0);
+        assert_eq!(cluster.fetch("t", 0, 0, 10).unwrap().len(), 0);
+
+        // Once the follower heals, read repair catches it up and the
+        // watermark advances over everything the leader holds.
+        cluster.broker(follower).clear_fault_plan();
+        assert_eq!(cluster.latest_offset("t", 0).unwrap(), 2);
+        assert_eq!(cluster.fetch("t", 0, 0, 10).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn committed_reads_hide_unreplicated_records() {
+        let cluster = Cluster::new(ClusterConfig { brokers: 3 });
+        cluster
+            .create_topic("t", TopicConfig::default().replication_factor(3))
+            .unwrap();
+        cluster.produce("t", 0, Record::from_value("seen")).unwrap();
+        let leader = cluster.leader_of("t", 0).unwrap();
+        // A record only the leader holds (written behind the cluster's
+        // back) sits above the high-watermark...
+        cluster
+            .broker(leader)
+            .produce("t", 0, Record::from_value("unacked"))
+            .unwrap();
+        assert_eq!(cluster.high_watermark_of("t", 0).unwrap(), 1);
+        // ...until read repair replicates it on the next metadata poll.
+        assert_eq!(cluster.latest_offset("t", 0).unwrap(), 2);
+        assert_eq!(cluster.fetch("t", 0, 0, 10).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn crash_plan_kills_and_restarts_leaders_deterministically() {
+        let cluster = Cluster::new(ClusterConfig { brokers: 3 });
+        cluster
+            .create_topic("t", TopicConfig::default().replication_factor(3))
+            .unwrap();
+        cluster.install_crash_plan(FaultPlan::seeded(42).with_crashes(0.2, 500));
+        let writer = cluster.partition_writer("t", 0).unwrap().idempotent();
+        for i in 0..300 {
+            writer.produce(Record::from_value(format!("{i}"))).unwrap();
+        }
+        cluster.clear_crash_plan();
+        assert!(
+            cluster.leader_epoch("t", 0).unwrap() > 0,
+            "a 20% crash rate over 300 produces must force elections"
+        );
+        // Every broker is back up and every record survived, exactly once.
+        for b in 0..3 {
+            assert!(cluster.broker(b).is_alive());
+        }
+        let records = cluster.fetch("t", 0, 0, 1_000).unwrap();
+        assert_eq!(records.len(), 300, "exactly-once across crashes");
+        for (i, stored) in records.iter().enumerate() {
+            assert_eq!(&stored.record.value[..], format!("{i}").as_bytes());
+        }
+    }
+
+    #[test]
+    fn group_state_survives_coordinator_death() {
+        let cluster = Cluster::new(ClusterConfig { brokers: 3 });
+        cluster.create_topic("t", TopicConfig::default()).unwrap();
+        cluster
+            .join_group_with(
+                "g",
+                "m1",
+                vec![("t".to_string(), 1)],
+                AssignmentStrategy::Range,
+            )
+            .unwrap();
+        cluster.commit_offset("g", "t", 0, 7).unwrap();
+        // Broker 0 — the acting coordinator — dies. The role fails over;
+        // the replicated group state is intact.
+        cluster.kill_broker(0);
+        assert_eq!(cluster.committed_offset("g", "t", 0), Some(7));
+        assert_eq!(cluster.group_generation("g").unwrap(), 1);
+        let view = cluster.sync_group("g", "m1").unwrap();
+        assert_eq!(view.target, vec![TopicPartition::new("t", 0)]);
+        cluster.commit_offset("g", "t", 0, 9).unwrap();
+        assert_eq!(cluster.committed_offset("g", "t", 0), Some(9));
+        // With every broker down there is no coordinator at all.
+        cluster.kill_broker(1);
+        cluster.kill_broker(2);
+        assert!(matches!(
+            cluster.commit_offset("g", "t", 0, 10),
+            Err(Error::BrokerDown)
+        ));
+        assert!(matches!(
+            cluster.group_generation("g"),
+            Err(Error::BrokerDown)
+        ));
     }
 }

@@ -56,6 +56,26 @@ pub enum Error {
     /// The request timed out in flight; it may or may not have been
     /// applied broker-side (transient; retryable).
     RequestTimedOut,
+    /// The broker process is down (crashed or killed). Transient: a
+    /// restart or an election elsewhere makes a retry viable.
+    BrokerDown,
+    /// The addressed broker is not (or no longer) the partition leader;
+    /// the client must refresh metadata and retry (transient).
+    NotLeader {
+        /// Topic name.
+        topic: String,
+        /// Partition index.
+        partition: u32,
+    },
+    /// A request carried a stale leader epoch — a deposed leader tried to
+    /// act after an election fenced it off (transient; the client
+    /// refreshes its route and retries against the new leader).
+    FencedEpoch {
+        /// Epoch the log currently enforces.
+        current: u64,
+        /// Stale epoch the request carried.
+        requested: u64,
+    },
     /// A retried request exhausted its [`RetryPolicy`](crate::RetryPolicy)
     /// budget; the boxed error is the last attempt's failure.
     RetriesExhausted {
@@ -72,7 +92,12 @@ impl Error {
     pub fn is_transient(&self) -> bool {
         matches!(
             self,
-            Error::BrokerUnavailable | Error::PartitionOffline { .. } | Error::RequestTimedOut
+            Error::BrokerUnavailable
+                | Error::PartitionOffline { .. }
+                | Error::RequestTimedOut
+                | Error::BrokerDown
+                | Error::NotLeader { .. }
+                | Error::FencedEpoch { .. }
         )
     }
 }
@@ -109,6 +134,19 @@ impl fmt::Display for Error {
                 write!(f, "partition {partition} of topic `{topic}` is offline")
             }
             Error::RequestTimedOut => f.write_str("request timed out"),
+            Error::BrokerDown => f.write_str("broker is down"),
+            Error::NotLeader { topic, partition } => {
+                write!(
+                    f,
+                    "not the leader for partition {partition} of topic `{topic}`"
+                )
+            }
+            Error::FencedEpoch { current, requested } => {
+                write!(
+                    f,
+                    "leader epoch {requested} fenced off (current epoch {current})"
+                )
+            }
             Error::RetriesExhausted { attempts, last } => {
                 write!(f, "gave up after {attempts} attempts: {last}")
             }
@@ -166,6 +204,15 @@ mod tests {
                 partition: 1,
             },
             Error::RequestTimedOut,
+            Error::BrokerDown,
+            Error::NotLeader {
+                topic: "t".into(),
+                partition: 0,
+            },
+            Error::FencedEpoch {
+                current: 2,
+                requested: 1,
+            },
             Error::RetriesExhausted {
                 attempts: 4,
                 last: Box::new(Error::BrokerUnavailable),
@@ -204,6 +251,17 @@ mod tests {
         assert!(Error::PartitionOffline {
             topic: "t".into(),
             partition: 0
+        }
+        .is_transient());
+        assert!(Error::BrokerDown.is_transient());
+        assert!(Error::NotLeader {
+            topic: "t".into(),
+            partition: 0
+        }
+        .is_transient());
+        assert!(Error::FencedEpoch {
+            current: 2,
+            requested: 1
         }
         .is_transient());
         assert!(!Error::UnknownTopic("t".into()).is_transient());

@@ -23,6 +23,8 @@
 //! topic existence.
 
 use crate::broker::Broker;
+use crate::cluster::Cluster;
+use crate::config::Acks;
 use crate::error::{Error, Result};
 use crate::fault::{FaultAction, FaultOp};
 use crate::record::{Record, StoredRecord};
@@ -68,6 +70,10 @@ impl Sequencer {
 pub(crate) struct WriteTarget {
     pub(crate) broker: Broker,
     pub(crate) topic: Arc<Topic>,
+    /// Leader epoch this target was resolved at; appends carrying it are
+    /// rejected once an election bumps the partition past it. `None` for
+    /// single-broker targets, which have no elections to fence against.
+    pub(crate) fence: Option<u64>,
 }
 
 /// A failed append attempt: the error plus, when the records never
@@ -79,20 +85,78 @@ type AppendFailure<R> = (Error, Option<R>);
 /// Clones a batch into a pooled buffer (record clones are refcount
 /// bumps; only the pointer vector would allocate, and the pool avoids
 /// even that in steady state).
-fn clone_into_pooled(records: &[Record]) -> Vec<Record> {
+pub(crate) fn clone_into_pooled(records: &[Record]) -> Vec<Record> {
     let mut copy = crate::pool::record_vec();
     copy.extend(records.iter().cloned());
     copy
 }
 
+/// Whether an error signals a failover in progress (as opposed to an
+/// injected flaky-network fault): the leader moved, was fenced, or its
+/// broker is dead.
+fn failover_class(error: &Error) -> bool {
+    matches!(
+        error,
+        Error::BrokerDown
+            | Error::NotLeader { .. }
+            | Error::FencedEpoch { .. }
+            | Error::PartitionOffline { .. }
+    )
+}
+
+/// Measures the client-visible unavailability window of one request: the
+/// span from the first failover-class error to the next success. Costs
+/// nothing unless observability is enabled when the first error lands.
+struct OutageClock(Option<std::time::Instant>);
+
+impl OutageClock {
+    fn new() -> Self {
+        OutageClock(None)
+    }
+
+    fn note_error(&mut self, error: &Error) {
+        if self.0.is_none() && failover_class(error) && obs::enabled() {
+            self.0 = Some(std::time::Instant::now());
+        }
+    }
+
+    fn note_success(&mut self) {
+        if let Some(started) = self.0.take() {
+            crate::telemetry::failover_path().unavailability(started.elapsed());
+        }
+    }
+}
+
+/// Retry loop for cluster-routed requests: like
+/// [`with_retry`](crate::retry::with_retry), plus the unavailability
+/// window instrument around failover-class outages.
+fn routed_retry<T>(retry: &RetryPolicy, mut op: impl FnMut() -> Result<T>) -> Result<T> {
+    let mut state = RetryState::new();
+    let mut outage = OutageClock::new();
+    loop {
+        match op() {
+            Ok(value) => {
+                state.note_success();
+                outage.note_success();
+                return Ok(value);
+            }
+            Err(error) => {
+                outage.note_error(&error);
+                state.backoff_or_give_up(retry, error)?;
+            }
+        }
+    }
+}
+
 impl WriteTarget {
     fn raw_append(&self, partition: u32, record: Record, seq: Option<(u64, u64)>) -> Result<u64> {
         match seq {
-            None => self.topic.append_delayed(
+            None => self.topic.append_fenced_delayed(
                 partition,
                 record,
                 self.broker.now(),
                 self.broker.request_delay(),
+                self.fence,
             ),
             Some((producer_id, seq)) => self.topic.append_sequenced_delayed(
                 partition,
@@ -101,6 +165,7 @@ impl WriteTarget {
                 self.broker.request_delay(),
                 producer_id,
                 seq,
+                self.fence,
             ),
         }
     }
@@ -114,11 +179,12 @@ impl WriteTarget {
         seq: Option<(u64, u64)>,
     ) -> Result<u64> {
         match seq {
-            None => self.topic.append_batch_delayed(
+            None => self.topic.append_batch_fenced_delayed(
                 partition,
                 records,
                 self.broker.now(),
                 self.broker.request_delay(),
+                self.fence,
             ),
             Some((producer_id, first_seq)) => self.topic.append_batch_sequenced_delayed(
                 partition,
@@ -127,6 +193,7 @@ impl WriteTarget {
                 self.broker.request_delay(),
                 producer_id,
                 first_seq,
+                self.fence,
             ),
         }
     }
@@ -141,6 +208,9 @@ impl WriteTarget {
         record: Record,
         seq: Option<(u64, u64)>,
     ) -> std::result::Result<u64, AppendFailure<Record>> {
+        if let Err(error) = self.broker.ensure_alive() {
+            return Err((error, Some(record)));
+        }
         match self
             .broker
             .fault_action(FaultOp::Produce, self.topic.name(), partition)
@@ -169,12 +239,13 @@ impl WriteTarget {
     /// Batch append through the fault gate. Drains `records` on success
     /// and leaves them intact on failure — the caller's buffer *is* the
     /// resend queue, so the fault-free path never clones.
-    fn append_batch(
+    pub(crate) fn append_batch(
         &self,
         partition: u32,
         records: &mut Vec<Record>,
         seq: Option<(u64, u64)>,
     ) -> Result<u64> {
+        self.broker.ensure_alive()?;
         match self
             .broker
             .fault_action(FaultOp::Produce, self.topic.name(), partition)
@@ -232,25 +303,63 @@ impl WriteTarget {
 /// ```
 #[derive(Debug, Clone)]
 pub struct PartitionWriter {
-    /// Leader first, then followers (empty only never — a writer always
-    /// has at least its leader target).
-    targets: Vec<WriteTarget>,
+    route: WriteRoute,
     partition: u32,
-    /// Retry schedule for transient errors (fault-plan injections).
+    /// Retry schedule for transient errors (fault-plan injections and
+    /// failover windows).
     retry: RetryPolicy,
     /// Idempotence state; `None` for a plain at-least-once writer.
     sequencer: Option<Arc<Sequencer>>,
+    /// Acknowledgement level honored by cluster-routed produces.
+    acks: Acks,
+}
+
+/// Where a writer's appends go.
+#[derive(Debug, Clone)]
+enum WriteRoute {
+    /// Fixed replica targets, leader first — the single-broker path,
+    /// where there are no elections and the resolved topic stays valid.
+    Direct(Vec<WriteTarget>),
+    /// Cluster-routed: each attempt goes through the cluster's
+    /// replicated append, which re-resolves the partition leader, so the
+    /// handle survives leader changes without being rebuilt.
+    Routed { cluster: Cluster, topic: String },
 }
 
 impl PartitionWriter {
     pub(crate) fn new(targets: Vec<WriteTarget>, partition: u32) -> Self {
         debug_assert!(!targets.is_empty(), "a writer needs a leader target");
         PartitionWriter {
-            targets,
+            route: WriteRoute::Direct(targets),
             partition,
             retry: RetryPolicy::default(),
             sequencer: None,
+            acks: Acks::All,
         }
+    }
+
+    /// A cluster-routed writer: safe-by-default (`Acks::All`), and
+    /// re-resolves the leader on every attempt so it rides through
+    /// elections.
+    pub(crate) fn routed(cluster: Cluster, topic: String, partition: u32) -> Self {
+        PartitionWriter {
+            route: WriteRoute::Routed { cluster, topic },
+            partition,
+            retry: RetryPolicy::default(),
+            sequencer: None,
+            acks: Acks::All,
+        }
+    }
+
+    /// Sets the acknowledgement level honored by cluster-routed
+    /// produces: [`Acks::All`] waits for the full in-sync set,
+    /// [`Acks::Leader`] and [`Acks::None`] return once the leader has
+    /// the records. Single-broker writers have no followers to wait
+    /// for, so the level is moot there.
+    #[must_use]
+    pub fn with_acks(mut self, acks: Acks) -> Self {
+        self.acks = acks;
+        self
     }
 
     /// Makes the writer idempotent: appends carry a producer id and
@@ -274,7 +383,10 @@ impl PartitionWriter {
 
     /// The topic this writer appends to.
     pub fn topic(&self) -> &str {
-        self.targets[0].topic.name()
+        match &self.route {
+            WriteRoute::Direct(targets) => targets[0].topic.name(),
+            WriteRoute::Routed { topic, .. } => topic,
+        }
     }
 
     /// The partition this writer appends to.
@@ -300,7 +412,22 @@ impl PartitionWriter {
     }
 
     fn produce_inner(&self, record: Record) -> Result<u64> {
-        let Some((leader, followers)) = self.targets.split_first() else {
+        let targets = match &self.route {
+            WriteRoute::Direct(targets) => targets,
+            WriteRoute::Routed { cluster, topic } => {
+                let seq = self.sequencer.as_ref().map(|s| s.reserve(1));
+                // A routed single produce is a batch of one; the pooled
+                // buffer makes the wrap allocation-free in steady state.
+                let mut batch = crate::pool::record_vec();
+                batch.push(record);
+                let result = self.routed_append(cluster, topic, &mut batch, seq);
+                if result.is_ok() {
+                    crate::pool::recycle_record_vec(batch);
+                }
+                return result;
+            }
+        };
+        let Some((leader, followers)) = targets.split_first() else {
             return Err(Error::BrokerUnavailable);
         };
         let seq = self.sequencer.as_ref().map(|s| s.reserve(1));
@@ -382,14 +509,20 @@ impl PartitionWriter {
     }
 
     fn produce_batch_inner(&self, records: &mut Vec<Record>) -> Result<u64> {
-        let Some((leader, followers)) = self.targets.split_first() else {
-            return Err(Error::BrokerUnavailable);
-        };
         // Empty batches reserve no sequence numbers (a zero-length
         // reservation would collide with the next real batch).
         let seq = match (&self.sequencer, records.is_empty()) {
             (Some(s), false) => Some(s.reserve(records.len() as u64)),
             _ => None,
+        };
+        let targets = match &self.route {
+            WriteRoute::Direct(targets) => targets,
+            WriteRoute::Routed { cluster, topic } => {
+                return self.routed_append(cluster, topic, records, seq);
+            }
+        };
+        let Some((leader, followers)) = targets.split_first() else {
+            return Err(Error::BrokerUnavailable);
         };
         if followers.is_empty() {
             // Single-broker fast path: the batch drains straight into
@@ -425,6 +558,23 @@ impl PartitionWriter {
         records.clear();
         Ok(offset)
     }
+
+    /// Append through the cluster's replicated produce path, retrying
+    /// through elections: a leader kill surfaces as a transient error
+    /// here, the cluster promotes an in-sync follower, and the next
+    /// attempt lands on the new leader. Drains `records` on success and
+    /// leaves them intact on failure, like the direct path.
+    fn routed_append(
+        &self,
+        cluster: &Cluster,
+        topic: &str,
+        records: &mut Vec<Record>,
+        seq: Option<(u64, u64)>,
+    ) -> Result<u64> {
+        routed_retry(&self.retry, || {
+            cluster.replicated_append(topic, self.partition, records, seq, self.acks)
+        })
+    }
 }
 
 /// A fetch handle bound to one partition.
@@ -438,18 +588,37 @@ impl PartitionWriter {
 /// [`Broker::fetch`]).
 #[derive(Debug, Clone)]
 pub struct PartitionReader {
-    broker: Broker,
-    topic: Arc<Topic>,
+    route: ReadRoute,
     partition: u32,
-    /// Retry schedule for transient errors (fault-plan injections).
+    /// Retry schedule for transient errors (fault-plan injections and
+    /// failover windows).
     retry: RetryPolicy,
+}
+
+/// Where a reader's fetches go.
+#[derive(Debug, Clone)]
+enum ReadRoute {
+    /// One pinned broker and its resolved topic (single-broker path).
+    Direct { broker: Broker, topic: Arc<Topic> },
+    /// Cluster-routed: fetches re-resolve the partition leader per
+    /// attempt and observe only records below the high-watermark.
+    Routed { cluster: Cluster, topic: String },
 }
 
 impl PartitionReader {
     pub(crate) fn new(broker: Broker, topic: Arc<Topic>, partition: u32) -> Self {
         PartitionReader {
-            broker,
-            topic,
+            route: ReadRoute::Direct { broker, topic },
+            partition,
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// A cluster-routed reader: survives leader changes and reads only
+    /// committed records (those below the high-watermark).
+    pub(crate) fn routed(cluster: Cluster, topic: String, partition: u32) -> Self {
+        PartitionReader {
+            route: ReadRoute::Routed { cluster, topic },
             partition,
             retry: RetryPolicy::default(),
         }
@@ -464,7 +633,10 @@ impl PartitionReader {
 
     /// The topic this reader fetches from.
     pub fn topic(&self) -> &str {
-        self.topic.name()
+        match &self.route {
+            ReadRoute::Direct { topic, .. } => topic.name(),
+            ReadRoute::Routed { topic, .. } => topic,
+        }
     }
 
     /// The partition this reader fetches from.
@@ -513,12 +685,17 @@ impl PartitionReader {
         max: usize,
         out: &mut Vec<StoredRecord>,
     ) -> Result<usize> {
-        crate::retry::with_retry(&self.retry, || {
-            self.broker
-                .fault_gate(FaultOp::Fetch, self.topic.name(), self.partition)?;
-            spin_delay(self.broker.request_delay());
-            self.topic.read_into(self.partition, offset, max, out)
-        })
+        match &self.route {
+            ReadRoute::Direct { broker, topic } => crate::retry::with_retry(&self.retry, || {
+                broker.ensure_alive()?;
+                broker.fault_gate(FaultOp::Fetch, topic.name(), self.partition)?;
+                spin_delay(broker.request_delay());
+                topic.read_into(self.partition, offset, max, out)
+            }),
+            ReadRoute::Routed { cluster, topic } => routed_retry(&self.retry, || {
+                cluster.committed_read_into(topic, self.partition, offset, max, out)
+            }),
+        }
     }
 
     /// Next offset to be written in the partition.
@@ -528,11 +705,18 @@ impl PartitionReader {
     /// Returns [`Error::UnknownPartition`](crate::Error::UnknownPartition)
     /// (not possible for handles built through validated construction).
     pub fn latest_offset(&self) -> Result<u64> {
-        crate::retry::with_retry(&self.retry, || {
-            self.broker
-                .fault_gate(FaultOp::Metadata, self.topic.name(), self.partition)?;
-            self.topic.latest_offset(self.partition)
-        })
+        match &self.route {
+            ReadRoute::Direct { broker, topic } => crate::retry::with_retry(&self.retry, || {
+                broker.ensure_alive()?;
+                broker.fault_gate(FaultOp::Metadata, topic.name(), self.partition)?;
+                topic.latest_offset(self.partition)
+            }),
+            // Routed readers see the committed frontier: offsets past the
+            // high-watermark do not exist yet from a consumer's view.
+            ReadRoute::Routed { cluster, topic } => routed_retry(&self.retry, || {
+                cluster.committed_latest_offset(topic, self.partition)
+            }),
+        }
     }
 
     /// Earliest retained offset in the partition.
@@ -541,11 +725,16 @@ impl PartitionReader {
     ///
     /// Same as [`PartitionReader::latest_offset`].
     pub fn earliest_offset(&self) -> Result<u64> {
-        crate::retry::with_retry(&self.retry, || {
-            self.broker
-                .fault_gate(FaultOp::Metadata, self.topic.name(), self.partition)?;
-            self.topic.earliest_offset(self.partition)
-        })
+        match &self.route {
+            ReadRoute::Direct { broker, topic } => crate::retry::with_retry(&self.retry, || {
+                broker.ensure_alive()?;
+                broker.fault_gate(FaultOp::Metadata, topic.name(), self.partition)?;
+                topic.earliest_offset(self.partition)
+            }),
+            ReadRoute::Routed { cluster, topic } => routed_retry(&self.retry, || {
+                cluster.committed_earliest_offset(topic, self.partition)
+            }),
+        }
     }
 }
 

@@ -67,6 +67,7 @@ mod clock;
 mod cluster;
 mod config;
 mod consumer;
+mod election;
 mod error;
 mod fault;
 mod group;
@@ -84,7 +85,7 @@ pub use admin::{PartitionInfo, TopicDescription};
 pub use async_producer::AsyncProducer;
 pub use backoff::Backoff;
 pub use broker::Broker;
-pub use bus::Bus;
+pub use bus::{Bus, BusHandle};
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use cluster::{Cluster, ClusterConfig};
 pub use config::{Acks, CompressionHint, TimestampType, TopicConfig};

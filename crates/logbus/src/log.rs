@@ -40,6 +40,11 @@ pub struct PartitionLog {
     /// id (Kafka's producer-epoch sequence dedup, collapsed to the
     /// last-batch window that serial per-writer retries need).
     producer_seqs: HashMap<u64, (u64, u64)>,
+    /// Leader epoch this log currently accepts sequenced/fenced appends
+    /// under. Bumped by the cluster controller on every election; stale
+    /// writers carrying an older epoch are rejected under the partition
+    /// lock (the fencing rule of DESIGN.md §10).
+    leader_epoch: u64,
     /// Process-unique id keying this log's monotonic-write witnesses:
     /// lets the checker tell partitions apart without holding a lock.
     #[cfg(feature = "check-sync")]
@@ -59,6 +64,7 @@ impl PartitionLog {
             log_start_offset: 0,
             appended: 0,
             producer_seqs: HashMap::new(),
+            leader_epoch: 0,
             #[cfg(feature = "check-sync")]
             witness_id: NEXT_WITNESS_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
@@ -75,6 +81,83 @@ impl PartitionLog {
     /// Records a sequenced append so its retries deduplicate.
     pub fn record_seq(&mut self, producer_id: u64, first_seq: u64, base: u64) {
         self.producer_seqs.insert(producer_id, (first_seq, base));
+    }
+
+    /// Leader epoch this log currently enforces.
+    pub fn leader_epoch(&self) -> u64 {
+        self.leader_epoch
+    }
+
+    /// Raises the enforced leader epoch. Epochs never move backwards;
+    /// a lower value is ignored.
+    pub fn set_leader_epoch(&mut self, epoch: u64) {
+        self.leader_epoch = self.leader_epoch.max(epoch);
+    }
+
+    /// Drops every record at or past `offset`, rewinding the log to where
+    /// it agreed with the new leader (Kafka's truncate-on-becoming-
+    /// follower). Producer-sequence dedup entries whose base offset was
+    /// truncated away are forgotten so a legitimate resend is not
+    /// swallowed as a duplicate. Returns the number of records removed.
+    ///
+    /// Truncating below the earliest retained offset is clamped to it.
+    pub fn truncate_to(&mut self, offset: u64) -> u64 {
+        let offset = offset.max(self.log_start_offset);
+        let next = self.next_offset();
+        if offset >= next {
+            return 0;
+        }
+        while let Some(last) = self.segments.last() {
+            if last.base_offset() >= offset && self.segments.len() > 1 {
+                if let Some(removed) = self.segments.pop() {
+                    removed.recycle();
+                }
+            } else {
+                break;
+            }
+        }
+        if let Some(last) = self.segments.last_mut() {
+            last.truncate_to(offset);
+        }
+        self.producer_seqs.retain(|_, &mut (_, base)| base < offset);
+        // A truncated log re-issues offsets the old epoch already used, so
+        // the monotonic-offset witness stream must restart under a fresh
+        // identity or the checker would flag the legitimate rewind.
+        #[cfg(feature = "check-sync")]
+        {
+            self.witness_id = NEXT_WITNESS_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        next - offset
+    }
+
+    /// Appends a replica copy verbatim, preserving the leader-assigned
+    /// offset and timestamp (the catch-up path for a rejoining follower).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stored.offset` is not the log's next offset; the caller
+    /// copies contiguously from the leader's log.
+    pub fn append_stored(&mut self, stored: StoredRecord) {
+        assert_eq!(
+            stored.offset,
+            self.next_offset(),
+            "replica copy must be contiguous"
+        );
+        #[cfg(feature = "check-sync")]
+        parking_lot::sync_check::witness_monotonic(
+            "logbus.offset",
+            self.witness_id,
+            stored.offset,
+            true,
+        );
+        if self.active_segment_full() {
+            self.segments.push(Segment::new(stored.offset));
+        }
+        if let Some(segment) = self.segments.last_mut() {
+            segment.append(stored);
+        }
+        self.appended += 1;
+        self.apply_retention();
     }
 
     /// Offset that the next appended record will receive.
@@ -406,6 +489,77 @@ mod tests {
         assert_eq!(log.duplicate_of(8, 0), None, "other producers unaffected");
         log.record_seq(7, 5, 42);
         assert_eq!(log.duplicate_of(7, 3), Some(42), "stale seq is a dup");
+    }
+
+    #[test]
+    fn truncate_rewinds_offsets_and_seq_state() {
+        let mut log = log_with(64);
+        append_n(&mut log, 50);
+        assert!(log.stats().segments > 1, "need several segments");
+        log.record_seq(1, 0, 10);
+        log.record_seq(2, 0, 40);
+        let removed = log.truncate_to(30);
+        assert_eq!(removed, 20);
+        assert_eq!(log.next_offset(), 30);
+        assert_eq!(log.len(), 30);
+        // Dedup state past the truncation point is forgotten; earlier
+        // entries survive.
+        assert_eq!(log.duplicate_of(1, 0), Some(10));
+        assert_eq!(log.duplicate_of(2, 0), None);
+        // Re-appending resumes at the truncation point.
+        let off = log.append(Record::from_value("again"), Timestamp::from_micros(99));
+        assert_eq!(off, 30);
+        let tail = log.read(29, 10).unwrap();
+        assert_eq!(tail.len(), 2);
+        assert_eq!(&tail[1].record.value[..], b"again");
+    }
+
+    #[test]
+    fn truncate_past_end_is_noop() {
+        let mut log = log_with(1 << 20);
+        append_n(&mut log, 5);
+        assert_eq!(log.truncate_to(5), 0);
+        assert_eq!(log.truncate_to(100), 0);
+        assert_eq!(log.len(), 5);
+    }
+
+    #[test]
+    fn truncate_clamps_to_log_start() {
+        let mut log = PartitionLog::new(
+            TopicConfig::default()
+                .segment_bytes(40)
+                .retention_records(5),
+        );
+        append_n(&mut log, 100);
+        let start = log.earliest_offset();
+        assert!(start > 0);
+        log.truncate_to(0);
+        assert_eq!(log.next_offset(), start, "clamped to earliest retained");
+    }
+
+    #[test]
+    fn leader_epoch_is_monotonic() {
+        let mut log = log_with(1 << 20);
+        assert_eq!(log.leader_epoch(), 0);
+        log.set_leader_epoch(3);
+        assert_eq!(log.leader_epoch(), 3);
+        log.set_leader_epoch(1);
+        assert_eq!(log.leader_epoch(), 3, "epochs never move backwards");
+    }
+
+    #[test]
+    fn append_stored_preserves_offsets_and_stamps() {
+        let mut log = log_with(1 << 20);
+        append_n(&mut log, 2);
+        log.append_stored(StoredRecord {
+            offset: 2,
+            timestamp: Timestamp::from_micros(77),
+            record: Record::from_value("replica"),
+        });
+        let all = log.read(0, 10).unwrap();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[2].offset, 2);
+        assert_eq!(all[2].timestamp.as_micros(), 77);
     }
 
     #[test]

@@ -430,6 +430,7 @@ impl Producer {
             let writer =
                 crate::retry::with_retry(retry, || bus.partition_writer(topic, partition))?
                     .idempotent()
+                    .with_acks(self.config.acks)
                     .with_retry(retry.clone());
             state.writers[p] = Some(writer);
         }

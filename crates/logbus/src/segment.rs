@@ -140,6 +140,18 @@ impl Segment {
         &self.records[start..end]
     }
 
+    /// Drops every record at or past `offset` (log-divergence truncation
+    /// after a leader change). No-op when `offset` is past the end.
+    pub fn truncate_to(&mut self, offset: u64) {
+        if offset >= self.next_offset() {
+            return;
+        }
+        let keep = offset.saturating_sub(self.base_offset) as usize;
+        for dropped in self.records.drain(keep..) {
+            self.bytes -= dropped.record.wire_size();
+        }
+    }
+
     /// Timestamp of the first record, if any.
     pub fn first_timestamp(&self) -> Option<Timestamp> {
         self.records.first().map(|r| r.timestamp)
@@ -291,6 +303,27 @@ mod tests {
         let view = seg.get(0).unwrap().value().clone();
         seg.recycle();
         assert_eq!(&view[..], b"survivor");
+    }
+
+    #[test]
+    fn truncate_drops_tail_and_bytes() {
+        let mut seg = Segment::new(10);
+        seg.append(stored(10, 1, "a"));
+        seg.append(stored(11, 2, "bb"));
+        seg.append(stored(12, 3, "ccc"));
+        let full = seg.bytes();
+        seg.truncate_to(11);
+        assert_eq!(seg.len(), 1);
+        assert_eq!(seg.next_offset(), 11);
+        assert!(seg.bytes() < full);
+        assert_eq!(seg.bytes(), Record::from_value("a").wire_size());
+        // Truncating past the end is a no-op; truncating to the base
+        // empties the segment.
+        seg.truncate_to(100);
+        assert_eq!(seg.len(), 1);
+        seg.truncate_to(10);
+        assert!(seg.is_empty());
+        assert_eq!(seg.bytes(), 0);
     }
 
     #[test]

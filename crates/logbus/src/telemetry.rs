@@ -144,6 +144,39 @@ pub(crate) fn leader_path() -> &'static LeaderPath {
     })
 }
 
+/// Crash-failover activity: elections, fencing, log repair, and the
+/// client-visible unavailability window.
+pub(crate) struct FailoverPath {
+    /// Leader elections completed (each promotes an in-sync follower).
+    pub(crate) elections: obs::Counter,
+    /// Leader-epoch bumps applied to partition logs (elections plus
+    /// rejoin fencing).
+    pub(crate) epoch_bumps: obs::Counter,
+    /// Records truncated from diverged replica logs at election or
+    /// rejoin time.
+    pub(crate) truncated_records: obs::Counter,
+    /// Client-visible unavailability per outage: first failover-class
+    /// error to the next success of the same retried request.
+    pub(crate) unavailability_micros: obs::Histogram,
+}
+
+pub(crate) fn failover_path() -> &'static FailoverPath {
+    static PATH: OnceLock<FailoverPath> = OnceLock::new();
+    PATH.get_or_init(|| FailoverPath {
+        elections: obs::counter("logbus.failover.elections"),
+        epoch_bumps: obs::counter("logbus.failover.epoch_bumps"),
+        truncated_records: obs::counter("logbus.failover.truncated_records"),
+        unavailability_micros: obs::histogram("logbus.failover.unavailability_micros"),
+    })
+}
+
+impl FailoverPath {
+    /// Records one client-visible outage window.
+    pub(crate) fn unavailability(&self, window: std::time::Duration) {
+        self.unavailability_micros.record(window.as_micros() as u64);
+    }
+}
+
 /// Consumer-group coordinator activity.
 pub(crate) struct GroupPath {
     /// Membership changes across all groups (each bumps a generation).

@@ -93,6 +93,75 @@ impl Topic {
         }
     }
 
+    /// Rejects a request carrying a leader epoch older than the one the
+    /// log enforces. `None` (an unfenced direct-broker append) always
+    /// passes; on the fault-free path this is one branch.
+    fn check_fence(log: &PartitionLog, fence: Option<u64>) -> Result<()> {
+        if let Some(epoch) = fence {
+            let current = log.leader_epoch();
+            if epoch < current {
+                return Err(Error::FencedEpoch {
+                    current,
+                    requested: epoch,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Leader epoch currently enforced by `partition`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownPartition`] for out-of-range partitions.
+    pub fn leader_epoch(&self, partition: u32) -> Result<u64> {
+        Ok(self.partition(partition)?.read().leader_epoch())
+    }
+
+    /// Raises the leader epoch enforced by `partition` (epochs never move
+    /// backwards). Takes the partition's append lock, so in-flight appends
+    /// from the old epoch either complete before the bump or are fenced
+    /// after it — there is no in-between.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownPartition`] for out-of-range partitions.
+    pub fn set_leader_epoch(&self, partition: u32, epoch: u64) -> Result<()> {
+        self.partition(partition)?.write().set_leader_epoch(epoch);
+        Ok(())
+    }
+
+    /// Truncates `partition` to end at `offset`, returning the number of
+    /// records removed (see [`PartitionLog::truncate_to`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownPartition`] for out-of-range partitions.
+    pub fn truncate_to(&self, partition: u32, offset: u64) -> Result<u64> {
+        Ok(self.partition(partition)?.write().truncate_to(offset))
+    }
+
+    /// Appends leader-stored records verbatim onto `partition`, skipping
+    /// any the replica already holds — the catch-up path for a follower
+    /// rejoining after a crash. Offsets and timestamps are preserved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownPartition`] for out-of-range partitions.
+    pub fn append_replica_batch(&self, partition: u32, records: &[StoredRecord]) -> Result<u64> {
+        let lock = self.partition(partition)?;
+        let mut log = lock.write();
+        let mut copied = 0;
+        for stored in records {
+            if stored.offset < log.next_offset() {
+                continue;
+            }
+            log.append_stored(stored.clone());
+            copied += 1;
+        }
+        Ok(copied)
+    }
+
     /// Appends `record` to `partition`, resolving the stored timestamp
     /// according to the topic's [`TimestampType`]. `now` is the broker
     /// clock reading. Returns the assigned offset.
@@ -120,9 +189,29 @@ impl Topic {
         now: Timestamp,
         delay: std::time::Duration,
     ) -> Result<u64> {
+        self.append_fenced_delayed(partition, record, now, delay, None)
+    }
+
+    /// Like [`Topic::append_delayed`], with an optional leader-epoch
+    /// fence: a request carrying an epoch older than the log's current
+    /// one is rejected under the append lock, so a deposed leader's late
+    /// write can never land after an election.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownPartition`] or [`Error::FencedEpoch`].
+    pub(crate) fn append_fenced_delayed(
+        &self,
+        partition: u32,
+        record: Record,
+        now: Timestamp,
+        delay: std::time::Duration,
+        fence: Option<u64>,
+    ) -> Result<u64> {
         let lock = self.partition(partition)?;
         let mut log = Self::write_log(lock);
         spin_delay(delay);
+        Self::check_fence(&log, fence)?;
         let stamp = match self.config.timestamp_type {
             // Clamped under the append lock: concurrent producers may
             // sample the clock out of order, but `LogAppendTime` is
@@ -143,6 +232,7 @@ impl Topic {
     /// # Errors
     ///
     /// Returns [`Error::UnknownPartition`] for out-of-range partitions.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn append_sequenced_delayed(
         &self,
         partition: u32,
@@ -151,10 +241,12 @@ impl Topic {
         delay: std::time::Duration,
         producer_id: u64,
         seq: u64,
+        fence: Option<u64>,
     ) -> Result<u64> {
         let lock = self.partition(partition)?;
         let mut log = Self::write_log(lock);
         spin_delay(delay);
+        Self::check_fence(&log, fence)?;
         if let Some(base) = log.duplicate_of(producer_id, seq) {
             return Ok(base);
         }
@@ -176,6 +268,7 @@ impl Topic {
     /// Drains `records` (the drained-Vec contract: the batch comes back
     /// empty with its capacity intact, even when the broker skips a
     /// duplicate), so producer buffers recycle instead of reallocating.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn append_batch_sequenced_delayed(
         &self,
         partition: u32,
@@ -184,10 +277,12 @@ impl Topic {
         delay: std::time::Duration,
         producer_id: u64,
         first_seq: u64,
+        fence: Option<u64>,
     ) -> Result<u64> {
         let lock = self.partition(partition)?;
         let mut log = Self::write_log(lock);
         spin_delay(delay);
+        Self::check_fence(&log, fence)?;
         if let Some(base) = log.duplicate_of(producer_id, first_seq) {
             // The broker already holds these records; the retried batch
             // is accepted (and therefore drained) without re-appending.
@@ -247,9 +342,28 @@ impl Topic {
         now: Timestamp,
         delay: std::time::Duration,
     ) -> Result<u64> {
+        self.append_batch_fenced_delayed(partition, records, now, delay, None)
+    }
+
+    /// Like [`Topic::append_batch_delayed`], with an optional leader-epoch
+    /// fence (see [`Topic::append_fenced_delayed`]). On a fencing
+    /// rejection the records are left in place, as on any other failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownPartition`] or [`Error::FencedEpoch`].
+    pub(crate) fn append_batch_fenced_delayed(
+        &self,
+        partition: u32,
+        records: &mut Vec<Record>,
+        now: Timestamp,
+        delay: std::time::Duration,
+        fence: Option<u64>,
+    ) -> Result<u64> {
         let lock = self.partition(partition)?;
         let mut log = Self::write_log(lock);
         spin_delay(delay);
+        Self::check_fence(&log, fence)?;
         // One shared, monotone `LogAppendTime` stamp for the whole batch
         // (see `append_delayed` for why the clamp happens under the lock).
         let append_stamp = log.last_timestamp().map_or(now, |last| now.max(last));
@@ -428,6 +542,99 @@ mod tests {
         assert!(topic.read(2, 0, 1).is_err());
         assert!(topic.latest_offset(2).is_err());
         assert_eq!(topic.partition_count(), 2);
+    }
+
+    #[test]
+    fn stale_epoch_appends_are_fenced() {
+        let topic = Topic::new("t", TopicConfig::default()).unwrap();
+        topic.set_leader_epoch(0, 2).unwrap();
+        // Current or newer epochs pass; older ones are rejected.
+        topic
+            .append_fenced_delayed(
+                0,
+                Record::from_value("ok"),
+                Timestamp(1),
+                std::time::Duration::ZERO,
+                Some(2),
+            )
+            .unwrap();
+        let err = topic
+            .append_fenced_delayed(
+                0,
+                Record::from_value("stale"),
+                Timestamp(2),
+                std::time::Duration::ZERO,
+                Some(1),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::FencedEpoch {
+                current: 2,
+                requested: 1
+            }
+        ));
+        // Unfenced (direct broker) appends are unaffected.
+        topic
+            .append(0, Record::from_value("direct"), Timestamp(3))
+            .unwrap();
+        assert_eq!(topic.latest_offset(0).unwrap(), 2);
+    }
+
+    #[test]
+    fn fenced_batch_leaves_records_for_resend() {
+        let topic = Topic::new("t", TopicConfig::default()).unwrap();
+        topic.set_leader_epoch(0, 5).unwrap();
+        let mut batch = vec![Record::from_value("a"), Record::from_value("b")];
+        let err = topic
+            .append_batch_fenced_delayed(
+                0,
+                &mut batch,
+                Timestamp(1),
+                std::time::Duration::ZERO,
+                Some(4),
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::FencedEpoch { .. }));
+        assert_eq!(batch.len(), 2, "failed batch stays intact for resend");
+    }
+
+    #[test]
+    fn replica_catch_up_skips_held_records() {
+        let leader = Topic::new("t", TopicConfig::default()).unwrap();
+        for i in 0..5 {
+            leader
+                .append(0, Record::from_value(format!("r{i}")), Timestamp(i))
+                .unwrap();
+        }
+        let follower = Topic::new("t", TopicConfig::default()).unwrap();
+        follower
+            .append(0, Record::from_value("r0"), Timestamp(0))
+            .unwrap();
+        let all = leader.read(0, 0, 100).unwrap();
+        let copied = follower.append_replica_batch(0, &all).unwrap();
+        assert_eq!(copied, 4, "record 0 already held");
+        assert_eq!(follower.latest_offset(0).unwrap(), 5);
+        let mirrored = follower.read(0, 0, 100).unwrap();
+        for (i, r) in mirrored.iter().enumerate() {
+            assert_eq!(r.offset, i as u64);
+        }
+    }
+
+    #[test]
+    fn truncate_then_reappend() {
+        let topic = Topic::new("t", TopicConfig::default()).unwrap();
+        for i in 0..4 {
+            topic
+                .append(0, Record::from_value(format!("{i}")), Timestamp(i))
+                .unwrap();
+        }
+        assert_eq!(topic.truncate_to(0, 2).unwrap(), 2);
+        assert_eq!(topic.latest_offset(0).unwrap(), 2);
+        let off = topic
+            .append(0, Record::from_value("new"), Timestamp(9))
+            .unwrap();
+        assert_eq!(off, 2);
     }
 
     #[test]

@@ -195,15 +195,21 @@ impl Histogram {
     /// Copies the current state into plain data.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let inner = &*self.0;
-        let count = inner.count.load(Ordering::Relaxed);
+        let buckets: Vec<u64> = inner
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        // Derive the count from the bucket mass rather than the shared
+        // counter: a recorder bumps its bucket before the counter, so a
+        // mid-flight snapshot could otherwise see the two disagree.
+        // Quantiles clamp to `[min, max]`, so the remaining per-field
+        // races never push an estimate outside the observed range.
+        let count: u64 = buckets.iter().sum();
         let max = inner.max.load(Ordering::Relaxed);
         let raw_min = inner.min.load(Ordering::Relaxed);
         HistogramSnapshot {
-            buckets: inner
-                .buckets
-                .iter()
-                .map(|b| b.load(Ordering::Relaxed))
-                .collect(),
+            buckets,
             count,
             sum: inner.sum.load(Ordering::Relaxed),
             max,

@@ -2,7 +2,7 @@
 
 use crate::operator::Collector;
 use bytes::Bytes;
-use logbus::{Broker, Record};
+use logbus::{BusHandle, Record};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -121,17 +121,20 @@ impl<T: Send> SinkFunction<T> for VecSinkInstance<T> {
 /// one broker append with one `LogAppendTime` stamp.
 #[derive(Debug, Clone)]
 pub struct BrokerSink {
-    broker: Broker,
+    bus: BusHandle,
     topic: String,
     partition: u32,
     batch_records: usize,
 }
 
 impl BrokerSink {
-    /// Creates a sink appending to partition 0 of `topic`.
-    pub fn new(broker: Broker, topic: impl Into<String>) -> Self {
+    /// Creates a sink appending to partition 0 of `topic`. Accepts a
+    /// [`Broker`](logbus::Broker), a [`Cluster`](logbus::Cluster), or an
+    /// existing [`BusHandle`]; on a cluster the background producer rides
+    /// through broker failover.
+    pub fn new(bus: impl Into<BusHandle>, topic: impl Into<String>) -> Self {
         BrokerSink {
-            broker,
+            bus: bus.into(),
             topic: topic.into(),
             partition: 0,
             batch_records: 500,
@@ -162,7 +165,7 @@ impl ParallelSink<Bytes> for BrokerSink {
     fn create(&self, _subtask: usize, _parallelism: usize) -> Box<dyn SinkFunction<Bytes>> {
         Box::new(BrokerSinkInstance {
             producer: logbus::AsyncProducer::with_max_batch(
-                self.broker.clone(),
+                self.bus.clone(),
                 self.topic.clone(),
                 self.partition,
                 self.batch_records,
@@ -198,7 +201,7 @@ impl SinkFunction<Bytes> for BrokerSinkInstance {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use logbus::TopicConfig;
+    use logbus::{Broker, TopicConfig};
 
     #[test]
     fn vec_sink_collects() {

@@ -2,7 +2,7 @@
 
 use crate::operator::Collector;
 use bytes::Bytes;
-use logbus::{AssignmentStrategy, Broker, Consumer, ConsumerConfig, StoredRecord};
+use logbus::{AssignmentStrategy, Bus, BusHandle, Consumer, ConsumerConfig, StoredRecord};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -110,7 +110,7 @@ impl<T: Clone + Send + Sync> SourceFunction<T> for VecSourceInstance<T> {
 /// `partition % parallelism == subtask` split.
 #[derive(Debug, Clone)]
 pub struct BrokerSource {
-    broker: Broker,
+    bus: BusHandle,
     topic: String,
     fetch_size: usize,
     follow: Option<FollowMode>,
@@ -136,10 +136,13 @@ struct FollowMode {
 impl BrokerSource {
     /// Creates a source reading all partitions of `topic`, with the
     /// subtasks coordinating through an auto-named consumer group.
-    pub fn new(broker: Broker, topic: impl Into<String>) -> Self {
+    /// Accepts a [`Broker`](logbus::Broker), a
+    /// [`Cluster`](logbus::Cluster), or an existing [`BusHandle`]; on a
+    /// cluster the reads ride through broker failover.
+    pub fn new(bus: impl Into<BusHandle>, topic: impl Into<String>) -> Self {
         let group = format!("rill-src-{}", NEXT_GROUP_ID.fetch_add(1, Ordering::Relaxed));
         BrokerSource {
-            broker,
+            bus: bus.into(),
             topic: topic.into(),
             fetch_size: 2048,
             follow: None,
@@ -186,7 +189,7 @@ impl BrokerSource {
 }
 
 struct BrokerSourceInstance {
-    broker: Broker,
+    bus: BusHandle,
     topic: String,
     fetch_size: usize,
     partitions: Vec<u32>,
@@ -198,15 +201,12 @@ impl ParallelSource<Bytes> for BrokerSource {
     fn create(&self, subtask: usize, parallelism: usize) -> Box<dyn SourceFunction<Bytes>> {
         // Static fallback split; group mode lets the coordinator assign
         // partitions instead.
-        let total = self
-            .broker
-            .topic(&self.topic)
-            .map_or(0, |t| t.partition_count());
+        let total = self.bus.partition_count(&self.topic).unwrap_or(0);
         let partitions = (0..total)
             .filter(|p| (*p as usize) % parallelism == subtask)
             .collect();
         Box::new(BrokerSourceInstance {
-            broker: self.broker.clone(),
+            bus: self.bus.clone(),
             topic: self.topic.clone(),
             fetch_size: self.fetch_size,
             partitions,
@@ -236,7 +236,7 @@ impl BrokerSourceInstance {
     /// source's consumer group.
     fn join_group(&self, spec: &GroupSpec) -> Option<Consumer> {
         let mut consumer = Consumer::with_config(
-            self.broker.clone(),
+            self.bus.clone(),
             ConsumerConfig {
                 group: Some(spec.name.clone()),
                 max_poll_records: self.fetch_size.max(1),
@@ -257,15 +257,13 @@ impl BrokerSourceInstance {
     /// finishes when the group collectively drains the topic.
     fn run_bounded_group(&mut self, spec: &GroupSpec, out: &mut dyn Collector<Bytes>) {
         let retry = logbus::RetryPolicy::default();
-        let Ok(total) = logbus::with_retry(&retry, || {
-            self.broker.topic(&self.topic).map(|t| t.partition_count())
-        }) else {
+        let Ok(total) = logbus::with_retry(&retry, || self.bus.partition_count(&self.topic)) else {
             return;
         };
         // End offsets current at start: the bounded read's finish line.
         let mut ends = Vec::with_capacity(total as usize);
         for p in 0..total {
-            let Ok(end) = logbus::with_retry(&retry, || self.broker.latest_offset(&self.topic, p))
+            let Ok(end) = logbus::with_retry(&retry, || self.bus.latest_offset(&self.topic, p))
             else {
                 return;
             };
@@ -292,7 +290,7 @@ impl BrokerSourceInstance {
             }
             let _ = consumer.commit();
             let drained = (0..total as usize).all(|p| {
-                self.broker
+                self.bus
                     .committed_offset(&spec.name, &self.topic, p as u32)
                     .unwrap_or(0)
                     >= ends[p]
@@ -349,9 +347,9 @@ impl BrokerSourceInstance {
         for &partition in &self.partitions {
             // Resolution and the end-offset lookup retry through transient
             // broker faults; only a genuinely missing partition is skipped.
-            let Ok(reader) = logbus::with_retry(&retry, || {
-                self.broker.partition_reader(&self.topic, partition)
-            }) else {
+            let Ok(reader) =
+                logbus::with_retry(&retry, || self.bus.partition_reader(&self.topic, partition))
+            else {
                 continue;
             };
             let Ok(end) = reader.latest_offset() else {
@@ -387,9 +385,9 @@ impl BrokerSourceInstance {
         let mut cursors = Vec::new();
         let retry = logbus::RetryPolicy::default();
         for &partition in &self.partitions {
-            let Ok(reader) = logbus::with_retry(&retry, || {
-                self.broker.partition_reader(&self.topic, partition)
-            }) else {
+            let Ok(reader) =
+                logbus::with_retry(&retry, || self.bus.partition_reader(&self.topic, partition))
+            else {
                 continue;
             };
             let position = reader.earliest_offset().unwrap_or(0);
@@ -472,7 +470,7 @@ impl<T: Send + Sync> SourceFunction<T> for QueueSourceInstance<T> {
 mod tests {
     use super::*;
     use crate::operator::VecCollector;
-    use logbus::{Producer, Record, TopicConfig};
+    use logbus::{Broker, Producer, Record, TopicConfig};
     use std::sync::atomic::AtomicU64;
 
     fn collect_all<T, S: ParallelSource<T>>(source: &S, parallelism: usize) -> Vec<Vec<T>>

@@ -12,6 +12,8 @@ const HOT_PATH: &[&str] = &[
     "crates/logbus/src/handle.rs",
     "crates/logbus/src/log.rs",
     "crates/logbus/src/broker.rs",
+    "crates/logbus/src/cluster.rs",
+    "crates/logbus/src/election.rs",
     "crates/logbus/src/topic.rs",
     "crates/logbus/src/segment.rs",
     "crates/logbus/src/telemetry.rs",
@@ -51,6 +53,8 @@ const FAULT_HOME: &[&str] = &[
     "crates/logbus/src/fault.rs",
     "crates/logbus/src/broker.rs",
     "crates/logbus/src/handle.rs",
+    "crates/logbus/src/cluster.rs",
+    "crates/logbus/src/election.rs",
 ];
 
 /// How many preceding lines an `obs::enabled()` gate may sit above a
@@ -333,6 +337,8 @@ mod tests {
     #[test]
     fn hot_path_detection() {
         assert!(is_hot_path("crates/logbus/src/broker.rs"));
+        assert!(is_hot_path("crates/logbus/src/cluster.rs"));
+        assert!(is_hot_path("crates/logbus/src/election.rs"));
         assert!(is_hot_path("crates/beamline/src/runners/direct.rs"));
         assert!(!is_hot_path("crates/logbus/src/config.rs"));
         assert!(!is_hot_path("crates/core/src/report.rs"));

@@ -15,7 +15,7 @@ fn broker() -> Broker {
 
 #[test]
 fn figure_12_native_grep_plan_has_three_elements() {
-    let plan = queries::native_rill_plan(&broker(), Query::Grep);
+    let plan = queries::native_rill_plan(broker(), Query::Grep);
     assert_eq!(
         plan.element_count(),
         3,
@@ -59,7 +59,7 @@ fn figure_13_beam_grep_plan_has_seven_elements() {
 #[test]
 fn every_native_query_plan_has_three_elements() {
     for query in Query::ALL {
-        let plan = queries::native_rill_plan(&broker(), query);
+        let plan = queries::native_rill_plan(broker(), query);
         assert_eq!(plan.element_count(), 3, "query {query}");
     }
 }
